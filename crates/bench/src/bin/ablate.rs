@@ -1,0 +1,77 @@
+//! Ablation studies: relaxation, split threshold, window placement and
+//! buffer capacity (see `dvs_core::ablations`).
+
+use dvs_bench::parse_args;
+use dvs_core::ablations::{
+    buffer_capacity_sweep, relaxation_effect, split_threshold_sweep, window_alignment_effect,
+};
+use dvs_sram::MilliVolts;
+use dvs_workloads::Benchmark;
+
+fn main() {
+    let opts = parse_args();
+    let seed = opts.cfg.seed;
+    let instrs = opts.cfg.trace_instrs;
+    let maps = opts.cfg.maps.min(8);
+
+    println!("=== Ablation 1: linker jump relaxation (dynamic BBR overhead) ===");
+    println!("{:>12} {:>10} {:>14} {:>14}", "benchmark", "voltage", "with relax", "without");
+    for b in [Benchmark::Crc32, Benchmark::Basicmath, Benchmark::Qsort] {
+        for mv in [560u32, 480, 400] {
+            let e = relaxation_effect(b, MilliVolts::new(mv), maps, instrs, seed);
+            println!(
+                "{:>12} {:>8}mV {:>13.2}% {:>13.2}%",
+                b.name(),
+                mv,
+                e.overhead_with * 100.0,
+                e.overhead_without * 100.0
+            );
+        }
+    }
+
+    println!();
+    println!("=== Ablation 2: block-split threshold @ 400 mV ===");
+    println!("{:>10} {:>12} {:>10} {:>14}", "max words", "code growth", "link rate", "jump overhead");
+    for row in split_threshold_sweep(
+        Benchmark::Basicmath,
+        MilliVolts::new(400),
+        &[6, 8, 12, 16, 24, 32],
+        maps,
+        instrs,
+        seed,
+    ) {
+        println!(
+            "{:>10} {:>11.1}% {:>9.0}% {:>13.2}%",
+            row.max_words,
+            row.code_growth * 100.0,
+            row.link_rate * 100.0,
+            row.jump_overhead * 100.0
+        );
+    }
+
+    println!();
+    println!("=== Ablation 3: FFW window placement @ 400 mV (word misses / 1000 instr) ===");
+    println!("{:>12} {:>10} {:>10}", "benchmark", "centred", "aligned");
+    for b in [Benchmark::Patricia, Benchmark::Dijkstra, Benchmark::Crc32] {
+        let e = window_alignment_effect(b, MilliVolts::new(400), instrs, seed);
+        println!(
+            "{:>12} {:>10.2} {:>10.2}",
+            b.name(),
+            e.centered_word_misses_per_ki,
+            e.aligned_word_misses_per_ki
+        );
+    }
+
+    println!();
+    println!("=== Ablation 4: FBA capacity @ 400 mV ===");
+    println!("{:>8} {:>10} {:>12}", "entries", "coverage", "cycles");
+    for row in buffer_capacity_sweep(
+        Benchmark::Qsort,
+        MilliVolts::new(400),
+        &[16, 64, 256, 1024],
+        instrs,
+        seed,
+    ) {
+        println!("{:>8} {:>9.1}% {:>12}", row.entries, row.coverage * 100.0, row.cycles);
+    }
+}

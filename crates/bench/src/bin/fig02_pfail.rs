@@ -1,0 +1,25 @@
+//! Figure 2: SRAM failure probability vs supply voltage at bit / word /
+//! block / array granularity, plus the 32 KB `Vccmin`.
+
+use dvs_core::figures::fig2;
+
+fn main() {
+    let f = fig2(400, 900, 20);
+    println!("Figure 2 — P_fail vs VCC (45 nm model calibrated to Table II)");
+    println!("{:>6} {:>12} {:>12} {:>12} {:>12}", "mV", "bit", "4B word", "32B block", "32KB array");
+    for r in &f.rows {
+        println!(
+            "{:>6} {:>12.3e} {:>12.3e} {:>12.3e} {:>12.3e}",
+            r.vcc.get(),
+            r.pfail_bit,
+            r.pfail_word,
+            r.pfail_block,
+            r.pfail_array
+        );
+    }
+    println!();
+    println!(
+        "Vccmin(32KB, 99.9% yield) = {}   (paper: 760 mV)",
+        f.vccmin_32kb
+    );
+}

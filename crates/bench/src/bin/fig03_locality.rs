@@ -1,0 +1,27 @@
+//! Figure 3: normalized histograms of spatial locality and word reuse
+//! rate for the ten benchmarks.
+
+use dvs_bench::{parse_args, render_histogram};
+use dvs_core::figures::fig3;
+
+fn main() {
+    let opts = parse_args();
+    let instrs = opts.cfg.trace_instrs.max(200_000);
+    println!("Figure 3 — D-cache spatial locality / word reuse (10k-instruction intervals)");
+    println!("{:>16} {:>10} {:>10}", "benchmark", "spatial", "reuse");
+    let entries = fig3(opts.cfg.seed, instrs);
+    for e in &entries {
+        println!(
+            "{:>16} {:>9.1}% {:>9.1}%",
+            e.benchmark.name(),
+            e.mean_spatial * 100.0,
+            e.mean_reuse * 100.0
+        );
+    }
+    println!();
+    for e in &entries {
+        println!("{}:", e.benchmark.name());
+        print!("{}", render_histogram("spatial locality", &e.spatial_hist));
+        print!("{}", render_histogram("word reuse rate", &e.reuse_hist));
+    }
+}

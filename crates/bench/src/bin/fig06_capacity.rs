@@ -1,0 +1,36 @@
+//! Figure 6: (a) worst-case distribution of the effective I-cache
+//! capacity for basicmath at 400 mV; (b) basic-block vs fault-free-chunk
+//! size distributions.
+
+use dvs_bench::parse_args;
+use dvs_core::figures::fig6;
+use dvs_sram::MilliVolts;
+use dvs_workloads::Benchmark;
+
+fn main() {
+    let opts = parse_args();
+    let f = fig6(
+        Benchmark::Basicmath,
+        MilliVolts::new(400),
+        opts.cfg.maps.min(32),
+        opts.cfg.trace_instrs.max(400_000),
+        100_000,
+        opts.cfg.seed,
+    );
+    println!("Figure 6a — effective I-cache capacity per interval (basicmath @ 400 mV)");
+    println!("  fault-free fraction of the cache: {:.1}%", f.fault_free_fraction * 100.0);
+    let mut sorted = f.capacity_fractions.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let pct = |q: f64| sorted[(q * (sorted.len() - 1) as f64) as usize] * 100.0;
+    println!(
+        "  capacity used: min {:.1}%  p25 {:.1}%  median {:.1}%  p75 {:.1}%  max {:.1}%  ({} intervals)",
+        pct(0.0), pct(0.25), pct(0.5), pct(0.75), pct(1.0), sorted.len()
+    );
+    println!();
+    println!("Figure 6b — size distributions (words)");
+    println!("{:>6} {:>14} {:>16}", "size", "basic blocks", "fault-free chunks");
+    for ((s, b), (_, c)) in f.block_size_hist.iter().zip(&f.chunk_size_hist) {
+        let label = if *s == 16 { ">=16".to_string() } else { s.to_string() };
+        println!("{label:>6} {:>13.1}% {:>15.1}%", b * 100.0, c * 100.0);
+    }
+}

@@ -1,0 +1,51 @@
+//! Figure 10: run time normalized to the defect-free cache at each DVFS
+//! operating point, for every compared scheme.
+
+use dvs_bench::{fmt_ci, parse_args};
+use dvs_core::figures::{default_benchmarks, default_voltages, fig10};
+use dvs_core::Evaluator;
+
+fn main() {
+    let opts = parse_args();
+    let mut eval = Evaluator::new(opts.cfg);
+    let benches = default_benchmarks();
+    let volts = default_voltages();
+    eprintln!(
+        "running {} schemes x {} voltages x {} benchmarks x {} maps ({} instrs/trial)...",
+        6, volts.len(), benches.len(), opts.cfg.maps, opts.cfg.trace_instrs
+    );
+    println!("Figure 10 — normalized runtime (vs defect-free baseline at each point)");
+    if opts.split {
+        // Per-benchmark groups, as the paper's bar chart draws them.
+        for &b in &benches {
+            println!("\n[{b}]");
+            print!("{:<14}", "scheme");
+            for v in &volts {
+                print!(" {:>14}", format!("{v}"));
+            }
+            println!();
+            let cells = fig10(&mut eval, &[b], &volts);
+            for chunk in cells.chunks(volts.len()) {
+                print!("{:<14}", chunk[0].scheme.name());
+                for c in chunk {
+                    print!(" {:>14}", fmt_ci(&c.summary));
+                }
+                println!();
+            }
+        }
+        return;
+    }
+    let cells = fig10(&mut eval, &benches, &volts);
+    print!("{:<14}", "scheme");
+    for v in &volts {
+        print!(" {:>14}", format!("{v}"));
+    }
+    println!();
+    for chunk in cells.chunks(volts.len()) {
+        print!("{:<14}", chunk[0].scheme.name());
+        for c in chunk {
+            print!(" {:>14}", fmt_ci(&c.summary));
+        }
+        println!();
+    }
+}

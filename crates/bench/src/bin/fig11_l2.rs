@@ -1,0 +1,26 @@
+//! Figure 11: L2 accesses per 1000 instructions, per scheme per voltage.
+
+use dvs_bench::{fmt_ci, parse_args};
+use dvs_core::figures::{default_benchmarks, default_voltages, fig11};
+use dvs_core::Evaluator;
+
+fn main() {
+    let opts = parse_args();
+    let mut eval = Evaluator::new(opts.cfg);
+    let benches = default_benchmarks();
+    let volts = default_voltages();
+    let cells = fig11(&mut eval, &benches, &volts);
+    println!("Figure 11 — L2 accesses per 1000 instructions");
+    print!("{:<14}", "scheme");
+    for v in &volts {
+        print!(" {:>14}", format!("{v}"));
+    }
+    println!();
+    for chunk in cells.chunks(volts.len()) {
+        print!("{:<14}", chunk[0].scheme.name());
+        for c in chunk {
+            print!(" {:>14}", fmt_ci(&c.summary));
+        }
+        println!();
+    }
+}

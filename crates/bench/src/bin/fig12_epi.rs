@@ -1,0 +1,39 @@
+//! Figure 12: energy per instruction normalized to the conventional
+//! 760 mV baseline (geometric mean, per the paper).
+
+use dvs_bench::parse_args;
+use dvs_core::figures::{default_benchmarks, default_voltages, fig12};
+use dvs_core::Evaluator;
+
+fn main() {
+    let opts = parse_args();
+    let mut eval = Evaluator::new(opts.cfg);
+    let benches = default_benchmarks();
+    let volts = default_voltages();
+    let cells = fig12(&mut eval, &benches, &volts);
+    println!("Figure 12 — normalized EPI (vs conventional 6T cache at 760 mV = 1.000)");
+    print!("{:<14}", "scheme");
+    for v in &volts {
+        print!(" {:>9}", format!("{v}"));
+    }
+    println!();
+    for chunk in cells.chunks(volts.len()) {
+        print!("{:<14}", chunk[0].scheme.name());
+        for c in chunk {
+            print!(" {:>9.3}", c.geomean);
+        }
+        println!();
+    }
+    // The paper's headline: FFW+BBR at 400 mV cuts EPI by 64 %.
+    if let Some(c) = cells
+        .iter()
+        .find(|c| c.scheme.name() == "FFW+BBR" && c.vcc_mv == 400)
+    {
+        println!();
+        println!(
+            "FFW+BBR @ 400 mV: EPI = {:.3} => {:.0}% reduction (paper: 64%)",
+            c.geomean,
+            (1.0 - c.geomean) * 100.0
+        );
+    }
+}

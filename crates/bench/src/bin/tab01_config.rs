@@ -1,0 +1,39 @@
+//! Table I: the simulated processor configuration.
+
+use dvs_cache::LatencyConfig;
+use dvs_cpu::CoreConfig;
+use dvs_sram::CacheGeometry;
+
+fn main() {
+    let c = CoreConfig::dsn2016();
+    let lat = LatencyConfig::dsn();
+    println!("Table I — processor configuration");
+    println!("(a) Core");
+    println!("  microarchitecture     {}-way superscalar (scoreboard timing model)", c.width);
+    println!("  clock speed           1.9 GHz class (1607 MHz at 760 mV, Table II)");
+    println!(
+        "  functional units      {} INT ALU, {} FP ALU, {} INT MULT, {} FP MULT",
+        c.int_alu_units, c.fp_alu_units, c.int_mult_units, c.fp_mult_units
+    );
+    println!("  reorder buffer        {} entries", c.rob_entries);
+    println!("  load/store queue      {} entries", c.lsq_entries);
+    println!("  branch history table  {} entries (bimodal)", c.bht_entries);
+    println!("  branch target buffer  {} entries, {}-way", c.btb_entries, c.btb_ways);
+    println!("(b) Memory hierarchy");
+    println!(
+        "  L1 I-cache            {}, LRU, {} cycles",
+        CacheGeometry::dsn_l1(),
+        lat.l1_hit_cycles
+    );
+    println!(
+        "  L1 D-cache            {}, LRU, {} cycles, write-through",
+        CacheGeometry::dsn_l1(),
+        lat.l1_hit_cycles
+    );
+    println!(
+        "  unified L2            {}, LRU, {} cycles, write-back",
+        CacheGeometry::dsn_l2(),
+        lat.l2_hit_cycles
+    );
+    println!("  main memory           {} ns fixed wall-clock", lat.dram_ns);
+}

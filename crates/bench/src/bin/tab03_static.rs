@@ -1,0 +1,20 @@
+//! Table III: per-scheme area, static power and latency overheads.
+
+use dvs_power::table3;
+
+fn main() {
+    println!("Table III — static overheads (32 KB, 4-way, 45 nm)");
+    println!(
+        "{:<20} {:>12} {:>14} {:>10}",
+        "scheme", "norm. area", "norm. static", "latency"
+    );
+    for row in table3() {
+        println!(
+            "{:<20} {:>11.1}% {:>13.1}% {:>8} cyc",
+            row.scheme,
+            row.overheads.normalized_area * 100.0,
+            row.overheads.normalized_static_power * 100.0,
+            row.overheads.latency_cycles
+        );
+    }
+}

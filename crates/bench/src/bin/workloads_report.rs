@@ -1,0 +1,56 @@
+//! Characterization of the ten synthetic benchmarks: code size, dynamic
+//! instruction mix, data footprint, branch behaviour — the numbers that
+//! justify the DESIGN.md calibration (substitution 2).
+
+use dvs_bench::parse_args;
+use dvs_cpu::{simulate, CoreConfig, MemSystem};
+use dvs_schemes::{L1Cache, SchemeKind};
+use dvs_sram::{CacheGeometry, FaultMap};
+use dvs_workloads::{locality, Benchmark, Layout, OpClass};
+
+fn main() {
+    let opts = parse_args();
+    let n = opts.cfg.trace_instrs.max(100_000);
+    let geom = CacheGeometry::dsn_l1();
+    println!(
+        "{:>16} {:>7} {:>7} {:>6} {:>6} {:>6} {:>8} {:>8} {:>6} {:>7}",
+        "benchmark", "blocks", "words", "load%", "store%", "br%", "spatial%", "reuse%", "IPC", "mis%"
+    );
+    for b in Benchmark::ALL {
+        let wl = b.build(opts.cfg.seed);
+        let layout = Layout::sequential(wl.program());
+        let (mut loads, mut stores, mut branches) = (0u64, 0u64, 0u64);
+        for op in wl.trace(&layout, 0).take(n) {
+            match op.class {
+                OpClass::Load => loads += 1,
+                OpClass::Store => stores += 1,
+                OpClass::Branch => branches += 1,
+                _ => {}
+            }
+        }
+        let report = locality::measure(
+            wl.trace(&layout, 0).take(n),
+            locality::PAPER_INTERVAL_INSTRS,
+        );
+        let mem = MemSystem::new(
+            L1Cache::new(SchemeKind::Conventional, FaultMap::fault_free(&geom)),
+            L1Cache::new(SchemeKind::Conventional, FaultMap::fault_free(&geom)),
+            1607,
+        );
+        let r = simulate(&CoreConfig::dsn2016(), mem, wl.trace(&layout, 0).take(n));
+        let pct = |x: u64| x as f64 * 100.0 / n as f64;
+        println!(
+            "{:>16} {:>7} {:>7} {:>5.1} {:>5.1} {:>6.1} {:>8.1} {:>8.1} {:>6.2} {:>6.1}",
+            b.name(),
+            wl.program().num_blocks(),
+            wl.program().total_footprint_words(),
+            pct(loads),
+            pct(stores),
+            pct(branches),
+            report.mean_spatial() * 100.0,
+            report.mean_reuse() * 100.0,
+            r.ipc(),
+            r.mispredict_rate() * 100.0
+        );
+    }
+}

@@ -1,0 +1,152 @@
+//! Byte addresses and their decomposition against a cache geometry.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use dvs_sram::{CacheGeometry, BYTES_PER_WORD};
+
+/// A byte address in the simulated machine.
+///
+/// Addresses are plain byte offsets; all field extraction (tag, set index,
+/// word offset) is done against an explicit [`CacheGeometry`], so the same
+/// address can be viewed through the L1 and L2 geometries.
+///
+/// # Example
+///
+/// ```rust
+/// use dvs_cache::Addr;
+/// use dvs_sram::CacheGeometry;
+///
+/// let geom = CacheGeometry::dsn_l1(); // 256 sets, 32 B blocks
+/// let a = Addr::new(0x0001_2345);
+/// assert_eq!(a.word_offset(&geom), (0x5 & 0x1f) / 4);
+/// assert_eq!(a.set_index(&geom), (0x0001_2345 >> 5) as u32 & 0xff);
+/// assert_eq!(a.block_number(&geom), 0x0001_2345 >> 5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Addr(u64);
+
+impl Addr {
+    /// Creates an address from a byte offset.
+    pub const fn new(byte: u64) -> Self {
+        Addr(byte)
+    }
+
+    /// Creates an address from a 4-byte-word index.
+    pub const fn from_word_index(word: u64) -> Self {
+        Addr(word * BYTES_PER_WORD as u64)
+    }
+
+    /// The raw byte offset.
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// The global 4-byte-word index of this address.
+    pub const fn word_index(self) -> u64 {
+        self.0 / BYTES_PER_WORD as u64
+    }
+
+    /// The block number (address with the block offset stripped).
+    pub fn block_number(self, geom: &CacheGeometry) -> u64 {
+        self.0 >> geom.offset_bits()
+    }
+
+    /// The base byte address of the containing block.
+    pub fn block_base(self, geom: &CacheGeometry) -> Addr {
+        Addr(self.block_number(geom) << geom.offset_bits())
+    }
+
+    /// The set index within `geom`.
+    pub fn set_index(self, geom: &CacheGeometry) -> u32 {
+        (self.block_number(geom) & u64::from(geom.sets() - 1)) as u32
+    }
+
+    /// The tag (block number with the set index stripped).
+    pub fn tag(self, geom: &CacheGeometry) -> u64 {
+        self.block_number(geom) >> geom.index_bits()
+    }
+
+    /// The word offset within the block (0 .. words_per_block).
+    pub fn word_offset(self, geom: &CacheGeometry) -> u32 {
+        ((self.0 >> 2) & u64::from(geom.words_per_block() - 1)) as u32
+    }
+
+    /// The byte address `delta` bytes later.
+    pub const fn offset(self, delta: u64) -> Addr {
+        Addr(self.0 + delta)
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl From<u64> for Addr {
+    fn from(byte: u64) -> Self {
+        Addr(byte)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn geom() -> CacheGeometry {
+        CacheGeometry::dsn_l1()
+    }
+
+    #[test]
+    fn field_extraction() {
+        let g = geom();
+        // block 0x91A (set 0x1A, tag 0x9), word 3 within block.
+        let a = Addr::new((0x91A << 5) | (3 << 2));
+        assert_eq!(a.block_number(&g), 0x91A);
+        assert_eq!(a.set_index(&g), 0x1A);
+        assert_eq!(a.tag(&g), 0x9);
+        assert_eq!(a.word_offset(&g), 3);
+    }
+
+    #[test]
+    fn block_base_strips_offset() {
+        let g = geom();
+        let a = Addr::new(0x1234_5678);
+        assert_eq!(a.block_base(&g).get() % 32, 0);
+        assert_eq!(a.block_base(&g).block_number(&g), a.block_number(&g));
+    }
+
+    #[test]
+    fn word_index_roundtrip() {
+        let a = Addr::from_word_index(100);
+        assert_eq!(a.get(), 400);
+        assert_eq!(a.word_index(), 100);
+    }
+
+    #[test]
+    fn display_is_hex() {
+        assert_eq!(Addr::new(255).to_string(), "0xff");
+    }
+
+    proptest! {
+        #[test]
+        fn decomposition_reassembles(byte in 0u64..(1 << 40)) {
+            let g = geom();
+            let a = Addr::new(byte);
+            let rebuilt = (a.tag(&g) << g.index_bits() | u64::from(a.set_index(&g)))
+                << g.offset_bits()
+                | u64::from(a.word_offset(&g)) * 4
+                | (byte & 3);
+            prop_assert_eq!(rebuilt, byte);
+        }
+
+        #[test]
+        fn word_offset_in_range(byte in 0u64..(1 << 40)) {
+            let g = geom();
+            prop_assert!(Addr::new(byte).word_offset(&g) < g.words_per_block());
+        }
+    }
+}

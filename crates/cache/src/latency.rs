@@ -1,0 +1,106 @@
+//! Access-latency parameters of the memory hierarchy.
+
+use serde::{Deserialize, Serialize};
+
+/// Latency parameters (Table I: 2-cycle L1s, 10-cycle L2).
+///
+/// L1 and L2 latencies are in core cycles — both sit in (or are frequency-
+/// synchronized with) the scaled clock domain. Main memory keeps a fixed
+/// wall-clock latency, so its cycle cost depends on the operating
+/// frequency: [`LatencyConfig::dram_cycles`].
+///
+/// # Example
+///
+/// ```rust
+/// use dvs_cache::LatencyConfig;
+///
+/// let lat = LatencyConfig::dsn();
+/// assert_eq!(lat.l1_hit_cycles, 2);
+/// // 60 ns at 1607 MHz ≈ 97 cycles; at 475 MHz only ≈ 29.
+/// assert!(lat.dram_cycles(1607) > lat.dram_cycles(475));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencyConfig {
+    /// L1 hit latency in cycles (both I and D).
+    pub l1_hit_cycles: u32,
+    /// L2 hit latency in cycles.
+    pub l2_hit_cycles: u32,
+    /// Main-memory access latency in nanoseconds (fixed wall-clock).
+    pub dram_ns: f64,
+}
+
+impl LatencyConfig {
+    /// The paper's Table I values (DRAM latency is our substitution; the
+    /// paper does not state it — 60 ns is typical for the era).
+    pub fn dsn() -> Self {
+        LatencyConfig {
+            l1_hit_cycles: 2,
+            l2_hit_cycles: 10,
+            dram_ns: 60.0,
+        }
+    }
+
+    /// Main-memory latency in core cycles at `freq_mhz`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `freq_mhz` is zero.
+    pub fn dram_cycles(&self, freq_mhz: u32) -> u64 {
+        assert!(freq_mhz > 0, "frequency must be nonzero");
+        (self.dram_ns * f64::from(freq_mhz) / 1000.0).ceil() as u64
+    }
+
+    /// Latency of an access that misses L1 and hits L2.
+    pub fn l2_access_cycles(&self) -> u64 {
+        u64::from(self.l1_hit_cycles) + u64::from(self.l2_hit_cycles)
+    }
+
+    /// Latency of an access that misses both L1 and L2 at `freq_mhz`.
+    pub fn dram_access_cycles(&self, freq_mhz: u32) -> u64 {
+        self.l2_access_cycles() + self.dram_cycles(freq_mhz)
+    }
+}
+
+impl Default for LatencyConfig {
+    fn default() -> Self {
+        LatencyConfig::dsn()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dsn_values() {
+        let l = LatencyConfig::dsn();
+        assert_eq!(l.l1_hit_cycles, 2);
+        assert_eq!(l.l2_hit_cycles, 10);
+        assert_eq!(l.l2_access_cycles(), 12);
+    }
+
+    #[test]
+    fn dram_cycles_scale_with_frequency() {
+        let l = LatencyConfig::dsn();
+        assert_eq!(l.dram_cycles(1000), 60);
+        assert_eq!(l.dram_cycles(475), 29);
+        assert_eq!(l.dram_cycles(1607), 97);
+    }
+
+    #[test]
+    fn dram_access_includes_all_levels() {
+        let l = LatencyConfig::dsn();
+        assert_eq!(l.dram_access_cycles(1000), 72);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_frequency_panics() {
+        let _ = LatencyConfig::dsn().dram_cycles(0);
+    }
+
+    #[test]
+    fn default_is_dsn() {
+        assert_eq!(LatencyConfig::default(), LatencyConfig::dsn());
+    }
+}

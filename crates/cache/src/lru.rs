@@ -1,0 +1,155 @@
+//! True-LRU replacement state for one cache set.
+
+use serde::{Deserialize, Serialize};
+
+/// A true-LRU recency queue over the ways of one set.
+///
+/// The front of the queue is the most recently used way, the back the least
+/// recently used. Both L1 caches and the L2 in the paper use LRU (Table I).
+///
+/// # Example
+///
+/// ```rust
+/// use dvs_cache::LruQueue;
+///
+/// let mut lru = LruQueue::new(4);
+/// lru.touch(2);
+/// lru.touch(0);
+/// assert_eq!(lru.victim(), 3); // untouched ways age out first
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LruQueue {
+    /// Way indices ordered most- to least-recently used.
+    order: Vec<u8>,
+}
+
+impl LruQueue {
+    /// Creates a queue over `ways` ways; initially way 0 is most recent and
+    /// the highest way is the victim.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ways` is 0 or exceeds 255.
+    pub fn new(ways: u32) -> Self {
+        assert!(ways > 0 && ways <= 255, "unsupported way count {ways}");
+        LruQueue {
+            order: (0..ways as u8).collect(),
+        }
+    }
+
+    /// Number of ways tracked.
+    pub fn ways(&self) -> u32 {
+        self.order.len() as u32
+    }
+
+    /// Marks `way` most recently used.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `way` is out of range.
+    pub fn touch(&mut self, way: u32) {
+        let pos = self
+            .order
+            .iter()
+            .position(|&w| u32::from(w) == way)
+            .unwrap_or_else(|| panic!("way {way} out of range {}", self.order.len()));
+        let w = self.order.remove(pos);
+        self.order.insert(0, w);
+    }
+
+    /// The least recently used way (the replacement victim).
+    pub fn victim(&self) -> u32 {
+        u32::from(*self.order.last().expect("queue is never empty"))
+    }
+
+    /// Recency rank of `way`: 0 = most recent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `way` is out of range.
+    pub fn rank(&self, way: u32) -> u32 {
+        self.order
+            .iter()
+            .position(|&w| u32::from(w) == way)
+            .unwrap_or_else(|| panic!("way {way} out of range {}", self.order.len())) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn initial_order() {
+        let lru = LruQueue::new(4);
+        assert_eq!(lru.victim(), 3);
+        assert_eq!(lru.rank(0), 0);
+    }
+
+    #[test]
+    fn touch_promotes_to_front() {
+        let mut lru = LruQueue::new(4);
+        lru.touch(3);
+        assert_eq!(lru.rank(3), 0);
+        assert_eq!(lru.victim(), 2);
+    }
+
+    #[test]
+    fn repeated_touch_is_idempotent() {
+        let mut lru = LruQueue::new(2);
+        lru.touch(1);
+        lru.touch(1);
+        assert_eq!(lru.rank(1), 0);
+        assert_eq!(lru.victim(), 0);
+    }
+
+    #[test]
+    fn victim_cycles_through_all_ways() {
+        let mut lru = LruQueue::new(3);
+        let mut victims = Vec::new();
+        for _ in 0..3 {
+            let v = lru.victim();
+            victims.push(v);
+            lru.touch(v);
+        }
+        victims.sort_unstable();
+        assert_eq!(victims, vec![0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn touch_out_of_range_panics() {
+        LruQueue::new(2).touch(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported way count")]
+    fn zero_ways_rejected() {
+        let _ = LruQueue::new(0);
+    }
+
+    proptest! {
+        #[test]
+        fn victim_is_never_recently_touched(touches in proptest::collection::vec(0u32..8, 1..50)) {
+            let mut lru = LruQueue::new(8);
+            for &w in &touches {
+                lru.touch(w);
+            }
+            let last = *touches.last().unwrap();
+            prop_assert_ne!(lru.victim(), last);
+            prop_assert_eq!(lru.rank(last), 0);
+        }
+
+        #[test]
+        fn ranks_are_a_permutation(touches in proptest::collection::vec(0u32..4, 0..30)) {
+            let mut lru = LruQueue::new(4);
+            for &w in &touches {
+                lru.touch(w);
+            }
+            let mut ranks: Vec<u32> = (0..4).map(|w| lru.rank(w)).collect();
+            ranks.sort_unstable();
+            prop_assert_eq!(ranks, vec![0, 1, 2, 3]);
+        }
+    }
+}

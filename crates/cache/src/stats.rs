@@ -1,0 +1,141 @@
+//! Event counters for the memory hierarchy.
+
+use std::ops::AddAssign;
+
+use serde::{Deserialize, Serialize};
+
+/// Counters accumulated over one simulation.
+///
+/// These feed the paper's evaluation directly: Figure 11 plots
+/// `l2_accesses` per 1000 instructions, and the energy model weighs each
+/// counter with a per-event energy (Figure 12).
+///
+/// # Example
+///
+/// ```rust
+/// use dvs_cache::MemStats;
+///
+/// let mut s = MemStats::default();
+/// s.l2_accesses = 50;
+/// assert!((s.l2_per_kilo_instr(10_000) - 5.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemStats {
+    /// Instruction-fetch accesses to the L1 I-cache.
+    pub l1i_accesses: u64,
+    /// L1 I-cache misses (block absent or word unusable).
+    pub l1i_misses: u64,
+    /// Fetches that hit the tag but addressed an unusable word. A
+    /// correctly linked BBR cache keeps this at exactly zero.
+    pub l1i_word_misses: u64,
+    /// Loads issued to the L1 D-cache.
+    pub l1d_loads: u64,
+    /// Stores issued to the L1 D-cache.
+    pub l1d_stores: u64,
+    /// Load misses: block absent from the L1 D-cache.
+    pub l1d_load_misses: u64,
+    /// Word misses: block present but the requested word unavailable
+    /// (defective / outside the fault-free window) — unique to the
+    /// fine-grained schemes.
+    pub l1d_word_misses: u64,
+    /// Total L2 accesses (refills, redirected word accesses, write-buffer
+    /// drains).
+    pub l2_accesses: u64,
+    /// L2 misses (to main memory).
+    pub l2_misses: u64,
+    /// Dirty L2 blocks written back to memory.
+    pub l2_writebacks: u64,
+}
+
+impl MemStats {
+    /// L2 accesses per 1000 committed instructions (Figure 11's metric).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `instructions` is zero.
+    pub fn l2_per_kilo_instr(&self, instructions: u64) -> f64 {
+        assert!(instructions > 0, "instruction count must be nonzero");
+        self.l2_accesses as f64 * 1000.0 / instructions as f64
+    }
+
+    /// L1 I-cache miss rate.
+    pub fn l1i_miss_rate(&self) -> f64 {
+        if self.l1i_accesses == 0 {
+            0.0
+        } else {
+            self.l1i_misses as f64 / self.l1i_accesses as f64
+        }
+    }
+
+    /// L1 D-cache load miss rate (block + word misses over loads).
+    pub fn l1d_miss_rate(&self) -> f64 {
+        if self.l1d_loads == 0 {
+            0.0
+        } else {
+            (self.l1d_load_misses + self.l1d_word_misses) as f64 / self.l1d_loads as f64
+        }
+    }
+}
+
+impl AddAssign for MemStats {
+    fn add_assign(&mut self, rhs: MemStats) {
+        self.l1i_accesses += rhs.l1i_accesses;
+        self.l1i_misses += rhs.l1i_misses;
+        self.l1i_word_misses += rhs.l1i_word_misses;
+        self.l1d_loads += rhs.l1d_loads;
+        self.l1d_stores += rhs.l1d_stores;
+        self.l1d_load_misses += rhs.l1d_load_misses;
+        self.l1d_word_misses += rhs.l1d_word_misses;
+        self.l2_accesses += rhs.l2_accesses;
+        self.l2_misses += rhs.l2_misses;
+        self.l2_writebacks += rhs.l2_writebacks;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_zeroed() {
+        let s = MemStats::default();
+        assert_eq!(s.l2_accesses, 0);
+        assert_eq!(s.l1i_miss_rate(), 0.0);
+        assert_eq!(s.l1d_miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn rates() {
+        let s = MemStats {
+            l1i_accesses: 100,
+            l1i_misses: 10,
+            l1d_loads: 50,
+            l1d_load_misses: 5,
+            l1d_word_misses: 5,
+            ..MemStats::default()
+        };
+        assert!((s.l1i_miss_rate() - 0.1).abs() < 1e-12);
+        assert!((s.l1d_miss_rate() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_assign_accumulates() {
+        let mut a = MemStats {
+            l2_accesses: 1,
+            ..MemStats::default()
+        };
+        a += MemStats {
+            l2_accesses: 2,
+            l2_misses: 1,
+            ..MemStats::default()
+        };
+        assert_eq!(a.l2_accesses, 3);
+        assert_eq!(a.l2_misses, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn l2_rate_rejects_zero_instructions() {
+        let _ = MemStats::default().l2_per_kilo_instr(0);
+    }
+}

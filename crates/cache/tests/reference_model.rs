@@ -1,0 +1,137 @@
+//! Equivalence of `CacheCore` against a deliberately naive reference
+//! model, over randomized address streams — the classic way to catch
+//! subtle LRU/indexing bugs in a cache simulator.
+
+use std::collections::VecDeque;
+
+use dvs_cache::{Addr, CacheCore, CacheMode, LookupResult};
+use dvs_sram::CacheGeometry;
+use proptest::prelude::*;
+
+/// The simplest possible set-associative LRU cache: per set, a recency
+/// queue of block numbers (most recent at the back).
+struct NaiveCache {
+    sets: Vec<VecDeque<u64>>,
+    ways: usize,
+    geom: CacheGeometry,
+    mode: CacheMode,
+}
+
+impl NaiveCache {
+    fn new(geom: CacheGeometry, mode: CacheMode) -> Self {
+        NaiveCache {
+            sets: vec![VecDeque::new(); geom.sets() as usize],
+            ways: geom.ways() as usize,
+            geom,
+            mode,
+        }
+    }
+
+    fn dm_slot(&self, block: u64) -> (usize, u64) {
+        // Direct-mapped: block -> unique line; model each line as its own
+        // "set" by keying on line number within the set's queue.
+        let lines = u64::from(self.geom.total_lines());
+        let line = block % lines;
+        ((line % u64::from(self.geom.sets())) as usize, line)
+    }
+
+    fn lookup(&mut self, addr: Addr) -> bool {
+        let block = addr.block_number(&self.geom);
+        match self.mode {
+            CacheMode::SetAssociative => {
+                let set = addr.set_index(&self.geom) as usize;
+                if let Some(pos) = self.sets[set].iter().position(|&b| b == block) {
+                    let b = self.sets[set].remove(pos).unwrap();
+                    self.sets[set].push_back(b);
+                    true
+                } else {
+                    false
+                }
+            }
+            CacheMode::DirectMapped => {
+                let (set, line) = self.dm_slot(block);
+                // One slot per line: store (line, block) pairs.
+                self.sets[set]
+                    .iter()
+                    .any(|&packed| packed == (line << 40) | block)
+            }
+        }
+    }
+
+    fn fill(&mut self, addr: Addr) -> Option<u64> {
+        let block = addr.block_number(&self.geom);
+        match self.mode {
+            CacheMode::SetAssociative => {
+                if self.lookup(addr) {
+                    return None;
+                }
+                let set = addr.set_index(&self.geom) as usize;
+                self.sets[set].push_back(block);
+                if self.sets[set].len() > self.ways {
+                    self.sets[set].pop_front()
+                } else {
+                    None
+                }
+            }
+            CacheMode::DirectMapped => {
+                let (set, line) = self.dm_slot(block);
+                let packed = (line << 40) | block;
+                if self.sets[set].contains(&packed) {
+                    return None;
+                }
+                let evicted = if let Some(pos) =
+                    self.sets[set].iter().position(|&p| p >> 40 == line)
+                {
+                    self.sets[set].remove(pos).map(|p| p & ((1 << 40) - 1))
+                } else {
+                    None
+                };
+                self.sets[set].push_back(packed);
+                evicted
+            }
+        }
+    }
+}
+
+fn exercise(mode: CacheMode, blocks: Vec<u64>) {
+    // Small geometry so evictions are frequent: 4 sets x 2 ways.
+    let geom = CacheGeometry::new(256, 2, 32).unwrap();
+    let mut real = CacheCore::new(geom);
+    real.set_mode(mode);
+    let mut naive = NaiveCache::new(geom, mode);
+    for (i, block) in blocks.into_iter().enumerate() {
+        let addr = Addr::new(block << 5);
+        let real_hit = matches!(real.lookup(addr), LookupResult::Hit { .. });
+        let naive_hit = naive.lookup(addr);
+        assert_eq!(real_hit, naive_hit, "step {i}: hit disagreement on {block}");
+        if !real_hit {
+            let (_, real_ev) = real.fill(addr);
+            let naive_ev = naive.fill(addr);
+            assert_eq!(
+                real_ev.map(|e| e.block_number),
+                naive_ev,
+                "step {i}: eviction disagreement on {block}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn set_associative_matches_reference(blocks in proptest::collection::vec(0u64..64, 1..400)) {
+        exercise(CacheMode::SetAssociative, blocks);
+    }
+
+    #[test]
+    fn direct_mapped_matches_reference(blocks in proptest::collection::vec(0u64..64, 1..400)) {
+        exercise(CacheMode::DirectMapped, blocks);
+    }
+}
+
+#[test]
+fn adversarial_same_set_stream() {
+    // Every block lands in set 0 (4 sets => stride 4).
+    let blocks: Vec<u64> = (0..200).map(|i| (i % 7) * 4).collect();
+    exercise(CacheMode::SetAssociative, blocks);
+}

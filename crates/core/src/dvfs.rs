@@ -1,0 +1,102 @@
+//! DVFS operating points (paper Table II).
+
+use serde::{Deserialize, Serialize};
+
+use dvs_power::freq::freq_mhz;
+use dvs_sram::{MilliVolts, PfailModel};
+
+/// One DVFS operating point: voltage, frequency and the per-bit SRAM
+/// failure probability in force there.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DvfsPoint {
+    /// Core (and L1) supply voltage.
+    pub vcc: MilliVolts,
+    /// Core frequency in MHz.
+    pub freq_mhz: u32,
+    /// Per-bit SRAM failure probability.
+    pub pfail_bit: f64,
+}
+
+impl DvfsPoint {
+    /// Builds the point for `vcc` from the frequency and failure models.
+    pub fn at(vcc: MilliVolts) -> Self {
+        DvfsPoint {
+            vcc,
+            freq_mhz: freq_mhz(vcc),
+            pfail_bit: PfailModel::dsn45().pfail_bit(vcc),
+        }
+    }
+
+    /// The full Table II: 760 mV (the conventional `Vccmin`) plus the five
+    /// low-voltage points.
+    pub fn table2() -> Vec<DvfsPoint> {
+        [760, 560, 520, 480, 440, 400]
+            .into_iter()
+            .map(|mv| DvfsPoint::at(MilliVolts::new(mv)))
+            .collect()
+    }
+
+    /// The paper's region of interest: 560 mV down to 400 mV, where
+    /// `P_fail` rises from 1e-4 to 1e-2 (Figures 10–12 sweep these).
+    pub fn low_voltage_points() -> Vec<DvfsPoint> {
+        [560, 520, 480, 440, 400]
+            .into_iter()
+            .map(|mv| DvfsPoint::at(MilliVolts::new(mv)))
+            .collect()
+    }
+
+    /// The 760 mV baseline point.
+    pub fn baseline() -> DvfsPoint {
+        DvfsPoint::at(MilliVolts::new(760))
+    }
+
+    /// Word-level failure probability at this point (32-bit words).
+    pub fn pfail_word(&self) -> f64 {
+        PfailModel::dsn45().pfail_word(self.vcc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_matches_paper() {
+        let table = DvfsPoint::table2();
+        let expect = [
+            (760, 1607, 0.0),
+            (560, 1089, 1e-4),
+            (520, 958, 10f64.powf(-3.5)),
+            (480, 818, 1e-3),
+            (440, 638, 10f64.powf(-2.5)),
+            (400, 475, 1e-2),
+        ];
+        assert_eq!(table.len(), expect.len());
+        for (p, (mv, mhz, pf)) in table.iter().zip(expect) {
+            assert_eq!(p.vcc.get(), mv);
+            assert_eq!(p.freq_mhz, mhz);
+            if pf == 0.0 {
+                // The paper lists P_fail = 0 at 760 mV (yield-clean).
+                assert!(p.pfail_bit < 1e-8, "pfail at 760 mV: {}", p.pfail_bit);
+            } else {
+                assert!(
+                    (p.pfail_bit.log10() - pf.log10()).abs() < 1e-6,
+                    "pfail at {mv} mV"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn low_voltage_region_is_five_points() {
+        let pts = DvfsPoint::low_voltage_points();
+        assert_eq!(pts.len(), 5);
+        assert!(pts.iter().all(|p| p.vcc.get() <= 560));
+    }
+
+    #[test]
+    fn word_pfail_at_400mv() {
+        let p = DvfsPoint::at(MilliVolts::new(400));
+        assert!((p.pfail_word() - 0.2750).abs() < 0.002);
+    }
+}

@@ -1,0 +1,481 @@
+//! Monte-Carlo experiment runner (paper Section V methodology).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use dvs_cpu::{simulate, CoreConfig, MemSystem, SimResult};
+use dvs_linker::{adaptive_max_block_words, bbr_transform, BbrLinker, LinkStats};
+use dvs_power::energy::{EnergyModel, RunCounts};
+use dvs_schemes::L1Cache;
+use dvs_sram::montecarlo::trial_seed;
+use dvs_sram::stats::Summary;
+use dvs_sram::{CacheGeometry, FaultMap, MilliVolts};
+use dvs_workloads::{Benchmark, Layout, Program, Workload};
+
+use crate::{DvfsPoint, Scheme};
+
+/// Evaluation-scale parameters.
+///
+/// The paper runs each benchmark to completion over up to 1000 fault maps
+/// per operating point; these knobs trade that fidelity for wall-clock
+/// time. [`EvalConfig::paper_scale`] approaches the paper's protocol;
+/// [`EvalConfig::quick`] is for tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EvalConfig {
+    /// Dynamic instructions simulated per trial.
+    pub trace_instrs: usize,
+    /// Fault maps (Monte-Carlo trials) per operating point.
+    pub maps: u64,
+    /// Root seed; everything derives deterministically from it.
+    pub seed: u64,
+    /// Fixed maximum basic-block footprint for the BBR transform, or
+    /// `None` to adapt it to each operating point's defect density
+    /// ([`dvs_linker::adaptive_max_block_words`]).
+    pub bbr_max_block_words: Option<u32>,
+    /// Worker threads for trial-level parallelism.
+    pub threads: usize,
+}
+
+impl EvalConfig {
+    /// The default evaluation scale used by the figure binaries.
+    pub fn standard() -> Self {
+        EvalConfig {
+            trace_instrs: 200_000,
+            maps: 24,
+            seed: 42,
+            bbr_max_block_words: None,
+            threads: 8,
+        }
+    }
+
+    /// Closer to the paper's protocol (slow; use from release binaries).
+    pub fn paper_scale() -> Self {
+        EvalConfig {
+            trace_instrs: 2_000_000,
+            maps: 200,
+            ..EvalConfig::standard()
+        }
+    }
+
+    /// A tiny configuration for unit/integration tests.
+    pub fn quick() -> Self {
+        EvalConfig {
+            trace_instrs: 25_000,
+            maps: 3,
+            seed: 42,
+            bbr_max_block_words: None,
+            threads: 4,
+        }
+    }
+}
+
+impl Default for EvalConfig {
+    fn default() -> Self {
+        EvalConfig::standard()
+    }
+}
+
+/// Raw outcome of one Monte-Carlo trial.
+#[derive(Debug, Clone)]
+pub struct TrialMetrics {
+    /// The CPU simulation result.
+    pub result: SimResult,
+    /// The counts the energy model consumes.
+    pub counts: RunCounts,
+    /// BBR placement statistics, when the scheme links.
+    pub link_stats: Option<LinkStats>,
+}
+
+/// All trials of one (benchmark, scheme, voltage) cell.
+#[derive(Debug, Clone)]
+pub struct SchemeRun {
+    /// The evaluated configuration.
+    pub scheme: Scheme,
+    /// Operating point.
+    pub point: DvfsPoint,
+    /// Benchmark.
+    pub benchmark: Benchmark,
+    /// Successful trials.
+    pub trials: Vec<TrialMetrics>,
+    /// Trials whose BBR link found no placement (counted, not simulated).
+    pub failed_links: u64,
+}
+
+impl SchemeRun {
+    /// Summary of cycle counts over trials.
+    ///
+    /// # Panics
+    ///
+    /// Panics if every trial failed to link.
+    pub fn cycles(&self) -> Summary {
+        Summary::of(
+            &self
+                .trials
+                .iter()
+                .map(|t| t.result.cycles as f64)
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// Summary of L2 accesses per 1000 *useful* instructions over trials
+    /// (BBR's inserted jumps are overhead, not work).
+    ///
+    /// # Panics
+    ///
+    /// Panics if every trial failed to link.
+    pub fn l2_per_kilo_instr(&self) -> Summary {
+        Summary::of(
+            &self
+                .trials
+                .iter()
+                .map(|t| t.counts.l2_accesses as f64 * 1000.0 / t.counts.instructions as f64)
+                .collect::<Vec<_>>(),
+        )
+    }
+}
+
+struct BenchArtifacts {
+    workload: Workload,
+    seq_layout: Layout,
+}
+
+/// The Monte-Carlo experiment runner. Results are cached per
+/// (benchmark, scheme, voltage) cell, so baselines are simulated once.
+pub struct Evaluator {
+    cfg: EvalConfig,
+    core: CoreConfig,
+    energy: EnergyModel,
+    geometry: CacheGeometry,
+    artifacts: HashMap<Benchmark, Arc<BenchArtifacts>>,
+    /// BBR-transformed programs per (benchmark, split threshold).
+    transformed: HashMap<(Benchmark, u32), Arc<Program>>,
+    runs: HashMap<(Benchmark, Scheme, u32), Arc<SchemeRun>>,
+}
+
+impl Evaluator {
+    /// Creates an evaluator with the paper's core configuration.
+    pub fn new(cfg: EvalConfig) -> Self {
+        Evaluator {
+            cfg,
+            core: CoreConfig::dsn2016(),
+            energy: EnergyModel::dsn45(),
+            geometry: CacheGeometry::dsn_l1(),
+            artifacts: HashMap::new(),
+            transformed: HashMap::new(),
+            runs: HashMap::new(),
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &EvalConfig {
+        &self.cfg
+    }
+
+    fn artifacts(&mut self, benchmark: Benchmark) -> Arc<BenchArtifacts> {
+        let cfg = self.cfg;
+        self.artifacts
+            .entry(benchmark)
+            .or_insert_with(|| {
+                let workload = benchmark.build(cfg.seed);
+                let seq_layout = Layout::sequential(workload.program());
+                Arc::new(BenchArtifacts {
+                    workload,
+                    seq_layout,
+                })
+            })
+            .clone()
+    }
+
+    /// The BBR-compiled program for `benchmark` at `point`'s defect
+    /// density (the compiler splits only as much as the chunks require).
+    fn transformed(&mut self, benchmark: Benchmark, point: DvfsPoint) -> Arc<Program> {
+        let max_words = self
+            .cfg
+            .bbr_max_block_words
+            .unwrap_or_else(|| adaptive_max_block_words(point.pfail_word()));
+        let art = self.artifacts(benchmark);
+        self.transformed
+            .entry((benchmark, max_words))
+            .or_insert_with(|| Arc::new(bbr_transform(art.workload.program(), max_words)))
+            .clone()
+    }
+
+    /// Runs (or returns the cached) Monte-Carlo cell for one
+    /// (benchmark, scheme, voltage) combination.
+    pub fn run(&mut self, benchmark: Benchmark, scheme: Scheme, vcc: MilliVolts) -> Arc<SchemeRun> {
+        let key = (benchmark, scheme, vcc.get());
+        if let Some(run) = self.runs.get(&key) {
+            return run.clone();
+        }
+        let art = self.artifacts(benchmark);
+        let point = match scheme {
+            Scheme::Baseline760 => DvfsPoint::baseline(),
+            _ => DvfsPoint::at(vcc),
+        };
+        let transformed = if scheme.needs_bbr_link() {
+            Some(self.transformed(benchmark, point))
+        } else {
+            None
+        };
+        let trials_wanted = if scheme.sees_faults() { self.cfg.maps } else { 1 };
+        let cfg = self.cfg;
+        let core = self.core;
+        let geometry = self.geometry;
+
+        // Trials are independent; spread them across worker threads.
+        let outcomes: Vec<Option<TrialMetrics>> = {
+            let art = &art;
+            let transformed = transformed.as_deref();
+            let indices: Vec<u64> = (0..trials_wanted).collect();
+            let threads = cfg.threads.max(1).min(indices.len().max(1));
+            std::thread::scope(|s| {
+                let mut handles = Vec::new();
+                for chunk in indices.chunks(indices.len().div_ceil(threads)) {
+                    let chunk = chunk.to_vec();
+                    handles.push(s.spawn(move || {
+                        chunk
+                            .into_iter()
+                            .map(|t| {
+                                run_trial(
+                                    &cfg, &core, &geometry, art, transformed, benchmark, scheme,
+                                    point, t,
+                                )
+                            })
+                            .collect::<Vec<_>>()
+                    }));
+                }
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("trial worker panicked"))
+                    .collect()
+            })
+        };
+
+        let failed_links = outcomes.iter().filter(|o| o.is_none()).count() as u64;
+        let trials: Vec<TrialMetrics> = outcomes.into_iter().flatten().collect();
+        assert!(
+            !trials.is_empty(),
+            "every trial of {benchmark}/{scheme} at {vcc} failed to link"
+        );
+        let run = Arc::new(SchemeRun {
+            scheme,
+            point,
+            benchmark,
+            trials,
+            failed_links,
+        });
+        self.runs.insert(key, run.clone());
+        run
+    }
+
+    /// Per-trial run time normalized to the defect-free cache at the same
+    /// operating point (Figure 10's metric).
+    pub fn normalized_runtime(
+        &mut self,
+        benchmark: Benchmark,
+        scheme: Scheme,
+        vcc: MilliVolts,
+    ) -> Summary {
+        let base_trial = &self.run(benchmark, Scheme::DefectFree, vcc).trials[0];
+        let base = base_trial.counts.cycles as f64 / base_trial.counts.instructions as f64;
+        let run = self.run(benchmark, scheme, vcc);
+        Summary::of(
+            &run.trials
+                .iter()
+                .map(|t| (t.counts.cycles as f64 / t.counts.instructions as f64) / base)
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// L2 accesses per 1000 instructions (Figure 11's metric).
+    pub fn l2_per_kilo_instr(
+        &mut self,
+        benchmark: Benchmark,
+        scheme: Scheme,
+        vcc: MilliVolts,
+    ) -> Summary {
+        self.run(benchmark, scheme, vcc).l2_per_kilo_instr()
+    }
+
+    /// Per-trial energy per instruction, normalized to the conventional
+    /// cache at 760 mV (Figure 12's metric).
+    pub fn normalized_epi(
+        &mut self,
+        benchmark: Benchmark,
+        scheme: Scheme,
+        vcc: MilliVolts,
+    ) -> Summary {
+        let baseline = self
+            .run(benchmark, Scheme::Baseline760, MilliVolts::new(760))
+            .trials[0]
+            .counts;
+        let run = self.run(benchmark, scheme, vcc);
+        let energy = self.energy;
+        let factor = scheme.energy_static_factor();
+        Summary::of(
+            &run.trials
+                .iter()
+                .map(|t| {
+                    energy.epi_normalized(&baseline, &t.counts, run.point.vcc, run.point.freq_mhz, factor)
+                })
+                .collect::<Vec<_>>(),
+        )
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_trial(
+    cfg: &EvalConfig,
+    core: &CoreConfig,
+    geometry: &CacheGeometry,
+    art: &BenchArtifacts,
+    transformed: Option<&Program>,
+    benchmark: Benchmark,
+    scheme: Scheme,
+    point: DvfsPoint,
+    trial: u64,
+) -> Option<TrialMetrics> {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    // Fault maps depend on (seed, benchmark, voltage, trial) but NOT on
+    // the scheme, so schemes are compared on identical defect patterns.
+    let base = cfg.seed ^ ((benchmark as u64) << 32) ^ (u64::from(point.vcc.get()) << 16);
+    let (fmap_i, fmap_d) = if scheme.sees_faults() {
+        let p_word = point.pfail_word();
+        let mut rng_i = StdRng::seed_from_u64(trial_seed(base, 2 * trial));
+        let mut rng_d = StdRng::seed_from_u64(trial_seed(base, 2 * trial + 1));
+        (
+            FaultMap::sample(geometry, p_word, &mut rng_i),
+            FaultMap::sample(geometry, p_word, &mut rng_d),
+        )
+    } else {
+        (FaultMap::fault_free(geometry), FaultMap::fault_free(geometry))
+    };
+
+    let mut link_stats = None;
+    let (program, layout): (Program, Layout) = if scheme.needs_bbr_link() {
+        let image = BbrLinker::new(*geometry)
+            .link(transformed.expect("FFW+BBR provides a transformed program"), &fmap_i)
+            .ok()?;
+        debug_assert!(image.verify(&fmap_i).is_ok());
+        link_stats = Some(*image.stats());
+        image.into_parts()
+    } else {
+        (art.workload.program().clone(), art.seq_layout.clone())
+    };
+
+    let mem = MemSystem::new(
+        L1Cache::new(scheme.l1i_kind(), fmap_i),
+        L1Cache::new(scheme.l1d_kind(), fmap_d),
+        point.freq_mhz,
+    );
+    let trace = art
+        .workload
+        .trace_program(&program, &layout, 0)
+        .take(cfg.trace_instrs);
+    let result = simulate(core, mem, trace);
+    let counts = RunCounts {
+        instructions: result.useful_instructions(),
+        executed: result.instructions,
+        cycles: result.cycles,
+        l1_accesses: result.mem.l1i_accesses + result.mem.l1d_loads + result.mem.l1d_stores,
+        l2_accesses: result.mem.l2_accesses,
+    };
+    Some(TrialMetrics {
+        result,
+        counts,
+        link_stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eval() -> Evaluator {
+        Evaluator::new(EvalConfig::quick())
+    }
+
+    #[test]
+    fn defect_free_runs_once_and_normalizes_to_one() {
+        let mut e = eval();
+        let s = e.normalized_runtime(Benchmark::Crc32, Scheme::DefectFree, MilliVolts::new(480));
+        assert_eq!(s.n, 1);
+        assert!((s.mean - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn faulty_schemes_run_all_maps() {
+        let mut e = eval();
+        let run = e.run(Benchmark::Crc32, Scheme::SimpleWdis, MilliVolts::new(480));
+        assert_eq!(run.trials.len() as u64 + run.failed_links, e.config().maps);
+        assert_eq!(run.failed_links, 0);
+    }
+
+    #[test]
+    fn results_are_cached_and_deterministic() {
+        let mut e = eval();
+        let a = e.run(Benchmark::Adpcm, Scheme::FfwBbr, MilliVolts::new(440));
+        let b = e.run(Benchmark::Adpcm, Scheme::FfwBbr, MilliVolts::new(440));
+        assert!(Arc::ptr_eq(&a, &b));
+        // A fresh evaluator reproduces the same numbers.
+        let mut e2 = eval();
+        let c = e2.run(Benchmark::Adpcm, Scheme::FfwBbr, MilliVolts::new(440));
+        assert_eq!(a.trials[0].result.cycles, c.trials[0].result.cycles);
+        assert_eq!(a.trials.len(), c.trials.len());
+    }
+
+    #[test]
+    fn bbr_links_and_records_stats() {
+        let mut e = eval();
+        let run = e.run(Benchmark::Basicmath, Scheme::FfwBbr, MilliVolts::new(400));
+        assert!(!run.trials.is_empty());
+        for t in &run.trials {
+            let stats = t.link_stats.expect("FFW+BBR trials link");
+            assert!(stats.padding_words > 0, "400 mV placement needs gaps");
+        }
+    }
+
+    #[test]
+    fn defective_words_slow_things_down() {
+        let mut e = eval();
+        let v = MilliVolts::new(400);
+        let wdis = e.normalized_runtime(Benchmark::Dijkstra, Scheme::SimpleWdis, v);
+        assert!(
+            wdis.mean > 1.2,
+            "simple-wdis at 400 mV should suffer badly, got {:.3}",
+            wdis.mean
+        );
+    }
+
+    #[test]
+    fn ffw_bbr_beats_simple_wdis_at_400mv() {
+        // The paper's headline ordering at the deepest voltage.
+        let mut e = eval();
+        let v = MilliVolts::new(400);
+        let ours = e.normalized_runtime(Benchmark::Qsort, Scheme::FfwBbr, v);
+        let wdis = e.normalized_runtime(Benchmark::Qsort, Scheme::SimpleWdis, v);
+        assert!(
+            ours.mean < wdis.mean,
+            "FFW+BBR {:.3} vs Simple-wdis {:.3}",
+            ours.mean,
+            wdis.mean
+        );
+    }
+
+    #[test]
+    fn epi_baseline_is_unity_and_proposal_saves_energy() {
+        let mut e = eval();
+        let base = e.normalized_epi(Benchmark::Crc32, Scheme::Baseline760, MilliVolts::new(760));
+        assert!((base.mean - 1.0).abs() < 1e-9);
+        let ours = e.normalized_epi(Benchmark::Crc32, Scheme::FfwBbr, MilliVolts::new(400));
+        assert!(
+            ours.mean < 0.6,
+            "FFW+BBR at 400 mV should cut EPI hard, got {:.3}",
+            ours.mean
+        );
+    }
+}

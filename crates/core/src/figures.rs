@@ -1,0 +1,359 @@
+//! Data producers for every table and figure of the paper's evaluation.
+//!
+//! Each function returns the structured series the corresponding
+//! `dvs-bench` binary prints. See `DESIGN.md` for the experiment index.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use dvs_linker::{adaptive_max_block_words, bbr_transform, chunk_sizes, interval_capacities, BbrLinker};
+use dvs_sram::montecarlo::trial_seed;
+use dvs_sram::stats::{geomean, Summary};
+use dvs_sram::{CacheGeometry, FaultMap, MilliVolts, PfailModel, YieldReport};
+use dvs_workloads::{locality, Benchmark, Layout};
+
+use crate::{DvfsPoint, EvalConfig, Evaluator, Scheme};
+
+/// Figure 2 data: failure probability per granularity plus the `Vccmin`
+/// that motivates the whole paper.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig2 {
+    /// One row per voltage (bit / word / block / 32 KB array).
+    pub rows: Vec<YieldReport>,
+    /// Minimum voltage at which a 32 KB array meets 99.9 % yield.
+    pub vccmin_32kb: MilliVolts,
+}
+
+/// Produces Figure 2 over `step`-mV increments in `[lo, hi]`.
+///
+/// # Panics
+///
+/// Panics if the range is empty or the step is zero.
+pub fn fig2(lo_mv: u32, hi_mv: u32, step_mv: u32) -> Fig2 {
+    assert!(lo_mv < hi_mv && step_mv > 0, "bad voltage range");
+    let model = PfailModel::dsn45();
+    let voltages: Vec<MilliVolts> = (lo_mv..=hi_mv)
+        .step_by(step_mv as usize)
+        .map(MilliVolts::new)
+        .collect();
+    Fig2 {
+        rows: model.granularity_report(&voltages, 32 * 1024),
+        vccmin_32kb: model.vccmin(32 * 1024 * 8, 0.999),
+    }
+}
+
+/// One benchmark's Figure 3 entry.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig3Entry {
+    /// Benchmark.
+    pub benchmark: Benchmark,
+    /// Mean per-interval spatial locality.
+    pub mean_spatial: f64,
+    /// Mean per-interval word reuse rate.
+    pub mean_reuse: f64,
+    /// Normalized 10-bin histogram of per-interval spatial locality.
+    pub spatial_hist: Vec<f64>,
+    /// Normalized 10-bin histogram of per-interval word reuse.
+    pub reuse_hist: Vec<f64>,
+}
+
+/// Produces Figure 3: data-cache locality of all ten benchmarks.
+pub fn fig3(seed: u64, instrs: usize) -> Vec<Fig3Entry> {
+    Benchmark::ALL
+        .iter()
+        .map(|&b| {
+            let wl = b.build(seed);
+            let layout = Layout::sequential(wl.program());
+            let report = locality::measure(
+                wl.trace(&layout, 0).take(instrs),
+                locality::PAPER_INTERVAL_INSTRS,
+            );
+            Fig3Entry {
+                benchmark: b,
+                mean_spatial: report.mean_spatial(),
+                mean_reuse: report.mean_reuse(),
+                spatial_hist: report.spatial_histogram(10),
+                reuse_hist: report.reuse_histogram(10),
+            }
+        })
+        .collect()
+}
+
+/// Figure 6 data: I-cache effective capacity and size distributions.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig6 {
+    /// Per-interval effective-capacity fractions, pooled over fault maps
+    /// (Figure 6a's distribution).
+    pub capacity_fractions: Vec<f64>,
+    /// Fraction of cache words fault-free at this operating point.
+    pub fault_free_fraction: f64,
+    /// Histogram of basic-block sizes in words (Figure 6b, left).
+    pub block_size_hist: Vec<(u32, f64)>,
+    /// Histogram of fault-free chunk sizes in words (Figure 6b, right),
+    /// pooled over fault maps; sizes above 16 are clamped into the last
+    /// bucket.
+    pub chunk_size_hist: Vec<(u32, f64)>,
+}
+
+/// Produces Figure 6 for `benchmark` (the paper uses basicmath) at `vcc`
+/// (the paper uses 400 mV), over `maps` Monte-Carlo fault maps.
+///
+/// # Panics
+///
+/// Panics if no fault map admits a placement (pathological at sane
+/// voltages).
+pub fn fig6(
+    benchmark: Benchmark,
+    vcc: MilliVolts,
+    maps: u64,
+    instrs: usize,
+    interval: usize,
+    seed: u64,
+) -> Fig6 {
+    let geom = CacheGeometry::dsn_l1();
+    let point = DvfsPoint::at(vcc);
+    let wl = benchmark.build(seed);
+    let transformed = bbr_transform(
+        wl.program(),
+        adaptive_max_block_words(point.pfail_word()),
+    );
+    let linker = BbrLinker::new(geom);
+
+    let mut capacity_fractions = Vec::new();
+    let mut chunks: Vec<u32> = Vec::new();
+    let mut fault_free = 0.0;
+    let mut linked = 0u64;
+    for t in 0..maps {
+        let mut rng = StdRng::seed_from_u64(trial_seed(seed, t));
+        let fmap = FaultMap::sample(&geom, point.pfail_word(), &mut rng);
+        chunks.extend(chunk_sizes(&fmap));
+        fault_free +=
+            1.0 - fmap.faulty_words() as f64 / f64::from(geom.total_words());
+        let Ok(image) = linker.link(&transformed, &fmap) else {
+            continue;
+        };
+        linked += 1;
+        capacity_fractions.extend(interval_capacities(
+            image.program(),
+            image.layout(),
+            wl.trace_program(image.program(), image.layout(), 0).take(instrs),
+            interval,
+            geom,
+        ));
+    }
+    assert!(linked > 0, "no fault map admitted a BBR placement");
+
+    Fig6 {
+        capacity_fractions,
+        fault_free_fraction: fault_free / maps as f64,
+        block_size_hist: size_histogram(transformed.block_sizes(), 16),
+        chunk_size_hist: size_histogram(chunks, 16),
+    }
+}
+
+/// Normalized histogram over sizes `1..=cap` (larger values clamp to
+/// `cap`). Returns `(size, fraction)` pairs.
+fn size_histogram(sizes: Vec<u32>, cap: u32) -> Vec<(u32, f64)> {
+    let mut counts = vec![0u64; cap as usize];
+    let mut total = 0u64;
+    for s in sizes {
+        let bucket = s.clamp(1, cap) - 1;
+        counts[bucket as usize] += 1;
+        total += 1;
+    }
+    (1..=cap)
+        .map(|s| {
+            (
+                s,
+                if total == 0 {
+                    0.0
+                } else {
+                    counts[(s - 1) as usize] as f64 / total as f64
+                },
+            )
+        })
+        .collect()
+}
+
+/// One cell of a scheme × voltage series (Figures 10–12).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Cell {
+    /// Evaluated configuration.
+    pub scheme: Scheme,
+    /// Operating voltage in millivolts.
+    pub vcc_mv: u32,
+    /// Per-trial values pooled over the given benchmarks.
+    pub summary: Summary,
+    /// Geometric mean of the pooled values (the paper's EPI aggregate).
+    pub geomean: f64,
+}
+
+fn series<F>(
+    eval: &mut Evaluator,
+    benchmarks: &[Benchmark],
+    voltages: &[MilliVolts],
+    mut metric: F,
+) -> Vec<Cell>
+where
+    F: FnMut(&mut Evaluator, Benchmark, Scheme, MilliVolts) -> Vec<f64>,
+{
+    let mut cells = Vec::new();
+    for &scheme in &Scheme::COMPARED {
+        for &vcc in voltages {
+            let mut pooled = Vec::new();
+            for &b in benchmarks {
+                pooled.extend(metric(eval, b, scheme, vcc));
+            }
+            cells.push(Cell {
+                scheme,
+                vcc_mv: vcc.get(),
+                summary: Summary::of(&pooled),
+                geomean: geomean(&pooled),
+            });
+        }
+    }
+    cells
+}
+
+/// Produces Figure 10: run time normalized to the defect-free cache at
+/// each operating point, for every compared scheme.
+pub fn fig10(eval: &mut Evaluator, benchmarks: &[Benchmark], voltages: &[MilliVolts]) -> Vec<Cell> {
+    series(eval, benchmarks, voltages, |e, b, s, v| {
+        let base_run = e.run(b, Scheme::DefectFree, v);
+        let bt = &base_run.trials[0];
+        let base = bt.counts.cycles as f64 / bt.counts.instructions as f64;
+        e.run(b, s, v)
+            .trials
+            .iter()
+            .map(|t| (t.counts.cycles as f64 / t.counts.instructions as f64) / base)
+            .collect()
+    })
+}
+
+/// Produces Figure 11: L2 accesses per 1000 instructions.
+pub fn fig11(eval: &mut Evaluator, benchmarks: &[Benchmark], voltages: &[MilliVolts]) -> Vec<Cell> {
+    series(eval, benchmarks, voltages, |e, b, s, v| {
+        e.run(b, s, v)
+            .trials
+            .iter()
+            .map(|t| t.counts.l2_accesses as f64 * 1000.0 / t.counts.instructions as f64)
+            .collect()
+    })
+}
+
+/// Produces Figure 12: energy per instruction normalized to the 760 mV
+/// conventional baseline.
+pub fn fig12(eval: &mut Evaluator, benchmarks: &[Benchmark], voltages: &[MilliVolts]) -> Vec<Cell> {
+    series(eval, benchmarks, voltages, |e, b, s, v| {
+        let baseline = e
+            .run(b, Scheme::Baseline760, MilliVolts::new(760))
+            .trials[0]
+            .counts;
+        let factor = s.energy_static_factor();
+        let run = e.run(b, s, v);
+        let model = dvs_power::EnergyModel::dsn45();
+        run.trials
+            .iter()
+            .map(|t| {
+                model.epi_normalized(&baseline, &t.counts, run.point.vcc, run.point.freq_mhz, factor)
+            })
+            .collect()
+    })
+}
+
+/// Default benchmark set for the figure binaries: the MiBench kernels plus
+/// the SPEC codes, i.e. all ten.
+pub fn default_benchmarks() -> Vec<Benchmark> {
+    Benchmark::ALL.to_vec()
+}
+
+/// Default voltage sweep for Figures 10–12.
+pub fn default_voltages() -> Vec<MilliVolts> {
+    DvfsPoint::low_voltage_points()
+        .into_iter()
+        .map(|p| p.vcc)
+        .collect()
+}
+
+/// Convenience: a standard evaluator for the figure binaries.
+pub fn standard_evaluator() -> Evaluator {
+    Evaluator::new(EvalConfig::standard())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_shape() {
+        let f = fig2(400, 900, 50);
+        assert_eq!(f.rows.len(), 11);
+        assert!((i64::from(f.vccmin_32kb.get()) - 760).abs() <= 2);
+        for r in &f.rows {
+            assert!(r.pfail_block >= r.pfail_word);
+        }
+    }
+
+    #[test]
+    fn fig3_covers_all_benchmarks() {
+        let entries = fig3(7, 60_000);
+        assert_eq!(entries.len(), 10);
+        for e in &entries {
+            assert!((0.0..=1.0).contains(&e.mean_spatial), "{}", e.benchmark);
+            let sum: f64 = e.spatial_hist.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fig6_capacity_leaves_headroom() {
+        let f = fig6(
+            Benchmark::Basicmath,
+            MilliVolts::new(400),
+            2,
+            60_000,
+            20_000,
+            3,
+        );
+        assert!(!f.capacity_fractions.is_empty());
+        for &c in &f.capacity_fractions {
+            assert!(c > 0.0 && c < f.fault_free_fraction);
+        }
+        // Figure 6b: block sizes concentrate at small sizes (the paper
+        // reports a 5–6 instruction mean) and never exceed the 400 mV
+        // split threshold of 12 words; chunks spread wider.
+        let small_blocks: f64 = f.block_size_hist[..6].iter().map(|&(_, p)| p).sum();
+        assert!(small_blocks > 0.6, "small blocks only {small_blocks}");
+        let within: f64 = f.block_size_hist[..12].iter().map(|&(_, p)| p).sum();
+        assert!(within > 0.999);
+        let sum: f64 = f.chunk_size_hist.iter().map(|&(_, p)| p).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn size_histogram_clamps_and_normalizes() {
+        let h = size_histogram(vec![1, 2, 2, 40], 4);
+        assert_eq!(h.len(), 4);
+        assert!((h[0].1 - 0.25).abs() < 1e-12);
+        assert!((h[1].1 - 0.5).abs() < 1e-12);
+        assert!((h[3].1 - 0.25).abs() < 1e-12); // 40 clamped into 4
+    }
+
+    #[test]
+    fn fig10_and_fig12_smoke() {
+        let mut eval = Evaluator::new(EvalConfig::quick());
+        let benches = [Benchmark::Crc32];
+        let volts = [MilliVolts::new(480)];
+        let f10 = fig10(&mut eval, &benches, &volts);
+        assert_eq!(f10.len(), Scheme::COMPARED.len());
+        for c in &f10 {
+            assert!(c.summary.mean >= 0.95, "{}: {}", c.scheme, c.summary.mean);
+        }
+        let f12 = fig12(&mut eval, &benches, &volts);
+        for c in &f12 {
+            assert!(c.summary.mean < 1.0, "{} EPI {}", c.scheme, c.summary.mean);
+            assert!(c.geomean <= c.summary.mean + 1e-9);
+        }
+    }
+}

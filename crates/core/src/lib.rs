@@ -1,0 +1,42 @@
+//! Top-level experiment orchestration for the DSN 2016 reproduction.
+//!
+//! This crate glues the substrates together into the paper's evaluation
+//! (Section V/VI):
+//!
+//! * [`DvfsPoint`] — the Table II operating points (voltage, frequency,
+//!   per-bit failure probability);
+//! * [`Scheme`] — the compared cache configurations (FFW+BBR and the
+//!   baselines, including the optimistic `FBA⁺`/`IDC⁺` and the
+//!   supplemented `Wilkerson⁺` exactly as the paper grants them);
+//! * [`Evaluator`] — Monte-Carlo experiment runner: fault maps are drawn
+//!   per trial, the BBR linker re-places basic blocks per map, the CPU
+//!   model runs the trace, and results aggregate with 95 % confidence
+//!   intervals;
+//! * [`figures`] — one producer per paper table/figure, used by the
+//!   `dvs-bench` binaries.
+//!
+//! # Example
+//!
+//! ```rust
+//! use dvs_core::{EvalConfig, Evaluator, Scheme};
+//! use dvs_sram::MilliVolts;
+//! use dvs_workloads::Benchmark;
+//!
+//! let mut eval = Evaluator::new(EvalConfig::quick());
+//! let run = eval.normalized_runtime(Benchmark::Crc32, Scheme::FfwBbr, MilliVolts::new(480));
+//! assert!(run.mean > 0.9); // never faster than the defect-free baseline
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablations;
+mod dvfs;
+mod eval;
+pub mod figures;
+mod scheme;
+pub mod transitions;
+
+pub use dvfs::DvfsPoint;
+pub use eval::{EvalConfig, Evaluator, SchemeRun, TrialMetrics};
+pub use scheme::Scheme;

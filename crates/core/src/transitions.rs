@@ -1,0 +1,221 @@
+//! DVFS transition costs (paper §IV-B, final remark).
+//!
+//! "The caches using BBR must be flushed when converting to a lower
+//! supply voltage and hence higher `P_fail`" — and every scheme must
+//! reload its fault map and rewarm its caches after a switch. This module
+//! quantifies that one-time cost: the extra cycles the first instructions
+//! after a flush take compared to steady state, plus BBR's obligation to
+//! switch to the text image linked for the new operating point.
+//!
+//! Physical consistency: a cell that fails at a higher voltage also fails
+//! at every lower one, so the fault map at the source point is modelled
+//! as a *subset* of the destination map ([`nested_fault_maps`]).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use dvs_cpu::{simulate, CoreConfig, MemSystem};
+use dvs_linker::{adaptive_max_block_words, bbr_transform, BbrLinker};
+use dvs_schemes::L1Cache;
+use dvs_sram::montecarlo::trial_seed;
+use dvs_sram::{CacheGeometry, FaultMap, MilliVolts};
+use dvs_workloads::{Benchmark, Layout};
+
+use crate::{DvfsPoint, Scheme};
+
+/// Nested fault maps for two operating points of the same die: every word
+/// defective at the (higher-voltage) source is also defective at the
+/// (lower-voltage) destination.
+///
+/// The destination map is sampled at its own word-failure probability;
+/// the source map keeps each of those faults with probability
+/// `p_src / p_dst`.
+///
+/// # Panics
+///
+/// Panics if `src` is not a higher voltage than `dst`.
+pub fn nested_fault_maps(
+    geometry: &CacheGeometry,
+    src: DvfsPoint,
+    dst: DvfsPoint,
+    seed: u64,
+) -> (FaultMap, FaultMap) {
+    assert!(
+        src.vcc > dst.vcc,
+        "transitions go from high voltage ({}) to low ({})",
+        src.vcc,
+        dst.vcc
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dst_map = FaultMap::sample(geometry, dst.pfail_word(), &mut rng);
+    let keep = src.pfail_word() / dst.pfail_word();
+    let src_faults = dst_map
+        .iter_faulty_linear()
+        .filter(|_| rng.gen::<f64>() < keep);
+    let src_map = FaultMap::from_faulty_indices(geometry, src_faults);
+    (src_map, dst_map)
+}
+
+/// Measured cost of one high→low DVFS transition.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TransitionCost {
+    /// Cycles the first `phase_instrs` instructions take right after the
+    /// flush (cold caches, new fault map).
+    pub cold_cycles: u64,
+    /// Cycles the same instruction count takes in steady state at the
+    /// destination point.
+    pub steady_cycles: u64,
+    /// Whether the scheme had to switch text images (BBR relinks per
+    /// operating point).
+    pub relinked: bool,
+}
+
+impl TransitionCost {
+    /// The one-time penalty in cycles.
+    pub fn penalty_cycles(&self) -> u64 {
+        self.cold_cycles.saturating_sub(self.steady_cycles)
+    }
+
+    /// The penalty expressed in microseconds at `freq_mhz`.
+    pub fn penalty_us(&self, freq_mhz: u32) -> f64 {
+        self.penalty_cycles() as f64 / f64::from(freq_mhz)
+    }
+}
+
+/// Measures the flush-and-rewarm cost of switching `benchmark` under
+/// `scheme` from `src` to `dst` voltage.
+///
+/// The destination phase is simulated twice — once starting cold (as
+/// after the flush) and once in steady state (the second half of a
+/// double-length run) — and the difference is the transition penalty.
+///
+/// # Panics
+///
+/// Panics if the scheme needs a BBR link and no placement exists, or if
+/// voltages are not descending.
+pub fn transition_cost(
+    benchmark: Benchmark,
+    scheme: Scheme,
+    src_vcc: MilliVolts,
+    dst_vcc: MilliVolts,
+    phase_instrs: usize,
+    seed: u64,
+) -> TransitionCost {
+    let geometry = CacheGeometry::dsn_l1();
+    let src = DvfsPoint::at(src_vcc);
+    let dst = DvfsPoint::at(dst_vcc);
+    let (_src_map, dst_map) = nested_fault_maps(&geometry, src, dst, trial_seed(seed, 0));
+    let dst_map_d = {
+        let mut rng = StdRng::seed_from_u64(trial_seed(seed, 1));
+        FaultMap::sample(&geometry, dst.pfail_word(), &mut rng)
+    };
+    let wl = benchmark.build(seed);
+
+    let (program, layout, relinked) = if scheme.needs_bbr_link() {
+        let transformed =
+            bbr_transform(wl.program(), adaptive_max_block_words(dst.pfail_word()));
+        let image = BbrLinker::new(geometry)
+            .link(&transformed, &dst_map)
+            .expect("destination point must link");
+        let (p, l) = image.into_parts();
+        (p, l, true)
+    } else {
+        (
+            wl.program().clone(),
+            Layout::sequential(wl.program()),
+            false,
+        )
+    };
+
+    let run = |instrs: usize| {
+        let mem = MemSystem::new(
+            L1Cache::new(scheme.l1i_kind(), dst_map.clone()),
+            L1Cache::new(scheme.l1d_kind(), dst_map_d.clone()),
+            dst.freq_mhz,
+        );
+        simulate(
+            &CoreConfig::dsn2016(),
+            mem,
+            wl.trace_program(&program, &layout, 0).take(instrs),
+        )
+        .cycles
+    };
+    let cold_cycles = run(phase_instrs);
+    let double = run(2 * phase_instrs);
+    TransitionCost {
+        cold_cycles,
+        steady_cycles: double - cold_cycles,
+        relinked,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_maps_are_physically_consistent() {
+        let geometry = CacheGeometry::dsn_l1();
+        let (src, dst) = nested_fault_maps(
+            &geometry,
+            DvfsPoint::at(MilliVolts::new(560)),
+            DvfsPoint::at(MilliVolts::new(400)),
+            7,
+        );
+        // Every source fault persists at the lower voltage.
+        for idx in src.iter_faulty_linear() {
+            assert!(dst.linear_is_faulty(idx), "fault healed at lower voltage?");
+        }
+        // And the source is much cleaner (1e-4 vs 1e-2 per bit).
+        assert!(src.faulty_words() * 10 < dst.faulty_words());
+        assert!(dst.faulty_words() > 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "high voltage")]
+    fn nested_maps_reject_ascending_transitions() {
+        let geometry = CacheGeometry::dsn_l1();
+        let _ = nested_fault_maps(
+            &geometry,
+            DvfsPoint::at(MilliVolts::new(400)),
+            DvfsPoint::at(MilliVolts::new(560)),
+            7,
+        );
+    }
+
+    #[test]
+    fn transitions_cost_cycles_and_bbr_relinks() {
+        let cost = transition_cost(
+            Benchmark::Crc32,
+            Scheme::FfwBbr,
+            MilliVolts::new(560),
+            MilliVolts::new(400),
+            20_000,
+            3,
+        );
+        assert!(cost.relinked);
+        assert!(
+            cost.cold_cycles > cost.steady_cycles,
+            "cold start must be slower: {cost:?}"
+        );
+        // The penalty is a one-time cost of plausible size (a rewarm, not
+        // a catastrophe).
+        assert!(cost.penalty_cycles() < cost.steady_cycles, "{cost:?}");
+        assert!(cost.penalty_us(475) > 0.0);
+    }
+
+    #[test]
+    fn conventional_schemes_do_not_relink() {
+        let cost = transition_cost(
+            Benchmark::Crc32,
+            Scheme::SimpleWdis,
+            MilliVolts::new(560),
+            MilliVolts::new(440),
+            20_000,
+            3,
+        );
+        assert!(!cost.relinked);
+        assert!(cost.cold_cycles >= cost.steady_cycles);
+    }
+}

@@ -1,0 +1,175 @@
+//! Branch prediction: bimodal BHT + set-associative BTB (Table I).
+
+use serde::{Deserialize, Serialize};
+
+/// A bimodal predictor: one 2-bit saturating counter per table entry,
+/// indexed by the branch PC.
+///
+/// # Example
+///
+/// ```rust
+/// use dvs_cpu::BimodalPredictor;
+///
+/// let mut p = BimodalPredictor::new(4096);
+/// let pc = 0x1000;
+/// p.update(pc, true);
+/// p.update(pc, true);
+/// assert!(p.predict(pc));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BimodalPredictor {
+    /// 2-bit counters; ≥ 2 predicts taken. Initialized weakly taken.
+    counters: Vec<u8>,
+}
+
+impl BimodalPredictor {
+    /// Creates a predictor with `entries` counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `entries` is a nonzero power of two.
+    pub fn new(entries: u32) -> Self {
+        assert!(
+            entries > 0 && entries.is_power_of_two(),
+            "BHT entries must be a nonzero power of two"
+        );
+        BimodalPredictor {
+            counters: vec![2; entries as usize],
+        }
+    }
+
+    fn index(&self, pc: u64) -> usize {
+        ((pc >> 2) & (self.counters.len() as u64 - 1)) as usize
+    }
+
+    /// Predicted direction for the branch at `pc`.
+    pub fn predict(&self, pc: u64) -> bool {
+        self.counters[self.index(pc)] >= 2
+    }
+
+    /// Trains the counter with the actual direction.
+    pub fn update(&mut self, pc: u64, taken: bool) {
+        let idx = self.index(pc);
+        let c = &mut self.counters[idx];
+        if taken {
+            *c = (*c + 1).min(3);
+        } else {
+            *c = c.saturating_sub(1);
+        }
+    }
+}
+
+/// A set-associative branch target buffer with LRU replacement.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Btb {
+    /// Per-set entries `(pc, target)`, most recently used at the back.
+    sets: Vec<Vec<(u64, u64)>>,
+    ways: usize,
+}
+
+impl Btb {
+    /// Creates a BTB with `entries` total entries in sets of `ways`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ways` is zero or does not divide `entries`.
+    pub fn new(entries: u32, ways: u32) -> Self {
+        assert!(
+            ways > 0 && entries % ways == 0,
+            "BTB entries must split into whole sets"
+        );
+        Btb {
+            sets: vec![Vec::with_capacity(ways as usize); (entries / ways) as usize],
+            ways: ways as usize,
+        }
+    }
+
+    fn set_of(&self, pc: u64) -> usize {
+        ((pc >> 2) % self.sets.len() as u64) as usize
+    }
+
+    /// The predicted target of the branch at `pc`, if cached.
+    pub fn lookup(&self, pc: u64) -> Option<u64> {
+        let set = &self.sets[self.set_of(pc)];
+        set.iter().rev().find(|&&(p, _)| p == pc).map(|&(_, t)| t)
+    }
+
+    /// Installs or refreshes the target for `pc` (call on taken branches).
+    pub fn update(&mut self, pc: u64, target: u64) {
+        let ways = self.ways;
+        let set_idx = self.set_of(pc);
+        let set = &mut self.sets[set_idx];
+        if let Some(pos) = set.iter().position(|&(p, _)| p == pc) {
+            set.remove(pos);
+        } else if set.len() == ways {
+            set.remove(0);
+        }
+        set.push((pc, target));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bimodal_learns_direction() {
+        let mut p = BimodalPredictor::new(16);
+        let pc = 0x40;
+        // Initialized weakly taken.
+        assert!(p.predict(pc));
+        p.update(pc, false);
+        assert!(!p.predict(pc));
+        p.update(pc, true);
+        p.update(pc, true);
+        assert!(p.predict(pc));
+    }
+
+    #[test]
+    fn bimodal_counters_saturate() {
+        let mut p = BimodalPredictor::new(16);
+        let pc = 0x40;
+        for _ in 0..10 {
+            p.update(pc, true);
+        }
+        // One not-taken does not flip a saturated counter.
+        p.update(pc, false);
+        assert!(p.predict(pc));
+    }
+
+    #[test]
+    fn bimodal_aliasing_by_index() {
+        let mut p = BimodalPredictor::new(4);
+        // pcs 0x0 and 0x40 alias ((pc>>2) & 3): 0 and 0.
+        p.update(0x0, false);
+        p.update(0x0, false);
+        assert!(!p.predict(0x40));
+    }
+
+    #[test]
+    fn btb_lookup_and_replacement() {
+        let mut b = Btb::new(4, 2); // 2 sets × 2 ways
+        b.update(0x4, 0x100);
+        assert_eq!(b.lookup(0x4), Some(0x100));
+        assert_eq!(b.lookup(0x8), None);
+        // Fill set of 0x4 ((pc>>2) % 2): pcs 0x4, 0xC, 0x14 share set 1.
+        b.update(0xC, 0x200);
+        b.update(0x14, 0x300);
+        assert_eq!(b.lookup(0x4), None, "LRU entry evicted");
+        assert_eq!(b.lookup(0x14), Some(0x300));
+    }
+
+    #[test]
+    fn btb_update_refreshes_target() {
+        let mut b = Btb::new(8, 4);
+        b.update(0x4, 0x100);
+        b.update(0x4, 0x500);
+        assert_eq!(b.lookup(0x4), Some(0x500));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bht_rejects_non_power_of_two() {
+        let _ = BimodalPredictor::new(12);
+    }
+}

@@ -1,0 +1,123 @@
+//! Core configuration (paper Table I).
+
+use serde::{Deserialize, Serialize};
+
+/// Structural parameters of the simulated core.
+///
+/// Defaults ([`CoreConfig::dsn2016`]) reproduce the paper's Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoreConfig {
+    /// Superscalar width (instructions dispatched per cycle).
+    pub width: u32,
+    /// Reorder-buffer entries bounding in-flight instructions.
+    pub rob_entries: u32,
+    /// Load/store-queue entries bounding in-flight memory operations.
+    pub lsq_entries: u32,
+    /// Integer ALU count.
+    pub int_alu_units: u32,
+    /// Integer multiplier count.
+    pub int_mult_units: u32,
+    /// FP ALU count.
+    pub fp_alu_units: u32,
+    /// FP multiplier count.
+    pub fp_mult_units: u32,
+    /// Integer multiply latency in cycles.
+    pub int_mult_latency: u32,
+    /// FP ALU latency in cycles.
+    pub fp_alu_latency: u32,
+    /// FP multiply latency in cycles.
+    pub fp_mult_latency: u32,
+    /// Bimodal branch-history-table entries.
+    pub bht_entries: u32,
+    /// Branch-target-buffer entries.
+    pub btb_entries: u32,
+    /// Branch-target-buffer associativity.
+    pub btb_ways: u32,
+    /// Pipeline-refill penalty on a branch misprediction, in cycles
+    /// (on top of the I-cache redirect latency).
+    pub mispredict_penalty: u32,
+}
+
+impl CoreConfig {
+    /// The paper's Table I configuration.
+    pub fn dsn2016() -> Self {
+        CoreConfig {
+            width: 2,
+            rob_entries: 128,
+            lsq_entries: 64,
+            int_alu_units: 2,
+            int_mult_units: 1,
+            fp_alu_units: 1,
+            fp_mult_units: 1,
+            int_mult_latency: 3,
+            fp_alu_latency: 3,
+            fp_mult_latency: 5,
+            bht_entries: 4096,
+            btb_entries: 512,
+            btb_ways: 8,
+            mispredict_penalty: 8,
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any unit count, width or table size is zero, or the BTB
+    /// geometry is ragged.
+    pub fn validate(&self) {
+        assert!(self.width > 0, "width must be nonzero");
+        assert!(self.rob_entries > 0 && self.lsq_entries > 0, "queues must be nonzero");
+        assert!(
+            self.int_alu_units > 0
+                && self.int_mult_units > 0
+                && self.fp_alu_units > 0
+                && self.fp_mult_units > 0,
+            "every functional-unit class needs at least one unit"
+        );
+        assert!(self.bht_entries.is_power_of_two(), "BHT must be a power of two");
+        assert!(
+            self.btb_ways > 0 && self.btb_entries % self.btb_ways == 0,
+            "BTB entries must split into whole sets"
+        );
+    }
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        CoreConfig::dsn2016()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_values() {
+        let c = CoreConfig::dsn2016();
+        assert_eq!(c.width, 2);
+        assert_eq!(c.rob_entries, 128);
+        assert_eq!(c.lsq_entries, 64);
+        assert_eq!(c.int_alu_units, 2);
+        assert_eq!(c.bht_entries, 4096);
+        assert_eq!(c.btb_entries, 512);
+        assert_eq!(c.btb_ways, 8);
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "whole sets")]
+    fn ragged_btb_rejected() {
+        let c = CoreConfig {
+            btb_ways: 7,
+            ..CoreConfig::dsn2016()
+        };
+        c.validate();
+    }
+
+    #[test]
+    fn default_is_dsn2016() {
+        assert_eq!(CoreConfig::default(), CoreConfig::dsn2016());
+    }
+}

@@ -1,0 +1,119 @@
+//! Simulation results.
+
+use serde::{Deserialize, Serialize};
+
+use dvs_cache::MemStats;
+
+/// Outcome of one trace-driven simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimResult {
+    /// Instructions committed (including BBR-inserted jumps).
+    pub instructions: u64,
+    /// Committed instructions that were BBR-inserted fall-through jumps
+    /// (overhead, excluded from per-work-unit metrics).
+    pub synthetic: u64,
+    /// Cycles elapsed (retire time of the last instruction).
+    pub cycles: u64,
+    /// Memory-hierarchy event counters.
+    pub mem: MemStats,
+    /// Dynamic branch instructions.
+    pub branches: u64,
+    /// Mispredicted branches.
+    pub mispredicts: u64,
+}
+
+impl SimResult {
+    /// Useful (non-synthetic) instructions committed.
+    pub fn useful_instructions(&self) -> u64 {
+        self.instructions - self.synthetic
+    }
+
+    /// Instructions per cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation ran for zero cycles.
+    pub fn ipc(&self) -> f64 {
+        assert!(self.cycles > 0, "no cycles simulated");
+        self.instructions as f64 / self.cycles as f64
+    }
+
+    /// Cycles per instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no instructions were committed.
+    pub fn cpi(&self) -> f64 {
+        assert!(self.instructions > 0, "no instructions committed");
+        self.cycles as f64 / self.instructions as f64
+    }
+
+    /// Branch misprediction rate.
+    pub fn mispredict_rate(&self) -> f64 {
+        if self.branches == 0 {
+            0.0
+        } else {
+            self.mispredicts as f64 / self.branches as f64
+        }
+    }
+
+    /// L2 accesses per 1000 instructions (Figure 11's metric).
+    pub fn l2_per_kilo_instr(&self) -> f64 {
+        self.mem.l2_per_kilo_instr(self.instructions)
+    }
+
+    /// Wall-clock run time in seconds at `freq_mhz`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `freq_mhz` is zero.
+    pub fn runtime_seconds(&self, freq_mhz: u32) -> f64 {
+        assert!(freq_mhz > 0, "frequency must be nonzero");
+        self.cycles as f64 / (f64::from(freq_mhz) * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result() -> SimResult {
+        SimResult {
+            instructions: 1000,
+            synthetic: 0,
+            cycles: 2000,
+            mem: MemStats {
+                l2_accesses: 50,
+                ..MemStats::default()
+            },
+            branches: 100,
+            mispredicts: 10,
+        }
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let r = result();
+        assert!((r.ipc() - 0.5).abs() < 1e-12);
+        assert!((r.cpi() - 2.0).abs() < 1e-12);
+        assert!((r.mispredict_rate() - 0.1).abs() < 1e-12);
+        assert!((r.l2_per_kilo_instr() - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn runtime_scales_with_frequency() {
+        let r = result();
+        assert!(r.runtime_seconds(475) > r.runtime_seconds(1607));
+        assert!((r.runtime_seconds(1000) - 2e-6).abs() < 1e-15);
+    }
+
+    #[test]
+    fn zero_branches_rate_is_zero() {
+        let r = SimResult {
+            branches: 0,
+            mispredicts: 0,
+            ..result()
+        };
+        assert_eq!(r.mispredict_rate(), 0.0);
+    }
+}

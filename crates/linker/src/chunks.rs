@@ -1,0 +1,127 @@
+//! Fault-free chunk extraction from a cache fault map.
+//!
+//! A *fault-free chunk* (paper Section IV-B) is a maximal run of
+//! consecutive fault-free words in the direct-mapped cache image. The
+//! linker places basic blocks into chunks; the chunk-size distribution is
+//! half of the paper's Figure 6(b).
+
+use serde::{Deserialize, Serialize};
+
+use dvs_sram::FaultMap;
+
+/// One maximal run of fault-free words in the linear (direct-mapped) view
+/// of the cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Chunk {
+    /// First word index of the run.
+    pub start: u32,
+    /// Run length in words.
+    pub len: u32,
+}
+
+/// Extracts all maximal fault-free chunks of `fmap`'s linear view, in
+/// address order.
+///
+/// A chunk ending at the last word does **not** wrap around to index 0;
+/// wrap-around placement is handled by the linker's scan itself (a block
+/// may straddle the cache boundary because its *memory* addresses are
+/// contiguous while its cache image wraps).
+pub fn fault_free_chunks(fmap: &FaultMap) -> Vec<Chunk> {
+    let total = fmap.geometry().total_words();
+    let mut chunks = Vec::new();
+    let mut run_start: Option<u32> = None;
+    for idx in 0..total {
+        if fmap.linear_is_faulty(idx) {
+            if let Some(start) = run_start.take() {
+                chunks.push(Chunk {
+                    start,
+                    len: idx - start,
+                });
+            }
+        } else if run_start.is_none() {
+            run_start = Some(idx);
+        }
+    }
+    if let Some(start) = run_start {
+        chunks.push(Chunk {
+            start,
+            len: total - start,
+        });
+    }
+    chunks
+}
+
+/// Chunk sizes in words — the Figure 6(b) "fault-free chunk size"
+/// distribution.
+pub fn chunk_sizes(fmap: &FaultMap) -> Vec<u32> {
+    fault_free_chunks(fmap).iter().map(|c| c.len).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvs_sram::CacheGeometry;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_geom() -> CacheGeometry {
+        // 2 sets × 2 ways × 32 B = 32 words.
+        CacheGeometry::new(128, 2, 32).unwrap()
+    }
+
+    #[test]
+    fn fault_free_map_is_one_chunk() {
+        let fmap = FaultMap::fault_free(&tiny_geom());
+        let chunks = fault_free_chunks(&fmap);
+        assert_eq!(chunks, vec![Chunk { start: 0, len: 32 }]);
+    }
+
+    #[test]
+    fn single_fault_splits_in_two() {
+        let fmap = FaultMap::from_faulty_indices(&tiny_geom(), [10]);
+        let chunks = fault_free_chunks(&fmap);
+        assert_eq!(
+            chunks,
+            vec![Chunk { start: 0, len: 10 }, Chunk { start: 11, len: 21 }]
+        );
+    }
+
+    #[test]
+    fn adjacent_faults_merge_gap() {
+        let fmap = FaultMap::from_faulty_indices(&tiny_geom(), [0, 1, 31]);
+        let chunks = fault_free_chunks(&fmap);
+        assert_eq!(chunks, vec![Chunk { start: 2, len: 29 }]);
+    }
+
+    #[test]
+    fn all_faulty_has_no_chunks() {
+        let fmap = FaultMap::from_faulty_indices(&tiny_geom(), 0..32);
+        assert!(fault_free_chunks(&fmap).is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn chunks_cover_exactly_the_fault_free_words(seed in 0u64..200, p in 0.0f64..0.6) {
+            let geom = CacheGeometry::new(1024, 4, 32).unwrap();
+            let fmap = FaultMap::sample(&geom, p, &mut StdRng::seed_from_u64(seed));
+            let chunks = fault_free_chunks(&fmap);
+            // Total chunk length = fault-free word count.
+            let covered: u32 = chunks.iter().map(|c| c.len).sum();
+            let fault_free = geom.total_words() - fmap.faulty_words() as u32;
+            prop_assert_eq!(covered, fault_free);
+            // Chunks are disjoint, ordered, maximal.
+            for w in chunks.windows(2) {
+                prop_assert!(w[0].start + w[0].len < w[1].start);
+            }
+            for c in &chunks {
+                for i in c.start..c.start + c.len {
+                    prop_assert!(!fmap.linear_is_faulty(i));
+                }
+                if c.start > 0 {
+                    prop_assert!(fmap.linear_is_faulty(c.start - 1));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! Basic Block Relocation (BBR) compiler/linker pipeline.
+//!
+//! The paper's instruction-cache mechanism (Section IV-B) works in two
+//! stages:
+//!
+//! 1. **Code transformation** (compiler): make every basic block freely
+//!    relocatable — insert unconditional jumps on fall-through paths,
+//!    break blocks that are too large for plausible fault-free chunks,
+//!    and move literal pools next to the blocks that reference them
+//!    (Figure 8). See [`bbr_transform`].
+//! 2. **Linking** (fault-map-aware linker): place each block at a memory
+//!    address whose direct-mapped cache image lands in a *fault-free
+//!    chunk*, using the paper's Algorithm 1 first-fit scan with a global
+//!    pointer. See [`BbrLinker`].
+//!
+//! The result is a [`dvs_workloads::Layout`] under which no executed
+//! instruction ever touches a defective cache word.
+//!
+//! # Example
+//!
+//! ```rust
+//! use dvs_linker::{bbr_transform, BbrLinker};
+//! use dvs_sram::{CacheGeometry, FaultMap};
+//! use dvs_workloads::Benchmark;
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), dvs_linker::LinkError> {
+//! let wl = Benchmark::Crc32.build(1);
+//! let program = bbr_transform(wl.program(), 8);
+//! let geom = CacheGeometry::dsn_l1();
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+//! let fmap = FaultMap::sample(&geom, 0.1, &mut rng);
+//! let image = BbrLinker::new(geom).link(&program, &fmap)?;
+//! assert!(image.stats().padding_words > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod chunks;
+mod link;
+mod occupancy;
+mod transform;
+
+pub use chunks::{chunk_sizes, fault_free_chunks, Chunk};
+pub use link::{BbrLinker, LinkError, LinkStats, LinkedImage};
+pub use occupancy::{interval_capacities, CacheOccupancy, PAPER_INTERVAL_INSTRS};
+pub use transform::{
+    adaptive_max_block_words, bbr_transform, break_blocks, insert_jumps, move_literal_pools,
+};

@@ -1,0 +1,482 @@
+//! The fault-map-aware linker — Algorithm 1 of the paper.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use dvs_sram::{BitGrid, CacheGeometry, FaultMap};
+use dvs_workloads::{Layout, Program};
+
+/// Error returned when a program cannot be linked against a fault map.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinkError {
+    /// A block's footprint exceeds the whole cache.
+    BlockTooLarge {
+        /// Offending block id.
+        block: usize,
+        /// Its footprint in words.
+        footprint: u32,
+    },
+    /// The scan looped the entire cache without finding a chunk that fits
+    /// (the fault map has no run of `footprint` fault-free words).
+    NoChunkFits {
+        /// Offending block id.
+        block: usize,
+        /// Its footprint in words.
+        footprint: u32,
+    },
+}
+
+impl fmt::Display for LinkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinkError::BlockTooLarge { block, footprint } => {
+                write!(f, "block {block} ({footprint} words) exceeds the cache")
+            }
+            LinkError::NoChunkFits { block, footprint } => write!(
+                f,
+                "no fault-free chunk of {footprint} words for block {block}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LinkError {}
+
+/// Placement statistics of a linked image.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkStats {
+    /// Total words of the placed image (address space consumed).
+    pub image_words: u32,
+    /// Words of actual code + literals.
+    pub code_words: u32,
+    /// Gap words the linker inserted to skip defective cache words.
+    pub padding_words: u32,
+    /// Distinct cache words covered by at least one block.
+    pub cache_words_used: u32,
+    /// Cache words covered by more than one block (chunk sharing — these
+    /// cause extra direct-mapped conflicts).
+    pub cache_words_shared: u32,
+    /// Fault-free words available in the cache.
+    pub fault_free_words: u32,
+}
+
+impl LinkStats {
+    /// Fraction of the cache covered by placed code (Figure 6a's
+    /// "effective capacity" for a fully resident program).
+    pub fn utilization(&self, geometry: &CacheGeometry) -> f64 {
+        f64::from(self.cache_words_used) / f64::from(geometry.total_words())
+    }
+}
+
+/// A successfully linked program image.
+///
+/// Owns the final program: the linker performs *relaxation* — an explicit
+/// fall-through jump whose target ends up immediately after it is elided,
+/// exactly as binutils-style linkers shorten jumps to the next address.
+/// Algorithm 1 places blocks in program order, so most fall-through jumps
+/// elide whenever no defective word interrupts the chunk, which keeps
+/// BBR's dynamic overhead low at mild defect densities.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinkedImage {
+    program: Program,
+    layout: Layout,
+    stats: LinkStats,
+}
+
+impl LinkedImage {
+    /// The linked program (with elided fall-through jumps removed). Trace
+    /// this program, not the transform's output.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The block placement.
+    pub fn layout(&self) -> &Layout {
+        &self.layout
+    }
+
+    /// Consumes the image, returning `(program, layout)`.
+    pub fn into_parts(self) -> (Program, Layout) {
+        (self.program, self.layout)
+    }
+
+    /// Placement statistics.
+    pub fn stats(&self) -> &LinkStats {
+        &self.stats
+    }
+
+    /// Verifies that no placed instruction or literal maps to a defective
+    /// cache word, and that every elided fall-through lands exactly on the
+    /// next block. Returns the offending (block, word-offset) on failure.
+    pub fn verify(&self, fmap: &FaultMap) -> Result<(), (usize, u32)> {
+        let csize = u64::from(fmap.geometry().total_words());
+        for id in 0..self.program.num_blocks() {
+            let block = self.program.block(id);
+            let start = self.layout.block_start(id);
+            for k in 0..block.footprint_words() {
+                let cache_word = ((start / 4 + u64::from(k)) % csize) as u32;
+                if fmap.linear_is_faulty(cache_word) {
+                    return Err((id, k));
+                }
+            }
+            // An implicit fall-through (elided jump) must be adjacent.
+            let falls_through = !block.explicit_jump
+                && matches!(
+                    block.terminator,
+                    dvs_workloads::Terminator::FallThrough
+                        | dvs_workloads::Terminator::CondBranch { .. }
+                        | dvs_workloads::Terminator::Call { .. }
+                );
+            if falls_through {
+                let end = start + u64::from(block.footprint_words()) * 4;
+                if self.layout.block_start(id + 1) != end {
+                    return Err((id, block.footprint_words()));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The BBR linker: places each basic block of a transformed program into
+/// the first fault-free chunk that fits, scanning with a single global
+/// pointer that wraps around the cache (paper Algorithm 1).
+///
+/// # Example
+///
+/// See the crate-level example.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BbrLinker {
+    geometry: CacheGeometry,
+    relax: bool,
+}
+
+impl BbrLinker {
+    /// Creates a linker for the given instruction-cache geometry, with
+    /// jump relaxation enabled.
+    pub fn new(geometry: CacheGeometry) -> Self {
+        BbrLinker {
+            geometry,
+            relax: true,
+        }
+    }
+
+    /// Disables jump relaxation (every transform-inserted jump survives).
+    /// Used by the ablation study to quantify what relaxation saves.
+    pub fn without_relaxation(mut self) -> Self {
+        self.relax = false;
+        self
+    }
+
+    /// Links `program` against `fmap`, producing a layout in which every
+    /// block occupies only fault-free cache words.
+    ///
+    /// Run [`crate::bbr_transform`] on the program first: un-transformed
+    /// programs have implicit fall-through paths that relocation would
+    /// break (this is asserted).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinkError`] if some block cannot be placed anywhere in
+    /// the cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fmap`'s geometry differs from the linker's, if the
+    /// program still has shared literal pools, or if any fall-through path
+    /// lacks an explicit jump.
+    pub fn link(&self, program: &Program, fmap: &FaultMap) -> Result<LinkedImage, LinkError> {
+        assert_eq!(
+            fmap.geometry(),
+            &self.geometry,
+            "fault map geometry mismatch"
+        );
+        assert!(
+            program.pool_words().iter().all(|&w| w == 0),
+            "run move_literal_pools before linking"
+        );
+        for (id, b) in program.blocks().iter().enumerate() {
+            let relocatable = b.explicit_jump
+                || matches!(
+                    b.terminator,
+                    dvs_workloads::Terminator::Jump { .. } | dvs_workloads::Terminator::Return
+                );
+            assert!(relocatable, "block {id} is not relocatable; run insert_jumps");
+        }
+
+        let csize = self.geometry.total_words();
+        let mut mem_word = 0u64; // the global pointer, in words
+        let mut block_starts = Vec::with_capacity(program.num_blocks());
+        let mut blocks: Vec<dvs_workloads::Block> = Vec::with_capacity(program.num_blocks());
+
+        for (id, block) in program.blocks().iter().enumerate() {
+            let footprint = block.footprint_words();
+            if footprint > csize {
+                return Err(LinkError::BlockTooLarge {
+                    block: id,
+                    footprint,
+                });
+            }
+            // Relaxation: if the previous block ends in an explicit
+            // fall-through jump (and nothing after it), try to place this
+            // block in the jump's own slot — the jump then targets the
+            // next address and is removed.
+            let prev_elidable = self.relax
+                && id > 0
+                && {
+                    let pb = &blocks[id - 1];
+                    pb.explicit_jump && pb.literal_words == 0
+                };
+            let mut elided = false;
+            if prev_elidable {
+                let candidate = mem_word - 1;
+                let cache_addr = (candidate % u64::from(csize)) as u32;
+                if first_fault_within(fmap, cache_addr, footprint, csize).is_none() {
+                    blocks[id - 1].explicit_jump = false;
+                    mem_word = candidate;
+                    elided = true;
+                }
+            }
+            if !elided {
+                // Scan forward until the chunk starting at the pointer's
+                // cache image holds `footprint` fault-free words; give up
+                // after one full loop around the cache.
+                let scan_start = mem_word;
+                loop {
+                    let cache_addr = (mem_word % u64::from(csize)) as u32;
+                    match first_fault_within(fmap, cache_addr, footprint, csize) {
+                        None => break,
+                        Some(offset) => {
+                            // Jump past the defective word that broke the run.
+                            mem_word += u64::from(offset) + 1;
+                            if mem_word - scan_start >= u64::from(csize) + u64::from(footprint) {
+                                return Err(LinkError::NoChunkFits {
+                                    block: id,
+                                    footprint,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+            block_starts.push(mem_word * 4);
+            blocks.push(*block);
+            mem_word += u64::from(footprint);
+        }
+
+        // Statistics over the final (relaxed) blocks.
+        let mut used = BitGrid::new(csize as usize);
+        let mut shared = 0u32;
+        let mut code_words = 0u32;
+        for (start, block) in block_starts.iter().zip(&blocks) {
+            let footprint = block.footprint_words();
+            code_words += footprint;
+            for k in 0..footprint {
+                let w = ((start / 4 + u64::from(k)) % u64::from(csize)) as usize;
+                if used.get(w) {
+                    shared += 1;
+                } else {
+                    used.set(w, true);
+                }
+            }
+        }
+
+        let image_words = mem_word as u32;
+        let stats = LinkStats {
+            image_words,
+            code_words,
+            padding_words: image_words - code_words,
+            cache_words_used: used.count_ones() as u32,
+            cache_words_shared: shared,
+            fault_free_words: csize - fmap.faulty_words() as u32,
+        };
+        let relaxed = Program::new(
+            blocks,
+            program.functions().to_vec(),
+            program.pool_words().to_vec(),
+        )
+        .expect("relaxation preserves validity");
+        let pool_starts = vec![0u64; program.functions().len()];
+        let layout = Layout::from_parts(block_starts, pool_starts, mem_word * 4);
+        Ok(LinkedImage {
+            program: relaxed,
+            layout,
+            stats,
+        })
+    }
+}
+
+/// Returns the offset of the first defective word in the `len`-word run
+/// whose cache image starts at `cache_addr` (wrapping), or `None` if the
+/// whole run is fault-free.
+fn first_fault_within(fmap: &FaultMap, cache_addr: u32, len: u32, csize: u32) -> Option<u32> {
+    (0..len).find(|&k| fmap.linear_is_faulty((cache_addr + k) % csize))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bbr_transform;
+    use dvs_workloads::{Benchmark, Block, Terminator};
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn geom() -> CacheGeometry {
+        CacheGeometry::dsn_l1() // 8192 words
+    }
+
+    fn tiny_geom() -> CacheGeometry {
+        CacheGeometry::new(128, 2, 32).unwrap() // 32 words
+    }
+
+    fn chain_program(sizes: &[u32]) -> Program {
+        // Each block jumps to the next; the last jumps to block 0.
+        let n = sizes.len();
+        let blocks: Vec<Block> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| {
+                Block::with_terminator(s - 1, Terminator::Jump { target: (i + 1) % n })
+            })
+            .collect();
+        Program::new(blocks, vec![0..n], vec![0]).unwrap()
+    }
+
+    #[test]
+    fn clean_map_packs_sequentially() {
+        let p = chain_program(&[4, 4, 4]);
+        let fmap = FaultMap::fault_free(&tiny_geom());
+        let image = BbrLinker::new(tiny_geom()).link(&p, &fmap).unwrap();
+        assert_eq!(image.layout().block_start(0), 0);
+        assert_eq!(image.layout().block_start(1), 16);
+        assert_eq!(image.layout().block_start(2), 32);
+        assert_eq!(image.stats().padding_words, 0);
+        assert!(image.verify(&fmap).is_ok());
+    }
+
+    #[test]
+    fn skips_defective_words() {
+        // Fault at word 2: a 4-word block cannot start at 0 or 1 or 2.
+        let p = chain_program(&[4]);
+        let fmap = FaultMap::from_faulty_indices(&tiny_geom(), [2]);
+        let image = BbrLinker::new(tiny_geom()).link(&p, &fmap).unwrap();
+        assert_eq!(image.layout().block_start(0), 3 * 4);
+        assert_eq!(image.stats().padding_words, 3);
+        assert!(image.verify(&fmap).is_ok());
+    }
+
+    #[test]
+    fn packs_multiple_blocks_into_one_chunk() {
+        // Faults at 0 and 20: chunk [1, 20) holds both 8-word blocks.
+        let p = chain_program(&[8, 8]);
+        let fmap = FaultMap::from_faulty_indices(&tiny_geom(), [0, 20]);
+        let image = BbrLinker::new(tiny_geom()).link(&p, &fmap).unwrap();
+        assert_eq!(image.layout().block_start(0), 4);
+        assert_eq!(image.layout().block_start(1), 9 * 4);
+        assert!(image.verify(&fmap).is_ok());
+    }
+
+    #[test]
+    fn wraps_around_the_cache() {
+        // 32-word cache; first block consumes words 0..30; second block (4
+        // words) must wrap: it occupies 30, 31, 0, 1 — all fault-free.
+        let p = chain_program(&[30, 4]);
+        let fmap = FaultMap::fault_free(&tiny_geom());
+        let image = BbrLinker::new(tiny_geom()).link(&p, &fmap).unwrap();
+        assert_eq!(image.layout().block_start(1), 30 * 4);
+        assert!(image.verify(&fmap).is_ok());
+        // Wrapped words are shared with nothing, but counted once.
+        assert_eq!(image.stats().cache_words_shared, 2); // words 0,1 reused
+    }
+
+    #[test]
+    fn error_when_no_chunk_fits() {
+        // Every second word faulty: no run of 4 exists.
+        let fmap = FaultMap::from_faulty_indices(&tiny_geom(), (0..32).step_by(2));
+        let p = chain_program(&[4]);
+        let err = BbrLinker::new(tiny_geom()).link(&p, &fmap).unwrap_err();
+        assert!(matches!(err, LinkError::NoChunkFits { block: 0, footprint: 4 }));
+    }
+
+    #[test]
+    fn error_when_block_exceeds_cache() {
+        let p = chain_program(&[40]);
+        let fmap = FaultMap::fault_free(&tiny_geom());
+        let err = BbrLinker::new(tiny_geom()).link(&p, &fmap).unwrap_err();
+        assert!(matches!(err, LinkError::BlockTooLarge { .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "not relocatable")]
+    fn rejects_untransformed_program() {
+        let blocks = vec![
+            Block::body(3),
+            Block::with_terminator(1, Terminator::Jump { target: 0 }),
+        ];
+        let p = Program::new(blocks, vec![0..2], vec![0]).unwrap();
+        let fmap = FaultMap::fault_free(&tiny_geom());
+        let _ = BbrLinker::new(tiny_geom()).link(&p, &fmap);
+    }
+
+    #[test]
+    fn links_every_benchmark_at_400mv() {
+        // P_fail(word) at 400 mV ≈ 0.275 — the paper's hardest point.
+        let model = dvs_sram::PfailModel::dsn45();
+        let p_word = model.pfail_word(dvs_sram::MilliVolts::new(400));
+        for b in [Benchmark::Crc32, Benchmark::Adpcm, Benchmark::Basicmath] {
+            let wl = b.build(3);
+            let t = bbr_transform(wl.program(), 6);
+            let mut ok = 0;
+            for seed in 0..10u64 {
+                let fmap = FaultMap::sample(&geom(), p_word, &mut StdRng::seed_from_u64(seed));
+                if let Ok(image) = BbrLinker::new(geom()).link(&t, &fmap) {
+                    assert!(image.verify(&fmap).is_ok(), "{b} invalid placement");
+                    ok += 1;
+                }
+            }
+            assert!(ok >= 8, "{b}: only {ok}/10 fault maps linked at 400 mV");
+        }
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let p = chain_program(&[8, 8, 8]);
+        let fmap = FaultMap::from_faulty_indices(&tiny_geom(), [5]);
+        let image = BbrLinker::new(tiny_geom()).link(&p, &fmap).unwrap();
+        let s = image.stats();
+        assert_eq!(s.code_words, 24);
+        assert_eq!(s.image_words, s.code_words + s.padding_words);
+        assert_eq!(s.fault_free_words, 31);
+        assert!(s.cache_words_used <= 31);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn linked_placements_avoid_all_faults(seed in 0u64..1000, p in 0.0f64..0.25) {
+            let g = CacheGeometry::new(4096, 4, 32).unwrap(); // 1024 words
+            let fmap = FaultMap::sample(&g, p, &mut StdRng::seed_from_u64(seed));
+            let wl = Benchmark::Crc32.build(seed);
+            let t = bbr_transform(wl.program(), 6);
+            if let Ok(image) = BbrLinker::new(g).link(&t, &fmap) {
+                prop_assert!(image.verify(&fmap).is_ok());
+                // Blocks never overlap in memory (relaxed footprints).
+                let relaxed = image.program();
+                let mut starts: Vec<(u64, u32)> = (0..relaxed.num_blocks())
+                    .map(|id| {
+                        (
+                            image.layout().block_start(id),
+                            relaxed.block(id).footprint_words(),
+                        )
+                    })
+                    .collect();
+                starts.sort_unstable();
+                for w in starts.windows(2) {
+                    prop_assert!(w[0].0 + u64::from(w[0].1) * 4 <= w[1].0);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,220 @@
+//! Per-interval effective-capacity measurement (paper Figure 6a).
+//!
+//! The paper examines, for every 1 M-instruction interval, how much of the
+//! instruction cache the executed basic blocks occupy when placed by the
+//! relocation algorithm. Even with heavy defect densities the embedded
+//! benchmarks leave fault-free chunks unused, because their per-interval
+//! instruction footprint is small.
+
+use dvs_sram::{BitGrid, CacheGeometry};
+use dvs_workloads::{Layout, Program, TraceOp};
+
+/// The paper's Figure 6a interval length in instructions.
+pub const PAPER_INTERVAL_INSTRS: usize = 1_000_000;
+
+/// Maps fetch PCs back to basic blocks under a monotone layout.
+///
+/// Both sequential and BBR layouts place blocks at strictly increasing
+/// addresses, so a binary search over block starts resolves any PC.
+#[derive(Debug, Clone)]
+pub struct CacheOccupancy {
+    /// (start byte, footprint words, block id), sorted by start.
+    spans: Vec<(u64, u32, usize)>,
+    geometry: CacheGeometry,
+}
+
+impl CacheOccupancy {
+    /// Builds the PC→block index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if layout block starts are not strictly increasing (all
+    /// layouts produced in this workspace are).
+    pub fn new(program: &Program, layout: &Layout, geometry: CacheGeometry) -> Self {
+        let mut spans: Vec<(u64, u32, usize)> = (0..program.num_blocks())
+            .map(|id| {
+                (
+                    layout.block_start(id),
+                    program.block(id).footprint_words(),
+                    id,
+                )
+            })
+            .collect();
+        spans.sort_unstable();
+        for w in spans.windows(2) {
+            assert!(
+                w[0].0 + u64::from(w[0].1) * 4 <= w[1].0,
+                "layout block spans overlap"
+            );
+        }
+        CacheOccupancy { spans, geometry }
+    }
+
+    /// The block whose span contains `pc`, if any.
+    pub fn block_at(&self, pc: u64) -> Option<usize> {
+        let idx = self.spans.partition_point(|&(start, _, _)| start <= pc);
+        if idx == 0 {
+            return None;
+        }
+        let (start, words, id) = self.spans[idx - 1];
+        (pc < start + u64::from(words) * 4).then_some(id)
+    }
+
+    /// Fraction of the cache covered by the blocks in `executed`
+    /// (an iterator of block ids; duplicates are fine).
+    pub fn capacity_fraction(&self, executed: impl Iterator<Item = usize>) -> f64 {
+        let csize = self.geometry.total_words();
+        let mut covered = BitGrid::new(csize as usize);
+        let mut seen = vec![false; self.spans.len()];
+        for id in executed {
+            if seen[id] {
+                continue;
+            }
+            seen[id] = true;
+            let &(start, words, _) = self
+                .spans
+                .iter()
+                .find(|&&(_, _, b)| b == id)
+                .expect("block id in range");
+            let start_word = start / 4;
+            for k in 0..words {
+                covered.set(
+                    ((start_word + u64::from(k)) % u64::from(csize)) as usize,
+                    true,
+                );
+            }
+        }
+        covered.count_ones() as f64 / f64::from(csize)
+    }
+}
+
+/// Measures the effective cache capacity used in each `interval_instrs`
+/// window of `trace` — Figure 6a's distribution, one sample per interval.
+///
+/// # Panics
+///
+/// Panics if `interval_instrs` is zero.
+pub fn interval_capacities(
+    program: &Program,
+    layout: &Layout,
+    trace: impl Iterator<Item = TraceOp>,
+    interval_instrs: usize,
+    geometry: CacheGeometry,
+) -> Vec<f64> {
+    assert!(interval_instrs > 0, "interval length must be nonzero");
+    let index = CacheOccupancy::new(program, layout, geometry);
+    let mut fractions = Vec::new();
+    let mut executed: Vec<usize> = Vec::new();
+    let mut seen = vec![false; program.num_blocks()];
+    let mut count = 0usize;
+    for op in trace {
+        if let Some(id) = index.block_at(op.pc) {
+            if !seen[id] {
+                seen[id] = true;
+                executed.push(id);
+            }
+        }
+        count += 1;
+        if count == interval_instrs {
+            fractions.push(index.capacity_fraction(executed.drain(..)));
+            seen.iter_mut().for_each(|s| *s = false);
+            count = 0;
+        }
+    }
+    if count > 0 {
+        fractions.push(index.capacity_fraction(executed.drain(..)));
+    }
+    fractions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{bbr_transform, BbrLinker};
+    use dvs_sram::FaultMap;
+    use dvs_workloads::Benchmark;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn geom() -> CacheGeometry {
+        CacheGeometry::dsn_l1()
+    }
+
+    #[test]
+    fn block_at_resolves_all_trace_pcs() {
+        let wl = Benchmark::Basicmath.build(5);
+        let layout = Layout::sequential(wl.program());
+        let index = CacheOccupancy::new(wl.program(), &layout, geom());
+        for op in wl.trace(&layout, 0).take(20_000) {
+            assert!(
+                index.block_at(op.pc).is_some(),
+                "pc {:#x} resolved to no block",
+                op.pc
+            );
+        }
+    }
+
+    #[test]
+    fn block_at_rejects_out_of_image_pcs() {
+        let wl = Benchmark::Crc32.build(5);
+        let layout = Layout::sequential(wl.program());
+        let index = CacheOccupancy::new(wl.program(), &layout, geom());
+        assert_eq!(index.block_at(layout.end() + 400), None);
+    }
+
+    #[test]
+    fn interval_capacity_below_footprint_bound() {
+        let wl = Benchmark::Qsort.build(5);
+        let layout = Layout::sequential(wl.program());
+        let caps = interval_capacities(
+            wl.program(),
+            &layout,
+            wl.trace(&layout, 0).take(100_000),
+            20_000,
+            geom(),
+        );
+        assert!(!caps.is_empty());
+        let max_possible =
+            f64::from(wl.program().total_footprint_words()) / f64::from(geom().total_words());
+        for &c in &caps {
+            assert!(c > 0.0 && c <= max_possible + 1e-9, "capacity {c}");
+        }
+    }
+
+    #[test]
+    fn figure6a_property_capacity_leaves_headroom_at_400mv() {
+        // basicmath at P_fail(word) ≈ 0.275: executed blocks fit in the
+        // fault-free words with room to spare (the paper's claim).
+        let model = dvs_sram::PfailModel::dsn45();
+        let p_word = model.pfail_word(dvs_sram::MilliVolts::new(400));
+        let wl = Benchmark::Basicmath.build(7);
+        let t = bbr_transform(wl.program(), 6);
+        let fmap = FaultMap::sample(&geom(), p_word, &mut StdRng::seed_from_u64(0));
+        let image = BbrLinker::new(geom()).link(&t, &fmap).expect("links");
+        let caps = interval_capacities(
+            image.program(),
+            image.layout(),
+            wl.trace_program(image.program(), image.layout(), 0).take(200_000),
+            50_000,
+            geom(),
+        );
+        let fault_free_frac =
+            f64::from(image.stats().fault_free_words) / f64::from(geom().total_words());
+        for &c in &caps {
+            assert!(
+                c < fault_free_frac,
+                "interval capacity {c} exceeds fault-free fraction {fault_free_frac}"
+            );
+        }
+    }
+
+    #[test]
+    fn capacity_fraction_counts_shared_words_once() {
+        let wl = Benchmark::Crc32.build(1);
+        let layout = Layout::sequential(wl.program());
+        let index = CacheOccupancy::new(wl.program(), &layout, geom());
+        let one = index.capacity_fraction([0usize].into_iter());
+        let dup = index.capacity_fraction([0usize, 0, 0].into_iter());
+        assert_eq!(one, dup);
+    }
+}

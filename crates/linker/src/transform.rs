@@ -1,0 +1,353 @@
+//! The three BBR code transformations (paper Figure 8).
+
+use dvs_workloads::{Block, Program, Terminator};
+
+/// Transformation 1 — **inserting jumps**: append an explicit unconditional
+/// jump to every block whose fall-through path could otherwise be taken
+/// (plain fall-throughs, the not-taken side of conditional branches, and
+/// the return path of calls). Afterwards every block is position-
+/// independent: the linker relocates it by rewriting the jump target.
+///
+/// Idempotent: blocks that already have an explicit jump are unchanged.
+pub fn insert_jumps(program: &Program) -> Program {
+    let blocks: Vec<Block> = program
+        .blocks()
+        .iter()
+        .map(|b| {
+            let needs_jump = matches!(
+                b.terminator,
+                Terminator::FallThrough | Terminator::CondBranch { .. } | Terminator::Call { .. }
+            );
+            Block {
+                explicit_jump: b.explicit_jump || needs_jump,
+                ..*b
+            }
+        })
+        .collect();
+    Program::new(
+        blocks,
+        program.functions().to_vec(),
+        program.pool_words().to_vec(),
+    )
+    .expect("inserting jumps preserves validity")
+}
+
+/// Transformation 2 — **breaking basic blocks**: split every block whose
+/// total footprint exceeds `max_footprint_words` into a chain of smaller
+/// blocks connected by unconditional jumps, so each piece fits a modest
+/// fault-free chunk.
+///
+/// Run [`insert_jumps`] first (this pass asserts the program already has
+/// explicit fall-through jumps) and [`move_literal_pools`] after.
+///
+/// # Panics
+///
+/// Panics if `max_footprint_words` is too small to hold even a minimal
+/// piece (body 1 + terminator + jump + the block's literals), or if a
+/// fall-through block without an explicit jump is encountered.
+pub fn break_blocks(program: &Program, max_footprint_words: u32) -> Program {
+    assert!(
+        max_footprint_words >= 4,
+        "cannot split into pieces smaller than 4 words"
+    );
+    // Pass 1: decide the piece count of every block and the new id of each
+    // original block's first piece.
+    let mut first_piece = Vec::with_capacity(program.num_blocks());
+    let mut pieces = Vec::with_capacity(program.num_blocks());
+    let mut next_id = 0usize;
+    for b in program.blocks() {
+        assert!(
+            b.terminator != Terminator::FallThrough || b.explicit_jump,
+            "break_blocks requires insert_jumps to have run first"
+        );
+        first_piece.push(next_id);
+        let n = piece_count(b, max_footprint_words);
+        pieces.push(n);
+        next_id += n;
+    }
+
+    let mut blocks = Vec::with_capacity(next_id);
+    let mut functions = Vec::with_capacity(program.functions().len());
+    for range in program.functions() {
+        let new_start = first_piece[range.start];
+        let mut new_end = new_start;
+        for id in range.clone() {
+            let b = program.block(id);
+            let n = pieces[id];
+            new_end += n;
+            // Leading pieces: as much body as fits beside a jump word.
+            let lead_body = max_footprint_words - 1;
+            let mut remaining_body = b.body_len;
+            for p in 0..n {
+                if p + 1 < n {
+                    let body = remaining_body.min(lead_body);
+                    remaining_body -= body;
+                    blocks.push(Block {
+                        body_len: body,
+                        terminator: Terminator::Jump {
+                            target: first_piece[id] + p + 1,
+                        },
+                        literal_refs: 0,
+                        literal_words: 0,
+                        explicit_jump: false,
+                    });
+                } else {
+                    // Final piece: the original terminator, retargeted, plus
+                    // the block's literals and explicit jump.
+                    blocks.push(Block {
+                        body_len: remaining_body,
+                        terminator: retarget(b.terminator, &first_piece),
+                        literal_refs: b.literal_refs,
+                        literal_words: b.literal_words,
+                        explicit_jump: b.explicit_jump,
+                    });
+                }
+            }
+        }
+        functions.push(new_start..new_end);
+    }
+    Program::new(blocks, functions, program.pool_words().to_vec())
+        .expect("splitting preserves validity")
+}
+
+fn piece_count(b: &Block, max_footprint_words: u32) -> usize {
+    // The final piece must carry the terminator, optional explicit jump and
+    // the literals; leading pieces carry body + one jump word.
+    let tail_overhead = b.terminator.words() + u32::from(b.explicit_jump) + b.literal_words
+        + if b.literal_words == 0 { b.literal_refs } else { 0 };
+    // Conservative: reserve room for literals that move_literal_pools will
+    // attach later (literal_refs), so pieces stay small enough afterwards.
+    let tail_capacity = max_footprint_words.saturating_sub(tail_overhead).max(1);
+    let lead_capacity = max_footprint_words - 1;
+    let mut n = 1usize;
+    let mut body = b.body_len;
+    while body > tail_capacity {
+        body -= body.min(lead_capacity).max(1);
+        n += 1;
+    }
+    n
+}
+
+fn retarget(t: Terminator, first_piece: &[usize]) -> Terminator {
+    match t {
+        Terminator::Jump { target } => Terminator::Jump {
+            target: first_piece[target],
+        },
+        Terminator::CondBranch { target, taken_prob } => Terminator::CondBranch {
+            target: first_piece[target],
+            taken_prob,
+        },
+        Terminator::Call { callee } => Terminator::Call {
+            callee: first_piece[callee],
+        },
+        other => other,
+    }
+}
+
+/// Transformation 3 — **moving literal pools**: relocate each referenced
+/// constant from its function's shared pool to the end of the block that
+/// loads it, so a PC-relative load always stays within reach (4 KB on ARM)
+/// no matter where the linker places the block.
+pub fn move_literal_pools(program: &Program) -> Program {
+    let blocks: Vec<Block> = program
+        .blocks()
+        .iter()
+        .map(|b| Block {
+            literal_words: b.literal_words.max(b.literal_refs),
+            ..*b
+        })
+        .collect();
+    let pools = vec![0; program.functions().len()];
+    Program::new(blocks, program.functions().to_vec(), pools)
+        .expect("moving literals preserves validity")
+}
+
+/// Largest block footprint (in words) the BBR compiler keeps whole at
+/// word-failure probability `p_word`.
+///
+/// A block of `m` words needs a fault-free chunk of `m` words; the chance
+/// a given cache position starts one is `(1-p)^m`. Splitting costs an
+/// executed jump per piece, so the compiler only splits when chunks of the
+/// block's size become scarce — here, when fewer than 2 % of positions
+/// would fit it. Clamped to `[6, 32]`.
+///
+/// # Panics
+///
+/// Panics if `p_word` is outside `[0, 1)`.
+pub fn adaptive_max_block_words(p_word: f64) -> u32 {
+    assert!((0.0..1.0).contains(&p_word), "p_word {p_word} outside [0, 1)");
+    if p_word == 0.0 {
+        return 32;
+    }
+    let m = (0.02f64.ln() / (1.0 - p_word).ln()).floor();
+    (m as u32).clamp(6, 32)
+}
+
+/// The full BBR compilation pipeline: insert jumps, break blocks larger
+/// than `max_footprint_words`, and move literal pools.
+///
+/// Applied to "all of the program components including the program code,
+/// standard libraries and run time libraries" — in this model, to every
+/// function of the program.
+pub fn bbr_transform(program: &Program, max_footprint_words: u32) -> Program {
+    move_literal_pools(&break_blocks(&insert_jumps(program), max_footprint_words))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvs_workloads::{Benchmark, Layout, ProgramSpec};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_program() -> Program {
+        ProgramSpec::default().generate(&mut StdRng::seed_from_u64(4))
+    }
+
+    #[test]
+    fn insert_jumps_targets_fallthrough_paths() {
+        let p = sample_program();
+        let t = insert_jumps(&p);
+        for (a, b) in p.blocks().iter().zip(t.blocks()) {
+            let expect = matches!(
+                a.terminator,
+                Terminator::FallThrough | Terminator::CondBranch { .. } | Terminator::Call { .. }
+            );
+            assert_eq!(b.explicit_jump, expect || a.explicit_jump);
+            assert_eq!(a.body_len, b.body_len);
+        }
+    }
+
+    #[test]
+    fn insert_jumps_is_idempotent() {
+        let p = sample_program();
+        let once = insert_jumps(&p);
+        let twice = insert_jumps(&once);
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn break_blocks_bounds_every_footprint() {
+        let p = insert_jumps(&sample_program());
+        for limit in [6, 8, 12] {
+            let t = break_blocks(&p, limit);
+            let t = move_literal_pools(&t);
+            for (id, b) in t.blocks().iter().enumerate() {
+                assert!(
+                    b.footprint_words() <= limit,
+                    "block {id} footprint {} exceeds {limit}",
+                    b.footprint_words()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn break_blocks_preserves_total_body() {
+        let p = insert_jumps(&sample_program());
+        let t = break_blocks(&p, 6);
+        let before: u32 = p.blocks().iter().map(|b| b.body_len).sum();
+        let after: u32 = t.blocks().iter().map(|b| b.body_len).sum();
+        assert_eq!(before, after);
+        assert!(t.num_blocks() >= p.num_blocks());
+    }
+
+    #[test]
+    fn break_blocks_chains_pieces_with_jumps() {
+        // One big block: body 20, jump terminator.
+        let blocks = vec![
+            Block::with_terminator(20, Terminator::Jump { target: 0 }),
+            Block::with_terminator(1, Terminator::Jump { target: 0 }),
+        ];
+        let p = Program::new(blocks, vec![0..2], vec![0]).unwrap();
+        let t = break_blocks(&p, 8);
+        // Piece sizes ≤ 8; pieces linked: 0 → 1 → … ; final piece jumps to
+        // new id of original target 0, which is 0.
+        assert!(t.num_blocks() > 2);
+        for (id, b) in t.blocks().iter().enumerate() {
+            assert!(b.footprint_words() <= 8);
+            if let Terminator::Jump { target } = b.terminator {
+                assert!(target < t.num_blocks(), "block {id} target {target}");
+            }
+        }
+        // Walk the chain of the first original block.
+        let mut id = 0usize;
+        let mut body = 0u32;
+        loop {
+            body += t.block(id).body_len;
+            match t.block(id).terminator {
+                Terminator::Jump { target } if target == id + 1 => id = target,
+                Terminator::Jump { target } => {
+                    assert_eq!(target, 0);
+                    break;
+                }
+                other => panic!("unexpected terminator {other:?}"),
+            }
+        }
+        assert_eq!(body, 20);
+    }
+
+    #[test]
+    fn move_literal_pools_empties_shared_pools() {
+        let p = sample_program();
+        let t = move_literal_pools(&p);
+        assert!(t.pool_words().iter().all(|&w| w == 0));
+        for (a, b) in p.blocks().iter().zip(t.blocks()) {
+            assert_eq!(b.literal_words, a.literal_words.max(a.literal_refs));
+        }
+        // Total footprint does not grow (pool words become block words).
+        assert!(t.total_footprint_words() <= p.total_footprint_words());
+    }
+
+    #[test]
+    fn full_pipeline_on_all_benchmarks() {
+        for b in Benchmark::ALL {
+            let wl = b.build(2);
+            let t = bbr_transform(wl.program(), 8);
+            for blk in t.blocks() {
+                assert!(blk.footprint_words() <= 8, "{b}");
+                // Every fall-through path is explicit.
+                if matches!(
+                    blk.terminator,
+                    Terminator::FallThrough | Terminator::CondBranch { .. } | Terminator::Call { .. }
+                ) {
+                    assert!(blk.explicit_jump, "{b}: implicit fall-through remains");
+                }
+            }
+            assert!(t.pool_words().iter().all(|&w| w == 0), "{b}");
+        }
+    }
+
+    #[test]
+    fn transformed_program_still_traces() {
+        let wl = Benchmark::Qsort.build(9);
+        let t = bbr_transform(wl.program(), 8);
+        let layout = Layout::sequential(&t);
+        let n = wl.trace_program(&t, &layout, 0).take(20_000).count();
+        assert_eq!(n, 20_000);
+    }
+
+    #[test]
+    fn transformation_overhead_is_modest() {
+        // Inserted jumps and split blocks grow the code, but only by a
+        // bounded fraction (the paper's static code-size cost).
+        let p = sample_program();
+        let t = bbr_transform(&p, 8);
+        let before = f64::from(p.total_footprint_words());
+        let after = f64::from(t.total_footprint_words());
+        let growth = after / before;
+        assert!(growth < 1.5, "code growth {growth}");
+        assert!(growth >= 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "insert_jumps")]
+    fn break_blocks_requires_explicit_jumps() {
+        let blocks = vec![
+            Block::body(30),
+            Block::with_terminator(1, Terminator::Jump { target: 0 }),
+        ];
+        let p = Program::new(blocks, vec![0..2], vec![0]).unwrap();
+        let _ = break_blocks(&p, 8);
+    }
+}

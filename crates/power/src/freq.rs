@@ -1,0 +1,89 @@
+//! Voltage → frequency model (Table II; 20 FO4 delays per cycle).
+
+use dvs_sram::MilliVolts;
+
+/// The paper's Table II operating points: (millivolts, MHz).
+pub const TABLE2_POINTS: [(u32, u32); 6] = [
+    (400, 475),
+    (440, 638),
+    (480, 818),
+    (520, 958),
+    (560, 1089),
+    (760, 1607),
+];
+
+/// Core frequency at `vcc`, in MHz.
+///
+/// Exact at the Table II anchors; linear interpolation between them, and
+/// boundary-slope extrapolation outside (clamped to ≥ 1 MHz).
+pub fn freq_mhz(vcc: MilliVolts) -> u32 {
+    let v = f64::from(vcc.get());
+    let pts = TABLE2_POINTS;
+    let seg = if v <= f64::from(pts[0].0) {
+        (pts[0], pts[1])
+    } else if v >= f64::from(pts[pts.len() - 1].0) {
+        (pts[pts.len() - 2], pts[pts.len() - 1])
+    } else {
+        let hi = pts
+            .iter()
+            .position(|&(pv, _)| f64::from(pv) >= v)
+            .expect("v below last anchor");
+        (pts[hi - 1], pts[hi])
+    };
+    let ((v0, f0), (v1, f1)) = seg;
+    let f = f64::from(f0)
+        + (v - f64::from(v0)) * f64::from(f1 - f0) / f64::from(v1 - v0);
+    f.max(1.0).round() as u32
+}
+
+/// FO4 inverter delay at `vcc`, in picoseconds, from the paper's 20-FO4
+/// cycle-time assumption: `FO4 = 1 / (20 · f)`.
+pub fn fo4_ps(vcc: MilliVolts) -> f64 {
+    1e6 / (20.0 * f64::from(freq_mhz(vcc)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_anchors_exact() {
+        for (mv, mhz) in TABLE2_POINTS {
+            assert_eq!(freq_mhz(MilliVolts::new(mv)), mhz, "at {mv} mV");
+        }
+    }
+
+    #[test]
+    fn frequency_monotone_in_voltage() {
+        let mut last = 0;
+        for mv in (350..=900).step_by(10) {
+            let f = freq_mhz(MilliVolts::new(mv));
+            assert!(f >= last, "frequency dropped at {mv} mV");
+            last = f;
+        }
+    }
+
+    #[test]
+    fn interpolates_between_anchors() {
+        let f = freq_mhz(MilliVolts::new(420));
+        assert!(f > 475 && f < 638);
+    }
+
+    #[test]
+    fn extrapolates_below_400() {
+        let f = freq_mhz(MilliVolts::new(360));
+        assert!(f < 475 && f >= 1);
+    }
+
+    #[test]
+    fn fo4_at_760mv_is_about_31ps() {
+        // 1 / (20 × 1.607 GHz) ≈ 31.1 ps.
+        let fo4 = fo4_ps(MilliVolts::new(760));
+        assert!((fo4 - 31.11).abs() < 0.2, "fo4 {fo4}");
+    }
+
+    #[test]
+    fn fo4_grows_as_voltage_drops() {
+        assert!(fo4_ps(MilliVolts::new(400)) > 3.0 * fo4_ps(MilliVolts::new(760)));
+    }
+}

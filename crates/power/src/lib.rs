@@ -1,0 +1,44 @@
+//! Area, latency, leakage and energy models.
+//!
+//! The paper estimates physical overheads with CACTI 6.5, McPAT and HSPICE
+//! (Section V). Those tools cannot be embedded here, so this crate
+//! substitutes analytical component models whose constants are anchored to
+//! the paper's published numbers:
+//!
+//! * [`freq`] — the DVFS voltage→frequency curve (Table II, 20 FO4 delays
+//!   per cycle) and the FO4 delay itself;
+//! * [`area`] — normalized cache area and static power per scheme
+//!   (Table III), built from a cell-inventory model (6T cell = 1 unit,
+//!   8T = 1.3 units, side arrays, CAM entries);
+//! * [`fo4`] — the FFW data-cache critical-path timeline (Figure 9) and
+//!   the zero-latency-overhead check;
+//! * [`energy`] — energy-per-instruction accounting under the paper's
+//!   scaling laws (dynamic ∝ V², static power ∝ V, L2 on a fixed voltage
+//!   domain), normalized to the 760 mV conventional baseline (Figure 12).
+//!
+//! # Example
+//!
+//! ```rust
+//! use dvs_power::{area, freq};
+//! use dvs_schemes::SchemeKind;
+//! use dvs_sram::{CacheGeometry, MilliVolts};
+//!
+//! // Table II: 400 mV runs at 475 MHz.
+//! assert_eq!(freq::freq_mhz(MilliVolts::new(400)), 475);
+//! // Table III: the FFW data cache costs ~5.2 % area.
+//! let o = area::static_overheads(SchemeKind::Ffw, &CacheGeometry::dsn_l1());
+//! assert!((o.normalized_area - 1.052).abs() < 0.01);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod area;
+pub mod energy;
+pub mod fo4;
+pub mod freq;
+
+pub use area::{static_overheads, table3, StaticOverheads, Table3Row};
+pub use energy::{EnergyModel, RunCounts};
+pub use fo4::{ffw_timeline, PathStage};
+pub use freq::{fo4_ps, freq_mhz};

@@ -1,0 +1,192 @@
+//! Defect buffers: the FBA's fully associative word store and the IDC's
+//! set-associative variant.
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+/// A word-location-tagged buffer holding the contents of in-use defective
+/// words (paper Section III-B: FBA, IDC).
+///
+/// Entries are keyed by global word address; each set is a true-LRU queue.
+/// The FBA is the fully associative special case (one set).
+///
+/// # Example
+///
+/// ```rust
+/// use dvs_schemes::DefectBuffer;
+///
+/// let mut fba = DefectBuffer::fully_associative(2);
+/// assert!(!fba.access(100)); // miss, inserted
+/// assert!(fba.access(100));  // hit
+/// fba.access(101);
+/// fba.access(102);           // evicts 100 (LRU)
+/// assert!(!fba.access(100));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DefectBuffer {
+    /// Per-set LRU queues of word addresses, most recent at the back.
+    sets: Vec<VecDeque<u64>>,
+    ways: u32,
+    hits: u64,
+    misses: u64,
+}
+
+impl DefectBuffer {
+    /// A fully associative buffer of `entries` words (the FBA).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is zero.
+    pub fn fully_associative(entries: u32) -> Self {
+        assert!(entries > 0, "buffer needs at least one entry");
+        DefectBuffer {
+            sets: vec![VecDeque::with_capacity(entries as usize)],
+            ways: entries,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// A set-associative buffer (the IDC): `entries` total words in sets of
+    /// `ways`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ways` is zero or does not divide `entries`.
+    pub fn set_associative(entries: u32, ways: u32) -> Self {
+        assert!(ways > 0 && entries % ways == 0, "entries must split into whole sets");
+        let sets = (entries / ways) as usize;
+        DefectBuffer {
+            sets: vec![VecDeque::with_capacity(ways as usize); sets],
+            ways,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Total capacity in words.
+    pub fn capacity(&self) -> u32 {
+        self.sets.len() as u32 * self.ways
+    }
+
+    fn set_of(&self, word_addr: u64) -> usize {
+        (word_addr % self.sets.len() as u64) as usize
+    }
+
+    /// Whether the buffer currently holds `word_addr` (no state change).
+    pub fn probe(&self, word_addr: u64) -> bool {
+        self.sets[self.set_of(word_addr)].contains(&word_addr)
+    }
+
+    /// Accesses `word_addr`: on a hit the entry is promoted and `true` is
+    /// returned; on a miss the word is inserted (evicting the set's LRU
+    /// entry if full) and `false` is returned.
+    pub fn access(&mut self, word_addr: u64) -> bool {
+        let ways = self.ways as usize;
+        let set_idx = self.set_of(word_addr);
+        let set = &mut self.sets[set_idx];
+        if let Some(pos) = set.iter().position(|&w| w == word_addr) {
+            set.remove(pos);
+            set.push_back(word_addr);
+            self.hits += 1;
+            return true;
+        }
+        self.misses += 1;
+        set.push_back(word_addr);
+        if set.len() > ways {
+            set.pop_front();
+        }
+        false
+    }
+
+    /// Buffer hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Buffer misses (each cost an L2 access) so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Words currently buffered.
+    pub fn occupancy(&self) -> u32 {
+        self.sets.iter().map(|s| s.len() as u32).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn lru_eviction_in_fully_associative() {
+        let mut b = DefectBuffer::fully_associative(2);
+        b.access(1);
+        b.access(2);
+        b.access(1); // promote 1; 2 is now LRU
+        b.access(3); // evicts 2
+        assert!(b.probe(1));
+        assert!(!b.probe(2));
+        assert!(b.probe(3));
+    }
+
+    #[test]
+    fn set_associative_isolates_sets() {
+        // 4 entries, 2 ways → 2 sets; even/odd word addresses separate.
+        let mut b = DefectBuffer::set_associative(4, 2);
+        b.access(0);
+        b.access(2);
+        b.access(4); // evicts 0 within set 0
+        assert!(!b.probe(0));
+        assert!(b.probe(2));
+        b.access(1); // set 1 untouched by the above
+        assert!(b.probe(1));
+    }
+
+    #[test]
+    fn hit_and_miss_counters() {
+        let mut b = DefectBuffer::fully_associative(4);
+        b.access(7);
+        b.access(7);
+        b.access(8);
+        assert_eq!(b.hits(), 1);
+        assert_eq!(b.misses(), 2);
+    }
+
+    #[test]
+    fn capacity_reports() {
+        assert_eq!(DefectBuffer::fully_associative(64).capacity(), 64);
+        assert_eq!(DefectBuffer::set_associative(1024, 4).capacity(), 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole sets")]
+    fn rejects_ragged_sets() {
+        let _ = DefectBuffer::set_associative(10, 4);
+    }
+
+    proptest! {
+        #[test]
+        fn occupancy_bounded(words in proptest::collection::vec(0u64..100, 0..300)) {
+            let mut b = DefectBuffer::set_associative(16, 4);
+            for w in words {
+                b.access(w);
+            }
+            prop_assert!(b.occupancy() <= 16);
+            for set in 0..4u64 {
+                let _ = set;
+            }
+        }
+
+        #[test]
+        fn probe_after_access_hits(w in 0u64..1000) {
+            let mut b = DefectBuffer::fully_associative(8);
+            b.access(w);
+            prop_assert!(b.probe(w));
+            prop_assert!(b.access(w));
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! Fault-Free Window mechanics (paper Section IV-A, Figures 4 and 5).
+//!
+//! A physical frame with defective words can still hold a *window* — a
+//! contiguous range of the logical block's words — scattered into its
+//! fault-free word entries. The `StoredPattern` records which logical
+//! words are present; the `FMAP` records which physical entries are
+//! defective; the remap logic converts a logical word offset into the
+//! physical column-mux select.
+
+/// Computes the stored pattern for a window of `window_len` contiguous
+/// logical words centred on `focus`, in a block of `words_per_block`
+/// words (Figure 5: "we let the missing word stand in the middle of the
+/// new fault-free window").
+///
+/// Returns 0 when `window_len` is 0 (a fully defective frame).
+///
+/// # Panics
+///
+/// Panics if `focus ≥ words_per_block` or `words_per_block > 32`.
+pub fn window_pattern(window_len: u32, words_per_block: u32, focus: u32) -> u32 {
+    assert!(words_per_block <= 32, "patterns are u32 masks");
+    assert!(focus < words_per_block, "focus word out of range");
+    let len = window_len.min(words_per_block);
+    if len == 0 {
+        return 0;
+    }
+    // Centre the window on the focus word, clamped to the block bounds.
+    let half = (len - 1) / 2;
+    let start = focus.saturating_sub(half).min(words_per_block - len);
+    ((1u32 << len) - 1) << start
+}
+
+/// Computes a stored pattern whose window *starts* at the focus word
+/// rather than centring on it — the ablation alternative to the paper's
+/// Figure 5 policy. Clamped so the window stays within the block.
+///
+/// # Panics
+///
+/// Panics as [`window_pattern`] does.
+pub fn window_pattern_aligned(window_len: u32, words_per_block: u32, focus: u32) -> u32 {
+    assert!(words_per_block <= 32, "patterns are u32 masks");
+    assert!(focus < words_per_block, "focus word out of range");
+    let len = window_len.min(words_per_block);
+    if len == 0 {
+        return 0;
+    }
+    let start = focus.min(words_per_block - len);
+    ((1u32 << len) - 1) << start
+}
+
+/// Remaps a logical `word` offset to the physical fault-free entry that
+/// stores it, given the frame's stored pattern and fault pattern
+/// (Figure 4's word-remapping logic).
+///
+/// Returns `None` when the word is not in the window (a *word miss*).
+///
+/// # Example
+///
+/// The paper's worked example: stored pattern `0111_1100` (logical words
+/// 2–6 present), no defective entries among the first slots. Offset 3 is
+/// the second word of the window, so it maps to the second fault-free
+/// entry, `0x1`:
+///
+/// ```rust
+/// use dvs_schemes::ffw::remap_word_offset;
+///
+/// assert_eq!(remap_word_offset(0b0111_1100, 0b0000_0000, 0x3), Some(0x1));
+/// ```
+///
+/// # Panics
+///
+/// Panics if the window holds more words than the frame has fault-free
+/// entries (the FFW invariant is violated).
+pub fn remap_word_offset(stored_pattern: u32, fault_pattern: u32, word: u32) -> Option<u32> {
+    if stored_pattern & (1 << word) == 0 {
+        return None;
+    }
+    // Rank of `word` within the window (how many lower logical words are
+    // stored).
+    let rank = (stored_pattern & ((1 << word) - 1)).count_ones();
+    // The rank-th fault-free physical entry.
+    let mut remaining = rank;
+    for slot in 0..32 {
+        if fault_pattern & (1 << slot) == 0 {
+            if remaining == 0 {
+                return Some(slot);
+            }
+            remaining -= 1;
+        }
+    }
+    panic!("window larger than the frame's fault-free capacity");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_worked_example() {
+        // Figure 4: pattern 01111100, offset 0x3 → physical entry 0x1.
+        assert_eq!(remap_word_offset(0b0111_1100, 0, 3), Some(1));
+    }
+
+    #[test]
+    fn remap_skips_faulty_entries() {
+        // Window = words 2..7; physical entry 0 faulty → word 2 lands in
+        // entry 1, word 3 in entry 2 …
+        let stored = 0b0111_1100;
+        let faults = 0b0000_0001;
+        assert_eq!(remap_word_offset(stored, faults, 2), Some(1));
+        assert_eq!(remap_word_offset(stored, faults, 3), Some(2));
+        assert_eq!(remap_word_offset(stored, faults, 6), Some(5));
+    }
+
+    #[test]
+    fn words_outside_window_miss() {
+        assert_eq!(remap_word_offset(0b0111_1100, 0, 0), None);
+        assert_eq!(remap_word_offset(0b0111_1100, 0, 7), None);
+    }
+
+    #[test]
+    fn full_window_is_identity_when_fault_free() {
+        for w in 0..8 {
+            assert_eq!(remap_word_offset(0xFF, 0, w), Some(w));
+        }
+    }
+
+    #[test]
+    fn window_pattern_centres_on_focus() {
+        // 5-word window around word 5 in an 8-word block: words 3..=7.
+        assert_eq!(window_pattern(5, 8, 5), 0b1111_1000);
+        // Clamped at the low end.
+        assert_eq!(window_pattern(5, 8, 0), 0b0001_1111);
+        // Clamped at the high end.
+        assert_eq!(window_pattern(5, 8, 7), 0b1111_1000);
+    }
+
+    #[test]
+    fn aligned_window_starts_at_focus() {
+        assert_eq!(window_pattern_aligned(5, 8, 2), 0b0111_1100);
+        assert_eq!(window_pattern_aligned(5, 8, 6), 0b1111_1000); // clamped
+        assert_eq!(window_pattern_aligned(8, 8, 0), 0xFF);
+        assert_eq!(window_pattern_aligned(0, 8, 0), 0);
+    }
+
+    #[test]
+    fn window_pattern_full_and_empty() {
+        assert_eq!(window_pattern(8, 8, 3), 0xFF);
+        assert_eq!(window_pattern(0, 8, 3), 0);
+        assert_eq!(window_pattern(12, 8, 3), 0xFF); // clamped to block
+    }
+
+    #[test]
+    #[should_panic(expected = "focus word out of range")]
+    fn window_pattern_rejects_bad_focus() {
+        let _ = window_pattern(4, 8, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "fault-free capacity")]
+    fn remap_detects_invariant_violation() {
+        // 8-word window but every entry faulty.
+        let _ = remap_word_offset(0xFF, 0xFFFF_FFFF, 0);
+    }
+
+    proptest! {
+        #[test]
+        fn window_always_contains_focus(len in 1u32..=8, focus in 0u32..8) {
+            let p = window_pattern(len, 8, focus);
+            prop_assert!(p & (1 << focus) != 0, "pattern {:08b} misses focus {}", p, focus);
+            prop_assert_eq!(p.count_ones(), len.min(8));
+        }
+
+        #[test]
+        fn window_is_contiguous(len in 0u32..=8, focus in 0u32..8) {
+            let p = window_pattern(len, 8, focus);
+            if p != 0 {
+                let shifted = p >> p.trailing_zeros();
+                prop_assert_eq!(shifted & (shifted + 1), 0, "pattern {:08b} not contiguous", p);
+            }
+        }
+
+        #[test]
+        fn remap_is_injective_into_fault_free_slots(
+            fault_pattern in 0u32..256,
+            focus in 0u32..8,
+        ) {
+            let free = 8 - (fault_pattern & 0xFF).count_ones();
+            let stored = window_pattern(free, 8, focus);
+            let mut seen = std::collections::HashSet::new();
+            for w in 0..8 {
+                if let Some(slot) = remap_word_offset(stored, fault_pattern, w) {
+                    prop_assert!(slot < 8);
+                    prop_assert!(fault_pattern & (1 << slot) == 0, "mapped to faulty slot");
+                    prop_assert!(seen.insert(slot), "two words share slot {slot}");
+                }
+            }
+            prop_assert_eq!(seen.len() as u32, stored.count_ones());
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Scheme identifiers and their static properties.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The fault-tolerance schemes evaluated in the paper (Section VI).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SchemeKind {
+    /// Conventional 6T cache assumed defect-free — either the 760 mV
+    /// baseline or the paper's "unrealistic" defect-free low-voltage
+    /// baseline.
+    Conventional,
+    /// Robust 8T-cell cache: defect-free at every evaluated voltage, but
+    /// +28 % area, which the paper charges as one extra cycle.
+    EightT,
+    /// Simple word disable: accesses to defective words are redirected to
+    /// the L2 every time (Mahmood & Kim).
+    SimpleWordDisable,
+    /// Wilkerson word-disable with the simple-word-disable supplement the
+    /// paper grants it below 480 mV: consecutive line pairs combine into
+    /// one effective line (half capacity, +1 cycle).
+    WilkersonPlus,
+    /// Fault Buffer Array: a fully associative word-location-tagged buffer
+    /// holding in-use defective words (+1 cycle). `FBA⁺` = 1024 entries.
+    Fba {
+        /// Buffer capacity in words.
+        entries: u32,
+    },
+    /// Inquisitive Defect Cache: like FBA but set-associative (+1 cycle).
+    /// `IDC⁺` = 1024 entries.
+    Idc {
+        /// Buffer capacity in words.
+        entries: u32,
+        /// Buffer associativity.
+        ways: u32,
+    },
+    /// Word substitution (ZerehCache/Archipelago family, §III-B):
+    /// sacrificial lines patch the defective words of grouped data lines
+    /// (+1 cycle for the substitution muxes; capacity shrinks by the
+    /// sacrifices).
+    WordSubstitution,
+    /// Coarse-grained line disable (Lee et al., §III-B): any cache line
+    /// containing a defective word is never allocated. Graceful at
+    /// moderate rates; hopeless once "almost every cache line is expected
+    /// to be faulty".
+    LineDisable,
+    /// Gated-Vdd way disable (Ozdemir et al., §III-B): a whole way with
+    /// any defective cell is powered off.
+    WayDisable,
+    /// Fault-Free Window — this paper's data-cache mechanism (0 cycles).
+    Ffw,
+    /// Basic Block Relocation support mode — this paper's instruction-cache
+    /// mechanism: direct-mapped operation over a cache whose defective
+    /// words the linker guarantees are never fetched (0 cycles).
+    Bbr,
+}
+
+impl SchemeKind {
+    /// The paper's 64-entry FBA configuration (Table III).
+    pub const fn fba() -> Self {
+        SchemeKind::Fba { entries: 64 }
+    }
+
+    /// The optimistic `FBA⁺` with 1024 entries (Figures 10–12).
+    pub const fn fba_plus() -> Self {
+        SchemeKind::Fba { entries: 1024 }
+    }
+
+    /// The paper's 64-entry IDC configuration (Table III).
+    pub const fn idc() -> Self {
+        SchemeKind::Idc {
+            entries: 64,
+            ways: 4,
+        }
+    }
+
+    /// The optimistic `IDC⁺` with 1024 entries (Figures 10–12).
+    pub const fn idc_plus() -> Self {
+        SchemeKind::Idc {
+            entries: 1024,
+            ways: 4,
+        }
+    }
+
+    /// Extra L1 hit cycles the scheme costs (Table III "Latency overhead").
+    pub fn extra_hit_cycles(self) -> u32 {
+        match self {
+            SchemeKind::Conventional
+            | SchemeKind::SimpleWordDisable
+            | SchemeKind::LineDisable
+            | SchemeKind::WayDisable
+            | SchemeKind::Ffw
+            | SchemeKind::Bbr => 0,
+            SchemeKind::EightT
+            | SchemeKind::WilkersonPlus
+            | SchemeKind::WordSubstitution
+            | SchemeKind::Fba { .. }
+            | SchemeKind::Idc { .. } => 1,
+        }
+    }
+
+    /// Whether the scheme's data array is immune to the fault map
+    /// (defect-free cells).
+    pub fn is_defect_free(self) -> bool {
+        matches!(self, SchemeKind::Conventional | SchemeKind::EightT)
+    }
+
+    /// Whether the scheme halves the effective associativity/capacity
+    /// (Wilkerson pairs consecutive lines).
+    pub fn halves_capacity(self) -> bool {
+        self == SchemeKind::WilkersonPlus
+    }
+
+    /// Whether the cache must run direct-mapped (BBR's low-voltage mode).
+    pub fn requires_direct_mapped(self) -> bool {
+        self == SchemeKind::Bbr
+    }
+
+    /// Short display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            SchemeKind::Conventional => "baseline",
+            SchemeKind::EightT => "8T",
+            SchemeKind::SimpleWordDisable => "Simple-wdis",
+            SchemeKind::WilkersonPlus => "Wilkerson+",
+            SchemeKind::Fba { entries } if entries >= 1024 => "FBA+",
+            SchemeKind::Fba { .. } => "FBA",
+            SchemeKind::Idc { entries, .. } if entries >= 1024 => "IDC+",
+            SchemeKind::Idc { .. } => "IDC",
+            SchemeKind::WordSubstitution => "Word-subst",
+            SchemeKind::LineDisable => "Line-disable",
+            SchemeKind::WayDisable => "Way-disable",
+            SchemeKind::Ffw => "FFW",
+            SchemeKind::Bbr => "BBR",
+        }
+    }
+}
+
+impl fmt::Display for SchemeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_overheads_match_table3() {
+        assert_eq!(SchemeKind::EightT.extra_hit_cycles(), 1);
+        assert_eq!(SchemeKind::Ffw.extra_hit_cycles(), 0);
+        assert_eq!(SchemeKind::Bbr.extra_hit_cycles(), 0);
+        assert_eq!(SchemeKind::fba().extra_hit_cycles(), 1);
+        assert_eq!(SchemeKind::WilkersonPlus.extra_hit_cycles(), 1);
+        assert_eq!(SchemeKind::idc().extra_hit_cycles(), 1);
+        assert_eq!(SchemeKind::SimpleWordDisable.extra_hit_cycles(), 0);
+    }
+
+    #[test]
+    fn plus_variants_have_1024_entries() {
+        assert_eq!(SchemeKind::fba_plus(), SchemeKind::Fba { entries: 1024 });
+        assert!(matches!(SchemeKind::idc_plus(), SchemeKind::Idc { entries: 1024, .. }));
+    }
+
+    #[test]
+    fn names_match_figures() {
+        assert_eq!(SchemeKind::fba_plus().name(), "FBA+");
+        assert_eq!(SchemeKind::fba().name(), "FBA");
+        assert_eq!(SchemeKind::WilkersonPlus.to_string(), "Wilkerson+");
+    }
+
+    #[test]
+    fn predicates() {
+        assert!(SchemeKind::EightT.is_defect_free());
+        assert!(!SchemeKind::Ffw.is_defect_free());
+        assert!(SchemeKind::WilkersonPlus.halves_capacity());
+        assert!(SchemeKind::Bbr.requires_direct_mapped());
+        assert!(!SchemeKind::Ffw.requires_direct_mapped());
+    }
+}

@@ -1,0 +1,699 @@
+//! The scheme-agnostic L1 cache front end.
+
+use serde::{Deserialize, Serialize};
+
+use dvs_cache::{Addr, CacheCore, CacheMode, L2Cache};
+use dvs_sram::{CacheGeometry, FaultMap, FrameId};
+
+use crate::buffer::DefectBuffer;
+use crate::ffw::{window_pattern, window_pattern_aligned};
+use crate::kind::SchemeKind;
+use crate::wilkerson::pair_word_usable;
+
+/// Where a read was ultimately served from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ServedFrom {
+    /// The L1 itself (including a defect-buffer hit).
+    L1,
+    /// The L2 cache.
+    L2,
+    /// Main memory (L2 missed).
+    Memory,
+}
+
+/// Outcome of a read (load or instruction fetch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadOutcome {
+    /// Where the requested word came from.
+    pub source: ServedFrom,
+    /// L2 read accesses this L1 access caused.
+    pub l2_reads: u32,
+}
+
+/// Outcome of a store (the write-through path).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteOutcome {
+    /// Whether the L1 copy was updated (block present and word usable).
+    pub l1_updated: bool,
+}
+
+/// Event counters of one L1 instance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct L1Stats {
+    /// Read accesses (loads or fetches).
+    pub reads: u64,
+    /// Reads served directly from the L1 data array.
+    pub hits: u64,
+    /// Reads that missed because the block was absent.
+    pub block_misses: u64,
+    /// Reads that hit the tag but missed the word (defective / outside the
+    /// fault-free window).
+    pub word_misses: u64,
+    /// Word misses absorbed by a defect buffer (FBA/IDC only).
+    pub buffer_hits: u64,
+    /// Store accesses observed.
+    pub writes: u64,
+}
+
+#[derive(Debug, Clone)]
+enum Policy {
+    /// Conventional / 8T: the data array is defect-free.
+    AlwaysPresent,
+    /// Simple word disable and BBR: defective words always redirect.
+    WordDisable,
+    /// Fault-free windows: per-frame stored patterns. `centered` selects
+    /// the paper's Figure 5 policy (missing word in the middle) over the
+    /// ablation's start-aligned windows.
+    Ffw {
+        /// Per-frame stored patterns.
+        patterns: Vec<u32>,
+        /// Window placement policy.
+        centered: bool,
+    },
+    /// FBA / IDC: defective words may live in the side buffer.
+    Buffer(DefectBuffer),
+    /// Wilkerson word-disable pairs with the word-disable supplement.
+    WilkersonPlus,
+    /// Word substitution: per-frame roles from the greedy grouper; only
+    /// `Data` frames are allocated, and their faults are patched.
+    WordSub {
+        /// `usable[frame_index]` marks data frames.
+        usable: Vec<bool>,
+    },
+    /// Lines containing any defective word are never allocated.
+    LineDisable,
+    /// Ways containing any defective cell are powered off; `usable[w]`
+    /// marks the surviving ways.
+    WayDisable {
+        /// Per-way usability, precomputed from the fault map.
+        usable: Vec<bool>,
+    },
+}
+
+/// An L1 cache running one fault-tolerance scheme over a fault map.
+///
+/// The same type serves as instruction and data cache; the CPU model owns
+/// one instance per side and a shared [`L2Cache`].
+///
+/// # Example
+///
+/// See the crate-level example.
+#[derive(Debug, Clone)]
+pub struct L1Cache {
+    kind: SchemeKind,
+    core: CacheCore,
+    fmap: FaultMap,
+    policy: Policy,
+    stats: L1Stats,
+}
+
+impl L1Cache {
+    /// Builds an L1 for `kind` over `fmap` (whose geometry is the physical
+    /// cache shape).
+    ///
+    /// # Panics
+    ///
+    /// Panics if Wilkerson pairing is requested with an odd way count, or
+    /// the geometry's blocks exceed 32 words.
+    pub fn new(kind: SchemeKind, fmap: FaultMap) -> Self {
+        let phys = *fmap.geometry();
+        let core_geom = if kind.halves_capacity() {
+            assert!(phys.ways() % 2 == 0, "pairing requires an even way count");
+            CacheGeometry::new(phys.capacity_bytes() / 2, phys.ways() / 2, phys.block_bytes())
+                .expect("halved geometry remains valid")
+        } else {
+            phys
+        };
+        let mut core = CacheCore::new(core_geom);
+        if kind.requires_direct_mapped() {
+            core.set_mode(CacheMode::DirectMapped);
+        }
+        let policy = match kind {
+            SchemeKind::Conventional | SchemeKind::EightT => Policy::AlwaysPresent,
+            SchemeKind::SimpleWordDisable | SchemeKind::Bbr => Policy::WordDisable,
+            SchemeKind::Ffw => Policy::Ffw {
+                patterns: vec![0; core_geom.total_lines() as usize],
+                centered: true,
+            },
+            SchemeKind::Fba { entries } => {
+                Policy::Buffer(DefectBuffer::fully_associative(entries))
+            }
+            SchemeKind::Idc { entries, ways } => {
+                Policy::Buffer(DefectBuffer::set_associative(entries, ways))
+            }
+            SchemeKind::WilkersonPlus => Policy::WilkersonPlus,
+            SchemeKind::WordSubstitution => {
+                let roles = crate::wordsub::group_cache(&fmap);
+                let mut usable = vec![false; phys.total_lines() as usize];
+                for (set, ways) in roles.iter().enumerate() {
+                    for (way, &role) in ways.iter().enumerate() {
+                        usable[set * phys.ways() as usize + way] =
+                            role == crate::wordsub::WayRole::Data;
+                    }
+                }
+                Policy::WordSub { usable }
+            }
+            SchemeKind::LineDisable => Policy::LineDisable,
+            SchemeKind::WayDisable => {
+                let usable = (0..phys.ways())
+                    .map(|way| {
+                        (0..phys.sets()).all(|set| {
+                            fmap.frame_is_fault_free(FrameId::new(set, way))
+                        })
+                    })
+                    .collect();
+                Policy::WayDisable { usable }
+            }
+        };
+        L1Cache {
+            kind,
+            core,
+            fmap,
+            policy,
+            stats: L1Stats::default(),
+        }
+    }
+
+    /// The scheme in force.
+    pub fn kind(&self) -> SchemeKind {
+        self.kind
+    }
+
+    /// Extra cycles this scheme adds to every L1 access (Table III).
+    pub fn extra_hit_cycles(&self) -> u32 {
+        self.kind.extra_hit_cycles()
+    }
+
+    /// Event counters.
+    pub fn stats(&self) -> &L1Stats {
+        &self.stats
+    }
+
+    /// The fault map in force.
+    pub fn fault_map(&self) -> &FaultMap {
+        &self.fmap
+    }
+
+    /// Invalidates all contents (mode/voltage switches flush the L1s).
+    pub fn invalidate_all(&mut self) {
+        self.core.invalidate_all();
+        if let Policy::Ffw { patterns, .. } = &mut self.policy {
+            patterns.iter_mut().for_each(|p| *p = 0);
+        }
+    }
+
+    fn frame_index(&self, frame: FrameId) -> usize {
+        (frame.set * self.core.geometry().ways() + frame.way) as usize
+    }
+
+    /// Whether the requested word of a present block can be served by the
+    /// L1 data array.
+    fn word_present(&self, frame: FrameId, word: u32) -> bool {
+        match &self.policy {
+            Policy::AlwaysPresent => true,
+            Policy::WordDisable | Policy::Buffer(_) => !self.fmap.is_faulty(frame, word),
+            Policy::Ffw { patterns, .. } => patterns[self.frame_index(frame)] & (1 << word) != 0,
+            Policy::WilkersonPlus => pair_word_usable(&self.fmap, frame.set, frame.way, word),
+            // Disabled frames are never allocated, so anything present in
+            // an allocated frame is fully usable (word substitution
+            // patches data frames' faults from the sacrificial line).
+            Policy::WordSub { .. } | Policy::LineDisable | Policy::WayDisable { .. } => true,
+        }
+    }
+
+    /// For line/way-disabling policies: the LRU way of `addr`'s set that
+    /// is still allowed to hold data, or `None` when the whole set is
+    /// disabled (the access then bypasses the L1 entirely).
+    fn fillable_way(&self, addr: Addr) -> Option<u32> {
+        let set = addr.set_index(self.core.geometry());
+        let usable = |way: u32| match &self.policy {
+            Policy::LineDisable => self.fmap.frame_is_fault_free(FrameId::new(set, way)),
+            Policy::WayDisable { usable } => usable[way as usize],
+            Policy::WordSub { usable } => {
+                usable[(set * self.core.geometry().ways() + way) as usize]
+            }
+            _ => unreachable!("only disabling policies restrict fills"),
+        };
+        (0..self.core.geometry().ways())
+            .filter(|&w| usable(w))
+            .max_by_key(|&w| self.core.way_rank(set, w))
+    }
+
+    /// Switches the FFW to start-aligned windows (ablation; the paper's
+    /// default centres the window on the missing word).
+    ///
+    /// # Panics
+    ///
+    /// Panics if this cache does not run the FFW scheme.
+    pub fn set_ffw_alignment(&mut self, centered: bool) {
+        match &mut self.policy {
+            Policy::Ffw { centered: c, .. } => *c = centered,
+            _ => panic!("window alignment applies only to FFW caches"),
+        }
+    }
+
+    /// Recomputes a frame's FFW stored pattern around `focus`.
+    fn refresh_window(&mut self, frame: FrameId, focus: u32) {
+        let free = self.fmap.fault_free_words_in_frame(frame);
+        let wpb = self.fmap.geometry().words_per_block();
+        let idx = self.frame_index(frame);
+        if let Policy::Ffw { patterns, centered } = &mut self.policy {
+            patterns[idx] = if *centered {
+                window_pattern(free, wpb, focus)
+            } else {
+                window_pattern_aligned(free, wpb, focus)
+            };
+        }
+    }
+
+    /// Reads the word at `addr` (a load or an instruction fetch),
+    /// escalating to `l2` as the scheme requires.
+    pub fn read(&mut self, addr: Addr, l2: &mut L2Cache) -> ReadOutcome {
+        self.stats.reads += 1;
+        let word = addr.word_offset(self.core.geometry());
+        if let dvs_cache::LookupResult::Hit { frame } = self.core.lookup(addr) {
+            if self.word_present(frame, word) {
+                self.stats.hits += 1;
+                return ReadOutcome {
+                    source: ServedFrom::L1,
+                    l2_reads: 0,
+                };
+            }
+            // Word miss: tag matched but the word is unusable.
+            self.stats.word_misses += 1;
+            if matches!(self.policy, Policy::Ffw { .. }) {
+                // Fetch the block from L2 and slide the window so the
+                // missing word sits in the middle (Figure 5). The word is
+                // forwarded to the CPU as the window updates.
+                let out = l2.read(addr);
+                self.refresh_window(frame, word);
+                return ReadOutcome {
+                    source: served(out.hit),
+                    l2_reads: 1,
+                };
+            }
+            if let Policy::Buffer(buf) = &mut self.policy {
+                if buf.access(addr.word_index()) {
+                    self.stats.buffer_hits += 1;
+                    return ReadOutcome {
+                        source: ServedFrom::L1,
+                        l2_reads: 0,
+                    };
+                }
+                // Buffer miss: handled like a normal cache miss, and the
+                // word was just installed in the buffer.
+            }
+            debug_assert!(
+                !matches!(self.policy, Policy::AlwaysPresent),
+                "defect-free words never miss"
+            );
+            // Word disable / Wilkerson supplement / buffer miss: redirect
+            // to the next level.
+            let out = l2.read(addr);
+            ReadOutcome {
+                source: served(out.hit),
+                l2_reads: 1,
+            }
+        } else {
+            // Block miss: refill from L2.
+            self.stats.block_misses += 1;
+            let out = l2.read(addr);
+            if matches!(
+                self.policy,
+                Policy::LineDisable | Policy::WayDisable { .. } | Policy::WordSub { .. }
+            ) {
+                // Disabled frames never hold data; allocate into the LRU
+                // usable way, or bypass the L1 when the set has none.
+                if let Some(way) = self.fillable_way(addr) {
+                    let _ = self.core.fill_into(addr, way);
+                }
+                return ReadOutcome {
+                    source: served(out.hit),
+                    l2_reads: 1,
+                };
+            }
+            let (frame, _evicted) = self.core.fill(addr);
+            if matches!(self.policy, Policy::Ffw { .. }) {
+                self.refresh_window(frame, word);
+            } else {
+                let faulty = self.fmap.is_faulty(frame, word)
+                    && !matches!(self.policy, Policy::WilkersonPlus);
+                if let Policy::Buffer(buf) = &mut self.policy {
+                    // The requested word is defective in its new frame:
+                    // install it in the buffer as part of the refill.
+                    if faulty {
+                        buf.access(addr.word_index());
+                    }
+                }
+            }
+            ReadOutcome {
+                source: served(out.hit),
+                l2_reads: 1,
+            }
+        }
+    }
+
+    /// Applies a store at `addr`. The L1 is write-through / no-write-
+    /// allocate (Table I): the store always proceeds to the write buffer
+    /// and L2; this call only maintains L1-side state.
+    pub fn write(&mut self, addr: Addr) -> WriteOutcome {
+        self.stats.writes += 1;
+        let word = addr.word_offset(self.core.geometry());
+        match self.core.lookup(addr) {
+            dvs_cache::LookupResult::Hit { frame } => {
+                if self.word_present(frame, word) {
+                    return WriteOutcome { l1_updated: true };
+                }
+                // Defective word: a buffer-based scheme captures the store.
+                if let Policy::Buffer(buf) = &mut self.policy {
+                    buf.access(addr.word_index());
+                    return WriteOutcome { l1_updated: true };
+                }
+                WriteOutcome { l1_updated: false }
+            }
+            dvs_cache::LookupResult::Miss => WriteOutcome { l1_updated: false },
+        }
+    }
+}
+
+fn served(l2_hit: bool) -> ServedFrom {
+    if l2_hit {
+        ServedFrom::L2
+    } else {
+        ServedFrom::Memory
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one_way_geom() -> CacheGeometry {
+        // 64 sets × 1 way × 32 B = 2 KB: deterministic frame targeting.
+        CacheGeometry::new(2048, 1, 32).unwrap()
+    }
+
+    fn addr(set: u32, tag: u64, word: u32) -> Addr {
+        // one_way_geom: 5 offset bits, 6 index bits.
+        Addr::new((tag << 11) | u64::from(set) << 5 | u64::from(word) * 4)
+    }
+
+    #[test]
+    fn conventional_hit_miss_lifecycle() {
+        let fmap = FaultMap::fault_free(&one_way_geom());
+        let mut l1 = L1Cache::new(SchemeKind::Conventional, fmap);
+        let mut l2 = L2Cache::dsn();
+        assert_eq!(l1.read(addr(0, 1, 0), &mut l2).source, ServedFrom::Memory);
+        assert_eq!(l1.read(addr(0, 1, 3), &mut l2).source, ServedFrom::L1);
+        assert_eq!(l1.stats().block_misses, 1);
+        assert_eq!(l1.stats().hits, 1);
+        // Conflicting tag evicts; refetch hits the L2 this time.
+        assert_eq!(l1.read(addr(0, 2, 0), &mut l2).source, ServedFrom::Memory);
+        assert_eq!(l1.read(addr(0, 1, 0), &mut l2).source, ServedFrom::L2);
+    }
+
+    #[test]
+    fn word_disable_redirects_faulty_words_every_time() {
+        let mut fmap = FaultMap::fault_free(&one_way_geom());
+        fmap.set_faulty(FrameId::new(0, 0), 5, true);
+        let mut l1 = L1Cache::new(SchemeKind::SimpleWordDisable, fmap);
+        let mut l2 = L2Cache::dsn();
+        l1.read(addr(0, 1, 0), &mut l2); // fill
+        for _ in 0..3 {
+            let out = l1.read(addr(0, 1, 5), &mut l2);
+            assert_ne!(out.source, ServedFrom::L1);
+            assert_eq!(out.l2_reads, 1);
+        }
+        assert_eq!(l1.stats().word_misses, 3);
+        // Healthy words of the same block still hit.
+        assert_eq!(l1.read(addr(0, 1, 4), &mut l2).source, ServedFrom::L1);
+    }
+
+    #[test]
+    fn ffw_window_centres_and_slides() {
+        // Frame (0,0): words 6 and 7 defective → 6-word window.
+        let mut fmap = FaultMap::fault_free(&one_way_geom());
+        fmap.set_faulty(FrameId::new(0, 0), 6, true);
+        fmap.set_faulty(FrameId::new(0, 0), 7, true);
+        let mut l1 = L1Cache::new(SchemeKind::Ffw, fmap);
+        let mut l2 = L2Cache::dsn();
+        // Fill reading word 0 → window covers words 0..=5.
+        l1.read(addr(0, 1, 0), &mut l2);
+        for w in 0..=5 {
+            assert_eq!(
+                l1.read(addr(0, 1, w), &mut l2).source,
+                ServedFrom::L1,
+                "word {w} should be in the default window"
+            );
+        }
+        // Word 6 misses; the window re-centres around it (words 2..=7).
+        let out = l1.read(addr(0, 1, 6), &mut l2);
+        assert_eq!(out.source, ServedFrom::L2);
+        assert_eq!(l1.stats().word_misses, 1);
+        assert_eq!(l1.read(addr(0, 1, 6), &mut l2).source, ServedFrom::L1);
+        assert_eq!(l1.read(addr(0, 1, 7), &mut l2).source, ServedFrom::L1);
+        // Word 0 slid out of the window; it misses, and the window slides
+        // back so the following access hits again.
+        assert_ne!(l1.read(addr(0, 1, 0), &mut l2).source, ServedFrom::L1);
+        assert_eq!(l1.read(addr(0, 1, 0), &mut l2).source, ServedFrom::L1);
+    }
+
+    #[test]
+    fn ffw_word_outside_window_misses_after_slide() {
+        let mut fmap = FaultMap::fault_free(&one_way_geom());
+        fmap.set_faulty(FrameId::new(0, 0), 0, true);
+        fmap.set_faulty(FrameId::new(0, 0), 1, true);
+        // free = 6 → window of 6.
+        let mut l1 = L1Cache::new(SchemeKind::Ffw, fmap);
+        let mut l2 = L2Cache::dsn();
+        l1.read(addr(0, 1, 7), &mut l2); // window centred at 7 → words 2..=7
+        assert_eq!(l1.read(addr(0, 1, 2), &mut l2).source, ServedFrom::L1);
+        // Words 0 and 1 are defective AND outside: they word-miss forever.
+        let out = l1.read(addr(0, 1, 0), &mut l2);
+        assert_ne!(out.source, ServedFrom::L1);
+    }
+
+    #[test]
+    fn ffw_fully_faulty_frame_serves_nothing_locally() {
+        let mut fmap = FaultMap::fault_free(&one_way_geom());
+        for w in 0..8 {
+            fmap.set_faulty(FrameId::new(0, 0), w, true);
+        }
+        let mut l1 = L1Cache::new(SchemeKind::Ffw, fmap);
+        let mut l2 = L2Cache::dsn();
+        l1.read(addr(0, 1, 0), &mut l2);
+        for w in 0..8 {
+            assert_ne!(l1.read(addr(0, 1, w), &mut l2).source, ServedFrom::L1);
+        }
+    }
+
+    #[test]
+    fn fba_buffers_defective_words() {
+        let mut fmap = FaultMap::fault_free(&one_way_geom());
+        fmap.set_faulty(FrameId::new(0, 0), 5, true);
+        let mut l1 = L1Cache::new(SchemeKind::Fba { entries: 4 }, fmap);
+        let mut l2 = L2Cache::dsn();
+        // Block miss reading the faulty word: refill + buffer install.
+        assert_eq!(l1.read(addr(0, 1, 5), &mut l2).l2_reads, 1);
+        // Now the buffer serves it at L1 speed.
+        assert_eq!(l1.read(addr(0, 1, 5), &mut l2).source, ServedFrom::L1);
+        assert_eq!(l1.stats().buffer_hits, 1);
+    }
+
+    #[test]
+    fn fba_capacity_limits_coverage() {
+        let mut fmap = FaultMap::fault_free(&one_way_geom());
+        // Faulty word 0 in sets 0..4.
+        for set in 0..4 {
+            fmap.set_faulty(FrameId::new(set, 0), 0, true);
+        }
+        let mut l1 = L1Cache::new(SchemeKind::Fba { entries: 2 }, fmap);
+        let mut l2 = L2Cache::dsn();
+        for set in 0..4 {
+            l1.read(addr(set, 1, 0), &mut l2);
+        }
+        // Buffer holds only the last two; the first redirects again.
+        let out = l1.read(addr(0, 1, 0), &mut l2);
+        assert_ne!(out.source, ServedFrom::L1);
+    }
+
+    #[test]
+    fn wilkerson_pairs_halve_capacity_and_cover_collisions() {
+        let geom = CacheGeometry::new(4096, 4, 32).unwrap(); // 32 sets
+        let mut fmap = FaultMap::fault_free(&geom);
+        // Both pairs of set 0 collide at word 3; word 4 is faulty in only
+        // one line of each pair (the partner serves it).
+        fmap.set_faulty(FrameId::new(0, 0), 3, true);
+        fmap.set_faulty(FrameId::new(0, 1), 3, true);
+        fmap.set_faulty(FrameId::new(0, 2), 3, true);
+        fmap.set_faulty(FrameId::new(0, 3), 3, true);
+        fmap.set_faulty(FrameId::new(0, 0), 4, true);
+        fmap.set_faulty(FrameId::new(0, 2), 4, true);
+        let mut l1 = L1Cache::new(SchemeKind::WilkersonPlus, fmap);
+        let mut l2 = L2Cache::dsn();
+        // 5 offset bits, 5 index bits (32 sets).
+        let a = |tag: u64, word: u32| Addr::new((tag << 10) | u64::from(word) * 4);
+        l1.read(a(1, 0), &mut l2);
+        // Non-collision faulty word: the partner line serves it.
+        assert_eq!(l1.read(a(1, 4), &mut l2).source, ServedFrom::L1);
+        // Collision word: supplement redirects to L2.
+        assert_ne!(l1.read(a(1, 3), &mut l2).source, ServedFrom::L1);
+        // Effective associativity is 2: three tags in one set thrash.
+        l1.read(a(2, 0), &mut l2);
+        l1.read(a(3, 0), &mut l2);
+        let out = l1.read(a(1, 0), &mut l2);
+        assert_ne!(out.source, ServedFrom::L1, "pairing must halve the ways");
+    }
+
+    #[test]
+    fn bbr_mode_is_direct_mapped() {
+        let geom = one_way_geom();
+        let fmap = FaultMap::fault_free(&geom);
+        let mut l1 = L1Cache::new(SchemeKind::Bbr, fmap);
+        let mut l2 = L2Cache::dsn();
+        // Two blocks whose block numbers differ by total_lines collide.
+        let a = Addr::new(0);
+        let b = Addr::new(u64::from(geom.total_lines()) * 32);
+        l1.read(a, &mut l2);
+        assert_eq!(l1.read(a, &mut l2).source, ServedFrom::L1);
+        l1.read(b, &mut l2);
+        assert_ne!(l1.read(a, &mut l2).source, ServedFrom::L1);
+    }
+
+    #[test]
+    fn writes_update_present_words_only() {
+        let mut fmap = FaultMap::fault_free(&one_way_geom());
+        fmap.set_faulty(FrameId::new(0, 0), 5, true);
+        let mut l1 = L1Cache::new(SchemeKind::SimpleWordDisable, fmap);
+        let mut l2 = L2Cache::dsn();
+        // Store miss: no allocation.
+        assert!(!l1.write(addr(0, 1, 0)).l1_updated);
+        assert_eq!(l1.stats().block_misses, 0, "stores do not allocate");
+        l1.read(addr(0, 1, 0), &mut l2);
+        assert!(l1.write(addr(0, 1, 0)).l1_updated);
+        assert!(!l1.write(addr(0, 1, 5)).l1_updated, "faulty word");
+    }
+
+    #[test]
+    fn invalidate_all_flushes_contents_and_windows() {
+        let fmap = FaultMap::fault_free(&one_way_geom());
+        let mut l1 = L1Cache::new(SchemeKind::Ffw, fmap);
+        let mut l2 = L2Cache::dsn();
+        l1.read(addr(0, 1, 0), &mut l2);
+        l1.invalidate_all();
+        assert_ne!(l1.read(addr(0, 1, 0), &mut l2).source, ServedFrom::L1);
+    }
+
+    #[test]
+    fn line_disable_skips_defective_lines() {
+        let geom = CacheGeometry::new(4096, 4, 32).unwrap(); // 32 sets, 4 ways
+        let mut fmap = FaultMap::fault_free(&geom);
+        // Set 0: ways 0 and 1 defective, ways 2 and 3 clean.
+        fmap.set_faulty(FrameId::new(0, 0), 3, true);
+        fmap.set_faulty(FrameId::new(0, 1), 5, true);
+        let mut l1 = L1Cache::new(SchemeKind::LineDisable, fmap);
+        let mut l2 = L2Cache::dsn();
+        let a = |tag: u64| Addr::new(tag << 10); // set 0
+        // Two blocks fit in the two surviving ways.
+        l1.read(a(1), &mut l2);
+        l1.read(a(2), &mut l2);
+        assert_eq!(l1.read(a(1), &mut l2).source, ServedFrom::L1);
+        assert_eq!(l1.read(a(2), &mut l2).source, ServedFrom::L1);
+        // A third block thrashes: effective associativity is 2.
+        l1.read(a(3), &mut l2);
+        assert_ne!(l1.read(a(1), &mut l2).source, ServedFrom::L1);
+    }
+
+    #[test]
+    fn line_disable_bypasses_fully_defective_sets() {
+        let geom = CacheGeometry::new(4096, 4, 32).unwrap();
+        let mut fmap = FaultMap::fault_free(&geom);
+        for way in 0..4 {
+            fmap.set_faulty(FrameId::new(0, way), 0, true);
+        }
+        let mut l1 = L1Cache::new(SchemeKind::LineDisable, fmap);
+        let mut l2 = L2Cache::dsn();
+        let a = Addr::new(1 << 10);
+        l1.read(a, &mut l2);
+        // Never cached: every access goes to the next level.
+        assert_ne!(l1.read(a, &mut l2).source, ServedFrom::L1);
+        assert_eq!(l1.stats().hits, 0);
+    }
+
+    #[test]
+    fn way_disable_powers_off_whole_ways() {
+        let geom = CacheGeometry::new(4096, 4, 32).unwrap();
+        let mut fmap = FaultMap::fault_free(&geom);
+        // One defective word anywhere in way 0 kills the entire way.
+        fmap.set_faulty(FrameId::new(17, 0), 2, true);
+        let mut l1 = L1Cache::new(SchemeKind::WayDisable, fmap);
+        let mut l2 = L2Cache::dsn();
+        // Set 5 (unrelated to the fault's set) still loses way 0:
+        let a = |tag: u64| Addr::new((tag << 10) | (5 << 5));
+        for t in 1..=3 {
+            l1.read(a(t), &mut l2);
+        }
+        for t in 1..=3 {
+            assert_eq!(l1.read(a(t), &mut l2).source, ServedFrom::L1, "tag {t}");
+        }
+        l1.read(a(4), &mut l2); // 4th block exceeds the 3 surviving ways
+        assert_ne!(l1.read(a(1), &mut l2).source, ServedFrom::L1);
+    }
+
+    #[test]
+    fn way_disable_collapses_at_low_voltage() {
+        // At P_fail(word) = 27.5 % every way contains defects: the cache
+        // is fully powered off — the paper's point about coarse schemes.
+        use rand::SeedableRng;
+        let geom = CacheGeometry::dsn_l1();
+        let fmap = FaultMap::sample(
+            &geom,
+            0.275,
+            &mut rand::rngs::StdRng::seed_from_u64(1),
+        );
+        let mut l1 = L1Cache::new(SchemeKind::WayDisable, fmap);
+        let mut l2 = L2Cache::dsn();
+        for i in 0..100u64 {
+            l1.read(Addr::new(i * 4), &mut l2);
+        }
+        assert_eq!(l1.stats().hits, 0, "no way can survive 27.5% word faults");
+    }
+
+    #[test]
+    fn ffw_alignment_ablation_changes_the_window() {
+        let mut fmap = FaultMap::fault_free(&one_way_geom());
+        fmap.set_faulty(FrameId::new(0, 0), 0, true);
+        fmap.set_faulty(FrameId::new(0, 0), 1, true); // 6-word windows
+        let mut l1 = L1Cache::new(SchemeKind::Ffw, fmap);
+        l1.set_ffw_alignment(false); // start-aligned
+        let mut l2 = L2Cache::dsn();
+        // Fill via word 2: aligned window covers words 2..=7.
+        l1.read(addr(0, 1, 2), &mut l2);
+        for w in 2..8 {
+            assert_eq!(l1.read(addr(0, 1, w), &mut l2).source, ServedFrom::L1);
+        }
+        // Word 1 is outside (a centred window from focus 2 would differ).
+        assert_ne!(l1.read(addr(0, 1, 1), &mut l2).source, ServedFrom::L1);
+    }
+
+    #[test]
+    #[should_panic(expected = "only to FFW")]
+    fn alignment_rejected_on_non_ffw() {
+        let fmap = FaultMap::fault_free(&one_way_geom());
+        let mut l1 = L1Cache::new(SchemeKind::EightT, fmap);
+        l1.set_ffw_alignment(false);
+    }
+
+    #[test]
+    fn eight_t_ignores_the_fault_map() {
+        let mut fmap = FaultMap::fault_free(&one_way_geom());
+        for w in 0..8 {
+            fmap.set_faulty(FrameId::new(0, 0), w, true);
+        }
+        let mut l1 = L1Cache::new(SchemeKind::EightT, fmap);
+        let mut l2 = L2Cache::dsn();
+        l1.read(addr(0, 1, 0), &mut l2);
+        assert_eq!(l1.read(addr(0, 1, 0), &mut l2).source, ServedFrom::L1);
+        assert_eq!(l1.extra_hit_cycles(), 1);
+    }
+}

@@ -1,0 +1,49 @@
+//! L1 cache fault-tolerance schemes.
+//!
+//! The paper proposes two mechanisms and compares them against the
+//! fine-grained state of the art (Section III, Section VI):
+//!
+//! | Scheme | Paper | Granularity | Extra L1 latency |
+//! |---|---|---|---|
+//! | [`SchemeKind::Ffw`] | this paper (D-cache) | word window | 0 cycles |
+//! | [`SchemeKind::Bbr`] | this paper (I-cache) | word (by construction) | 0 cycles |
+//! | [`SchemeKind::Conventional`] | 6T baseline | — | 0 |
+//! | [`SchemeKind::EightT`] | Chang et al. | cell | 1 cycle |
+//! | [`SchemeKind::SimpleWordDisable`] | Mahmood & Kim | word | 0 |
+//! | [`SchemeKind::WilkersonPlus`] | Wilkerson et al. | word pair | 1 cycle |
+//! | [`SchemeKind::Fba`] | Mahmood & Kim | word buffer | 1 cycle |
+//! | [`SchemeKind::Idc`] | Sasan et al. | word buffer | 1 cycle |
+//!
+//! All schemes are driven through one [`L1Cache`] front end so the CPU
+//! model treats them uniformly.
+//!
+//! # Example
+//!
+//! ```rust
+//! use dvs_cache::{Addr, L2Cache};
+//! use dvs_schemes::{L1Cache, SchemeKind, ServedFrom};
+//! use dvs_sram::{CacheGeometry, FaultMap};
+//!
+//! let geom = CacheGeometry::dsn_l1();
+//! let fmap = FaultMap::fault_free(&geom);
+//! let mut l1 = L1Cache::new(SchemeKind::Ffw, fmap);
+//! let mut l2 = L2Cache::dsn();
+//! let miss = l1.read(Addr::new(0x100), &mut l2);
+//! assert_eq!(miss.source, ServedFrom::Memory); // cold
+//! let hit = l1.read(Addr::new(0x100), &mut l2);
+//! assert_eq!(hit.source, ServedFrom::L1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod buffer;
+pub mod ffw;
+mod kind;
+mod l1;
+pub mod wilkerson;
+pub mod wordsub;
+
+pub use buffer::DefectBuffer;
+pub use kind::SchemeKind;
+pub use l1::{L1Cache, L1Stats, ReadOutcome, ServedFrom, WriteOutcome};

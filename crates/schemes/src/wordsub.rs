@@ -1,0 +1,222 @@
+//! Word-substitution grouping (ZerehCache / Archipelago family, §III-B).
+//!
+//! These schemes sacrifice some cache lines so their fault-free words can
+//! patch the defective words of the *data* lines grouped with them. A
+//! group is valid when the data lines' defective word positions are
+//! pairwise disjoint and the sacrificial line is fault-free at every one
+//! of those positions. The paper notes the cost: extra muxing on the
+//! critical path (+1 cycle here, like the other substitution schemes) —
+//! which is exactly why it relegates them to L2 protection.
+//!
+//! We implement a greedy set-local grouper (the published schemes use
+//! graph algorithms across sets; set-local grouping is the conservative
+//! variant that needs no extra index remapping).
+
+use serde::{Deserialize, Serialize};
+
+use dvs_sram::{FaultMap, FrameId};
+
+/// Role assigned to one physical way of a set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WayRole {
+    /// Holds a logical line; its defective words are patched by the
+    /// group's sacrificial line (or it has none).
+    Data,
+    /// Donates fault-free words to the group; holds no logical line.
+    Sacrificial,
+    /// Could not be covered by any group; never allocated.
+    Disabled,
+}
+
+/// Greedily assigns roles to the ways of `set`.
+///
+/// Fault-free ways become data lines outright. Among the faulty ways, the
+/// worst (most defective) is sacrificed first, and the remaining ways are
+/// added as data lines while their defective positions stay disjoint and
+/// covered; leftovers trigger another sacrifice, and a final uncoverable
+/// straggler is disabled.
+pub fn group_set(fmap: &FaultMap, set: u32) -> Vec<WayRole> {
+    let ways = fmap.geometry().ways();
+    let patterns: Vec<u32> = (0..ways)
+        .map(|w| fmap.frame_fault_pattern(FrameId::new(set, w)))
+        .collect();
+    let mut roles = vec![None; ways as usize];
+    // Clean ways need no help.
+    for (w, &p) in patterns.iter().enumerate() {
+        if p == 0 {
+            roles[w] = Some(WayRole::Data);
+        }
+    }
+    loop {
+        let mut remaining: Vec<usize> = (0..ways as usize)
+            .filter(|&w| roles[w].is_none())
+            .collect();
+        match remaining.len() {
+            0 => break,
+            1 => {
+                roles[remaining[0]] = Some(WayRole::Disabled);
+                break;
+            }
+            _ => {}
+        }
+        // Sacrifice the most-defective remaining way.
+        remaining.sort_by_key(|&w| patterns[w].count_ones());
+        let sacrificial = *remaining.last().expect("len >= 2");
+        roles[sacrificial] = Some(WayRole::Sacrificial);
+        let mut used = 0u32;
+        let mut covered_any = false;
+        for &d in &remaining[..remaining.len() - 1] {
+            let p = patterns[d];
+            // Disjoint from already-patched positions, and the sacrificial
+            // line must be clean wherever `d` is defective.
+            if p & used == 0 && p & patterns[sacrificial] == 0 {
+                roles[d] = Some(WayRole::Data);
+                used |= p;
+                covered_any = true;
+            }
+        }
+        if !covered_any {
+            // The sacrifice bought nothing: nothing groups with it. Undo
+            // it into a plain disabled line to avoid infinite loops.
+            roles[sacrificial] = Some(WayRole::Disabled);
+        }
+    }
+    roles.into_iter().map(|r| r.expect("all ways assigned")).collect()
+}
+
+/// Assigns roles across the whole cache; indexed `[set][way]`.
+pub fn group_cache(fmap: &FaultMap) -> Vec<Vec<WayRole>> {
+    (0..fmap.geometry().sets())
+        .map(|set| group_set(fmap, set))
+        .collect()
+}
+
+/// Fraction of lines still holding data after grouping — the capacity
+/// these schemes trade for reliability.
+pub fn capacity_retention(fmap: &FaultMap) -> f64 {
+    let roles = group_cache(fmap);
+    let data = roles
+        .iter()
+        .flatten()
+        .filter(|&&r| r == WayRole::Data)
+        .count();
+    data as f64 / f64::from(fmap.geometry().total_lines())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvs_sram::{CacheGeometry, MilliVolts, PfailModel};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn geom() -> CacheGeometry {
+        CacheGeometry::dsn_l1()
+    }
+
+    #[test]
+    fn clean_set_is_all_data() {
+        let fmap = FaultMap::fault_free(&geom());
+        assert_eq!(group_set(&fmap, 0), vec![WayRole::Data; 4]);
+        assert_eq!(capacity_retention(&fmap), 1.0);
+    }
+
+    #[test]
+    fn disjoint_faults_share_one_sacrifice() {
+        let mut fmap = FaultMap::fault_free(&geom());
+        // Ways 0,1,2 faulty at words 0,1,2 respectively; way 3 at 0..=3
+        // (worst, so it is sacrificed) — wait, way 3 overlaps them; make
+        // way 3 faulty at words 5..=7 instead so it can cover 0,1,2.
+        fmap.set_faulty(FrameId::new(9, 0), 0, true);
+        fmap.set_faulty(FrameId::new(9, 1), 1, true);
+        fmap.set_faulty(FrameId::new(9, 2), 2, true);
+        for w in 5..8 {
+            fmap.set_faulty(FrameId::new(9, 3), w, true);
+        }
+        let roles = group_set(&fmap, 9);
+        assert_eq!(roles[3], WayRole::Sacrificial, "{roles:?}");
+        assert_eq!(&roles[..3], &[WayRole::Data; 3], "{roles:?}");
+    }
+
+    #[test]
+    fn colliding_faults_cost_more() {
+        let mut fmap = FaultMap::fault_free(&geom());
+        // All four ways faulty at the same word: no grouping possible.
+        for way in 0..4 {
+            fmap.set_faulty(FrameId::new(3, way), 4, true);
+        }
+        let roles = group_set(&fmap, 3);
+        assert!(
+            !roles.contains(&WayRole::Data),
+            "a shared defective position cannot be patched: {roles:?}"
+        );
+    }
+
+    #[test]
+    fn sacrificial_covers_only_its_clean_positions() {
+        let mut fmap = FaultMap::fault_free(&geom());
+        // Way 0 faulty at word 2; ways 1 and 2 faulty at words {0,1} and
+        // {3,4}: way 0... make way 3 the sacrifice with fault at word 2 —
+        // it cannot cover way 0 (overlap) but covers ways 1 and 2.
+        fmap.set_faulty(FrameId::new(5, 0), 2, true);
+        fmap.set_faulty(FrameId::new(5, 1), 0, true);
+        fmap.set_faulty(FrameId::new(5, 1), 1, true);
+        fmap.set_faulty(FrameId::new(5, 2), 3, true);
+        fmap.set_faulty(FrameId::new(5, 2), 4, true);
+        fmap.set_faulty(FrameId::new(5, 3), 2, true);
+        fmap.set_faulty(FrameId::new(5, 3), 5, true);
+        fmap.set_faulty(FrameId::new(5, 3), 6, true);
+        let roles = group_set(&fmap, 5);
+        // Way 3 (3 faults) sacrificed; ways 1,2 covered; way 0 collides
+        // with the sacrifice at word 2 → second round pairs it or
+        // disables it. With only way 0 left, it is disabled.
+        assert_eq!(roles[3], WayRole::Sacrificial);
+        assert_eq!(roles[1], WayRole::Data);
+        assert_eq!(roles[2], WayRole::Data);
+        assert_eq!(roles[0], WayRole::Disabled);
+    }
+
+    #[test]
+    fn retention_degrades_with_voltage() {
+        let model = PfailModel::dsn45();
+        let mut last = 1.1;
+        for mv in [560u32, 480, 400] {
+            let p = model.pfail_word(MilliVolts::new(mv));
+            let fmap = FaultMap::sample(&geom(), p, &mut StdRng::seed_from_u64(4));
+            let r = capacity_retention(&fmap);
+            assert!(r < last, "retention must shrink: {r} at {mv} mV");
+            last = r;
+        }
+        // At 400 mV substitution keeps a meaningful fraction alive — far
+        // better than line disable, at the price of the +1-cycle mux.
+        assert!((0.15..0.85).contains(&last), "retention {last} at 400 mV");
+    }
+
+    #[test]
+    fn retention_beats_plain_line_disable() {
+        let model = PfailModel::dsn45();
+        let p = model.pfail_word(MilliVolts::new(400));
+        let fmap = FaultMap::sample(&geom(), p, &mut StdRng::seed_from_u64(7));
+        let line_disable_retention = fmap
+            .frames()
+            .filter(|&f| fmap.frame_is_fault_free(f))
+            .count() as f64
+            / f64::from(geom().total_lines());
+        assert!(
+            capacity_retention(&fmap) > 3.0 * line_disable_retention,
+            "substitution must rescue far more capacity"
+        );
+    }
+
+    #[test]
+    fn every_way_gets_exactly_one_role() {
+        let model = PfailModel::dsn45();
+        for seed in 0..10 {
+            let p = model.pfail_word(MilliVolts::new(440));
+            let fmap = FaultMap::sample(&geom(), p, &mut StdRng::seed_from_u64(seed));
+            for roles in group_cache(&fmap) {
+                assert_eq!(roles.len(), 4);
+            }
+        }
+    }
+}

@@ -1,0 +1,267 @@
+//! Bit-accurate SRAM array with injectable cell faults.
+//!
+//! The paper's failure taxonomy (Section II-A) distinguishes read, write,
+//! access-time and hold failures. From the architecture's point of view all
+//! of them make a cell unreliable at the affected operating point, and BIST
+//! detects them by writing patterns and checking read responses. We model a
+//! defective cell as one of three deterministic behaviours that cover the
+//! taxonomy's observable effects.
+
+use std::collections::BTreeMap;
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::BITS_PER_WORD;
+
+/// Observable behaviour of a defective SRAM cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FailureKind {
+    /// Cell always reads 0 (write failure to 1 / hold failure of 1).
+    StuckAtZero,
+    /// Cell always reads 1 (write failure to 0 / hold failure of 0).
+    StuckAtOne,
+    /// Cell reads back the complement of the stored value (read failure /
+    /// access-time failure producing a wrong sense).
+    ReadInverts,
+}
+
+/// A fault injected into a specific cell of an [`SramArray`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InjectedFault {
+    /// Word index within the array.
+    pub word: u32,
+    /// Bit position within the word (0 = LSB).
+    pub bit: u32,
+    /// Behaviour of the defective cell.
+    pub kind: FailureKind,
+}
+
+/// A word-addressed SRAM array with injected cell-level faults.
+///
+/// Writes store the intended value; reads pass the stored value through
+/// each cell's failure behaviour. This is the device-under-test for the
+/// [`crate::bist`] module.
+///
+/// # Example
+///
+/// ```rust
+/// use dvs_sram::{FailureKind, InjectedFault, SramArray};
+///
+/// let mut array = SramArray::new(4);
+/// array.inject(InjectedFault { word: 1, bit: 3, kind: FailureKind::StuckAtOne });
+/// array.write(1, 0x0000_0000);
+/// assert_eq!(array.read(1), 0x0000_0008); // bit 3 stuck high
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SramArray {
+    data: Vec<u32>,
+    /// (word, bit) → behaviour. BTreeMap keeps Debug output and iteration
+    /// deterministic.
+    faults: BTreeMap<(u32, u32), FailureKind>,
+}
+
+impl SramArray {
+    /// Creates a zero-initialized array of `words` 32-bit words.
+    pub fn new(words: u32) -> Self {
+        SramArray {
+            data: vec![0; words as usize],
+            faults: BTreeMap::new(),
+        }
+    }
+
+    /// Number of words in the array.
+    pub fn words(&self) -> u32 {
+        self.data.len() as u32
+    }
+
+    /// Injects a cell fault, replacing any previous fault at that cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the word or bit index is out of range.
+    pub fn inject(&mut self, fault: InjectedFault) {
+        assert!(
+            (fault.word as usize) < self.data.len(),
+            "word {} out of range {}",
+            fault.word,
+            self.data.len()
+        );
+        assert!(
+            fault.bit < BITS_PER_WORD,
+            "bit {} out of range {BITS_PER_WORD}",
+            fault.bit
+        );
+        self.faults.insert((fault.word, fault.bit), fault.kind);
+    }
+
+    /// Injects faults cell-by-cell with per-bit probability `p_bit`,
+    /// choosing the failure behaviour uniformly. Returns the injected
+    /// faults for verification.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p_bit` is outside `[0, 1]`.
+    pub fn inject_random<R: Rng + ?Sized>(
+        &mut self,
+        p_bit: f64,
+        rng: &mut R,
+    ) -> Vec<InjectedFault> {
+        assert!(
+            (0.0..=1.0).contains(&p_bit),
+            "bit failure probability {p_bit} outside [0, 1]"
+        );
+        let mut injected = Vec::new();
+        for word in 0..self.words() {
+            for bit in 0..BITS_PER_WORD {
+                if rng.gen::<f64>() < p_bit {
+                    let kind = match rng.gen_range(0..3) {
+                        0 => FailureKind::StuckAtZero,
+                        1 => FailureKind::StuckAtOne,
+                        _ => FailureKind::ReadInverts,
+                    };
+                    let fault = InjectedFault { word, bit, kind };
+                    self.inject(fault);
+                    injected.push(fault);
+                }
+            }
+        }
+        injected
+    }
+
+    /// Stores `value` into `word`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word` is out of range.
+    pub fn write(&mut self, word: u32, value: u32) {
+        self.data[word as usize] = value;
+    }
+
+    /// Reads `word`, applying each defective cell's behaviour.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word` is out of range.
+    pub fn read(&self, word: u32) -> u32 {
+        let mut value = self.data[word as usize];
+        for (&(w, bit), &kind) in self.faults.range((word, 0)..=(word, BITS_PER_WORD - 1)) {
+            debug_assert_eq!(w, word);
+            let mask = 1u32 << bit;
+            value = match kind {
+                FailureKind::StuckAtZero => value & !mask,
+                FailureKind::StuckAtOne => value | mask,
+                FailureKind::ReadInverts => value ^ mask,
+            };
+        }
+        value
+    }
+
+    /// Word indices that contain at least one injected fault — the ground
+    /// truth a correct BIST must recover.
+    pub fn ground_truth_faulty_words(&self) -> Vec<u32> {
+        let mut words: Vec<u32> = self.faults.keys().map(|&(w, _)| w).collect();
+        words.dedup();
+        words
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn clean_array_roundtrips() {
+        let mut a = SramArray::new(8);
+        a.write(3, 0xDEAD_BEEF);
+        assert_eq!(a.read(3), 0xDEAD_BEEF);
+        assert_eq!(a.read(0), 0);
+    }
+
+    #[test]
+    fn stuck_at_zero_masks_bit() {
+        let mut a = SramArray::new(2);
+        a.inject(InjectedFault {
+            word: 0,
+            bit: 0,
+            kind: FailureKind::StuckAtZero,
+        });
+        a.write(0, 0xFFFF_FFFF);
+        assert_eq!(a.read(0), 0xFFFF_FFFE);
+    }
+
+    #[test]
+    fn stuck_at_one_sets_bit() {
+        let mut a = SramArray::new(2);
+        a.inject(InjectedFault {
+            word: 1,
+            bit: 31,
+            kind: FailureKind::StuckAtOne,
+        });
+        a.write(1, 0);
+        assert_eq!(a.read(1), 0x8000_0000);
+    }
+
+    #[test]
+    fn read_inverts_flips_bit() {
+        let mut a = SramArray::new(1);
+        a.inject(InjectedFault {
+            word: 0,
+            bit: 4,
+            kind: FailureKind::ReadInverts,
+        });
+        a.write(0, 0x0000_0010);
+        assert_eq!(a.read(0), 0);
+        a.write(0, 0);
+        assert_eq!(a.read(0), 0x0000_0010);
+    }
+
+    #[test]
+    fn faults_do_not_leak_across_words() {
+        let mut a = SramArray::new(3);
+        a.inject(InjectedFault {
+            word: 1,
+            bit: 0,
+            kind: FailureKind::StuckAtOne,
+        });
+        a.write(0, 0);
+        a.write(2, 0);
+        assert_eq!(a.read(0), 0);
+        assert_eq!(a.read(2), 0);
+    }
+
+    #[test]
+    fn ground_truth_lists_unique_words() {
+        let mut a = SramArray::new(4);
+        for bit in [0, 5] {
+            a.inject(InjectedFault {
+                word: 2,
+                bit,
+                kind: FailureKind::StuckAtZero,
+            });
+        }
+        assert_eq!(a.ground_truth_faulty_words(), vec![2]);
+    }
+
+    #[test]
+    fn random_injection_rate() {
+        let mut a = SramArray::new(1024);
+        let mut rng = StdRng::seed_from_u64(3);
+        let faults = a.inject_random(0.01, &mut rng);
+        let expected = 1024.0 * 32.0 * 0.01;
+        assert!((faults.len() as f64 - expected).abs() < 4.0 * expected.sqrt());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn inject_out_of_range_panics() {
+        let mut a = SramArray::new(1);
+        a.inject(InjectedFault {
+            word: 1,
+            bit: 0,
+            kind: FailureKind::StuckAtZero,
+        });
+    }
+}

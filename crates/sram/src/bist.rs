@@ -1,0 +1,180 @@
+//! Built-in self-test over an [`SramArray`].
+//!
+//! The paper (Section IV) leverages BIST "to identify defective words at
+//! all system supported DVFS operating points": test patterns are written,
+//! read responses checked, and the resulting defect list recorded in fault
+//! maps. This module implements a word-wide March C- test, which detects
+//! every fault behaviour modelled by [`crate::FailureKind`].
+
+use crate::{BitGrid, CacheGeometry, FaultMap, SramArray};
+
+/// The word-wide data backgrounds marched through the array.
+///
+/// All-zeros/all-ones catch stuck-at cells in both polarities (and
+/// read-inversion in whichever polarity it disturbs); the checkerboard pair
+/// additionally exercises adjacent-bit backgrounds like a classical March
+/// C- with checkerboard data.
+const BACKGROUNDS: [u32; 2] = [0x0000_0000, 0xAAAA_AAAA];
+
+/// Runs a March C- style test and returns one bit per word: set when the
+/// word misbehaved under any march element.
+///
+/// March C- (word-wide): ⇕(wD); ⇑(rD, w!D); ⇑(r!D, wD); ⇓(rD, w!D);
+/// ⇓(r!D, wD); ⇕(rD) — executed for each data background `D`.
+///
+/// # Example
+///
+/// ```rust
+/// use dvs_sram::{bist, FailureKind, InjectedFault, SramArray};
+///
+/// let mut array = SramArray::new(16);
+/// array.inject(InjectedFault { word: 5, bit: 0, kind: FailureKind::ReadInverts });
+/// let faulty = bist::march_test(&mut array);
+/// assert_eq!(faulty.iter_ones().collect::<Vec<_>>(), vec![5]);
+/// ```
+pub fn march_test(array: &mut SramArray) -> BitGrid {
+    let words = array.words();
+    let mut faulty = BitGrid::new(words as usize);
+    for &background in &BACKGROUNDS {
+        let inverse = !background;
+        // ⇕(wD)
+        for w in 0..words {
+            array.write(w, background);
+        }
+        // ⇑(rD, w!D)
+        for w in 0..words {
+            if array.read(w) != background {
+                faulty.set(w as usize, true);
+            }
+            array.write(w, inverse);
+        }
+        // ⇑(r!D, wD)
+        for w in 0..words {
+            if array.read(w) != inverse {
+                faulty.set(w as usize, true);
+            }
+            array.write(w, background);
+        }
+        // ⇓(rD, w!D)
+        for w in (0..words).rev() {
+            if array.read(w) != background {
+                faulty.set(w as usize, true);
+            }
+            array.write(w, inverse);
+        }
+        // ⇓(r!D, wD)
+        for w in (0..words).rev() {
+            if array.read(w) != inverse {
+                faulty.set(w as usize, true);
+            }
+            array.write(w, background);
+        }
+        // ⇕(rD)
+        for w in 0..words {
+            if array.read(w) != background {
+                faulty.set(w as usize, true);
+            }
+        }
+    }
+    faulty
+}
+
+/// Runs [`march_test`] over an array sized for `geometry` and converts the
+/// result into a [`FaultMap`] in the geometry's linear word order.
+///
+/// # Panics
+///
+/// Panics if the array does not hold exactly `geometry.total_words()`
+/// words.
+pub fn derive_fault_map(geometry: &CacheGeometry, array: &mut SramArray) -> FaultMap {
+    assert_eq!(
+        array.words(),
+        geometry.total_words(),
+        "array size does not match geometry"
+    );
+    let faulty = march_test(array);
+    FaultMap::from_faulty_indices(geometry, faulty.iter_ones().map(|i| i as u32))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FailureKind, InjectedFault, MilliVolts, PfailModel};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn clean_array_tests_clean() {
+        let mut a = SramArray::new(64);
+        assert_eq!(march_test(&mut a).count_ones(), 0);
+    }
+
+    #[test]
+    fn detects_every_failure_kind_in_every_bit() {
+        for kind in [
+            FailureKind::StuckAtZero,
+            FailureKind::StuckAtOne,
+            FailureKind::ReadInverts,
+        ] {
+            for bit in 0..32 {
+                let mut a = SramArray::new(4);
+                a.inject(InjectedFault { word: 2, bit, kind });
+                let faulty = march_test(&mut a);
+                assert_eq!(
+                    faulty.iter_ones().collect::<Vec<_>>(),
+                    vec![2],
+                    "missed {kind:?} at bit {bit}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bist_recovers_random_injection_exactly() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut a = SramArray::new(2048);
+        a.inject_random(2e-3, &mut rng);
+        let truth = a.ground_truth_faulty_words();
+        let found: Vec<u32> = march_test(&mut a).iter_ones().map(|i| i as u32).collect();
+        assert_eq!(found, truth);
+        assert!(!truth.is_empty(), "injection produced no faults; weak test");
+    }
+
+    #[test]
+    fn derive_fault_map_matches_injection() {
+        let geom = CacheGeometry::new(4 * 1024, 4, 32).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut a = SramArray::new(geom.total_words());
+        a.inject_random(1e-2, &mut rng);
+        let truth = a.ground_truth_faulty_words();
+        let map = derive_fault_map(&geom, &mut a);
+        assert_eq!(map.iter_faulty_linear().collect::<Vec<_>>(), truth);
+    }
+
+    #[test]
+    fn bist_word_rate_matches_pfail_model() {
+        // Injecting bit faults at the model's per-bit rate must yield a
+        // word-level fault rate close to the model's per-word prediction —
+        // this ties together the failure model, the array and the BIST.
+        let model = PfailModel::dsn45();
+        let v = MilliVolts::new(400);
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut a = SramArray::new(8192);
+        a.inject_random(model.pfail_bit(v), &mut rng);
+        let found = march_test(&mut a).count_ones() as f64 / 8192.0;
+        let predicted = model.pfail_word(v);
+        // 8192 trials at p≈0.275: 4σ ≈ 0.02.
+        assert!(
+            (found - predicted).abs() < 0.02,
+            "BIST rate {found} vs model {predicted}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match geometry")]
+    fn derive_fault_map_size_mismatch_panics() {
+        let geom = CacheGeometry::dsn_l1();
+        let mut a = SramArray::new(16);
+        let _ = derive_fault_map(&geom, &mut a);
+    }
+}

@@ -1,0 +1,203 @@
+//! Compact fixed-size bitset used for fault maps and SRAM bit storage.
+
+use serde::{Deserialize, Serialize};
+
+/// A densely packed, fixed-length bit vector.
+///
+/// `BitGrid` is the storage substrate for [`crate::FaultMap`] (one bit per
+/// cache word) and [`crate::SramArray`] (one bit per SRAM cell). It is a
+/// deliberately small abstraction: fixed length, O(1) get/set, population
+/// count, and iteration over set bits.
+///
+/// # Example
+///
+/// ```rust
+/// use dvs_sram::BitGrid;
+///
+/// let mut g = BitGrid::new(100);
+/// g.set(3, true);
+/// g.set(99, true);
+/// assert!(g.get(3));
+/// assert!(!g.get(4));
+/// assert_eq!(g.count_ones(), 2);
+/// assert_eq!(g.iter_ones().collect::<Vec<_>>(), vec![3, 99]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BitGrid {
+    len: usize,
+    words: Vec<u64>,
+}
+
+impl BitGrid {
+    /// Creates a grid of `len` bits, all cleared.
+    pub fn new(len: usize) -> Self {
+        BitGrid {
+            len,
+            words: vec![0; len.div_ceil(64)],
+        }
+    }
+
+    /// Number of bits in the grid.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the grid holds zero bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads bit `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= len`.
+    pub fn get(&self, idx: usize) -> bool {
+        assert!(idx < self.len, "bit index {idx} out of range {}", self.len);
+        self.words[idx / 64] >> (idx % 64) & 1 == 1
+    }
+
+    /// Writes bit `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= len`.
+    pub fn set(&mut self, idx: usize, value: bool) {
+        assert!(idx < self.len, "bit index {idx} out of range {}", self.len);
+        let mask = 1u64 << (idx % 64);
+        if value {
+            self.words[idx / 64] |= mask;
+        } else {
+            self.words[idx / 64] &= !mask;
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Iterates over the indices of set bits in ascending order.
+    pub fn iter_ones(&self) -> IterOnes<'_> {
+        IterOnes {
+            grid: self,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// Clears every bit.
+    pub fn clear(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+    }
+}
+
+/// Iterator over set-bit indices of a [`BitGrid`], produced by
+/// [`BitGrid::iter_ones`].
+#[derive(Debug, Clone)]
+pub struct IterOnes<'a> {
+    grid: &'a BitGrid,
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for IterOnes<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                let idx = self.word_idx * 64 + bit;
+                // Bits past `len` in the last word are never set, but guard
+                // anyway so corruption cannot yield out-of-range indices.
+                if idx < self.grid.len {
+                    return Some(idx);
+                }
+                return None;
+            }
+            self.word_idx += 1;
+            self.current = *self.grid.words.get(self.word_idx)?;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn new_grid_is_clear() {
+        let g = BitGrid::new(130);
+        assert_eq!(g.len(), 130);
+        assert_eq!(g.count_ones(), 0);
+        assert!(!g.get(0));
+        assert!(!g.get(129));
+    }
+
+    #[test]
+    fn set_and_clear_single_bit() {
+        let mut g = BitGrid::new(65);
+        g.set(64, true);
+        assert!(g.get(64));
+        g.set(64, false);
+        assert!(!g.get(64));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        let g = BitGrid::new(10);
+        let _ = g.get(10);
+    }
+
+    #[test]
+    fn iter_ones_crosses_word_boundaries() {
+        let mut g = BitGrid::new(200);
+        for idx in [0, 63, 64, 127, 128, 199] {
+            g.set(idx, true);
+        }
+        assert_eq!(
+            g.iter_ones().collect::<Vec<_>>(),
+            vec![0, 63, 64, 127, 128, 199]
+        );
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut g = BitGrid::new(70);
+        g.set(1, true);
+        g.set(69, true);
+        g.clear();
+        assert_eq!(g.count_ones(), 0);
+    }
+
+    #[test]
+    fn empty_grid() {
+        let g = BitGrid::new(0);
+        assert!(g.is_empty());
+        assert_eq!(g.iter_ones().count(), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn count_matches_inserted(indices in proptest::collection::btree_set(0usize..500, 0..100)) {
+            let mut g = BitGrid::new(500);
+            for &i in &indices {
+                g.set(i, true);
+            }
+            prop_assert_eq!(g.count_ones(), indices.len());
+            prop_assert_eq!(g.iter_ones().collect::<Vec<_>>(),
+                            indices.iter().copied().collect::<Vec<_>>());
+        }
+
+        #[test]
+        fn set_then_get_roundtrip(idx in 0usize..300, value: bool) {
+            let mut g = BitGrid::new(300);
+            g.set(idx, value);
+            prop_assert_eq!(g.get(idx), value);
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! SECDED ECC analysis — why coding alone cannot reach 400 mV.
+//!
+//! The paper's related work (§III-B) observes that error-correcting codes
+//! are effective against infrequent faults but that "with aggressive
+//! voltage scaling, multi-bit errors become increasingly likely and
+//! quickly overwhelm the capability of ECC". This module quantifies that:
+//! a SECDED-protected word survives only single-bit defects, so its
+//! failure probability is `P(≥ 2 defective bits)`, which still explodes
+//! at `P_fail(bit) ≥ 1e-2`.
+
+use crate::{MilliVolts, PfailModel};
+
+/// Check bits a Hamming SECDED code needs for `data_bits` of payload:
+/// the smallest `r` with `2^r ≥ data_bits + r + 1`, plus the extra parity
+/// bit for double-error detection.
+///
+/// # Panics
+///
+/// Panics if `data_bits` is zero.
+pub fn secded_check_bits(data_bits: u32) -> u32 {
+    assert!(data_bits > 0, "need at least one data bit");
+    let mut r = 1u32;
+    while (1u64 << r) < u64::from(data_bits) + u64::from(r) + 1 {
+        r += 1;
+    }
+    r + 1
+}
+
+/// Probability that a SECDED-protected word of `data_bits` is
+/// *uncorrectable*: two or more of its `data + check` cells defective.
+pub fn pfail_word_secded(p_bit: f64, data_bits: u32) -> f64 {
+    let n = f64::from(data_bits + secded_check_bits(data_bits));
+    if p_bit <= 0.0 {
+        return 0.0;
+    }
+    if p_bit >= 1.0 {
+        return 1.0;
+    }
+    // 1 - P(0 errors) - P(1 error), computed stably in log space.
+    let q = 1.0 - p_bit;
+    let p0 = (n * q.ln()).exp();
+    let p1 = n * p_bit * ((n - 1.0) * q.ln()).exp();
+    (1.0 - p0 - p1).max(0.0)
+}
+
+/// Minimum voltage at which a 32 KB array of SECDED-protected words meets
+/// `yield_target`, under `model`'s bit-failure curve.
+///
+/// Compare with [`PfailModel::vccmin`]: SECDED buys some headroom over
+/// the raw array but stays far above the paper's 400 mV goal.
+///
+/// # Panics
+///
+/// Panics if `yield_target` is not in `(0, 1)`.
+pub fn vccmin_with_secded(
+    model: &PfailModel,
+    data_bits_per_word: u32,
+    words: u64,
+    yield_target: f64,
+) -> MilliVolts {
+    assert!(
+        yield_target > 0.0 && yield_target < 1.0,
+        "yield target must be in (0, 1)"
+    );
+    let (mut lo, mut hi) = (100u32, 2000u32);
+    let yield_at = |mv: u32| {
+        let p_word = pfail_word_secded(model.pfail_bit(MilliVolts::new(mv)), data_bits_per_word);
+        if p_word >= 1.0 {
+            0.0
+        } else {
+            (words as f64 * (-p_word).ln_1p()).exp()
+        }
+    };
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        if yield_at(mid) >= yield_target {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    MilliVolts::new(lo)
+}
+
+/// Storage overhead of per-word SECDED: check bits / data bits.
+pub fn secded_overhead(data_bits: u32) -> f64 {
+    f64::from(secded_check_bits(data_bits)) / f64::from(data_bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn check_bit_counts_match_hamming() {
+        // Classic SECDED sizes: (8,5), (16,6), (32,7), (64,8).
+        assert_eq!(secded_check_bits(8), 5);
+        assert_eq!(secded_check_bits(16), 6);
+        assert_eq!(secded_check_bits(32), 7);
+        assert_eq!(secded_check_bits(64), 8);
+    }
+
+    #[test]
+    fn secded_overhead_for_32bit_words() {
+        // 7/32 ≈ 22 % — the "extra storage for check bits" of §III-B.
+        assert!((secded_overhead(32) - 7.0 / 32.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn secded_helps_at_moderate_rates() {
+        // At p=1e-4: raw 32-bit word fails at ~3.2e-3, SECDED at ~7.6e-6.
+        let raw = 1.0 - (1.0f64 - 1e-4).powi(32);
+        let coded = pfail_word_secded(1e-4, 32);
+        assert!(coded < raw / 100.0, "coded {coded} vs raw {raw}");
+    }
+
+    #[test]
+    fn secded_is_overwhelmed_at_1e2() {
+        // At p=1e-2 (400 mV) a SECDED word still fails ~6 % of the time —
+        // a 32 KB array is essentially never clean.
+        let coded = pfail_word_secded(1e-2, 32);
+        assert!(coded > 0.04, "coded {coded}");
+        let array_clean = (1.0f64 - coded).powi(8192);
+        assert!(array_clean < 1e-100);
+    }
+
+    #[test]
+    fn secded_vccmin_sits_between_raw_and_the_papers_goal() {
+        let model = PfailModel::dsn45();
+        let raw = model.vccmin(32 * 1024 * 8, 0.999);
+        let coded = vccmin_with_secded(&model, 32, 8192, 0.999);
+        assert!(coded < raw, "SECDED must buy some headroom");
+        assert!(
+            coded.get() > 500,
+            "SECDED cannot reach the paper's 400 mV: got {coded}"
+        );
+    }
+
+    #[test]
+    fn degenerate_probabilities() {
+        assert_eq!(pfail_word_secded(0.0, 32), 0.0);
+        assert_eq!(pfail_word_secded(1.0, 32), 1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn secded_never_hurts_at_plausible_rates(p in 1e-9f64..0.25) {
+            // (At absurd defect rates the 7 extra check cells make the
+            // coded word marginally *worse* — correctly so; the property
+            // holds over the whole physically meaningful range.)
+            let raw = 1.0 - (1.0 - p).powi(32);
+            let coded = pfail_word_secded(p, 32);
+            prop_assert!(coded <= raw + 1e-12);
+            prop_assert!((0.0..=1.0).contains(&coded));
+        }
+
+        #[test]
+        fn pfail_monotone_in_p(p in 1e-6f64..0.4) {
+            prop_assert!(pfail_word_secded(p, 32) <= pfail_word_secded(p * 1.5, 32) + 1e-15);
+        }
+    }
+}

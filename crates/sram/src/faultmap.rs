@@ -1,0 +1,322 @@
+//! Word-granularity defect maps over a cache data array.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::{BitGrid, CacheGeometry};
+
+/// Identifies one physical cache frame (line) by set and way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FrameId {
+    /// Set index.
+    pub set: u32,
+    /// Way index within the set.
+    pub way: u32,
+}
+
+impl FrameId {
+    /// Creates a frame id.
+    pub const fn new(set: u32, way: u32) -> Self {
+        FrameId { set, way }
+    }
+}
+
+/// A map of defective 32-bit words in a cache data array at one DVFS
+/// operating point.
+///
+/// The paper assumes BIST identifies defective words at every supported
+/// operating point and records them in fault maps kept in main memory
+/// (Section IV); this type is that artifact. The same map is viewed two
+/// ways:
+///
+/// * **frame view** (`set`, `way`, `word`) — used by the FFW data cache and
+///   all set-associative schemes;
+/// * **linear view** (word index `0 .. total_words`) — used by the BBR
+///   linker, which sees the direct-mapped instruction cache as a flat array
+///   of `csize` words (Algorithm 1).
+///
+/// The linear line index is `way * sets + set`, mirroring the paper's
+/// Figure 7 where the low tag bits select the way above the set-index bits.
+///
+/// # Example
+///
+/// ```rust
+/// use dvs_sram::{CacheGeometry, FaultMap, FrameId};
+/// use rand::SeedableRng;
+///
+/// let geom = CacheGeometry::dsn_l1();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let map = FaultMap::sample(&geom, 0.05, &mut rng);
+/// let frame = FrameId::new(0, 0);
+/// let pattern = map.frame_fault_pattern(frame);
+/// assert_eq!(pattern.count_ones() + map.fault_free_words_in_frame(frame), 8);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultMap {
+    geometry: CacheGeometry,
+    words: BitGrid,
+}
+
+impl FaultMap {
+    /// Creates an all-fault-free map (high-voltage operation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry has more than 32 words per block; fault
+    /// patterns are exposed as `u32` masks.
+    pub fn fault_free(geometry: &CacheGeometry) -> Self {
+        assert!(
+            geometry.words_per_block() <= 32,
+            "fault patterns are u32 masks; {} words per block unsupported",
+            geometry.words_per_block()
+        );
+        FaultMap {
+            geometry: *geometry,
+            words: BitGrid::new(geometry.total_words() as usize),
+        }
+    }
+
+    /// Samples a map by flipping each word faulty independently with
+    /// probability `p_word` (the Monte-Carlo protocol of Section V).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p_word` is not within `[0, 1]` or the geometry exceeds 32
+    /// words per block.
+    pub fn sample<R: Rng + ?Sized>(
+        geometry: &CacheGeometry,
+        p_word: f64,
+        rng: &mut R,
+    ) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&p_word),
+            "word failure probability {p_word} outside [0, 1]"
+        );
+        let mut map = FaultMap::fault_free(geometry);
+        for idx in 0..geometry.total_words() as usize {
+            if rng.gen::<f64>() < p_word {
+                map.words.set(idx, true);
+            }
+        }
+        map
+    }
+
+    /// Builds a map with exactly the given linear word indices faulty.
+    ///
+    /// Useful for tests and for replaying BIST results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn from_faulty_indices(
+        geometry: &CacheGeometry,
+        indices: impl IntoIterator<Item = u32>,
+    ) -> Self {
+        let mut map = FaultMap::fault_free(geometry);
+        for idx in indices {
+            map.words.set(idx as usize, true);
+        }
+        map
+    }
+
+    /// The geometry this map covers.
+    pub fn geometry(&self) -> &CacheGeometry {
+        &self.geometry
+    }
+
+    fn index(&self, frame: FrameId, word: u32) -> usize {
+        debug_assert!(frame.set < self.geometry.sets(), "set out of range");
+        debug_assert!(frame.way < self.geometry.ways(), "way out of range");
+        debug_assert!(word < self.geometry.words_per_block(), "word out of range");
+        let line = frame.way * self.geometry.sets() + frame.set;
+        (line * self.geometry.words_per_block() + word) as usize
+    }
+
+    /// Whether `word` of `frame` is defective.
+    pub fn is_faulty(&self, frame: FrameId, word: u32) -> bool {
+        self.words.get(self.index(frame, word))
+    }
+
+    /// Marks or clears a defect (used by BIST and tests).
+    pub fn set_faulty(&mut self, frame: FrameId, word: u32, faulty: bool) {
+        let idx = self.index(frame, word);
+        self.words.set(idx, faulty);
+    }
+
+    /// The frame's fault pattern as a bitmask: bit `i` set means word `i`
+    /// is defective. This is the `FMAP` entry of the paper's Figure 4.
+    pub fn frame_fault_pattern(&self, frame: FrameId) -> u32 {
+        let mut pattern = 0;
+        for word in 0..self.geometry.words_per_block() {
+            if self.is_faulty(frame, word) {
+                pattern |= 1 << word;
+            }
+        }
+        pattern
+    }
+
+    /// Number of fault-free words remaining in a frame.
+    pub fn fault_free_words_in_frame(&self, frame: FrameId) -> u32 {
+        self.geometry.words_per_block() - self.frame_fault_pattern(frame).count_ones()
+    }
+
+    /// Whether a frame has no defective word at all.
+    pub fn frame_is_fault_free(&self, frame: FrameId) -> bool {
+        self.frame_fault_pattern(frame) == 0
+    }
+
+    /// Whether linear word `index` (0 .. `total_words`) is defective — the
+    /// BBR linker's view of a direct-mapped cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn linear_is_faulty(&self, index: u32) -> bool {
+        self.words.get(index as usize)
+    }
+
+    /// Total number of defective words.
+    pub fn faulty_words(&self) -> usize {
+        self.words.count_ones()
+    }
+
+    /// Fraction of words that are defective.
+    pub fn faulty_fraction(&self) -> f64 {
+        self.faulty_words() as f64 / self.geometry.total_words() as f64
+    }
+
+    /// Number of frames that contain at least one defective word.
+    pub fn faulty_frames(&self) -> u32 {
+        self.frames().filter(|&f| !self.frame_is_fault_free(f)).count() as u32
+    }
+
+    /// Iterates over every frame id in (way-major) storage order.
+    pub fn frames(&self) -> impl Iterator<Item = FrameId> + '_ {
+        let sets = self.geometry.sets();
+        let ways = self.geometry.ways();
+        (0..ways).flat_map(move |way| (0..sets).map(move |set| FrameId { set, way }))
+    }
+
+    /// Iterates over the linear indices of all defective words.
+    pub fn iter_faulty_linear(&self) -> impl Iterator<Item = u32> + '_ {
+        self.words.iter_ones().map(|i| i as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn geom() -> CacheGeometry {
+        CacheGeometry::dsn_l1()
+    }
+
+    #[test]
+    fn fault_free_map_is_clean() {
+        let map = FaultMap::fault_free(&geom());
+        assert_eq!(map.faulty_words(), 0);
+        assert_eq!(map.faulty_frames(), 0);
+        assert!(map.frame_is_fault_free(FrameId::new(255, 3)));
+    }
+
+    #[test]
+    fn frame_and_linear_views_agree() {
+        let g = geom();
+        let mut map = FaultMap::fault_free(&g);
+        let frame = FrameId::new(5, 2);
+        map.set_faulty(frame, 3, true);
+        let line = 2 * g.sets() + 5;
+        let linear = line * g.words_per_block() + 3;
+        assert!(map.linear_is_faulty(linear));
+        assert_eq!(map.iter_faulty_linear().collect::<Vec<_>>(), vec![linear]);
+    }
+
+    #[test]
+    fn pattern_reflects_faults() {
+        let mut map = FaultMap::fault_free(&geom());
+        let frame = FrameId::new(0, 0);
+        map.set_faulty(frame, 0, true);
+        map.set_faulty(frame, 7, true);
+        assert_eq!(map.frame_fault_pattern(frame), 0b1000_0001);
+        assert_eq!(map.fault_free_words_in_frame(frame), 6);
+        assert!(!map.frame_is_fault_free(frame));
+    }
+
+    #[test]
+    fn sample_rate_is_statistically_plausible() {
+        let g = geom();
+        let mut rng = StdRng::seed_from_u64(42);
+        let p = 0.25;
+        let map = FaultMap::sample(&g, p, &mut rng);
+        let frac = map.faulty_fraction();
+        // 8192 Bernoulli trials at p=0.25: ±3σ ≈ ±0.0144.
+        assert!((frac - p).abs() < 0.015, "fraction {frac} too far from {p}");
+    }
+
+    #[test]
+    fn sample_zero_and_one_probability() {
+        let g = geom();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(FaultMap::sample(&g, 0.0, &mut rng).faulty_words(), 0);
+        let all = FaultMap::sample(&g, 1.0, &mut rng);
+        assert_eq!(all.faulty_words(), g.total_words() as usize);
+        assert_eq!(all.faulty_frames(), g.total_lines());
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let g = geom();
+        let a = FaultMap::sample(&g, 0.1, &mut StdRng::seed_from_u64(7));
+        let b = FaultMap::sample(&g, 0.1, &mut StdRng::seed_from_u64(7));
+        let c = FaultMap::sample(&g, 0.1, &mut StdRng::seed_from_u64(8));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn from_faulty_indices_roundtrip() {
+        let g = geom();
+        let map = FaultMap::from_faulty_indices(&g, [0, 100, 8191]);
+        assert_eq!(map.faulty_words(), 3);
+        assert!(map.linear_is_faulty(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn sample_rejects_bad_probability() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = FaultMap::sample(&geom(), 1.5, &mut rng);
+    }
+
+    #[test]
+    fn frames_iterates_all_lines() {
+        let map = FaultMap::fault_free(&geom());
+        assert_eq!(map.frames().count(), 1024);
+    }
+
+    proptest! {
+        #[test]
+        fn set_then_query_roundtrip(set in 0u32..256, way in 0u32..4, word in 0u32..8) {
+            let mut map = FaultMap::fault_free(&geom());
+            let frame = FrameId::new(set, way);
+            map.set_faulty(frame, word, true);
+            prop_assert!(map.is_faulty(frame, word));
+            prop_assert_eq!(map.faulty_words(), 1);
+            prop_assert_eq!(map.frame_fault_pattern(frame), 1u32 << word);
+        }
+
+        #[test]
+        fn pattern_popcount_matches_counts(seed in 0u64..500) {
+            let g = geom();
+            let map = FaultMap::sample(&g, 0.3, &mut StdRng::seed_from_u64(seed));
+            let via_patterns: u32 = map
+                .frames()
+                .map(|f| map.frame_fault_pattern(f).count_ones())
+                .sum();
+            prop_assert_eq!(via_patterns as usize, map.faulty_words());
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! Cache data-array geometry shared by the fault map, cache simulator and
+//! linker.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::BYTES_PER_WORD;
+
+/// Error returned when a [`CacheGeometry`] is internally inconsistent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GeometryError {
+    message: String,
+}
+
+impl fmt::Display for GeometryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid cache geometry: {}", self.message)
+    }
+}
+
+impl std::error::Error for GeometryError {}
+
+impl GeometryError {
+    fn new(message: impl Into<String>) -> Self {
+        GeometryError {
+            message: message.into(),
+        }
+    }
+}
+
+/// Shape of a cache data array: capacity, associativity and block size.
+///
+/// The paper's L1 caches are 32 KB, 4-way, with 32-byte blocks and 32-bit
+/// words (Table I), i.e. 8 words per block and 256 sets.
+///
+/// # Example
+///
+/// ```rust
+/// use dvs_sram::CacheGeometry;
+///
+/// let geom = CacheGeometry::new(32 * 1024, 4, 32)?;
+/// assert_eq!(geom.sets(), 256);
+/// assert_eq!(geom.words_per_block(), 8);
+/// assert_eq!(geom.total_words(), 8192);
+/// # Ok::<(), dvs_sram::GeometryError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CacheGeometry {
+    capacity_bytes: u32,
+    ways: u32,
+    block_bytes: u32,
+    sets: u32,
+}
+
+impl CacheGeometry {
+    /// Creates a geometry from capacity, associativity and block size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeometryError`] unless the capacity, block size and way
+    /// count are nonzero powers of two, the block holds at least one 4-byte
+    /// word, and the capacity divides evenly into `ways × block` lines.
+    pub fn new(capacity_bytes: u32, ways: u32, block_bytes: u32) -> Result<Self, GeometryError> {
+        for (name, v) in [
+            ("capacity", capacity_bytes),
+            ("ways", ways),
+            ("block size", block_bytes),
+        ] {
+            if v == 0 || !v.is_power_of_two() {
+                return Err(GeometryError::new(format!(
+                    "{name} must be a nonzero power of two, got {v}"
+                )));
+            }
+        }
+        if block_bytes < BYTES_PER_WORD {
+            return Err(GeometryError::new(format!(
+                "block size {block_bytes} smaller than one {BYTES_PER_WORD}-byte word"
+            )));
+        }
+        let way_bytes = ways
+            .checked_mul(block_bytes)
+            .ok_or_else(|| GeometryError::new("ways × block overflows"))?;
+        if capacity_bytes < way_bytes {
+            return Err(GeometryError::new(format!(
+                "capacity {capacity_bytes} B smaller than one line per way ({way_bytes} B)"
+            )));
+        }
+        let sets = capacity_bytes / way_bytes;
+        Ok(CacheGeometry {
+            capacity_bytes,
+            ways,
+            block_bytes,
+            sets,
+        })
+    }
+
+    /// The paper's L1 configuration: 32 KB, 4-way, 32 B blocks (Table I).
+    pub fn dsn_l1() -> Self {
+        CacheGeometry::new(32 * 1024, 4, 32).expect("paper L1 geometry is valid")
+    }
+
+    /// The paper's L2 configuration: 512 KB, 8-way, 32 B blocks (Table I).
+    pub fn dsn_l2() -> Self {
+        CacheGeometry::new(512 * 1024, 8, 32).expect("paper L2 geometry is valid")
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity_bytes(&self) -> u32 {
+        self.capacity_bytes
+    }
+
+    /// Associativity (number of ways).
+    pub fn ways(&self) -> u32 {
+        self.ways
+    }
+
+    /// Block (cache line) size in bytes.
+    pub fn block_bytes(&self) -> u32 {
+        self.block_bytes
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> u32 {
+        self.sets
+    }
+
+    /// Number of 4-byte words per block.
+    pub fn words_per_block(&self) -> u32 {
+        self.block_bytes / BYTES_PER_WORD
+    }
+
+    /// Total number of cache lines (sets × ways).
+    pub fn total_lines(&self) -> u32 {
+        self.sets * self.ways
+    }
+
+    /// Total number of 4-byte words in the data array.
+    pub fn total_words(&self) -> u32 {
+        self.total_lines() * self.words_per_block()
+    }
+
+    /// Total number of data bits (excluding tags).
+    pub fn total_bits(&self) -> u64 {
+        u64::from(self.capacity_bytes) * 8
+    }
+
+    /// Number of set-index bits (`log2(sets)`).
+    pub fn index_bits(&self) -> u32 {
+        self.sets.trailing_zeros()
+    }
+
+    /// Number of block-offset bits (`log2(block_bytes)`).
+    pub fn offset_bits(&self) -> u32 {
+        self.block_bytes.trailing_zeros()
+    }
+}
+
+impl fmt::Display for CacheGeometry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}KB {}-way {}B-block",
+            self.capacity_bytes / 1024,
+            self.ways,
+            self.block_bytes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_l1_geometry() {
+        let g = CacheGeometry::dsn_l1();
+        assert_eq!(g.sets(), 256);
+        assert_eq!(g.ways(), 4);
+        assert_eq!(g.words_per_block(), 8);
+        assert_eq!(g.total_lines(), 1024);
+        assert_eq!(g.total_words(), 8192);
+        assert_eq!(g.total_bits(), 262_144);
+        assert_eq!(g.index_bits(), 8);
+        assert_eq!(g.offset_bits(), 5);
+    }
+
+    #[test]
+    fn paper_l2_geometry() {
+        let g = CacheGeometry::dsn_l2();
+        assert_eq!(g.sets(), 2048);
+        assert_eq!(g.ways(), 8);
+    }
+
+    #[test]
+    fn rejects_non_power_of_two() {
+        assert!(CacheGeometry::new(3000, 4, 32).is_err());
+        assert!(CacheGeometry::new(32 * 1024, 3, 32).is_err());
+        assert!(CacheGeometry::new(32 * 1024, 4, 24).is_err());
+    }
+
+    #[test]
+    fn rejects_zero() {
+        assert!(CacheGeometry::new(0, 4, 32).is_err());
+        assert!(CacheGeometry::new(32 * 1024, 0, 32).is_err());
+    }
+
+    #[test]
+    fn rejects_block_smaller_than_word() {
+        assert!(CacheGeometry::new(32 * 1024, 4, 2).is_err());
+    }
+
+    #[test]
+    fn rejects_capacity_below_one_line_per_way() {
+        assert!(CacheGeometry::new(64, 4, 32).is_err());
+    }
+
+    #[test]
+    fn direct_mapped_is_valid() {
+        let g = CacheGeometry::new(1024, 1, 32).unwrap();
+        assert_eq!(g.sets(), 32);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(CacheGeometry::dsn_l1().to_string(), "32KB 4-way 32B-block");
+    }
+
+    #[test]
+    fn error_display_mentions_cause() {
+        let err = CacheGeometry::new(3000, 4, 32).unwrap_err();
+        assert!(err.to_string().contains("power of two"));
+    }
+}

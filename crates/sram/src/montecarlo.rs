@@ -1,0 +1,114 @@
+//! Seeded Monte-Carlo trial streams.
+//!
+//! The paper repeats every simulation over up to 1000 randomly drawn fault
+//! maps per DVFS operating point (Section V). This module derives
+//! statistically independent, reproducible per-trial seeds from a single
+//! base seed so that the whole experiment is replayable.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::stats::Summary;
+
+/// Derives the seed for trial `trial` of an experiment with `base` seed.
+///
+/// Uses the SplitMix64 finalizer, whose output is equidistributed and
+/// avalanche-complete, so consecutive trial indices give unrelated RNG
+/// streams.
+pub fn trial_seed(base: u64, trial: u64) -> u64 {
+    let mut z = base
+        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(trial.wrapping_add(1)));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A reproducible stream of per-trial RNGs.
+///
+/// # Example
+///
+/// ```rust
+/// use dvs_sram::montecarlo::Trials;
+/// use rand::Rng;
+///
+/// let summary = Trials::new(42, 32).run(|_trial, mut rng| rng.gen::<f64>());
+/// assert_eq!(summary.n, 32);
+/// assert!(summary.mean > 0.2 && summary.mean < 0.8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Trials {
+    base_seed: u64,
+    count: u64,
+}
+
+impl Trials {
+    /// Creates a stream of `count` trials rooted at `base_seed`.
+    pub fn new(base_seed: u64, count: u64) -> Self {
+        Trials { base_seed, count }
+    }
+
+    /// Number of trials.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Iterates over `(trial_index, rng)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, StdRng)> {
+        let base = self.base_seed;
+        (0..self.count).map(move |t| (t, StdRng::seed_from_u64(trial_seed(base, t))))
+    }
+
+    /// Runs `metric` once per trial and summarizes the results.
+    pub fn run<F>(&self, mut metric: F) -> Summary
+    where
+        F: FnMut(u64, StdRng) -> f64,
+    {
+        let samples: Vec<f64> = self.iter().map(|(t, rng)| metric(t, rng)).collect();
+        Summary::of(&samples)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use std::collections::HashSet;
+
+    #[test]
+    fn seeds_are_distinct() {
+        let seeds: HashSet<u64> = (0..10_000).map(|t| trial_seed(1234, t)).collect();
+        assert_eq!(seeds.len(), 10_000);
+    }
+
+    #[test]
+    fn seeds_are_reproducible() {
+        assert_eq!(trial_seed(7, 3), trial_seed(7, 3));
+        assert_ne!(trial_seed(7, 3), trial_seed(8, 3));
+    }
+
+    #[test]
+    fn run_is_deterministic() {
+        let f = |_t: u64, mut rng: StdRng| rng.gen::<f64>();
+        let a = Trials::new(5, 20).run(f);
+        let b = Trials::new(5, 20).run(f);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn trials_receive_their_index() {
+        let mut seen = Vec::new();
+        Trials::new(0, 5).run(|t, _| {
+            seen.push(t);
+            0.0
+        });
+        assert_eq!(seen, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn different_base_seeds_differ() {
+        let f = |_t: u64, mut rng: StdRng| rng.gen::<f64>();
+        let a = Trials::new(1, 10).run(f);
+        let b = Trials::new(2, 10).run(f);
+        assert_ne!(a.mean, b.mean);
+    }
+}

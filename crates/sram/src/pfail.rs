@@ -1,0 +1,395 @@
+//! Voltage-dependent SRAM failure-probability model.
+//!
+//! The paper takes its per-bit failure probabilities from Mahmood & Kim
+//! (CASES 2011, reference [2]) for 45 nm; Table II lists the operating
+//! points (560 mV → 1e-4 … 400 mV → 1e-2, exactly log-linear at half a
+//! decade per 40 mV) and Section II states that a 32 KB array needs 760 mV
+//! to reach 99.9 % manufacturing yield. We reproduce both facts with a
+//! piecewise log10-linear interpolation over calibrated anchors; see
+//! `DESIGN.md` ("Substitutions", item 5).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{MilliVolts, BITS_PER_WORD};
+
+/// Error returned when constructing a [`PfailModel`] from invalid anchors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BuildPfailModelError {
+    message: String,
+}
+
+impl fmt::Display for BuildPfailModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid pfail model: {}", self.message)
+    }
+}
+
+impl std::error::Error for BuildPfailModelError {}
+
+/// Per-bit SRAM failure probability as a function of supply voltage.
+///
+/// Internally a piecewise-linear curve in (millivolts, log10 probability)
+/// space, which matches the exponential rise of `P_fail` as voltage drops
+/// (paper Figure 2). Beyond the outermost anchors the boundary segment's
+/// slope is extrapolated.
+///
+/// # Example
+///
+/// ```rust
+/// use dvs_sram::{MilliVolts, PfailModel};
+///
+/// let model = PfailModel::dsn45();
+/// // Table II anchors are reproduced exactly.
+/// assert!((model.pfail_bit(MilliVolts::new(480)) - 1e-3).abs() < 1e-9);
+/// // A 32-bit word fails when any of its bits fail.
+/// let pw = model.pfail_word(MilliVolts::new(480));
+/// assert!(pw > 3e-2 && pw < 3.3e-2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PfailModel {
+    /// (millivolts, log10 p) pairs, strictly increasing in millivolts and
+    /// strictly decreasing in log10 p.
+    anchors: Vec<(f64, f64)>,
+}
+
+impl PfailModel {
+    /// The 45 nm model used throughout the paper's evaluation.
+    ///
+    /// Anchors: the five Table II DVFS points plus the 760 mV yield anchor
+    /// (`P_fail` at which a 32 KB = 262144-bit array achieves 99.9 % yield,
+    /// ≈ 10^-8.4183).
+    pub fn dsn45() -> Self {
+        PfailModel::from_anchors(vec![
+            (400, -2.0),
+            (440, -2.5),
+            (480, -3.0),
+            (520, -3.5),
+            (560, -4.0),
+            (760, YIELD_ANCHOR_LOG10P_760MV),
+        ])
+        .expect("builtin 45nm anchors are valid")
+    }
+
+    /// A 65 nm model qualitatively matching the paper's Figure 2 (taken
+    /// from Wilkerson et al., ISCA 2008, the paper's reference \[4\]).
+    ///
+    /// This preset is only used to regenerate the Figure 2 granularity
+    /// curves; the evaluation uses [`PfailModel::dsn45`].
+    pub fn isca65() -> Self {
+        PfailModel::from_anchors(vec![
+            (300, -1.0),
+            (400, -2.0),
+            (500, -3.2),
+            (600, -4.8),
+            (700, -6.8),
+            (800, -9.2),
+            (900, -12.0),
+        ])
+        .expect("builtin 65nm anchors are valid")
+    }
+
+    /// Builds a model from `(millivolts, log10 probability)` anchors.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if fewer than two anchors are given, millivolt
+    /// values are not strictly increasing, log10 probabilities are not
+    /// strictly decreasing, or any probability exceeds 1.
+    pub fn from_anchors(
+        anchors: Vec<(u32, f64)>,
+    ) -> Result<Self, BuildPfailModelError> {
+        if anchors.len() < 2 {
+            return Err(BuildPfailModelError {
+                message: format!("need at least two anchors, got {}", anchors.len()),
+            });
+        }
+        for pair in anchors.windows(2) {
+            let (v0, p0) = pair[0];
+            let (v1, p1) = pair[1];
+            if v1 <= v0 {
+                return Err(BuildPfailModelError {
+                    message: format!("voltages must strictly increase ({v0} then {v1})"),
+                });
+            }
+            if p1 >= p0 {
+                return Err(BuildPfailModelError {
+                    message: format!(
+                        "log10 p must strictly decrease with voltage ({p0} then {p1})"
+                    ),
+                });
+            }
+        }
+        if anchors.iter().any(|&(_, p)| p > 0.0) {
+            return Err(BuildPfailModelError {
+                message: "log10 probability above 0 (p > 1)".to_string(),
+            });
+        }
+        Ok(PfailModel {
+            anchors: anchors
+                .into_iter()
+                .map(|(v, p)| (f64::from(v), p))
+                .collect(),
+        })
+    }
+
+    /// Probability that a single SRAM bit is defective at voltage `vcc`.
+    pub fn pfail_bit(&self, vcc: MilliVolts) -> f64 {
+        10f64.powf(self.log10_pfail_bit(vcc)).min(1.0)
+    }
+
+    /// log10 of the per-bit failure probability (piecewise linear).
+    pub fn log10_pfail_bit(&self, vcc: MilliVolts) -> f64 {
+        let v = f64::from(vcc.get());
+        let n = self.anchors.len();
+        // Select the segment to interpolate on; extrapolate with the
+        // boundary segment's slope outside the anchor range.
+        let seg = if v <= self.anchors[0].0 {
+            (self.anchors[0], self.anchors[1])
+        } else if v >= self.anchors[n - 1].0 {
+            (self.anchors[n - 2], self.anchors[n - 1])
+        } else {
+            let hi = self
+                .anchors
+                .iter()
+                .position(|&(av, _)| av >= v)
+                .expect("v is below the last anchor");
+            (self.anchors[hi - 1], self.anchors[hi])
+        };
+        let ((v0, p0), (v1, p1)) = seg;
+        p0 + (v - v0) * (p1 - p0) / (v1 - v0)
+    }
+
+    /// Probability that a structure of `bits` cells contains at least one
+    /// defective cell: `1 - (1 - p)^bits`, computed stably for tiny `p`.
+    pub fn pfail_any(&self, vcc: MilliVolts, bits: u64) -> f64 {
+        let p = self.pfail_bit(vcc);
+        pfail_any_of(p, bits)
+    }
+
+    /// Probability that a 32-bit word contains a defective cell.
+    pub fn pfail_word(&self, vcc: MilliVolts) -> f64 {
+        self.pfail_any(vcc, u64::from(BITS_PER_WORD))
+    }
+
+    /// Probability that a cache block of `block_bytes` contains a defective
+    /// cell.
+    pub fn pfail_block(&self, vcc: MilliVolts, block_bytes: u32) -> f64 {
+        self.pfail_any(vcc, u64::from(block_bytes) * 8)
+    }
+
+    /// Fraction of manufactured dies on which an array of `bits` cells is
+    /// entirely fault-free at `vcc` — the paper's chip-yield criterion.
+    pub fn array_yield(&self, vcc: MilliVolts, bits: u64) -> f64 {
+        let p = self.pfail_bit(vcc);
+        if p >= 1.0 {
+            return 0.0;
+        }
+        (bits as f64 * (-p).ln_1p()).exp()
+    }
+
+    /// The minimum supply voltage at which an array of `bits` cells still
+    /// meets `yield_target` (e.g. 0.999 for the paper's 999-in-1000 dies).
+    ///
+    /// Searches at 1 mV resolution between 100 mV and 2000 mV.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `yield_target` is not within `(0, 1)`.
+    pub fn vccmin(&self, bits: u64, yield_target: f64) -> MilliVolts {
+        assert!(
+            yield_target > 0.0 && yield_target < 1.0,
+            "yield target must be in (0, 1), got {yield_target}"
+        );
+        let (mut lo, mut hi) = (100u32, 2000u32);
+        // array_yield is monotone nondecreasing in voltage, so binary search
+        // for the first voltage that meets the target.
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if self.array_yield(MilliVolts::new(mid), bits) >= yield_target {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        MilliVolts::new(lo)
+    }
+
+    /// Produces the Figure 2 data: failure probability at bit, 4 B word,
+    /// 32 B block and whole-array granularity for each requested voltage.
+    pub fn granularity_report(
+        &self,
+        voltages: &[MilliVolts],
+        array_bytes: u32,
+    ) -> Vec<YieldReport> {
+        voltages
+            .iter()
+            .map(|&v| YieldReport {
+                vcc: v,
+                pfail_bit: self.pfail_bit(v),
+                pfail_word: self.pfail_word(v),
+                pfail_block: self.pfail_block(v, 32),
+                pfail_array: self.pfail_any(v, u64::from(array_bytes) * 8),
+            })
+            .collect()
+    }
+}
+
+/// log10 of the per-bit failure probability at which a 262144-bit (32 KB)
+/// array reaches exactly 99.9 % yield. `1 - 0.999^(1/262144) ≈ 10^-8.4183`.
+const YIELD_ANCHOR_LOG10P_760MV: f64 = -8.4183;
+
+/// `1 - (1 - p)^n` computed without catastrophic cancellation.
+pub(crate) fn pfail_any_of(p: f64, n: u64) -> f64 {
+    if p >= 1.0 {
+        return 1.0;
+    }
+    -(n as f64 * (-p).ln_1p()).exp_m1()
+}
+
+/// One row of the Figure 2 reproduction: failure probabilities at several
+/// granularities for a single supply voltage.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct YieldReport {
+    /// Supply voltage for this row.
+    pub vcc: MilliVolts,
+    /// Per-bit failure probability.
+    pub pfail_bit: f64,
+    /// Failure probability of a 4 B (32-bit) word.
+    pub pfail_word: f64,
+    /// Failure probability of a 32 B cache block.
+    pub pfail_block: f64,
+    /// Failure probability of the whole array.
+    pub pfail_array: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn close_log(a: f64, b: f64) -> bool {
+        (a.log10() - b.log10()).abs() < 1e-6
+    }
+
+    #[test]
+    fn table2_anchors_reproduced() {
+        let m = PfailModel::dsn45();
+        for (mv, p) in [
+            (400u32, 1e-2),
+            (440, 10f64.powf(-2.5)),
+            (480, 1e-3),
+            (520, 10f64.powf(-3.5)),
+            (560, 1e-4),
+        ] {
+            assert!(
+                close_log(m.pfail_bit(MilliVolts::new(mv)), p),
+                "mismatch at {mv} mV"
+            );
+        }
+    }
+
+    #[test]
+    fn vccmin_of_32kb_is_760mv() {
+        let m = PfailModel::dsn45();
+        let v = m.vccmin(32 * 1024 * 8, 0.999);
+        assert!(
+            (i64::from(v.get()) - 760).abs() <= 2,
+            "expected ~760 mV, got {v}"
+        );
+    }
+
+    #[test]
+    fn yield_monotone_in_voltage() {
+        let m = PfailModel::dsn45();
+        let bits = 32 * 1024 * 8;
+        let mut last = 0.0;
+        for mv in (400..=900).step_by(20) {
+            let y = m.array_yield(MilliVolts::new(mv), bits);
+            assert!(y >= last, "yield decreased at {mv} mV");
+            last = y;
+        }
+    }
+
+    #[test]
+    fn granularity_ordering_matches_figure2() {
+        // Figure 2: block pfail > word pfail > bit pfail at every voltage.
+        let m = PfailModel::dsn45();
+        for row in m.granularity_report(
+            &[MilliVolts::new(400), MilliVolts::new(560), MilliVolts::new(760)],
+            32 * 1024,
+        ) {
+            assert!(row.pfail_array >= row.pfail_block);
+            assert!(row.pfail_block > row.pfail_word);
+            assert!(row.pfail_word > row.pfail_bit);
+        }
+    }
+
+    #[test]
+    fn word_pfail_approximates_32x_bit_pfail_when_small() {
+        let m = PfailModel::dsn45();
+        let v = MilliVolts::new(560);
+        let ratio = m.pfail_word(v) / m.pfail_bit(v);
+        assert!((ratio - 32.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn extrapolates_below_lowest_anchor() {
+        let m = PfailModel::dsn45();
+        // 360 mV continues the 0.5-decade-per-40 mV slope: 10^-1.5.
+        assert!(close_log(m.pfail_bit(MilliVolts::new(360)), 10f64.powf(-1.5)));
+    }
+
+    #[test]
+    fn pfail_saturates_at_one() {
+        let m = PfailModel::dsn45();
+        assert!(m.pfail_bit(MilliVolts::new(100)) <= 1.0);
+        assert_eq!(m.pfail_any(MilliVolts::new(100), 1_000_000), 1.0);
+    }
+
+    #[test]
+    fn from_anchors_rejects_bad_input() {
+        assert!(PfailModel::from_anchors(vec![(400, -2.0)]).is_err());
+        assert!(PfailModel::from_anchors(vec![(400, -2.0), (400, -3.0)]).is_err());
+        assert!(PfailModel::from_anchors(vec![(400, -2.0), (500, -2.0)]).is_err());
+        assert!(PfailModel::from_anchors(vec![(400, 0.5), (500, -2.0)]).is_err());
+    }
+
+    #[test]
+    fn vccmin_larger_arrays_need_more_voltage() {
+        let m = PfailModel::dsn45();
+        let v_small = m.vccmin(4 * 1024 * 8, 0.999);
+        let v_large = m.vccmin(512 * 1024 * 8, 0.999);
+        assert!(v_large > v_small);
+    }
+
+    #[test]
+    #[should_panic(expected = "yield target")]
+    fn vccmin_rejects_bad_target() {
+        let _ = PfailModel::dsn45().vccmin(1024, 1.5);
+    }
+
+    #[test]
+    fn isca65_preset_is_monotone() {
+        let m = PfailModel::isca65();
+        assert!(m.pfail_bit(MilliVolts::new(400)) > m.pfail_bit(MilliVolts::new(700)));
+    }
+
+    proptest! {
+        #[test]
+        fn pfail_any_bounds(p in 0.0f64..1.0, n in 1u64..100_000) {
+            let q = pfail_any_of(p, n);
+            prop_assert!((0.0..=1.0).contains(&q));
+            prop_assert!(q >= p - 1e-12);
+        }
+
+        #[test]
+        fn pfail_bit_monotone_decreasing(v0 in 200u32..1000, dv in 1u32..200) {
+            let m = PfailModel::dsn45();
+            let lo = m.pfail_bit(MilliVolts::new(v0));
+            let hi = m.pfail_bit(MilliVolts::new(v0 + dv));
+            prop_assert!(hi <= lo);
+        }
+    }
+}

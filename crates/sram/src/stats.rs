@@ -1,0 +1,204 @@
+//! Summary statistics for Monte-Carlo experiments.
+//!
+//! The paper reports results at 95 % confidence with a 5 % margin of error
+//! (Section V). This module provides the mean / standard deviation /
+//! confidence-interval machinery every experiment uses, plus the geometric
+//! mean used for the EPI results (Section VI-C).
+
+use serde::{Deserialize, Serialize};
+
+/// Two-sided 97.5 % quantiles of Student's t distribution for small degrees
+/// of freedom (df = 1..=30); beyond 30 the normal 1.96 is used.
+const T_975: [f64; 30] = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+    2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+    2.052, 2.048, 2.045, 2.042,
+];
+
+fn t_quantile_975(df: usize) -> f64 {
+    if df == 0 {
+        f64::INFINITY
+    } else if df <= 30 {
+        T_975[df - 1]
+    } else {
+        1.96
+    }
+}
+
+/// Summary of a sample: count, mean, standard deviation and the 95 %
+/// confidence half-interval of the mean.
+///
+/// # Example
+///
+/// ```rust
+/// use dvs_sram::stats::Summary;
+///
+/// let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+/// assert_eq!(s.n, 4);
+/// assert!((s.mean - 2.5).abs() < 1e-12);
+/// assert!(s.ci95_half > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n − 1 denominator); 0 for n < 2.
+    pub stddev: f64,
+    /// Half-width of the 95 % confidence interval of the mean (Student t).
+    pub ci95_half: f64,
+}
+
+impl Summary {
+    /// Summarizes a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample is empty.
+    pub fn of(samples: &[f64]) -> Self {
+        assert!(!samples.is_empty(), "cannot summarize an empty sample");
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let stddev = if n < 2 {
+            0.0
+        } else {
+            let ss: f64 = samples.iter().map(|x| (x - mean).powi(2)).sum();
+            (ss / (n - 1) as f64).sqrt()
+        };
+        let ci95_half = if n < 2 {
+            0.0
+        } else {
+            t_quantile_975(n - 1) * stddev / (n as f64).sqrt()
+        };
+        Summary {
+            n,
+            mean,
+            stddev,
+            ci95_half,
+        }
+    }
+
+    /// The confidence half-interval relative to the mean — the paper's
+    /// "margin of error" (they target ≤ 5 %). Returns infinity for a zero
+    /// mean with nonzero spread.
+    pub fn relative_margin(&self) -> f64 {
+        if self.ci95_half == 0.0 {
+            0.0
+        } else if self.mean == 0.0 {
+            f64::INFINITY
+        } else {
+            (self.ci95_half / self.mean).abs()
+        }
+    }
+
+    /// Whether the sample meets the paper's 95 % confidence / 5 % margin
+    /// criterion.
+    pub fn meets_paper_margin(&self) -> bool {
+        self.relative_margin() <= 0.05
+    }
+}
+
+/// Geometric mean of strictly positive samples.
+///
+/// Used for the EPI aggregation (Section VI-C: "The EPI results are the
+/// geometric mean of EPI for all simulations").
+///
+/// # Panics
+///
+/// Panics if `samples` is empty or contains a non-positive value.
+pub fn geomean(samples: &[f64]) -> f64 {
+    assert!(!samples.is_empty(), "cannot take geomean of empty sample");
+    let log_sum: f64 = samples
+        .iter()
+        .map(|&x| {
+            assert!(x > 0.0, "geomean requires positive samples, got {x}");
+            x.ln()
+        })
+        .sum();
+    (log_sum / samples.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn constant_sample_has_zero_spread() {
+        let s = Summary::of(&[5.0; 10]);
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!(s.ci95_half, 0.0);
+        assert!(s.meets_paper_margin());
+    }
+
+    #[test]
+    fn single_sample_has_no_interval() {
+        let s = Summary::of(&[3.0]);
+        assert_eq!(s.n, 1);
+        assert_eq!(s.ci95_half, 0.0);
+    }
+
+    #[test]
+    fn known_small_sample() {
+        // n=4, mean 2.5, sd = sqrt(5/3) ≈ 1.29099, t(3) = 3.182.
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert!((s.stddev - (5.0f64 / 3.0).sqrt()).abs() < 1e-9);
+        let expected_ci = 3.182 * s.stddev / 2.0;
+        assert!((s.ci95_half - expected_ci).abs() < 1e-9);
+    }
+
+    #[test]
+    fn large_sample_uses_normal_quantile() {
+        let samples: Vec<f64> = (0..100).map(|i| f64::from(i % 10)).collect();
+        let s = Summary::of(&samples);
+        let expected = 1.96 * s.stddev / 10.0;
+        assert!((s.ci95_half - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn empty_sample_panics() {
+        let _ = Summary::of(&[]);
+    }
+
+    #[test]
+    fn geomean_of_known_values() {
+        assert!((geomean(&[1.0, 100.0]) - 10.0).abs() < 1e-9);
+        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive samples")]
+    fn geomean_rejects_nonpositive() {
+        let _ = geomean(&[1.0, 0.0]);
+    }
+
+    #[test]
+    fn relative_margin_reflects_spread() {
+        let tight = Summary::of(&[100.0, 100.1, 99.9, 100.0, 100.05, 99.95]);
+        assert!(tight.meets_paper_margin());
+        let loose = Summary::of(&[1.0, 100.0]);
+        assert!(!loose.meets_paper_margin());
+    }
+
+    proptest! {
+        #[test]
+        fn mean_within_sample_bounds(xs in proptest::collection::vec(-1e6f64..1e6, 1..50)) {
+            let s = Summary::of(&xs);
+            let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(s.mean >= lo - 1e-6 && s.mean <= hi + 1e-6);
+            prop_assert!(s.stddev >= 0.0);
+        }
+
+        #[test]
+        fn geomean_between_min_and_max(xs in proptest::collection::vec(1e-3f64..1e3, 1..50)) {
+            let g = geomean(&xs);
+            let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(g >= lo - 1e-9 && g <= hi + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Synthetic workloads calibrated to the DSN 2016 paper's benchmarks.
+//!
+//! The paper evaluates 4 SPEC CPU2006 and 6 MiBench benchmarks compiled
+//! for ARM (Section V). Those binaries and their reference inputs cannot
+//! be redistributed, so this crate substitutes **seeded synthetic
+//! generators** whose observable characteristics match what the paper's
+//! mechanisms are sensitive to:
+//!
+//! * the data-side **spatial locality** and **word reuse rate** of each
+//!   benchmark (Figure 3) — which drive the FFW data cache;
+//! * the **basic-block size distribution** (mean ≈ 5–6 instructions,
+//!   Figure 6b) and per-interval instruction footprint — which drive BBR.
+//!
+//! The crate provides:
+//!
+//! * [`Program`] — a control-flow graph of [`Block`]s with ARM-like
+//!   word-sized instructions, function boundaries and literal pools;
+//! * [`Layout`] — the memory placement of blocks (the BBR linker in
+//!   `dvs-linker` produces alternative layouts);
+//! * [`Workload`] / [`Benchmark`] — the ten named benchmarks;
+//! * [`TraceWalker`] — a deterministic instruction-trace iterator that
+//!   executes the CFG, synthesizing operand registers and data addresses;
+//! * [`locality`] — the Figure 3 measurement instrumentation.
+//!
+//! # Example
+//!
+//! ```rust
+//! use dvs_workloads::{Benchmark, Layout};
+//!
+//! let wl = Benchmark::Basicmath.build(42);
+//! let layout = Layout::sequential(wl.program());
+//! let ops: Vec<_> = wl.trace(&layout, 0).take(1000).collect();
+//! assert_eq!(ops.len(), 1000);
+//! // Traces are deterministic per seed.
+//! let again: Vec<_> = wl.trace(&layout, 0).take(1000).collect();
+//! assert_eq!(ops, again);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bench10;
+mod datagen;
+mod generate;
+pub mod locality;
+mod opclass;
+mod program;
+mod walker;
+
+pub use bench10::{Benchmark, Workload};
+pub use datagen::{DataGen, DataParams};
+pub use generate::ProgramSpec;
+pub use opclass::{InstrMix, OpClass};
+pub use program::{Block, BlockId, Layout, Program, ProgramError, Terminator};
+pub use walker::{BranchInfo, TraceOp, TraceWalker};
+
+/// Base byte address of the data segment used by synthetic traces. Code
+/// lives at low addresses; keeping the segments disjoint means literal
+/// loads (which target code addresses) and data loads never alias.
+pub const DATA_SEGMENT_BASE: u64 = 0x4000_0000;

@@ -1,0 +1,234 @@
+//! Figure 3 instrumentation: per-interval spatial locality and word reuse.
+//!
+//! The paper examines every 10 000-instruction interval of each benchmark's
+//! trace and reports (a) the ratio of data actually used to the touched
+//! cache-line capacity ("spatial locality", after Murphy & Kogge) and
+//! (b) the fraction of repeated word accesses ("word reuse rate").
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{OpClass, TraceOp};
+
+/// Words per 32 B data-cache block.
+const WORDS_PER_BLOCK: u64 = 8;
+
+/// The paper's interval length in instructions.
+pub const PAPER_INTERVAL_INSTRS: usize = 10_000;
+
+/// Locality of one instruction interval.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IntervalLocality {
+    /// Mean fraction of each touched block's words that were accessed.
+    pub spatial: f64,
+    /// Fraction of accesses that repeated an already-touched word.
+    pub reuse: f64,
+    /// Data accesses observed in the interval.
+    pub accesses: u64,
+}
+
+/// Aggregated locality over a whole trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LocalityReport {
+    intervals: Vec<IntervalLocality>,
+}
+
+impl LocalityReport {
+    /// Per-interval measurements.
+    pub fn intervals(&self) -> &[IntervalLocality] {
+        &self.intervals
+    }
+
+    /// Mean spatial locality over intervals.
+    pub fn mean_spatial(&self) -> f64 {
+        mean(self.intervals.iter().map(|i| i.spatial))
+    }
+
+    /// Mean word reuse rate over intervals.
+    pub fn mean_reuse(&self) -> f64 {
+        mean(self.intervals.iter().map(|i| i.reuse))
+    }
+
+    /// Normalized histogram of per-interval spatial locality over `bins`
+    /// equal-width bins covering `[0, 1]` (the Figure 3 y-axis).
+    pub fn spatial_histogram(&self, bins: usize) -> Vec<f64> {
+        histogram(self.intervals.iter().map(|i| i.spatial), bins)
+    }
+
+    /// Normalized histogram of per-interval word reuse rate.
+    pub fn reuse_histogram(&self, bins: usize) -> Vec<f64> {
+        histogram(self.intervals.iter().map(|i| i.reuse), bins)
+    }
+}
+
+fn mean(values: impl Iterator<Item = f64>) -> f64 {
+    let (mut sum, mut n) = (0.0, 0usize);
+    for v in values {
+        sum += v;
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+fn histogram(values: impl Iterator<Item = f64>, bins: usize) -> Vec<f64> {
+    assert!(bins > 0, "need at least one bin");
+    let mut counts = vec![0usize; bins];
+    let mut total = 0usize;
+    for v in values {
+        let bin = ((v * bins as f64) as usize).min(bins - 1);
+        counts[bin] += 1;
+        total += 1;
+    }
+    if total == 0 {
+        return vec![0.0; bins];
+    }
+    counts.iter().map(|&c| c as f64 / total as f64).collect()
+}
+
+/// Measures data-side locality of a trace, interval by interval.
+///
+/// Intervals shorter than 10 data accesses are dropped (they carry no
+/// signal); pass [`PAPER_INTERVAL_INSTRS`] for the paper's methodology.
+///
+/// # Panics
+///
+/// Panics if `interval_instrs` is zero.
+///
+/// # Example
+///
+/// ```rust
+/// use dvs_workloads::{locality, Benchmark, Layout};
+///
+/// let wl = Benchmark::Patricia.build(7);
+/// let layout = Layout::sequential(wl.program());
+/// let report = locality::measure(wl.trace(&layout, 0).take(100_000), 10_000);
+/// // Patricia: poor spatial locality, very high reuse (paper Figure 3).
+/// assert!(report.mean_spatial() < 0.6);
+/// assert!(report.mean_reuse() > 0.7);
+/// ```
+pub fn measure(trace: impl Iterator<Item = TraceOp>, interval_instrs: usize) -> LocalityReport {
+    assert!(interval_instrs > 0, "interval length must be nonzero");
+    let mut intervals = Vec::new();
+    let mut in_interval = 0usize;
+    let mut per_block: HashMap<u64, u8> = HashMap::new();
+    let mut unique = 0u64;
+    let mut accesses = 0u64;
+
+    let mut flush =
+        |per_block: &mut HashMap<u64, u8>, unique: &mut u64, accesses: &mut u64| {
+            if *accesses >= 10 {
+                let spatial = per_block
+                    .values()
+                    .map(|mask| f64::from(mask.count_ones()) / WORDS_PER_BLOCK as f64)
+                    .sum::<f64>()
+                    / per_block.len() as f64;
+                intervals.push(IntervalLocality {
+                    spatial,
+                    reuse: 1.0 - *unique as f64 / *accesses as f64,
+                    accesses: *accesses,
+                });
+            }
+            per_block.clear();
+            *unique = 0;
+            *accesses = 0;
+        };
+
+    for op in trace {
+        if matches!(op.class, OpClass::Load | OpClass::Store) {
+            // Literal-pool loads target the code segment; Figure 3
+            // characterizes the application's *data* working set, so they
+            // are excluded here (they are still simulated as D-cache
+            // traffic by the CPU model).
+            if let Some(addr) = op.mem_addr.filter(|&a| a >= crate::DATA_SEGMENT_BASE) {
+                let word = addr / 4;
+                let block = word / WORDS_PER_BLOCK;
+                let bit = 1u8 << (word % WORDS_PER_BLOCK);
+                let mask = per_block.entry(block).or_insert(0);
+                if *mask & bit == 0 {
+                    *mask |= bit;
+                    unique += 1;
+                }
+                accesses += 1;
+            }
+        }
+        in_interval += 1;
+        if in_interval == interval_instrs {
+            flush(&mut per_block, &mut unique, &mut accesses);
+            in_interval = 0;
+        }
+    }
+    flush(&mut per_block, &mut unique, &mut accesses);
+    LocalityReport { intervals }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Benchmark, Layout};
+
+    fn report_for(b: Benchmark, instrs: usize) -> LocalityReport {
+        let wl = b.build(11);
+        let layout = Layout::sequential(wl.program());
+        measure(wl.trace(&layout, 0).take(instrs), PAPER_INTERVAL_INSTRS)
+    }
+
+    #[test]
+    fn patricia_matches_figure3_band() {
+        let r = report_for(Benchmark::Patricia, 200_000);
+        assert!(
+            (0.2..0.6).contains(&r.mean_spatial()),
+            "spatial {}",
+            r.mean_spatial()
+        );
+        assert!(r.mean_reuse() > 0.75, "reuse {}", r.mean_reuse());
+    }
+
+    #[test]
+    fn libquantum_is_high_spatial_low_reuse() {
+        let r = report_for(Benchmark::Libquantum, 200_000);
+        assert!(r.mean_spatial() > 0.7, "spatial {}", r.mean_spatial());
+        assert!(r.mean_reuse() < 0.55, "reuse {}", r.mean_reuse());
+    }
+
+    #[test]
+    fn all_benchmarks_yield_intervals() {
+        for b in Benchmark::ALL {
+            let r = report_for(b, 60_000);
+            assert!(!r.intervals().is_empty(), "{b} produced no intervals");
+            for i in r.intervals() {
+                assert!((0.0..=1.0).contains(&i.spatial));
+                assert!((0.0..=1.0).contains(&i.reuse));
+            }
+        }
+    }
+
+    #[test]
+    fn histograms_normalize_to_one() {
+        let r = report_for(Benchmark::Qsort, 100_000);
+        for hist in [r.spatial_histogram(10), r.reuse_histogram(10)] {
+            let sum: f64 = hist.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "histogram sums to {sum}");
+        }
+    }
+
+    #[test]
+    fn empty_trace_is_empty_report() {
+        let r = measure(std::iter::empty(), 1000);
+        assert!(r.intervals().is_empty());
+        assert_eq!(r.mean_spatial(), 0.0);
+        assert_eq!(r.spatial_histogram(5), vec![0.0; 5]);
+    }
+
+    #[test]
+    fn reuse_ordering_matches_paper() {
+        // Patricia reuses far more than libquantum (Figure 3's extremes).
+        let hi = report_for(Benchmark::Patricia, 100_000);
+        let lo = report_for(Benchmark::Libquantum, 100_000);
+        assert!(hi.mean_reuse() > lo.mean_reuse() + 0.2);
+    }
+}

@@ -1,0 +1,220 @@
+//! Instruction classes and per-benchmark instruction mixes.
+
+use serde::{Deserialize, Serialize};
+
+/// Class of a dynamic instruction, matching the functional units of the
+/// paper's core (Table I: 2 INT ALUs, 1 FP ALU, 1 INT MULT, 1 FP MULT).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpClass {
+    /// Integer ALU operation (1-cycle).
+    IntAlu,
+    /// Integer multiply (3-cycle, single unit).
+    IntMult,
+    /// Floating-point ALU operation (3-cycle, single unit).
+    FpAlu,
+    /// Floating-point multiply (5-cycle, single unit).
+    FpMult,
+    /// Memory load through the L1 D-cache.
+    Load,
+    /// Memory store through the write-through L1 D-cache.
+    Store,
+    /// Control transfer (conditional branch, jump, call or return).
+    Branch,
+}
+
+impl OpClass {
+    /// Whether this class accesses the data cache.
+    pub fn is_mem(self) -> bool {
+        matches!(self, OpClass::Load | OpClass::Store)
+    }
+
+    /// Whether this class transfers control.
+    pub fn is_branch(self) -> bool {
+        self == OpClass::Branch
+    }
+}
+
+/// Relative frequencies of non-branch instruction classes within basic
+/// block bodies.
+///
+/// Branches are not part of the mix: they are produced by block
+/// terminators, so the branch fraction emerges from the CFG's block sizes
+/// (mean block length ≈ 5–6 ⇒ ≈ 15–20 % branches, matching the embedded
+/// benchmarks the paper cites).
+///
+/// # Example
+///
+/// ```rust
+/// use dvs_workloads::{InstrMix, OpClass};
+///
+/// let mix = InstrMix::integer_heavy();
+/// let class = mix.sample(0.5);
+/// assert!(!class.is_branch());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InstrMix {
+    /// Weight of integer ALU operations.
+    pub int_alu: f32,
+    /// Weight of integer multiplies.
+    pub int_mult: f32,
+    /// Weight of floating-point ALU operations.
+    pub fp_alu: f32,
+    /// Weight of floating-point multiplies.
+    pub fp_mult: f32,
+    /// Weight of loads.
+    pub load: f32,
+    /// Weight of stores.
+    pub store: f32,
+}
+
+impl InstrMix {
+    /// A pointer/control-heavy integer mix (mcf, patricia, qsort …).
+    pub fn integer_heavy() -> Self {
+        InstrMix {
+            int_alu: 0.48,
+            int_mult: 0.02,
+            fp_alu: 0.0,
+            fp_mult: 0.0,
+            load: 0.34,
+            store: 0.16,
+        }
+    }
+
+    /// A floating-point mix (basicmath, hmmer's scoring loops).
+    pub fn float_heavy() -> Self {
+        InstrMix {
+            int_alu: 0.33,
+            int_mult: 0.03,
+            fp_alu: 0.18,
+            fp_mult: 0.10,
+            load: 0.24,
+            store: 0.12,
+        }
+    }
+
+    /// A streaming/kernel mix with fewer loads per ALU op (crc32, adpcm,
+    /// libquantum).
+    pub fn streaming() -> Self {
+        InstrMix {
+            int_alu: 0.52,
+            int_mult: 0.04,
+            fp_alu: 0.02,
+            fp_mult: 0.02,
+            load: 0.26,
+            store: 0.14,
+        }
+    }
+
+    fn total(&self) -> f32 {
+        self.int_alu + self.int_mult + self.fp_alu + self.fp_mult + self.load + self.store
+    }
+
+    /// Maps a uniform sample in `[0, 1)` to a class, proportionally to the
+    /// weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if all weights are zero or any weight is negative.
+    pub fn sample(&self, u: f32) -> OpClass {
+        let weights = [
+            (OpClass::IntAlu, self.int_alu),
+            (OpClass::IntMult, self.int_mult),
+            (OpClass::FpAlu, self.fp_alu),
+            (OpClass::FpMult, self.fp_mult),
+            (OpClass::Load, self.load),
+            (OpClass::Store, self.store),
+        ];
+        let total = self.total();
+        assert!(
+            total > 0.0 && weights.iter().all(|&(_, w)| w >= 0.0),
+            "instruction mix weights must be nonnegative and sum > 0"
+        );
+        let mut x = u.clamp(0.0, 0.999_999) * total;
+        for (class, w) in weights {
+            if x < w {
+                return class;
+            }
+            x -= w;
+        }
+        OpClass::Store
+    }
+
+    /// The fraction of body instructions that are loads.
+    pub fn load_fraction(&self) -> f32 {
+        self.load / self.total()
+    }
+
+    /// The fraction of body instructions that are stores.
+    pub fn store_fraction(&self) -> f32 {
+        self.store / self.total()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_covers_all_weighted_classes() {
+        let mix = InstrMix::float_heavy();
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..1000 {
+            seen.insert(mix.sample(i as f32 / 1000.0));
+        }
+        assert!(seen.contains(&OpClass::IntAlu));
+        assert!(seen.contains(&OpClass::FpAlu));
+        assert!(seen.contains(&OpClass::FpMult));
+        assert!(seen.contains(&OpClass::Load));
+        assert!(seen.contains(&OpClass::Store));
+    }
+
+    #[test]
+    fn sample_respects_proportions() {
+        let mix = InstrMix::integer_heavy();
+        let n = 100_000;
+        let loads = (0..n)
+            .filter(|&i| mix.sample(i as f32 / n as f32) == OpClass::Load)
+            .count();
+        let frac = loads as f64 / f64::from(n);
+        assert!((frac - f64::from(mix.load_fraction())).abs() < 0.01);
+    }
+
+    #[test]
+    fn integer_mix_has_no_fp() {
+        let mix = InstrMix::integer_heavy();
+        for i in 0..1000 {
+            let c = mix.sample(i as f32 / 1000.0);
+            assert!(!matches!(c, OpClass::FpAlu | OpClass::FpMult));
+        }
+    }
+
+    #[test]
+    fn boundary_samples_are_valid() {
+        let mix = InstrMix::streaming();
+        let _ = mix.sample(0.0);
+        let _ = mix.sample(1.0); // clamped internally
+    }
+
+    #[test]
+    #[should_panic(expected = "sum > 0")]
+    fn zero_mix_panics() {
+        let mix = InstrMix {
+            int_alu: 0.0,
+            int_mult: 0.0,
+            fp_alu: 0.0,
+            fp_mult: 0.0,
+            load: 0.0,
+            store: 0.0,
+        };
+        let _ = mix.sample(0.5);
+    }
+
+    #[test]
+    fn class_predicates() {
+        assert!(OpClass::Load.is_mem());
+        assert!(OpClass::Store.is_mem());
+        assert!(!OpClass::IntAlu.is_mem());
+        assert!(OpClass::Branch.is_branch());
+        assert!(!OpClass::Load.is_branch());
+    }
+}

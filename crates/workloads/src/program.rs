@@ -1,0 +1,548 @@
+//! Control-flow-graph program representation.
+//!
+//! Programs are ARM-like: fixed 4-byte instructions, basic blocks ended by
+//! an explicit terminator word (except fall-through), optional literal
+//! pools holding PC-relative constants. This is the object-code view the
+//! BBR compiler/linker pipeline (`dvs-linker`) operates on.
+
+use std::fmt;
+use std::ops::Range;
+
+use serde::{Deserialize, Serialize};
+
+use dvs_sram::BYTES_PER_WORD;
+
+/// Index of a basic block within a [`Program`].
+pub type BlockId = usize;
+
+/// How a basic block ends.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Terminator {
+    /// Execution continues into the next block; no terminator instruction.
+    FallThrough,
+    /// Unconditional jump (1 word).
+    Jump {
+        /// Destination block.
+        target: BlockId,
+    },
+    /// Conditional branch (1 word); falls through to the next block when
+    /// not taken.
+    CondBranch {
+        /// Taken destination block.
+        target: BlockId,
+        /// Probability the branch is taken on a dynamic execution.
+        taken_prob: f32,
+    },
+    /// Function call (1 word); execution resumes at the next block after
+    /// the callee returns.
+    Call {
+        /// Entry block of the callee function.
+        callee: BlockId,
+    },
+    /// Function return (1 word).
+    Return,
+}
+
+impl Terminator {
+    /// Instruction words the terminator occupies.
+    pub fn words(self) -> u32 {
+        match self {
+            Terminator::FallThrough => 0,
+            _ => 1,
+        }
+    }
+}
+
+/// One basic block.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Block {
+    /// Payload (non-control) instructions, in words.
+    pub body_len: u32,
+    /// How the block ends.
+    pub terminator: Terminator,
+    /// Literal-pool words this block *references* (constants loaded with
+    /// PC-relative loads).
+    pub literal_refs: u32,
+    /// Literal-pool words placed immediately after this block's code.
+    /// Zero before the BBR "move literal pool" transform (constants then
+    /// live in the function's shared pool).
+    pub literal_words: u32,
+    /// Whether an extra unconditional jump was appended by the BBR
+    /// transform to make the fall-through path explicit.
+    pub explicit_jump: bool,
+}
+
+impl Block {
+    /// A plain fall-through block of `body_len` instructions.
+    pub fn body(body_len: u32) -> Self {
+        Block {
+            body_len,
+            terminator: Terminator::FallThrough,
+            literal_refs: 0,
+            literal_words: 0,
+            explicit_jump: false,
+        }
+    }
+
+    /// A block with the given terminator.
+    pub fn with_terminator(body_len: u32, terminator: Terminator) -> Self {
+        Block {
+            body_len,
+            terminator,
+            literal_refs: 0,
+            literal_words: 0,
+            explicit_jump: false,
+        }
+    }
+
+    /// Executable words: body + terminator + inserted jump.
+    pub fn code_words(&self) -> u32 {
+        self.body_len + self.terminator.words() + u32::from(self.explicit_jump)
+    }
+
+    /// Cache footprint in words: code plus attached literals.
+    pub fn footprint_words(&self) -> u32 {
+        self.code_words() + self.literal_words
+    }
+}
+
+/// Error returned when a [`Program`] is structurally invalid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProgramError {
+    message: String,
+}
+
+impl ProgramError {
+    fn new(message: impl Into<String>) -> Self {
+        ProgramError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid program: {}", self.message)
+    }
+}
+
+impl std::error::Error for ProgramError {}
+
+/// A whole program: basic blocks partitioned into functions, plus one
+/// shared literal pool per function.
+///
+/// Function 0 is `main`; its entry (block 0) is where execution starts.
+///
+/// # Example
+///
+/// ```rust
+/// use dvs_workloads::{Block, Program, Terminator};
+///
+/// let blocks = vec![
+///     Block::body(4),
+///     Block::with_terminator(3, Terminator::Jump { target: 0 }),
+/// ];
+/// let program = Program::new(blocks, vec![0..2], vec![2])?;
+/// assert_eq!(program.num_blocks(), 2);
+/// assert_eq!(program.total_code_words(), 4 + 3 + 1);
+/// # Ok::<(), dvs_workloads::ProgramError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Program {
+    blocks: Vec<Block>,
+    functions: Vec<Range<usize>>,
+    /// Shared literal-pool words per function (pre-transform constants).
+    pool_words: Vec<u32>,
+}
+
+impl Program {
+    /// Builds and validates a program.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProgramError`] if the functions do not partition the block
+    /// list contiguously, a branch target leaves its function, a call
+    /// target is not a function entry, a function's last block can fall
+    /// off its end, or a block references literals its function does not
+    /// have.
+    pub fn new(
+        blocks: Vec<Block>,
+        functions: Vec<Range<usize>>,
+        pool_words: Vec<u32>,
+    ) -> Result<Self, ProgramError> {
+        if blocks.is_empty() {
+            return Err(ProgramError::new("program has no blocks"));
+        }
+        if functions.len() != pool_words.len() {
+            return Err(ProgramError::new("one pool size required per function"));
+        }
+        let mut expected_start = 0;
+        for (f, range) in functions.iter().enumerate() {
+            if range.start != expected_start || range.end <= range.start {
+                return Err(ProgramError::new(format!(
+                    "function {f} range {range:?} does not partition the blocks"
+                )));
+            }
+            expected_start = range.end;
+        }
+        if expected_start != blocks.len() {
+            return Err(ProgramError::new("functions do not cover all blocks"));
+        }
+        let entries: Vec<usize> = functions.iter().map(|r| r.start).collect();
+        for (f, range) in functions.iter().enumerate() {
+            for id in range.clone() {
+                let block = &blocks[id];
+                let check_local = |target: BlockId, what: &str| {
+                    if target < range.start || target >= range.end {
+                        return Err(ProgramError::new(format!(
+                            "block {id}: {what} target {target} leaves function {f}"
+                        )));
+                    }
+                    Ok(())
+                };
+                match block.terminator {
+                    Terminator::Jump { target } => check_local(target, "jump")?,
+                    Terminator::CondBranch { target, taken_prob } => {
+                        check_local(target, "branch")?;
+                        if !(0.0..=1.0).contains(&taken_prob) {
+                            return Err(ProgramError::new(format!(
+                                "block {id}: taken probability {taken_prob} outside [0, 1]"
+                            )));
+                        }
+                        if id + 1 >= range.end {
+                            return Err(ProgramError::new(format!(
+                                "block {id}: conditional branch at function end has no \
+                                 fall-through successor"
+                            )));
+                        }
+                    }
+                    Terminator::Call { callee } => {
+                        if !entries.contains(&callee) {
+                            return Err(ProgramError::new(format!(
+                                "block {id}: call target {callee} is not a function entry"
+                            )));
+                        }
+                        if id + 1 >= range.end {
+                            return Err(ProgramError::new(format!(
+                                "block {id}: call at function end has no return-to block"
+                            )));
+                        }
+                    }
+                    Terminator::FallThrough => {
+                        if id + 1 >= range.end {
+                            return Err(ProgramError::new(format!(
+                                "block {id}: function {f} can fall off its end"
+                            )));
+                        }
+                    }
+                    Terminator::Return => {}
+                }
+                if block.literal_refs > 0
+                    && block.literal_words == 0
+                    && pool_words[f] < block.literal_refs
+                {
+                    return Err(ProgramError::new(format!(
+                        "block {id}: references {} literal words but function {f} pool has {}",
+                        block.literal_refs, pool_words[f]
+                    )));
+                }
+            }
+        }
+        Ok(Program {
+            blocks,
+            functions,
+            pool_words,
+        })
+    }
+
+    /// The basic blocks.
+    pub fn blocks(&self) -> &[Block] {
+        &self.blocks
+    }
+
+    /// Number of basic blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// One block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn block(&self, id: BlockId) -> &Block {
+        &self.blocks[id]
+    }
+
+    /// Function block ranges (function 0 = `main`).
+    pub fn functions(&self) -> &[Range<usize>] {
+        &self.functions
+    }
+
+    /// Shared-pool words of each function.
+    pub fn pool_words(&self) -> &[u32] {
+        &self.pool_words
+    }
+
+    /// The function owning `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn function_of(&self, id: BlockId) -> usize {
+        assert!(id < self.blocks.len(), "block {id} out of range");
+        self.functions
+            .iter()
+            .position(|r| r.contains(&id))
+            .expect("functions partition all blocks")
+    }
+
+    /// Total executable words over all blocks (excluding literal pools).
+    pub fn total_code_words(&self) -> u32 {
+        self.blocks.iter().map(Block::code_words).sum()
+    }
+
+    /// Total footprint including per-block and shared literal pools.
+    pub fn total_footprint_words(&self) -> u32 {
+        self.blocks.iter().map(Block::footprint_words).sum::<u32>()
+            + self.pool_words.iter().sum::<u32>()
+    }
+
+    /// Code sizes of every block in words — the Figure 6(b) "basic block
+    /// size" distribution.
+    pub fn block_sizes(&self) -> Vec<u32> {
+        self.blocks.iter().map(Block::code_words).collect()
+    }
+}
+
+/// Placement of a program in memory: a start byte address per block plus
+/// one per function shared pool.
+///
+/// The default [`Layout::sequential`] packs blocks back-to-back in block
+/// order, with each function's shared pool after its last block — the
+/// layout an ordinary linker would produce. The BBR linker produces gapped
+/// layouts that avoid defective cache words.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Layout {
+    block_starts: Vec<u64>,
+    pool_starts: Vec<u64>,
+    end: u64,
+}
+
+impl Layout {
+    /// Packs `program` contiguously from byte address 0.
+    pub fn sequential(program: &Program) -> Self {
+        let mut block_starts = vec![0u64; program.num_blocks()];
+        let mut pool_starts = vec![0u64; program.functions().len()];
+        let mut cursor = 0u64;
+        for (f, range) in program.functions().iter().enumerate() {
+            for id in range.clone() {
+                block_starts[id] = cursor;
+                cursor += u64::from(program.block(id).footprint_words())
+                    * u64::from(BYTES_PER_WORD);
+            }
+            pool_starts[f] = cursor;
+            cursor += u64::from(program.pool_words()[f]) * u64::from(BYTES_PER_WORD);
+        }
+        Layout {
+            block_starts,
+            pool_starts,
+            end: cursor,
+        }
+    }
+
+    /// Builds a layout from explicit placements (used by the BBR linker).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any start is not word-aligned or lies at/after `end`.
+    pub fn from_parts(block_starts: Vec<u64>, pool_starts: Vec<u64>, end: u64) -> Self {
+        for &s in block_starts.iter().chain(&pool_starts) {
+            assert!(s % u64::from(BYTES_PER_WORD) == 0, "start {s:#x} not word-aligned");
+            assert!(s < end || end == 0, "start {s:#x} beyond program end {end:#x}");
+        }
+        Layout {
+            block_starts,
+            pool_starts,
+            end,
+        }
+    }
+
+    /// Byte address of the first instruction of `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn block_start(&self, id: BlockId) -> u64 {
+        self.block_starts[id]
+    }
+
+    /// Byte address of the instruction at word position `word` of `id`.
+    pub fn instr_addr(&self, id: BlockId, word: u32) -> u64 {
+        self.block_start(id) + u64::from(word) * u64::from(BYTES_PER_WORD)
+    }
+
+    /// Byte address a literal load in block `id` targets: the block's own
+    /// pool when literals were moved, else the function's shared pool.
+    pub fn literal_addr(&self, program: &Program, id: BlockId) -> u64 {
+        let block = program.block(id);
+        if block.literal_words > 0 {
+            self.instr_addr(id, block.code_words())
+        } else {
+            self.pool_starts[program.function_of(id)]
+        }
+    }
+
+    /// One-past-the-end byte address of the program image.
+    pub fn end(&self) -> u64 {
+        self.end
+    }
+
+    /// Number of placed blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.block_starts.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_function_program() -> Program {
+        let blocks = vec![
+            // main: block 0 calls f1, block 1 loops back.
+            Block::with_terminator(4, Terminator::Call { callee: 2 }),
+            Block::with_terminator(2, Terminator::Jump { target: 0 }),
+            // f1: blocks 2..4.
+            Block::with_terminator(
+                5,
+                Terminator::CondBranch {
+                    target: 3,
+                    taken_prob: 0.5,
+                },
+            ),
+            Block::with_terminator(3, Terminator::Return),
+        ];
+        Program::new(blocks, vec![0..2, 2..4], vec![0, 2]).unwrap()
+    }
+
+    #[test]
+    fn valid_program_builds() {
+        let p = two_function_program();
+        assert_eq!(p.num_blocks(), 4);
+        assert_eq!(p.function_of(0), 0);
+        assert_eq!(p.function_of(3), 1);
+        // code words: (4+1) + (2+1) + (5+1) + (3+1) = 18
+        assert_eq!(p.total_code_words(), 18);
+        // + pool of f1 (2 words)
+        assert_eq!(p.total_footprint_words(), 20);
+    }
+
+    #[test]
+    fn rejects_cross_function_branch() {
+        let blocks = vec![
+            Block::with_terminator(1, Terminator::Jump { target: 1 }),
+            Block::with_terminator(1, Terminator::Return),
+        ];
+        let err = Program::new(blocks, vec![0..1, 1..2], vec![0, 0]).unwrap_err();
+        assert!(err.to_string().contains("leaves function"));
+    }
+
+    #[test]
+    fn rejects_fallthrough_off_function_end() {
+        let blocks = vec![Block::body(3)];
+        assert!(Program::new(blocks, vec![0..1], vec![0]).is_err());
+    }
+
+    #[test]
+    fn rejects_call_to_non_entry() {
+        let blocks = vec![
+            Block::with_terminator(1, Terminator::Call { callee: 3 }),
+            Block::with_terminator(1, Terminator::Return),
+            Block::body(1),
+            Block::with_terminator(1, Terminator::Return),
+        ];
+        assert!(Program::new(blocks, vec![0..2, 2..4], vec![0, 0]).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_probability() {
+        let blocks = vec![
+            Block::with_terminator(
+                1,
+                Terminator::CondBranch {
+                    target: 0,
+                    taken_prob: 1.5,
+                },
+            ),
+            Block::with_terminator(1, Terminator::Return),
+        ];
+        assert!(Program::new(blocks, vec![0..2], vec![0]).is_err());
+    }
+
+    #[test]
+    fn rejects_literal_refs_without_pool() {
+        let mut block = Block::with_terminator(1, Terminator::Return);
+        block.literal_refs = 3;
+        assert!(Program::new(vec![block], vec![0..1], vec![0]).is_err());
+    }
+
+    #[test]
+    fn rejects_gap_in_functions() {
+        let blocks = vec![
+            Block::with_terminator(1, Terminator::Return),
+            Block::with_terminator(1, Terminator::Return),
+        ];
+        assert!(Program::new(blocks.clone(), vec![0..1], vec![0]).is_err());
+        assert!(Program::new(blocks, vec![0..1, 0..2], vec![0, 0]).is_err());
+    }
+
+    #[test]
+    fn sequential_layout_packs_blocks() {
+        let p = two_function_program();
+        let l = Layout::sequential(&p);
+        assert_eq!(l.block_start(0), 0);
+        assert_eq!(l.block_start(1), 5 * 4);
+        assert_eq!(l.block_start(2), 8 * 4);
+        assert_eq!(l.block_start(3), 14 * 4);
+        // f1 pool after block 3.
+        assert_eq!(l.literal_addr(&p, 2), 18 * 4);
+        assert_eq!(l.end(), 20 * 4);
+    }
+
+    #[test]
+    fn moved_literals_addressed_after_block_code() {
+        let mut blocks = vec![
+            Block::with_terminator(2, Terminator::Jump { target: 0 }),
+            Block::with_terminator(1, Terminator::Return),
+        ];
+        blocks[0].literal_refs = 1;
+        blocks[0].literal_words = 1;
+        let p = Program::new(blocks, vec![0..2], vec![0]).unwrap();
+        let l = Layout::sequential(&p);
+        // Block 0: code = 3 words, literal at word 3.
+        assert_eq!(l.literal_addr(&p, 0), 12);
+        // Block 1 starts after the literal.
+        assert_eq!(l.block_start(1), 16);
+    }
+
+    #[test]
+    fn instr_addr_steps_by_word() {
+        let p = two_function_program();
+        let l = Layout::sequential(&p);
+        assert_eq!(l.instr_addr(2, 0), l.block_start(2));
+        assert_eq!(l.instr_addr(2, 3), l.block_start(2) + 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "word-aligned")]
+    fn from_parts_rejects_misaligned() {
+        let _ = Layout::from_parts(vec![2], vec![], 64);
+    }
+
+    #[test]
+    fn block_sizes_reports_code_words() {
+        let p = two_function_program();
+        assert_eq!(p.block_sizes(), vec![5, 3, 6, 4]);
+    }
+}

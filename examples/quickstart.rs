@@ -1,0 +1,51 @@
+//! Quickstart: run the paper's FFW+BBR configuration at 400 mV on one
+//! benchmark and print what happened.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use dvs::core::{EvalConfig, Evaluator, Scheme};
+use dvs::sram::{MilliVolts, PfailModel};
+use dvs::workloads::Benchmark;
+
+fn main() {
+    // 1. The problem: a conventional 32 KB SRAM array needs ~760 mV for
+    //    99.9 % yield; at 400 mV more than a quarter of its words fail.
+    let model = PfailModel::dsn45();
+    let v = MilliVolts::new(400);
+    println!(
+        "Vccmin(32KB) = {}, P_fail(word @ {v}) = {:.1}%",
+        model.vccmin(32 * 1024 * 8, 0.999),
+        model.pfail_word(v) * 100.0
+    );
+
+    // 2. Run basicmath at 400 mV with the paper's proposal (FFW data
+    //    cache + BBR instruction cache) over a few Monte-Carlo fault maps.
+    let mut eval = Evaluator::new(EvalConfig {
+        trace_instrs: 100_000,
+        maps: 8,
+        ..EvalConfig::standard()
+    });
+    let bench = Benchmark::Basicmath;
+
+    let runtime = eval.normalized_runtime(bench, Scheme::FfwBbr, v);
+    let epi = eval.normalized_epi(bench, Scheme::FfwBbr, v);
+    let wdis_runtime = eval.normalized_runtime(bench, Scheme::SimpleWdis, v);
+
+    println!();
+    println!("{bench} @ {v} over {} fault maps:", runtime.n);
+    println!(
+        "  FFW+BBR     runtime = {:.3}x defect-free (±{:.3})",
+        runtime.mean, runtime.ci95_half
+    );
+    println!(
+        "  Simple-wdis runtime = {:.3}x defect-free (±{:.3})",
+        wdis_runtime.mean, wdis_runtime.ci95_half
+    );
+    println!(
+        "  FFW+BBR     EPI     = {:.3} of the 760 mV baseline ({:.0}% reduction)",
+        epi.mean,
+        (1.0 - epi.mean) * 100.0
+    );
+}

@@ -1,0 +1,54 @@
+//! DVFS transition walkthrough: what switching from 560 mV to 400 mV
+//! actually costs each scheme (flush, fault-map reload, BBR image switch).
+//!
+//! ```sh
+//! cargo run --release --example voltage_switch
+//! ```
+
+use dvs::core::transitions::{nested_fault_maps, transition_cost};
+use dvs::core::{DvfsPoint, Scheme};
+use dvs::sram::{CacheGeometry, MilliVolts};
+use dvs::workloads::Benchmark;
+
+fn main() {
+    let src = DvfsPoint::at(MilliVolts::new(560));
+    let dst = DvfsPoint::at(MilliVolts::new(400));
+    let geom = CacheGeometry::dsn_l1();
+
+    // The same die at two operating points: faults are nested.
+    let (src_map, dst_map) = nested_fault_maps(&geom, src, dst, 42);
+    println!(
+        "the die at {}: {} defective words; at {}: {} — every 560 mV fault persists",
+        src.vcc,
+        src_map.faulty_words(),
+        dst.vcc,
+        dst_map.faulty_words()
+    );
+
+    println!();
+    println!(
+        "one-time cost of the {} -> {} switch (flush + rewarm, {} instructions observed):",
+        src.vcc, dst.vcc, 50_000
+    );
+    println!(
+        "{:<14} {:>14} {:>14} {:>12} {:>9}",
+        "scheme", "cold cycles", "steady cycles", "penalty", "relink?"
+    );
+    for scheme in [Scheme::FfwBbr, Scheme::SimpleWdis, Scheme::FbaPlus, Scheme::EightT] {
+        let c = transition_cost(Benchmark::Qsort, scheme, src.vcc, dst.vcc, 50_000, 42);
+        println!(
+            "{:<14} {:>14} {:>14} {:>8} cyc {:>9}",
+            scheme.name(),
+            c.cold_cycles,
+            c.steady_cycles,
+            c.penalty_cycles(),
+            if c.relinked { "yes" } else { "no" }
+        );
+    }
+    println!();
+    println!(
+        "BBR additionally switches to the text image linked for {} — placement is",
+        dst.vcc
+    );
+    println!("per operating point (paper §IV-B), so images are prepared offline per point.");
+}

@@ -1,0 +1,30 @@
+//! Deep voltage scaling for delay-sensitive L1 caches — umbrella crate.
+//!
+//! This crate re-exports the whole workspace behind one dependency, so a
+//! downstream user can `cargo add dvs` and reach every subsystem of the
+//! DSN 2016 reproduction:
+//!
+//! * [`sram`] — SRAM failure model, fault maps, BIST, Monte-Carlo, stats.
+//! * [`cache`] — word-addressed cache and memory-hierarchy simulator.
+//! * [`workloads`] — synthetic SPEC2006/MiBench-like trace generators.
+//! * [`linker`] — basic-block IR, BBR code transformation and linking.
+//! * [`schemes`] — FFW, BBR and every baseline fault-tolerance scheme.
+//! * [`cpu`] — trace-driven 2-way superscalar timing model.
+//! * [`power`] — area / latency / leakage / energy models.
+//! * [`core`] — DVFS table, experiment orchestration, figure producers.
+//!
+//! # Quickstart
+//!
+//! See `examples/quickstart.rs` for an end-to-end run of the paper's
+//! FFW+BBR configuration at 400 mV.
+
+#![forbid(unsafe_code)]
+
+pub use dvs_cache as cache;
+pub use dvs_core as core;
+pub use dvs_cpu as cpu;
+pub use dvs_linker as linker;
+pub use dvs_power as power;
+pub use dvs_schemes as schemes;
+pub use dvs_sram as sram;
+pub use dvs_workloads as workloads;

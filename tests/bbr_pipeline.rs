@@ -1,0 +1,154 @@
+//! Cross-crate integration of the whole BBR pipeline: generator →
+//! compiler transforms → fault map → linker → trace → CPU, across
+//! benchmarks and operating points.
+
+use dvs::core::DvfsPoint;
+use dvs::cpu::{simulate, CoreConfig, MemSystem};
+use dvs::linker::{adaptive_max_block_words, bbr_transform, BbrLinker};
+use dvs::schemes::{L1Cache, SchemeKind};
+use dvs::sram::montecarlo::trial_seed;
+use dvs::sram::{CacheGeometry, FaultMap, MilliVolts};
+use dvs::workloads::Benchmark;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn geom() -> CacheGeometry {
+    CacheGeometry::dsn_l1()
+}
+
+/// Every MiBench benchmark links at every evaluated operating point for
+/// (almost) every fault map, and the resulting image verifies.
+#[test]
+fn all_embedded_benchmarks_link_at_all_points() {
+    let mibench = [
+        Benchmark::Basicmath,
+        Benchmark::Qsort,
+        Benchmark::Patricia,
+        Benchmark::Dijkstra,
+        Benchmark::Crc32,
+        Benchmark::Adpcm,
+    ];
+    for b in mibench {
+        let wl = b.build(5);
+        for point in DvfsPoint::low_voltage_points() {
+            let max_words = adaptive_max_block_words(point.pfail_word());
+            let program = bbr_transform(wl.program(), max_words);
+            let mut linked = 0;
+            let trials = 5;
+            for t in 0..trials {
+                let mut rng = StdRng::seed_from_u64(trial_seed(11, t));
+                let fmap = FaultMap::sample(&geom(), point.pfail_word(), &mut rng);
+                if let Ok(image) = BbrLinker::new(geom()).link(&program, &fmap) {
+                    image.verify(&fmap).expect("placement must verify");
+                    linked += 1;
+                }
+            }
+            assert!(
+                linked >= trials - 1,
+                "{b} at {}: only {linked}/{trials} maps linked",
+                point.vcc
+            );
+        }
+    }
+}
+
+/// A BBR-linked program actually runs through the CPU model with ZERO
+/// instruction-side word misses — the linker's whole point.
+#[test]
+fn bbr_fetches_never_touch_defective_words() {
+    let point = DvfsPoint::at(MilliVolts::new(400));
+    let wl = Benchmark::Crc32.build(3);
+    let program = bbr_transform(wl.program(), adaptive_max_block_words(point.pfail_word()));
+    let mut rng = StdRng::seed_from_u64(17);
+    let fmap_i = FaultMap::sample(&geom(), point.pfail_word(), &mut rng);
+    let image = BbrLinker::new(geom()).link(&program, &fmap_i).expect("links");
+    let (linked, layout) = image.into_parts();
+
+    let mem = MemSystem::new(
+        L1Cache::new(SchemeKind::Bbr, fmap_i),
+        L1Cache::new(SchemeKind::Conventional, FaultMap::fault_free(&geom())),
+        point.freq_mhz,
+    );
+    let result = simulate(
+        &CoreConfig::dsn2016(),
+        mem,
+        wl.trace_program(&linked, &layout, 0).take(80_000),
+    );
+    assert_eq!(result.instructions, 80_000);
+    // The strict BBR guarantee: no fetch ever addresses a defective word.
+    assert_eq!(
+        result.mem.l1i_word_misses, 0,
+        "BBR fetch touched a defective word"
+    );
+    assert!(result.mem.l1i_accesses >= 80_000);
+}
+
+/// Without relocation, a direct-mapped faulty I-cache redirects fetches to
+/// the L2 constantly; with BBR linking it does not. This isolates BBR's
+/// benefit end to end.
+#[test]
+fn relocation_eliminates_instruction_redirects() {
+    let point = DvfsPoint::at(MilliVolts::new(400));
+    let wl = Benchmark::Adpcm.build(9);
+    let program = bbr_transform(wl.program(), adaptive_max_block_words(point.pfail_word()));
+    let mut rng = StdRng::seed_from_u64(23);
+    let fmap = FaultMap::sample(&geom(), point.pfail_word(), &mut rng);
+
+    let run = |layout: &dvs::workloads::Layout, prog: &dvs::workloads::Program| {
+        let mem = MemSystem::new(
+            L1Cache::new(SchemeKind::Bbr, fmap.clone()),
+            L1Cache::new(SchemeKind::Conventional, FaultMap::fault_free(&geom())),
+            point.freq_mhz,
+        );
+        simulate(
+            &CoreConfig::dsn2016(),
+            mem,
+            wl.trace_program(prog, layout, 0).take(60_000),
+        )
+    };
+
+    // Naive placement: sequential layout ignores the fault map.
+    let naive_layout = dvs::workloads::Layout::sequential(&program);
+    let naive = run(&naive_layout, &program);
+
+    // BBR placement.
+    let image = BbrLinker::new(geom()).link(&program, &fmap).expect("links");
+    let (linked, layout) = image.into_parts();
+    let relocated = run(&layout, &linked);
+
+    assert!(
+        naive.mem.l1i_misses > 4 * relocated.mem.l1i_misses.max(1),
+        "naive {} vs relocated {} I-misses",
+        naive.mem.l1i_misses,
+        relocated.mem.l1i_misses
+    );
+    assert!(naive.cycles > relocated.cycles);
+}
+
+/// The elided-jump invariant across the pipeline: every implicit
+/// fall-through in a linked image is physically adjacent, so traces have
+/// strictly increasing PCs inside each block and land exactly on block
+/// starts after falls.
+#[test]
+fn linked_traces_have_consistent_pcs() {
+    let point = DvfsPoint::at(MilliVolts::new(440));
+    let wl = Benchmark::Qsort.build(13);
+    let program = bbr_transform(wl.program(), adaptive_max_block_words(point.pfail_word()));
+    let mut rng = StdRng::seed_from_u64(29);
+    let fmap = FaultMap::sample(&geom(), point.pfail_word(), &mut rng);
+    let image = BbrLinker::new(geom()).link(&program, &fmap).expect("links");
+    let (linked, layout) = image.into_parts();
+
+    let mut last_pc: Option<u64> = None;
+    let mut last_was_branch_taken = false;
+    for op in wl.trace_program(&linked, &layout, 0).take(50_000) {
+        if let Some(prev) = last_pc {
+            if !last_was_branch_taken {
+                assert_eq!(op.pc, prev + 4, "non-taken flow must be sequential");
+            }
+        }
+        last_pc = Some(op.pc);
+        last_was_branch_taken = op.branch.map(|b| b.taken).unwrap_or(false);
+        assert!(op.pc < layout.end());
+    }
+}

@@ -1,0 +1,151 @@
+//! End-to-end experiment-shape tests: the orderings and crossovers the
+//! paper's Figures 10–12 report must hold in the reproduction.
+
+use dvs::core::{EvalConfig, Evaluator, Scheme};
+use dvs::sram::MilliVolts;
+use dvs::workloads::Benchmark;
+
+fn evaluator() -> Evaluator {
+    Evaluator::new(EvalConfig {
+        trace_instrs: 60_000,
+        maps: 5,
+        ..EvalConfig::quick()
+    })
+}
+
+/// Figure 10 at 560 mV: the +1-cycle schemes pay a visible runtime tax
+/// even with almost no defects, while Simple-wdis loses almost nothing —
+/// "the performance is very sensitive to the L1 latency".
+#[test]
+fn latency_dominates_before_480mv() {
+    let mut e = evaluator();
+    let v = MilliVolts::new(560);
+    let b = Benchmark::Qsort;
+    let eight_t = e.normalized_runtime(b, Scheme::EightT, v).mean;
+    let fba = e.normalized_runtime(b, Scheme::FbaPlus, v).mean;
+    let wdis = e.normalized_runtime(b, Scheme::SimpleWdis, v).mean;
+    assert!(eight_t > 1.05, "8T at 560 mV: {eight_t}");
+    assert!(fba > 1.05, "FBA+ at 560 mV: {fba}");
+    assert!(wdis < 1.04, "Simple-wdis at 560 mV: {wdis}");
+    assert!(eight_t > wdis + 0.03 && fba > wdis + 0.03);
+}
+
+/// Figure 10 below 480 mV: the increased L2 accesses start dominating and
+/// Simple-wdis "bears the brunt of the impact".
+#[test]
+fn wdis_collapses_after_480mv() {
+    let mut e = evaluator();
+    let b = Benchmark::Dijkstra;
+    let at_560 = e.normalized_runtime(b, Scheme::SimpleWdis, MilliVolts::new(560)).mean;
+    let at_400 = e.normalized_runtime(b, Scheme::SimpleWdis, MilliVolts::new(400)).mean;
+    assert!(at_400 > 1.5, "Simple-wdis at 400 mV: {at_400}");
+    assert!(at_400 > at_560 + 0.4, "no collapse: {at_560} -> {at_400}");
+}
+
+/// Figure 10 at 400 mV: FFW+BBR achieves the best runtime of all the
+/// fault-exposed schemes.
+#[test]
+fn ffw_bbr_wins_runtime_at_400mv() {
+    let mut e = evaluator();
+    let v = MilliVolts::new(400);
+    let b = Benchmark::Qsort;
+    let ours = e.normalized_runtime(b, Scheme::FfwBbr, v).mean;
+    for other in [Scheme::SimpleWdis, Scheme::WilkersonPlus, Scheme::FbaPlus, Scheme::IdcPlus] {
+        let theirs = e.normalized_runtime(b, other, v).mean;
+        assert!(
+            ours < theirs,
+            "FFW+BBR {ours:.3} should beat {other} {theirs:.3} at 400 mV"
+        );
+    }
+}
+
+/// Figure 11: FFW+BBR is the architectural scheme with the smallest L2
+/// traffic increase at 400 mV.
+#[test]
+fn ffw_bbr_minimizes_l2_accesses_at_400mv() {
+    let mut e = evaluator();
+    let v = MilliVolts::new(400);
+    let b = Benchmark::Patricia;
+    let base = e.l2_per_kilo_instr(b, Scheme::DefectFree, v).mean;
+    let ours = e.l2_per_kilo_instr(b, Scheme::FfwBbr, v).mean;
+    let wdis = e.l2_per_kilo_instr(b, Scheme::SimpleWdis, v).mean;
+    let wilk = e.l2_per_kilo_instr(b, Scheme::WilkersonPlus, v).mean;
+    assert!(ours < wdis, "ours {ours} vs wdis {wdis}");
+    assert!(ours < wilk, "ours {ours} vs wilkerson {wilk}");
+    assert!(
+        ours < base * 3.0,
+        "FFW+BBR L2 traffic {ours} should stay within ~3x the defect-free {base}"
+    );
+    assert!(wdis > base * 4.0, "wdis should blow up: {wdis} vs {base}");
+}
+
+/// Figure 12: the proposal sustains EPI reduction all the way to 400 mV,
+/// in the paper's 55–70 % band, and beats Simple-wdis / Wilkerson⁺ there.
+#[test]
+fn epi_reduction_band_at_400mv() {
+    let mut e = evaluator();
+    let v = MilliVolts::new(400);
+    let b = Benchmark::Crc32;
+    let ours = e.normalized_epi(b, Scheme::FfwBbr, v).mean;
+    assert!(
+        (0.30..0.47).contains(&ours),
+        "FFW+BBR EPI at 400 mV: {ours} (paper: 0.36)"
+    );
+    let wdis = e.normalized_epi(b, Scheme::SimpleWdis, v).mean;
+    assert!(ours < wdis, "ours {ours} vs wdis {wdis}");
+}
+
+/// Figure 12: EPI decreases monotonically with voltage for the proposal
+/// ("the only architectural approach that achieves sustained energy
+/// reduction as voltage is scaled all the way down to 400mV").
+#[test]
+fn ffw_bbr_epi_is_monotone_in_voltage() {
+    let mut e = evaluator();
+    let b = Benchmark::Adpcm;
+    let mut last = f64::INFINITY;
+    for mv in [560u32, 480, 400] {
+        let epi = e.normalized_epi(b, Scheme::FfwBbr, MilliVolts::new(mv)).mean;
+        assert!(epi < last, "EPI rose at {mv} mV: {epi} (prev {last})");
+        last = epi;
+    }
+    // … while Simple-wdis inflects back up at the bottom.
+    let wdis_480 = e.normalized_epi(b, Scheme::SimpleWdis, MilliVolts::new(480)).mean;
+    let wdis_400 = e.normalized_epi(b, Scheme::SimpleWdis, MilliVolts::new(400)).mean;
+    assert!(
+        wdis_400 > wdis_480,
+        "Simple-wdis should inflect: {wdis_480} -> {wdis_400}"
+    );
+}
+
+/// The experiment's Monte-Carlo protocol is reproducible end to end.
+#[test]
+fn experiments_are_reproducible() {
+    let run = |seed| {
+        let mut e = Evaluator::new(EvalConfig {
+            seed,
+            ..EvalConfig::quick()
+        });
+        e.normalized_runtime(Benchmark::Crc32, Scheme::FfwBbr, MilliVolts::new(440))
+            .mean
+    };
+    assert_eq!(run(7).to_bits(), run(7).to_bits());
+    assert_ne!(run(7).to_bits(), run(8).to_bits());
+}
+
+/// Paired fault maps: schemes are compared on identical defect patterns,
+/// so the defect-free baseline is never slower than itself and the same
+/// (benchmark, voltage, trial) triple sees the same map across schemes.
+#[test]
+fn fault_maps_are_scheme_independent() {
+    let mut e = evaluator();
+    let v = MilliVolts::new(440);
+    let b = Benchmark::Crc32;
+    let wdis = e.run(b, Scheme::SimpleWdis, v);
+    let fba = e.run(b, Scheme::FbaPlus, v);
+    // Same maps ⇒ same number of successful trials and identical
+    // instruction counts (the trace does not depend on the scheme).
+    assert_eq!(wdis.trials.len(), fba.trials.len());
+    for (a, c) in wdis.trials.iter().zip(&fba.trials) {
+        assert_eq!(a.result.instructions, c.result.instructions);
+    }
+}

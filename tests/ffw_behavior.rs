@@ -1,0 +1,119 @@
+//! Cross-crate FFW behaviour: the fault-free window driven by real
+//! workload traces through the full memory system.
+
+use dvs::cpu::{simulate, CoreConfig, MemSystem, SimResult};
+use dvs::schemes::{L1Cache, SchemeKind};
+use dvs::sram::{CacheGeometry, FaultMap, MilliVolts, PfailModel};
+use dvs::workloads::{Benchmark, Layout};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn geom() -> CacheGeometry {
+    CacheGeometry::dsn_l1()
+}
+
+fn run(b: Benchmark, dcache_kind: SchemeKind, fmap: FaultMap, n: usize) -> SimResult {
+    let wl = b.build(4);
+    let layout = Layout::sequential(wl.program());
+    let mem = MemSystem::new(
+        L1Cache::new(SchemeKind::Conventional, FaultMap::fault_free(&geom())),
+        L1Cache::new(dcache_kind, fmap),
+        1607,
+    );
+    simulate(&CoreConfig::dsn2016(), mem, wl.trace(&layout, 0).take(n))
+}
+
+fn fmap_at(mv: u32, seed: u64) -> FaultMap {
+    let p = PfailModel::dsn45().pfail_word(MilliVolts::new(mv));
+    FaultMap::sample(&geom(), p, &mut StdRng::seed_from_u64(seed))
+}
+
+/// The FFW's entire value proposition (§IV-A): on low-spatial-locality,
+/// high-reuse workloads it converts most would-be defective-word
+/// redirects into window hits.
+#[test]
+fn ffw_beats_word_disable_on_low_locality_workloads() {
+    for b in [Benchmark::Patricia, Benchmark::Dijkstra, Benchmark::Hmmer] {
+        let fmap = fmap_at(400, 5);
+        let ffw = run(b, SchemeKind::Ffw, fmap.clone(), 60_000);
+        let wdis = run(b, SchemeKind::SimpleWordDisable, fmap, 60_000);
+        assert!(
+            ffw.mem.l1d_word_misses * 2 < wdis.mem.l1d_word_misses,
+            "{b}: FFW {} vs wdis {} word misses",
+            ffw.mem.l1d_word_misses,
+            wdis.mem.l1d_word_misses
+        );
+        assert!(ffw.cycles < wdis.cycles, "{b}: FFW must be faster");
+    }
+}
+
+/// §IV-A.1: libquantum is the adversarial case — high spatial locality and
+/// low reuse mean the window keeps missing. FFW's advantage over word
+/// disable shrinks there (it cannot be worse than one redirect per miss).
+#[test]
+fn ffw_advantage_shrinks_on_streaming_workloads() {
+    let fmap = fmap_at(400, 6);
+    let ffw_lq = run(Benchmark::Libquantum, SchemeKind::Ffw, fmap.clone(), 60_000);
+    let wdis_lq = run(Benchmark::Libquantum, SchemeKind::SimpleWordDisable, fmap, 60_000);
+    let fmap = fmap_at(400, 6);
+    let ffw_pat = run(Benchmark::Patricia, SchemeKind::Ffw, fmap.clone(), 60_000);
+    let wdis_pat = run(Benchmark::Patricia, SchemeKind::SimpleWordDisable, fmap, 60_000);
+    let gain = |f: &SimResult, w: &SimResult| {
+        w.mem.l1d_word_misses as f64 / f.mem.l1d_word_misses.max(1) as f64
+    };
+    assert!(
+        gain(&ffw_pat, &wdis_pat) > gain(&ffw_lq, &wdis_lq),
+        "patricia gain {:.2} should exceed libquantum gain {:.2}",
+        gain(&ffw_pat, &wdis_pat),
+        gain(&ffw_lq, &wdis_lq)
+    );
+}
+
+/// Fault-density scaling: FFW's extra L2 traffic grows with the defect
+/// rate but stays bounded by the word-disable ceiling at every point.
+#[test]
+fn ffw_l2_traffic_scales_with_defect_density() {
+    let b = Benchmark::Qsort;
+    let mut last = 0u64;
+    for (i, mv) in [560u32, 480, 400].into_iter().enumerate() {
+        let fmap = fmap_at(mv, 8);
+        let ffw = run(b, SchemeKind::Ffw, fmap.clone(), 50_000);
+        let wdis = run(b, SchemeKind::SimpleWordDisable, fmap, 50_000);
+        assert!(
+            ffw.mem.l2_accesses <= wdis.mem.l2_accesses,
+            "{mv} mV: FFW {} vs wdis {}",
+            ffw.mem.l2_accesses,
+            wdis.mem.l2_accesses
+        );
+        if i > 0 {
+            assert!(
+                ffw.mem.l1d_word_misses >= last,
+                "{mv} mV: word misses should not shrink as voltage drops"
+            );
+        }
+        last = ffw.mem.l1d_word_misses;
+    }
+}
+
+/// A fault-free map makes FFW behave exactly like the conventional cache:
+/// full windows, zero word misses, identical timing.
+#[test]
+fn ffw_is_transparent_without_faults() {
+    let b = Benchmark::Adpcm;
+    let ffw = run(b, SchemeKind::Ffw, FaultMap::fault_free(&geom()), 40_000);
+    let conv = run(b, SchemeKind::Conventional, FaultMap::fault_free(&geom()), 40_000);
+    assert_eq!(ffw.cycles, conv.cycles);
+    assert_eq!(ffw.mem.l1d_word_misses, 0);
+    assert_eq!(ffw.mem.l2_accesses, conv.mem.l2_accesses);
+}
+
+/// Determinism through the whole stack: same fault map, same trace, same
+/// cycle count.
+#[test]
+fn full_stack_is_deterministic() {
+    let a = run(Benchmark::Crc32, SchemeKind::Ffw, fmap_at(440, 3), 30_000);
+    let b = run(Benchmark::Crc32, SchemeKind::Ffw, fmap_at(440, 3), 30_000);
+    assert_eq!(a, b);
+    let c = run(Benchmark::Crc32, SchemeKind::Ffw, fmap_at(440, 4), 30_000);
+    assert_ne!(a.cycles, c.cycles);
+}

@@ -1,0 +1,119 @@
+//! The Monte-Carlo protocol itself (paper §V): statistical behaviour of
+//! the experiment machinery across fault-map samples.
+
+use dvs::core::{EvalConfig, Evaluator, Scheme};
+use dvs::sram::montecarlo::Trials;
+use dvs::sram::stats::Summary;
+use dvs::sram::{CacheGeometry, FaultMap, MilliVolts, PfailModel};
+use dvs::workloads::Benchmark;
+use rand::Rng;
+
+/// More fault maps tighten the confidence interval — the paper's reason
+/// for running "up to 1000 faultmaps … to achieve 95% confidence interval
+/// and 5% margin of error".
+#[test]
+fn more_maps_tighten_the_interval() {
+    let run = |maps: u64| {
+        let mut e = Evaluator::new(EvalConfig {
+            maps,
+            trace_instrs: 20_000,
+            ..EvalConfig::quick()
+        });
+        e.normalized_runtime(Benchmark::Dijkstra, Scheme::SimpleWdis, MilliVolts::new(440))
+    };
+    let small = run(4);
+    let large = run(16);
+    assert_eq!(small.n, 4);
+    assert_eq!(large.n, 16);
+    assert!(
+        large.ci95_half < small.ci95_half,
+        "CI must shrink: {} -> {}",
+        small.ci95_half,
+        large.ci95_half
+    );
+}
+
+/// The margin-of-error criterion is implementable exactly as stated: a
+/// tightly clustered metric meets the 95 %/5 % bar, a wild one does not.
+#[test]
+fn paper_margin_criterion() {
+    let mut e = Evaluator::new(EvalConfig {
+        maps: 12,
+        trace_instrs: 20_000,
+        ..EvalConfig::quick()
+    });
+    // At 560 mV defects are rare: runtimes cluster tightly.
+    let tight = e.normalized_runtime(Benchmark::Crc32, Scheme::FfwBbr, MilliVolts::new(560));
+    assert!(
+        tight.meets_paper_margin(),
+        "560 mV margin {:.4}",
+        tight.relative_margin()
+    );
+}
+
+/// Fault-map statistics across trials follow the binomial expectation.
+#[test]
+fn fault_map_population_statistics() {
+    let geom = CacheGeometry::dsn_l1();
+    let p = PfailModel::dsn45().pfail_word(MilliVolts::new(440));
+    let summary = Trials::new(11, 40).run(|_t, mut rng| {
+        FaultMap::sample(&geom, p, &mut rng).faulty_words() as f64
+    });
+    let expected = f64::from(geom.total_words()) * p;
+    let sigma = (f64::from(geom.total_words()) * p * (1.0 - p)).sqrt();
+    assert!(
+        (summary.mean - expected).abs() < 3.0 * sigma / (40f64).sqrt() + sigma,
+        "mean {} vs expected {expected}",
+        summary.mean
+    );
+    assert!(summary.stddev < 3.0 * sigma, "stddev {}", summary.stddev);
+}
+
+/// Per-trial seeds give independent streams: the lag-1 autocorrelation of
+/// each trial's first uniform draw is near zero across consecutive
+/// trials.
+#[test]
+fn trial_streams_are_uncorrelated() {
+    let n = 2000usize;
+    let xs: Vec<f64> = Trials::new(99, n as u64)
+        .iter()
+        .map(|(_, mut rng)| rng.gen())
+        .collect();
+    let mean = xs.iter().sum::<f64>() / n as f64;
+    let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+    let lag1 = xs
+        .windows(2)
+        .map(|w| (w[0] - mean) * (w[1] - mean))
+        .sum::<f64>()
+        / ((n - 1) as f64 * var);
+    assert!(lag1.abs() < 0.08, "lag-1 autocorrelation {lag1}");
+    // And the draws are uniform-ish.
+    assert!((mean - 0.5).abs() < 0.03, "mean {mean}");
+}
+
+/// Aggregating per-trial values with `Summary` matches a hand computation.
+#[test]
+fn summary_agrees_with_hand_math() {
+    let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+    let s = Summary::of(&xs);
+    assert!((s.mean - 5.0).abs() < 1e-12);
+    // Sample stddev with n-1: sqrt(32/7).
+    assert!((s.stddev - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+}
+
+/// At an absurdly deep voltage the BBR linker can fail for some maps; the
+/// evaluator must count those trials rather than crash, and keep going as
+/// long as at least one map links.
+#[test]
+fn failed_links_are_accounted() {
+    let mut e = Evaluator::new(EvalConfig {
+        maps: 4,
+        trace_instrs: 10_000,
+        ..EvalConfig::quick()
+    });
+    // 360 mV extrapolates to P_fail(bit) ≈ 10^-1.5 → P_word ≈ 0.64:
+    // placements become scarce for larger kernels.
+    let run = e.run(Benchmark::Crc32, Scheme::FfwBbr, MilliVolts::new(380));
+    assert_eq!(run.trials.len() as u64 + run.failed_links, 4);
+    assert!(!run.trials.is_empty());
+}

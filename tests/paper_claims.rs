@@ -1,0 +1,125 @@
+//! Integration tests pinning the paper's quantitative claims — every
+//! headline number the text states, checked against the reproduction.
+
+use dvs::core::DvfsPoint;
+use dvs::power::area::static_overheads;
+use dvs::power::fo4::{ffw_has_zero_latency_overhead, DATA_ARRAY_COLUMN_MUX_FO4, REMAP_READY_FO4};
+use dvs::power::freq::freq_mhz;
+use dvs::schemes::wilkerson::pairable_yield;
+use dvs::schemes::SchemeKind;
+use dvs::sram::{CacheGeometry, MilliVolts, PfailModel};
+
+/// §II / Figure 2: "For a 32KB cache, Vccmin must be above 760mV to avoid
+/// sacrificing chip yield."
+#[test]
+fn vccmin_of_a_32kb_cache_is_760mv() {
+    let v = PfailModel::dsn45().vccmin(32 * 1024 * 8, 0.999);
+    assert!((i64::from(v.get()) - 760).abs() <= 2, "got {v}");
+}
+
+/// Table II: exact operating points.
+#[test]
+fn table2_operating_points() {
+    let expect = [(760, 1607), (560, 1089), (520, 958), (480, 818), (440, 638), (400, 475)];
+    for (mv, mhz) in expect {
+        assert_eq!(freq_mhz(MilliVolts::new(mv)), mhz, "{mv} mV");
+    }
+    let model = PfailModel::dsn45();
+    for (mv, exp) in [(560, -4.0), (520, -3.5), (480, -3.0), (440, -2.5), (400, -2.0)] {
+        let got = model.pfail_bit(MilliVolts::new(mv)).log10();
+        assert!((got - exp).abs() < 1e-6, "{mv} mV: {got} vs {exp}");
+    }
+}
+
+/// §V: "The region of interest lies between 560mV and 400mV, where P_fail
+/// rises exponentially from 1e-4 to 1e-2."
+#[test]
+fn region_of_interest_spans_two_decades() {
+    let pts = DvfsPoint::low_voltage_points();
+    let first = pts.first().unwrap();
+    let last = pts.last().unwrap();
+    assert_eq!(first.vcc.get(), 560);
+    assert_eq!(last.vcc.get(), 400);
+    assert!((last.pfail_bit / first.pfail_bit - 100.0).abs() < 1.0);
+}
+
+/// Table III: area overheads — FFW 5.2 %, BBR 1.1 %, 8T 28 %.
+#[test]
+fn table3_headline_areas() {
+    let geom = CacheGeometry::dsn_l1();
+    let cases = [
+        (SchemeKind::Ffw, 1.052),
+        (SchemeKind::Bbr, 1.011),
+        (SchemeKind::EightT, 1.280),
+        (SchemeKind::SimpleWordDisable, 1.033),
+        (SchemeKind::WilkersonPlus, 1.034),
+        (SchemeKind::fba(), 1.120),
+        (SchemeKind::idc(), 1.137),
+    ];
+    for (kind, paper) in cases {
+        let got = static_overheads(kind, &geom).normalized_area;
+        assert!((got - paper).abs() < 0.012, "{kind}: {got} vs paper {paper}");
+    }
+}
+
+/// §VI-A.3 / Figure 9: the FFW remap path (39.4 FO4) completes before the
+/// data array needs its column select (42.2 FO4) — zero latency overhead.
+#[test]
+fn ffw_zero_latency_condition() {
+    assert!(ffw_has_zero_latency_overhead());
+    assert!(REMAP_READY_FO4 < DATA_ARRAY_COLUMN_MUX_FO4);
+    // Both schemes of the proposal report 0 extra cycles; the prior work
+    // pays 1 (Table III).
+    assert_eq!(SchemeKind::Ffw.extra_hit_cycles(), 0);
+    assert_eq!(SchemeKind::Bbr.extra_hit_cycles(), 0);
+    assert_eq!(SchemeKind::EightT.extra_hit_cycles(), 1);
+    assert_eq!(SchemeKind::fba_plus().extra_hit_cycles(), 1);
+}
+
+/// §VI-B: "Wilkerson's word disable cannot achieve 99.9% chip yield below
+/// 480mV" (without the supplement).
+#[test]
+fn unsupplemented_wilkerson_yield_collapses() {
+    let geom = CacheGeometry::dsn_l1();
+    let model = PfailModel::dsn45();
+    let y = pairable_yield(&geom, model.pfail_word(MilliVolts::new(440)), 30, 9);
+    assert!(y < 0.999, "yield {y} at 440 mV should miss the target");
+    let y400 = pairable_yield(&geom, model.pfail_word(MilliVolts::new(400)), 30, 9);
+    assert!(y400 < 0.1, "yield {y400} at 400 mV should be near zero");
+}
+
+/// §II: the word/block failure curves dominate the bit curve — the reason
+/// fine-grained protection is necessary (Figure 2).
+#[test]
+fn finer_granularity_fails_less() {
+    let model = PfailModel::dsn45();
+    for mv in [400u32, 480, 560] {
+        let v = MilliVolts::new(mv);
+        assert!(model.pfail_word(v) > model.pfail_bit(v));
+        assert!(model.pfail_block(v, 32) > model.pfail_word(v));
+        assert!(model.pfail_any(v, 32 * 1024 * 8) > model.pfail_block(v, 32));
+    }
+}
+
+/// §IV-A: at 400 mV (P_fail = 1e-2) "almost every cache line is expected
+/// to be faulty" — yet most lines still have several fault-free words for
+/// the window.
+#[test]
+fn at_400mv_lines_are_faulty_but_words_survive() {
+    use dvs::sram::FaultMap;
+    use rand::SeedableRng;
+    let geom = CacheGeometry::dsn_l1();
+    let model = PfailModel::dsn45();
+    let p_word = model.pfail_word(MilliVolts::new(400));
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let fmap = FaultMap::sample(&geom, p_word, &mut rng);
+    let faulty_lines = fmap.faulty_frames() as f64 / f64::from(geom.total_lines());
+    assert!(faulty_lines > 0.85, "faulty-line fraction {faulty_lines}");
+    // Mean fault-free words per frame ≈ 8 × (1 − 0.275) ≈ 5.8.
+    let mean_free: f64 = fmap
+        .frames()
+        .map(|f| f64::from(fmap.fault_free_words_in_frame(f)))
+        .sum::<f64>()
+        / f64::from(geom.total_lines());
+    assert!((mean_free - 5.8).abs() < 0.2, "mean free words {mean_free}");
+}
