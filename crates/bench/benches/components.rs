@@ -61,12 +61,7 @@ fn bench_cache(c: &mut Criterion) {
         let fmap = FaultMap::sample(&geom(), p_word, &mut StdRng::seed_from_u64(3));
         g.bench_function(format!("read_10k_{kind}"), |b| {
             b.iter_batched(
-                || {
-                    (
-                        L1Cache::new(kind, fmap.clone()),
-                        dvs_cache::L2Cache::dsn(),
-                    )
-                },
+                || (L1Cache::new(kind, fmap.clone()), dvs_cache::L2Cache::dsn()),
                 |(mut l1, mut l2)| {
                     for i in 0..10_000u64 {
                         l1.read(dvs_cache::Addr::new((i * 36) % 65_536), &mut l2);

@@ -15,23 +15,31 @@ fn main() {
     let maps = opts.cfg.maps.min(8);
 
     println!("=== Ablation 1: linker jump relaxation (dynamic BBR overhead) ===");
-    println!("{:>12} {:>10} {:>14} {:>14}", "benchmark", "voltage", "with relax", "without");
+    println!(
+        "{:>12} {:>10} {:>14} {:>14}",
+        "benchmark", "voltage", "with relax", "without"
+    );
     for b in [Benchmark::Crc32, Benchmark::Basicmath, Benchmark::Qsort] {
         for mv in [560u32, 480, 400] {
-            let e = relaxation_effect(b, MilliVolts::new(mv), maps, instrs, seed);
-            println!(
-                "{:>12} {:>8}mV {:>13.2}% {:>13.2}%",
-                b.name(),
-                mv,
-                e.overhead_with * 100.0,
-                e.overhead_without * 100.0
-            );
+            match relaxation_effect(b, MilliVolts::new(mv), maps, instrs, seed) {
+                Ok(e) => println!(
+                    "{:>12} {:>8}mV {:>13.2}% {:>13.2}%",
+                    b.name(),
+                    mv,
+                    e.overhead_with * 100.0,
+                    e.overhead_without * 100.0
+                ),
+                Err(err) => println!("{:>12} {:>8}mV  skipped: {err}", b.name(), mv),
+            }
         }
     }
 
     println!();
     println!("=== Ablation 2: block-split threshold @ 400 mV ===");
-    println!("{:>10} {:>12} {:>10} {:>14}", "max words", "code growth", "link rate", "jump overhead");
+    println!(
+        "{:>10} {:>12} {:>10} {:>14}",
+        "max words", "code growth", "link rate", "jump overhead"
+    );
     for row in split_threshold_sweep(
         Benchmark::Basicmath,
         MilliVolts::new(400),
@@ -72,6 +80,11 @@ fn main() {
         instrs,
         seed,
     ) {
-        println!("{:>8} {:>9.1}% {:>12}", row.entries, row.coverage * 100.0, row.cycles);
+        println!(
+            "{:>8} {:>9.1}% {:>12}",
+            row.entries,
+            row.coverage * 100.0,
+            row.cycles
+        );
     }
 }

@@ -6,7 +6,10 @@ use dvs_core::figures::fig2;
 fn main() {
     let f = fig2(400, 900, 20);
     println!("Figure 2 — P_fail vs VCC (45 nm model calibrated to Table II)");
-    println!("{:>6} {:>12} {:>12} {:>12} {:>12}", "mV", "bit", "4B word", "32B block", "32KB array");
+    println!(
+        "{:>6} {:>12} {:>12} {:>12} {:>12}",
+        "mV", "bit", "4B word", "32B block", "32KB array"
+    );
     for r in &f.rows {
         println!(
             "{:>6} {:>12.3e} {:>12.3e} {:>12.3e} {:>12.3e}",

@@ -18,7 +18,10 @@ fn main() {
         opts.cfg.seed,
     );
     println!("Figure 6a — effective I-cache capacity per interval (basicmath @ 400 mV)");
-    println!("  fault-free fraction of the cache: {:.1}%", f.fault_free_fraction * 100.0);
+    println!(
+        "  fault-free fraction of the cache: {:.1}%",
+        f.fault_free_fraction * 100.0
+    );
     let mut sorted = f.capacity_fractions.clone();
     sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let pct = |q: f64| sorted[(q * (sorted.len() - 1) as f64) as usize] * 100.0;
@@ -28,9 +31,16 @@ fn main() {
     );
     println!();
     println!("Figure 6b — size distributions (words)");
-    println!("{:>6} {:>14} {:>16}", "size", "basic blocks", "fault-free chunks");
+    println!(
+        "{:>6} {:>14} {:>16}",
+        "size", "basic blocks", "fault-free chunks"
+    );
     for ((s, b), (_, c)) in f.block_size_hist.iter().zip(&f.chunk_size_hist) {
-        let label = if *s == 16 { ">=16".to_string() } else { s.to_string() };
+        let label = if *s == 16 {
+            ">=16".to_string()
+        } else {
+            s.to_string()
+        };
         println!("{label:>6} {:>13.1}% {:>15.1}%", b * 100.0, c * 100.0);
     }
 }

@@ -1,18 +1,21 @@
 //! Figure 10: run time normalized to the defect-free cache at each DVFS
 //! operating point, for every compared scheme.
 
-use dvs_bench::{fmt_ci, parse_args};
+use dvs_bench::{evaluator, fmt_ci, parse_args};
 use dvs_core::figures::{default_benchmarks, default_voltages, fig10};
-use dvs_core::Evaluator;
 
 fn main() {
     let opts = parse_args();
-    let mut eval = Evaluator::new(opts.cfg);
+    let mut eval = evaluator(&opts);
     let benches = default_benchmarks();
     let volts = default_voltages();
     eprintln!(
         "running {} schemes x {} voltages x {} benchmarks x {} maps ({} instrs/trial)...",
-        6, volts.len(), benches.len(), opts.cfg.maps, opts.cfg.trace_instrs
+        6,
+        volts.len(),
+        benches.len(),
+        opts.cfg.maps,
+        opts.cfg.trace_instrs
     );
     println!("Figure 10 — normalized runtime (vs defect-free baseline at each point)");
     if opts.split {

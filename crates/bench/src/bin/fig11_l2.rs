@@ -1,12 +1,11 @@
 //! Figure 11: L2 accesses per 1000 instructions, per scheme per voltage.
 
-use dvs_bench::{fmt_ci, parse_args};
+use dvs_bench::{evaluator, fmt_ci, parse_args};
 use dvs_core::figures::{default_benchmarks, default_voltages, fig11};
-use dvs_core::Evaluator;
 
 fn main() {
     let opts = parse_args();
-    let mut eval = Evaluator::new(opts.cfg);
+    let mut eval = evaluator(&opts);
     let benches = default_benchmarks();
     let volts = default_voltages();
     let cells = fig11(&mut eval, &benches, &volts);

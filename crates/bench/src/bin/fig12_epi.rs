@@ -1,13 +1,12 @@
 //! Figure 12: energy per instruction normalized to the conventional
 //! 760 mV baseline (geometric mean, per the paper).
 
-use dvs_bench::parse_args;
+use dvs_bench::{evaluator, parse_args};
 use dvs_core::figures::{default_benchmarks, default_voltages, fig12};
-use dvs_core::Evaluator;
 
 fn main() {
     let opts = parse_args();
-    let mut eval = Evaluator::new(opts.cfg);
+    let mut eval = evaluator(&opts);
     let benches = default_benchmarks();
     let volts = default_voltages();
     let cells = fig12(&mut eval, &benches, &volts);

@@ -2,8 +2,8 @@
 //! line disable, way disable and SECDED ECC versus the proposal — the
 //! quantitative version of the paper's Section III arguments.
 
-use dvs_bench::parse_args;
-use dvs_core::{EvalConfig, Evaluator, Scheme};
+use dvs_bench::{evaluator, parse_args};
+use dvs_core::{EvalConfig, Scheme};
 use dvs_sram::ecc::{pfail_word_secded, secded_overhead, vccmin_with_secded};
 use dvs_sram::{MilliVolts, PfailModel};
 use dvs_workloads::Benchmark;
@@ -13,12 +13,20 @@ fn main() {
     let model = PfailModel::dsn45();
 
     println!("=== SECDED ECC (Section III-B: 'quickly overwhelmed') ===");
-    println!("check-bit overhead for 32-bit words: {:.1}%", secded_overhead(32) * 100.0);
+    println!(
+        "check-bit overhead for 32-bit words: {:.1}%",
+        secded_overhead(32) * 100.0
+    );
     println!("{:>8} {:>14} {:>16}", "mV", "raw word", "SECDED word");
     for mv in [560u32, 480, 440, 400] {
         let p = model.pfail_bit(MilliVolts::new(mv));
         let raw = 1.0 - (1.0 - p).powi(32);
-        println!("{:>8} {:>14.3e} {:>16.3e}", mv, raw, pfail_word_secded(p, 32));
+        println!(
+            "{:>8} {:>14.3e} {:>16.3e}",
+            mv,
+            raw,
+            pfail_word_secded(p, 32)
+        );
     }
     println!(
         "Vccmin(32KB, 99.9%): raw {} vs SECDED {} — still far above 400 mV",
@@ -28,10 +36,12 @@ fn main() {
 
     println!();
     println!("=== Coarse disabling (Section III-B) vs the proposal ===");
-    let mut eval = Evaluator::new(EvalConfig {
+    let mut capped = opts.clone();
+    capped.cfg = EvalConfig {
         maps: opts.cfg.maps.min(8),
         ..opts.cfg
-    });
+    };
+    let mut eval = evaluator(&capped);
     let schemes = [
         Scheme::FfwBbr,
         Scheme::SimpleWdis,
@@ -48,8 +58,10 @@ fn main() {
     for s in schemes {
         print!("{:<14}", s.name());
         for mv in [560u32, 480, 400] {
-            let r = eval.normalized_runtime(Benchmark::Qsort, s, MilliVolts::new(mv));
-            print!(" {:>10.3}", r.mean);
+            match eval.normalized_runtime(Benchmark::Qsort, s, MilliVolts::new(mv)) {
+                Ok(r) => print!(" {:>10.3}", r.mean),
+                Err(_) => print!(" {:>10}", "n/a"),
+            }
         }
         println!();
     }

@@ -1,11 +1,12 @@
 //! Regenerates every table and figure in one process, sharing one
-//! evaluator so the Monte-Carlo cells are simulated exactly once.
+//! evaluator so the Monte-Carlo cells are simulated exactly once — and,
+//! via the on-disk result store, at most once across *processes*.
 
-use dvs_bench::{fmt_ci, parse_args, render_histogram};
+use dvs_bench::{evaluator, fmt_ci, parse_args, render_histogram};
 use dvs_core::figures::{
     default_benchmarks, default_voltages, fig10, fig11, fig12, fig2, fig3, fig6,
 };
-use dvs_core::{DvfsPoint, Evaluator};
+use dvs_core::DvfsPoint;
 use dvs_power::fo4::{ffw_timeline, DATA_ARRAY_COLUMN_MUX_FO4, REMAP_READY_FO4};
 use dvs_power::table3;
 use dvs_sram::MilliVolts;
@@ -16,7 +17,12 @@ fn main() {
 
     println!("=== Table II ===");
     for p in DvfsPoint::table2() {
-        println!("{:>6} mV {:>6} MHz  P_fail={:.2e}", p.vcc.get(), p.freq_mhz, p.pfail_bit);
+        println!(
+            "{:>6} mV {:>6} MHz  P_fail={:.2e}",
+            p.vcc.get(),
+            p.freq_mhz,
+            p.pfail_bit
+        );
     }
 
     println!();
@@ -83,15 +89,30 @@ fn main() {
     println!();
     println!("=== Figure 9 ===");
     for s in ffw_timeline() {
-        println!("{:<18} {:<24} {:>6.1} .. {:>6.1} FO4", format!("{:?}", s.path), s.name, s.start_fo4, s.end_fo4());
+        println!(
+            "{:<18} {:<24} {:>6.1} .. {:>6.1} FO4",
+            format!("{:?}", s.path),
+            s.name,
+            s.start_fo4,
+            s.end_fo4()
+        );
     }
     println!("remap {REMAP_READY_FO4} FO4 <= column mux {DATA_ARRAY_COLUMN_MUX_FO4} FO4 -> 0-cycle overhead");
 
-    let mut eval = Evaluator::new(opts.cfg);
+    let mut eval = evaluator(&opts);
+    if let Some(store) = eval.store() {
+        eprintln!("\nresult store: {}", store.dir().display());
+    }
+    eval.set_progress(|p| {
+        eprintln!(
+            "  [{}/{}] {} ({} trials computed)",
+            p.cells_done, p.cells_total, p.cell, p.trials_computed
+        );
+    });
     let benches = default_benchmarks();
     let volts = default_voltages();
     eprintln!(
-        "\nrunning the Monte-Carlo grid: 6 schemes x {} voltages x {} benchmarks x {} maps x {} instrs",
+        "running the Monte-Carlo grid: 6 schemes x {} voltages x {} benchmarks x {} maps x {} instrs",
         volts.len(),
         benches.len(),
         opts.cfg.maps,
@@ -99,9 +120,18 @@ fn main() {
     );
 
     for (title, cells) in [
-        ("Figure 10 (normalized runtime)", fig10(&mut eval, &benches, &volts)),
-        ("Figure 11 (L2 accesses / 1000 instructions)", fig11(&mut eval, &benches, &volts)),
-        ("Figure 12 (normalized EPI, geomean)", fig12(&mut eval, &benches, &volts)),
+        (
+            "Figure 10 (normalized runtime)",
+            fig10(&mut eval, &benches, &volts),
+        ),
+        (
+            "Figure 11 (L2 accesses / 1000 instructions)",
+            fig11(&mut eval, &benches, &volts),
+        ),
+        (
+            "Figure 12 (normalized EPI, geomean)",
+            fig12(&mut eval, &benches, &volts),
+        ),
     ] {
         println!();
         println!("=== {title} ===");
@@ -122,4 +152,30 @@ fn main() {
             println!();
         }
     }
+
+    // Per-cell failure report: a cell whose every trial failed its BBR
+    // link is dropped from the series above, not fatal to the campaign.
+    let failures = eval.failures();
+    if !failures.is_empty() {
+        println!();
+        println!("=== cells without data ({}) ===", failures.len());
+        for (_, err) in &failures {
+            println!("  {err}");
+        }
+    }
+
+    let stats = eval.stats();
+    println!();
+    println!(
+        "engine: computed={} from_store={} cells_from_store={} link_failures={} \
+         trials/sec={:.0} link={:.1}s sim={:.1}s wall={:.1}s",
+        stats.trials_computed,
+        stats.trials_from_store,
+        stats.cells_from_store,
+        stats.link_failures,
+        stats.trials_per_sec(),
+        stats.link_nanos as f64 / 1e9,
+        stats.sim_nanos as f64 / 1e9,
+        stats.wall_nanos as f64 / 1e9,
+    );
 }

@@ -9,7 +9,10 @@ fn main() {
     let lat = LatencyConfig::dsn();
     println!("Table I — processor configuration");
     println!("(a) Core");
-    println!("  microarchitecture     {}-way superscalar (scoreboard timing model)", c.width);
+    println!(
+        "  microarchitecture     {}-way superscalar (scoreboard timing model)",
+        c.width
+    );
     println!("  clock speed           1.9 GHz class (1607 MHz at 760 mV, Table II)");
     println!(
         "  functional units      {} INT ALU, {} FP ALU, {} INT MULT, {} FP MULT",
@@ -17,8 +20,14 @@ fn main() {
     );
     println!("  reorder buffer        {} entries", c.rob_entries);
     println!("  load/store queue      {} entries", c.lsq_entries);
-    println!("  branch history table  {} entries (bimodal)", c.bht_entries);
-    println!("  branch target buffer  {} entries, {}-way", c.btb_entries, c.btb_ways);
+    println!(
+        "  branch history table  {} entries (bimodal)",
+        c.bht_entries
+    );
+    println!(
+        "  branch target buffer  {} entries, {}-way",
+        c.btb_entries, c.btb_ways
+    );
     println!("(b) Memory hierarchy");
     println!(
         "  L1 I-cache            {}, LRU, {} cycles",
@@ -35,5 +44,8 @@ fn main() {
         CacheGeometry::dsn_l2(),
         lat.l2_hit_cycles
     );
-    println!("  main memory           {} ns fixed wall-clock", lat.dram_ns);
+    println!(
+        "  main memory           {} ns fixed wall-clock",
+        lat.dram_ns
+    );
 }

@@ -6,6 +6,11 @@ fn main() {
     println!("Table II — DVFS configuration");
     println!("{:>10} {:>12} {:>12}", "mV", "MHz", "P_fail(bit)");
     for p in DvfsPoint::table2() {
-        println!("{:>10} {:>12} {:>12.2e}", p.vcc.get(), p.freq_mhz, p.pfail_bit);
+        println!(
+            "{:>10} {:>12} {:>12.2e}",
+            p.vcc.get(),
+            p.freq_mhz,
+            p.pfail_bit
+        );
     }
 }

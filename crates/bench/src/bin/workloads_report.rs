@@ -14,7 +14,16 @@ fn main() {
     let geom = CacheGeometry::dsn_l1();
     println!(
         "{:>16} {:>7} {:>7} {:>6} {:>6} {:>6} {:>8} {:>8} {:>6} {:>7}",
-        "benchmark", "blocks", "words", "load%", "store%", "br%", "spatial%", "reuse%", "IPC", "mis%"
+        "benchmark",
+        "blocks",
+        "words",
+        "load%",
+        "store%",
+        "br%",
+        "spatial%",
+        "reuse%",
+        "IPC",
+        "mis%"
     );
     for b in Benchmark::ALL {
         let wl = b.build(opts.cfg.seed);

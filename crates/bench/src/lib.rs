@@ -7,21 +7,31 @@
 //! * `--maps N` — Monte-Carlo fault maps per operating point;
 //! * `--instrs N` — dynamic instructions per trial;
 //! * `--seed N` — root seed;
-//! * `--paper` — use the paper-scale protocol (slow).
+//! * `--paper` — use the paper-scale protocol (slow);
+//! * `--store DIR` / `--no-store` — where completed Monte-Carlo cells are
+//!   persisted and reloaded across runs (default
+//!   `target/dvs-result-store`, overridable via `DVS_RESULT_STORE`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use dvs_core::EvalConfig;
+use std::path::PathBuf;
+
+use dvs_core::{EvalConfig, Evaluator, ResultStore};
 
 /// Parsed command-line options for the figure binaries.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Options {
     /// Evaluation-scale configuration.
     pub cfg: EvalConfig,
     /// Print per-benchmark rows instead of the pooled aggregate
     /// (the paper's figures group bars per benchmark).
     pub split: bool,
+    /// Persist/reload Monte-Carlo cells on disk (`--no-store` disables).
+    pub store: bool,
+    /// Store directory override (`--store DIR`); `None` means the
+    /// default ([`ResultStore::default_dir`]).
+    pub store_dir: Option<PathBuf>,
 }
 
 /// Parses the common flags from `std::env::args`.
@@ -32,6 +42,8 @@ pub struct Options {
 pub fn parse_args() -> Options {
     let mut cfg = EvalConfig::standard();
     let mut split = false;
+    let mut store = true;
+    let mut store_dir = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut take = |name: &str| -> u64 {
@@ -51,16 +63,53 @@ pub fn parse_args() -> Options {
                 }
             }
             "--split" => split = true,
+            "--no-store" => store = false,
+            "--store" => {
+                store_dir =
+                    Some(PathBuf::from(args.next().unwrap_or_else(|| {
+                        panic!("--store expects a directory path")
+                    })));
+            }
             "--help" | "-h" => {
                 println!(
-                    "options: [--maps N] [--instrs N] [--seed N] [--threads N] [--paper] [--split]"
+                    "options: [--maps N] [--instrs N] [--seed N] [--threads N] [--paper] \
+                     [--split] [--store DIR] [--no-store]"
                 );
                 std::process::exit(0);
             }
             other => panic!("unknown flag {other}; try --help"),
         }
     }
-    Options { cfg, split }
+    Options {
+        cfg,
+        split,
+        store,
+        store_dir,
+    }
+}
+
+/// Builds the evaluator the options describe: store-backed unless
+/// `--no-store` was given. A store that cannot be opened degrades to
+/// recomputation with a warning, never to an abort.
+pub fn evaluator(opts: &Options) -> Evaluator {
+    let eval = Evaluator::new(opts.cfg);
+    if !opts.store {
+        return eval;
+    }
+    let dir = opts
+        .store_dir
+        .clone()
+        .unwrap_or_else(ResultStore::default_dir);
+    match ResultStore::open(&dir) {
+        Ok(store) => eval.with_store(store),
+        Err(e) => {
+            eprintln!(
+                "warning: result store {} unavailable ({e}); recomputing",
+                dir.display()
+            );
+            eval
+        }
+    }
 }
 
 /// Renders a unit-interval histogram as a text bar chart.

@@ -136,9 +136,8 @@ mod tests {
         fn decomposition_reassembles(byte in 0u64..(1 << 40)) {
             let g = geom();
             let a = Addr::new(byte);
-            let rebuilt = (a.tag(&g) << g.index_bits() | u64::from(a.set_index(&g)))
-                << g.offset_bits()
-                | u64::from(a.word_offset(&g)) * 4
+            let rebuilt = ((a.tag(&g) << g.index_bits() | u64::from(a.set_index(&g)))
+                << g.offset_bits()) | (u64::from(a.word_offset(&g)) * 4)
                 | (byte & 3);
             prop_assert_eq!(rebuilt, byte);
         }

@@ -212,8 +212,8 @@ impl CacheCore {
         let idx = self.frame_index(frame);
         let evicted = if self.frames[idx].valid {
             // Reconstruct the victim's block number from its tag and set.
-            let block_number = (self.frames[idx].tag << self.geometry.index_bits())
-                | u64::from(frame.set);
+            let block_number =
+                (self.frames[idx].tag << self.geometry.index_bits()) | u64::from(frame.set);
             Some(Eviction {
                 block_number,
                 dirty: self.frames[idx].dirty,
@@ -252,8 +252,8 @@ impl CacheCore {
         let frame = FrameId { set, way };
         let idx = self.frame_index(frame);
         let evicted = if self.frames[idx].valid {
-            let block_number = (self.frames[idx].tag << self.geometry.index_bits())
-                | u64::from(frame.set);
+            let block_number =
+                (self.frames[idx].tag << self.geometry.index_bits()) | u64::from(frame.set);
             Some(Eviction {
                 block_number,
                 dirty: self.frames[idx].dirty,

@@ -79,13 +79,12 @@ impl NaiveCache {
                 if self.sets[set].contains(&packed) {
                     return None;
                 }
-                let evicted = if let Some(pos) =
-                    self.sets[set].iter().position(|&p| p >> 40 == line)
-                {
-                    self.sets[set].remove(pos).map(|p| p & ((1 << 40) - 1))
-                } else {
-                    None
-                };
+                let evicted =
+                    if let Some(pos) = self.sets[set].iter().position(|&p| p >> 40 == line) {
+                        self.sets[set].remove(pos).map(|p| p & ((1 << 40) - 1))
+                    } else {
+                        None
+                    };
                 self.sets[set].push_back(packed);
                 evicted
             }

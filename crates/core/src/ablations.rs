@@ -24,7 +24,7 @@ use dvs_sram::montecarlo::trial_seed;
 use dvs_sram::{CacheGeometry, FaultMap, MilliVolts};
 use dvs_workloads::{Benchmark, Layout};
 
-use crate::DvfsPoint;
+use crate::{DvfsPoint, EvalError};
 
 /// Outcome of the jump-relaxation ablation.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -39,16 +39,17 @@ pub struct RelaxationEffect {
 /// Measures the dynamic BBR jump overhead with and without linker
 /// relaxation, averaged over `maps` fault maps.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if no fault map links (pathological inputs).
+/// [`EvalError::AllLinksFailed`] when no fault map links in either
+/// configuration (pathological inputs).
 pub fn relaxation_effect(
     benchmark: Benchmark,
     vcc: MilliVolts,
     maps: u64,
     instrs: usize,
     seed: u64,
-) -> RelaxationEffect {
+) -> Result<RelaxationEffect, EvalError> {
     let geom = CacheGeometry::dsn_l1();
     let point = DvfsPoint::at(vcc);
     let wl = benchmark.build(seed);
@@ -75,13 +76,20 @@ pub fn relaxation_effect(
                 }
             }
         }
-        assert!(total > 0, "no fault map linked");
-        synthetic as f64 / total as f64
+        if total == 0 {
+            return Err(EvalError::AllLinksFailed {
+                benchmark,
+                scheme: crate::Scheme::FfwBbr,
+                vcc,
+                attempts: maps,
+            });
+        }
+        Ok(synthetic as f64 / total as f64)
     };
-    RelaxationEffect {
-        overhead_with: measure(true),
-        overhead_without: measure(false),
-    }
+    Ok(RelaxationEffect {
+        overhead_with: measure(true)?,
+        overhead_without: measure(false)?,
+    })
 }
 
 /// One row of the split-threshold sweep.
@@ -178,7 +186,11 @@ pub fn window_alignment_effect(
             l1d,
             point.freq_mhz,
         );
-        let r = simulate(&CoreConfig::dsn2016(), mem, wl.trace(&layout, 0).take(instrs));
+        let r = simulate(
+            &CoreConfig::dsn2016(),
+            mem,
+            wl.trace(&layout, 0).take(instrs),
+        );
         r.mem.l1d_word_misses as f64 * 1000.0 / r.instructions as f64
     };
     WindowAlignmentEffect {
@@ -222,7 +234,11 @@ pub fn buffer_capacity_sweep(
                 L1Cache::new(SchemeKind::Fba { entries }, fmap),
                 point.freq_mhz,
             );
-            let r = simulate(&CoreConfig::dsn2016(), mem, wl.trace(&layout, 0).take(instrs));
+            let r = simulate(
+                &CoreConfig::dsn2016(),
+                mem,
+                wl.trace(&layout, 0).take(instrs),
+            );
             let word_misses = r.mem.l1d_word_misses + r.mem.l1i_word_misses;
             // Word misses that did NOT reach the L2 were buffer hits;
             // estimate coverage from the L1D side counters.
@@ -250,7 +266,7 @@ mod tests {
 
     #[test]
     fn relaxation_reduces_overhead() {
-        let e = relaxation_effect(Benchmark::Crc32, MilliVolts::new(480), 2, 30_000, 3);
+        let e = relaxation_effect(Benchmark::Crc32, MilliVolts::new(480), 2, 30_000, 3).unwrap();
         assert!(
             e.overhead_with < e.overhead_without,
             "with {} vs without {}",
@@ -264,7 +280,7 @@ mod tests {
     fn relaxation_wins_big_at_mild_defect_density() {
         // At 560 mV chunks are huge, so most jumps elide (blocks carrying
         // literal pools keep theirs — the literals sit after the jump).
-        let e = relaxation_effect(Benchmark::Adpcm, MilliVolts::new(560), 2, 30_000, 3);
+        let e = relaxation_effect(Benchmark::Adpcm, MilliVolts::new(560), 2, 30_000, 3).unwrap();
         assert!(
             e.overhead_with < e.overhead_without / 2.0,
             "with {} vs without {}",

@@ -1,0 +1,317 @@
+//! Execution layer of the experiment engine: *how* cells run.
+//!
+//! One shared worker pool drains the trials of **all** cells in a plan.
+//! Workers pull trials individually off a single atomic cursor, so a
+//! slow cell (e.g. FFW+BBR at 400 mV, which links every map) cannot
+//! leave workers idle the way per-cell chunked spawning did: when one
+//! worker grinds through an expensive link, the others keep consuming
+//! whatever trials remain anywhere in the plan.
+//!
+//! The pool is deterministic by construction: every trial's RNG seed
+//! depends only on (root seed, benchmark, voltage, trial index), and
+//! per-cell results are re-sorted by trial index after the drain, so
+//! scheduling order, thread count and store hits never change a result.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use dvs_cpu::{simulate, CoreConfig, MemSystem, SimResult};
+use dvs_linker::BbrLinker;
+use dvs_power::energy::RunCounts;
+use dvs_schemes::L1Cache;
+use dvs_sram::montecarlo::trial_seed;
+use dvs_sram::{CacheGeometry, FaultMap};
+use dvs_workloads::{Layout, Program, Workload};
+
+use crate::eval::TrialMetrics;
+use crate::plan::CellKey;
+use crate::{DvfsPoint, EvalConfig};
+
+/// Per-benchmark immutable inputs, shared across cells and threads.
+pub(crate) struct BenchArtifacts {
+    pub(crate) workload: Workload,
+    pub(crate) seq_layout: Layout,
+}
+
+/// One cell ready for execution: its identity plus the shared inputs the
+/// trials borrow. Programs are shared by `Arc`, never cloned per trial.
+pub(crate) struct CellContext {
+    pub(crate) key: CellKey,
+    pub(crate) point: DvfsPoint,
+    pub(crate) trials: u64,
+    pub(crate) seed_base: u64,
+    pub(crate) artifacts: Arc<BenchArtifacts>,
+    pub(crate) transformed: Option<Arc<Program>>,
+}
+
+/// Monotonic counters the engine accumulates across `run_plan` calls.
+#[derive(Debug, Default)]
+pub(crate) struct EngineCounters {
+    pub(crate) trials_computed: AtomicU64,
+    pub(crate) trials_from_store: AtomicU64,
+    pub(crate) cells_from_store: AtomicU64,
+    pub(crate) link_failures: AtomicU64,
+    pub(crate) link_nanos: AtomicU64,
+    pub(crate) sim_nanos: AtomicU64,
+    pub(crate) wall_nanos: AtomicU64,
+}
+
+impl EngineCounters {
+    pub(crate) fn snapshot(&self) -> EngineStats {
+        EngineStats {
+            trials_computed: self.trials_computed.load(Ordering::Relaxed),
+            trials_from_store: self.trials_from_store.load(Ordering::Relaxed),
+            cells_from_store: self.cells_from_store.load(Ordering::Relaxed),
+            link_failures: self.link_failures.load(Ordering::Relaxed),
+            link_nanos: self.link_nanos.load(Ordering::Relaxed),
+            sim_nanos: self.sim_nanos.load(Ordering::Relaxed),
+            wall_nanos: self.wall_nanos.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Snapshot of the engine's instrumentation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EngineStats {
+    /// Trials actually simulated by this process.
+    pub trials_computed: u64,
+    /// Trials satisfied from the on-disk result store.
+    pub trials_from_store: u64,
+    /// Whole cells satisfied from the on-disk result store.
+    pub cells_from_store: u64,
+    /// Trials whose BBR link found no placement.
+    pub link_failures: u64,
+    /// Wall-clock nanoseconds spent inside the BBR linker (summed over
+    /// workers, so this can exceed `wall_nanos`).
+    pub link_nanos: u64,
+    /// Wall-clock nanoseconds spent in fault sampling + CPU simulation
+    /// (summed over workers).
+    pub sim_nanos: u64,
+    /// Wall-clock nanoseconds spent inside `run_plan`.
+    pub wall_nanos: u64,
+}
+
+impl EngineStats {
+    /// Computed-trial throughput over the engine's wall time.
+    pub fn trials_per_sec(&self) -> f64 {
+        if self.wall_nanos == 0 {
+            0.0
+        } else {
+            self.trials_computed as f64 * 1e9 / self.wall_nanos as f64
+        }
+    }
+}
+
+/// One progress event: a cell just finished (computed or loaded).
+#[derive(Debug, Clone, Copy)]
+pub struct Progress {
+    /// The finished cell.
+    pub cell: CellKey,
+    /// Trials of that cell that were simulated (0 when store-loaded).
+    pub trials_computed: u64,
+    /// Cells finished so far in the current plan, this one included.
+    pub cells_done: usize,
+    /// Cells in the current plan.
+    pub cells_total: usize,
+}
+
+/// Observer invoked per finished cell; must be thread-safe, because the
+/// worker that completes a cell's last trial fires it.
+pub type ProgressFn = dyn Fn(&Progress) + Send + Sync;
+
+/// One cell's trial outcomes, ordered by trial index (`None` marks a
+/// failed BBR link).
+pub(crate) type TrialOutcomes = Vec<(u64, Option<TrialMetrics>)>;
+
+/// Progress-reporting context for one `execute_cells` drain: the
+/// observer plus where this drain sits inside the surrounding plan
+/// (cells already resolved from memory or the store count as done).
+pub(crate) struct ProgressScope<'a> {
+    pub(crate) callback: Option<&'a ProgressFn>,
+    pub(crate) cells_done_before: usize,
+    pub(crate) cells_total: usize,
+}
+
+/// Drains every trial of `cells` through one shared worker pool.
+///
+/// Returns the per-cell trial outcomes sorted by trial index.
+pub(crate) fn execute_cells(
+    cfg: &EvalConfig,
+    core: &CoreConfig,
+    geometry: &CacheGeometry,
+    cells: &[CellContext],
+    counters: &EngineCounters,
+    scope: ProgressScope<'_>,
+) -> Vec<TrialOutcomes> {
+    // Flatten the plan into one task list so workers balance across
+    // cells, not within them.
+    let tasks: Vec<(usize, u64)> = cells
+        .iter()
+        .enumerate()
+        .flat_map(|(ci, c)| (0..c.trials).map(move |t| (ci, t)))
+        .collect();
+    let cursor = AtomicUsize::new(0);
+    let collectors: Vec<Mutex<TrialOutcomes>> = cells
+        .iter()
+        .map(|c| Mutex::new(Vec::with_capacity(c.trials as usize)))
+        .collect();
+    let outstanding: Vec<AtomicU64> = cells.iter().map(|c| AtomicU64::new(c.trials)).collect();
+    let cells_done = AtomicUsize::new(scope.cells_done_before);
+
+    let workers = cfg.threads.max(1).min(tasks.len().max(1));
+    std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            handles.push(s.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(&(ci, trial)) = tasks.get(i) else {
+                    break;
+                };
+                let cell = &cells[ci];
+                let outcome = run_trial(cfg, core, geometry, cell, trial, counters);
+                if outcome.is_none() {
+                    counters.link_failures.fetch_add(1, Ordering::Relaxed);
+                }
+                counters.trials_computed.fetch_add(1, Ordering::Relaxed);
+                collectors[ci]
+                    .lock()
+                    .expect("collector lock poisoned")
+                    .push((trial, outcome));
+                if outstanding[ci].fetch_sub(1, Ordering::AcqRel) == 1 {
+                    let done = cells_done.fetch_add(1, Ordering::AcqRel) + 1;
+                    if let Some(cb) = scope.callback {
+                        cb(&Progress {
+                            cell: cell.key,
+                            trials_computed: cell.trials,
+                            cells_done: done,
+                            cells_total: scope.cells_total,
+                        });
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("trial worker panicked");
+        }
+    });
+
+    collectors
+        .into_iter()
+        .map(|m| {
+            let mut outcomes = m.into_inner().expect("collector lock poisoned");
+            outcomes.sort_unstable_by_key(|&(t, _)| t);
+            outcomes
+        })
+        .collect()
+}
+
+/// Runs one Monte-Carlo trial. `None` means the BBR linker found no
+/// placement for this fault map.
+///
+/// The non-BBR path borrows the benchmark's program and sequential
+/// layout straight from the shared artifacts — nothing is cloned on the
+/// per-trial hot path.
+fn run_trial(
+    cfg: &EvalConfig,
+    core: &CoreConfig,
+    geometry: &CacheGeometry,
+    cell: &CellContext,
+    trial: u64,
+    counters: &EngineCounters,
+) -> Option<TrialMetrics> {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let scheme = cell.key.scheme;
+    let point = cell.point;
+    let art = &*cell.artifacts;
+
+    let sim_start = Instant::now();
+    // Fault maps depend on (seed, benchmark, voltage, trial) but NOT on
+    // the scheme, so schemes are compared on identical defect patterns.
+    let (fmap_i, fmap_d) = if scheme.sees_faults() {
+        let p_word = point.pfail_word();
+        let mut rng_i = StdRng::seed_from_u64(trial_seed(cell.seed_base, 2 * trial));
+        let mut rng_d = StdRng::seed_from_u64(trial_seed(cell.seed_base, 2 * trial + 1));
+        (
+            FaultMap::sample(geometry, p_word, &mut rng_i),
+            FaultMap::sample(geometry, p_word, &mut rng_d),
+        )
+    } else {
+        (
+            FaultMap::fault_free(geometry),
+            FaultMap::fault_free(geometry),
+        )
+    };
+
+    let mut link_stats = None;
+    let linked: Option<(Program, Layout)> = if scheme.needs_bbr_link() {
+        let link_start = Instant::now();
+        let image = BbrLinker::new(*geometry).link(
+            cell.transformed
+                .as_deref()
+                .expect("FFW+BBR provides a transformed program"),
+            &fmap_i,
+        );
+        counters
+            .link_nanos
+            .fetch_add(link_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        let image = image.ok()?;
+        debug_assert!(image.verify(&fmap_i).is_ok());
+        link_stats = Some(*image.stats());
+        Some(image.into_parts())
+    } else {
+        None
+    };
+    let (program, layout): (&Program, &Layout) = match &linked {
+        Some((p, l)) => (p, l),
+        None => (art.workload.program(), &art.seq_layout),
+    };
+
+    let mem = MemSystem::new(
+        L1Cache::new(scheme.l1i_kind(), fmap_i),
+        L1Cache::new(scheme.l1d_kind(), fmap_d),
+        point.freq_mhz,
+    );
+    let trace = art
+        .workload
+        .trace_program(program, layout, 0)
+        .take(cfg.trace_instrs);
+    let result = simulate(core, mem, trace);
+    counters
+        .sim_nanos
+        .fetch_add(sim_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    Some(TrialMetrics {
+        result,
+        counts: counts_of(&result),
+        link_stats,
+    })
+}
+
+/// Derives the energy model's event counts from a simulation result.
+fn counts_of(result: &SimResult) -> RunCounts {
+    RunCounts {
+        instructions: result.useful_instructions(),
+        executed: result.instructions,
+        cycles: result.cycles,
+        l1_accesses: result.mem.l1i_accesses + result.mem.l1d_loads + result.mem.l1d_stores,
+        l2_accesses: result.mem.l2_accesses,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_throughput_is_sane() {
+        let s = EngineStats {
+            trials_computed: 100,
+            wall_nanos: 2_000_000_000,
+            ..EngineStats::default()
+        };
+        assert!((s.trials_per_sec() - 50.0).abs() < 1e-9);
+        assert_eq!(EngineStats::default().trials_per_sec(), 0.0);
+    }
+}

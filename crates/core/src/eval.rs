@@ -1,19 +1,35 @@
 //! Monte-Carlo experiment runner (paper Section V methodology).
+//!
+//! The runner is split into three layers:
+//!
+//! * **plan** ([`crate::plan`]) — [`crate::ExperimentPlan`] enumerates
+//!   cells up front;
+//! * **execution** ([`crate::engine`]) — one shared worker pool drains
+//!   every trial of every planned cell;
+//! * **persistence** ([`crate::store`]) — completed cells are written to
+//!   an on-disk [`crate::ResultStore`] so separate processes share work.
+//!
+//! [`Evaluator`] ties the layers together and owns the in-memory cell
+//! cache plus the derived figure metrics.
 
 use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
+use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
 
-use dvs_cpu::{simulate, CoreConfig, MemSystem, SimResult};
-use dvs_linker::{adaptive_max_block_words, bbr_transform, BbrLinker, LinkStats};
+use dvs_cpu::{CoreConfig, SimResult};
+use dvs_linker::{adaptive_max_block_words, bbr_transform, LinkStats};
 use dvs_power::energy::{EnergyModel, RunCounts};
-use dvs_schemes::L1Cache;
-use dvs_sram::montecarlo::trial_seed;
 use dvs_sram::stats::Summary;
-use dvs_sram::{CacheGeometry, FaultMap, MilliVolts};
-use dvs_workloads::{Benchmark, Layout, Program, Workload};
+use dvs_sram::{CacheGeometry, MilliVolts};
+use dvs_workloads::{Benchmark, Layout, Program};
 
+use crate::engine::{self, BenchArtifacts, CellContext, EngineCounters, EngineStats, ProgressFn};
+use crate::plan::{CellKey, ExperimentPlan};
+use crate::store::{ResultStore, StoreKey, StoredCell};
 use crate::{DvfsPoint, Scheme};
 
 /// Evaluation-scale parameters.
@@ -34,7 +50,8 @@ pub struct EvalConfig {
     /// `None` to adapt it to each operating point's defect density
     /// ([`dvs_linker::adaptive_max_block_words`]).
     pub bbr_max_block_words: Option<u32>,
-    /// Worker threads for trial-level parallelism.
+    /// Worker threads for trial-level parallelism. Never affects results
+    /// (and is therefore not part of the result-store key).
     pub threads: usize,
 }
 
@@ -77,8 +94,45 @@ impl Default for EvalConfig {
     }
 }
 
+/// Failure of one experiment cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// Every Monte-Carlo trial of the cell failed its BBR link: the fault
+    /// maps at this voltage left no placement for the program. The cell
+    /// has no data, but other cells of the campaign are unaffected.
+    AllLinksFailed {
+        /// The workload.
+        benchmark: Benchmark,
+        /// The evaluated configuration.
+        scheme: Scheme,
+        /// Nominal operating voltage.
+        vcc: MilliVolts,
+        /// Trials attempted (all of which failed to link).
+        attempts: u64,
+    },
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::AllLinksFailed {
+                benchmark,
+                scheme,
+                vcc,
+                attempts,
+            } => write!(
+                f,
+                "every trial of {benchmark}/{scheme} at {vcc} failed to link \
+                 ({attempts} attempts)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
 /// Raw outcome of one Monte-Carlo trial.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TrialMetrics {
     /// The CPU simulation result.
     pub result: SimResult,
@@ -97,7 +151,7 @@ pub struct SchemeRun {
     pub point: DvfsPoint,
     /// Benchmark.
     pub benchmark: Benchmark,
-    /// Successful trials.
+    /// Successful trials, in trial-index order.
     pub trials: Vec<TrialMetrics>,
     /// Trials whose BBR link found no placement (counted, not simulated).
     pub failed_links: u64,
@@ -108,7 +162,8 @@ impl SchemeRun {
     ///
     /// # Panics
     ///
-    /// Panics if every trial failed to link.
+    /// Panics if `trials` is empty — the evaluator never constructs such
+    /// a run (it reports [`EvalError::AllLinksFailed`] instead).
     pub fn cycles(&self) -> Summary {
         Summary::of(
             &self
@@ -124,7 +179,8 @@ impl SchemeRun {
     ///
     /// # Panics
     ///
-    /// Panics if every trial failed to link.
+    /// Panics if `trials` is empty — the evaluator never constructs such
+    /// a run (it reports [`EvalError::AllLinksFailed`] instead).
     pub fn l2_per_kilo_instr(&self) -> Summary {
         Summary::of(
             &self
@@ -136,13 +192,13 @@ impl SchemeRun {
     }
 }
 
-struct BenchArtifacts {
-    workload: Workload,
-    seq_layout: Layout,
-}
-
-/// The Monte-Carlo experiment runner. Results are cached per
-/// (benchmark, scheme, voltage) cell, so baselines are simulated once.
+/// The Monte-Carlo experiment runner.
+///
+/// Results are cached per [`CellKey`] in memory, and — when a
+/// [`ResultStore`] is attached — persisted on disk so other processes
+/// reuse them. Campaigns run fastest through [`Evaluator::run_plan`],
+/// which drains all cells through one shared worker pool; the
+/// single-cell [`Evaluator::run`] is a one-cell plan.
 pub struct Evaluator {
     cfg: EvalConfig,
     core: CoreConfig,
@@ -151,11 +207,16 @@ pub struct Evaluator {
     artifacts: HashMap<Benchmark, Arc<BenchArtifacts>>,
     /// BBR-transformed programs per (benchmark, split threshold).
     transformed: HashMap<(Benchmark, u32), Arc<Program>>,
-    runs: HashMap<(Benchmark, Scheme, u32), Arc<SchemeRun>>,
+    runs: HashMap<CellKey, Arc<SchemeRun>>,
+    failures: HashMap<CellKey, EvalError>,
+    store: Option<ResultStore>,
+    progress: Option<Box<ProgressFn>>,
+    counters: EngineCounters,
 }
 
 impl Evaluator {
-    /// Creates an evaluator with the paper's core configuration.
+    /// Creates an evaluator with the paper's core configuration and no
+    /// on-disk store.
     pub fn new(cfg: EvalConfig) -> Self {
         Evaluator {
             cfg,
@@ -165,12 +226,50 @@ impl Evaluator {
             artifacts: HashMap::new(),
             transformed: HashMap::new(),
             runs: HashMap::new(),
+            failures: HashMap::new(),
+            store: None,
+            progress: None,
+            counters: EngineCounters::default(),
         }
+    }
+
+    /// Attaches an on-disk result store: completed cells are persisted,
+    /// and planned cells already present in the store are loaded instead
+    /// of recomputed.
+    #[must_use]
+    pub fn with_store(mut self, store: ResultStore) -> Self {
+        self.store = Some(store);
+        self
+    }
+
+    /// Registers a per-cell progress observer (fired from worker threads
+    /// as cells finish, and synchronously for store-resolved cells).
+    pub fn set_progress(&mut self, f: impl Fn(&engine::Progress) + Send + Sync + 'static) {
+        self.progress = Some(Box::new(f));
     }
 
     /// The configuration in force.
     pub fn config(&self) -> &EvalConfig {
         &self.cfg
+    }
+
+    /// The attached result store, if any.
+    pub fn store(&self) -> Option<&ResultStore> {
+        self.store.as_ref()
+    }
+
+    /// Snapshot of the engine instrumentation accumulated so far (trials
+    /// computed vs loaded, link failures, stage timings).
+    pub fn stats(&self) -> EngineStats {
+        self.counters.snapshot()
+    }
+
+    /// Every cell that failed so far, sorted by cell key display order.
+    pub fn failures(&self) -> Vec<(CellKey, EvalError)> {
+        let mut out: Vec<(CellKey, EvalError)> =
+            self.failures.iter().map(|(k, e)| (*k, e.clone())).collect();
+        out.sort_by_key(|(k, _)| k.to_string());
+        out
     }
 
     fn artifacts(&mut self, benchmark: Benchmark) -> Arc<BenchArtifacts> {
@@ -202,207 +301,278 @@ impl Evaluator {
             .clone()
     }
 
+    /// Whether `key` is already resolved (in memory) as a run or failure.
+    fn resolved(&self, key: &CellKey) -> bool {
+        self.runs.contains_key(key) || self.failures.contains_key(key)
+    }
+
+    /// Installs a finished cell, classifying empty results as
+    /// [`EvalError::AllLinksFailed`].
+    fn install(&mut self, key: CellKey, trials: Vec<TrialMetrics>, failed_links: u64) {
+        if trials.is_empty() {
+            self.failures.insert(
+                key,
+                EvalError::AllLinksFailed {
+                    benchmark: key.benchmark,
+                    scheme: key.scheme,
+                    vcc: key.vcc(),
+                    attempts: failed_links,
+                },
+            );
+        } else {
+            self.runs.insert(
+                key,
+                Arc::new(SchemeRun {
+                    scheme: key.scheme,
+                    point: key.point(),
+                    benchmark: key.benchmark,
+                    trials,
+                    failed_links,
+                }),
+            );
+        }
+    }
+
+    fn lookup(&self, key: &CellKey) -> Result<Arc<SchemeRun>, EvalError> {
+        if let Some(run) = self.runs.get(key) {
+            Ok(run.clone())
+        } else if let Some(err) = self.failures.get(key) {
+            Err(err.clone())
+        } else {
+            unreachable!("cell {key} was planned but never resolved")
+        }
+    }
+
+    /// Runs a whole campaign: resolves every planned cell from memory,
+    /// then from the store, and simulates the rest through one shared
+    /// worker pool. Returns one result per planned cell, in plan order.
+    ///
+    /// A cell whose every trial fails to link yields
+    /// [`EvalError::AllLinksFailed`] without affecting other cells.
+    pub fn run_plan(
+        &mut self,
+        plan: &ExperimentPlan,
+    ) -> Vec<(CellKey, Result<Arc<SchemeRun>, EvalError>)> {
+        let wall_start = Instant::now();
+        let cells_total = plan.len();
+        let mut cells_done = 0usize;
+
+        // Resolution pass: memory first, then the store.
+        let mut missing: Vec<CellKey> = Vec::new();
+        for &key in plan.cells() {
+            if self.resolved(&key) {
+                cells_done += 1;
+                self.fire_progress(key, 0, cells_done, cells_total);
+                continue;
+            }
+            if let Some(stored) = self.store.as_ref().and_then(|s| {
+                s.load(&StoreKey::for_cell(
+                    &self.cfg,
+                    &self.core,
+                    &self.geometry,
+                    &key,
+                ))
+            }) {
+                self.counters.trials_from_store.fetch_add(
+                    stored.trials.len() as u64 + stored.failed_links,
+                    Ordering::Relaxed,
+                );
+                self.counters
+                    .cells_from_store
+                    .fetch_add(1, Ordering::Relaxed);
+                self.install(key, stored.trials, stored.failed_links);
+                cells_done += 1;
+                self.fire_progress(key, 0, cells_done, cells_total);
+                continue;
+            }
+            missing.push(key);
+        }
+
+        // Execution pass: one shared pool over every remaining trial.
+        if !missing.is_empty() {
+            let contexts: Vec<CellContext> = missing
+                .iter()
+                .map(|&key| {
+                    let point = key.point();
+                    let transformed = if key.scheme.needs_bbr_link() {
+                        Some(self.transformed(key.benchmark, point))
+                    } else {
+                        None
+                    };
+                    CellContext {
+                        key,
+                        point,
+                        trials: key.trials(&self.cfg),
+                        seed_base: key.seed_base(self.cfg.seed),
+                        artifacts: self.artifacts(key.benchmark),
+                        transformed,
+                    }
+                })
+                .collect();
+            let outcomes = engine::execute_cells(
+                &self.cfg,
+                &self.core,
+                &self.geometry,
+                &contexts,
+                &self.counters,
+                engine::ProgressScope {
+                    callback: self.progress.as_deref(),
+                    cells_done_before: cells_done,
+                    cells_total,
+                },
+            );
+            for (key, cell_outcomes) in missing.iter().zip(outcomes) {
+                let failed_links = cell_outcomes.iter().filter(|(_, o)| o.is_none()).count() as u64;
+                let trials: Vec<TrialMetrics> =
+                    cell_outcomes.into_iter().filter_map(|(_, o)| o).collect();
+                if let Some(store) = &self.store {
+                    let store_key = StoreKey::for_cell(&self.cfg, &self.core, &self.geometry, key);
+                    let cell = StoredCell {
+                        failed_links,
+                        trials: trials.clone(),
+                    };
+                    if let Err(e) = store.save(&store_key, &cell) {
+                        eprintln!("warning: result store save failed for {key}: {e}");
+                    }
+                }
+                self.install(*key, trials, failed_links);
+            }
+        }
+
+        self.counters
+            .wall_nanos
+            .fetch_add(wall_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        plan.cells().iter().map(|&k| (k, self.lookup(&k))).collect()
+    }
+
+    fn fire_progress(&self, cell: CellKey, trials_computed: u64, done: usize, total: usize) {
+        if let Some(cb) = &self.progress {
+            cb(&engine::Progress {
+                cell,
+                trials_computed,
+                cells_done: done,
+                cells_total: total,
+            });
+        }
+    }
+
     /// Runs (or returns the cached) Monte-Carlo cell for one
     /// (benchmark, scheme, voltage) combination.
-    pub fn run(&mut self, benchmark: Benchmark, scheme: Scheme, vcc: MilliVolts) -> Arc<SchemeRun> {
-        let key = (benchmark, scheme, vcc.get());
-        if let Some(run) = self.runs.get(&key) {
-            return run.clone();
+    ///
+    /// # Errors
+    ///
+    /// [`EvalError::AllLinksFailed`] when no trial of the cell links.
+    pub fn run(
+        &mut self,
+        benchmark: Benchmark,
+        scheme: Scheme,
+        vcc: MilliVolts,
+    ) -> Result<Arc<SchemeRun>, EvalError> {
+        let key = CellKey::new(benchmark, scheme, vcc);
+        if self.resolved(&key) {
+            return self.lookup(&key);
         }
-        let art = self.artifacts(benchmark);
-        let point = match scheme {
-            Scheme::Baseline760 => DvfsPoint::baseline(),
-            _ => DvfsPoint::at(vcc),
-        };
-        let transformed = if scheme.needs_bbr_link() {
-            Some(self.transformed(benchmark, point))
-        } else {
-            None
-        };
-        let trials_wanted = if scheme.sees_faults() { self.cfg.maps } else { 1 };
-        let cfg = self.cfg;
-        let core = self.core;
-        let geometry = self.geometry;
-
-        // Trials are independent; spread them across worker threads.
-        let outcomes: Vec<Option<TrialMetrics>> = {
-            let art = &art;
-            let transformed = transformed.as_deref();
-            let indices: Vec<u64> = (0..trials_wanted).collect();
-            let threads = cfg.threads.max(1).min(indices.len().max(1));
-            std::thread::scope(|s| {
-                let mut handles = Vec::new();
-                for chunk in indices.chunks(indices.len().div_ceil(threads)) {
-                    let chunk = chunk.to_vec();
-                    handles.push(s.spawn(move || {
-                        chunk
-                            .into_iter()
-                            .map(|t| {
-                                run_trial(
-                                    &cfg, &core, &geometry, art, transformed, benchmark, scheme,
-                                    point, t,
-                                )
-                            })
-                            .collect::<Vec<_>>()
-                    }));
-                }
-                handles
-                    .into_iter()
-                    .flat_map(|h| h.join().expect("trial worker panicked"))
-                    .collect()
-            })
-        };
-
-        let failed_links = outcomes.iter().filter(|o| o.is_none()).count() as u64;
-        let trials: Vec<TrialMetrics> = outcomes.into_iter().flatten().collect();
-        assert!(
-            !trials.is_empty(),
-            "every trial of {benchmark}/{scheme} at {vcc} failed to link"
-        );
-        let run = Arc::new(SchemeRun {
-            scheme,
-            point,
-            benchmark,
-            trials,
-            failed_links,
-        });
-        self.runs.insert(key, run.clone());
-        run
+        let mut plan = ExperimentPlan::new();
+        plan.add_key(key);
+        self.run_plan(&plan);
+        self.lookup(&key)
     }
 
     /// Per-trial run time normalized to the defect-free cache at the same
     /// operating point (Figure 10's metric).
+    ///
+    /// # Errors
+    ///
+    /// [`EvalError::AllLinksFailed`] when no trial of the cell links.
     pub fn normalized_runtime(
         &mut self,
         benchmark: Benchmark,
         scheme: Scheme,
         vcc: MilliVolts,
-    ) -> Summary {
-        let base_trial = &self.run(benchmark, Scheme::DefectFree, vcc).trials[0];
+    ) -> Result<Summary, EvalError> {
+        let base_run = self.run(benchmark, Scheme::DefectFree, vcc)?;
+        let base_trial = &base_run.trials[0];
         let base = base_trial.counts.cycles as f64 / base_trial.counts.instructions as f64;
-        let run = self.run(benchmark, scheme, vcc);
-        Summary::of(
+        let run = self.run(benchmark, scheme, vcc)?;
+        Ok(Summary::of(
             &run.trials
                 .iter()
                 .map(|t| (t.counts.cycles as f64 / t.counts.instructions as f64) / base)
                 .collect::<Vec<_>>(),
-        )
+        ))
     }
 
     /// L2 accesses per 1000 instructions (Figure 11's metric).
+    ///
+    /// # Errors
+    ///
+    /// [`EvalError::AllLinksFailed`] when no trial of the cell links.
     pub fn l2_per_kilo_instr(
         &mut self,
         benchmark: Benchmark,
         scheme: Scheme,
         vcc: MilliVolts,
-    ) -> Summary {
-        self.run(benchmark, scheme, vcc).l2_per_kilo_instr()
+    ) -> Result<Summary, EvalError> {
+        Ok(self.run(benchmark, scheme, vcc)?.l2_per_kilo_instr())
     }
 
     /// Per-trial energy per instruction, normalized to the conventional
     /// cache at 760 mV (Figure 12's metric).
+    ///
+    /// # Errors
+    ///
+    /// [`EvalError::AllLinksFailed`] when no trial of the cell links.
     pub fn normalized_epi(
         &mut self,
         benchmark: Benchmark,
         scheme: Scheme,
         vcc: MilliVolts,
-    ) -> Summary {
+    ) -> Result<Summary, EvalError> {
         let baseline = self
-            .run(benchmark, Scheme::Baseline760, MilliVolts::new(760))
+            .run(benchmark, Scheme::Baseline760, MilliVolts::new(760))?
             .trials[0]
             .counts;
-        let run = self.run(benchmark, scheme, vcc);
+        let run = self.run(benchmark, scheme, vcc)?;
         let energy = self.energy;
         let factor = scheme.energy_static_factor();
-        Summary::of(
+        Ok(Summary::of(
             &run.trials
                 .iter()
                 .map(|t| {
-                    energy.epi_normalized(&baseline, &t.counts, run.point.vcc, run.point.freq_mhz, factor)
+                    energy.epi_normalized(
+                        &baseline,
+                        &t.counts,
+                        run.point.vcc,
+                        run.point.freq_mhz,
+                        factor,
+                    )
                 })
                 .collect::<Vec<_>>(),
-        )
+        ))
     }
-}
-
-#[allow(clippy::too_many_arguments)]
-fn run_trial(
-    cfg: &EvalConfig,
-    core: &CoreConfig,
-    geometry: &CacheGeometry,
-    art: &BenchArtifacts,
-    transformed: Option<&Program>,
-    benchmark: Benchmark,
-    scheme: Scheme,
-    point: DvfsPoint,
-    trial: u64,
-) -> Option<TrialMetrics> {
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
-
-    // Fault maps depend on (seed, benchmark, voltage, trial) but NOT on
-    // the scheme, so schemes are compared on identical defect patterns.
-    let base = cfg.seed ^ ((benchmark as u64) << 32) ^ (u64::from(point.vcc.get()) << 16);
-    let (fmap_i, fmap_d) = if scheme.sees_faults() {
-        let p_word = point.pfail_word();
-        let mut rng_i = StdRng::seed_from_u64(trial_seed(base, 2 * trial));
-        let mut rng_d = StdRng::seed_from_u64(trial_seed(base, 2 * trial + 1));
-        (
-            FaultMap::sample(geometry, p_word, &mut rng_i),
-            FaultMap::sample(geometry, p_word, &mut rng_d),
-        )
-    } else {
-        (FaultMap::fault_free(geometry), FaultMap::fault_free(geometry))
-    };
-
-    let mut link_stats = None;
-    let (program, layout): (Program, Layout) = if scheme.needs_bbr_link() {
-        let image = BbrLinker::new(*geometry)
-            .link(transformed.expect("FFW+BBR provides a transformed program"), &fmap_i)
-            .ok()?;
-        debug_assert!(image.verify(&fmap_i).is_ok());
-        link_stats = Some(*image.stats());
-        image.into_parts()
-    } else {
-        (art.workload.program().clone(), art.seq_layout.clone())
-    };
-
-    let mem = MemSystem::new(
-        L1Cache::new(scheme.l1i_kind(), fmap_i),
-        L1Cache::new(scheme.l1d_kind(), fmap_d),
-        point.freq_mhz,
-    );
-    let trace = art
-        .workload
-        .trace_program(&program, &layout, 0)
-        .take(cfg.trace_instrs);
-    let result = simulate(core, mem, trace);
-    let counts = RunCounts {
-        instructions: result.useful_instructions(),
-        executed: result.instructions,
-        cycles: result.cycles,
-        l1_accesses: result.mem.l1i_accesses + result.mem.l1d_loads + result.mem.l1d_stores,
-        l2_accesses: result.mem.l2_accesses,
-    };
-    Some(TrialMetrics {
-        result,
-        counts,
-        link_stats,
-    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Mutex;
 
     fn eval() -> Evaluator {
         Evaluator::new(EvalConfig::quick())
     }
 
+    fn temp_store(tag: &str) -> ResultStore {
+        let dir = std::env::temp_dir().join(format!("dvs-eval-{}-{}", tag, std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        ResultStore::open(dir).expect("temp store")
+    }
+
     #[test]
     fn defect_free_runs_once_and_normalizes_to_one() {
         let mut e = eval();
-        let s = e.normalized_runtime(Benchmark::Crc32, Scheme::DefectFree, MilliVolts::new(480));
+        let s = e
+            .normalized_runtime(Benchmark::Crc32, Scheme::DefectFree, MilliVolts::new(480))
+            .unwrap();
         assert_eq!(s.n, 1);
         assert!((s.mean - 1.0).abs() < 1e-12);
     }
@@ -410,7 +580,9 @@ mod tests {
     #[test]
     fn faulty_schemes_run_all_maps() {
         let mut e = eval();
-        let run = e.run(Benchmark::Crc32, Scheme::SimpleWdis, MilliVolts::new(480));
+        let run = e
+            .run(Benchmark::Crc32, Scheme::SimpleWdis, MilliVolts::new(480))
+            .unwrap();
         assert_eq!(run.trials.len() as u64 + run.failed_links, e.config().maps);
         assert_eq!(run.failed_links, 0);
     }
@@ -418,20 +590,88 @@ mod tests {
     #[test]
     fn results_are_cached_and_deterministic() {
         let mut e = eval();
-        let a = e.run(Benchmark::Adpcm, Scheme::FfwBbr, MilliVolts::new(440));
-        let b = e.run(Benchmark::Adpcm, Scheme::FfwBbr, MilliVolts::new(440));
+        let a = e
+            .run(Benchmark::Adpcm, Scheme::FfwBbr, MilliVolts::new(440))
+            .unwrap();
+        let b = e
+            .run(Benchmark::Adpcm, Scheme::FfwBbr, MilliVolts::new(440))
+            .unwrap();
         assert!(Arc::ptr_eq(&a, &b));
         // A fresh evaluator reproduces the same numbers.
         let mut e2 = eval();
-        let c = e2.run(Benchmark::Adpcm, Scheme::FfwBbr, MilliVolts::new(440));
+        let c = e2
+            .run(Benchmark::Adpcm, Scheme::FfwBbr, MilliVolts::new(440))
+            .unwrap();
         assert_eq!(a.trials[0].result.cycles, c.trials[0].result.cycles);
         assert_eq!(a.trials.len(), c.trials.len());
+        assert!(a.cycles().bitwise_eq(&c.cycles()));
+
+        // A store-backed evaluator persists the cell, and a second
+        // store-backed evaluator reloads it bit-identically without
+        // simulating anything.
+        let store = temp_store("determinism");
+        let dir = store.dir().to_path_buf();
+        let mut live = Evaluator::new(EvalConfig::quick()).with_store(store);
+        let d = live
+            .run(Benchmark::Adpcm, Scheme::FfwBbr, MilliVolts::new(440))
+            .unwrap();
+        assert_eq!(live.stats().trials_from_store, 0);
+        assert!(live.stats().trials_computed > 0);
+
+        let mut reloaded =
+            Evaluator::new(EvalConfig::quick()).with_store(ResultStore::open(&dir).unwrap());
+        let g = reloaded
+            .run(Benchmark::Adpcm, Scheme::FfwBbr, MilliVolts::new(440))
+            .unwrap();
+        assert_eq!(reloaded.stats().trials_computed, 0);
+        assert_eq!(reloaded.stats().cells_from_store, 1);
+        assert_eq!(d.trials, g.trials);
+        assert!(d.cycles().bitwise_eq(&g.cycles()));
+        assert!(d.l2_per_kilo_instr().bitwise_eq(&g.l2_per_kilo_instr()));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn run_plan_reports_every_cell_and_fires_progress() {
+        let mut e = eval();
+        let events: Arc<Mutex<Vec<(String, usize, usize)>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = events.clone();
+        e.set_progress(move |p| {
+            sink.lock()
+                .unwrap()
+                .push((p.cell.to_string(), p.cells_done, p.cells_total));
+        });
+        let plan = ExperimentPlan::for_grid(
+            &[Benchmark::Crc32],
+            &[Scheme::DefectFree, Scheme::SimpleWdis, Scheme::FfwBbr],
+            &[MilliVolts::new(480)],
+        );
+        let results = e.run_plan(&plan);
+        assert_eq!(results.len(), 3);
+        assert!(results.iter().all(|(_, r)| r.is_ok()));
+
+        {
+            let events = events.lock().unwrap();
+            assert_eq!(events.len(), 3);
+            let mut dones: Vec<usize> = events.iter().map(|(_, d, _)| *d).collect();
+            dones.sort_unstable();
+            assert_eq!(dones, vec![1, 2, 3]);
+            assert!(events.iter().all(|(_, _, t)| *t == 3));
+        }
+
+        // Re-running the same plan resolves everything from memory.
+        let computed_before = e.stats().trials_computed;
+        let again = e.run_plan(&plan);
+        assert!(again.iter().all(|(_, r)| r.is_ok()));
+        assert_eq!(e.stats().trials_computed, computed_before);
     }
 
     #[test]
     fn bbr_links_and_records_stats() {
         let mut e = eval();
-        let run = e.run(Benchmark::Basicmath, Scheme::FfwBbr, MilliVolts::new(400));
+        let run = e
+            .run(Benchmark::Basicmath, Scheme::FfwBbr, MilliVolts::new(400))
+            .unwrap();
         assert!(!run.trials.is_empty());
         for t in &run.trials {
             let stats = t.link_stats.expect("FFW+BBR trials link");
@@ -443,7 +683,9 @@ mod tests {
     fn defective_words_slow_things_down() {
         let mut e = eval();
         let v = MilliVolts::new(400);
-        let wdis = e.normalized_runtime(Benchmark::Dijkstra, Scheme::SimpleWdis, v);
+        let wdis = e
+            .normalized_runtime(Benchmark::Dijkstra, Scheme::SimpleWdis, v)
+            .unwrap();
         assert!(
             wdis.mean > 1.2,
             "simple-wdis at 400 mV should suffer badly, got {:.3}",
@@ -456,8 +698,12 @@ mod tests {
         // The paper's headline ordering at the deepest voltage.
         let mut e = eval();
         let v = MilliVolts::new(400);
-        let ours = e.normalized_runtime(Benchmark::Qsort, Scheme::FfwBbr, v);
-        let wdis = e.normalized_runtime(Benchmark::Qsort, Scheme::SimpleWdis, v);
+        let ours = e
+            .normalized_runtime(Benchmark::Qsort, Scheme::FfwBbr, v)
+            .unwrap();
+        let wdis = e
+            .normalized_runtime(Benchmark::Qsort, Scheme::SimpleWdis, v)
+            .unwrap();
         assert!(
             ours.mean < wdis.mean,
             "FFW+BBR {:.3} vs Simple-wdis {:.3}",
@@ -469,13 +715,59 @@ mod tests {
     #[test]
     fn epi_baseline_is_unity_and_proposal_saves_energy() {
         let mut e = eval();
-        let base = e.normalized_epi(Benchmark::Crc32, Scheme::Baseline760, MilliVolts::new(760));
+        let base = e
+            .normalized_epi(Benchmark::Crc32, Scheme::Baseline760, MilliVolts::new(760))
+            .unwrap();
         assert!((base.mean - 1.0).abs() < 1e-9);
-        let ours = e.normalized_epi(Benchmark::Crc32, Scheme::FfwBbr, MilliVolts::new(400));
+        let ours = e
+            .normalized_epi(Benchmark::Crc32, Scheme::FfwBbr, MilliVolts::new(400))
+            .unwrap();
         assert!(
             ours.mean < 0.6,
             "FFW+BBR at 400 mV should cut EPI hard, got {:.3}",
             ours.mean
         );
+    }
+
+    #[test]
+    fn all_links_failed_is_an_error_not_a_panic() {
+        // A cell whose every trial failed its link (here persisted by a
+        // previous — hypothetical — process) surfaces as a typed error,
+        // not a panic, and leaves the rest of the campaign usable.
+        let store = temp_store("allfail");
+        let dir = store.dir().to_path_buf();
+        let cfg = EvalConfig::quick();
+        let key = CellKey::new(Benchmark::Qsort, Scheme::FfwBbr, MilliVolts::new(400));
+        let store_key =
+            StoreKey::for_cell(&cfg, &CoreConfig::dsn2016(), &CacheGeometry::dsn_l1(), &key);
+        store
+            .save(
+                &store_key,
+                &StoredCell {
+                    failed_links: cfg.maps,
+                    trials: Vec::new(),
+                },
+            )
+            .unwrap();
+
+        let mut e = Evaluator::new(cfg).with_store(store);
+        let err = e
+            .run(Benchmark::Qsort, Scheme::FfwBbr, MilliVolts::new(400))
+            .unwrap_err();
+        let EvalError::AllLinksFailed {
+            benchmark,
+            scheme,
+            vcc,
+            attempts,
+        } = err;
+        assert_eq!(benchmark, Benchmark::Qsort);
+        assert_eq!(scheme, Scheme::FfwBbr);
+        assert_eq!(vcc.get(), 400);
+        assert_eq!(attempts, cfg.maps);
+        // Other cells of the campaign still work.
+        assert!(e
+            .run(Benchmark::Qsort, Scheme::SimpleWdis, MilliVolts::new(400))
+            .is_ok());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -7,13 +7,15 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
-use dvs_linker::{adaptive_max_block_words, bbr_transform, chunk_sizes, interval_capacities, BbrLinker};
+use dvs_linker::{
+    adaptive_max_block_words, bbr_transform, chunk_sizes, interval_capacities, BbrLinker,
+};
 use dvs_sram::montecarlo::trial_seed;
 use dvs_sram::stats::{geomean, Summary};
 use dvs_sram::{CacheGeometry, FaultMap, MilliVolts, PfailModel, YieldReport};
 use dvs_workloads::{locality, Benchmark, Layout};
 
-use crate::{DvfsPoint, EvalConfig, Evaluator, Scheme};
+use crate::{DvfsPoint, EvalConfig, EvalError, Evaluator, ExperimentPlan, Scheme};
 
 /// Figure 2 data: failure probability per granularity plus the `Vccmin`
 /// that motivates the whole paper.
@@ -114,10 +116,7 @@ pub fn fig6(
     let geom = CacheGeometry::dsn_l1();
     let point = DvfsPoint::at(vcc);
     let wl = benchmark.build(seed);
-    let transformed = bbr_transform(
-        wl.program(),
-        adaptive_max_block_words(point.pfail_word()),
-    );
+    let transformed = bbr_transform(wl.program(), adaptive_max_block_words(point.pfail_word()));
     let linker = BbrLinker::new(geom);
 
     let mut capacity_fractions = Vec::new();
@@ -128,8 +127,7 @@ pub fn fig6(
         let mut rng = StdRng::seed_from_u64(trial_seed(seed, t));
         let fmap = FaultMap::sample(&geom, point.pfail_word(), &mut rng);
         chunks.extend(chunk_sizes(&fmap));
-        fault_free +=
-            1.0 - fmap.faulty_words() as f64 / f64::from(geom.total_words());
+        fault_free += 1.0 - fmap.faulty_words() as f64 / f64::from(geom.total_words());
         let Ok(image) = linker.link(&transformed, &fmap) else {
             continue;
         };
@@ -137,7 +135,8 @@ pub fn fig6(
         capacity_fractions.extend(interval_capacities(
             image.program(),
             image.layout(),
-            wl.trace_program(image.program(), image.layout(), 0).take(instrs),
+            wl.trace_program(image.program(), image.layout(), 0)
+                .take(instrs),
             interval,
             geom,
         ));
@@ -189,6 +188,27 @@ pub struct Cell {
     pub geomean: f64,
 }
 
+/// The plan of one scheme × voltage series: every compared scheme at
+/// every voltage, plus `extras` (per-figure reference cells such as the
+/// defect-free baselines).
+fn series_plan(
+    benchmarks: &[Benchmark],
+    voltages: &[MilliVolts],
+    extras: &[(Benchmark, Scheme, MilliVolts)],
+) -> ExperimentPlan {
+    let mut plan = ExperimentPlan::for_grid(benchmarks, &Scheme::COMPARED, voltages);
+    for &(b, s, v) in extras {
+        plan.add(b, s, v);
+    }
+    plan
+}
+
+/// Pools `metric` over benchmarks for every compared scheme × voltage.
+///
+/// All cells were already drained by a prior [`Evaluator::run_plan`], so
+/// `metric` only reads the in-memory cache. Benchmarks whose cell failed
+/// ([`crate::EvalError::AllLinksFailed`]) are skipped; a (scheme,
+/// voltage) combination with no surviving data is omitted entirely.
 fn series<F>(
     eval: &mut Evaluator,
     benchmarks: &[Benchmark],
@@ -196,14 +216,20 @@ fn series<F>(
     mut metric: F,
 ) -> Vec<Cell>
 where
-    F: FnMut(&mut Evaluator, Benchmark, Scheme, MilliVolts) -> Vec<f64>,
+    F: FnMut(&mut Evaluator, Benchmark, Scheme, MilliVolts) -> Result<Vec<f64>, EvalError>,
 {
     let mut cells = Vec::new();
     for &scheme in &Scheme::COMPARED {
         for &vcc in voltages {
             let mut pooled = Vec::new();
             for &b in benchmarks {
-                pooled.extend(metric(eval, b, scheme, vcc));
+                match metric(eval, b, scheme, vcc) {
+                    Ok(values) => pooled.extend(values),
+                    Err(_) => continue, // failed cell: reported via Evaluator
+                }
+            }
+            if pooled.is_empty() {
+                continue;
             }
             cells.push(Cell {
                 scheme,
@@ -219,46 +245,61 @@ where
 /// Produces Figure 10: run time normalized to the defect-free cache at
 /// each operating point, for every compared scheme.
 pub fn fig10(eval: &mut Evaluator, benchmarks: &[Benchmark], voltages: &[MilliVolts]) -> Vec<Cell> {
+    let extras: Vec<_> = voltages
+        .iter()
+        .flat_map(|&v| benchmarks.iter().map(move |&b| (b, Scheme::DefectFree, v)))
+        .collect();
+    eval.run_plan(&series_plan(benchmarks, voltages, &extras));
     series(eval, benchmarks, voltages, |e, b, s, v| {
-        let base_run = e.run(b, Scheme::DefectFree, v);
+        let base_run = e.run(b, Scheme::DefectFree, v)?;
         let bt = &base_run.trials[0];
         let base = bt.counts.cycles as f64 / bt.counts.instructions as f64;
-        e.run(b, s, v)
+        Ok(e.run(b, s, v)?
             .trials
             .iter()
             .map(|t| (t.counts.cycles as f64 / t.counts.instructions as f64) / base)
-            .collect()
+            .collect())
     })
 }
 
 /// Produces Figure 11: L2 accesses per 1000 instructions.
 pub fn fig11(eval: &mut Evaluator, benchmarks: &[Benchmark], voltages: &[MilliVolts]) -> Vec<Cell> {
+    eval.run_plan(&series_plan(benchmarks, voltages, &[]));
     series(eval, benchmarks, voltages, |e, b, s, v| {
-        e.run(b, s, v)
+        Ok(e.run(b, s, v)?
             .trials
             .iter()
             .map(|t| t.counts.l2_accesses as f64 * 1000.0 / t.counts.instructions as f64)
-            .collect()
+            .collect())
     })
 }
 
 /// Produces Figure 12: energy per instruction normalized to the 760 mV
 /// conventional baseline.
 pub fn fig12(eval: &mut Evaluator, benchmarks: &[Benchmark], voltages: &[MilliVolts]) -> Vec<Cell> {
+    let extras: Vec<_> = benchmarks
+        .iter()
+        .map(|&b| (b, Scheme::Baseline760, MilliVolts::new(760)))
+        .collect();
+    eval.run_plan(&series_plan(benchmarks, voltages, &extras));
     series(eval, benchmarks, voltages, |e, b, s, v| {
-        let baseline = e
-            .run(b, Scheme::Baseline760, MilliVolts::new(760))
-            .trials[0]
-            .counts;
+        let baseline = e.run(b, Scheme::Baseline760, MilliVolts::new(760))?.trials[0].counts;
         let factor = s.energy_static_factor();
-        let run = e.run(b, s, v);
+        let run = e.run(b, s, v)?;
         let model = dvs_power::EnergyModel::dsn45();
-        run.trials
+        Ok(run
+            .trials
             .iter()
             .map(|t| {
-                model.epi_normalized(&baseline, &t.counts, run.point.vcc, run.point.freq_mhz, factor)
+                model.epi_normalized(
+                    &baseline,
+                    &t.counts,
+                    run.point.vcc,
+                    run.point.freq_mhz,
+                    factor,
+                )
             })
-            .collect()
+            .collect())
     })
 }
 

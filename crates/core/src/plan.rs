@@ -1,0 +1,190 @@
+//! Plan layer of the experiment engine: *what* to run.
+//!
+//! An [`ExperimentPlan`] enumerates the Monte-Carlo cells — one
+//! [`CellKey`] per (benchmark, scheme, voltage) combination — of a whole
+//! campaign up front. The execution layer ([`crate::Evaluator::run_plan`])
+//! then drains every trial of every cell through one shared worker pool,
+//! and the persistence layer ([`crate::ResultStore`]) resolves cells that
+//! an earlier process already computed.
+//!
+//! Keeping the plan a plain value (no artifacts, no threads) makes
+//! campaigns inspectable: binaries can report cell and trial counts
+//! before spending any simulation time.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use dvs_sram::montecarlo::cell_seed_base;
+use dvs_sram::MilliVolts;
+use dvs_workloads::Benchmark;
+
+use crate::{DvfsPoint, EvalConfig, Scheme};
+
+/// Identity of one Monte-Carlo cell: a benchmark evaluated under a
+/// protection scheme at an operating voltage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CellKey {
+    /// The workload.
+    pub benchmark: Benchmark,
+    /// The evaluated cache configuration.
+    pub scheme: Scheme,
+    /// Nominal operating voltage in millivolts (ignored by
+    /// [`Scheme::Baseline760`], which always runs at its own point).
+    pub vcc_mv: u32,
+}
+
+impl CellKey {
+    /// Creates a key.
+    pub fn new(benchmark: Benchmark, scheme: Scheme, vcc: MilliVolts) -> Self {
+        CellKey {
+            benchmark,
+            scheme,
+            vcc_mv: vcc.get(),
+        }
+    }
+
+    /// The nominal voltage as a typed value.
+    pub fn vcc(&self) -> MilliVolts {
+        MilliVolts::new(self.vcc_mv)
+    }
+
+    /// The DVFS point this cell actually runs at.
+    pub fn point(&self) -> DvfsPoint {
+        match self.scheme {
+            Scheme::Baseline760 => DvfsPoint::baseline(),
+            _ => DvfsPoint::at(self.vcc()),
+        }
+    }
+
+    /// Monte-Carlo trials this cell needs under `cfg`: fault-seeing
+    /// schemes sample `cfg.maps` fault maps, deterministic baselines run
+    /// once.
+    pub fn trials(&self, cfg: &EvalConfig) -> u64 {
+        if self.scheme.sees_faults() {
+            cfg.maps
+        } else {
+            1
+        }
+    }
+
+    /// The fault-map seed base of this cell (scheme-independent, so
+    /// schemes are compared on identical defect patterns).
+    pub fn seed_base(&self, root_seed: u64) -> u64 {
+        cell_seed_base(root_seed, self.benchmark as u64, self.point().vcc.get())
+    }
+}
+
+impl fmt::Display for CellKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}@{}mV", self.benchmark, self.scheme, self.vcc_mv)
+    }
+}
+
+/// An ordered, duplicate-free set of cells to evaluate as one campaign.
+#[derive(Debug, Clone, Default)]
+pub struct ExperimentPlan {
+    cells: Vec<CellKey>,
+    seen: HashSet<CellKey>,
+}
+
+impl ExperimentPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        ExperimentPlan::default()
+    }
+
+    /// Plans the full cross product `benchmarks × schemes × voltages`.
+    pub fn for_grid(benchmarks: &[Benchmark], schemes: &[Scheme], voltages: &[MilliVolts]) -> Self {
+        let mut plan = ExperimentPlan::new();
+        for &scheme in schemes {
+            for &vcc in voltages {
+                for &benchmark in benchmarks {
+                    plan.add(benchmark, scheme, vcc);
+                }
+            }
+        }
+        plan
+    }
+
+    /// Adds one cell; returns whether it was new.
+    pub fn add(&mut self, benchmark: Benchmark, scheme: Scheme, vcc: MilliVolts) -> bool {
+        self.add_key(CellKey::new(benchmark, scheme, vcc))
+    }
+
+    /// Adds one cell by key; returns whether it was new.
+    pub fn add_key(&mut self, key: CellKey) -> bool {
+        let new = self.seen.insert(key);
+        if new {
+            self.cells.push(key);
+        }
+        new
+    }
+
+    /// The planned cells, in insertion order.
+    pub fn cells(&self) -> &[CellKey] {
+        &self.cells
+    }
+
+    /// Number of planned cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Total Monte-Carlo trials the plan implies under `cfg`.
+    pub fn total_trials(&self, cfg: &EvalConfig) -> u64 {
+        self.cells.iter().map(|c| c.trials(cfg)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_covers_cross_product_without_duplicates() {
+        let plan = ExperimentPlan::for_grid(
+            &[Benchmark::Crc32, Benchmark::Qsort],
+            &[Scheme::FfwBbr, Scheme::SimpleWdis],
+            &[MilliVolts::new(400), MilliVolts::new(480)],
+        );
+        assert_eq!(plan.len(), 8);
+        let mut dup = plan.clone();
+        assert!(!dup.add(Benchmark::Crc32, Scheme::FfwBbr, MilliVolts::new(400)));
+        assert_eq!(dup.len(), 8);
+    }
+
+    #[test]
+    fn trial_counts_follow_scheme_fault_visibility() {
+        let cfg = EvalConfig::quick();
+        let faulty = CellKey::new(Benchmark::Crc32, Scheme::FfwBbr, MilliVolts::new(400));
+        let free = CellKey::new(Benchmark::Crc32, Scheme::DefectFree, MilliVolts::new(400));
+        assert_eq!(faulty.trials(&cfg), cfg.maps);
+        assert_eq!(free.trials(&cfg), 1);
+        let mut plan = ExperimentPlan::new();
+        plan.add_key(faulty);
+        plan.add_key(free);
+        assert_eq!(plan.total_trials(&cfg), cfg.maps + 1);
+    }
+
+    #[test]
+    fn seed_base_ignores_scheme_but_not_voltage() {
+        let a = CellKey::new(Benchmark::Qsort, Scheme::FfwBbr, MilliVolts::new(440));
+        let b = CellKey::new(Benchmark::Qsort, Scheme::SimpleWdis, MilliVolts::new(440));
+        let c = CellKey::new(Benchmark::Qsort, Scheme::FfwBbr, MilliVolts::new(480));
+        assert_eq!(a.seed_base(42), b.seed_base(42));
+        assert_ne!(a.seed_base(42), c.seed_base(42));
+    }
+
+    #[test]
+    fn baseline_cell_runs_at_its_own_point() {
+        let key = CellKey::new(Benchmark::Crc32, Scheme::Baseline760, MilliVolts::new(400));
+        assert_eq!(key.point().vcc.get(), 760);
+    }
+}

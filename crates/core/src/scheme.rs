@@ -88,7 +88,10 @@ impl Scheme {
     /// Whether the scheme's data arrays see the sampled fault map (the
     /// defect-free baselines and the robust 8T cells do not).
     pub fn sees_faults(self) -> bool {
-        !matches!(self, Scheme::Baseline760 | Scheme::DefectFree | Scheme::EightT)
+        !matches!(
+            self,
+            Scheme::Baseline760 | Scheme::DefectFree | Scheme::EightT
+        )
     }
 
     /// The Table III static-power factor used in the energy accounting.
@@ -158,7 +161,10 @@ mod tests {
 
     #[test]
     fn plus_variants_use_1024_entries_for_timing() {
-        assert_eq!(Scheme::FbaPlus.l1d_kind(), SchemeKind::Fba { entries: 1024 });
+        assert_eq!(
+            Scheme::FbaPlus.l1d_kind(),
+            SchemeKind::Fba { entries: 1024 }
+        );
         assert!(matches!(
             Scheme::IdcPlus.l1d_kind(),
             SchemeKind::Idc { entries: 1024, .. }

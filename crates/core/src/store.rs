@@ -1,0 +1,342 @@
+//! Persistence layer of the experiment engine: on-disk result store.
+//!
+//! Completed Monte-Carlo cells are persisted one file per cell so that
+//! `repro_all`, the individual figure binaries and the ablations share
+//! results across *processes*, not just within one `Evaluator`.
+//!
+//! Correctness over cleverness: each file embeds the **full serialized
+//! key** ([`StoreKey`] — evaluation scale, core configuration, cache
+//! geometry and cell identity), and a load only hits when the stored key
+//! bytes equal the expected key bytes exactly; the payload additionally
+//! carries a checksum, so a single rotted bit reads as a miss. The
+//! content hash in the file name is merely an index; collisions or stale
+//! schema versions degrade to a recompute, never to wrong data. Corrupt
+//! or truncated files likewise read as misses and are overwritten by the
+//! next save.
+//!
+//! The store location defaults to `target/dvs-result-store` and can be
+//! redirected with the `DVS_RESULT_STORE` environment variable (see
+//! `EXPERIMENTS.md`).
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use serde::bin::{Deserializer, Serializer};
+use serde::{Deserialize, Serialize};
+
+use dvs_cpu::CoreConfig;
+use dvs_sram::CacheGeometry;
+use dvs_workloads::Benchmark;
+
+use crate::eval::TrialMetrics;
+use crate::plan::CellKey;
+use crate::{EvalConfig, Scheme};
+
+/// Environment variable overriding the store directory.
+pub const STORE_ENV: &str = "DVS_RESULT_STORE";
+
+/// Magic prefix of store files; the trailing digit is the format version.
+const MAGIC: &[u8; 8] = b"DVSCELL1";
+
+/// Bumped whenever the meaning of stored bytes changes in a way the
+/// serialized key cannot express (e.g. reinterpreting a metric).
+const KEY_VERSION: u32 = 1;
+
+/// Everything a cell's results depend on. Two processes computing the
+/// same `StoreKey` are guaranteed (by the deterministic seeding) to
+/// produce bit-identical results, so sharing is safe.
+///
+/// Deliberately excludes [`EvalConfig::threads`]: parallelism must never
+/// affect results, and a store populated on an 8-core box must hit on a
+/// 4-core one.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StoreKey {
+    /// Schema version of the stored payload.
+    pub version: u32,
+    /// Dynamic instructions simulated per trial.
+    pub trace_instrs: usize,
+    /// Fault maps per operating point.
+    pub maps: u64,
+    /// Root seed.
+    pub seed: u64,
+    /// BBR split-threshold override.
+    pub bbr_max_block_words: Option<u32>,
+    /// CPU model configuration.
+    pub core: CoreConfig,
+    /// L1 geometry.
+    pub geometry: CacheGeometry,
+    /// The workload.
+    pub benchmark: Benchmark,
+    /// The protection scheme.
+    pub scheme: Scheme,
+    /// Nominal operating voltage in millivolts.
+    pub vcc_mv: u32,
+    /// Trials this cell was asked to run.
+    pub trials: u64,
+}
+
+impl StoreKey {
+    /// Builds the key of `cell` under an evaluation context.
+    pub fn for_cell(
+        cfg: &EvalConfig,
+        core: &CoreConfig,
+        geometry: &CacheGeometry,
+        cell: &CellKey,
+    ) -> Self {
+        StoreKey {
+            version: KEY_VERSION,
+            trace_instrs: cfg.trace_instrs,
+            maps: cfg.maps,
+            seed: cfg.seed,
+            bbr_max_block_words: cfg.bbr_max_block_words,
+            core: *core,
+            geometry: *geometry,
+            benchmark: cell.benchmark,
+            scheme: cell.scheme,
+            vcc_mv: cell.vcc_mv,
+            trials: cell.trials(cfg),
+        }
+    }
+
+    fn to_bytes(self) -> Vec<u8> {
+        let mut s = Serializer::new();
+        self.serialize(&mut s);
+        s.into_bytes()
+    }
+}
+
+/// The persisted payload of one cell: exactly what is needed to rebuild
+/// a [`crate::SchemeRun`] (or to re-raise its all-links-failed error).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StoredCell {
+    /// Trials whose BBR link found no placement.
+    pub failed_links: u64,
+    /// Successful trials, in trial-index order.
+    pub trials: Vec<TrialMetrics>,
+}
+
+/// A directory of per-cell result files.
+#[derive(Debug, Clone)]
+pub struct ResultStore {
+    dir: PathBuf,
+}
+
+impl ResultStore {
+    /// Opens (creating if needed) a store rooted at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error of creating the directory.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(ResultStore { dir })
+    }
+
+    /// Opens the default store: `$DVS_RESULT_STORE` if set, otherwise
+    /// `target/dvs-result-store` under the current directory.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error of creating the directory.
+    pub fn open_default() -> io::Result<Self> {
+        ResultStore::open(Self::default_dir())
+    }
+
+    /// The directory [`ResultStore::open_default`] would use.
+    pub fn default_dir() -> PathBuf {
+        std::env::var_os(STORE_ENV)
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("target").join("dvs-result-store"))
+    }
+
+    /// The store's directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn file_for(&self, key_bytes: &[u8]) -> PathBuf {
+        self.dir.join(format!("cell-{:016x}.bin", fnv1a(key_bytes)))
+    }
+
+    /// Loads a cell, or `None` when absent, keyed differently, corrupt
+    /// or truncated — every miss mode means "recompute".
+    pub fn load(&self, key: &StoreKey) -> Option<StoredCell> {
+        let key_bytes = key.to_bytes();
+        let raw = fs::read(self.file_for(&key_bytes)).ok()?;
+        let mut d = Deserializer::new(&raw);
+        if d.read_bytes().ok()? != MAGIC {
+            return None;
+        }
+        if d.read_bytes().ok()? != key_bytes.as_slice() {
+            return None;
+        }
+        let payload = d.read_bytes().ok()?;
+        let checksum = d.read_u64().ok()?;
+        if !d.is_empty() || fnv1a(payload) != checksum {
+            return None; // trailing garbage or bit rot — treat as corrupt
+        }
+        let mut pd = Deserializer::new(payload);
+        let cell = StoredCell::deserialize(&mut pd).ok()?;
+        if !pd.is_empty() {
+            return None;
+        }
+        Some(cell)
+    }
+
+    /// Persists a cell atomically (write to a temp file, then rename).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying filesystem error.
+    pub fn save(&self, key: &StoreKey, cell: &StoredCell) -> io::Result<()> {
+        let key_bytes = key.to_bytes();
+        let mut payload = Serializer::new();
+        cell.serialize(&mut payload);
+        let payload = payload.into_bytes();
+        let mut s = Serializer::new();
+        s.write_bytes(MAGIC);
+        s.write_bytes(&key_bytes);
+        s.write_bytes(&payload);
+        s.write_u64(fnv1a(&payload));
+        let path = self.file_for(&key_bytes);
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        fs::write(&tmp, s.as_bytes())?;
+        fs::rename(&tmp, &path)
+    }
+
+    /// Number of cell files currently present (diagnostics).
+    ///
+    /// # Errors
+    ///
+    /// Returns the error of reading the directory.
+    pub fn cell_count(&self) -> io::Result<usize> {
+        Ok(fs::read_dir(&self.dir)?
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".bin"))
+            .count())
+    }
+}
+
+/// FNV-1a over the key bytes; used only to derive file names.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvs_sram::MilliVolts;
+
+    fn temp_store(tag: &str) -> ResultStore {
+        let dir =
+            std::env::temp_dir().join(format!("dvs-store-unit-{}-{}", tag, std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        ResultStore::open(dir).expect("temp store")
+    }
+
+    fn key(cfg: &EvalConfig) -> StoreKey {
+        StoreKey::for_cell(
+            cfg,
+            &CoreConfig::dsn2016(),
+            &CacheGeometry::dsn_l1(),
+            &CellKey::new(Benchmark::Crc32, Scheme::FfwBbr, MilliVolts::new(440)),
+        )
+    }
+
+    fn sample_cell() -> StoredCell {
+        StoredCell {
+            failed_links: 2,
+            trials: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn save_then_load_round_trips() {
+        let store = temp_store("roundtrip");
+        let cfg = EvalConfig::quick();
+        let k = key(&cfg);
+        assert!(store.load(&k).is_none());
+        store.save(&k, &sample_cell()).unwrap();
+        assert_eq!(store.load(&k).unwrap(), sample_cell());
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn any_config_field_change_misses() {
+        let store = temp_store("invalidate");
+        let cfg = EvalConfig::quick();
+        store.save(&key(&cfg), &sample_cell()).unwrap();
+        for changed in [
+            EvalConfig {
+                trace_instrs: cfg.trace_instrs + 1,
+                ..cfg
+            },
+            EvalConfig {
+                maps: cfg.maps + 1,
+                ..cfg
+            },
+            EvalConfig {
+                seed: cfg.seed + 1,
+                ..cfg
+            },
+            EvalConfig {
+                bbr_max_block_words: Some(12),
+                ..cfg
+            },
+        ] {
+            assert!(
+                store.load(&key(&changed)).is_none(),
+                "{changed:?} should miss"
+            );
+        }
+        // Thread count is NOT part of the key: results do not depend on it.
+        let threads = EvalConfig {
+            threads: cfg.threads + 3,
+            ..cfg
+        };
+        assert!(store.load(&key(&threads)).is_some());
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn corrupt_files_read_as_misses() {
+        let store = temp_store("corrupt");
+        let cfg = EvalConfig::quick();
+        let k = key(&cfg);
+        store.save(&k, &sample_cell()).unwrap();
+        let file = fs::read_dir(store.dir())
+            .unwrap()
+            .next()
+            .unwrap()
+            .unwrap()
+            .path();
+
+        // Truncation.
+        let full = fs::read(&file).unwrap();
+        fs::write(&file, &full[..full.len() - 1]).unwrap();
+        assert!(store.load(&k).is_none());
+
+        // Flipped payload byte (magic + key intact, checksum mismatch).
+        let mut flipped = full.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0xFF;
+        fs::write(&file, &flipped).unwrap();
+        assert!(store.load(&k).is_none());
+
+        // Garbage.
+        fs::write(&file, b"not a store file").unwrap();
+        assert!(store.load(&k).is_none());
+
+        // A save repairs the slot.
+        store.save(&k, &sample_cell()).unwrap();
+        assert_eq!(store.load(&k).unwrap(), sample_cell());
+        let _ = fs::remove_dir_all(store.dir());
+    }
+}

@@ -113,8 +113,7 @@ pub fn transition_cost(
     let wl = benchmark.build(seed);
 
     let (program, layout, relinked) = if scheme.needs_bbr_link() {
-        let transformed =
-            bbr_transform(wl.program(), adaptive_max_block_words(dst.pfail_word()));
+        let transformed = bbr_transform(wl.program(), adaptive_max_block_words(dst.pfail_word()));
         let image = BbrLinker::new(geometry)
             .link(&transformed, &dst_map)
             .expect("destination point must link");

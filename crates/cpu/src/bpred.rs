@@ -75,7 +75,7 @@ impl Btb {
     /// Panics if `ways` is zero or does not divide `entries`.
     pub fn new(entries: u32, ways: u32) -> Self {
         assert!(
-            ways > 0 && entries % ways == 0,
+            ways > 0 && entries.is_multiple_of(ways),
             "BTB entries must split into whole sets"
         );
         Btb {

@@ -67,7 +67,10 @@ impl CoreConfig {
     /// geometry is ragged.
     pub fn validate(&self) {
         assert!(self.width > 0, "width must be nonzero");
-        assert!(self.rob_entries > 0 && self.lsq_entries > 0, "queues must be nonzero");
+        assert!(
+            self.rob_entries > 0 && self.lsq_entries > 0,
+            "queues must be nonzero"
+        );
         assert!(
             self.int_alu_units > 0
                 && self.int_mult_units > 0
@@ -75,9 +78,12 @@ impl CoreConfig {
                 && self.fp_mult_units > 0,
             "every functional-unit class needs at least one unit"
         );
-        assert!(self.bht_entries.is_power_of_two(), "BHT must be a power of two");
         assert!(
-            self.btb_ways > 0 && self.btb_entries % self.btb_ways == 0,
+            self.bht_entries.is_power_of_two(),
+            "BHT must be a power of two"
+        );
+        assert!(
+            self.btb_ways > 0 && self.btb_entries.is_multiple_of(self.btb_ways),
             "BTB entries must split into whole sets"
         );
     }

@@ -29,8 +29,7 @@ pub fn simulate(
     // Hit latency of the L1I including the scheme's extra cycle — the
     // front-end pipeline depth that streaming fetch hides and redirects
     // expose.
-    let l1i_hit = u64::from(mem.latency().l1_hit_cycles)
-        + u64::from(mem.l1i().extra_hit_cycles());
+    let l1i_hit = u64::from(mem.latency().l1_hit_cycles) + u64::from(mem.l1i().extra_hit_cycles());
 
     let mut reg_ready = [0u64; 32];
     let mut int_alu = vec![0u64; config.int_alu_units as usize];
@@ -80,10 +79,8 @@ pub fn simulate(
 
         // ---- Issue (in-order, width per cycle) ----
         let mut t = fetch_done.max(last_issue);
-        for src in [op.src1, op.src2] {
-            if let Some(r) = src {
-                t = t.max(reg_ready[r as usize]);
-            }
+        for r in [op.src1, op.src2].into_iter().flatten() {
+            t = t.max(reg_ready[r as usize]);
         }
         if rob.len() == config.rob_entries as usize {
             let oldest = rob.pop_front().expect("rob nonempty");
@@ -246,7 +243,11 @@ mod tests {
         // 4000 independent 1-cycle ALU ops in a 2-block loop (warm
         // I-cache): ~half as many cycles on a 2-wide core.
         let ops = (0..4000).map(|i| alu((i % 16) * 4, Some((i % 14) as u8 + 2), None));
-        let r = simulate(&CoreConfig::dsn2016(), clean_mem(SchemeKind::Conventional), ops);
+        let r = simulate(
+            &CoreConfig::dsn2016(),
+            clean_mem(SchemeKind::Conventional),
+            ops,
+        );
         assert!(r.ipc() > 1.6, "ipc {}", r.ipc());
     }
 
@@ -254,7 +255,11 @@ mod tests {
     fn dependent_chain_serializes() {
         // Each op reads the previous op's destination: 1 IPC ceiling.
         let ops = (0..100).map(|i| alu(i * 4, Some(5), Some(5)));
-        let r = simulate(&CoreConfig::dsn2016(), clean_mem(SchemeKind::Conventional), ops);
+        let r = simulate(
+            &CoreConfig::dsn2016(),
+            clean_mem(SchemeKind::Conventional),
+            ops,
+        );
         assert!(r.cycles >= 100, "cycles {}", r.cycles);
     }
 

@@ -202,7 +202,10 @@ impl BbrLinker {
                     b.terminator,
                     dvs_workloads::Terminator::Jump { .. } | dvs_workloads::Terminator::Return
                 );
-            assert!(relocatable, "block {id} is not relocatable; run insert_jumps");
+            assert!(
+                relocatable,
+                "block {id} is not relocatable; run insert_jumps"
+            );
         }
 
         let csize = self.geometry.total_words();
@@ -222,12 +225,10 @@ impl BbrLinker {
             // fall-through jump (and nothing after it), try to place this
             // block in the jump's own slot — the jump then targets the
             // next address and is removed.
-            let prev_elidable = self.relax
-                && id > 0
-                && {
-                    let pb = &blocks[id - 1];
-                    pb.explicit_jump && pb.literal_words == 0
-                };
+            let prev_elidable = self.relax && id > 0 && {
+                let pb = &blocks[id - 1];
+                pb.explicit_jump && pb.literal_words == 0
+            };
             let mut elided = false;
             if prev_elidable {
                 let candidate = mem_word - 1;
@@ -315,6 +316,8 @@ fn first_fault_within(fmap: &FaultMap, cache_addr: u32, len: u32, csize: u32) ->
 }
 
 #[cfg(test)]
+// Tests build one-function programs, whose span list really is `vec![0..n]`.
+#[allow(clippy::single_range_in_vec_init)]
 mod tests {
     use super::*;
     use crate::bbr_transform;
@@ -338,7 +341,12 @@ mod tests {
             .iter()
             .enumerate()
             .map(|(i, &s)| {
-                Block::with_terminator(s - 1, Terminator::Jump { target: (i + 1) % n })
+                Block::with_terminator(
+                    s - 1,
+                    Terminator::Jump {
+                        target: (i + 1) % n,
+                    },
+                )
             })
             .collect();
         Program::new(blocks, vec![0..n], vec![0]).unwrap()
@@ -397,7 +405,13 @@ mod tests {
         let fmap = FaultMap::from_faulty_indices(&tiny_geom(), (0..32).step_by(2));
         let p = chain_program(&[4]);
         let err = BbrLinker::new(tiny_geom()).link(&p, &fmap).unwrap_err();
-        assert!(matches!(err, LinkError::NoChunkFits { block: 0, footprint: 4 }));
+        assert!(matches!(
+            err,
+            LinkError::NoChunkFits {
+                block: 0,
+                footprint: 4
+            }
+        ));
     }
 
     #[test]

@@ -194,7 +194,8 @@ mod tests {
         let caps = interval_capacities(
             image.program(),
             image.layout(),
-            wl.trace_program(image.program(), image.layout(), 0).take(200_000),
+            wl.trace_program(image.program(), image.layout(), 0)
+                .take(200_000),
             50_000,
             geom(),
         );

@@ -113,8 +113,14 @@ pub fn break_blocks(program: &Program, max_footprint_words: u32) -> Program {
 fn piece_count(b: &Block, max_footprint_words: u32) -> usize {
     // The final piece must carry the terminator, optional explicit jump and
     // the literals; leading pieces carry body + one jump word.
-    let tail_overhead = b.terminator.words() + u32::from(b.explicit_jump) + b.literal_words
-        + if b.literal_words == 0 { b.literal_refs } else { 0 };
+    let tail_overhead = b.terminator.words()
+        + u32::from(b.explicit_jump)
+        + b.literal_words
+        + if b.literal_words == 0 {
+            b.literal_refs
+        } else {
+            0
+        };
     // Conservative: reserve room for literals that move_literal_pools will
     // attach later (literal_refs), so pieces stay small enough afterwards.
     let tail_capacity = max_footprint_words.saturating_sub(tail_overhead).max(1);
@@ -175,7 +181,10 @@ pub fn move_literal_pools(program: &Program) -> Program {
 ///
 /// Panics if `p_word` is outside `[0, 1)`.
 pub fn adaptive_max_block_words(p_word: f64) -> u32 {
-    assert!((0.0..1.0).contains(&p_word), "p_word {p_word} outside [0, 1)");
+    assert!(
+        (0.0..1.0).contains(&p_word),
+        "p_word {p_word} outside [0, 1)"
+    );
     if p_word == 0.0 {
         return 32;
     }
@@ -194,6 +203,8 @@ pub fn bbr_transform(program: &Program, max_footprint_words: u32) -> Program {
 }
 
 #[cfg(test)]
+// Tests build one-function programs, whose span list really is `vec![0..n]`.
+#[allow(clippy::single_range_in_vec_init)]
 mod tests {
     use super::*;
     use dvs_workloads::{Benchmark, Layout, ProgramSpec};
@@ -309,7 +320,9 @@ mod tests {
                 // Every fall-through path is explicit.
                 if matches!(
                     blk.terminator,
-                    Terminator::FallThrough | Terminator::CondBranch { .. } | Terminator::Call { .. }
+                    Terminator::FallThrough
+                        | Terminator::CondBranch { .. }
+                        | Terminator::Call { .. }
                 ) {
                     assert!(blk.explicit_jump, "{b}: implicit fall-through remains");
                 }

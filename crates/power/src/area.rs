@@ -70,11 +70,11 @@ pub fn static_overheads(kind: SchemeKind, geom: &CacheGeometry) -> StaticOverhea
 
     // All fault-tolerant schemes keep their tag arrays in robust 8T cells.
     let tag_8t_area = (CELL_8T_AREA - 1.0) * TAG_UNITS_PER_LINE * lines / total_units;
-    let tag_8t_leak = (CELL_8T_LEAK - 1.0) * TAG_UNITS_PER_LINE / (data_units_per_line + TAG_UNITS_PER_LINE);
+    let tag_8t_leak =
+        (CELL_8T_LEAK - 1.0) * TAG_UNITS_PER_LINE / (data_units_per_line + TAG_UNITS_PER_LINE);
 
     // A side array of `bits` bits per line, in 8T cells.
-    let side_area =
-        |bits: f64| bits * lines * CELL_8T_AREA * SIDE_ARRAY_PACKING / total_units;
+    let side_area = |bits: f64| bits * lines * CELL_8T_AREA * SIDE_ARRAY_PACKING / total_units;
     let side_leak = |bits: f64| bits * lines * SIDE_ARRAY_LEAK / total_bits;
     let buffer_area = |entries: u32, unit: f64| f64::from(entries) * unit / total_units;
     let buffer_leak = |entries: u32| {
@@ -89,7 +89,9 @@ pub fn static_overheads(kind: SchemeKind, geom: &CacheGeometry) -> StaticOverhea
             CELL_8T_LEAK - 1.0,
         ),
         // FMAP (1 bit/word) in 8T next to the tags.
-        SchemeKind::SimpleWordDisable => (tag_8t_area + side_area(wpb), tag_8t_leak + side_leak(wpb)),
+        SchemeKind::SimpleWordDisable => {
+            (tag_8t_area + side_area(wpb), tag_8t_leak + side_leak(wpb))
+        }
         // FMAP + StoredPattern: 2 bits per word (Figure 4).
         SchemeKind::Ffw => (
             tag_8t_area + side_area(2.0 * wpb),
@@ -115,10 +117,7 @@ pub fn static_overheads(kind: SchemeKind, geom: &CacheGeometry) -> StaticOverhea
             tag_8t_leak + side_leak(wpb) + 0.004,
         ),
         // One line-valid defect flag per line next to the tags.
-        SchemeKind::LineDisable => (
-            tag_8t_area + side_area(1.0),
-            tag_8t_leak + side_leak(1.0),
-        ),
+        SchemeKind::LineDisable => (tag_8t_area + side_area(1.0), tag_8t_leak + side_leak(1.0)),
         // Per-way power gates and a defect register.
         SchemeKind::WayDisable => (tag_8t_area + 0.002, tag_8t_leak + 0.001),
         // Way-select muxes for the direct-mapped mode (Figure 7).
@@ -175,7 +174,15 @@ mod tests {
         (SchemeKind::Bbr, 1.011, 1.001, 0),
         (SchemeKind::Fba { entries: 64 }, 1.120, 1.061, 1),
         (SchemeKind::WilkersonPlus, 1.034, 1.045, 1),
-        (SchemeKind::Idc { entries: 64, ways: 4 }, 1.137, 1.059, 1),
+        (
+            SchemeKind::Idc {
+                entries: 64,
+                ways: 4,
+            },
+            1.137,
+            1.059,
+            1,
+        ),
         (SchemeKind::SimpleWordDisable, 1.033, 1.036, 0),
     ];
 
@@ -236,10 +243,12 @@ mod tests {
     fn ffw_breakdown_matches_paper_components() {
         // Paper: FFW = 1 % tag + 4.2 % FMAP/StoredPattern.
         let ffw = static_overheads(SchemeKind::Ffw, &geom()).normalized_area - 1.0;
-        let bbr_tag_only =
-            static_overheads(SchemeKind::Bbr, &geom()).normalized_area - 1.0 - 0.001;
+        let bbr_tag_only = static_overheads(SchemeKind::Bbr, &geom()).normalized_area - 1.0 - 0.001;
         let side = ffw - bbr_tag_only;
-        assert!((bbr_tag_only - 0.010).abs() < 0.005, "tag part {bbr_tag_only}");
+        assert!(
+            (bbr_tag_only - 0.010).abs() < 0.005,
+            "tag part {bbr_tag_only}"
+        );
         assert!((side - 0.042).abs() < 0.006, "side arrays {side}");
     }
 }

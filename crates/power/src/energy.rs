@@ -114,8 +114,7 @@ impl EnergyModel {
         let v = vcc.ratio_to(self.ref_vcc);
         let per_instr = |c: &RunCounts, what: u64| what as f64 / c.instructions as f64;
         // Activity ratios relative to the baseline run.
-        let core_ratio =
-            per_instr(run, run.executed) / per_instr(baseline, baseline.executed);
+        let core_ratio = per_instr(run, run.executed) / per_instr(baseline, baseline.executed);
         let l1_ratio = per_instr(run, run.l1_accesses) / per_instr(baseline, baseline.l1_accesses);
         let l2_ratio = if baseline.l2_accesses == 0 {
             1.0

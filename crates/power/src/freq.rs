@@ -31,8 +31,7 @@ pub fn freq_mhz(vcc: MilliVolts) -> u32 {
         (pts[hi - 1], pts[hi])
     };
     let ((v0, f0), (v1, f1)) = seg;
-    let f = f64::from(f0)
-        + (v - f64::from(v0)) * f64::from(f1 - f0) / f64::from(v1 - v0);
+    let f = f64::from(f0) + (v - f64::from(v0)) * f64::from(f1 - f0) / f64::from(v1 - v0);
     f.max(1.0).round() as u32
 }
 
@@ -72,7 +71,7 @@ mod tests {
     #[test]
     fn extrapolates_below_400() {
         let f = freq_mhz(MilliVolts::new(360));
-        assert!(f < 475 && f >= 1);
+        assert!((1..475).contains(&f));
     }
 
     #[test]

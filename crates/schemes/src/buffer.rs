@@ -55,7 +55,10 @@ impl DefectBuffer {
     ///
     /// Panics if `ways` is zero or does not divide `entries`.
     pub fn set_associative(entries: u32, ways: u32) -> Self {
-        assert!(ways > 0 && entries % ways == 0, "entries must split into whole sets");
+        assert!(
+            ways > 0 && entries.is_multiple_of(ways),
+            "entries must split into whole sets"
+        );
         let sets = (entries / ways) as usize;
         DefectBuffer {
             sets: vec![VecDeque::with_capacity(ways as usize); sets],

@@ -161,7 +161,10 @@ mod tests {
     #[test]
     fn plus_variants_have_1024_entries() {
         assert_eq!(SchemeKind::fba_plus(), SchemeKind::Fba { entries: 1024 });
-        assert!(matches!(SchemeKind::idc_plus(), SchemeKind::Idc { entries: 1024, .. }));
+        assert!(matches!(
+            SchemeKind::idc_plus(),
+            SchemeKind::Idc { entries: 1024, .. }
+        ));
     }
 
     #[test]

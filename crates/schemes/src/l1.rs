@@ -118,9 +118,16 @@ impl L1Cache {
     pub fn new(kind: SchemeKind, fmap: FaultMap) -> Self {
         let phys = *fmap.geometry();
         let core_geom = if kind.halves_capacity() {
-            assert!(phys.ways() % 2 == 0, "pairing requires an even way count");
-            CacheGeometry::new(phys.capacity_bytes() / 2, phys.ways() / 2, phys.block_bytes())
-                .expect("halved geometry remains valid")
+            assert!(
+                phys.ways().is_multiple_of(2),
+                "pairing requires an even way count"
+            );
+            CacheGeometry::new(
+                phys.capacity_bytes() / 2,
+                phys.ways() / 2,
+                phys.block_bytes(),
+            )
+            .expect("halved geometry remains valid")
         } else {
             phys
         };
@@ -135,9 +142,7 @@ impl L1Cache {
                 patterns: vec![0; core_geom.total_lines() as usize],
                 centered: true,
             },
-            SchemeKind::Fba { entries } => {
-                Policy::Buffer(DefectBuffer::fully_associative(entries))
-            }
+            SchemeKind::Fba { entries } => Policy::Buffer(DefectBuffer::fully_associative(entries)),
             SchemeKind::Idc { entries, ways } => {
                 Policy::Buffer(DefectBuffer::set_associative(entries, ways))
             }
@@ -157,9 +162,7 @@ impl L1Cache {
             SchemeKind::WayDisable => {
                 let usable = (0..phys.ways())
                     .map(|way| {
-                        (0..phys.sets()).all(|set| {
-                            fmap.frame_is_fault_free(FrameId::new(set, way))
-                        })
+                        (0..phys.sets()).all(|set| fmap.frame_is_fault_free(FrameId::new(set, way)))
                     })
                     .collect();
                 Policy::WayDisable { usable }
@@ -395,7 +398,7 @@ mod tests {
 
     fn addr(set: u32, tag: u64, word: u32) -> Addr {
         // one_way_geom: 5 offset bits, 6 index bits.
-        Addr::new((tag << 11) | u64::from(set) << 5 | u64::from(word) * 4)
+        Addr::new((tag << 11) | u64::from(set) << 5 | (u64::from(word) * 4))
     }
 
     #[test]
@@ -532,7 +535,7 @@ mod tests {
         let mut l1 = L1Cache::new(SchemeKind::WilkersonPlus, fmap);
         let mut l2 = L2Cache::dsn();
         // 5 offset bits, 5 index bits (32 sets).
-        let a = |tag: u64, word: u32| Addr::new((tag << 10) | u64::from(word) * 4);
+        let a = |tag: u64, word: u32| Addr::new((tag << 10) | (u64::from(word) * 4));
         l1.read(a(1, 0), &mut l2);
         // Non-collision faulty word: the partner line serves it.
         assert_eq!(l1.read(a(1, 4), &mut l2).source, ServedFrom::L1);
@@ -594,7 +597,7 @@ mod tests {
         let mut l1 = L1Cache::new(SchemeKind::LineDisable, fmap);
         let mut l2 = L2Cache::dsn();
         let a = |tag: u64| Addr::new(tag << 10); // set 0
-        // Two blocks fit in the two surviving ways.
+                                                 // Two blocks fit in the two surviving ways.
         l1.read(a(1), &mut l2);
         l1.read(a(2), &mut l2);
         assert_eq!(l1.read(a(1), &mut l2).source, ServedFrom::L1);
@@ -646,11 +649,7 @@ mod tests {
         // is fully powered off — the paper's point about coarse schemes.
         use rand::SeedableRng;
         let geom = CacheGeometry::dsn_l1();
-        let fmap = FaultMap::sample(
-            &geom,
-            0.275,
-            &mut rand::rngs::StdRng::seed_from_u64(1),
-        );
+        let fmap = FaultMap::sample(&geom, 0.275, &mut rand::rngs::StdRng::seed_from_u64(1));
         let mut l1 = L1Cache::new(SchemeKind::WayDisable, fmap);
         let mut l2 = L2Cache::dsn();
         for i in 0..100u64 {

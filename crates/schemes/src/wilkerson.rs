@@ -30,11 +30,13 @@ pub fn pair_word_usable(fmap: &FaultMap, set: u32, eff_way: u32, word: u32) -> b
 /// Panics if the fault map's way count is odd.
 pub fn cache_is_pairable(fmap: &FaultMap) -> bool {
     let geom = fmap.geometry();
-    assert!(geom.ways() % 2 == 0, "pairing requires an even way count");
+    assert!(
+        geom.ways().is_multiple_of(2),
+        "pairing requires an even way count"
+    );
     (0..geom.sets()).all(|set| {
-        (0..geom.ways() / 2).all(|e| {
-            (0..geom.words_per_block()).all(|w| pair_word_usable(fmap, set, e, w))
-        })
+        (0..geom.ways() / 2)
+            .all(|e| (0..geom.words_per_block()).all(|w| pair_word_usable(fmap, set, e, w)))
     })
 }
 
@@ -91,18 +93,8 @@ mod tests {
         // The paper: unsupplemented word-disable misses the 99.9 % yield
         // target below 480 mV.
         let model = PfailModel::dsn45();
-        let y480 = pairable_yield(
-            &geom(),
-            model.pfail_word(MilliVolts::new(480)),
-            40,
-            1,
-        );
-        let y400 = pairable_yield(
-            &geom(),
-            model.pfail_word(MilliVolts::new(400)),
-            40,
-            1,
-        );
+        let y480 = pairable_yield(&geom(), model.pfail_word(MilliVolts::new(480)), 40, 1);
+        let y400 = pairable_yield(&geom(), model.pfail_word(MilliVolts::new(400)), 40, 1);
         assert!(y480 < 0.999, "480 mV yield {y480} unexpectedly high");
         assert!(y400 <= y480, "yield must degrade with voltage");
         assert!(y400 < 0.05, "400 mV yield {y400} should be near zero");

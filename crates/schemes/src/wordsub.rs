@@ -48,9 +48,8 @@ pub fn group_set(fmap: &FaultMap, set: u32) -> Vec<WayRole> {
         }
     }
     loop {
-        let mut remaining: Vec<usize> = (0..ways as usize)
-            .filter(|&w| roles[w].is_none())
-            .collect();
+        let mut remaining: Vec<usize> =
+            (0..ways as usize).filter(|&w| roles[w].is_none()).collect();
         match remaining.len() {
             0 => break,
             1 => {
@@ -81,7 +80,10 @@ pub fn group_set(fmap: &FaultMap, set: u32) -> Vec<WayRole> {
             roles[sacrificial] = Some(WayRole::Disabled);
         }
     }
-    roles.into_iter().map(|r| r.expect("all ways assigned")).collect()
+    roles
+        .into_iter()
+        .map(|r| r.expect("all ways assigned"))
+        .collect()
 }
 
 /// Assigns roles across the whole cache; indexed `[set][way]`.

@@ -83,11 +83,7 @@ impl FaultMap {
     ///
     /// Panics if `p_word` is not within `[0, 1]` or the geometry exceeds 32
     /// words per block.
-    pub fn sample<R: Rng + ?Sized>(
-        geometry: &CacheGeometry,
-        p_word: f64,
-        rng: &mut R,
-    ) -> Self {
+    pub fn sample<R: Rng + ?Sized>(geometry: &CacheGeometry, p_word: f64, rng: &mut R) -> Self {
         assert!(
             (0.0..=1.0).contains(&p_word),
             "word failure probability {p_word} outside [0, 1]"
@@ -187,7 +183,9 @@ impl FaultMap {
 
     /// Number of frames that contain at least one defective word.
     pub fn faulty_frames(&self) -> u32 {
-        self.frames().filter(|&f| !self.frame_is_fault_free(f)).count() as u32
+        self.frames()
+            .filter(|&f| !self.frame_is_fault_free(f))
+            .count() as u32
     }
 
     /// Iterates over every frame id in (way-major) storage order.

@@ -16,11 +16,21 @@ use crate::stats::Summary;
 /// avalanche-complete, so consecutive trial indices give unrelated RNG
 /// streams.
 pub fn trial_seed(base: u64, trial: u64) -> u64 {
-    let mut z = base
-        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(trial.wrapping_add(1)));
+    let mut z = base.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(trial.wrapping_add(1)));
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
+}
+
+/// Derives the fault-map seed base of one experiment cell.
+///
+/// Fault maps must depend on the root seed, the benchmark and the
+/// operating voltage — but **not** on the protection scheme, so that
+/// schemes are compared on identical defect patterns. The three inputs
+/// occupy disjoint bit ranges of the base; [`trial_seed`]'s finalizer
+/// then decorrelates the per-trial streams.
+pub fn cell_seed_base(root: u64, benchmark_idx: u64, vcc_mv: u32) -> u64 {
+    root ^ (benchmark_idx << 32) ^ (u64::from(vcc_mv) << 16)
 }
 
 /// A reproducible stream of per-trial RNGs.
@@ -102,6 +112,18 @@ mod tests {
             0.0
         });
         assert_eq!(seen, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn cell_seed_bases_are_distinct_across_cells() {
+        let mut seen = HashSet::new();
+        for bench in 0..10u64 {
+            for vcc in [400u32, 440, 480, 520, 560, 760] {
+                assert!(seen.insert(cell_seed_base(42, bench, vcc)));
+            }
+        }
+        // Changing the root seed moves every base.
+        assert_ne!(cell_seed_base(42, 0, 400), cell_seed_base(43, 0, 400));
     }
 
     #[test]

@@ -97,9 +97,7 @@ impl PfailModel {
     /// Returns an error if fewer than two anchors are given, millivolt
     /// values are not strictly increasing, log10 probabilities are not
     /// strictly decreasing, or any probability exceeds 1.
-    pub fn from_anchors(
-        anchors: Vec<(u32, f64)>,
-    ) -> Result<Self, BuildPfailModelError> {
+    pub fn from_anchors(anchors: Vec<(u32, f64)>) -> Result<Self, BuildPfailModelError> {
         if anchors.len() < 2 {
             return Err(BuildPfailModelError {
                 message: format!("need at least two anchors, got {}", anchors.len()),
@@ -317,7 +315,11 @@ mod tests {
         // Figure 2: block pfail > word pfail > bit pfail at every voltage.
         let m = PfailModel::dsn45();
         for row in m.granularity_report(
-            &[MilliVolts::new(400), MilliVolts::new(560), MilliVolts::new(760)],
+            &[
+                MilliVolts::new(400),
+                MilliVolts::new(560),
+                MilliVolts::new(760),
+            ],
             32 * 1024,
         ) {
             assert!(row.pfail_array >= row.pfail_block);
@@ -338,7 +340,10 @@ mod tests {
     fn extrapolates_below_lowest_anchor() {
         let m = PfailModel::dsn45();
         // 360 mV continues the 0.5-decade-per-40 mV slope: 10^-1.5.
-        assert!(close_log(m.pfail_bit(MilliVolts::new(360)), 10f64.powf(-1.5)));
+        assert!(close_log(
+            m.pfail_bit(MilliVolts::new(360)),
+            10f64.powf(-1.5)
+        ));
     }
 
     #[test]

@@ -97,6 +97,18 @@ impl Summary {
     pub fn meets_paper_margin(&self) -> bool {
         self.relative_margin() <= 0.05
     }
+
+    /// Bit-exact equality of every field, including float payloads.
+    ///
+    /// `==` on floats treats `-0.0 == 0.0` and `NaN != NaN`; replay tests
+    /// instead need to prove two summaries came from the *identical*
+    /// computation, which only bit-pattern comparison can.
+    pub fn bitwise_eq(&self, other: &Summary) -> bool {
+        self.n == other.n
+            && self.mean.to_bits() == other.mean.to_bits()
+            && self.stddev.to_bits() == other.stddev.to_bits()
+            && self.ci95_half.to_bits() == other.ci95_half.to_bits()
+    }
 }
 
 /// Geometric mean of strictly positive samples.
@@ -181,6 +193,29 @@ mod tests {
         assert!(tight.meets_paper_margin());
         let loose = Summary::of(&[1.0, 100.0]);
         assert!(!loose.meets_paper_margin());
+    }
+
+    #[test]
+    fn bitwise_eq_is_stricter_than_partial_eq() {
+        let a = Summary::of(&[1.0, 2.0, 3.0]);
+        assert!(a.bitwise_eq(&a));
+        let zero_pos = Summary {
+            n: 1,
+            mean: 0.0,
+            stddev: 0.0,
+            ci95_half: 0.0,
+        };
+        let zero_neg = Summary {
+            mean: -0.0,
+            ..zero_pos
+        };
+        assert_eq!(zero_pos, zero_neg); // PartialEq cannot tell them apart
+        assert!(!zero_pos.bitwise_eq(&zero_neg));
+        let nan = Summary {
+            mean: f64::NAN,
+            ..zero_pos
+        };
+        assert!(nan.bitwise_eq(&nan)); // identical computations match
     }
 
     proptest! {

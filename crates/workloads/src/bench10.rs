@@ -387,7 +387,10 @@ mod tests {
         let p = Benchmark::Libquantum.data_params();
         assert!(p.spatial > 0.9);
         assert!(p.reuse < 0.5);
-        for b in Benchmark::ALL.iter().filter(|&&b| b != Benchmark::Libquantum) {
+        for b in Benchmark::ALL
+            .iter()
+            .filter(|&&b| b != Benchmark::Libquantum)
+        {
             let q = b.data_params();
             assert!(
                 q.reuse > 0.5,

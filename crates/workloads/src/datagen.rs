@@ -251,7 +251,8 @@ mod tests {
             reuse: 0.85,
             ws_blocks: 64,
             scattered: true,
-            churn: 0.25, footprint_blocks: 100_000,
+            churn: 0.25,
+            footprint_blocks: 100_000,
         };
         let (s, r) = measure(params, 40_000);
         assert!((s - 0.4).abs() < 0.12, "spatial {s}");
@@ -265,7 +266,8 @@ mod tests {
             reuse: 0.3,
             ws_blocks: 64,
             scattered: false,
-            churn: 0.5, footprint_blocks: 100_000,
+            churn: 0.5,
+            footprint_blocks: 100_000,
         };
         let (s, r) = measure(params, 40_000);
         assert!(s > 0.8, "spatial {s}");
@@ -279,7 +281,8 @@ mod tests {
             reuse: 0.7,
             ws_blocks: 32,
             scattered: false,
-            churn: 0.25, footprint_blocks: 100_000,
+            churn: 0.25,
+            footprint_blocks: 100_000,
         };
         let a: Vec<u64> = {
             let mut g = DataGen::new(params, 1);
@@ -304,7 +307,8 @@ mod tests {
             reuse: 0.6,
             ws_blocks: 16,
             scattered: true,
-            churn: 0.5, footprint_blocks: 100_000,
+            churn: 0.5,
+            footprint_blocks: 100_000,
         };
         let mut g = DataGen::new(params, 3);
         for _ in 0..1000 {
@@ -321,7 +325,8 @@ mod tests {
             reuse: 0.0,
             ws_blocks: 4,
             scattered: false,
-            churn: 1.0, footprint_blocks: 100_000,
+            churn: 1.0,
+            footprint_blocks: 100_000,
         };
         let mut g = DataGen::new(params, 9);
         // Collect the word set of the first block touched; must be a run.
@@ -347,7 +352,8 @@ mod tests {
             reuse: 0.5,
             ws_blocks: 4,
             scattered: false,
-            churn: 0.5, footprint_blocks: 100_000,
+            churn: 0.5,
+            footprint_blocks: 100_000,
         };
         let _ = DataGen::new(params, 0);
     }
@@ -359,7 +365,8 @@ mod tests {
             reuse: 0.0,
             ws_blocks: 1,
             scattered: false,
-            churn: 1.0, footprint_blocks: 100_000,
+            churn: 1.0,
+            footprint_blocks: 100_000,
         };
         assert_eq!(p.words_per_block_used(), 1);
         let q = DataParams { spatial: 1.0, ..p };

@@ -85,8 +85,7 @@ impl ProgramSpec {
         let counts: Vec<usize> = (0..self.functions)
             .map(|_| {
                 rng.gen_range(
-                    self.min_blocks_per_function as usize
-                        ..=self.max_blocks_per_function as usize,
+                    self.min_blocks_per_function as usize..=self.max_blocks_per_function as usize,
                 )
             })
             .collect();

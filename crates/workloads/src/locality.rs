@@ -119,24 +119,23 @@ pub fn measure(trace: impl Iterator<Item = TraceOp>, interval_instrs: usize) -> 
     let mut unique = 0u64;
     let mut accesses = 0u64;
 
-    let mut flush =
-        |per_block: &mut HashMap<u64, u8>, unique: &mut u64, accesses: &mut u64| {
-            if *accesses >= 10 {
-                let spatial = per_block
-                    .values()
-                    .map(|mask| f64::from(mask.count_ones()) / WORDS_PER_BLOCK as f64)
-                    .sum::<f64>()
-                    / per_block.len() as f64;
-                intervals.push(IntervalLocality {
-                    spatial,
-                    reuse: 1.0 - *unique as f64 / *accesses as f64,
-                    accesses: *accesses,
-                });
-            }
-            per_block.clear();
-            *unique = 0;
-            *accesses = 0;
-        };
+    let mut flush = |per_block: &mut HashMap<u64, u8>, unique: &mut u64, accesses: &mut u64| {
+        if *accesses >= 10 {
+            let spatial = per_block
+                .values()
+                .map(|mask| f64::from(mask.count_ones()) / WORDS_PER_BLOCK as f64)
+                .sum::<f64>()
+                / per_block.len() as f64;
+            intervals.push(IntervalLocality {
+                spatial,
+                reuse: 1.0 - *unique as f64 / *accesses as f64,
+                accesses: *accesses,
+            });
+        }
+        per_block.clear();
+        *unique = 0;
+        *accesses = 0;
+    };
 
     for op in trace {
         if matches!(op.class, OpClass::Load | OpClass::Store) {

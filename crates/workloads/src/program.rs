@@ -338,8 +338,8 @@ impl Layout {
         for (f, range) in program.functions().iter().enumerate() {
             for id in range.clone() {
                 block_starts[id] = cursor;
-                cursor += u64::from(program.block(id).footprint_words())
-                    * u64::from(BYTES_PER_WORD);
+                cursor +=
+                    u64::from(program.block(id).footprint_words()) * u64::from(BYTES_PER_WORD);
             }
             pool_starts[f] = cursor;
             cursor += u64::from(program.pool_words()[f]) * u64::from(BYTES_PER_WORD);
@@ -358,8 +358,14 @@ impl Layout {
     /// Panics if any start is not word-aligned or lies at/after `end`.
     pub fn from_parts(block_starts: Vec<u64>, pool_starts: Vec<u64>, end: u64) -> Self {
         for &s in block_starts.iter().chain(&pool_starts) {
-            assert!(s % u64::from(BYTES_PER_WORD) == 0, "start {s:#x} not word-aligned");
-            assert!(s < end || end == 0, "start {s:#x} beyond program end {end:#x}");
+            assert!(
+                s % u64::from(BYTES_PER_WORD) == 0,
+                "start {s:#x} not word-aligned"
+            );
+            assert!(
+                s < end || end == 0,
+                "start {s:#x} beyond program end {end:#x}"
+            );
         }
         Layout {
             block_starts,
@@ -405,6 +411,8 @@ impl Layout {
 }
 
 #[cfg(test)]
+// Tests build one-function programs, whose span list really is `vec![0..n]`.
+#[allow(clippy::single_range_in_vec_init)]
 mod tests {
     use super::*;
 

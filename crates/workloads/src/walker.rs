@@ -390,6 +390,8 @@ impl Iterator for TraceWalker<'_> {
 }
 
 #[cfg(test)]
+// Tests build one-function programs, whose span list really is `vec![0..n]`.
+#[allow(clippy::single_range_in_vec_init)]
 mod tests {
     use super::*;
     use crate::{Block, DataParams, ProgramSpec};
@@ -401,7 +403,8 @@ mod tests {
             reuse: 0.7,
             ws_blocks: 32,
             scattered: false,
-            churn: 0.25, footprint_blocks: 100_000,
+            churn: 0.25,
+            footprint_blocks: 100_000,
         }
     }
 
@@ -417,7 +420,11 @@ mod tests {
     }
 
     fn generated() -> Program {
-        ProgramSpec::default().generate(&mut StdRng::seed_from_u64(21))
+        // The fixture seed is RNG-stream dependent: it must produce a
+        // program whose dynamic branch fraction sits in the typical band
+        // (most seeds do; a few tail draws generate one dominant
+        // straight-line loop).
+        ProgramSpec::default().generate(&mut StdRng::seed_from_u64(4))
     }
 
     #[test]
@@ -443,7 +450,12 @@ mod tests {
         let p = generated();
         let l = Layout::sequential(&p);
         for op in walker_for(&p, &l, 1).take(20_000) {
-            assert!(op.pc < l.end(), "pc {:#x} beyond image {:#x}", op.pc, l.end());
+            assert!(
+                op.pc < l.end(),
+                "pc {:#x} beyond image {:#x}",
+                op.pc,
+                l.end()
+            );
             assert_eq!(op.pc % 4, 0);
         }
     }
@@ -596,11 +608,9 @@ mod tests {
         let l = Layout::sequential(&p);
         let mut found_literal_load = false;
         for op in walker_for(&p, &l, 5).take(200) {
-            if op.class == OpClass::Load {
-                if op.mem_addr.unwrap() < crate::DATA_SEGMENT_BASE {
-                    found_literal_load = true;
-                    assert!(op.mem_addr.unwrap() >= l.literal_addr(&p, 0));
-                }
+            if op.class == OpClass::Load && op.mem_addr.unwrap() < crate::DATA_SEGMENT_BASE {
+                found_literal_load = true;
+                assert!(op.mem_addr.unwrap() >= l.literal_addr(&p, 0));
             }
         }
         assert!(found_literal_load, "no literal loads observed");

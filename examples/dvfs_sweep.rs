@@ -31,8 +31,16 @@ fn main() {
     for scheme in schemes {
         print!("{:<14}", scheme.name());
         for p in DvfsPoint::low_voltage_points() {
-            let rt = eval.normalized_runtime(bench, scheme, p.vcc);
-            let epi = eval.normalized_epi(bench, scheme, p.vcc);
+            let (rt, epi) = match (
+                eval.normalized_runtime(bench, scheme, p.vcc),
+                eval.normalized_epi(bench, scheme, p.vcc),
+            ) {
+                (Ok(rt), Ok(epi)) => (rt, epi),
+                _ => {
+                    print!(" {:>16}", "n/a");
+                    continue;
+                }
+            };
             print!(" {:>7.2}x/{:>6.3}", rt.mean, epi.mean);
         }
         println!();

@@ -29,9 +29,15 @@ fn main() {
     });
     let bench = Benchmark::Basicmath;
 
-    let runtime = eval.normalized_runtime(bench, Scheme::FfwBbr, v);
-    let epi = eval.normalized_epi(bench, Scheme::FfwBbr, v);
-    let wdis_runtime = eval.normalized_runtime(bench, Scheme::SimpleWdis, v);
+    let runtime = eval
+        .normalized_runtime(bench, Scheme::FfwBbr, v)
+        .expect("basicmath links at 400 mV");
+    let epi = eval
+        .normalized_epi(bench, Scheme::FfwBbr, v)
+        .expect("basicmath links at 400 mV");
+    let wdis_runtime = eval
+        .normalized_runtime(bench, Scheme::SimpleWdis, v)
+        .expect("simple-wdis never links, so it cannot fail to");
 
     println!();
     println!("{bench} @ {v} over {} fault maps:", runtime.n);

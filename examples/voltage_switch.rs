@@ -34,7 +34,12 @@ fn main() {
         "{:<14} {:>14} {:>14} {:>12} {:>9}",
         "scheme", "cold cycles", "steady cycles", "penalty", "relink?"
     );
-    for scheme in [Scheme::FfwBbr, Scheme::SimpleWdis, Scheme::FbaPlus, Scheme::EightT] {
+    for scheme in [
+        Scheme::FfwBbr,
+        Scheme::SimpleWdis,
+        Scheme::FbaPlus,
+        Scheme::EightT,
+    ] {
         let c = transition_cost(Benchmark::Qsort, scheme, src.vcc, dst.vcc, 50_000, 42);
         println!(
             "{:<14} {:>14} {:>14} {:>8} cyc {:>9}",

@@ -24,7 +24,10 @@ fn main() {
     // of the window and maps to the second fault-free entry, 0x1.
     let stored = 0b0111_1100;
     let slot = remap_word_offset(stored, 0b0000_0000, 0x3).unwrap();
-    println!("Figure 4 example: pattern {} + offset 0x3 -> physical entry {slot:#x}", show(stored));
+    println!(
+        "Figure 4 example: pattern {} + offset 0x3 -> physical entry {slot:#x}",
+        show(stored)
+    );
     assert_eq!(slot, 0x1);
 
     // Figure 5: a frame with words 5..=7 defective holds a 5-word window.

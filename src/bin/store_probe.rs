@@ -1,0 +1,63 @@
+//! Test probe for the cross-process result store.
+//!
+//! Runs a small fixed Monte-Carlo campaign against the store named by
+//! `DVS_RESULT_STORE` and prints, per cell, a bit-exact digest of the
+//! summaries plus the engine counters. `tests/result_store.rs` launches
+//! this binary repeatedly to prove that separate processes (a) reuse each
+//! other's results and (b) reproduce bit-identical numbers either way.
+
+use dvs::core::{EvalConfig, Evaluator, ExperimentPlan, ResultStore, Scheme};
+use dvs::sram::stats::Summary;
+use dvs::sram::MilliVolts;
+use dvs::workloads::Benchmark;
+
+fn digest(s: &Summary) -> String {
+    // Bit patterns, not decimals: replay must be exact, not just close.
+    format!(
+        "n={};{:016x};{:016x};{:016x}",
+        s.n,
+        s.mean.to_bits(),
+        s.stddev.to_bits(),
+        s.ci95_half.to_bits()
+    )
+}
+
+fn main() {
+    let mut cfg = EvalConfig::quick();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = || -> u64 {
+            args.next()
+                .and_then(|v| v.parse().ok())
+                .expect("flag expects an integer value")
+        };
+        match arg.as_str() {
+            "--instrs" => cfg.trace_instrs = take() as usize,
+            "--seed" => cfg.seed = take(),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+
+    let store = ResultStore::open_default().expect("result store must open");
+    let mut eval = Evaluator::new(cfg).with_store(store);
+    let plan = ExperimentPlan::for_grid(
+        &[Benchmark::Crc32, Benchmark::Qsort],
+        &[Scheme::SimpleWdis, Scheme::FfwBbr],
+        &[MilliVolts::new(480)],
+    );
+    for (key, result) in eval.run_plan(&plan) {
+        match result {
+            Ok(run) => println!(
+                "cell {key} cycles[{}] l2[{}]",
+                digest(&run.cycles()),
+                digest(&run.l2_per_kilo_instr())
+            ),
+            Err(e) => println!("cell {key} failed: {e}"),
+        }
+    }
+    let s = eval.stats();
+    println!(
+        "engine computed={} from_store={} cells_from_store={}",
+        s.trials_computed, s.trials_from_store, s.cells_from_store
+    );
+}

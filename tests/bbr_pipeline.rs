@@ -61,7 +61,9 @@ fn bbr_fetches_never_touch_defective_words() {
     let program = bbr_transform(wl.program(), adaptive_max_block_words(point.pfail_word()));
     let mut rng = StdRng::seed_from_u64(17);
     let fmap_i = FaultMap::sample(&geom(), point.pfail_word(), &mut rng);
-    let image = BbrLinker::new(geom()).link(&program, &fmap_i).expect("links");
+    let image = BbrLinker::new(geom())
+        .link(&program, &fmap_i)
+        .expect("links");
     let (linked, layout) = image.into_parts();
 
     let mem = MemSystem::new(

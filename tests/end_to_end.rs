@@ -21,9 +21,9 @@ fn latency_dominates_before_480mv() {
     let mut e = evaluator();
     let v = MilliVolts::new(560);
     let b = Benchmark::Qsort;
-    let eight_t = e.normalized_runtime(b, Scheme::EightT, v).mean;
-    let fba = e.normalized_runtime(b, Scheme::FbaPlus, v).mean;
-    let wdis = e.normalized_runtime(b, Scheme::SimpleWdis, v).mean;
+    let eight_t = e.normalized_runtime(b, Scheme::EightT, v).unwrap().mean;
+    let fba = e.normalized_runtime(b, Scheme::FbaPlus, v).unwrap().mean;
+    let wdis = e.normalized_runtime(b, Scheme::SimpleWdis, v).unwrap().mean;
     assert!(eight_t > 1.05, "8T at 560 mV: {eight_t}");
     assert!(fba > 1.05, "FBA+ at 560 mV: {fba}");
     assert!(wdis < 1.04, "Simple-wdis at 560 mV: {wdis}");
@@ -36,8 +36,14 @@ fn latency_dominates_before_480mv() {
 fn wdis_collapses_after_480mv() {
     let mut e = evaluator();
     let b = Benchmark::Dijkstra;
-    let at_560 = e.normalized_runtime(b, Scheme::SimpleWdis, MilliVolts::new(560)).mean;
-    let at_400 = e.normalized_runtime(b, Scheme::SimpleWdis, MilliVolts::new(400)).mean;
+    let at_560 = e
+        .normalized_runtime(b, Scheme::SimpleWdis, MilliVolts::new(560))
+        .unwrap()
+        .mean;
+    let at_400 = e
+        .normalized_runtime(b, Scheme::SimpleWdis, MilliVolts::new(400))
+        .unwrap()
+        .mean;
     assert!(at_400 > 1.5, "Simple-wdis at 400 mV: {at_400}");
     assert!(at_400 > at_560 + 0.4, "no collapse: {at_560} -> {at_400}");
 }
@@ -49,9 +55,14 @@ fn ffw_bbr_wins_runtime_at_400mv() {
     let mut e = evaluator();
     let v = MilliVolts::new(400);
     let b = Benchmark::Qsort;
-    let ours = e.normalized_runtime(b, Scheme::FfwBbr, v).mean;
-    for other in [Scheme::SimpleWdis, Scheme::WilkersonPlus, Scheme::FbaPlus, Scheme::IdcPlus] {
-        let theirs = e.normalized_runtime(b, other, v).mean;
+    let ours = e.normalized_runtime(b, Scheme::FfwBbr, v).unwrap().mean;
+    for other in [
+        Scheme::SimpleWdis,
+        Scheme::WilkersonPlus,
+        Scheme::FbaPlus,
+        Scheme::IdcPlus,
+    ] {
+        let theirs = e.normalized_runtime(b, other, v).unwrap().mean;
         assert!(
             ours < theirs,
             "FFW+BBR {ours:.3} should beat {other} {theirs:.3} at 400 mV"
@@ -66,10 +77,13 @@ fn ffw_bbr_minimizes_l2_accesses_at_400mv() {
     let mut e = evaluator();
     let v = MilliVolts::new(400);
     let b = Benchmark::Patricia;
-    let base = e.l2_per_kilo_instr(b, Scheme::DefectFree, v).mean;
-    let ours = e.l2_per_kilo_instr(b, Scheme::FfwBbr, v).mean;
-    let wdis = e.l2_per_kilo_instr(b, Scheme::SimpleWdis, v).mean;
-    let wilk = e.l2_per_kilo_instr(b, Scheme::WilkersonPlus, v).mean;
+    let base = e.l2_per_kilo_instr(b, Scheme::DefectFree, v).unwrap().mean;
+    let ours = e.l2_per_kilo_instr(b, Scheme::FfwBbr, v).unwrap().mean;
+    let wdis = e.l2_per_kilo_instr(b, Scheme::SimpleWdis, v).unwrap().mean;
+    let wilk = e
+        .l2_per_kilo_instr(b, Scheme::WilkersonPlus, v)
+        .unwrap()
+        .mean;
     assert!(ours < wdis, "ours {ours} vs wdis {wdis}");
     assert!(ours < wilk, "ours {ours} vs wilkerson {wilk}");
     assert!(
@@ -86,12 +100,12 @@ fn epi_reduction_band_at_400mv() {
     let mut e = evaluator();
     let v = MilliVolts::new(400);
     let b = Benchmark::Crc32;
-    let ours = e.normalized_epi(b, Scheme::FfwBbr, v).mean;
+    let ours = e.normalized_epi(b, Scheme::FfwBbr, v).unwrap().mean;
     assert!(
         (0.30..0.47).contains(&ours),
         "FFW+BBR EPI at 400 mV: {ours} (paper: 0.36)"
     );
-    let wdis = e.normalized_epi(b, Scheme::SimpleWdis, v).mean;
+    let wdis = e.normalized_epi(b, Scheme::SimpleWdis, v).unwrap().mean;
     assert!(ours < wdis, "ours {ours} vs wdis {wdis}");
 }
 
@@ -104,13 +118,22 @@ fn ffw_bbr_epi_is_monotone_in_voltage() {
     let b = Benchmark::Adpcm;
     let mut last = f64::INFINITY;
     for mv in [560u32, 480, 400] {
-        let epi = e.normalized_epi(b, Scheme::FfwBbr, MilliVolts::new(mv)).mean;
+        let epi = e
+            .normalized_epi(b, Scheme::FfwBbr, MilliVolts::new(mv))
+            .unwrap()
+            .mean;
         assert!(epi < last, "EPI rose at {mv} mV: {epi} (prev {last})");
         last = epi;
     }
     // … while Simple-wdis inflects back up at the bottom.
-    let wdis_480 = e.normalized_epi(b, Scheme::SimpleWdis, MilliVolts::new(480)).mean;
-    let wdis_400 = e.normalized_epi(b, Scheme::SimpleWdis, MilliVolts::new(400)).mean;
+    let wdis_480 = e
+        .normalized_epi(b, Scheme::SimpleWdis, MilliVolts::new(480))
+        .unwrap()
+        .mean;
+    let wdis_400 = e
+        .normalized_epi(b, Scheme::SimpleWdis, MilliVolts::new(400))
+        .unwrap()
+        .mean;
     assert!(
         wdis_400 > wdis_480,
         "Simple-wdis should inflect: {wdis_480} -> {wdis_400}"
@@ -126,6 +149,7 @@ fn experiments_are_reproducible() {
             ..EvalConfig::quick()
         });
         e.normalized_runtime(Benchmark::Crc32, Scheme::FfwBbr, MilliVolts::new(440))
+            .unwrap()
             .mean
     };
     assert_eq!(run(7).to_bits(), run(7).to_bits());
@@ -140,8 +164,8 @@ fn fault_maps_are_scheme_independent() {
     let mut e = evaluator();
     let v = MilliVolts::new(440);
     let b = Benchmark::Crc32;
-    let wdis = e.run(b, Scheme::SimpleWdis, v);
-    let fba = e.run(b, Scheme::FbaPlus, v);
+    let wdis = e.run(b, Scheme::SimpleWdis, v).unwrap();
+    let fba = e.run(b, Scheme::FbaPlus, v).unwrap();
     // Same maps ⇒ same number of successful trials and identical
     // instruction counts (the trace does not depend on the scheme).
     assert_eq!(wdis.trials.len(), fba.trials.len());

@@ -54,10 +54,20 @@ fn ffw_beats_word_disable_on_low_locality_workloads() {
 fn ffw_advantage_shrinks_on_streaming_workloads() {
     let fmap = fmap_at(400, 6);
     let ffw_lq = run(Benchmark::Libquantum, SchemeKind::Ffw, fmap.clone(), 60_000);
-    let wdis_lq = run(Benchmark::Libquantum, SchemeKind::SimpleWordDisable, fmap, 60_000);
+    let wdis_lq = run(
+        Benchmark::Libquantum,
+        SchemeKind::SimpleWordDisable,
+        fmap,
+        60_000,
+    );
     let fmap = fmap_at(400, 6);
     let ffw_pat = run(Benchmark::Patricia, SchemeKind::Ffw, fmap.clone(), 60_000);
-    let wdis_pat = run(Benchmark::Patricia, SchemeKind::SimpleWordDisable, fmap, 60_000);
+    let wdis_pat = run(
+        Benchmark::Patricia,
+        SchemeKind::SimpleWordDisable,
+        fmap,
+        60_000,
+    );
     let gain = |f: &SimResult, w: &SimResult| {
         w.mem.l1d_word_misses as f64 / f.mem.l1d_word_misses.max(1) as f64
     };
@@ -101,7 +111,12 @@ fn ffw_l2_traffic_scales_with_defect_density() {
 fn ffw_is_transparent_without_faults() {
     let b = Benchmark::Adpcm;
     let ffw = run(b, SchemeKind::Ffw, FaultMap::fault_free(&geom()), 40_000);
-    let conv = run(b, SchemeKind::Conventional, FaultMap::fault_free(&geom()), 40_000);
+    let conv = run(
+        b,
+        SchemeKind::Conventional,
+        FaultMap::fault_free(&geom()),
+        40_000,
+    );
     assert_eq!(ffw.cycles, conv.cycles);
     assert_eq!(ffw.mem.l1d_word_misses, 0);
     assert_eq!(ffw.mem.l2_accesses, conv.mem.l2_accesses);

@@ -19,7 +19,12 @@ fn more_maps_tighten_the_interval() {
             trace_instrs: 20_000,
             ..EvalConfig::quick()
         });
-        e.normalized_runtime(Benchmark::Dijkstra, Scheme::SimpleWdis, MilliVolts::new(440))
+        e.normalized_runtime(
+            Benchmark::Dijkstra,
+            Scheme::SimpleWdis,
+            MilliVolts::new(440),
+        )
+        .unwrap()
     };
     let small = run(4);
     let large = run(16);
@@ -43,7 +48,9 @@ fn paper_margin_criterion() {
         ..EvalConfig::quick()
     });
     // At 560 mV defects are rare: runtimes cluster tightly.
-    let tight = e.normalized_runtime(Benchmark::Crc32, Scheme::FfwBbr, MilliVolts::new(560));
+    let tight = e
+        .normalized_runtime(Benchmark::Crc32, Scheme::FfwBbr, MilliVolts::new(560))
+        .unwrap();
     assert!(
         tight.meets_paper_margin(),
         "560 mV margin {:.4}",
@@ -56,9 +63,8 @@ fn paper_margin_criterion() {
 fn fault_map_population_statistics() {
     let geom = CacheGeometry::dsn_l1();
     let p = PfailModel::dsn45().pfail_word(MilliVolts::new(440));
-    let summary = Trials::new(11, 40).run(|_t, mut rng| {
-        FaultMap::sample(&geom, p, &mut rng).faulty_words() as f64
-    });
+    let summary = Trials::new(11, 40)
+        .run(|_t, mut rng| FaultMap::sample(&geom, p, &mut rng).faulty_words() as f64);
     let expected = f64::from(geom.total_words()) * p;
     let sigma = (f64::from(geom.total_words()) * p * (1.0 - p)).sqrt();
     assert!(
@@ -113,7 +119,9 @@ fn failed_links_are_accounted() {
     });
     // 360 mV extrapolates to P_fail(bit) ≈ 10^-1.5 → P_word ≈ 0.64:
     // placements become scarce for larger kernels.
-    let run = e.run(Benchmark::Crc32, Scheme::FfwBbr, MilliVolts::new(380));
+    let run = e
+        .run(Benchmark::Crc32, Scheme::FfwBbr, MilliVolts::new(380))
+        .unwrap();
     assert_eq!(run.trials.len() as u64 + run.failed_links, 4);
     assert!(!run.trials.is_empty());
 }

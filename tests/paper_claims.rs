@@ -20,12 +20,25 @@ fn vccmin_of_a_32kb_cache_is_760mv() {
 /// Table II: exact operating points.
 #[test]
 fn table2_operating_points() {
-    let expect = [(760, 1607), (560, 1089), (520, 958), (480, 818), (440, 638), (400, 475)];
+    let expect = [
+        (760, 1607),
+        (560, 1089),
+        (520, 958),
+        (480, 818),
+        (440, 638),
+        (400, 475),
+    ];
     for (mv, mhz) in expect {
         assert_eq!(freq_mhz(MilliVolts::new(mv)), mhz, "{mv} mV");
     }
     let model = PfailModel::dsn45();
-    for (mv, exp) in [(560, -4.0), (520, -3.5), (480, -3.0), (440, -2.5), (400, -2.0)] {
+    for (mv, exp) in [
+        (560, -4.0),
+        (520, -3.5),
+        (480, -3.0),
+        (440, -2.5),
+        (400, -2.0),
+    ] {
         let got = model.pfail_bit(MilliVolts::new(mv)).log10();
         assert!((got - exp).abs() < 1e-6, "{mv} mV: {got} vs {exp}");
     }
@@ -58,13 +71,18 @@ fn table3_headline_areas() {
     ];
     for (kind, paper) in cases {
         let got = static_overheads(kind, &geom).normalized_area;
-        assert!((got - paper).abs() < 0.012, "{kind}: {got} vs paper {paper}");
+        assert!(
+            (got - paper).abs() < 0.012,
+            "{kind}: {got} vs paper {paper}"
+        );
     }
 }
 
 /// §VI-A.3 / Figure 9: the FFW remap path (39.4 FO4) completes before the
 /// data array needs its column select (42.2 FO4) — zero latency overhead.
 #[test]
+// The whole point of the test is pinning compile-time paper anchors.
+#[allow(clippy::assertions_on_constants)]
 fn ffw_zero_latency_condition() {
     assert!(ffw_has_zero_latency_overhead());
     assert!(REMAP_READY_FO4 < DATA_ARRAY_COLUMN_MUX_FO4);

@@ -1,0 +1,142 @@
+//! Cross-process result-store tests: separate processes must share
+//! Monte-Carlo results through the on-disk store, reproduce bit-identical
+//! summaries either way, and fall back to recomputation when the store is
+//! invalidated or corrupted.
+//!
+//! Each test drives the `store_probe` binary (see `src/bin/store_probe.rs`)
+//! against its own temporary store directory via the `DVS_RESULT_STORE`
+//! environment variable.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn temp_store(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dvs-probe-{}-{}", tag, std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Runs the probe against `store`, returning (cell-digest lines, engine
+/// counters parsed from the final line).
+fn probe(store: &Path, extra_args: &[&str]) -> (Vec<String>, BTreeMap<String, u64>) {
+    let out = Command::new(env!("CARGO_BIN_EXE_store_probe"))
+        .args(extra_args)
+        .env("DVS_RESULT_STORE", store)
+        .output()
+        .expect("probe binary runs");
+    assert!(
+        out.status.success(),
+        "probe failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).expect("probe prints UTF-8");
+    let mut cells = Vec::new();
+    let mut counters = BTreeMap::new();
+    for line in stdout.lines() {
+        if let Some(rest) = line.strip_prefix("engine ") {
+            for pair in rest.split_whitespace() {
+                let (k, v) = pair.split_once('=').expect("k=v counter");
+                counters.insert(k.to_string(), v.parse().expect("integer counter"));
+            }
+        } else if line.starts_with("cell ") {
+            cells.push(line.to_string());
+        }
+    }
+    assert!(!cells.is_empty(), "probe printed no cells:\n{stdout}");
+    (cells, counters)
+}
+
+#[test]
+fn second_process_reuses_the_store_bit_identically() {
+    let dir = temp_store("reuse");
+
+    let (first_cells, first_counters) = probe(&dir, &[]);
+    assert!(first_counters["computed"] > 0, "{first_counters:?}");
+    assert_eq!(first_counters["from_store"], 0, "{first_counters:?}");
+
+    // The env override took effect: the cells landed in OUR directory.
+    let files = std::fs::read_dir(&dir)
+        .expect("store dir exists")
+        .filter_map(|e| e.ok())
+        .filter(|e| e.file_name().to_string_lossy().ends_with(".bin"))
+        .count();
+    assert_eq!(files, 4, "one file per cell");
+
+    // A separate process recomputes nothing and reproduces every digest
+    // bit for bit.
+    let (second_cells, second_counters) = probe(&dir, &[]);
+    assert_eq!(second_counters["computed"], 0, "{second_counters:?}");
+    assert_eq!(
+        second_counters["cells_from_store"], 4,
+        "{second_counters:?}"
+    );
+    assert_eq!(first_cells, second_cells);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn changing_any_config_field_misses_the_store() {
+    let dir = temp_store("invalidate");
+
+    let (_, warm) = probe(&dir, &[]);
+    assert!(warm["computed"] > 0);
+
+    // Same store, different trace length: every cell must recompute.
+    let (_, instrs) = probe(&dir, &["--instrs", "26000"]);
+    assert!(instrs["computed"] > 0, "{instrs:?}");
+    assert_eq!(instrs["from_store"], 0, "{instrs:?}");
+
+    // Different seed likewise.
+    let (_, seed) = probe(&dir, &["--seed", "43"]);
+    assert!(seed["computed"] > 0, "{seed:?}");
+    assert_eq!(seed["from_store"], 0, "{seed:?}");
+
+    // The original configuration still hits its own cells.
+    let (_, again) = probe(&dir, &[]);
+    assert_eq!(again["computed"], 0, "{again:?}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupted_store_files_fall_back_to_recompute() {
+    let dir = temp_store("corrupt");
+
+    let (original_cells, _) = probe(&dir, &[]);
+
+    // Vandalize every cell file a different way.
+    let mut mode = 0u8;
+    for entry in std::fs::read_dir(&dir).expect("store dir exists") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().map(|e| e != "bin").unwrap_or(true) {
+            continue;
+        }
+        let bytes = std::fs::read(&path).expect("cell file reads");
+        match mode % 3 {
+            0 => std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap(), // truncated
+            1 => std::fs::write(&path, b"garbage").unwrap(),                // replaced
+            _ => {
+                let mut flipped = bytes;
+                let mid = flipped.len() / 2;
+                flipped[mid] ^= 0xFF; // bit-rotted
+                std::fs::write(&path, &flipped).unwrap();
+            }
+        }
+        mode += 1;
+    }
+
+    // Corruption means recomputation, not a crash — and the recomputed
+    // digests match the originals because the campaign is deterministic.
+    let (recomputed_cells, counters) = probe(&dir, &[]);
+    assert!(counters["computed"] > 0, "{counters:?}");
+    assert_eq!(counters["from_store"], 0, "{counters:?}");
+    assert_eq!(original_cells, recomputed_cells);
+
+    // The recompute healed the store for the next process.
+    let (_, healed) = probe(&dir, &[]);
+    assert_eq!(healed["computed"], 0, "{healed:?}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,520 @@
+//! Offline vendored subset of the `proptest` API.
+//!
+//! The workspace builds without network access, so crates.io `proptest`
+//! cannot be fetched. This crate reimplements the slice of the API the
+//! workspace's property tests use: the [`proptest!`] macro (with an
+//! optional `#![proptest_config(..)]` header and both `arg in strategy`
+//! and `arg: Type` argument forms), range strategies over integers and
+//! floats, [`collection::vec`] / [`collection::btree_set`], and the
+//! `prop_assert*` macros.
+//!
+//! Cases are generated deterministically: the RNG for case *i* of a test
+//! is seeded from an FNV-1a hash of the test's module path and name mixed
+//! with *i*, so failures reproduce exactly across runs and machines.
+//! There is no shrinking — a failing case reports the concrete inputs
+//! instead, which the deterministic seeding makes just as actionable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SampleUniform, SeedableRng};
+
+/// Per-`proptest!` block configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test function.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; 64 keeps the suite quick while still
+        // exercising each property against a spread of inputs.
+        ProptestConfig::with_cases(64)
+    }
+}
+
+/// A failed property within a generated case.
+#[derive(Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Wraps a failure message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// A source of generated values for one test argument.
+pub trait Strategy {
+    /// The generated value type.
+    type Value: fmt::Debug;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+impl<T> Strategy for Range<T>
+where
+    T: SampleUniform + PartialOrd + Copy + fmt::Debug,
+{
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl<T> Strategy for RangeInclusive<T>
+where
+    T: SampleUniform + PartialOrd + Copy + fmt::Debug,
+{
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// Values produced by [`any`], drawn uniformly from the whole type.
+pub trait Arbitrary: Sized + fmt::Debug {
+    /// Draws one value covering the full domain of the type.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_arbitrary {
+    ($($t:ty),+ $(,)?) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                rng.gen()
+            }
+        }
+    )+};
+}
+
+impl_arbitrary!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64);
+
+/// Strategy for a full-domain value of `T` (the `arg: Type` form).
+#[derive(Debug)]
+pub struct Any<T>(PhantomData<T>);
+
+/// Returns a strategy over all values of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Strategies over collections.
+pub mod collection {
+    use std::collections::BTreeSet;
+    use std::ops::{Range, RangeInclusive};
+
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    use crate::Strategy;
+
+    /// Accepted element-count specifications for collection strategies.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl SizeRange {
+        fn sample(&self, rng: &mut StdRng) -> usize {
+            if self.hi_exclusive > self.lo {
+                rng.gen_range(self.lo..self.hi_exclusive)
+            } else {
+                self.lo
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            SizeRange {
+                lo: r.start,
+                hi_exclusive: r.end,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi_exclusive: r.end().saturating_add(1),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_exclusive: n + 1,
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of values from an element strategy.
+    #[derive(Debug)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    /// A `Vec` strategy with `size` elements drawn from `elem`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = self.size.sample(rng);
+            (0..n).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+
+    /// Strategy producing `BTreeSet`s of values from an element strategy.
+    #[derive(Debug)]
+    pub struct BTreeSetStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    /// A `BTreeSet` strategy aiming for `size` distinct elements.
+    ///
+    /// Duplicate draws are retried a bounded number of times, so a target
+    /// size larger than the element domain degrades gracefully instead of
+    /// hanging.
+    pub fn btree_set<S>(elem: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> BTreeSet<S::Value> {
+            let target = self.size.sample(rng);
+            let mut out = BTreeSet::new();
+            let mut attempts = 0usize;
+            while out.len() < target && attempts < target.saturating_mul(10) + 16 {
+                out.insert(self.elem.sample(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+}
+
+/// Common imports for property tests, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy,
+        TestCaseError,
+    };
+}
+
+/// FNV-1a hash of a test's identifier; the per-test seed root.
+#[doc(hidden)]
+pub fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Deterministic RNG for one generated case of one test.
+#[doc(hidden)]
+pub fn case_rng(seed: u64, case: u32) -> StdRng {
+    StdRng::seed_from_u64(seed ^ u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Defines deterministic property tests.
+///
+/// Supports an optional `#![proptest_config(expr)]` header and any number
+/// of `fn name(arg in strategy, other: Type) { .. }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (cfg = ($cfg:expr);) => {};
+    (cfg = ($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($args:tt)*) $body:block
+     $($rest:tt)*) => {
+        $crate::__proptest_fn! {
+            @munch
+            cfg = ($cfg),
+            meta = ($(#[$meta])*),
+            name = $name,
+            acc = [],
+            args = ($($args)*),
+            body = $body
+        }
+        $crate::__proptest_items! { cfg = ($cfg); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fn {
+    // All arguments munched: emit the test function.
+    (@munch
+     cfg = ($cfg:expr),
+     meta = ($($meta:tt)*),
+     name = $name:ident,
+     acc = [$(($arg:ident, $strat:expr)),*],
+     args = (),
+     body = $body:block) => {
+        $($meta)*
+        #[test]
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            let __seed = $crate::fnv1a(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__cfg.cases {
+                let mut __rng = $crate::case_rng(__seed, __case);
+                $(let $arg = $crate::Strategy::sample(&($strat), &mut __rng);)*
+                let __inputs = format!(
+                    concat!("" $(, stringify!($arg), " = {:?}  ")*),
+                    $(&$arg),*
+                );
+                let __out: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(__e) = __out {
+                    panic!(
+                        "property failed on case {}/{}: {}\n  inputs: {}",
+                        __case + 1,
+                        __cfg.cases,
+                        __e,
+                        __inputs
+                    );
+                }
+            }
+        }
+    };
+    // Trailing comma in the argument list.
+    (@munch cfg = $c:tt, meta = $m:tt, name = $n:ident, acc = $acc:tt,
+     args = (,), body = $b:block) => {
+        $crate::__proptest_fn! {
+            @munch cfg = $c, meta = $m, name = $n, acc = $acc, args = (), body = $b
+        }
+    };
+    // `arg in strategy` (more arguments follow).
+    (@munch cfg = $c:tt, meta = $m:tt, name = $n:ident, acc = [$($acc:tt),*],
+     args = ($arg:ident in $strat:expr, $($rest:tt)*), body = $b:block) => {
+        $crate::__proptest_fn! {
+            @munch cfg = $c, meta = $m, name = $n,
+            acc = [$($acc,)* ($arg, $strat)], args = ($($rest)*), body = $b
+        }
+    };
+    // `arg in strategy` (final argument).
+    (@munch cfg = $c:tt, meta = $m:tt, name = $n:ident, acc = [$($acc:tt),*],
+     args = ($arg:ident in $strat:expr), body = $b:block) => {
+        $crate::__proptest_fn! {
+            @munch cfg = $c, meta = $m, name = $n,
+            acc = [$($acc,)* ($arg, $strat)], args = (), body = $b
+        }
+    };
+    // `arg: Type` → full-domain strategy (more arguments follow).
+    (@munch cfg = $c:tt, meta = $m:tt, name = $n:ident, acc = [$($acc:tt),*],
+     args = ($arg:ident : $ty:ty, $($rest:tt)*), body = $b:block) => {
+        $crate::__proptest_fn! {
+            @munch cfg = $c, meta = $m, name = $n,
+            acc = [$($acc,)* ($arg, $crate::any::<$ty>())], args = ($($rest)*), body = $b
+        }
+    };
+    // `arg: Type` (final argument).
+    (@munch cfg = $c:tt, meta = $m:tt, name = $n:ident, acc = [$($acc:tt),*],
+     args = ($arg:ident : $ty:ty), body = $b:block) => {
+        $crate::__proptest_fn! {
+            @munch cfg = $c, meta = $m, name = $n,
+            acc = [$($acc,)* ($arg, $crate::any::<$ty>())], args = (), body = $b
+        }
+    };
+}
+
+/// Asserts a condition inside a property test, failing the case (with
+/// its inputs reported) rather than panicking outright.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(concat!(
+                "assertion failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts two expressions are equal inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let __l = &$left;
+        let __r = &$right;
+        if !(__l == __r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                __l,
+                __r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let __l = &$left;
+        let __r = &$right;
+        if !(__l == __r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "{} (left: {:?}, right: {:?})",
+                format!($($fmt)+),
+                __l,
+                __r
+            )));
+        }
+    }};
+}
+
+/// Asserts two expressions are unequal inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let __l = &$left;
+        let __r = &$right;
+        if __l == __r {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} != {}\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                __l
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let __l = &$left;
+        let __r = &$right;
+        if __l == __r {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "{} (both: {:?})",
+                format!($($fmt)+),
+                __l
+            )));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn cases_are_deterministic() {
+        let s = 5u32..17;
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for case in 0..10 {
+            let mut r1 = crate::case_rng(crate::fnv1a("t"), case);
+            let mut r2 = crate::case_rng(crate::fnv1a("t"), case);
+            a.push(Strategy::sample(&s, &mut r1));
+            b.push(Strategy::sample(&s, &mut r2));
+        }
+        assert_eq!(a, b);
+        assert!(a.iter().all(|v| (5..17).contains(v)));
+    }
+
+    #[test]
+    fn distinct_cases_vary() {
+        let s = 0u64..u64::MAX;
+        let mut r0 = crate::case_rng(1, 0);
+        let mut r1 = crate::case_rng(1, 1);
+        assert_ne!(Strategy::sample(&s, &mut r0), Strategy::sample(&s, &mut r1));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        fn vec_strategy_respects_bounds(
+            xs in crate::collection::vec(0u32..50, 3..9),
+            flag: bool,
+        ) {
+            prop_assert!(xs.len() >= 3 && xs.len() < 9, "len {} out of range", xs.len());
+            prop_assert!(xs.iter().all(|&x| x < 50));
+            prop_assert_eq!(flag as u8 <= 1, true);
+        }
+
+        fn btree_set_elements_unique(set in crate::collection::btree_set(0usize..500, 0..100)) {
+            let v: Vec<_> = set.iter().copied().collect();
+            let mut w = v.clone();
+            w.dedup();
+            prop_assert_eq!(v, w);
+        }
+
+        fn inclusive_range_hits_endpoints(x in 1u32..=8) {
+            prop_assert!((1..=8).contains(&x));
+        }
+    }
+}

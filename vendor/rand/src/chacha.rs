@@ -1,0 +1,162 @@
+//! ChaCha12 keystream generator — the algorithm behind upstream
+//! `StdRng`.
+
+use crate::{RngCore, SeedableRng};
+
+/// The standard seedable RNG: a ChaCha12 keystream read as a word
+/// stream. Cheap to create, cheap to clone, statistically strong, and
+/// fully portable: a given seed produces the same stream everywhere.
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    /// Input block: constants, key, 64-bit block counter, 64-bit nonce.
+    state: [u32; 16],
+    /// Current output block.
+    block: [u32; 16],
+    /// Next unread word of `block`; 16 means "refill".
+    cursor: usize,
+}
+
+const CHACHA_CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+const DOUBLE_ROUNDS: usize = 6; // 12 rounds total
+
+#[inline(always)]
+fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+impl StdRng {
+    fn refill(&mut self) {
+        let mut w = self.state;
+        for _ in 0..DOUBLE_ROUNDS {
+            // Column round.
+            quarter_round(&mut w, 0, 4, 8, 12);
+            quarter_round(&mut w, 1, 5, 9, 13);
+            quarter_round(&mut w, 2, 6, 10, 14);
+            quarter_round(&mut w, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter_round(&mut w, 0, 5, 10, 15);
+            quarter_round(&mut w, 1, 6, 11, 12);
+            quarter_round(&mut w, 2, 7, 8, 13);
+            quarter_round(&mut w, 3, 4, 9, 14);
+        }
+        for (out, add) in w.iter_mut().zip(self.state.iter()) {
+            *out = out.wrapping_add(*add);
+        }
+        self.block = w;
+        self.cursor = 0;
+        // 64-bit little-endian block counter in words 12..14.
+        let (lo, carry) = self.state[12].overflowing_add(1);
+        self.state[12] = lo;
+        if carry {
+            self.state[13] = self.state[13].wrapping_add(1);
+        }
+    }
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&CHACHA_CONSTANTS);
+        for (i, chunk) in seed.chunks_exact(4).enumerate() {
+            state[4 + i] = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        // Words 12..16 (counter + nonce) start at zero.
+        StdRng {
+            state,
+            block: [0; 16],
+            cursor: 16,
+        }
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u32(&mut self) -> u32 {
+        if self.cursor >= 16 {
+            self.refill();
+        }
+        let w = self.block[self.cursor];
+        self.cursor += 1;
+        w
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = u64::from(self.next_u32());
+        let hi = u64::from(self.next_u32());
+        (hi << 32) | lo
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(4) {
+            let word = self.next_u32().to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{RngCore, SeedableRng};
+
+    /// RFC 7539 §2.3.2 test vector, adapted to 12 rounds is not
+    /// published; instead pin the 20-round core by running 10 double
+    /// rounds manually and checking against the RFC vector, which
+    /// validates the quarter-round wiring the 12-round variant shares.
+    #[test]
+    fn rfc7539_block_function_wiring() {
+        let key: [u8; 32] = (0..32u8).collect::<Vec<_>>().try_into().unwrap();
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&CHACHA_CONSTANTS);
+        for (i, chunk) in key.chunks_exact(4).enumerate() {
+            state[4 + i] = u32::from_le_bytes(chunk.try_into().unwrap());
+        }
+        state[12] = 1;
+        state[13] = u32::from_le_bytes([0, 0, 0, 9]);
+        state[14] = u32::from_le_bytes([0, 0, 0, 0x4a]);
+        state[15] = 0;
+        let mut w = state;
+        for _ in 0..10 {
+            quarter_round(&mut w, 0, 4, 8, 12);
+            quarter_round(&mut w, 1, 5, 9, 13);
+            quarter_round(&mut w, 2, 6, 10, 14);
+            quarter_round(&mut w, 3, 7, 11, 15);
+            quarter_round(&mut w, 0, 5, 10, 15);
+            quarter_round(&mut w, 1, 6, 11, 12);
+            quarter_round(&mut w, 2, 7, 8, 13);
+            quarter_round(&mut w, 3, 4, 9, 14);
+        }
+        for (out, add) in w.iter_mut().zip(state.iter()) {
+            *out = out.wrapping_add(*add);
+        }
+        assert_eq!(w[0], 0xe4e7_f110);
+        assert_eq!(w[15], 0x4e3c_50a2);
+    }
+
+    #[test]
+    fn blocks_differ_and_streams_are_stable() {
+        let mut rng = StdRng::from_seed([0; 32]);
+        let first: Vec<u32> = (0..16).map(|_| rng.next_u32()).collect();
+        let second: Vec<u32> = (0..16).map(|_| rng.next_u32()).collect();
+        assert_ne!(first, second);
+        let mut again = StdRng::from_seed([0; 32]);
+        let replay: Vec<u32> = (0..16).map(|_| again.next_u32()).collect();
+        assert_eq!(first, replay);
+    }
+
+    #[test]
+    fn fill_bytes_handles_odd_lengths() {
+        let mut rng = StdRng::from_seed([3; 32]);
+        let mut buf = [0u8; 7];
+        rng.fill_bytes(&mut buf);
+        assert_ne!(buf, [0u8; 7]);
+    }
+}

@@ -1,0 +1,205 @@
+//! The built-in binary data format: little-endian fixed-width scalars,
+//! `u64` length prefixes, `u32` enum variant tags, and `u8` option tags.
+//!
+//! The format is deliberately boring — determinism and stability across
+//! processes are what the result store needs. Floats are encoded via
+//! their IEEE-754 bit patterns, so round-trips are bit-exact (including
+//! NaN payloads).
+
+use std::fmt;
+
+/// Decoding failure: truncated or malformed input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Error {
+    /// Input ended before the value was complete.
+    Eof,
+    /// A tag, length or scalar had an invalid value; names the context.
+    Malformed(&'static str),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Eof => f.write_str("unexpected end of input"),
+            Error::Malformed(what) => write!(f, "malformed {what}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Byte-stream writer for the binary format.
+#[derive(Debug, Default)]
+pub struct Serializer {
+    out: Vec<u8>,
+}
+
+macro_rules! write_le {
+    ($($name:ident($t:ty)),+ $(,)?) => {$(
+        /// Writes a little-endian scalar.
+        pub fn $name(&mut self, v: $t) {
+            self.out.extend_from_slice(&v.to_le_bytes());
+        }
+    )+};
+}
+
+impl Serializer {
+    /// Creates an empty serializer.
+    pub fn new() -> Self {
+        Serializer::default()
+    }
+
+    write_le!(
+        write_u8(u8),
+        write_u16(u16),
+        write_u32(u32),
+        write_u64(u64),
+        write_i8(i8),
+        write_i16(i16),
+        write_i32(i32),
+        write_i64(i64),
+    );
+
+    /// Writes a `usize` as a fixed 8-byte little-endian value.
+    pub fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    /// Writes a bool as one byte.
+    pub fn write_bool(&mut self, v: bool) {
+        self.write_u8(u8::from(v));
+    }
+
+    /// Writes an `f32` via its bit pattern.
+    pub fn write_f32(&mut self, v: f32) {
+        self.write_u32(v.to_bits());
+    }
+
+    /// Writes an `f64` via its bit pattern.
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// Writes a length-prefixed byte string.
+    pub fn write_bytes(&mut self, v: &[u8]) {
+        self.write_usize(v.len());
+        self.out.extend_from_slice(v);
+    }
+
+    /// The bytes written so far.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.out
+    }
+
+    /// Consumes the serializer, returning the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.out
+    }
+}
+
+/// Byte-stream reader for the binary format.
+#[derive(Debug)]
+pub struct Deserializer<'a> {
+    input: &'a [u8],
+}
+
+macro_rules! read_le {
+    ($($name:ident($t:ty, $n:literal)),+ $(,)?) => {$(
+        /// Reads a little-endian scalar.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`Error::Eof`] when the input is exhausted.
+        pub fn $name(&mut self) -> Result<$t, Error> {
+            let bytes = self.take($n)?;
+            Ok(<$t>::from_le_bytes(bytes.try_into().expect("sized take")))
+        }
+    )+};
+}
+
+impl<'a> Deserializer<'a> {
+    /// Wraps `input` for decoding.
+    pub fn new(input: &'a [u8]) -> Self {
+        Deserializer { input }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], Error> {
+        if self.input.len() < n {
+            return Err(Error::Eof);
+        }
+        let (head, tail) = self.input.split_at(n);
+        self.input = tail;
+        Ok(head)
+    }
+
+    read_le!(
+        read_u8(u8, 1),
+        read_u16(u16, 2),
+        read_u32(u32, 4),
+        read_u64(u64, 8),
+        read_i8(i8, 1),
+        read_i16(i16, 2),
+        read_i32(i32, 4),
+        read_i64(i64, 8),
+    );
+
+    /// Reads a `usize` written by [`Serializer::write_usize`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on truncation or a value over `usize::MAX`.
+    pub fn read_usize(&mut self) -> Result<usize, Error> {
+        usize::try_from(self.read_u64()?).map_err(|_| Error::Malformed("usize"))
+    }
+
+    /// Reads a bool byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on truncation or a byte other than 0/1.
+    pub fn read_bool(&mut self) -> Result<bool, Error> {
+        match self.read_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(Error::Malformed("bool")),
+        }
+    }
+
+    /// Reads an `f32` bit pattern.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Eof`] when the input is exhausted.
+    pub fn read_f32(&mut self) -> Result<f32, Error> {
+        Ok(f32::from_bits(self.read_u32()?))
+    }
+
+    /// Reads an `f64` bit pattern.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Eof`] when the input is exhausted.
+    pub fn read_f64(&mut self) -> Result<f64, Error> {
+        Ok(f64::from_bits(self.read_u64()?))
+    }
+
+    /// Reads a length-prefixed byte string.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on truncation.
+    pub fn read_bytes(&mut self) -> Result<&'a [u8], Error> {
+        let n = self.read_usize()?;
+        self.take(n)
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.input.len()
+    }
+
+    /// Whether all input has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.input.is_empty()
+    }
+}

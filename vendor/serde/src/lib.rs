@@ -1,0 +1,355 @@
+//! Offline vendored subset of the `serde` API.
+//!
+//! The workspace builds without network access, so crates.io `serde`
+//! cannot be fetched. This crate provides the same *surface* the
+//! workspace uses — `#[derive(Serialize, Deserialize)]` via the sibling
+//! `serde_derive` proc-macro and the `Serialize`/`Deserialize` traits —
+//! over a single built-in binary data format (little-endian, fixed-width
+//! integers, length-prefixed sequences; see [`bin`]).
+//!
+//! The persistent result store in `dvs-core` is the primary consumer:
+//! it needs a compact, deterministic, versioned byte encoding, which
+//! [`bin`] provides directly (the role `bincode` plays upstream).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bin;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A type that can write itself into the binary data format.
+pub trait Serialize {
+    /// Appends this value's encoding to `s`.
+    fn serialize(&self, s: &mut bin::Serializer);
+}
+
+/// A type that can reconstruct itself from the binary data format.
+pub trait Deserialize: Sized {
+    /// Reads one value off the front of `d`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`bin::Error`] when the input is truncated or malformed.
+    fn deserialize(d: &mut bin::Deserializer<'_>) -> Result<Self, bin::Error>;
+}
+
+macro_rules! impl_prim {
+    ($($t:ty => $w:ident / $r:ident),+ $(,)?) => {$(
+        impl Serialize for $t {
+            fn serialize(&self, s: &mut bin::Serializer) {
+                s.$w(*self);
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(d: &mut bin::Deserializer<'_>) -> Result<Self, bin::Error> {
+                d.$r()
+            }
+        }
+    )+};
+}
+
+impl_prim!(
+    bool => write_bool / read_bool,
+    u8 => write_u8 / read_u8,
+    u16 => write_u16 / read_u16,
+    u32 => write_u32 / read_u32,
+    u64 => write_u64 / read_u64,
+    usize => write_usize / read_usize,
+    i8 => write_i8 / read_i8,
+    i16 => write_i16 / read_i16,
+    i32 => write_i32 / read_i32,
+    i64 => write_i64 / read_i64,
+    f32 => write_f32 / read_f32,
+    f64 => write_f64 / read_f64,
+);
+
+impl Serialize for char {
+    fn serialize(&self, s: &mut bin::Serializer) {
+        s.write_u32(*self as u32);
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize(d: &mut bin::Deserializer<'_>) -> Result<Self, bin::Error> {
+        char::from_u32(d.read_u32()?).ok_or(bin::Error::Malformed("char"))
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self, s: &mut bin::Serializer) {
+        s.write_bytes(self.as_bytes());
+    }
+}
+
+impl Deserialize for &'static str {
+    fn deserialize(d: &mut bin::Deserializer<'_>) -> Result<Self, bin::Error> {
+        // Decoding into `&'static str` leaks the string. Acceptable here:
+        // the workspace only derives this for small fixed label tables
+        // (e.g. critical-path stage names), never unbounded data.
+        Ok(Box::leak(String::deserialize(d)?.into_boxed_str()))
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self, s: &mut bin::Serializer) {
+        s.write_bytes(self.as_bytes());
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(d: &mut bin::Deserializer<'_>) -> Result<Self, bin::Error> {
+        String::from_utf8(d.read_bytes()?.to_vec()).map_err(|_| bin::Error::Malformed("utf-8"))
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self, s: &mut bin::Serializer) {
+        (**self).serialize(s);
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn serialize(&self, s: &mut bin::Serializer) {
+        (**self).serialize(s);
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize(d: &mut bin::Deserializer<'_>) -> Result<Self, bin::Error> {
+        Ok(Box::new(T::deserialize(d)?))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self, s: &mut bin::Serializer) {
+        match self {
+            None => s.write_u8(0),
+            Some(v) => {
+                s.write_u8(1);
+                v.serialize(s);
+            }
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(d: &mut bin::Deserializer<'_>) -> Result<Self, bin::Error> {
+        match d.read_u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::deserialize(d)?)),
+            _ => Err(bin::Error::Malformed("option tag")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self, s: &mut bin::Serializer) {
+        s.write_usize(self.len());
+        for item in self {
+            item.serialize(s);
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self, s: &mut bin::Serializer) {
+        self.as_slice().serialize(s);
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(d: &mut bin::Deserializer<'_>) -> Result<Self, bin::Error> {
+        let n = d.read_usize()?;
+        // Guard against absurd lengths from corrupt input: each element
+        // encodes to at least one byte.
+        if n > d.remaining() {
+            return Err(bin::Error::Malformed("sequence length"));
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(T::deserialize(d)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Serialize> Serialize for std::ops::Range<T> {
+    fn serialize(&self, s: &mut bin::Serializer) {
+        self.start.serialize(s);
+        self.end.serialize(s);
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::ops::Range<T> {
+    fn deserialize(d: &mut bin::Deserializer<'_>) -> Result<Self, bin::Error> {
+        Ok(T::deserialize(d)?..T::deserialize(d)?)
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::VecDeque<T> {
+    fn serialize(&self, s: &mut bin::Serializer) {
+        s.write_usize(self.len());
+        for item in self {
+            item.serialize(s);
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::collections::VecDeque<T> {
+    fn deserialize(d: &mut bin::Deserializer<'_>) -> Result<Self, bin::Error> {
+        Ok(Vec::<T>::deserialize(d)?.into())
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn serialize(&self, s: &mut bin::Serializer) {
+        s.write_usize(self.len());
+        for (k, v) in self {
+            k.serialize(s);
+            v.serialize(s);
+        }
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for std::collections::BTreeMap<K, V> {
+    fn deserialize(d: &mut bin::Deserializer<'_>) -> Result<Self, bin::Error> {
+        let n = d.read_usize()?;
+        if n > d.remaining() {
+            return Err(bin::Error::Malformed("map length"));
+        }
+        let mut out = std::collections::BTreeMap::new();
+        for _ in 0..n {
+            let k = K::deserialize(d)?;
+            let v = V::deserialize(d)?;
+            out.insert(k, v);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::BTreeSet<T> {
+    fn serialize(&self, s: &mut bin::Serializer) {
+        s.write_usize(self.len());
+        for item in self {
+            item.serialize(s);
+        }
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for std::collections::BTreeSet<T> {
+    fn deserialize(d: &mut bin::Deserializer<'_>) -> Result<Self, bin::Error> {
+        let n = d.read_usize()?;
+        if n > d.remaining() {
+            return Err(bin::Error::Malformed("set length"));
+        }
+        let mut out = std::collections::BTreeSet::new();
+        for _ in 0..n {
+            out.insert(T::deserialize(d)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self, s: &mut bin::Serializer) {
+        for item in self {
+            item.serialize(s);
+        }
+    }
+}
+
+impl<T: Deserialize + Default + Copy, const N: usize> Deserialize for [T; N] {
+    fn deserialize(d: &mut bin::Deserializer<'_>) -> Result<Self, bin::Error> {
+        let mut out = [T::default(); N];
+        for slot in &mut out {
+            *slot = T::deserialize(d)?;
+        }
+        Ok(out)
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+)),+ $(,)?) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize(&self, s: &mut bin::Serializer) {
+                $(self.$n.serialize(s);)+
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deserialize(d: &mut bin::Deserializer<'_>) -> Result<Self, bin::Error> {
+                Ok(($($t::deserialize(d)?,)+))
+            }
+        }
+    )+};
+}
+
+impl_tuple!(
+    (0 A),
+    (0 A, 1 B),
+    (0 A, 1 B, 2 C),
+    (0 A, 1 B, 2 C, 3 D),
+    (0 A, 1 B, 2 C, 3 D, 4 E),
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: Serialize + Deserialize + PartialEq + std::fmt::Debug>(v: T) {
+        let mut s = bin::Serializer::new();
+        v.serialize(&mut s);
+        let bytes = s.into_bytes();
+        let mut d = bin::Deserializer::new(&bytes);
+        assert_eq!(T::deserialize(&mut d).unwrap(), v);
+        assert!(d.is_empty(), "trailing bytes after {v:?}");
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        round_trip(0u8);
+        round_trip(u64::MAX);
+        round_trip(-123i32);
+        round_trip(true);
+        round_trip(core::f64::consts::PI);
+        round_trip(f64::NEG_INFINITY);
+        round_trip(String::from("qsort"));
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        round_trip(vec![1u32, 2, 3]);
+        round_trip(Option::<u64>::None);
+        round_trip(Some(vec![(1u32, 2.5f64), (3, 4.5)]));
+        round_trip([7u64; 4]);
+    }
+
+    #[test]
+    fn nan_bit_patterns_survive() {
+        let mut s = bin::Serializer::new();
+        f64::NAN.serialize(&mut s);
+        let bytes = s.into_bytes();
+        let mut d = bin::Deserializer::new(&bytes);
+        let back = f64::deserialize(&mut d).unwrap();
+        assert_eq!(back.to_bits(), f64::NAN.to_bits());
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let mut s = bin::Serializer::new();
+        vec![1u64, 2, 3].serialize(&mut s);
+        let bytes = s.into_bytes();
+        let mut d = bin::Deserializer::new(&bytes[..bytes.len() - 1]);
+        assert!(Vec::<u64>::deserialize(&mut d).is_err());
+    }
+
+    #[test]
+    fn hostile_length_is_rejected() {
+        let mut s = bin::Serializer::new();
+        s.write_usize(usize::MAX / 2);
+        let bytes = s.into_bytes();
+        let mut d = bin::Deserializer::new(&bytes);
+        assert!(Vec::<u8>::deserialize(&mut d).is_err());
+    }
+}

@@ -1,0 +1,355 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored `serde` subset.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (no `syn`/`quote`,
+//! which are equally unavailable offline). Supports what the workspace
+//! derives on: non-generic structs (named, tuple, unit) and enums whose
+//! variants are unit, tuple or struct-like. Fields encode in declaration
+//! order; enum variants encode as a `u32` tag in declaration order —
+//! reordering fields or variants is therefore a format-breaking change,
+//! which the result store's versioned key hash is designed to absorb.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Fields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => {
+            let body = serialize_fields_body(fields, "self.");
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize(&self, __s: &mut ::serde::bin::Serializer) {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for (tag, v) in variants.iter().enumerate() {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => {
+                        arms.push_str(&format!("{name}::{vn} => {{ __s.write_u32({tag}u32); }}\n"))
+                    }
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let mut body = format!("__s.write_u32({tag}u32);");
+                        for b in &binds {
+                            body.push_str(&format!(" ::serde::Serialize::serialize({b}, __s);"));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => {{ {body} }}\n",
+                            binds.join(", ")
+                        ));
+                    }
+                    Fields::Named(fs) => {
+                        let mut body = format!("__s.write_u32({tag}u32);");
+                        for f in fs {
+                            body.push_str(&format!(" ::serde::Serialize::serialize({f}, __s);"));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => {{ {body} }}\n",
+                            fs.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize(&self, __s: &mut ::serde::bin::Serializer) {{\n\
+                 match self {{ {arms} }}\n}}\n}}"
+            )
+        }
+    };
+    code.parse().expect("serde_derive generated invalid Rust")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => {
+            let value = construct_value(name, fields);
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn deserialize(__d: &mut ::serde::bin::Deserializer<'_>)\n\
+                 -> ::std::result::Result<Self, ::serde::bin::Error> {{\n\
+                 ::std::result::Result::Ok({value})\n}}\n}}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for (tag, v) in variants.iter().enumerate() {
+                let value = construct_value(&format!("{name}::{}", v.name), &v.fields);
+                arms.push_str(&format!(
+                    "{tag}u32 => ::std::result::Result::Ok({value}),\n"
+                ));
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn deserialize(__d: &mut ::serde::bin::Deserializer<'_>)\n\
+                 -> ::std::result::Result<Self, ::serde::bin::Error> {{\n\
+                 match __d.read_u32()? {{\n{arms}\
+                 _ => ::std::result::Result::Err(::serde::bin::Error::Malformed(\"enum variant\")),\n\
+                 }}\n}}\n}}"
+            )
+        }
+    };
+    code.parse().expect("serde_derive generated invalid Rust")
+}
+
+fn serialize_fields_body(fields: &Fields, receiver: &str) -> String {
+    match fields {
+        Fields::Unit => String::new(),
+        Fields::Named(fs) => fs
+            .iter()
+            .map(|f| format!("::serde::Serialize::serialize(&{receiver}{f}, __s);"))
+            .collect(),
+        Fields::Tuple(n) => (0..*n)
+            .map(|i| format!("::serde::Serialize::serialize(&{receiver}{i}, __s);"))
+            .collect(),
+    }
+}
+
+fn construct_value(path: &str, fields: &Fields) -> String {
+    const DE: &str = "::serde::Deserialize::deserialize(__d)?";
+    match fields {
+        Fields::Unit => path.to_string(),
+        Fields::Named(fs) => {
+            let inits: Vec<String> = fs.iter().map(|f| format!("{f}: {DE}")).collect();
+            format!("{path} {{ {} }}", inits.join(", "))
+        }
+        Fields::Tuple(n) => {
+            let inits: Vec<&str> = (0..*n).map(|_| DE).collect();
+            format!("{path}({})", inits.join(", "))
+        }
+    }
+}
+
+// ---- token-level parsing ----
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Self {
+        Cursor {
+            tokens: ts.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Skips `#[...]` attribute pairs (doc comments included).
+    fn skip_attributes(&mut self) {
+        while let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() != '#' {
+                break;
+            }
+            self.pos += 1; // '#'
+            match self.peek() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                    self.pos += 1;
+                }
+                other => panic!("expected [...] after #, found {other:?}"),
+            }
+        }
+    }
+
+    /// Skips a `pub` / `pub(...)` visibility qualifier.
+    fn skip_visibility(&mut self) {
+        if let Some(TokenTree::Ident(i)) = self.peek() {
+            if i.to_string() == "pub" {
+                self.pos += 1;
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.pos += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("expected {what}, found {other:?}"),
+        }
+    }
+
+    /// Consumes tokens until a top-level comma (tracking `<...>` nesting,
+    /// since angle brackets are bare puncts), leaving the cursor after
+    /// the comma. Returns whether any tokens preceded it.
+    fn skip_past_comma(&mut self) -> bool {
+        let mut any = false;
+        let mut angle_depth = 0i32;
+        while let Some(t) = self.peek() {
+            if let TokenTree::Punct(p) = t {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => {
+                        self.pos += 1;
+                        return any;
+                    }
+                    _ => {}
+                }
+            }
+            any = true;
+            self.pos += 1;
+        }
+        any
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut c = Cursor::new(input);
+    c.skip_attributes();
+    c.skip_visibility();
+    match c.expect_ident("`struct` or `enum`").as_str() {
+        "struct" => {
+            let name = c.expect_ident("struct name");
+            match c.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Struct {
+                    name,
+                    fields: Fields::Named(parse_named_fields(g.stream())),
+                },
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Item::Struct {
+                        name,
+                        fields: Fields::Tuple(count_tuple_fields(g.stream())),
+                    }
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item::Struct {
+                    name,
+                    fields: Fields::Unit,
+                },
+                other => panic!(
+                    "vendored serde_derive supports only non-generic structs \
+                     (on `{name}`, found {other:?})"
+                ),
+            }
+        }
+        "enum" => {
+            let name = c.expect_ident("enum name");
+            match c.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Enum {
+                    name,
+                    variants: parse_variants(g.stream()),
+                },
+                other => panic!(
+                    "vendored serde_derive supports only non-generic enums \
+                     (on `{name}`, found {other:?})"
+                ),
+            }
+        }
+        other => panic!("cannot derive serde impls for `{other}` items"),
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut c = Cursor::new(body);
+    let mut fields = Vec::new();
+    loop {
+        c.skip_attributes();
+        if c.at_end() {
+            break;
+        }
+        c.skip_visibility();
+        fields.push(c.expect_ident("field name"));
+        match c.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field, found {other:?}"),
+        }
+        c.skip_past_comma();
+    }
+    fields
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut c = Cursor::new(body);
+    let mut count = 0;
+    loop {
+        c.skip_attributes();
+        if c.at_end() {
+            break;
+        }
+        c.skip_visibility();
+        if c.skip_past_comma() {
+            count += 1;
+        }
+        if c.at_end() {
+            break;
+        }
+    }
+    count
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let mut c = Cursor::new(body);
+    let mut variants = Vec::new();
+    loop {
+        c.skip_attributes();
+        if c.at_end() {
+            break;
+        }
+        let name = c.expect_ident("variant name");
+        let fields = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let f = Fields::Tuple(count_tuple_fields(g.stream()));
+                c.pos += 1;
+                f
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = Fields::Named(parse_named_fields(g.stream()));
+                c.pos += 1;
+                f
+            }
+            _ => Fields::Unit,
+        };
+        // Consume an optional `= discriminant` and the trailing comma.
+        c.skip_past_comma();
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
