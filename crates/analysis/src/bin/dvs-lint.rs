@@ -1,0 +1,191 @@
+//! `dvs-lint` — static verification sweep over linked BBR images.
+//!
+//! For every requested benchmark × voltage × fault-map seed, the tool
+//! transforms the benchmark's program, links it against a sampled fault
+//! map, and runs the full `dvs-analysis` lint registry over the result.
+//! Maps the linker cannot place (expected at deep voltage) are reported
+//! as warnings, not failures — the lints judge *successful* links only.
+//!
+//! Exit codes: `0` all lints clean, `1` at least one deny-severity
+//! finding, `2` usage error.
+
+use std::process::ExitCode;
+
+use dvs_analysis::{analyze_placement, has_deny, render_json, render_text, Report};
+use dvs_linker::{adaptive_max_block_words, bbr_transform, BbrLinker, Diagnostic, Location};
+use dvs_sram::{CacheGeometry, FaultMap, MilliVolts, PfailModel};
+use dvs_workloads::{Benchmark, Layout};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+struct Options {
+    voltages: Vec<u32>,
+    benchmarks: Vec<Benchmark>,
+    maps: u64,
+    seed: u64,
+    json: bool,
+    inject_misplacement: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            voltages: vec![480, 440, 400],
+            benchmarks: Benchmark::ALL.to_vec(),
+            maps: 3,
+            seed: 0,
+            json: false,
+            inject_misplacement: false,
+        }
+    }
+}
+
+const USAGE: &str = "usage: dvs-lint [options]
+  --voltages LIST   comma-separated mV points (default 480,440,400)
+  --benchmarks LIST comma-separated benchmark names (default: all ten)
+  --maps N          fault maps sampled per voltage (default 3)
+  --seed N          base RNG seed for fault-map sampling (default 0)
+  --json            emit one JSON document instead of text
+  --inject-misplacement
+                    corrupt one placement per image (self-test: lints
+                    must report it and the exit code must be 1)
+  --help            print this help";
+
+fn parse_benchmark(name: &str) -> Option<Benchmark> {
+    Benchmark::ALL.into_iter().find(|b| {
+        let full = b.name();
+        full.eq_ignore_ascii_case(name)
+            || full
+                .rsplit('.')
+                .next()
+                .is_some_and(|short| short.eq_ignore_ascii_case(name))
+    })
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} expects a value"))
+        };
+        match arg.as_str() {
+            "--voltages" => {
+                opts.voltages = value("--voltages")?
+                    .split(',')
+                    .map(|v| v.trim().parse::<u32>().map_err(|_| format!("bad mV: {v}")))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--benchmarks" => {
+                opts.benchmarks = value("--benchmarks")?
+                    .split(',')
+                    .map(|n| {
+                        parse_benchmark(n.trim()).ok_or_else(|| format!("unknown benchmark: {n}"))
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
+            "--maps" => {
+                opts.maps = value("--maps")?
+                    .parse()
+                    .map_err(|_| "--maps expects an integer".to_string())?;
+            }
+            "--seed" => {
+                opts.seed = value("--seed")?
+                    .parse()
+                    .map_err(|_| "--seed expects an integer".to_string())?;
+            }
+            "--json" => opts.json = true,
+            "--inject-misplacement" => opts.inject_misplacement = true,
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if opts.voltages.is_empty() || opts.benchmarks.is_empty() || opts.maps == 0 {
+        return Err("nothing to do: empty voltage, benchmark or map list".to_string());
+    }
+    Ok(opts)
+}
+
+/// Moves block 0 onto the first defective cache word (or one word past
+/// the image end on a fault-free map), so the lints have something real
+/// to catch.
+fn corrupt_layout(layout: &Layout, fmap: &FaultMap, functions: usize) -> Layout {
+    let mut starts: Vec<u64> = (0..layout.num_blocks())
+        .map(|id| layout.block_start(id))
+        .collect();
+    let target = fmap
+        .iter_faulty_linear()
+        .next()
+        .map_or(layout.end() / 4 + 1, u64::from);
+    starts[0] = target * 4;
+    let end = layout.end().max(starts[0] + 4);
+    Layout::from_parts(starts, vec![0; functions], end)
+}
+
+fn run(opts: &Options) -> Vec<Report> {
+    let geom = CacheGeometry::dsn_l1();
+    let model = PfailModel::dsn45();
+    let mut reports = Vec::new();
+    for bench in &opts.benchmarks {
+        let wl = bench.build(opts.seed);
+        for &mv in &opts.voltages {
+            let p_word = model.pfail_word(MilliVolts::new(mv));
+            let transformed = bbr_transform(wl.program(), adaptive_max_block_words(p_word));
+            for map in 0..opts.maps {
+                let subject = format!("{}@{mv}mV/map{map}", bench.name());
+                let map_seed = opts
+                    .seed
+                    .wrapping_add(map)
+                    .wrapping_add(u64::from(mv) << 32);
+                let fmap = FaultMap::sample(&geom, p_word, &mut StdRng::seed_from_u64(map_seed));
+                let diagnostics = match BbrLinker::new(geom).link(&transformed, &fmap) {
+                    Ok(image) => {
+                        let (program, layout) = image.into_parts();
+                        let layout = if opts.inject_misplacement {
+                            corrupt_layout(&layout, &fmap, program.functions().len())
+                        } else {
+                            layout
+                        };
+                        analyze_placement(&program, &layout, &fmap, Some(wl.program()))
+                    }
+                    Err(e) => vec![Diagnostic::warn(
+                        "link-failure",
+                        Location::Image,
+                        format!("linker gave up at {mv} mV: {e}"),
+                    )],
+                };
+                reports.push(Report::new(subject, diagnostics));
+            }
+        }
+    }
+    reports
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            if msg.is_empty() {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("dvs-lint: {msg}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let reports = run(&opts);
+    if opts.json {
+        println!("{}", render_json(&reports));
+    } else {
+        print!("{}", render_text(&reports));
+    }
+    let denied = reports.iter().any(|r| has_deny(&r.diagnostics));
+    if denied {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,372 @@
+//! Observable trace equivalence between a program and its BBR transform.
+//!
+//! The BBR transforms (insert jumps, break blocks, move literal pools)
+//! and the linker's jump relaxation may only change *how control gets
+//! there*, never *what work executes*. This module checks that by
+//! walking both CFGs in lockstep under the trace walker's edge semantics
+//! and comparing their **observable event streams**:
+//!
+//! * body instructions and literal references accumulated between events
+//!   (unconditional jumps — original, inserted or split-chain — are pure
+//!   control overhead and fold away);
+//! * conditional-branch decisions, driven by one shared deterministic
+//!   oracle so both walks take the same path;
+//! * calls (compared by callee function index — block ids differ across
+//!   the transform), returns, and termination.
+//!
+//! Two programs whose streams agree for the configured number of events
+//! execute the same reachable block sequence and the same work; any
+//! retargeting bug, dropped piece, lost literal or broken fall-through
+//! shows up as a stream mismatch within a few events.
+
+use std::fmt;
+
+use dvs_linker::{lint_ids, Diagnostic, Location};
+use dvs_workloads::{Program, Terminator};
+
+/// The walker's call-depth cap (`dvs_workloads::TraceWalker` degrades
+/// deeper calls to fall-throughs); mirrored here so the abstract walk
+/// follows the same path on recursive programs.
+const MAX_CALL_DEPTH: usize = 64;
+
+/// How the equivalence walk is driven.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EquivConfig {
+    /// Observable events compared before declaring the pair equivalent.
+    pub max_events: usize,
+    /// Seed of the shared branch-decision oracle.
+    pub seed: u64,
+}
+
+impl Default for EquivConfig {
+    fn default() -> Self {
+        EquivConfig {
+            max_events: 4096,
+            seed: 0x0D5A_11A5,
+        }
+    }
+}
+
+/// An observable event of the abstract walk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Event {
+    /// A conditional branch awaiting a decision; payload is the taken
+    /// probability's bit pattern (must agree exactly across the pair).
+    Cond { prob_bits: u32 },
+    /// A call, identified by the callee's function index.
+    Call { function: usize },
+    /// A return to the caller (or trace end when the stack is empty).
+    Return,
+    /// `main` returned: the trace ended.
+    Halt,
+    /// The walk folded control transfers past its budget without work or
+    /// a decision (a pure-jump loop): no further observation possible.
+    NoProgress,
+}
+
+/// Work observed since the previous event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+struct Work {
+    body_ops: u64,
+    literal_refs: u64,
+}
+
+/// Walks one program's CFG, folding unconditional control into
+/// accumulated work and pausing at each observable event.
+struct AbstractWalker<'a> {
+    program: &'a Program,
+    block: usize,
+    stack: Vec<usize>,
+    work: Work,
+    /// Set when the walk ended (Halt) or live-locked (NoProgress).
+    finished: bool,
+    /// The pending conditional's fall-through successor, between a
+    /// `Cond` event and its `take_branch` resolution.
+    pending_cond: Option<(usize, usize)>,
+}
+
+impl<'a> AbstractWalker<'a> {
+    fn new(program: &'a Program) -> Self {
+        AbstractWalker {
+            program,
+            block: 0,
+            stack: Vec::new(),
+            work: Work::default(),
+            finished: false,
+            pending_cond: None,
+        }
+    }
+
+    /// Accumulates the current block's observable work. Called when the
+    /// block's *terminator* is consumed, not on entry — event segments
+    /// must end exactly at the event's block, or a split callee entry
+    /// would leak its first piece into the caller's segment.
+    fn absorb_block(&mut self) {
+        let b = self.program.block(self.block);
+        self.work.body_ops += u64::from(b.body_len);
+        self.work.literal_refs += u64::from(b.literal_refs);
+    }
+
+    /// Returns and resets the work accumulated since the last call.
+    fn take_work(&mut self) -> Work {
+        std::mem::take(&mut self.work)
+    }
+
+    /// Advances to the next observable event, folding fall-throughs and
+    /// unconditional jumps.
+    fn run_to_event(&mut self) -> Event {
+        assert!(self.pending_cond.is_none(), "resolve the pending branch");
+        if self.finished {
+            return Event::Halt;
+        }
+        // Pure control transfers between observable events are bounded:
+        // a walk that folds longer than a generous multiple of the block
+        // count is looping through jump-only blocks.
+        let budget = 4 * self.program.num_blocks() + 16;
+        for _ in 0..budget {
+            let terminator = self.program.block(self.block).terminator;
+            self.absorb_block();
+            match terminator {
+                Terminator::FallThrough => self.block += 1,
+                Terminator::Jump { target } => self.block = target,
+                Terminator::CondBranch { target, taken_prob } => {
+                    self.pending_cond = Some((target, self.block + 1));
+                    return Event::Cond {
+                        prob_bits: taken_prob.to_bits(),
+                    };
+                }
+                Terminator::Call { callee } => {
+                    let function = self.program.function_of(callee);
+                    if self.stack.len() < MAX_CALL_DEPTH {
+                        self.stack.push(self.block);
+                        self.block = callee;
+                    } else {
+                        // Depth cap: degrade to fall-through, like the
+                        // trace walker.
+                        self.block += 1;
+                    }
+                    return Event::Call { function };
+                }
+                Terminator::Return => match self.stack.pop() {
+                    Some(caller) => {
+                        self.block = caller + 1;
+                        return Event::Return;
+                    }
+                    None => {
+                        self.finished = true;
+                        return Event::Halt;
+                    }
+                },
+            }
+        }
+        self.finished = true;
+        Event::NoProgress
+    }
+
+    /// Resolves the pending conditional branch.
+    fn take_branch(&mut self, taken: bool) {
+        let (target, fallthrough) = self
+            .pending_cond
+            .take()
+            .expect("take_branch without a pending Cond event");
+        self.block = if taken { target } else { fallthrough };
+    }
+}
+
+/// The shared deterministic branch oracle: decision `i` of every walk
+/// pair draws the same uniform value.
+fn decide(seed: u64, index: u64, prob_bits: u32) -> bool {
+    let mut z = seed
+        .wrapping_add(index.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(0x6A09_E667_F3BC_C909);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    let u = (z >> 40) as f32 / (1u64 << 24) as f32;
+    u < f32::from_bits(prob_bits)
+}
+
+fn mismatch(step: usize, block: usize, detail: impl fmt::Display) -> Diagnostic {
+    Diagnostic::deny(
+        lint_ids::TRANSFORM_EQUIVALENCE,
+        Location::Block {
+            id: block,
+            word: None,
+        },
+        format!("event {step}: {detail}"),
+    )
+}
+
+/// Checks that `transformed` is observably trace-equivalent to
+/// `original` (see the module docs for the equivalence relation).
+///
+/// # Errors
+///
+/// Returns a deny-level [`Diagnostic`] (lint `transform-equivalence`)
+/// locating the first divergence in the transformed program.
+pub fn check_trace_equivalence(
+    original: &Program,
+    transformed: &Program,
+    cfg: &EquivConfig,
+) -> Result<(), Diagnostic> {
+    if original.functions().len() != transformed.functions().len() {
+        return Err(mismatch(
+            0,
+            0,
+            format!(
+                "function count changed: {} before, {} after",
+                original.functions().len(),
+                transformed.functions().len()
+            ),
+        ));
+    }
+    let mut a = AbstractWalker::new(original);
+    let mut b = AbstractWalker::new(transformed);
+    let mut decisions = 0u64;
+    for step in 0..cfg.max_events {
+        let ea = a.run_to_event();
+        let eb = b.run_to_event();
+        let (wa, wb) = (a.take_work(), b.take_work());
+        if wa != wb {
+            return Err(mismatch(
+                step,
+                b.block,
+                format!(
+                    "work diverged: original ran {} body ops / {} literal refs, \
+                     transformed ran {} / {}",
+                    wa.body_ops, wa.literal_refs, wb.body_ops, wb.literal_refs
+                ),
+            ));
+        }
+        match (ea, eb) {
+            (Event::Cond { prob_bits: pa }, Event::Cond { prob_bits: pb }) => {
+                if pa != pb {
+                    return Err(mismatch(
+                        step,
+                        b.block,
+                        format!(
+                            "branch probability changed: {} vs {}",
+                            f32::from_bits(pa),
+                            f32::from_bits(pb)
+                        ),
+                    ));
+                }
+                let taken = decide(cfg.seed, decisions, pa);
+                decisions += 1;
+                a.take_branch(taken);
+                b.take_branch(taken);
+            }
+            (Event::Call { function: fa }, Event::Call { function: fb }) => {
+                if fa != fb {
+                    return Err(mismatch(
+                        step,
+                        b.block,
+                        format!("call target changed: function {fa} vs {fb}"),
+                    ));
+                }
+            }
+            (Event::Return, Event::Return) => {}
+            (Event::Halt, Event::Halt) | (Event::NoProgress, Event::NoProgress) => return Ok(()),
+            (ea, eb) => {
+                return Err(mismatch(
+                    step,
+                    b.block,
+                    format!("control diverged: original at {ea:?}, transformed at {eb:?}"),
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+// Tests build one-function programs, whose span list really is `vec![0..n]`.
+#[allow(clippy::single_range_in_vec_init)]
+mod tests {
+    use super::*;
+    use dvs_linker::bbr_transform;
+    use dvs_workloads::{Block, ProgramSpec};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn generated(seed: u64) -> Program {
+        ProgramSpec::default().generate(&mut StdRng::seed_from_u64(seed))
+    }
+
+    #[test]
+    fn program_is_equivalent_to_itself() {
+        let p = generated(3);
+        check_trace_equivalence(&p, &p, &EquivConfig::default()).unwrap();
+    }
+
+    #[test]
+    fn bbr_transform_is_equivalent() {
+        for seed in 0..6 {
+            let p = generated(seed);
+            for limit in [6, 8, 16] {
+                let t = bbr_transform(&p, limit);
+                check_trace_equivalence(&p, &t, &EquivConfig::default())
+                    .unwrap_or_else(|d| panic!("seed {seed} limit {limit}: {d}"));
+            }
+        }
+    }
+
+    #[test]
+    fn retargeting_bug_is_caught() {
+        // A "transform" that redirects a jump to the wrong block.
+        let blocks = vec![
+            Block::with_terminator(3, Terminator::Jump { target: 1 }),
+            Block::with_terminator(5, Terminator::Jump { target: 0 }),
+            Block::with_terminator(7, Terminator::Jump { target: 0 }),
+        ];
+        let p = Program::new(blocks.clone(), vec![0..3], vec![0]).unwrap();
+        let mut bad = blocks;
+        bad[0].terminator = Terminator::Jump { target: 2 };
+        let q = Program::new(bad, vec![0..3], vec![0]).unwrap();
+        let d = check_trace_equivalence(&p, &q, &EquivConfig::default()).unwrap_err();
+        assert_eq!(d.lint, lint_ids::TRANSFORM_EQUIVALENCE);
+        assert!(d.message.contains("work diverged"), "{d}");
+    }
+
+    #[test]
+    fn dropped_work_is_caught() {
+        let p = generated(1);
+        let mut blocks = p.blocks().to_vec();
+        // Shave one instruction off a block the walk visits.
+        blocks[0].body_len += 1;
+        let q = Program::new(blocks, p.functions().to_vec(), p.pool_words().to_vec()).unwrap();
+        assert!(check_trace_equivalence(&p, &q, &EquivConfig::default()).is_err());
+    }
+
+    #[test]
+    fn changed_branch_probability_is_caught() {
+        let p = generated(2);
+        let mut blocks = p.blocks().to_vec();
+        let idx = blocks
+            .iter()
+            .position(|b| matches!(b.terminator, Terminator::CondBranch { .. }))
+            .expect("generated programs contain branches");
+        if let Terminator::CondBranch { target, taken_prob } = blocks[idx].terminator {
+            blocks[idx].terminator = Terminator::CondBranch {
+                target,
+                taken_prob: (taken_prob * 0.5).max(0.01),
+            };
+        }
+        let q = Program::new(blocks, p.functions().to_vec(), p.pool_words().to_vec()).unwrap();
+        assert!(check_trace_equivalence(&p, &q, &EquivConfig::default()).is_err());
+    }
+
+    #[test]
+    fn pure_jump_loops_compare_equal() {
+        let loopy = |via: usize| {
+            let blocks = vec![
+                Block::with_terminator(0, Terminator::Jump { target: via }),
+                Block::with_terminator(0, Terminator::Jump { target: 0 }),
+            ];
+            Program::new(blocks, vec![0..2], vec![0]).unwrap()
+        };
+        // Both walks live-lock in jump-only blocks: NoProgress on both
+        // sides is an agreement, not an error.
+        check_trace_equivalence(&loopy(1), &loopy(1), &EquivConfig::default()).unwrap();
+    }
+}

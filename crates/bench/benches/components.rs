@@ -21,7 +21,7 @@ fn bench_sram(c: &mut Criterion) {
     let p_word = PfailModel::dsn45().pfail_word(MilliVolts::new(400));
     g.bench_function("faultmap_sample_32kb", |b| {
         let mut rng = StdRng::seed_from_u64(1);
-        b.iter(|| FaultMap::sample(&geom(), p_word, &mut rng))
+        b.iter(|| FaultMap::sample(&geom(), p_word, &mut rng));
     });
     g.bench_function("march_bist_32kb", |b| {
         b.iter_batched(
@@ -32,7 +32,7 @@ fn bench_sram(c: &mut Criterion) {
             },
             |mut a| bist::march_test(&mut a),
             BatchSize::SmallInput,
-        )
+        );
     });
     g.finish();
 }
@@ -49,7 +49,7 @@ fn bench_ffw_remap(c: &mut Criterion) {
                 }
             }
             acc
-        })
+        });
     });
 }
 
@@ -68,7 +68,7 @@ fn bench_cache(c: &mut Criterion) {
                     }
                 },
                 BatchSize::SmallInput,
-            )
+            );
         });
     }
     g.finish();
@@ -80,7 +80,7 @@ fn bench_linker(c: &mut Criterion) {
     let p_word = PfailModel::dsn45().pfail_word(MilliVolts::new(400));
     let transformed = bbr_transform(wl.program(), adaptive_max_block_words(p_word));
     g.bench_function("transform_basicmath", |b| {
-        b.iter(|| bbr_transform(wl.program(), adaptive_max_block_words(p_word)))
+        b.iter(|| bbr_transform(wl.program(), adaptive_max_block_words(p_word)));
     });
     g.bench_function("link_basicmath_400mv", |b| {
         let mut seed = 0u64;
@@ -88,7 +88,7 @@ fn bench_linker(c: &mut Criterion) {
             seed += 1;
             let fmap = FaultMap::sample(&geom(), p_word, &mut StdRng::seed_from_u64(seed));
             BbrLinker::new(geom()).link(&transformed, &fmap)
-        })
+        });
     });
     g.finish();
 }
@@ -107,13 +107,13 @@ fn bench_cpu(c: &mut Criterion) {
                 1607,
             );
             simulate(&CoreConfig::dsn2016(), mem, wl.trace(&layout, 0).take(n))
-        })
+        });
     });
     g.bench_function("trace_generation_50k", |b| {
-        b.iter(|| wl.trace(&layout, 0).take(n).count())
+        b.iter(|| wl.trace(&layout, 0).take(n).count());
     });
     g.bench_function("locality_measure_50k", |b| {
-        b.iter(|| locality::measure(wl.trace(&layout, 0).take(n), 10_000))
+        b.iter(|| locality::measure(wl.trace(&layout, 0).take(n), 10_000));
     });
     g.finish();
 }

@@ -17,7 +17,7 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use dvs_cpu::{simulate, CoreConfig, MemSystem, SimResult};
-use dvs_linker::BbrLinker;
+use dvs_linker::{BbrLinker, Diagnostic, Severity};
 use dvs_power::energy::RunCounts;
 use dvs_schemes::L1Cache;
 use dvs_sram::montecarlo::trial_seed;
@@ -52,6 +52,7 @@ pub(crate) struct EngineCounters {
     pub(crate) trials_from_store: AtomicU64,
     pub(crate) cells_from_store: AtomicU64,
     pub(crate) link_failures: AtomicU64,
+    pub(crate) invariant_violations: AtomicU64,
     pub(crate) link_nanos: AtomicU64,
     pub(crate) sim_nanos: AtomicU64,
     pub(crate) wall_nanos: AtomicU64,
@@ -64,6 +65,7 @@ impl EngineCounters {
             trials_from_store: self.trials_from_store.load(Ordering::Relaxed),
             cells_from_store: self.cells_from_store.load(Ordering::Relaxed),
             link_failures: self.link_failures.load(Ordering::Relaxed),
+            invariant_violations: self.invariant_violations.load(Ordering::Relaxed),
             link_nanos: self.link_nanos.load(Ordering::Relaxed),
             sim_nanos: self.sim_nanos.load(Ordering::Relaxed),
             wall_nanos: self.wall_nanos.load(Ordering::Relaxed),
@@ -82,6 +84,9 @@ pub struct EngineStats {
     pub cells_from_store: u64,
     /// Trials whose BBR link found no placement.
     pub link_failures: u64,
+    /// Trials whose linked image failed static validation (only possible
+    /// when [`crate::EvalConfig::validate_images`] is on).
+    pub invariant_violations: u64,
     /// Wall-clock nanoseconds spent inside the BBR linker (summed over
     /// workers, so this can exceed `wall_nanos`).
     pub link_nanos: u64,
@@ -120,13 +125,26 @@ pub struct Progress {
 /// worker that completes a cell's last trial fires it.
 pub type ProgressFn = dyn Fn(&Progress) + Send + Sync;
 
-/// One cell's trial outcomes, ordered by trial index (`None` marks a
-/// failed BBR link).
-pub(crate) type TrialOutcomes = Vec<(u64, Option<TrialMetrics>)>;
+/// What one Monte-Carlo trial produced.
+#[derive(Debug, Clone)]
+pub(crate) enum TrialOutcome {
+    /// The trial simulated successfully.
+    Metrics(Box<TrialMetrics>),
+    /// The BBR linker found no placement for this fault map (expected at
+    /// deep voltage; counted, not simulated).
+    LinkFailed,
+    /// The linked image failed static validation — a linker/transform bug
+    /// caught by `dvs-analysis` before any cycles were spent on it.
+    Invalid(Diagnostic),
+}
+
+/// One cell's trial outcomes, ordered by trial index.
+pub(crate) type TrialOutcomes = Vec<(u64, TrialOutcome)>;
 
 /// Progress-reporting context for one `execute_cells` drain: the
 /// observer plus where this drain sits inside the surrounding plan
 /// (cells already resolved from memory or the store count as done).
+#[derive(Clone, Copy)]
 pub(crate) struct ProgressScope<'a> {
     pub(crate) callback: Option<&'a ProgressFn>,
     pub(crate) cells_done_before: usize,
@@ -170,8 +188,16 @@ pub(crate) fn execute_cells(
                 };
                 let cell = &cells[ci];
                 let outcome = run_trial(cfg, core, geometry, cell, trial, counters);
-                if outcome.is_none() {
-                    counters.link_failures.fetch_add(1, Ordering::Relaxed);
+                match &outcome {
+                    TrialOutcome::LinkFailed => {
+                        counters.link_failures.fetch_add(1, Ordering::Relaxed);
+                    }
+                    TrialOutcome::Invalid(_) => {
+                        counters
+                            .invariant_violations
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                    TrialOutcome::Metrics(_) => {}
                 }
                 counters.trials_computed.fetch_add(1, Ordering::Relaxed);
                 collectors[ci]
@@ -206,8 +232,7 @@ pub(crate) fn execute_cells(
         .collect()
 }
 
-/// Runs one Monte-Carlo trial. `None` means the BBR linker found no
-/// placement for this fault map.
+/// Runs one Monte-Carlo trial.
 ///
 /// The non-BBR path borrows the benchmark's program and sequential
 /// layout straight from the shared artifacts — nothing is cloned on the
@@ -219,7 +244,7 @@ fn run_trial(
     cell: &CellContext,
     trial: u64,
     counters: &EngineCounters,
-) -> Option<TrialMetrics> {
+) -> TrialOutcome {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -257,8 +282,19 @@ fn run_trial(
         counters
             .link_nanos
             .fetch_add(link_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
-        let image = image.ok()?;
-        debug_assert!(image.verify(&fmap_i).is_ok());
+        let Ok(image) = image else {
+            return TrialOutcome::LinkFailed;
+        };
+        if cfg.validate_images {
+            // Full lint pass over the placed image, including trace
+            // equivalence against the pre-transform benchmark program.
+            let diags = dvs_analysis::analyze_image(&image, &fmap_i, Some(art.workload.program()));
+            if let Some(d) = diags.into_iter().find(|d| d.severity == Severity::Deny) {
+                return TrialOutcome::Invalid(d);
+            }
+        } else {
+            debug_assert!(image.verify(&fmap_i).is_ok());
+        }
         link_stats = Some(*image.stats());
         Some(image.into_parts())
     } else {
@@ -282,11 +318,11 @@ fn run_trial(
     counters
         .sim_nanos
         .fetch_add(sim_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
-    Some(TrialMetrics {
+    TrialOutcome::Metrics(Box::new(TrialMetrics {
         result,
         counts: counts_of(&result),
         link_stats,
-    })
+    }))
 }
 
 /// Derives the energy model's event counts from a simulation result.

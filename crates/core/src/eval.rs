@@ -21,13 +21,15 @@ use std::time::Instant;
 use serde::{Deserialize, Serialize};
 
 use dvs_cpu::{CoreConfig, SimResult};
-use dvs_linker::{adaptive_max_block_words, bbr_transform, LinkStats};
+use dvs_linker::{adaptive_max_block_words, bbr_transform, Diagnostic, LinkStats};
 use dvs_power::energy::{EnergyModel, RunCounts};
 use dvs_sram::stats::Summary;
 use dvs_sram::{CacheGeometry, MilliVolts};
 use dvs_workloads::{Benchmark, Layout, Program};
 
-use crate::engine::{self, BenchArtifacts, CellContext, EngineCounters, EngineStats, ProgressFn};
+use crate::engine::{
+    self, BenchArtifacts, CellContext, EngineCounters, EngineStats, ProgressFn, TrialOutcome,
+};
 use crate::plan::{CellKey, ExperimentPlan};
 use crate::store::{ResultStore, StoreKey, StoredCell};
 use crate::{DvfsPoint, Scheme};
@@ -53,6 +55,12 @@ pub struct EvalConfig {
     /// Worker threads for trial-level parallelism. Never affects results
     /// (and is therefore not part of the result-store key).
     pub threads: usize,
+    /// Run every successfully linked BBR image through the `dvs-analysis`
+    /// lint registry before simulating it, surfacing any deny finding as
+    /// [`EvalError::InvariantViolation`]. Purely a checking knob — it can
+    /// never change metrics, only reject them — so, like `threads`, it is
+    /// not part of the result-store key.
+    pub validate_images: bool,
 }
 
 impl EvalConfig {
@@ -64,6 +72,7 @@ impl EvalConfig {
             seed: 42,
             bbr_max_block_words: None,
             threads: 8,
+            validate_images: false,
         }
     }
 
@@ -84,6 +93,7 @@ impl EvalConfig {
             seed: 42,
             bbr_max_block_words: None,
             threads: 4,
+            validate_images: true,
         }
     }
 }
@@ -110,6 +120,23 @@ pub enum EvalError {
         /// Trials attempted (all of which failed to link).
         attempts: u64,
     },
+    /// A linked image failed static validation (only reachable with
+    /// [`EvalConfig::validate_images`] on). Unlike a link failure this is
+    /// never expected: it means the linker or transform produced an image
+    /// that violates a scheme invariant, so the cell's data is discarded
+    /// rather than persisted.
+    InvariantViolation {
+        /// The workload.
+        benchmark: Benchmark,
+        /// The evaluated configuration.
+        scheme: Scheme,
+        /// Nominal operating voltage.
+        vcc: MilliVolts,
+        /// Trial index whose image failed validation.
+        trial: u64,
+        /// The first deny finding the lint registry reported.
+        diagnostic: Diagnostic,
+    },
 }
 
 impl fmt::Display for EvalError {
@@ -124,6 +151,17 @@ impl fmt::Display for EvalError {
                 f,
                 "every trial of {benchmark}/{scheme} at {vcc} failed to link \
                  ({attempts} attempts)"
+            ),
+            EvalError::InvariantViolation {
+                benchmark,
+                scheme,
+                vcc,
+                trial,
+                diagnostic,
+            } => write!(
+                f,
+                "trial {trial} of {benchmark}/{scheme} at {vcc} produced an \
+                 invalid image: {diagnostic}"
             ),
         }
     }
@@ -422,9 +460,35 @@ impl Evaluator {
                 },
             );
             for (key, cell_outcomes) in missing.iter().zip(outcomes) {
-                let failed_links = cell_outcomes.iter().filter(|(_, o)| o.is_none()).count() as u64;
-                let trials: Vec<TrialMetrics> =
-                    cell_outcomes.into_iter().filter_map(|(_, o)| o).collect();
+                let mut failed_links = 0u64;
+                let mut violation: Option<(u64, Diagnostic)> = None;
+                let mut trials: Vec<TrialMetrics> = Vec::new();
+                for (trial, outcome) in cell_outcomes {
+                    match outcome {
+                        TrialOutcome::Metrics(m) => trials.push(*m),
+                        TrialOutcome::LinkFailed => failed_links += 1,
+                        TrialOutcome::Invalid(d) => {
+                            if violation.is_none() {
+                                violation = Some((trial, d));
+                            }
+                        }
+                    }
+                }
+                if let Some((trial, diagnostic)) = violation {
+                    // An invalid image means the cell's data is suspect:
+                    // fail the cell and keep it out of the result store.
+                    self.failures.insert(
+                        *key,
+                        EvalError::InvariantViolation {
+                            benchmark: key.benchmark,
+                            scheme: key.scheme,
+                            vcc: key.vcc(),
+                            trial,
+                            diagnostic,
+                        },
+                    );
+                    continue;
+                }
                 if let Some(store) = &self.store {
                     let store_key = StoreKey::for_cell(&self.cfg, &self.core, &self.geometry, key);
                     let cell = StoredCell {
@@ -754,20 +818,56 @@ mod tests {
         let err = e
             .run(Benchmark::Qsort, Scheme::FfwBbr, MilliVolts::new(400))
             .unwrap_err();
-        let EvalError::AllLinksFailed {
-            benchmark,
-            scheme,
-            vcc,
-            attempts,
-        } = err;
-        assert_eq!(benchmark, Benchmark::Qsort);
-        assert_eq!(scheme, Scheme::FfwBbr);
-        assert_eq!(vcc.get(), 400);
-        assert_eq!(attempts, cfg.maps);
+        match err {
+            EvalError::AllLinksFailed {
+                benchmark,
+                scheme,
+                vcc,
+                attempts,
+            } => {
+                assert_eq!(benchmark, Benchmark::Qsort);
+                assert_eq!(scheme, Scheme::FfwBbr);
+                assert_eq!(vcc.get(), 400);
+                assert_eq!(attempts, cfg.maps);
+            }
+            other => panic!("expected AllLinksFailed, got {other}"),
+        }
         // Other cells of the campaign still work.
         assert!(e
             .run(Benchmark::Qsort, Scheme::SimpleWdis, MilliVolts::new(400))
             .is_ok());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn validate_images_is_on_for_quick_and_off_the_store_key() {
+        assert!(EvalConfig::quick().validate_images);
+        assert!(!EvalConfig::standard().validate_images);
+        assert!(!EvalConfig::paper_scale().validate_images);
+        // Like `threads`, the flag can never change results, so two
+        // configs differing only in it must share stored cells.
+        let with = EvalConfig::quick();
+        let without = EvalConfig {
+            validate_images: false,
+            ..with
+        };
+        let key = CellKey::new(Benchmark::Crc32, Scheme::FfwBbr, MilliVolts::new(440));
+        let core = CoreConfig::dsn2016();
+        let geom = CacheGeometry::dsn_l1();
+        assert_eq!(
+            StoreKey::for_cell(&with, &core, &geom, &key),
+            StoreKey::for_cell(&without, &core, &geom, &key)
+        );
+    }
+
+    #[test]
+    fn validated_bbr_run_reports_zero_violations() {
+        // quick() lints every linked image; real linker output must pass.
+        let mut e = Evaluator::new(EvalConfig::quick());
+        let run = e
+            .run(Benchmark::Crc32, Scheme::FfwBbr, MilliVolts::new(440))
+            .expect("crc32 FFW+BBR at 440 mV links");
+        assert!(!run.trials.is_empty());
+        assert_eq!(e.stats().invariant_violations, 0);
     }
 }

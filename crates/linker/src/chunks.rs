@@ -57,6 +57,58 @@ pub fn chunk_sizes(fmap: &FaultMap) -> Vec<u32> {
     fault_free_chunks(fmap).iter().map(|c| c.len).collect()
 }
 
+/// The maximal fault-free chunk containing linear `word`, or `None` when
+/// the word itself is defective.
+///
+/// Like [`fault_free_chunks`], the returned chunk does not wrap: a run
+/// touching the last word ends there even if word 0 is also fault-free.
+///
+/// # Panics
+///
+/// Panics if `word` is outside the map's linear view.
+pub fn chunk_at(fmap: &FaultMap, word: u32) -> Option<Chunk> {
+    let total = fmap.geometry().total_words();
+    assert!(word < total, "word {word} outside cache of {total} words");
+    if fmap.linear_is_faulty(word) {
+        return None;
+    }
+    let mut start = word;
+    while start > 0 && !fmap.linear_is_faulty(start - 1) {
+        start -= 1;
+    }
+    let mut end = word + 1;
+    while end < total && !fmap.linear_is_faulty(end) {
+        end += 1;
+    }
+    Some(Chunk {
+        start,
+        len: end - start,
+    })
+}
+
+/// Offset of the first defective word in the `len`-word run whose cache
+/// image starts at linear word `start`, wrapping past the last word back
+/// to word 0 (the linker's placement view, where a block's contiguous
+/// memory addresses wrap around the direct-mapped cache). Returns `None`
+/// when the whole run is fault-free.
+///
+/// A `len` of 0 trivially succeeds. A run longer than the cache cannot be
+/// fault-free unless the map has no defects at all (it would revisit
+/// every word), and is reported against the first defective word it
+/// wraps onto.
+///
+/// # Panics
+///
+/// Panics if `start` is outside the map's linear view.
+pub fn first_faulty_in_run(fmap: &FaultMap, start: u32, len: u32) -> Option<u32> {
+    let total = fmap.geometry().total_words();
+    assert!(
+        start < total,
+        "start {start} outside cache of {total} words"
+    );
+    (0..len).find(|&k| fmap.linear_is_faulty((start + k) % total))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -98,6 +150,87 @@ mod tests {
     fn all_faulty_has_no_chunks() {
         let fmap = FaultMap::from_faulty_indices(&tiny_geom(), 0..32);
         assert!(fault_free_chunks(&fmap).is_empty());
+        assert!(chunk_sizes(&fmap).is_empty());
+        assert_eq!(chunk_at(&fmap, 0), None);
+        assert_eq!(first_faulty_in_run(&fmap, 5, 1), Some(0));
+    }
+
+    // Regression: an empty (defect-free) fault map is one maximal chunk
+    // covering the whole cache, and every word resolves to it.
+    #[test]
+    fn empty_fault_map_is_one_whole_cache_chunk() {
+        let fmap = FaultMap::fault_free(&tiny_geom());
+        assert_eq!(chunk_sizes(&fmap), vec![32]);
+        for w in [0, 15, 31] {
+            assert_eq!(chunk_at(&fmap, w), Some(Chunk { start: 0, len: 32 }));
+        }
+        // Wrapping runs of any length up to the cache size are clean, and
+        // even a full-loop run finds no defect on an empty map.
+        assert_eq!(first_faulty_in_run(&fmap, 30, 32), None);
+    }
+
+    // Regression: a fully-faulty frame (8 words in tiny_geom) must split
+    // its neighbours without contributing zero-length chunks.
+    #[test]
+    fn fully_faulty_frame_splits_cleanly() {
+        // Frame words 8..16 all faulty (the linear view of one frame).
+        let fmap = FaultMap::from_faulty_indices(&tiny_geom(), 8..16);
+        let chunks = fault_free_chunks(&fmap);
+        assert_eq!(
+            chunks,
+            vec![Chunk { start: 0, len: 8 }, Chunk { start: 16, len: 16 }]
+        );
+        assert!(chunks.iter().all(|c| c.len > 0));
+        for w in 8..16 {
+            assert_eq!(chunk_at(&fmap, w), None);
+        }
+        assert_eq!(chunk_at(&fmap, 7), Some(Chunk { start: 0, len: 8 }));
+        assert_eq!(chunk_at(&fmap, 16), Some(Chunk { start: 16, len: 16 }));
+    }
+
+    // Regression: chunks freely span frame boundaries — the linear view
+    // has no seams at multiples of words-per-block.
+    #[test]
+    fn chunk_spans_frame_boundary() {
+        // tiny_geom frames are 8 words; faults at 5 and 19 leave the run
+        // 6..19 crossing the frame boundaries at 8 and 16.
+        let fmap = FaultMap::from_faulty_indices(&tiny_geom(), [5, 19]);
+        let chunks = fault_free_chunks(&fmap);
+        assert_eq!(
+            chunks,
+            vec![
+                Chunk { start: 0, len: 5 },
+                Chunk { start: 6, len: 13 },
+                Chunk { start: 20, len: 12 }
+            ]
+        );
+        assert_eq!(chunk_at(&fmap, 8), Some(Chunk { start: 6, len: 13 }));
+        assert_eq!(chunk_at(&fmap, 16), Some(Chunk { start: 6, len: 13 }));
+    }
+
+    // Regression: runs that wrap the cache boundary are checked word by
+    // word past the wrap, which the non-wrapping chunk list cannot see.
+    #[test]
+    fn wrapping_runs_check_past_the_boundary() {
+        let fmap = FaultMap::from_faulty_indices(&tiny_geom(), [2]);
+        // 30, 31, 0, 1 are clean; extending to word 2 trips the fault.
+        assert_eq!(first_faulty_in_run(&fmap, 30, 4), None);
+        assert_eq!(first_faulty_in_run(&fmap, 30, 5), Some(4));
+        // The chunk list itself never wraps: word 30's chunk ends at 31.
+        assert_eq!(chunk_at(&fmap, 30), Some(Chunk { start: 3, len: 29 }));
+    }
+
+    #[test]
+    fn zero_length_run_is_trivially_clean() {
+        let fmap = FaultMap::from_faulty_indices(&tiny_geom(), [0]);
+        assert_eq!(first_faulty_in_run(&fmap, 1, 0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside cache")]
+    fn chunk_at_rejects_out_of_range_words() {
+        let fmap = FaultMap::fault_free(&tiny_geom());
+        let _ = chunk_at(&fmap, 32);
     }
 
     proptest! {

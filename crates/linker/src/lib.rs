@@ -40,11 +40,13 @@
 #![warn(missing_docs)]
 
 mod chunks;
+pub mod diag;
 mod link;
 mod occupancy;
 mod transform;
 
-pub use chunks::{chunk_sizes, fault_free_chunks, Chunk};
+pub use chunks::{chunk_at, chunk_sizes, fault_free_chunks, first_faulty_in_run, Chunk};
+pub use diag::{json_escape, lint_ids, Diagnostic, Location, Severity};
 pub use link::{BbrLinker, LinkError, LinkStats, LinkedImage};
 pub use occupancy::{interval_capacities, CacheOccupancy, PAPER_INTERVAL_INSTRS};
 pub use transform::{

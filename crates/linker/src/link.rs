@@ -7,6 +7,8 @@ use serde::{Deserialize, Serialize};
 use dvs_sram::{BitGrid, CacheGeometry, FaultMap};
 use dvs_workloads::{Layout, Program};
 
+use crate::diag::{lint_ids, Diagnostic, Location};
+
 /// Error returned when a program cannot be linked against a fault map.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum LinkError {
@@ -108,8 +110,11 @@ impl LinkedImage {
 
     /// Verifies that no placed instruction or literal maps to a defective
     /// cache word, and that every elided fall-through lands exactly on the
-    /// next block. Returns the offending (block, word-offset) on failure.
-    pub fn verify(&self, fmap: &FaultMap) -> Result<(), (usize, u32)> {
+    /// next block. Returns the first finding as a structured
+    /// [`Diagnostic`] (lint id, severity, location, message); the
+    /// `dvs-analysis` crate runs the same checks — and more — through its
+    /// lint registry when every finding is wanted.
+    pub fn verify(&self, fmap: &FaultMap) -> Result<(), Diagnostic> {
         let csize = u64::from(fmap.geometry().total_words());
         for id in 0..self.program.num_blocks() {
             let block = self.program.block(id);
@@ -117,7 +122,11 @@ impl LinkedImage {
             for k in 0..block.footprint_words() {
                 let cache_word = ((start / 4 + u64::from(k)) % csize) as u32;
                 if fmap.linear_is_faulty(cache_word) {
-                    return Err((id, k));
+                    return Err(Diagnostic::deny(
+                        lint_ids::CHUNK_CONTAINMENT,
+                        Location::Block { id, word: Some(k) },
+                        format!("placed word maps to defective cache word {cache_word}"),
+                    ));
                 }
             }
             // An implicit fall-through (elided jump) must be adjacent.
@@ -130,12 +139,33 @@ impl LinkedImage {
                 );
             if falls_through {
                 let end = start + u64::from(block.footprint_words()) * 4;
-                if self.layout.block_start(id + 1) != end {
-                    return Err((id, block.footprint_words()));
+                let next = self.layout.block_start(id + 1);
+                if next != end {
+                    return Err(Diagnostic::deny(
+                        lint_ids::LAYOUT_SOUNDNESS,
+                        Location::Block {
+                            id,
+                            word: Some(block.footprint_words()),
+                        },
+                        format!(
+                            "fall-through block ends at {end:#x} but block {} starts at {next:#x}",
+                            id + 1
+                        ),
+                    ));
                 }
             }
         }
         Ok(())
+    }
+
+    /// The pre-diagnostic shape of [`LinkedImage::verify`]: the offending
+    /// (block, word-offset) pair with no lint id or message.
+    #[deprecated(note = "use `verify`, which reports a structured Diagnostic")]
+    pub fn verify_raw(&self, fmap: &FaultMap) -> Result<(), (usize, u32)> {
+        self.verify(fmap).map_err(|d| match d.location {
+            Location::Block { id, word } => (id, word.unwrap_or(0)),
+            _ => (0, 0),
+        })
     }
 }
 
@@ -233,7 +263,7 @@ impl BbrLinker {
             if prev_elidable {
                 let candidate = mem_word - 1;
                 let cache_addr = (candidate % u64::from(csize)) as u32;
-                if first_fault_within(fmap, cache_addr, footprint, csize).is_none() {
+                if crate::chunks::first_faulty_in_run(fmap, cache_addr, footprint).is_none() {
                     blocks[id - 1].explicit_jump = false;
                     mem_word = candidate;
                     elided = true;
@@ -246,7 +276,7 @@ impl BbrLinker {
                 let scan_start = mem_word;
                 loop {
                     let cache_addr = (mem_word % u64::from(csize)) as u32;
-                    match first_fault_within(fmap, cache_addr, footprint, csize) {
+                    match crate::chunks::first_faulty_in_run(fmap, cache_addr, footprint) {
                         None => break,
                         Some(offset) => {
                             // Jump past the defective word that broke the run.
@@ -306,13 +336,6 @@ impl BbrLinker {
             stats,
         })
     }
-}
-
-/// Returns the offset of the first defective word in the `len`-word run
-/// whose cache image starts at `cache_addr` (wrapping), or `None` if the
-/// whole run is fault-free.
-fn first_fault_within(fmap: &FaultMap, cache_addr: u32, len: u32, csize: u32) -> Option<u32> {
-    (0..len).find(|&k| fmap.linear_is_faulty((cache_addr + k) % csize))
 }
 
 #[cfg(test)]
@@ -452,6 +475,32 @@ mod tests {
             }
             assert!(ok >= 8, "{b}: only {ok}/10 fault maps linked at 400 mV");
         }
+    }
+
+    #[test]
+    fn verify_reports_structured_diagnostics() {
+        // Link cleanly, then check against a *different* map in which the
+        // placed words are defective: verify must name the lint and block.
+        let p = chain_program(&[4]);
+        let clean = FaultMap::fault_free(&tiny_geom());
+        let image = BbrLinker::new(tiny_geom()).link(&p, &clean).unwrap();
+        let hostile = FaultMap::from_faulty_indices(&tiny_geom(), [2]);
+        let diag = image.verify(&hostile).unwrap_err();
+        assert_eq!(diag.lint, crate::lint_ids::CHUNK_CONTAINMENT);
+        assert_eq!(diag.severity, crate::Severity::Deny);
+        assert_eq!(
+            diag.location,
+            crate::Location::Block {
+                id: 0,
+                word: Some(2)
+            }
+        );
+        assert!(diag.message.contains("defective cache word 2"));
+
+        // The deprecated shim preserves the old (block, word) tuple.
+        #[allow(deprecated)]
+        let raw = image.verify_raw(&hostile).unwrap_err();
+        assert_eq!(raw, (0, 2));
     }
 
     #[test]

@@ -1,0 +1,46 @@
+//! The transform pipeline checked with the `dvs-analysis` equivalence
+//! checker — each stage individually, then the full pipeline, then the
+//! relaxed program the linker emits.
+
+use dvs_analysis::{check_trace_equivalence, EquivConfig};
+use dvs_linker::{bbr_transform, break_blocks, insert_jumps, move_literal_pools, BbrLinker};
+use dvs_sram::{CacheGeometry, FaultMap};
+use dvs_workloads::{Benchmark, ProgramSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn each_transform_stage_preserves_the_trace() {
+    let cfg = EquivConfig::default();
+    for seed in 0..8 {
+        let p = ProgramSpec::default().generate(&mut StdRng::seed_from_u64(seed));
+        let jumps = insert_jumps(&p);
+        check_trace_equivalence(&p, &jumps, &cfg)
+            .unwrap_or_else(|d| panic!("seed {seed}: insert_jumps: {d}"));
+        let broken = break_blocks(&jumps, 8);
+        check_trace_equivalence(&p, &broken, &cfg)
+            .unwrap_or_else(|d| panic!("seed {seed}: break_blocks: {d}"));
+        let moved = move_literal_pools(&broken);
+        check_trace_equivalence(&p, &moved, &cfg)
+            .unwrap_or_else(|d| panic!("seed {seed}: move_literal_pools: {d}"));
+    }
+}
+
+#[test]
+fn relaxed_linker_output_preserves_the_trace() {
+    // Relaxation rewrites explicit jumps away; the placed program must
+    // still be equivalent to the *pre-transform* benchmark program.
+    let cfg = EquivConfig::default();
+    let geom = CacheGeometry::dsn_l1();
+    for bench in [Benchmark::Crc32, Benchmark::Dijkstra, Benchmark::Hmmer] {
+        let wl = bench.build(4);
+        let t = bbr_transform(wl.program(), 8);
+        for seed in 0..4 {
+            let fmap = FaultMap::sample(&geom, 0.1, &mut StdRng::seed_from_u64(seed));
+            if let Ok(image) = BbrLinker::new(geom).link(&t, &fmap) {
+                check_trace_equivalence(wl.program(), image.program(), &cfg)
+                    .unwrap_or_else(|d| panic!("{bench} seed {seed}: {d}"));
+            }
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! FFW window invariants checked with the shared `dvs-analysis` entry
+//! point: on any sampled fault map, every frame's stored pattern must be
+//! contiguous, sized to the frame's fault-free capacity, and remap
+//! injectively onto fault-free entries.
+
+use dvs_analysis::check_ffw_windows;
+use dvs_sram::{CacheGeometry, FaultMap, MilliVolts, PfailModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn sampled_maps_have_consistent_windows_at_paper_voltages() {
+    let geom = CacheGeometry::dsn_l1();
+    let model = PfailModel::dsn45();
+    for mv in [480, 440, 400, 360] {
+        let p_word = model.pfail_word(MilliVolts::new(mv));
+        for seed in 0..4 {
+            let fmap = FaultMap::sample(
+                &geom,
+                p_word,
+                &mut StdRng::seed_from_u64(u64::from(mv) * 100 + seed),
+            );
+            let diags = check_ffw_windows(&fmap);
+            assert!(diags.is_empty(), "{mv} mV seed {seed}: {diags:?}");
+        }
+    }
+}
+
+#[test]
+fn extreme_maps_have_consistent_windows() {
+    let geom = CacheGeometry::new(4096, 4, 32).unwrap();
+    // Fault-free and near-saturated maps are the boundary cases for the
+    // centring and clamping logic.
+    for p_word in [0.0, 0.45, 0.9] {
+        let fmap = FaultMap::sample(&geom, p_word, &mut StdRng::seed_from_u64(7));
+        let diags = check_ffw_windows(&fmap);
+        assert!(diags.is_empty(), "p={p_word}: {diags:?}");
+    }
+}

@@ -4,6 +4,7 @@
 //! downstream user can `cargo add dvs` and reach every subsystem of the
 //! DSN 2016 reproduction:
 //!
+//! * [`analysis`] — static CFG verifier and lint framework for BBR images.
 //! * [`sram`] — SRAM failure model, fault maps, BIST, Monte-Carlo, stats.
 //! * [`cache`] — word-addressed cache and memory-hierarchy simulator.
 //! * [`workloads`] — synthetic SPEC2006/MiBench-like trace generators.
@@ -20,6 +21,7 @@
 
 #![forbid(unsafe_code)]
 
+pub use dvs_analysis as analysis;
 pub use dvs_cache as cache;
 pub use dvs_core as core;
 pub use dvs_cpu as cpu;
