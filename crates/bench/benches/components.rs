@@ -1,12 +1,15 @@
 //! Criterion micro-benchmarks of the simulator's hot paths: one group per
 //! substrate, so regressions in any layer of the reproduction are caught.
 
+use std::sync::Arc;
+
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use dvs_cpu::{simulate, CoreConfig, MemSystem};
 use dvs_linker::{adaptive_max_block_words, bbr_transform, BbrLinker};
+use dvs_obs::MetricsRegistry;
 use dvs_schemes::ffw::remap_word_offset;
 use dvs_schemes::{L1Cache, SchemeKind};
 use dvs_sram::{bist, CacheGeometry, FaultMap, MilliVolts, PfailModel, SramArray};
@@ -106,6 +109,21 @@ fn bench_cpu(c: &mut Criterion) {
                 L1Cache::new(SchemeKind::Conventional, FaultMap::fault_free(&geom())),
                 1607,
             );
+            simulate(&CoreConfig::dsn2016(), mem, wl.trace(&layout, 0).take(n))
+        });
+    });
+    // A/B pair for the observability overhead budget (< 2 % disabled):
+    // the same simulation with no recorder vs a live registry. Compare
+    // `simulate_50k_instructions` against `simulate_50k_recorded`.
+    g.bench_function("simulate_50k_recorded", |b| {
+        let registry = Arc::new(MetricsRegistry::new());
+        b.iter(|| {
+            let mem = MemSystem::new(
+                L1Cache::new(SchemeKind::Conventional, FaultMap::fault_free(&geom())),
+                L1Cache::new(SchemeKind::Conventional, FaultMap::fault_free(&geom())),
+                1607,
+            )
+            .with_recorder(registry.clone());
             simulate(&CoreConfig::dsn2016(), mem, wl.trace(&layout, 0).take(n))
         });
     });

@@ -1,0 +1,169 @@
+//! `dvs-profile` — per-subsystem observability profile of the Monte-Carlo
+//! pipeline across the DVFS sweep.
+//!
+//! For each operating point the tool runs the selected benchmarks under
+//! one scheme with a metrics recorder attached (plus a BIST pass at that
+//! point's failure rate) and prints a per-subsystem breakdown table, or
+//! the full metrics as JSON with `--json`.
+
+use std::process::ExitCode;
+
+use dvs_bench::profile::{run_profile, ProfileOptions};
+use dvs_sram::MilliVolts;
+use dvs_workloads::Benchmark;
+
+const USAGE: &str = "usage: dvs-profile [options]
+  --benchmarks LIST  comma-separated benchmark names (default: all ten)
+  --voltages LIST    comma-separated operating points in mV (default: 760,560,520,480,440,400)
+  --maps N           fault maps per cell
+  --trace-instrs N   dynamic instructions per trial
+  --seed N           root seed
+  --threads N        worker threads
+  --json             emit machine-readable JSON instead of the table
+  --no-timings       omit volatile wall-clock sections from the JSON
+  --selfcheck        validate the JSON rendering before printing
+  -h, --help         this text";
+
+fn parse_benchmark(name: &str) -> Option<Benchmark> {
+    Benchmark::ALL.into_iter().find(|b| {
+        let full = b.name();
+        // Accept both "401.bzip2" and the bare "bzip2".
+        full == name || full.split_once('.').is_some_and(|(_, bare)| bare == name)
+    })
+}
+
+fn parse(mut args: impl Iterator<Item = String>) -> Result<ProfileOptions, String> {
+    let mut opts = ProfileOptions::default();
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| args.next().ok_or_else(|| format!("{flag} expects a value"));
+        match arg.as_str() {
+            "--benchmarks" => {
+                opts.benchmarks = value("--benchmarks")?
+                    .split(',')
+                    .map(|n| parse_benchmark(n).ok_or_else(|| format!("unknown benchmark {n}")))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--voltages" => {
+                opts.voltages = value("--voltages")?
+                    .split(',')
+                    .map(|v| {
+                        v.parse::<u32>()
+                            .map(MilliVolts::new)
+                            .map_err(|_| format!("bad voltage {v}"))
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
+            "--maps" => {
+                opts.cfg.maps = value("--maps")?
+                    .parse()
+                    .map_err(|_| "--maps expects an integer".to_string())?;
+            }
+            "--trace-instrs" => {
+                opts.cfg.trace_instrs = value("--trace-instrs")?
+                    .parse()
+                    .map_err(|_| "--trace-instrs expects an integer".to_string())?;
+            }
+            "--seed" => {
+                opts.cfg.seed = value("--seed")?
+                    .parse()
+                    .map_err(|_| "--seed expects an integer".to_string())?;
+            }
+            "--threads" => {
+                opts.cfg.threads = value("--threads")?
+                    .parse()
+                    .map_err(|_| "--threads expects an integer".to_string())?;
+            }
+            "--json" => opts.json = true,
+            "--no-timings" => opts.include_timings = false,
+            "--selfcheck" => opts.selfcheck = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other}; try --help")),
+        }
+    }
+    if opts.benchmarks.is_empty() {
+        return Err("no benchmarks selected".into());
+    }
+    if opts.voltages.is_empty() {
+        return Err("no voltages selected".into());
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse(std::env::args().skip(1)) {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "profiling {} benchmarks x {} voltages x {} maps ({} instrs/trial)...",
+        opts.benchmarks.len(),
+        opts.voltages.len(),
+        opts.cfg.maps,
+        opts.cfg.trace_instrs
+    );
+    let report = run_profile(&opts);
+    if opts.selfcheck {
+        if let Err(e) = report.validate() {
+            eprintln!("error: self-check failed: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("self-check passed");
+    }
+    if opts.json {
+        println!("{}", report.to_json(opts.include_timings));
+    } else {
+        print!("{}", report.to_text());
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> impl Iterator<Item = String> + '_ {
+        s.split_whitespace().map(String::from)
+    }
+
+    #[test]
+    fn parses_full_flag_set() {
+        let opts = parse(argv(
+            "--benchmarks crc32,bzip2 --voltages 760,400 --maps 5 --seed 7 \
+             --trace-instrs 1000 --threads 2 --json --no-timings --selfcheck",
+        ))
+        .unwrap();
+        assert_eq!(opts.benchmarks, vec![Benchmark::Crc32, Benchmark::Bzip2]);
+        assert_eq!(
+            opts.voltages,
+            vec![MilliVolts::new(760), MilliVolts::new(400)]
+        );
+        assert_eq!(opts.cfg.maps, 5);
+        assert_eq!(opts.cfg.seed, 7);
+        assert_eq!(opts.cfg.trace_instrs, 1000);
+        assert_eq!(opts.cfg.threads, 2);
+        assert!(opts.json && !opts.include_timings && opts.selfcheck);
+    }
+
+    #[test]
+    fn rejects_unknown_flags_and_bad_values() {
+        assert!(parse(argv("--bogus")).is_err());
+        assert!(parse(argv("--benchmarks nosuch")).is_err());
+        assert!(parse(argv("--voltages abc")).is_err());
+        assert!(parse(argv("--maps")).is_err());
+    }
+
+    #[test]
+    fn defaults_cover_the_full_sweep() {
+        let opts = parse(argv("")).unwrap();
+        assert_eq!(opts.benchmarks.len(), 10);
+        assert_eq!(opts.voltages.len(), 6);
+        assert!(!opts.json);
+        assert!(opts.include_timings);
+    }
+}

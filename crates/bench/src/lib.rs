@@ -19,6 +19,8 @@ use std::path::PathBuf;
 
 use dvs_core::{EvalConfig, Evaluator, ResultStore};
 
+pub mod profile;
+
 /// Parsed command-line options for the figure binaries.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Options {

@@ -1,0 +1,156 @@
+//! Per-level hierarchy observability: local latency histograms plus a
+//! one-shot flush of counters and histograms into a recorder.
+
+use dvs_obs::{LogHistogram, Recorder};
+
+use crate::stats::MemStats;
+
+/// The level of the hierarchy that served an access, as seen by the
+/// observability layer (L1 hit, L2 hit, or all the way to DRAM).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServiceLevel {
+    /// Served from the L1 (I or D side).
+    L1,
+    /// L1 miss served by the L2.
+    L2,
+    /// L2 miss served by main memory.
+    Dram,
+}
+
+/// Locally collected access-latency histograms for the memory hierarchy.
+///
+/// The per-access hot path records into concrete [`LogHistogram`]s — no
+/// dynamic dispatch, no locking — and [`HierarchyObs::flush`] merges
+/// everything into a [`Recorder`] once per simulation, alongside the
+/// per-level access/miss/writeback counters derived from [`MemStats`].
+///
+/// Metric names emitted by `flush`:
+///
+/// | name | kind |
+/// |------|------|
+/// | `cache.l1i.accesses` / `.misses` / `.word_misses` | counter |
+/// | `cache.l1d.accesses` / `.misses` / `.word_misses` | counter |
+/// | `cache.l2.accesses` / `.misses` / `.writebacks` | counter |
+/// | `cache.dram.accesses` | counter |
+/// | `cache.l1i.access_cycles` | histogram (all fetches) |
+/// | `cache.l1d.access_cycles` | histogram (all loads) |
+/// | `cache.l2.access_cycles` | histogram (accesses served by L2) |
+/// | `cache.dram.access_cycles` | histogram (accesses served by DRAM) |
+#[derive(Debug, Clone, Default)]
+pub struct HierarchyObs {
+    l1i_cycles: LogHistogram,
+    l1d_cycles: LogHistogram,
+    l2_cycles: LogHistogram,
+    dram_cycles: LogHistogram,
+}
+
+impl HierarchyObs {
+    /// An empty collector.
+    pub fn new() -> Self {
+        HierarchyObs::default()
+    }
+
+    /// Records one instruction fetch of `cycles` served at `level`.
+    pub fn record_fetch(&mut self, level: ServiceLevel, cycles: u64) {
+        self.l1i_cycles.record(cycles);
+        self.record_backside(level, cycles);
+    }
+
+    /// Records one data load of `cycles` served at `level`.
+    pub fn record_load(&mut self, level: ServiceLevel, cycles: u64) {
+        self.l1d_cycles.record(cycles);
+        self.record_backside(level, cycles);
+    }
+
+    fn record_backside(&mut self, level: ServiceLevel, cycles: u64) {
+        match level {
+            ServiceLevel::L1 => {}
+            ServiceLevel::L2 => self.l2_cycles.record(cycles),
+            ServiceLevel::Dram => self.dram_cycles.record(cycles),
+        }
+    }
+
+    /// Merges another collector into this one (used when simulations are
+    /// aggregated before flushing).
+    pub fn merge(&mut self, other: &HierarchyObs) {
+        self.l1i_cycles.merge(&other.l1i_cycles);
+        self.l1d_cycles.merge(&other.l1d_cycles);
+        self.l2_cycles.merge(&other.l2_cycles);
+        self.dram_cycles.merge(&other.dram_cycles);
+    }
+
+    /// Flushes the latency histograms plus the per-level counters from
+    /// `stats` into `recorder`. Deterministic: every value is
+    /// simulation-derived.
+    pub fn flush(&self, stats: &MemStats, recorder: &dyn Recorder) {
+        recorder.add("cache.l1i.accesses", stats.l1i_accesses);
+        recorder.add("cache.l1i.misses", stats.l1i_misses);
+        recorder.add("cache.l1i.word_misses", stats.l1i_word_misses);
+        recorder.add("cache.l1d.accesses", stats.l1d_loads + stats.l1d_stores);
+        recorder.add(
+            "cache.l1d.misses",
+            stats.l1d_load_misses + stats.l1d_word_misses,
+        );
+        recorder.add("cache.l1d.word_misses", stats.l1d_word_misses);
+        recorder.add("cache.l2.accesses", stats.l2_accesses);
+        recorder.add("cache.l2.misses", stats.l2_misses);
+        recorder.add("cache.l2.writebacks", stats.l2_writebacks);
+        recorder.add("cache.dram.accesses", stats.l2_misses);
+        recorder.observe_hist("cache.l1i.access_cycles", &self.l1i_cycles);
+        recorder.observe_hist("cache.l1d.access_cycles", &self.l1d_cycles);
+        recorder.observe_hist("cache.l2.access_cycles", &self.l2_cycles);
+        recorder.observe_hist("cache.dram.access_cycles", &self.dram_cycles);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvs_obs::MetricsRegistry;
+
+    #[test]
+    fn flush_emits_counters_and_histograms() {
+        let mut obs = HierarchyObs::new();
+        obs.record_fetch(ServiceLevel::L1, 2);
+        obs.record_fetch(ServiceLevel::Dram, 120);
+        obs.record_load(ServiceLevel::L2, 12);
+        let stats = MemStats {
+            l1i_accesses: 2,
+            l1i_misses: 1,
+            l1d_loads: 1,
+            l1d_stores: 3,
+            l1d_load_misses: 1,
+            l2_accesses: 2,
+            l2_misses: 1,
+            l2_writebacks: 4,
+            ..MemStats::default()
+        };
+        let reg = MetricsRegistry::new();
+        obs.flush(&stats, &reg);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("cache.l1i.accesses"), 2);
+        assert_eq!(snap.counter("cache.l1d.accesses"), 4);
+        assert_eq!(snap.counter("cache.l2.writebacks"), 4);
+        assert_eq!(snap.counter("cache.dram.accesses"), 1);
+        assert_eq!(snap.values["cache.l1i.access_cycles"].count, 2);
+        assert_eq!(snap.values["cache.l1i.access_cycles"].max, 120);
+        assert_eq!(snap.values["cache.l1d.access_cycles"].count, 1);
+        assert_eq!(snap.values["cache.l2.access_cycles"].count, 1);
+        assert_eq!(snap.values["cache.dram.access_cycles"].count, 1);
+    }
+
+    #[test]
+    fn merge_combines_all_levels() {
+        let mut a = HierarchyObs::new();
+        a.record_fetch(ServiceLevel::L1, 2);
+        let mut b = HierarchyObs::new();
+        b.record_load(ServiceLevel::Dram, 90);
+        a.merge(&b);
+        let reg = MetricsRegistry::new();
+        a.flush(&MemStats::default(), &reg);
+        let snap = reg.snapshot();
+        assert_eq!(snap.values["cache.l1i.access_cycles"].count, 1);
+        assert_eq!(snap.values["cache.l1d.access_cycles"].count, 1);
+        assert_eq!(snap.values["cache.dram.access_cycles"].count, 1);
+    }
+}

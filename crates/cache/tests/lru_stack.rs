@@ -1,0 +1,93 @@
+//! LRU stack-discipline properties of the cache core.
+//!
+//! True LRU is a *stack algorithm*: each set behaves as a recency stack,
+//! which implies (a) the most recently used line is never the eviction
+//! victim, and (b) the inclusion property — a cache with more ways but
+//! the same set count always contains everything a smaller one holds.
+//! Both properties are exercised here over randomized address streams on
+//! deliberately tiny geometries so evictions are frequent.
+
+use std::collections::HashMap;
+
+use dvs_cache::{Addr, CacheCore, LookupResult, LruQueue};
+use dvs_sram::CacheGeometry;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The set's most recently accessed block is never the next victim.
+    #[test]
+    fn mru_block_is_never_evicted(blocks in proptest::collection::vec(0u64..64, 1..400)) {
+        // 4 sets x 2 ways: every third distinct block in a set evicts.
+        let geom = CacheGeometry::new(256, 2, 32).unwrap();
+        let mut cache = CacheCore::new(geom);
+        let mut mru: HashMap<u32, u64> = HashMap::new();
+        for &block in &blocks {
+            let addr = Addr::new(block << 5);
+            let set = addr.set_index(&geom);
+            if !matches!(cache.lookup(addr), LookupResult::Hit { .. }) {
+                let (_, evicted) = cache.fill(addr);
+                if let (Some(ev), Some(&prev)) = (evicted, mru.get(&set)) {
+                    prop_assert_ne!(
+                        ev.block_number, prev,
+                        "evicted set {}'s MRU block", set
+                    );
+                }
+            }
+            mru.insert(set, block);
+        }
+    }
+
+    /// Inclusion: with equal set counts, a 4-way cache contains every
+    /// line a 2-way cache holds, so nothing hits small but misses big.
+    #[test]
+    fn wider_cache_includes_narrower(blocks in proptest::collection::vec(0u64..64, 1..400)) {
+        let small_geom = CacheGeometry::new(256, 2, 32).unwrap();
+        let big_geom = CacheGeometry::new(512, 4, 32).unwrap();
+        prop_assert_eq!(small_geom.sets(), big_geom.sets());
+        let mut small = CacheCore::new(small_geom);
+        let mut big = CacheCore::new(big_geom);
+        for (i, &block) in blocks.iter().enumerate() {
+            let addr = Addr::new(block << 5);
+            let small_hit = matches!(small.lookup(addr), LookupResult::Hit { .. });
+            let big_hit = matches!(big.lookup(addr), LookupResult::Hit { .. });
+            prop_assert!(
+                !small_hit || big_hit,
+                "step {}: block {} hit the 2-way cache but missed the 4-way",
+                i, block
+            );
+            if !small_hit {
+                small.fill(addr);
+            }
+            if !big_hit {
+                big.fill(addr);
+            }
+        }
+    }
+
+    /// `LruQueue` ranks equal recency order: distinct touches most recent
+    /// first, then never-touched ways in their initial (ascending) order.
+    #[test]
+    fn queue_ranks_follow_touch_recency(touches in proptest::collection::vec(0u32..6, 0..60)) {
+        let mut lru = LruQueue::new(6);
+        for &w in &touches {
+            lru.touch(w);
+        }
+        let mut expected: Vec<u32> = Vec::new();
+        for &w in touches.iter().rev() {
+            if !expected.contains(&w) {
+                expected.push(w);
+            }
+        }
+        for w in 0..6 {
+            if !expected.contains(&w) {
+                expected.push(w);
+            }
+        }
+        for (rank, &w) in expected.iter().enumerate() {
+            prop_assert_eq!(lru.rank(w), rank as u32);
+        }
+        prop_assert_eq!(lru.victim(), *expected.last().unwrap());
+    }
+}

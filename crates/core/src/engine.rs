@@ -18,6 +18,7 @@ use std::time::Instant;
 
 use dvs_cpu::{simulate, CoreConfig, MemSystem, SimResult};
 use dvs_linker::{BbrLinker, Diagnostic, Severity};
+use dvs_obs::{Recorder, Span};
 use dvs_power::energy::RunCounts;
 use dvs_schemes::L1Cache;
 use dvs_sram::montecarlo::trial_seed;
@@ -59,6 +60,27 @@ pub(crate) struct EngineCounters {
 }
 
 impl EngineCounters {
+    /// Classifies one finished trial into exactly one counter:
+    /// successfully simulated trials into `trials_computed`, failed links
+    /// into `link_failures`, invalid images into `invariant_violations`.
+    ///
+    /// This is the single place outcomes are tallied — incrementing
+    /// `trials_computed` unconditionally at the call site would count
+    /// failed/invalid trials twice (once here, once as "computed").
+    pub(crate) fn record_outcome(&self, outcome: &TrialOutcome) {
+        match outcome {
+            TrialOutcome::Metrics(_) => {
+                self.trials_computed.fetch_add(1, Ordering::Relaxed);
+            }
+            TrialOutcome::LinkFailed => {
+                self.link_failures.fetch_add(1, Ordering::Relaxed);
+            }
+            TrialOutcome::Invalid(_) => {
+                self.invariant_violations.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
     pub(crate) fn snapshot(&self) -> EngineStats {
         EngineStats {
             trials_computed: self.trials_computed.load(Ordering::Relaxed),
@@ -74,9 +96,14 @@ impl EngineCounters {
 }
 
 /// Snapshot of the engine's instrumentation.
+///
+/// Every trial lands in exactly one of `trials_computed`,
+/// `link_failures` or `invariant_violations`; their sum is the number of
+/// trials this process executed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct EngineStats {
-    /// Trials actually simulated by this process.
+    /// Trials simulated to completion by this process (link failures and
+    /// invariant violations are counted separately, never here).
     pub trials_computed: u64,
     /// Trials satisfied from the on-disk result store.
     pub trials_from_store: u64,
@@ -160,6 +187,7 @@ pub(crate) fn execute_cells(
     geometry: &CacheGeometry,
     cells: &[CellContext],
     counters: &EngineCounters,
+    recorder: Option<&Arc<dyn Recorder>>,
     scope: ProgressScope<'_>,
 ) -> Vec<TrialOutcomes> {
     // Flatten the plan into one task list so workers balance across
@@ -186,20 +214,21 @@ pub(crate) fn execute_cells(
                 let Some(&(ci, trial)) = tasks.get(i) else {
                     break;
                 };
-                let cell = &cells[ci];
-                let outcome = run_trial(cfg, core, geometry, cell, trial, counters);
-                match &outcome {
-                    TrialOutcome::LinkFailed => {
-                        counters.link_failures.fetch_add(1, Ordering::Relaxed);
-                    }
-                    TrialOutcome::Invalid(_) => {
-                        counters
-                            .invariant_violations
-                            .fetch_add(1, Ordering::Relaxed);
-                    }
-                    TrialOutcome::Metrics(_) => {}
+                if let Some(r) = recorder {
+                    // Tasks not yet claimed by any worker (volatile).
+                    r.gauge("engine.queue.depth", (tasks.len() - (i + 1)) as u64);
                 }
-                counters.trials_computed.fetch_add(1, Ordering::Relaxed);
+                let cell = &cells[ci];
+                let outcome = run_trial(cfg, core, geometry, cell, trial, counters, recorder);
+                counters.record_outcome(&outcome);
+                if let Some(r) = recorder {
+                    let name = match &outcome {
+                        TrialOutcome::Metrics(_) => "engine.trials.computed",
+                        TrialOutcome::LinkFailed => "engine.trials.link_failed",
+                        TrialOutcome::Invalid(_) => "engine.trials.invalid",
+                    };
+                    r.add(name, 1);
+                }
                 collectors[ci]
                     .lock()
                     .expect("collector lock poisoned")
@@ -244,6 +273,7 @@ fn run_trial(
     cell: &CellContext,
     trial: u64,
     counters: &EngineCounters,
+    recorder: Option<&Arc<dyn Recorder>>,
 ) -> TrialOutcome {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -251,6 +281,8 @@ fn run_trial(
     let scheme = cell.key.scheme;
     let point = cell.point;
     let art = &*cell.artifacts;
+    let rec: Option<&dyn Recorder> = recorder.map(|r| r.as_ref() as &dyn Recorder);
+    let _trial_span = rec.map(|r| Span::enter(r, "engine.trial_nanos"));
 
     let sim_start = Instant::now();
     // Fault maps depend on (seed, benchmark, voltage, trial) but NOT on
@@ -259,10 +291,16 @@ fn run_trial(
         let p_word = point.pfail_word();
         let mut rng_i = StdRng::seed_from_u64(trial_seed(cell.seed_base, 2 * trial));
         let mut rng_d = StdRng::seed_from_u64(trial_seed(cell.seed_base, 2 * trial + 1));
-        (
-            FaultMap::sample(geometry, p_word, &mut rng_i),
-            FaultMap::sample(geometry, p_word, &mut rng_d),
-        )
+        match rec {
+            Some(r) => (
+                FaultMap::sample_recorded(geometry, p_word, &mut rng_i, r),
+                FaultMap::sample_recorded(geometry, p_word, &mut rng_d, r),
+            ),
+            None => (
+                FaultMap::sample(geometry, p_word, &mut rng_i),
+                FaultMap::sample(geometry, p_word, &mut rng_d),
+            ),
+        }
     } else {
         (
             FaultMap::fault_free(geometry),
@@ -273,12 +311,15 @@ fn run_trial(
     let mut link_stats = None;
     let linked: Option<(Program, Layout)> = if scheme.needs_bbr_link() {
         let link_start = Instant::now();
-        let image = BbrLinker::new(*geometry).link(
-            cell.transformed
-                .as_deref()
-                .expect("FFW+BBR provides a transformed program"),
-            &fmap_i,
-        );
+        let linker = BbrLinker::new(*geometry);
+        let transformed = cell
+            .transformed
+            .as_deref()
+            .expect("FFW+BBR provides a transformed program");
+        let image = match rec {
+            Some(r) => linker.link_recorded(transformed, &fmap_i, r),
+            None => linker.link(transformed, &fmap_i),
+        };
         counters
             .link_nanos
             .fetch_add(link_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
@@ -305,19 +346,24 @@ fn run_trial(
         None => (art.workload.program(), &art.seq_layout),
     };
 
-    let mem = MemSystem::new(
+    let mut mem = MemSystem::new(
         L1Cache::new(scheme.l1i_kind(), fmap_i),
         L1Cache::new(scheme.l1d_kind(), fmap_d),
         point.freq_mhz,
     );
+    if let Some(r) = recorder {
+        mem = mem.with_recorder(r.clone());
+    }
     let trace = art
         .workload
         .trace_program(program, layout, 0)
         .take(cfg.trace_instrs);
     let result = simulate(core, mem, trace);
-    counters
-        .sim_nanos
-        .fetch_add(sim_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    let sim_elapsed = sim_start.elapsed().as_nanos() as u64;
+    counters.sim_nanos.fetch_add(sim_elapsed, Ordering::Relaxed);
+    if let Some(r) = rec {
+        r.duration("engine.sim_nanos", sim_elapsed);
+    }
     TrialOutcome::Metrics(Box::new(TrialMetrics {
         result,
         counts: counts_of(&result),
@@ -339,6 +385,54 @@ fn counts_of(result: &SimResult) -> RunCounts {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn record_outcome_counts_each_variant_exactly_once() {
+        use dvs_linker::{lint_ids, Location};
+
+        let counters = EngineCounters::default();
+        let result = SimResult {
+            instructions: 10,
+            synthetic: 1,
+            cycles: 20,
+            mem: Default::default(),
+            branches: 2,
+            mispredicts: 1,
+        };
+        let metrics = TrialOutcome::Metrics(Box::new(TrialMetrics {
+            counts: counts_of(&result),
+            result,
+            link_stats: None,
+        }));
+        let link_failed = TrialOutcome::LinkFailed;
+        let invalid = TrialOutcome::Invalid(Diagnostic::deny(
+            lint_ids::CHUNK_CONTAINMENT,
+            Location::Block {
+                id: 0,
+                word: Some(1),
+            },
+            "test diagnostic".to_string(),
+        ));
+
+        counters.record_outcome(&metrics);
+        counters.record_outcome(&link_failed);
+        counters.record_outcome(&invalid);
+        let stats = counters.snapshot();
+        // Exactly one bucket per outcome: a failed or invalid trial must
+        // never ALSO count as computed.
+        assert_eq!(stats.trials_computed, 1);
+        assert_eq!(stats.link_failures, 1);
+        assert_eq!(stats.invariant_violations, 1);
+        assert_eq!(
+            stats.trials_computed + stats.link_failures + stats.invariant_violations,
+            3,
+            "three outcomes, three counts"
+        );
+
+        counters.record_outcome(&metrics);
+        assert_eq!(counters.snapshot().trials_computed, 2);
+        assert_eq!(counters.snapshot().link_failures, 1);
+    }
 
     #[test]
     fn stats_throughput_is_sane() {

@@ -22,6 +22,7 @@ use serde::{Deserialize, Serialize};
 
 use dvs_cpu::{CoreConfig, SimResult};
 use dvs_linker::{adaptive_max_block_words, bbr_transform, Diagnostic, LinkStats};
+use dvs_obs::Recorder;
 use dvs_power::energy::{EnergyModel, RunCounts};
 use dvs_sram::stats::Summary;
 use dvs_sram::{CacheGeometry, MilliVolts};
@@ -250,6 +251,7 @@ pub struct Evaluator {
     store: Option<ResultStore>,
     progress: Option<Box<ProgressFn>>,
     counters: EngineCounters,
+    recorder: Option<Arc<dyn Recorder>>,
 }
 
 impl Evaluator {
@@ -268,6 +270,7 @@ impl Evaluator {
             store: None,
             progress: None,
             counters: EngineCounters::default(),
+            recorder: None,
         }
     }
 
@@ -284,6 +287,35 @@ impl Evaluator {
     /// as cells finish, and synchronously for store-resolved cells).
     pub fn set_progress(&mut self, f: impl Fn(&engine::Progress) + Send + Sync + 'static) {
         self.progress = Some(Box::new(f));
+    }
+
+    /// Attaches a recorder to this evaluation: every subsequent trial
+    /// reports subsystem metrics (cache latencies, linker placement,
+    /// fault-map generation, engine outcomes) through it. A recorder
+    /// whose [`Recorder::enabled`] is false is dropped, keeping all hot
+    /// paths instrumentation-free.
+    ///
+    /// Observability can never change results: the recorder is not part
+    /// of [`crate::StoreKey`], and recorded runs are bit-identical to
+    /// unrecorded ones.
+    pub fn observe(&mut self, recorder: Arc<dyn Recorder>) {
+        self.recorder = if recorder.enabled() {
+            Some(recorder)
+        } else {
+            None
+        };
+    }
+
+    /// Builder form of [`Evaluator::observe`].
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
+        self.observe(recorder);
+        self
+    }
+
+    /// The attached recorder, if any.
+    pub fn recorder(&self) -> Option<&Arc<dyn Recorder>> {
+        self.recorder.as_ref()
     }
 
     /// The configuration in force.
@@ -399,6 +431,9 @@ impl Evaluator {
         let mut missing: Vec<CellKey> = Vec::new();
         for &key in plan.cells() {
             if self.resolved(&key) {
+                if let Some(rec) = &self.recorder {
+                    rec.add("engine.cells.memory_hits", 1);
+                }
                 cells_done += 1;
                 self.fire_progress(key, 0, cells_done, cells_total);
                 continue;
@@ -418,10 +453,22 @@ impl Evaluator {
                 self.counters
                     .cells_from_store
                     .fetch_add(1, Ordering::Relaxed);
+                if let Some(rec) = &self.recorder {
+                    rec.add("engine.store.cell_hits", 1);
+                    rec.add(
+                        "engine.store.trials_loaded",
+                        stored.trials.len() as u64 + stored.failed_links,
+                    );
+                }
                 self.install(key, stored.trials, stored.failed_links);
                 cells_done += 1;
                 self.fire_progress(key, 0, cells_done, cells_total);
                 continue;
+            }
+            if self.store.is_some() {
+                if let Some(rec) = &self.recorder {
+                    rec.add("engine.store.cell_misses", 1);
+                }
             }
             missing.push(key);
         }
@@ -453,6 +500,7 @@ impl Evaluator {
                 &self.geometry,
                 &contexts,
                 &self.counters,
+                self.recorder.as_ref(),
                 engine::ProgressScope {
                     callback: self.progress.as_deref(),
                     cells_done_before: cells_done,
@@ -497,6 +545,8 @@ impl Evaluator {
                     };
                     if let Err(e) = store.save(&store_key, &cell) {
                         eprintln!("warning: result store save failed for {key}: {e}");
+                    } else if let Some(rec) = &self.recorder {
+                        rec.add("engine.store.cell_saves", 1);
                     }
                 }
                 self.install(*key, trials, failed_links);
@@ -534,6 +584,9 @@ impl Evaluator {
     ) -> Result<Arc<SchemeRun>, EvalError> {
         let key = CellKey::new(benchmark, scheme, vcc);
         if self.resolved(&key) {
+            if let Some(rec) = &self.recorder {
+                rec.add("engine.cells.memory_hits", 1);
+            }
             return self.lookup(&key);
         }
         let mut plan = ExperimentPlan::new();
@@ -692,6 +745,70 @@ mod tests {
         assert_eq!(d.trials, g.trials);
         assert!(d.cycles().bitwise_eq(&g.cycles()));
         assert!(d.l2_per_kilo_instr().bitwise_eq(&g.l2_per_kilo_instr()));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recorder_never_changes_results_and_sees_trials() {
+        use dvs_obs::{MetricsRegistry, NullRecorder};
+
+        let mut plain = eval();
+        let a = plain
+            .run(Benchmark::Crc32, Scheme::FfwBbr, MilliVolts::new(480))
+            .unwrap();
+
+        let reg = Arc::new(MetricsRegistry::new());
+        let mut observed = eval().with_recorder(reg.clone());
+        assert!(observed.recorder().is_some());
+        let b = observed
+            .run(Benchmark::Crc32, Scheme::FfwBbr, MilliVolts::new(480))
+            .unwrap();
+
+        // Observability is invisible to the simulation.
+        assert_eq!(a.trials, b.trials);
+        assert_eq!(a.failed_links, b.failed_links);
+
+        // ...but the recorder saw every computed trial and the cache
+        // hierarchy underneath them.
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.counter("engine.trials.computed"),
+            observed.stats().trials_computed
+        );
+        assert!(snap.counter("cache.l1i.accesses") > 0);
+        assert!(snap.counter("cpu.instructions") > 0);
+
+        // Memory-resolved cells are counted on a re-run.
+        let _ = observed
+            .run(Benchmark::Crc32, Scheme::FfwBbr, MilliVolts::new(480))
+            .unwrap();
+        assert_eq!(reg.snapshot().counter("engine.cells.memory_hits"), 1);
+
+        // A disabled recorder is dropped outright.
+        let off = eval().with_recorder(Arc::new(NullRecorder));
+        assert!(off.recorder().is_none());
+
+        // The store key is independent of observability: a cell saved by
+        // an observed evaluator is reloaded by an unobserved one.
+        let store = temp_store("recorder-key");
+        let dir = store.dir().to_path_buf();
+        let reg2 = Arc::new(MetricsRegistry::new());
+        let mut writer = Evaluator::new(EvalConfig::quick())
+            .with_store(store)
+            .with_recorder(reg2.clone());
+        let _ = writer
+            .run(Benchmark::Crc32, Scheme::FfwBbr, MilliVolts::new(480))
+            .unwrap();
+        assert_eq!(reg2.snapshot().counter("engine.store.cell_saves"), 1);
+        assert_eq!(reg2.snapshot().counter("engine.store.cell_misses"), 1);
+
+        let mut reader =
+            Evaluator::new(EvalConfig::quick()).with_store(ResultStore::open(&dir).unwrap());
+        let c = reader
+            .run(Benchmark::Crc32, Scheme::FfwBbr, MilliVolts::new(480))
+            .unwrap();
+        assert_eq!(reader.stats().trials_computed, 0);
+        assert_eq!(a.trials, c.trials);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

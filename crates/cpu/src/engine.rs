@@ -171,14 +171,23 @@ pub fn simulate(
         }
     }
 
-    SimResult {
+    let recorder = mem.recorder().cloned();
+    let result = SimResult {
         instructions,
         synthetic,
         cycles: last_retire.max(1),
         mem: mem.finish(),
         branches,
         mispredicts,
+    };
+    if let Some(rec) = recorder {
+        rec.add("cpu.instructions", result.instructions);
+        rec.add("cpu.synthetic_instructions", result.synthetic);
+        rec.add("cpu.cycles", result.cycles);
+        rec.add("cpu.branches", result.branches);
+        rec.add("cpu.mispredicts", result.mispredicts);
     }
+    result
 }
 
 #[cfg(test)]

@@ -1,6 +1,9 @@
 //! The memory system: scheme-aware L1s, write buffer, shared L2.
 
-use dvs_cache::{Addr, L2Cache, LatencyConfig, MemStats, WriteBuffer};
+use std::sync::Arc;
+
+use dvs_cache::{Addr, HierarchyObs, L2Cache, LatencyConfig, MemStats, ServiceLevel, WriteBuffer};
+use dvs_obs::Recorder;
 use dvs_schemes::{L1Cache, ReadOutcome, ServedFrom};
 
 /// Write-buffer depth in block entries (a typical embedded store buffer).
@@ -21,6 +24,16 @@ pub struct MemSystem {
     latency: LatencyConfig,
     freq_mhz: u32,
     stats: MemStats,
+    obs: Option<(Arc<dyn Recorder>, HierarchyObs)>,
+}
+
+/// The observability level an access was served from.
+fn service_level(source: ServedFrom) -> ServiceLevel {
+    match source {
+        ServedFrom::L1 => ServiceLevel::L1,
+        ServedFrom::L2 => ServiceLevel::L2,
+        ServedFrom::Memory => ServiceLevel::Dram,
+    }
 }
 
 impl MemSystem {
@@ -39,6 +52,7 @@ impl MemSystem {
             latency: LatencyConfig::dsn(),
             freq_mhz,
             stats: MemStats::default(),
+            obs: None,
         }
     }
 
@@ -46,6 +60,22 @@ impl MemSystem {
     pub fn with_latency(mut self, latency: LatencyConfig) -> Self {
         self.latency = latency;
         self
+    }
+
+    /// Attaches a recorder: per-access latencies are collected into local
+    /// histograms and flushed (with the per-level counters) once by
+    /// [`MemSystem::finish`]. A disabled recorder is not attached at all,
+    /// keeping the per-access paths free of instrumentation.
+    pub fn with_recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
+        if recorder.enabled() {
+            self.obs = Some((recorder, HierarchyObs::new()));
+        }
+        self
+    }
+
+    /// The attached recorder, if any.
+    pub fn recorder(&self) -> Option<&Arc<dyn Recorder>> {
+        self.obs.as_ref().map(|(r, _)| r)
     }
 
     /// The latency configuration in force.
@@ -86,7 +116,11 @@ impl MemSystem {
             self.stats.l1i_misses += 1;
         }
         self.account_read(out);
-        self.read_latency(out, self.l1i.extra_hit_cycles())
+        let cycles = self.read_latency(out, self.l1i.extra_hit_cycles());
+        if let Some((_, obs)) = &mut self.obs {
+            obs.record_fetch(service_level(out.source), cycles);
+        }
+        cycles
     }
 
     /// Performs a load; returns the load-to-use latency in cycles.
@@ -104,7 +138,11 @@ impl MemSystem {
             }
         }
         self.account_read(out);
-        self.read_latency(out, self.l1d.extra_hit_cycles())
+        let cycles = self.read_latency(out, self.l1d.extra_hit_cycles());
+        if let Some((_, obs)) = &mut self.obs {
+            obs.record_load(service_level(out.source), cycles);
+        }
+        cycles
     }
 
     /// Performs a store through the write buffer. Stores retire without
@@ -136,6 +174,9 @@ impl MemSystem {
         self.stats.l1d_word_misses = self.l1d.stats().word_misses;
         self.stats.l1i_word_misses = self.l1i.stats().word_misses;
         self.stats.l2_writebacks = self.l2.writebacks();
+        if let Some((recorder, obs)) = &self.obs {
+            obs.flush(&self.stats, recorder.as_ref());
+        }
         self.stats
     }
 
@@ -242,6 +283,35 @@ mod tests {
             475,
         );
         assert!(fast.load(0x0) > slow.load(0x0));
+    }
+
+    #[test]
+    fn recorder_sees_per_level_counters_and_latencies() {
+        use dvs_obs::MetricsRegistry;
+        let reg = Arc::new(MetricsRegistry::new());
+        let mut m = mem(SchemeKind::Conventional).with_recorder(reg.clone());
+        m.fetch(0x100); // cold: DRAM
+        m.fetch(0x100); // warm: L1
+        m.load(0x9000); // cold: DRAM
+        m.store(0x9000);
+        let _ = m.finish();
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("cache.l1i.accesses"), 2);
+        assert_eq!(snap.counter("cache.l1i.misses"), 1);
+        assert_eq!(snap.counter("cache.l1d.accesses"), 2);
+        assert_eq!(snap.counter("cache.l2.accesses"), 3); // 2 refills + 1 drain
+        assert_eq!(snap.values["cache.l1i.access_cycles"].count, 2);
+        assert_eq!(snap.values["cache.l1d.access_cycles"].count, 1);
+        assert_eq!(snap.values["cache.dram.access_cycles"].count, 2);
+        assert_eq!(snap.values["cache.l1i.access_cycles"].min, 2);
+        assert!(snap.values["cache.dram.access_cycles"].min > 10);
+    }
+
+    #[test]
+    fn disabled_recorder_is_not_attached() {
+        use dvs_obs::NullRecorder;
+        let m = mem(SchemeKind::Conventional).with_recorder(Arc::new(NullRecorder));
+        assert!(m.recorder().is_none());
     }
 
     #[test]

@@ -4,6 +4,7 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
+use dvs_obs::{Recorder, Span};
 use dvs_sram::{BitGrid, CacheGeometry, FaultMap};
 use dvs_workloads::{Layout, Program};
 
@@ -217,6 +218,35 @@ impl BbrLinker {
     /// program still has shared literal pools, or if any fall-through path
     /// lacks an explicit jump.
     pub fn link(&self, program: &Program, fmap: &FaultMap) -> Result<LinkedImage, LinkError> {
+        self.link_inner(program, fmap, None)
+    }
+
+    /// [`BbrLinker::link`] with observability: placement counters
+    /// (`linker.links`, `linker.blocks_placed`, `linker.jumps_elided`,
+    /// `linker.scan_steps`, `linker.padding_words` — all deterministic)
+    /// plus wall-clock timings (`linker.link_nanos` for the whole link,
+    /// `linker.chunk_scan_nanos` per block scanned) go to `recorder`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinkError`] exactly as [`BbrLinker::link`] does; the
+    /// recorder never changes the placement.
+    pub fn link_recorded(
+        &self,
+        program: &Program,
+        fmap: &FaultMap,
+        recorder: &dyn Recorder,
+    ) -> Result<LinkedImage, LinkError> {
+        self.link_inner(program, fmap, Some(recorder))
+    }
+
+    fn link_inner(
+        &self,
+        program: &Program,
+        fmap: &FaultMap,
+        recorder: Option<&dyn Recorder>,
+    ) -> Result<LinkedImage, LinkError> {
+        let _link_span = recorder.map(|r| Span::enter(r, "linker.link_nanos"));
         assert_eq!(
             fmap.geometry(),
             &self.geometry,
@@ -242,6 +272,8 @@ impl BbrLinker {
         let mut mem_word = 0u64; // the global pointer, in words
         let mut block_starts = Vec::with_capacity(program.num_blocks());
         let mut blocks: Vec<dvs_workloads::Block> = Vec::with_capacity(program.num_blocks());
+        let mut jumps_elided = 0u64;
+        let mut scan_steps = 0u64;
 
         for (id, block) in program.blocks().iter().enumerate() {
             let footprint = block.footprint_words();
@@ -267,12 +299,14 @@ impl BbrLinker {
                     blocks[id - 1].explicit_jump = false;
                     mem_word = candidate;
                     elided = true;
+                    jumps_elided += 1;
                 }
             }
             if !elided {
                 // Scan forward until the chunk starting at the pointer's
                 // cache image holds `footprint` fault-free words; give up
                 // after one full loop around the cache.
+                let scan_timer = recorder.map(|_| std::time::Instant::now());
                 let scan_start = mem_word;
                 loop {
                     let cache_addr = (mem_word % u64::from(csize)) as u32;
@@ -281,6 +315,7 @@ impl BbrLinker {
                         Some(offset) => {
                             // Jump past the defective word that broke the run.
                             mem_word += u64::from(offset) + 1;
+                            scan_steps += 1;
                             if mem_word - scan_start >= u64::from(csize) + u64::from(footprint) {
                                 return Err(LinkError::NoChunkFits {
                                     block: id,
@@ -289,6 +324,9 @@ impl BbrLinker {
                             }
                         }
                     }
+                }
+                if let (Some(r), Some(t)) = (recorder, scan_timer) {
+                    r.duration("linker.chunk_scan_nanos", t.elapsed().as_nanos() as u64);
                 }
             }
             block_starts.push(mem_word * 4);
@@ -328,6 +366,13 @@ impl BbrLinker {
             program.pool_words().to_vec(),
         )
         .expect("relaxation preserves validity");
+        if let Some(r) = recorder {
+            r.add("linker.links", 1);
+            r.add("linker.blocks_placed", block_starts.len() as u64);
+            r.add("linker.jumps_elided", jumps_elided);
+            r.add("linker.scan_steps", scan_steps);
+            r.add("linker.padding_words", u64::from(stats.padding_words));
+        }
         let pool_starts = vec![0u64; program.functions().len()];
         let layout = Layout::from_parts(block_starts, pool_starts, mem_word * 4);
         Ok(LinkedImage {
@@ -501,6 +546,33 @@ mod tests {
         #[allow(deprecated)]
         let raw = image.verify_raw(&hostile).unwrap_err();
         assert_eq!(raw, (0, 2));
+    }
+
+    #[test]
+    fn recorded_link_matches_plain_link_and_counts_placement() {
+        use dvs_obs::MetricsRegistry;
+        let wl = Benchmark::Crc32.build(1);
+        let t = bbr_transform(wl.program(), 6);
+        let fmap = FaultMap::sample(&geom(), 0.05, &mut StdRng::seed_from_u64(3));
+        let linker = BbrLinker::new(geom());
+        let plain = linker.link(&t, &fmap).unwrap();
+        let reg = MetricsRegistry::new();
+        let recorded = linker.link_recorded(&t, &fmap, &reg).unwrap();
+        assert_eq!(plain, recorded, "recorder must not change placement");
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("linker.links"), 1);
+        assert_eq!(
+            snap.counter("linker.blocks_placed"),
+            recorded.program().num_blocks() as u64
+        );
+        assert_eq!(
+            snap.counter("linker.padding_words"),
+            u64::from(recorded.stats().padding_words)
+        );
+        assert!(snap.counter("linker.jumps_elided") > 0);
+        assert!(snap.counter("linker.scan_steps") > 0, "faults force scans");
+        assert_eq!(snap.timers["linker.link_nanos"].count, 1);
+        assert!(snap.timers["linker.chunk_scan_nanos"].count > 0);
     }
 
     #[test]

@@ -1,0 +1,275 @@
+//! Log-scale histogram over `u64` samples.
+//!
+//! The simulator's interesting distributions (access latencies in cycles,
+//! span durations in nanoseconds) range over many decades, so the
+//! histogram buckets by power of two: bucket 0 holds the value 0 and
+//! bucket *i* ≥ 1 holds values in `[2^(i-1), 2^i)`, with the final bucket
+//! absorbing everything up to `u64::MAX`. Recording is a `leading_zeros`
+//! plus an array increment — cheap enough for per-access hot paths — and
+//! merging two histograms is element-wise addition, so per-thread local
+//! histograms can be combined without locks on the recording path.
+
+/// Number of buckets: one for zero plus one per bit position.
+pub const BUCKETS: usize = 65;
+
+/// A fixed-footprint log-scale histogram of `u64` samples.
+///
+/// Tracks per-bucket counts plus exact count/sum/min/max, and answers
+/// quantile queries with bucket-upper-bound resolution (within 2× of the
+/// true value, exact for the min/max ends).
+///
+/// # Example
+///
+/// ```rust
+/// use dvs_obs::LogHistogram;
+///
+/// let mut h = LogHistogram::new();
+/// for v in [1u64, 2, 3, 100] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 4);
+/// assert_eq!(h.max(), 100);
+/// assert!(h.p50() <= h.p95() && h.p95() <= h.p99());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogHistogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    /// Saturating sum — `min(u64::MAX, Σ samples)`. Saturating addition of
+    /// non-negative values is associative, which keeps merges order-free.
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram::new()
+    }
+}
+
+/// Bucket a value falls into: 0 for 0, else `64 - leading_zeros`.
+fn bucket_of(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        64 - value.leading_zeros() as usize
+    }
+}
+
+/// Largest value bucket `i` can hold.
+fn bucket_upper(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        64 => u64::MAX,
+        _ => (1u64 << i) - 1,
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LogHistogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.record_n(value, 1);
+    }
+
+    /// Records `n` identical samples (used by merges and batch feeds).
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.buckets[bucket_of(value)] += n;
+        self.count += n;
+        self.sum = self.sum.saturating_add(value.saturating_mul(n));
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Merges another histogram into this one. No sample is ever lost:
+    /// counts add exactly even when the sum saturates.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Saturating sum of recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Whether no sample has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Mean of recorded samples (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Per-bucket counts (bucket 0 = value 0, bucket *i* = `[2^(i-1), 2^i)`).
+    pub fn buckets(&self) -> &[u64; BUCKETS] {
+        &self.buckets
+    }
+
+    /// The `q`-quantile (bucket-upper-bound resolution, clamped to the
+    /// observed maximum). Returns 0 for an empty histogram.
+    ///
+    /// Monotonic in `q`: `quantile(a) <= quantile(b)` whenever `a <= b`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                return bucket_upper(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median (bucket resolution).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile (bucket resolution).
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile (bucket resolution).
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = LogHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.p50(), 0);
+        assert!(h.is_empty());
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        assert_eq!(bucket_upper(0), 0);
+        assert_eq!(bucket_upper(1), 1);
+        assert_eq!(bucket_upper(2), 3);
+        assert_eq!(bucket_upper(64), u64::MAX);
+    }
+
+    #[test]
+    fn quantiles_bracket_the_distribution() {
+        let mut h = LogHistogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 1000);
+        // p50 of 1..=1000 is ~500; bucket resolution gives the upper bound
+        // of the bucket holding rank 500 (values 256..511 → 511).
+        assert!(h.p50() >= 500 && h.p50() <= 1000, "p50 {}", h.p50());
+        assert!(h.p99() >= 990, "p99 {}", h.p99());
+        assert!(h.p50() <= h.p95() && h.p95() <= h.p99());
+        assert_eq!(h.max(), 1000);
+        assert_eq!(h.min(), 1);
+    }
+
+    #[test]
+    fn merge_equals_recording_everything_in_one() {
+        let values = [0u64, 1, 5, 9, 1 << 20, u64::MAX, 3, 3, 3];
+        let mut whole = LogHistogram::new();
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        for (i, &v) in values.iter().enumerate() {
+            whole.record(v);
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+    }
+
+    #[test]
+    fn saturated_sum_still_counts_every_sample() {
+        let mut h = LogHistogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        h.record(1);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), u64::MAX);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.quantile(1.0), u64::MAX);
+    }
+
+    #[test]
+    fn record_n_matches_repeated_record() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        a.record_n(7, 5);
+        for _ in 0..5 {
+            b.record(7);
+        }
+        assert_eq!(a, b);
+        a.record_n(9, 0);
+        assert_eq!(a.count(), 5);
+    }
+}

@@ -1,0 +1,46 @@
+//! Observability layer for the deep-voltage-scaling simulator.
+//!
+//! The crate provides the pieces the rest of the workspace instruments
+//! itself with, behind one seam:
+//!
+//! - [`Recorder`] — the trait every subsystem records through. All
+//!   methods default to no-ops; subsystems hold an
+//!   `Option<Arc<dyn Recorder>>`, so with no recorder attached the hot
+//!   paths cost one `Option` check and nothing else (no allocation, no
+//!   cloning).
+//! - [`MetricsRegistry`] — the concrete sink: monotonic counters,
+//!   gauges, log-scale value/timer histograms, and a bounded ring buffer
+//!   of structured [`TraceEvent`]s.
+//! - [`LogHistogram`] — a fixed-footprint power-of-two histogram with
+//!   p50/p95/p99 queries, mergeable so hot loops collect locally and
+//!   flush once.
+//! - [`Span`] — a scoped wall-clock timer recording on drop.
+//! - [`MetricsSnapshot`] — immutable export with text and JSON renderers
+//!   that keep deterministic (counters, value histograms) and volatile
+//!   (gauges, timers, events) sections strictly apart, so same-seed runs
+//!   produce byte-identical deterministic JSON.
+//! - [`json`] — a dependency-free JSON value model and parser used to
+//!   structurally diff golden snapshots and validate exported documents.
+//!
+//! # Determinism contract
+//!
+//! Counters ([`Recorder::add`]) and value histograms
+//! ([`Recorder::observe`], [`Recorder::observe_hist`]) must only receive
+//! simulation-derived quantities (cycles, counts, fault totals) — never
+//! wall-clock readings. Durations, gauges and events are volatile and are
+//! rendered under a single `"volatile"` JSON key, which tests strip
+//! before comparing runs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod hist;
+pub mod json;
+mod recorder;
+mod registry;
+mod snapshot;
+
+pub use hist::{LogHistogram, BUCKETS};
+pub use recorder::{NullRecorder, Recorder, Span};
+pub use registry::{MetricsRegistry, TraceEvent, DEFAULT_TRACE_CAPACITY};
+pub use snapshot::{HistSummary, MetricsSnapshot};

@@ -1,0 +1,162 @@
+//! The [`Recorder`] trait — the single seam every subsystem records
+//! through — plus the disabled [`NullRecorder`] and the scoped [`Span`]
+//! timer.
+
+use std::fmt;
+use std::time::Instant;
+
+use crate::hist::LogHistogram;
+
+/// Sink for metrics and trace events.
+///
+/// Subsystems hold an `Option<Arc<dyn Recorder>>` (or are handed a
+/// `&dyn Recorder`); when no recorder is attached the hot paths skip all
+/// instrumentation — no allocation, no cloning, one `Option` check. All
+/// methods default to no-ops so implementations record only what they
+/// care about.
+///
+/// Determinism contract: [`Recorder::add`] and [`Recorder::observe`] /
+/// [`Recorder::observe_hist`] feed the *deterministic* sections of an
+/// exported snapshot — callers must only pass values derived from
+/// simulation state (cycles, counts), never from wall-clock time.
+/// Wall-clock durations go through [`Recorder::duration`] and gauges and
+/// events are likewise volatile; exporters keep the two classes apart so
+/// two runs with the same seed render byte-identical deterministic
+/// sections.
+pub trait Recorder: Send + Sync + fmt::Debug {
+    /// Whether this recorder stores anything. Callers may use this to
+    /// skip expensive metric preparation entirely.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Adds `delta` to the monotonic counter `name` (deterministic).
+    fn add(&self, name: &'static str, delta: u64) {
+        let _ = (name, delta);
+    }
+
+    /// Sets the gauge `name` to `value` (volatile, last write wins).
+    fn gauge(&self, name: &'static str, value: u64) {
+        let _ = (name, value);
+    }
+
+    /// Records one sample into the value histogram `name` (deterministic;
+    /// the value must be simulation-derived, e.g. a latency in cycles).
+    fn observe(&self, name: &'static str, value: u64) {
+        let _ = (name, value);
+    }
+
+    /// Merges a locally collected histogram into the value histogram
+    /// `name` (deterministic). Hot loops record into a private
+    /// [`LogHistogram`] and flush once through this method.
+    fn observe_hist(&self, name: &'static str, hist: &LogHistogram) {
+        let _ = (name, hist);
+    }
+
+    /// Records a wall-clock duration in nanoseconds into the timer
+    /// histogram `name` (volatile).
+    fn duration(&self, name: &'static str, nanos: u64) {
+        let _ = (name, nanos);
+    }
+
+    /// Appends a structured event to the trace ring buffer (volatile).
+    fn event(&self, name: &'static str, value: u64) {
+        let _ = (name, value);
+    }
+}
+
+/// A recorder that drops everything and reports itself disabled.
+///
+/// # Example
+///
+/// ```rust
+/// use dvs_obs::{NullRecorder, Recorder};
+///
+/// let r = NullRecorder;
+/// assert!(!r.enabled());
+/// r.add("anything", 1); // no-op
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {
+    fn enabled(&self) -> bool {
+        false
+    }
+}
+
+/// A scoped wall-clock timer: measures from construction to drop and
+/// records the elapsed nanoseconds through [`Recorder::duration`].
+///
+/// # Example
+///
+/// ```rust
+/// use dvs_obs::{MetricsRegistry, Span};
+///
+/// let reg = MetricsRegistry::new();
+/// {
+///     let _span = Span::enter(&reg, "work_nanos");
+///     // ... timed work ...
+/// }
+/// assert_eq!(reg.snapshot().timers["work_nanos"].count, 1);
+/// ```
+#[derive(Debug)]
+pub struct Span<'a> {
+    recorder: &'a dyn Recorder,
+    name: &'static str,
+    start: Instant,
+}
+
+impl<'a> Span<'a> {
+    /// Starts a span that will record into timer `name` when dropped.
+    pub fn enter(recorder: &'a dyn Recorder, name: &'static str) -> Self {
+        Span {
+            recorder,
+            name,
+            start: Instant::now(),
+        }
+    }
+
+    /// Elapsed nanoseconds so far (the span keeps running).
+    pub fn elapsed_nanos(&self) -> u64 {
+        self.start.elapsed().as_nanos() as u64
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        self.recorder
+            .duration(self.name, self.start.elapsed().as_nanos() as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::MetricsRegistry;
+
+    #[test]
+    fn null_recorder_is_disabled_and_inert() {
+        let r = NullRecorder;
+        assert!(!r.enabled());
+        r.add("c", 1);
+        r.gauge("g", 2);
+        r.observe("h", 3);
+        r.duration("t", 4);
+        r.event("e", 5);
+        let mut h = LogHistogram::new();
+        h.record(1);
+        r.observe_hist("h", &h);
+    }
+
+    #[test]
+    fn span_records_a_duration_on_drop() {
+        let reg = MetricsRegistry::new();
+        {
+            let span = Span::enter(&reg, "scope_nanos");
+            assert!(span.elapsed_nanos() < u64::MAX);
+        }
+        let snap = reg.snapshot();
+        assert_eq!(snap.timers["scope_nanos"].count, 1);
+    }
+}

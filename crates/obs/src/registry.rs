@@ -1,0 +1,235 @@
+//! The concrete metrics registry and its trace ring buffer.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::hist::LogHistogram;
+use crate::recorder::Recorder;
+use crate::snapshot::{HistSummary, MetricsSnapshot};
+
+/// Default capacity of the structured-event ring buffer.
+pub const DEFAULT_TRACE_CAPACITY: usize = 1024;
+
+/// One structured trace event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Global sequence number (total events emitted, including any the
+    /// ring has since dropped).
+    pub seq: u64,
+    /// Nanoseconds since the registry was created.
+    pub nanos: u64,
+    /// Event name.
+    pub name: &'static str,
+    /// Event payload.
+    pub value: u64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, u64>,
+    values: BTreeMap<&'static str, LogHistogram>,
+    timers: BTreeMap<&'static str, LogHistogram>,
+    events: VecDeque<TraceEvent>,
+    seq: u64,
+}
+
+/// Thread-safe metrics registry: named counters, gauges, value
+/// histograms, wall-clock timer histograms, and a bounded ring buffer of
+/// structured events.
+///
+/// All mutation goes through the [`Recorder`] trait. A single mutex
+/// guards the maps — recording happens at trial/link/flush granularity
+/// (hot per-access loops collect into local [`LogHistogram`]s and merge
+/// once), so contention is negligible.
+///
+/// # Example
+///
+/// ```rust
+/// use dvs_obs::{MetricsRegistry, Recorder};
+///
+/// let reg = MetricsRegistry::new();
+/// reg.add("cache.l1i.accesses", 10);
+/// reg.observe("cache.l1i.access_cycles", 2);
+/// let snap = reg.snapshot();
+/// assert_eq!(snap.counters["cache.l1i.accesses"], 10);
+/// assert_eq!(snap.values["cache.l1i.access_cycles"].count, 1);
+/// ```
+#[derive(Debug)]
+pub struct MetricsRegistry {
+    start: Instant,
+    trace_capacity: usize,
+    inner: Mutex<Inner>,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        MetricsRegistry::new()
+    }
+}
+
+impl MetricsRegistry {
+    /// An empty registry with the default trace capacity.
+    pub fn new() -> Self {
+        MetricsRegistry::with_trace_capacity(DEFAULT_TRACE_CAPACITY)
+    }
+
+    /// An empty registry whose event ring holds at most `capacity`
+    /// events (older events are dropped first).
+    pub fn with_trace_capacity(capacity: usize) -> Self {
+        MetricsRegistry {
+            start: Instant::now(),
+            trace_capacity: capacity,
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().expect("metrics registry lock poisoned")
+    }
+
+    /// Current value of counter `name` (0 if never written).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.lock().counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// An immutable snapshot of everything recorded so far.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.lock();
+        MetricsSnapshot {
+            counters: inner
+                .counters
+                .iter()
+                .map(|(k, v)| ((*k).to_string(), *v))
+                .collect(),
+            gauges: inner
+                .gauges
+                .iter()
+                .map(|(k, v)| ((*k).to_string(), *v))
+                .collect(),
+            values: inner
+                .values
+                .iter()
+                .map(|(k, h)| ((*k).to_string(), HistSummary::of(h)))
+                .collect(),
+            timers: inner
+                .timers
+                .iter()
+                .map(|(k, h)| ((*k).to_string(), HistSummary::of(h)))
+                .collect(),
+            events: inner.events.iter().copied().collect(),
+        }
+    }
+}
+
+impl Recorder for MetricsRegistry {
+    fn add(&self, name: &'static str, delta: u64) {
+        *self.lock().counters.entry(name).or_insert(0) += delta;
+    }
+
+    fn gauge(&self, name: &'static str, value: u64) {
+        self.lock().gauges.insert(name, value);
+    }
+
+    fn observe(&self, name: &'static str, value: u64) {
+        self.lock().values.entry(name).or_default().record(value);
+    }
+
+    fn observe_hist(&self, name: &'static str, hist: &LogHistogram) {
+        if hist.is_empty() {
+            return;
+        }
+        self.lock().values.entry(name).or_default().merge(hist);
+    }
+
+    fn duration(&self, name: &'static str, nanos: u64) {
+        self.lock().timers.entry(name).or_default().record(nanos);
+    }
+
+    fn event(&self, name: &'static str, value: u64) {
+        let nanos = self.start.elapsed().as_nanos() as u64;
+        let mut inner = self.lock();
+        let seq = inner.seq;
+        inner.seq += 1;
+        if self.trace_capacity == 0 {
+            return;
+        }
+        if inner.events.len() == self.trace_capacity {
+            inner.events.pop_front();
+        }
+        inner.events.push_back(TraceEvent {
+            seq,
+            nanos,
+            name,
+            value,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_gauges_overwrite() {
+        let reg = MetricsRegistry::new();
+        reg.add("c", 2);
+        reg.add("c", 3);
+        reg.gauge("g", 7);
+        reg.gauge("g", 9);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["c"], 5);
+        assert_eq!(reg.counter("c"), 5);
+        assert_eq!(reg.counter("missing"), 0);
+        assert_eq!(snap.gauges["g"], 9);
+    }
+
+    #[test]
+    fn histogram_merge_feeds_values_section() {
+        let reg = MetricsRegistry::new();
+        let mut local = LogHistogram::new();
+        local.record(4);
+        local.record(100);
+        reg.observe_hist("lat", &local);
+        reg.observe("lat", 1);
+        reg.observe_hist("lat", &LogHistogram::new()); // empty merge is a no-op
+        let snap = reg.snapshot();
+        assert_eq!(snap.values["lat"].count, 3);
+        assert_eq!(snap.values["lat"].min, 1);
+        assert_eq!(snap.values["lat"].max, 100);
+    }
+
+    #[test]
+    fn trace_ring_drops_oldest_but_keeps_sequence() {
+        let reg = MetricsRegistry::with_trace_capacity(2);
+        reg.event("a", 0);
+        reg.event("b", 1);
+        reg.event("c", 2);
+        let snap = reg.snapshot();
+        assert_eq!(snap.events.len(), 2);
+        assert_eq!(snap.events[0].name, "b");
+        assert_eq!(snap.events[0].seq, 1);
+        assert_eq!(snap.events[1].name, "c");
+        assert_eq!(snap.events[1].seq, 2);
+    }
+
+    #[test]
+    fn registry_is_shareable_across_threads() {
+        use std::sync::Arc;
+        let reg = Arc::new(MetricsRegistry::new());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let r = reg.clone();
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        r.add("n", 1);
+                        r.observe("v", 3);
+                    }
+                });
+            }
+        });
+        assert_eq!(reg.counter("n"), 400);
+        assert_eq!(reg.snapshot().values["v"].count, 400);
+    }
+}

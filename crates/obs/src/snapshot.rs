@@ -1,0 +1,262 @@
+//! Immutable snapshots of a registry plus the text and JSON exporters.
+//!
+//! A snapshot splits cleanly into a **deterministic** half (counters and
+//! value histograms, which depend only on simulation state) and a
+//! **volatile** half (gauges, wall-clock timers, trace events). The JSON
+//! exporter nests the volatile half under a single `"volatile"` key so
+//! golden tests and determinism checks can compare the rest byte for
+//! byte.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::hist::LogHistogram;
+use crate::json::json_escape;
+use crate::registry::TraceEvent;
+
+/// Summary statistics of one histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistSummary {
+    /// Recorded samples.
+    pub count: u64,
+    /// Saturating sum of samples.
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+    /// Median, at bucket resolution.
+    pub p50: u64,
+    /// 95th percentile, at bucket resolution.
+    pub p95: u64,
+    /// 99th percentile, at bucket resolution.
+    pub p99: u64,
+}
+
+impl HistSummary {
+    /// Summarizes a histogram.
+    pub fn of(h: &LogHistogram) -> Self {
+        HistSummary {
+            count: h.count(),
+            sum: h.sum(),
+            min: h.min(),
+            max: h.max(),
+            p50: h.p50(),
+            p95: h.p95(),
+            p99: h.p99(),
+        }
+    }
+
+    /// Mean sample value (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    fn to_json(self) -> String {
+        format!(
+            "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}",
+            self.count, self.sum, self.min, self.max, self.p50, self.p95, self.p99
+        )
+    }
+}
+
+/// Everything a [`crate::MetricsRegistry`] held at snapshot time.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// Monotonic counters (deterministic).
+    pub counters: BTreeMap<String, u64>,
+    /// Gauges (volatile).
+    pub gauges: BTreeMap<String, u64>,
+    /// Value histograms (deterministic).
+    pub values: BTreeMap<String, HistSummary>,
+    /// Wall-clock timer histograms, in nanoseconds (volatile).
+    pub timers: BTreeMap<String, HistSummary>,
+    /// Trace events still in the ring (volatile).
+    pub events: Vec<TraceEvent>,
+}
+
+fn json_u64_map(out: &mut String, map: &BTreeMap<String, u64>) {
+    out.push('{');
+    for (i, (k, v)) in map.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":{v}", json_escape(k));
+    }
+    out.push('}');
+}
+
+fn json_hist_map(out: &mut String, map: &BTreeMap<String, HistSummary>) {
+    out.push('{');
+    for (i, (k, h)) in map.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":{}", json_escape(k), h.to_json());
+    }
+    out.push('}');
+}
+
+impl MetricsSnapshot {
+    /// Renders the snapshot as one JSON object.
+    ///
+    /// The deterministic sections (`"counters"`, `"histograms"`) always
+    /// appear; with `include_volatile` the gauges, timers and trace
+    /// events are added under `"volatile"`. Two same-seed runs render
+    /// identical JSON when `include_volatile` is false.
+    pub fn to_json(&self, include_volatile: bool) -> String {
+        let mut out = String::from("{\"counters\":");
+        json_u64_map(&mut out, &self.counters);
+        out.push_str(",\"histograms\":");
+        json_hist_map(&mut out, &self.values);
+        if include_volatile {
+            out.push_str(",\"volatile\":{\"gauges\":");
+            json_u64_map(&mut out, &self.gauges);
+            out.push_str(",\"timings\":");
+            json_hist_map(&mut out, &self.timers);
+            out.push_str(",\"events\":[");
+            for (i, e) in self.events.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "{{\"seq\":{},\"nanos\":{},\"name\":\"{}\",\"value\":{}}}",
+                    e.seq,
+                    e.nanos,
+                    json_escape(e.name),
+                    e.value
+                );
+            }
+            out.push_str("]}");
+        }
+        out.push('}');
+        out
+    }
+
+    /// Renders the snapshot for humans: counters, histograms and (when
+    /// present) timers as aligned text blocks.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            let width = self.counters.keys().map(String::len).max().unwrap_or(0);
+            for (k, v) in &self.counters {
+                let _ = writeln!(out, "  {k:width$}  {v}");
+            }
+        }
+        if !self.values.is_empty() {
+            out.push_str("histograms (count / mean / p50 / p95 / p99 / max):\n");
+            let width = self.values.keys().map(String::len).max().unwrap_or(0);
+            for (k, h) in &self.values {
+                let _ = writeln!(
+                    out,
+                    "  {k:width$}  {} / {:.1} / {} / {} / {} / {}",
+                    h.count,
+                    h.mean(),
+                    h.p50,
+                    h.p95,
+                    h.p99,
+                    h.max
+                );
+            }
+        }
+        if !self.timers.is_empty() {
+            out.push_str("timers (count / total ms / mean µs / p99 µs):\n");
+            let width = self.timers.keys().map(String::len).max().unwrap_or(0);
+            for (k, h) in &self.timers {
+                let _ = writeln!(
+                    out,
+                    "  {k:width$}  {} / {:.2} / {:.1} / {:.1}",
+                    h.count,
+                    h.sum as f64 / 1e6,
+                    h.mean() / 1e3,
+                    h.p99 as f64 / 1e3
+                );
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("gauges:\n");
+            for (k, v) in &self.gauges {
+                let _ = writeln!(out, "  {k}  {v}");
+            }
+        }
+        out
+    }
+
+    /// Total wall-clock nanoseconds recorded under timer `name` (0 when
+    /// the timer never fired).
+    pub fn timer_total_nanos(&self, name: &str) -> u64 {
+        self.timers.get(name).map_or(0, |h| h.sum)
+    }
+
+    /// Value of counter `name`, 0 when absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Value;
+    use crate::recorder::Recorder;
+    use crate::registry::MetricsRegistry;
+
+    fn sample() -> MetricsSnapshot {
+        let reg = MetricsRegistry::new();
+        reg.add("a.count", 3);
+        reg.gauge("depth", 2);
+        reg.observe("lat", 7);
+        reg.observe("lat", 9);
+        reg.duration("t", 1000);
+        reg.event("done", 1);
+        reg.snapshot()
+    }
+
+    #[test]
+    fn json_without_volatile_is_deterministic_shape() {
+        let json = sample().to_json(false);
+        assert!(json.contains("\"counters\":{\"a.count\":3}"));
+        assert!(json.contains("\"histograms\":{\"lat\":{\"count\":2"));
+        assert!(!json.contains("volatile"));
+        let parsed = Value::parse(&json).expect("well-formed");
+        assert_eq!(
+            parsed.get("counters").and_then(|c| c.get("a.count")),
+            Some(&Value::Num(3.0))
+        );
+    }
+
+    #[test]
+    fn json_with_volatile_nests_everything_under_one_key() {
+        let json = sample().to_json(true);
+        let parsed = Value::parse(&json).expect("well-formed");
+        let vol = parsed.get("volatile").expect("volatile section");
+        assert!(vol.get("gauges").is_some());
+        assert!(vol.get("timings").is_some());
+        assert!(vol.get("events").is_some());
+    }
+
+    #[test]
+    fn text_render_mentions_every_section() {
+        let text = sample().to_text();
+        assert!(text.contains("counters:"));
+        assert!(text.contains("a.count"));
+        assert!(text.contains("histograms"));
+        assert!(text.contains("timers"));
+        assert!(text.contains("gauges:"));
+    }
+
+    #[test]
+    fn helpers_read_totals() {
+        let snap = sample();
+        assert_eq!(snap.counter("a.count"), 3);
+        assert_eq!(snap.counter("missing"), 0);
+        assert_eq!(snap.timer_total_nanos("t"), 1000);
+        assert_eq!(snap.timer_total_nanos("missing"), 0);
+    }
+}

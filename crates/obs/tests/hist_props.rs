@@ -1,0 +1,117 @@
+//! Property tests for [`dvs_obs::LogHistogram`]: merge associativity,
+//! quantile monotonicity, and no sample loss under bucket saturation.
+
+use dvs_obs::LogHistogram;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn hist_of(values: &[u64]) -> LogHistogram {
+    let mut h = LogHistogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    /// (a ∪ b) ∪ c == a ∪ (b ∪ c): merging is associative, so worker
+    /// threads can combine local histograms in any grouping.
+    fn merge_is_associative(
+        a in vec(any::<u64>(), 0..40),
+        b in vec(any::<u64>(), 0..40),
+        c in vec(any::<u64>(), 0..40),
+    ) {
+        let (ha, hb, hc) = (hist_of(&a), hist_of(&b), hist_of(&c));
+
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&bc);
+
+        prop_assert_eq!(&left, &right);
+
+        // Both groupings also equal recording everything into one.
+        let all: Vec<u64> = a.iter().chain(&b).chain(&c).copied().collect();
+        prop_assert_eq!(&left, &hist_of(&all));
+    }
+
+    /// Merge order does not matter either (commutativity), which together
+    /// with associativity makes any reduction tree valid.
+    fn merge_is_commutative(
+        a in vec(any::<u64>(), 0..60),
+        b in vec(any::<u64>(), 0..60),
+    ) {
+        let (ha, hb) = (hist_of(&a), hist_of(&b));
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// quantile(q) is monotonically non-decreasing in q and bracketed by
+    /// the observed min and max.
+    fn quantiles_are_monotonic_and_bracketed(
+        values in vec(any::<u64>(), 1..120),
+        qa in 0.0f64..=1.0,
+        qb in 0.0f64..=1.0,
+    ) {
+        let h = hist_of(&values);
+        let (lo, hi) = if qa <= qb { (qa, qb) } else { (qb, qa) };
+        prop_assert!(
+            h.quantile(lo) <= h.quantile(hi),
+            "quantile({lo}) = {} > quantile({hi}) = {}",
+            h.quantile(lo),
+            h.quantile(hi)
+        );
+        prop_assert!(h.quantile(0.0) >= h.min());
+        prop_assert!(h.quantile(1.0) <= h.max());
+        prop_assert_eq!(h.quantile(1.0), h.max());
+    }
+
+    /// Even when the saturating sum pins at `u64::MAX`, no sample is
+    /// lost: count, per-bucket totals, min and max all stay exact.
+    fn saturation_loses_no_samples(
+        huge_count in 1u64..16,
+        small in vec(0u64..1024, 0..32),
+    ) {
+        let mut h = LogHistogram::new();
+        h.record_n(u64::MAX, huge_count);
+        for &v in &small {
+            h.record(v);
+        }
+        prop_assert_eq!(h.count(), huge_count + small.len() as u64);
+        prop_assert_eq!(h.sum(), u64::MAX, "sum must saturate, not wrap");
+        prop_assert_eq!(h.max(), u64::MAX);
+        let bucket_total: u64 = h.buckets().iter().sum();
+        prop_assert_eq!(bucket_total, h.count(), "every sample lands in a bucket");
+
+        // Merging a saturated histogram stays saturated and exact.
+        let other = hist_of(&small);
+        let mut merged = h.clone();
+        merged.merge(&other);
+        prop_assert_eq!(merged.count(), h.count() + other.count());
+        prop_assert_eq!(merged.sum(), u64::MAX);
+    }
+
+    /// count/sum/mean stay mutually consistent under arbitrary input.
+    fn summary_stats_are_consistent(values in vec(0u64..1_000_000, 0..100)) {
+        let h = hist_of(&values);
+        prop_assert_eq!(h.count(), values.len() as u64);
+        let exact: u64 = values.iter().sum();
+        prop_assert_eq!(h.sum(), exact);
+        if values.is_empty() {
+            prop_assert!(h.is_empty());
+            prop_assert_eq!(h.mean(), 0.0);
+        } else {
+            prop_assert_eq!(h.min(), *values.iter().min().unwrap());
+            prop_assert_eq!(h.max(), *values.iter().max().unwrap());
+            let mean = exact as f64 / values.len() as f64;
+            prop_assert!((h.mean() - mean).abs() < 1e-9);
+        }
+    }
+}

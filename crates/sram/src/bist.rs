@@ -6,6 +6,8 @@
 //! maps. This module implements a word-wide March C- test, which detects
 //! every fault behaviour modelled by [`crate::FailureKind`].
 
+use dvs_obs::{Recorder, Span};
+
 use crate::{BitGrid, CacheGeometry, FaultMap, SramArray};
 
 /// The word-wide data backgrounds marched through the array.
@@ -76,6 +78,21 @@ pub fn march_test(array: &mut SramArray) -> BitGrid {
             }
         }
     }
+    faulty
+}
+
+/// [`march_test`] with observability: records the march wall-clock time
+/// (`sram.bist.march_nanos`) and the deterministic counters
+/// `sram.bist.words_tested` and `sram.bist.faulty_words` into `recorder`.
+/// The defect grid is identical to [`march_test`]'s.
+pub fn march_test_recorded(array: &mut SramArray, recorder: &dyn Recorder) -> BitGrid {
+    let words = array.words();
+    let faulty = {
+        let _span = Span::enter(recorder, "sram.bist.march_nanos");
+        march_test(array)
+    };
+    recorder.add("sram.bist.words_tested", u64::from(words));
+    recorder.add("sram.bist.faulty_words", faulty.count_ones() as u64);
     faulty
 }
 
@@ -168,6 +185,29 @@ mod tests {
             (found - predicted).abs() < 0.02,
             "BIST rate {found} vs model {predicted}"
         );
+    }
+
+    #[test]
+    fn recorded_march_matches_plain_and_counts() {
+        use dvs_obs::MetricsRegistry;
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut a = SramArray::new(2048);
+        a.inject_random(2e-3, &mut rng);
+        let mut b = a.clone();
+        let plain = march_test(&mut a);
+        let reg = MetricsRegistry::new();
+        let recorded = march_test_recorded(&mut b, &reg);
+        assert_eq!(
+            plain.iter_ones().collect::<Vec<_>>(),
+            recorded.iter_ones().collect::<Vec<_>>()
+        );
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("sram.bist.words_tested"), 2048);
+        assert_eq!(
+            snap.counter("sram.bist.faulty_words"),
+            recorded.count_ones() as u64
+        );
+        assert_eq!(snap.timers["sram.bist.march_nanos"].count, 1);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Word-granularity defect maps over a cache data array.
 
+use dvs_obs::{Recorder, Span};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -94,6 +95,30 @@ impl FaultMap {
                 map.words.set(idx, true);
             }
         }
+        map
+    }
+
+    /// [`FaultMap::sample`] with observability: records the generation
+    /// wall-clock time (`sram.faultmap.sample_nanos`) and the
+    /// deterministic counters `sram.faultmap.samples` and
+    /// `sram.faultmap.faulty_words` into `recorder`. The map produced is
+    /// identical to [`FaultMap::sample`] with the same RNG state.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`FaultMap::sample`].
+    pub fn sample_recorded<R: Rng + ?Sized>(
+        geometry: &CacheGeometry,
+        p_word: f64,
+        rng: &mut R,
+        recorder: &dyn Recorder,
+    ) -> Self {
+        let map = {
+            let _span = Span::enter(recorder, "sram.faultmap.sample_nanos");
+            FaultMap::sample(geometry, p_word, rng)
+        };
+        recorder.add("sram.faultmap.samples", 1);
+        recorder.add("sram.faultmap.faulty_words", map.faulty_words() as u64);
         map
     }
 
@@ -272,6 +297,23 @@ mod tests {
         let c = FaultMap::sample(&g, 0.1, &mut StdRng::seed_from_u64(8));
         assert_eq!(a, b);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn sample_recorded_matches_sample_and_counts_faults() {
+        use dvs_obs::MetricsRegistry;
+        let g = geom();
+        let plain = FaultMap::sample(&g, 0.1, &mut StdRng::seed_from_u64(7));
+        let reg = MetricsRegistry::new();
+        let recorded = FaultMap::sample_recorded(&g, 0.1, &mut StdRng::seed_from_u64(7), &reg);
+        assert_eq!(plain, recorded, "recorder must not perturb sampling");
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("sram.faultmap.samples"), 1);
+        assert_eq!(
+            snap.counter("sram.faultmap.faulty_words"),
+            recorded.faulty_words() as u64
+        );
+        assert_eq!(snap.timers["sram.faultmap.sample_nanos"].count, 1);
     }
 
     #[test]

@@ -1,0 +1,96 @@
+//! Golden snapshot of `dvs-profile --json`.
+//!
+//! The committed snapshot under `tests/golden/` pins the deterministic
+//! half of the profile output — schema layout, metric names, and the
+//! counter/histogram values for a fixed configuration. The comparison is
+//! structural (parsed JSON) with every `"volatile"` section stripped, so
+//! wall-clock timings, gauges and trace events never break the test.
+//!
+//! To bless a new snapshot after an intentional metrics change:
+//! `DVS_BLESS_GOLDEN=1 cargo test --test profile_golden`.
+
+use dvs_bench::profile::{run_profile, ProfileOptions};
+use dvs_obs::json::Value;
+use dvs_sram::MilliVolts;
+use dvs_workloads::Benchmark;
+
+const GOLDEN_PATH: &str = "tests/golden/profile_crc32.json";
+
+fn golden_options() -> ProfileOptions {
+    let mut opts = ProfileOptions {
+        benchmarks: vec![Benchmark::Crc32],
+        voltages: vec![MilliVolts::new(760), MilliVolts::new(400)],
+        ..ProfileOptions::default()
+    };
+    opts.cfg.maps = 2;
+    opts.cfg.trace_instrs = 4000;
+    opts.cfg.seed = 42;
+    opts
+}
+
+#[test]
+fn profile_json_matches_golden_snapshot() {
+    let report = run_profile(&golden_options());
+    report.validate().expect("profile self-check");
+    let rendered = report.to_json(true);
+    let current = Value::parse(&rendered)
+        .expect("profile output parses")
+        .without_key("volatile");
+
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(GOLDEN_PATH);
+    if std::env::var_os("DVS_BLESS_GOLDEN").is_some() {
+        std::fs::write(&path, format!("{current}\n")).expect("write golden");
+        return;
+    }
+    let golden_raw = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot {} ({e}); regenerate with DVS_BLESS_GOLDEN=1",
+            path.display()
+        )
+    });
+    let golden = Value::parse(golden_raw.trim()).expect("golden snapshot parses");
+
+    assert_eq!(
+        golden, current,
+        "profile output diverged from the golden snapshot;\n\
+         if the metrics change is intentional, rebless with DVS_BLESS_GOLDEN=1\n\
+         current: {current}"
+    );
+}
+
+#[test]
+fn golden_snapshot_is_committed_and_volatile_free() {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(GOLDEN_PATH);
+    let raw = std::fs::read_to_string(&path).expect("golden snapshot exists");
+    let value = Value::parse(raw.trim()).expect("golden snapshot parses");
+    value
+        .check_numbers_finite_nonneg()
+        .expect("golden numbers are finite and non-negative");
+    assert_eq!(
+        value.get("schema").and_then(Value::as_str),
+        Some("dvs-profile/1")
+    );
+    // The snapshot must hold only the deterministic half.
+    assert_eq!(value.without_key("volatile"), value);
+    let sections = value
+        .get("sections")
+        .and_then(Value::as_arr)
+        .expect("sections array");
+    assert_eq!(sections.len(), 2);
+    for section in sections {
+        let counters = section
+            .get("metrics")
+            .and_then(|m| m.get("counters"))
+            .and_then(Value::as_obj)
+            .expect("counters object");
+        for key in [
+            "cache.l1i.accesses",
+            "cache.l1d.accesses",
+            "cpu.instructions",
+            "engine.trials.computed",
+        ] {
+            let count = counters.get(key).and_then(Value::as_f64).unwrap_or(0.0);
+            assert!(count > 0.0, "golden counter {key} should be non-zero");
+        }
+    }
+}
