@@ -13,7 +13,7 @@
 //! scheduling order, thread count and store hits never change a result.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
 use dvs_cpu::{simulate, CoreConfig, MemSystem, SimResult};
@@ -25,9 +25,84 @@ use dvs_sram::montecarlo::trial_seed;
 use dvs_sram::{CacheGeometry, FaultMap};
 use dvs_workloads::{Layout, Program, Workload};
 
+use crate::cancel::CancelToken;
 use crate::eval::TrialMetrics;
 use crate::plan::CellKey;
 use crate::{DvfsPoint, EvalConfig};
+
+/// Process-wide gate bounding how many trials execute concurrently
+/// across *every* [`crate::Evaluator`] in the process (see
+/// [`EvalConfig::max_parallel_trials`]). Uncapped evaluators never touch
+/// the gate, so the default configuration pays nothing for it.
+struct TrialGate {
+    state: Mutex<GateState>,
+    cv: Condvar,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct GateState {
+    active: usize,
+    high_water: usize,
+}
+
+static TRIAL_GATE: TrialGate = TrialGate {
+    state: Mutex::new(GateState {
+        active: 0,
+        high_water: 0,
+    }),
+    cv: Condvar::new(),
+};
+
+impl TrialGate {
+    /// Blocks until fewer than `limit` trials are active process-wide,
+    /// then reserves a slot. The slot is released when the returned
+    /// permit drops.
+    fn acquire(&'static self, limit: usize) -> GatePermit {
+        let limit = limit.max(1);
+        let mut state = self.state.lock().expect("trial gate lock poisoned");
+        while state.active >= limit {
+            state = self.cv.wait(state).expect("trial gate lock poisoned");
+        }
+        state.active += 1;
+        state.high_water = state.high_water.max(state.active);
+        GatePermit { gate: self }
+    }
+}
+
+struct GatePermit {
+    gate: &'static TrialGate,
+}
+
+impl Drop for GatePermit {
+    fn drop(&mut self) {
+        let mut state = self.gate.state.lock().expect("trial gate lock poisoned");
+        state.active -= 1;
+        drop(state);
+        self.gate.cv.notify_all();
+    }
+}
+
+/// Largest number of gated trials ever observed running at once in this
+/// process. Test instrumentation for the `max_parallel_trials` policy —
+/// only capped evaluators are counted.
+#[doc(hidden)]
+pub fn trial_gate_high_water() -> usize {
+    TRIAL_GATE
+        .state
+        .lock()
+        .expect("trial gate lock poisoned")
+        .high_water
+}
+
+/// Resets the high-water mark (test instrumentation).
+#[doc(hidden)]
+pub fn reset_trial_gate_high_water() {
+    TRIAL_GATE
+        .state
+        .lock()
+        .expect("trial gate lock poisoned")
+        .high_water = 0;
+}
 
 /// Per-benchmark immutable inputs, shared across cells and threads.
 pub(crate) struct BenchArtifacts {
@@ -168,14 +243,16 @@ pub(crate) enum TrialOutcome {
 /// One cell's trial outcomes, ordered by trial index.
 pub(crate) type TrialOutcomes = Vec<(u64, TrialOutcome)>;
 
-/// Progress-reporting context for one `execute_cells` drain: the
-/// observer plus where this drain sits inside the surrounding plan
-/// (cells already resolved from memory or the store count as done).
+/// Per-drain context for one `execute_cells` call: the progress
+/// observer, where this drain sits inside the surrounding plan (cells
+/// already resolved from memory or the store count as done), and the
+/// cooperative stop signal.
 #[derive(Clone, Copy)]
-pub(crate) struct ProgressScope<'a> {
+pub(crate) struct DrainScope<'a> {
     pub(crate) callback: Option<&'a ProgressFn>,
     pub(crate) cells_done_before: usize,
     pub(crate) cells_total: usize,
+    pub(crate) cancel: Option<&'a CancelToken>,
 }
 
 /// Drains every trial of `cells` through one shared worker pool.
@@ -188,7 +265,7 @@ pub(crate) fn execute_cells(
     cells: &[CellContext],
     counters: &EngineCounters,
     recorder: Option<&Arc<dyn Recorder>>,
-    scope: ProgressScope<'_>,
+    scope: DrainScope<'_>,
 ) -> Vec<TrialOutcomes> {
     // Flatten the plan into one task list so workers balance across
     // cells, not within them.
@@ -205,11 +282,25 @@ pub(crate) fn execute_cells(
     let outstanding: Vec<AtomicU64> = cells.iter().map(|c| AtomicU64::new(c.trials)).collect();
     let cells_done = AtomicUsize::new(scope.cells_done_before);
 
-    let workers = cfg.threads.max(1).min(tasks.len().max(1));
+    let workers = cfg
+        .threads
+        .max(1)
+        .min(tasks.len().max(1))
+        .min(cfg.max_parallel_trials.unwrap_or(usize::MAX).max(1));
     std::thread::scope(|s| {
         let mut handles = Vec::with_capacity(workers);
         for _ in 0..workers {
             handles.push(s.spawn(|| loop {
+                if scope.cancel.is_some_and(CancelToken::is_cancelled) {
+                    break;
+                }
+                // Trials from concurrently running evaluators contend for
+                // the same process-wide gate, so N campaigns cannot
+                // oversubscribe the machine with N x `threads` workers.
+                let _permit = cfg.max_parallel_trials.map(|n| TRIAL_GATE.acquire(n));
+                if scope.cancel.is_some_and(CancelToken::is_cancelled) {
+                    break;
+                }
                 let i = cursor.fetch_add(1, Ordering::Relaxed);
                 let Some(&(ci, trial)) = tasks.get(i) else {
                     break;

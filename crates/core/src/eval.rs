@@ -28,6 +28,7 @@ use dvs_sram::stats::Summary;
 use dvs_sram::{CacheGeometry, MilliVolts};
 use dvs_workloads::{Benchmark, Layout, Program};
 
+use crate::cancel::CancelToken;
 use crate::engine::{
     self, BenchArtifacts, CellContext, EngineCounters, EngineStats, ProgressFn, TrialOutcome,
 };
@@ -41,6 +42,20 @@ use crate::{DvfsPoint, Scheme};
 /// per operating point; these knobs trade that fidelity for wall-clock
 /// time. [`EvalConfig::paper_scale`] approaches the paper's protocol;
 /// [`EvalConfig::quick`] is for tests.
+///
+/// # Parallelism policy
+///
+/// `threads` sizes the worker pool of **one** `run_plan` drain. A process
+/// running N evaluators concurrently (e.g. the `dvs-serve` campaign
+/// executors) would otherwise commit N × `threads` workers; setting
+/// `max_parallel_trials` bounds the trials *actually executing at any
+/// instant across the whole process*, whatever the number of evaluators.
+/// Each worker reserves a slot on a process-wide gate before claiming a
+/// trial and releases it when the trial finishes, so the effective
+/// parallelism of one evaluator is `min(threads, max_parallel_trials)`
+/// and the process-wide total never exceeds the smallest cap any waiting
+/// evaluator requested. Like `threads`, the cap can never change results
+/// and is not part of the result-store key.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct EvalConfig {
     /// Dynamic instructions simulated per trial.
@@ -56,6 +71,11 @@ pub struct EvalConfig {
     /// Worker threads for trial-level parallelism. Never affects results
     /// (and is therefore not part of the result-store key).
     pub threads: usize,
+    /// Process-wide cap on concurrently executing trials, shared by every
+    /// evaluator in the process (see the parallelism policy above), or
+    /// `None` for no cap. Never affects results and is not part of the
+    /// result-store key.
+    pub max_parallel_trials: Option<usize>,
     /// Run every successfully linked BBR image through the `dvs-analysis`
     /// lint registry before simulating it, surfacing any deny finding as
     /// [`EvalError::InvariantViolation`]. Purely a checking knob — it can
@@ -73,6 +93,7 @@ impl EvalConfig {
             seed: 42,
             bbr_max_block_words: None,
             threads: 8,
+            max_parallel_trials: None,
             validate_images: false,
         }
     }
@@ -94,6 +115,7 @@ impl EvalConfig {
             seed: 42,
             bbr_max_block_words: None,
             threads: 4,
+            max_parallel_trials: None,
             validate_images: true,
         }
     }
@@ -138,6 +160,21 @@ pub enum EvalError {
         /// The first deny finding the lint registry reported.
         diagnostic: Diagnostic,
     },
+    /// The campaign's [`crate::CancelToken`] fired before every trial of
+    /// this cell completed. Nothing was persisted for the cell, and the
+    /// evaluator does **not** cache this failure: re-running the plan
+    /// (with a fresh token) recomputes the cell from scratch.
+    Cancelled {
+        /// The workload.
+        benchmark: Benchmark,
+        /// The evaluated configuration.
+        scheme: Scheme,
+        /// Nominal operating voltage.
+        vcc: MilliVolts,
+        /// Trials that did finish before the stop (their results are
+        /// discarded — partial cells are never installed).
+        completed: u64,
+    },
 }
 
 impl fmt::Display for EvalError {
@@ -163,6 +200,16 @@ impl fmt::Display for EvalError {
                 f,
                 "trial {trial} of {benchmark}/{scheme} at {vcc} produced an \
                  invalid image: {diagnostic}"
+            ),
+            EvalError::Cancelled {
+                benchmark,
+                scheme,
+                vcc,
+                completed,
+            } => write!(
+                f,
+                "{benchmark}/{scheme} at {vcc} was cancelled after \
+                 {completed} trials"
             ),
         }
     }
@@ -252,6 +299,7 @@ pub struct Evaluator {
     progress: Option<Box<ProgressFn>>,
     counters: EngineCounters,
     recorder: Option<Arc<dyn Recorder>>,
+    cancel: Option<CancelToken>,
 }
 
 impl Evaluator {
@@ -271,6 +319,7 @@ impl Evaluator {
             progress: None,
             counters: EngineCounters::default(),
             recorder: None,
+            cancel: None,
         }
     }
 
@@ -287,6 +336,21 @@ impl Evaluator {
     /// as cells finish, and synchronously for store-resolved cells).
     pub fn set_progress(&mut self, f: impl Fn(&engine::Progress) + Send + Sync + 'static) {
         self.progress = Some(Box::new(f));
+    }
+
+    /// Attaches a cancellation token: once it fires, workers finish the
+    /// trial they are executing, stop claiming new ones, and every cell
+    /// left incomplete reports [`EvalError::Cancelled`] instead of data.
+    /// Completed cells are installed and persisted normally.
+    pub fn set_cancel_token(&mut self, token: CancelToken) {
+        self.cancel = Some(token);
+    }
+
+    /// Builder form of [`Evaluator::set_cancel_token`].
+    #[must_use]
+    pub fn with_cancel_token(mut self, token: CancelToken) -> Self {
+        self.set_cancel_token(token);
+        self
     }
 
     /// Attaches a recorder to this evaluation: every subsequent trial
@@ -501,13 +565,28 @@ impl Evaluator {
                 &contexts,
                 &self.counters,
                 self.recorder.as_ref(),
-                engine::ProgressScope {
+                engine::DrainScope {
                     callback: self.progress.as_deref(),
                     cells_done_before: cells_done,
                     cells_total,
+                    cancel: self.cancel.as_ref(),
                 },
             );
             for (key, cell_outcomes) in missing.iter().zip(outcomes) {
+                // A cancelled drain leaves cells short of their trial
+                // quota; those must neither be installed nor persisted.
+                if (cell_outcomes.len() as u64) < key.trials(&self.cfg) {
+                    self.failures.insert(
+                        *key,
+                        EvalError::Cancelled {
+                            benchmark: key.benchmark,
+                            scheme: key.scheme,
+                            vcc: key.vcc(),
+                            completed: cell_outcomes.len() as u64,
+                        },
+                    );
+                    continue;
+                }
                 let mut failed_links = 0u64;
                 let mut violation: Option<(u64, Diagnostic)> = None;
                 let mut trials: Vec<TrialMetrics> = Vec::new();
@@ -556,7 +635,12 @@ impl Evaluator {
         self.counters
             .wall_nanos
             .fetch_add(wall_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
-        plan.cells().iter().map(|&k| (k, self.lookup(&k))).collect()
+        let results = plan.cells().iter().map(|&k| (k, self.lookup(&k))).collect();
+        // Cancelled cells are reported but never cached: a later run_plan
+        // (with a fresh token) must recompute them, not replay the stop.
+        self.failures
+            .retain(|_, e| !matches!(e, EvalError::Cancelled { .. }));
+        results
     }
 
     fn fire_progress(&self, cell: CellKey, trials_computed: u64, done: usize, total: usize) {
@@ -591,8 +675,12 @@ impl Evaluator {
         }
         let mut plan = ExperimentPlan::new();
         plan.add_key(key);
-        self.run_plan(&plan);
-        self.lookup(&key)
+        // Take run_plan's own result: cancelled cells are reported there
+        // but deliberately absent from the failure cache.
+        self.run_plan(&plan)
+            .pop()
+            .expect("one-cell plan yields one result")
+            .1
     }
 
     /// Per-trial run time normalized to the defect-free cache at the same
@@ -974,6 +1062,108 @@ mod tests {
         assert_eq!(
             StoreKey::for_cell(&with, &core, &geom, &key),
             StoreKey::for_cell(&without, &core, &geom, &key)
+        );
+    }
+
+    #[test]
+    fn cancelled_campaign_reports_typed_error_and_is_not_cached() {
+        use crate::CancelToken;
+
+        let token = CancelToken::new();
+        token.cancel(); // fire before anything runs: nothing may start
+        let mut e = eval();
+        e.set_cancel_token(token);
+        let plan = ExperimentPlan::for_grid(
+            &[Benchmark::Crc32],
+            &[Scheme::SimpleWdis, Scheme::FfwBbr],
+            &[MilliVolts::new(480)],
+        );
+        let results = e.run_plan(&plan);
+        assert_eq!(results.len(), 2);
+        for (key, r) in &results {
+            match r {
+                Err(EvalError::Cancelled {
+                    benchmark,
+                    completed,
+                    ..
+                }) => {
+                    assert_eq!(*benchmark, key.benchmark);
+                    assert_eq!(*completed, 0);
+                }
+                other => panic!("expected Cancelled for {key}, got {other:?}"),
+            }
+        }
+        assert_eq!(e.stats().trials_computed, 0);
+
+        // Cancelled cells are not cached: a fresh token lets the same
+        // evaluator recompute them.
+        e.set_cancel_token(CancelToken::new());
+        let again = e.run_plan(&plan);
+        assert!(again.iter().all(|(_, r)| r.is_ok()));
+        assert!(e.stats().trials_computed > 0);
+    }
+
+    #[test]
+    fn cancelled_cells_never_reach_the_store() {
+        use crate::CancelToken;
+
+        let store = temp_store("cancel");
+        let dir = store.dir().to_path_buf();
+        let token = CancelToken::new();
+        token.cancel();
+        let mut e = Evaluator::new(EvalConfig::quick())
+            .with_store(store)
+            .with_cancel_token(token);
+        let _ = e.run(Benchmark::Crc32, Scheme::SimpleWdis, MilliVolts::new(480));
+        let reopened = ResultStore::open(&dir).unwrap();
+        assert_eq!(reopened.cell_count().unwrap(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn max_parallel_trials_caps_concurrency_across_evaluators() {
+        // Two capped evaluators racing different cells must never have
+        // more than `cap` trials executing at once, process-wide.
+        crate::reset_trial_gate_high_water();
+        let cap = 1usize;
+        let cfg = EvalConfig {
+            max_parallel_trials: Some(cap),
+            threads: 4,
+            ..EvalConfig::quick()
+        };
+        std::thread::scope(|s| {
+            for bench in [Benchmark::Crc32, Benchmark::Adpcm] {
+                s.spawn(move || {
+                    let mut e = Evaluator::new(cfg);
+                    e.run(bench, Scheme::SimpleWdis, MilliVolts::new(480))
+                        .unwrap();
+                });
+            }
+        });
+        let high = crate::trial_gate_high_water();
+        assert!(high >= 1, "gated trials must have run");
+        assert!(
+            high <= cap,
+            "gate let {high} trials run under a cap of {cap}"
+        );
+
+        // The cap is policy, not physics: results are identical to an
+        // uncapped run, and the store key ignores it.
+        let mut capped = Evaluator::new(cfg);
+        let mut free = Evaluator::new(EvalConfig::quick());
+        let a = capped
+            .run(Benchmark::Crc32, Scheme::SimpleWdis, MilliVolts::new(480))
+            .unwrap();
+        let b = free
+            .run(Benchmark::Crc32, Scheme::SimpleWdis, MilliVolts::new(480))
+            .unwrap();
+        assert_eq!(a.trials, b.trials);
+        let key = CellKey::new(Benchmark::Crc32, Scheme::SimpleWdis, MilliVolts::new(480));
+        let core = CoreConfig::dsn2016();
+        let geom = CacheGeometry::dsn_l1();
+        assert_eq!(
+            StoreKey::for_cell(&cfg, &core, &geom, &key),
+            StoreKey::for_cell(&EvalConfig::quick(), &core, &geom, &key)
         );
     }
 

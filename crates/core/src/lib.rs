@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+mod cancel;
 mod dvfs;
 mod engine;
 mod eval;
@@ -45,7 +46,10 @@ mod scheme;
 mod store;
 pub mod transitions;
 
+pub use cancel::CancelToken;
 pub use dvfs::DvfsPoint;
+#[doc(hidden)]
+pub use engine::{reset_trial_gate_high_water, trial_gate_high_water};
 pub use engine::{EngineStats, Progress};
 pub use eval::{EvalConfig, EvalError, Evaluator, SchemeRun, TrialMetrics};
 pub use plan::{CellKey, ExperimentPlan};

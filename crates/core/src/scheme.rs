@@ -44,6 +44,24 @@ pub enum Scheme {
 }
 
 impl Scheme {
+    /// Every scheme, in declaration order (used by name-based lookups,
+    /// e.g. the `dvs-serve` JSON API).
+    pub const ALL: [Scheme; 13] = [
+        Scheme::Baseline760,
+        Scheme::DefectFree,
+        Scheme::FfwBbr,
+        Scheme::EightT,
+        Scheme::SimpleWdis,
+        Scheme::WilkersonPlus,
+        Scheme::Fba,
+        Scheme::FbaPlus,
+        Scheme::Idc,
+        Scheme::IdcPlus,
+        Scheme::WordSub,
+        Scheme::LineDisable,
+        Scheme::WayDisable,
+    ];
+
     /// The six configurations plotted in Figures 10–12.
     pub const COMPARED: [Scheme; 6] = [
         Scheme::FfwBbr,

@@ -201,7 +201,13 @@ impl ResultStore {
         s.write_bytes(&payload);
         s.write_u64(fnv1a(&payload));
         let path = self.file_for(&key_bytes);
-        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        // Unique per process AND per save: two threads of one process
+        // racing the same cell must not interleave writes to one temp
+        // file (their renames still race, but each renames a complete,
+        // identical image — determinism makes last-writer-wins safe).
+        static TMP_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let seq = TMP_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let tmp = path.with_extension(format!("tmp.{}.{seq}", std::process::id()));
         fs::write(&tmp, s.as_bytes())?;
         fs::rename(&tmp, &path)
     }

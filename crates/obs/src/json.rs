@@ -6,9 +6,26 @@
 //! to validate exported documents (no NaN, no negative counters) without
 //! any external dependency. Numbers are held as `f64`, which is exact for
 //! every integer the exporters emit below 2^53.
+//!
+//! The parser also serves as `dvs-serve`'s request-body parser, so it is
+//! hardened for **untrusted** input and fails closed:
+//!
+//! * nesting is limited to [`MAX_DEPTH`] levels, so `[[[[…` input errors
+//!   out instead of overflowing the parse stack;
+//! * numbers that do not fit a finite `f64` (`1e999`) are rejected
+//!   rather than silently becoming `inf`;
+//! * duplicate object keys are rejected rather than last-wins merged
+//!   (two readers could otherwise disagree about what was accepted);
+//! * truncated escapes, unpaired surrogates and invalid UTF-8 are
+//!   rejected with a byte offset.
 
 use std::collections::BTreeMap;
 use std::fmt;
+
+/// Maximum container nesting depth [`Value::parse`] accepts. Deep enough
+/// for any document the exporters emit, shallow enough that parsing
+/// adversarial input can never exhaust the thread's stack.
+pub const MAX_DEPTH: usize = 128;
 
 /// Escapes a string for embedding in a JSON document.
 pub fn json_escape(s: &str) -> String {
@@ -49,7 +66,8 @@ pub enum Value {
 
 impl Value {
     /// Parses one JSON document (trailing whitespace allowed, trailing
-    /// garbage rejected).
+    /// garbage rejected). Safe on untrusted input: see the module docs
+    /// for the fail-closed guarantees.
     ///
     /// # Errors
     ///
@@ -58,7 +76,7 @@ impl Value {
     pub fn parse(input: &str) -> Result<Value, String> {
         let bytes = input.as_bytes();
         let mut pos = 0usize;
-        let value = parse_value(bytes, &mut pos)?;
+        let value = parse_value(bytes, &mut pos, 0)?;
         skip_ws(bytes, &mut pos);
         if pos != bytes.len() {
             return Err(format!("trailing garbage at byte {pos}"));
@@ -208,17 +226,27 @@ fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), String> {
     }
 }
 
-fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Value, String> {
     skip_ws(bytes, pos);
     match bytes.get(*pos) {
         None => Err("unexpected end of input".to_string()),
-        Some(b'{') => parse_object(bytes, pos),
-        Some(b'[') => parse_array(bytes, pos),
+        Some(b'{') => parse_object(bytes, pos, depth),
+        Some(b'[') => parse_array(bytes, pos, depth),
         Some(b'"') => Ok(Value::Str(parse_string(bytes, pos)?)),
         Some(b't') => parse_lit(bytes, pos, "true", Value::Bool(true)),
         Some(b'f') => parse_lit(bytes, pos, "false", Value::Bool(false)),
         Some(b'n') => parse_lit(bytes, pos, "null", Value::Null),
         Some(_) => parse_number(bytes, pos),
+    }
+}
+
+/// Guards one container nesting level; the recursion in
+/// `parse_array`/`parse_object` must stay bounded on adversarial input.
+fn deeper(depth: usize, pos: usize) -> Result<usize, String> {
+    if depth >= MAX_DEPTH {
+        Err(format!("nesting deeper than {MAX_DEPTH} at byte {pos}"))
+    } else {
+        Ok(depth + 1)
     }
 }
 
@@ -241,11 +269,17 @@ fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
     {
         *pos += 1;
     }
-    std::str::from_utf8(&bytes[start..*pos])
+    let parsed = std::str::from_utf8(&bytes[start..*pos])
         .ok()
         .and_then(|s| s.parse::<f64>().ok())
-        .map(Value::Num)
-        .ok_or_else(|| format!("bad number at byte {start}"))
+        .ok_or_else(|| format!("bad number at byte {start}"))?;
+    // Rust's f64 parser happily returns inf for "1e999"; a validator
+    // built on this parser must see such input as malformed, not as a
+    // number that later fails arithmetic in surprising ways.
+    if !parsed.is_finite() {
+        return Err(format!("number out of f64 range at byte {start}"));
+    }
+    Ok(Value::Num(parsed))
 }
 
 fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
@@ -294,7 +328,8 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
     Err("unterminated string".to_string())
 }
 
-fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+fn parse_array(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Value, String> {
+    let depth = deeper(depth, *pos)?;
     expect(bytes, pos, b'[')?;
     let mut items = Vec::new();
     skip_ws(bytes, pos);
@@ -303,7 +338,7 @@ fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
         return Ok(Value::Arr(items));
     }
     loop {
-        items.push(parse_value(bytes, pos)?);
+        items.push(parse_value(bytes, pos, depth)?);
         skip_ws(bytes, pos);
         match bytes.get(*pos) {
             Some(b',') => *pos += 1,
@@ -316,7 +351,8 @@ fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
     }
 }
 
-fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+fn parse_object(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Value, String> {
+    let depth = deeper(depth, *pos)?;
     expect(bytes, pos, b'{')?;
     let mut map = BTreeMap::new();
     skip_ws(bytes, pos);
@@ -326,11 +362,19 @@ fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
     }
     loop {
         skip_ws(bytes, pos);
+        let key_at = *pos;
         let key = parse_string(bytes, pos)?;
         skip_ws(bytes, pos);
         expect(bytes, pos, b':')?;
-        let value = parse_value(bytes, pos)?;
-        map.insert(key, value);
+        let value = parse_value(bytes, pos, depth)?;
+        if map.insert(key.clone(), value).is_some() {
+            // Last-wins would let two readers of the same document accept
+            // different content; fail closed instead.
+            return Err(format!(
+                "duplicate key \"{}\" at byte {key_at}",
+                json_escape(&key)
+            ));
+        }
         skip_ws(bytes, pos);
         match bytes.get(*pos) {
             Some(b',') => *pos += 1,

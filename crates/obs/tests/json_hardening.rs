@@ -1,0 +1,150 @@
+//! Fuzz-style hardening tests for `dvs_obs::json` on untrusted input.
+//!
+//! The parser doubles as `dvs-serve`'s request-body parser, so it must
+//! fail closed — return `Err`, never panic, never overflow the stack —
+//! on adversarial documents: pathological nesting, numbers outside f64
+//! range, truncated escapes, duplicate keys, and random byte mutations
+//! of well-formed input.
+
+use dvs_obs::json::{Value, MAX_DEPTH};
+
+#[test]
+fn deep_nesting_errors_instead_of_overflowing_the_stack() {
+    // Far deeper than any thread's stack would survive with unbounded
+    // recursion (one parse frame per '[').
+    for n in [MAX_DEPTH + 1, 10_000, 1_000_000] {
+        let input = "[".repeat(n);
+        let err = Value::parse(&input).unwrap_err();
+        assert!(err.contains("nesting"), "depth {n}: {err}");
+        // Same for objects, which recurse through a longer frame.
+        let input = "{\"k\":".repeat(n);
+        let err = Value::parse(&input).unwrap_err();
+        assert!(err.contains("nesting"), "obj depth {n}: {err}");
+    }
+}
+
+#[test]
+fn nesting_right_at_the_limit_still_parses() {
+    let ok = format!("{}1{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+    assert!(Value::parse(&ok).is_ok());
+    let too_deep = format!(
+        "{}1{}",
+        "[".repeat(MAX_DEPTH + 1),
+        "]".repeat(MAX_DEPTH + 1)
+    );
+    assert!(Value::parse(&too_deep).is_err());
+}
+
+#[test]
+fn mixed_array_object_nesting_counts_every_level() {
+    let n = MAX_DEPTH; // alternating [{" levels: 2 per repetition
+    let input = format!("{}1{}", "[{\"k\":".repeat(n), "}]".repeat(n));
+    let err = Value::parse(&input).unwrap_err();
+    assert!(err.contains("nesting"), "{err}");
+}
+
+#[test]
+fn huge_numbers_are_rejected_not_infinity() {
+    for bad in [
+        "1e999",
+        "-1e999",
+        "1e+99999",
+        "-1.5e999",
+        "123456789e999999999999",
+    ] {
+        let err = Value::parse(bad).unwrap_err();
+        assert!(err.contains("out of f64 range"), "{bad}: {err}");
+        // Inside containers too.
+        assert!(Value::parse(&format!("[{bad}]")).is_err());
+        assert!(Value::parse(&format!("{{\"n\":{bad}}}")).is_err());
+    }
+    // The largest finite f64s still parse.
+    for ok in ["1e308", "-1.7976931348623157e308", "5e-324", "0", "-0.0"] {
+        let v = Value::parse(ok).unwrap_or_else(|e| panic!("{ok}: {e}"));
+        assert!(v.as_f64().unwrap().is_finite());
+    }
+    // Subnormal underflow collapses to 0.0 — finite, so accepted.
+    assert_eq!(Value::parse("1e-999").unwrap().as_f64(), Some(0.0));
+}
+
+#[test]
+fn nan_and_inf_literals_are_rejected() {
+    for bad in ["NaN", "nan", "Infinity", "-Infinity", "inf", "-inf"] {
+        assert!(Value::parse(bad).is_err(), "{bad} must not parse");
+    }
+}
+
+#[test]
+fn truncated_escapes_and_strings_fail_closed() {
+    for bad in [
+        "\"\\",        // escape introducer at end of input
+        "\"\\u",       // \u with no digits
+        "\"\\u12",     // \u with too few digits
+        "\"\\u123",    // one digit short
+        "\"\\u123g\"", // non-hex digit
+        "\"\\ud834\"", // lone surrogate half
+        "\"\\x41\"",   // unknown escape
+        "\"abc",       // unterminated string
+        "{\"a\": \"b", // unterminated inside object
+        "[\"\\u0041",  // valid escape, unterminated string
+    ] {
+        assert!(Value::parse(bad).is_err(), "{bad:?} must not parse");
+    }
+    // The well-formed versions do parse.
+    assert_eq!(Value::parse("\"\\u0041\"").unwrap().as_str(), Some("A"));
+}
+
+#[test]
+fn duplicate_keys_are_rejected_at_every_level() {
+    for bad in [
+        r#"{"a":1,"a":2}"#,
+        r#"{"a":1,"b":{"x":1,"x":2}}"#,
+        r#"{"a":[{"k":1,"k":1}]}"#,
+        // Identical after escape processing, different in source form.
+        "{\"a\":1,\"\\u0061\":2}",
+    ] {
+        let err = Value::parse(bad).unwrap_err();
+        assert!(err.contains("duplicate key"), "{bad}: {err}");
+    }
+    // Distinct keys are of course fine.
+    assert!(Value::parse(r#"{"a":1,"b":{"a":2}}"#).is_ok());
+}
+
+#[test]
+fn truncations_of_a_valid_document_never_panic() {
+    let doc = r#"{"counters":{"serve.requests":12,"x":-3.5e2},"arr":[1,true,null,"s\u00e9q"],"nested":{"deep":[[[{"k":"v"}]]]}}"#;
+    assert!(Value::parse(doc).is_ok());
+    for cut in 1..doc.len() {
+        if !doc.is_char_boundary(cut) {
+            continue;
+        }
+        // Every strict prefix is incomplete: must error, never panic.
+        assert!(
+            Value::parse(&doc[..cut]).is_err(),
+            "prefix of length {cut} unexpectedly parsed"
+        );
+    }
+}
+
+#[test]
+fn single_byte_mutations_never_panic() {
+    let doc = r#"{"a":[1,2.5,-3],"b":{"c":"x\ny","d":true,"e":null}}"#;
+    let bytes = doc.as_bytes();
+    // Flip each byte through a handful of interesting values; the parser
+    // must always return (Ok or Err), never panic or hang.
+    for i in 0..bytes.len() {
+        for &replacement in &[b'{', b'}', b'"', b'\\', b'0', b'e', 0x00, 0xFF] {
+            let mut mutated = bytes.to_vec();
+            mutated[i] = replacement;
+            if let Ok(s) = std::str::from_utf8(&mutated) {
+                let _ = Value::parse(s);
+            }
+        }
+    }
+}
+
+#[test]
+fn error_offsets_point_into_the_input() {
+    let err = Value::parse(r#"{"a": }"#).unwrap_err();
+    assert!(err.contains("byte"), "{err}");
+}

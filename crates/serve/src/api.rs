@@ -1,0 +1,363 @@
+//! JSON ↔ engine translation: campaign specs in, results out.
+//!
+//! This module is pure — no sockets, no threads — so the request and
+//! response shapes are unit-testable without a server. Result rendering
+//! emits only integers from [`dvs_core::TrialMetrics`], which makes a
+//! campaign fetched over the wire byte-comparable to one rendered from a
+//! direct [`dvs_core::Evaluator::run_plan`] call.
+
+use std::sync::Arc;
+
+use dvs_core::{CellKey, EvalConfig, EvalError, Evaluator, ExperimentPlan, Scheme, SchemeRun};
+use dvs_obs::json::{json_escape, Value};
+use dvs_sram::MilliVolts;
+use dvs_workloads::Benchmark;
+
+/// Hard cap on cells per campaign: a grid bigger than this is a typo or
+/// an attack, not an experiment.
+pub const MAX_CELLS: usize = 4096;
+
+/// Lowest plausible supply voltage a spec may request.
+pub const MIN_VCC_MV: u32 = 300;
+
+/// Highest plausible supply voltage a spec may request.
+pub const MAX_VCC_MV: u32 = 1000;
+
+/// A validated campaign request: the grid plus optional engine
+/// overrides.
+#[derive(Debug, Clone)]
+pub struct CampaignSpec {
+    /// Benchmarks of the grid, in request order.
+    pub benchmarks: Vec<Benchmark>,
+    /// Schemes of the grid, in request order.
+    pub schemes: Vec<Scheme>,
+    /// Operating voltages of the grid, in request order.
+    pub voltages: Vec<MilliVolts>,
+    /// Override for [`EvalConfig::maps`].
+    pub maps: Option<u64>,
+    /// Override for [`EvalConfig::trace_instrs`].
+    pub trace_instrs: Option<usize>,
+    /// Override for [`EvalConfig::seed`].
+    pub seed: Option<u64>,
+}
+
+impl CampaignSpec {
+    /// Parses and validates a request body.
+    ///
+    /// Fail-closed: unknown top-level keys, empty axes, out-of-range
+    /// voltages, unrecognised names, and oversized grids are all
+    /// rejected with a message suitable for a 400 body.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first problem found.
+    pub fn from_json(body: &str) -> Result<CampaignSpec, String> {
+        let value = Value::parse(body).map_err(|e| format!("invalid JSON: {e}"))?;
+        let obj = value
+            .as_obj()
+            .ok_or("campaign spec must be a JSON object")?;
+        for key in obj.keys() {
+            if !matches!(
+                key.as_str(),
+                "benchmarks" | "schemes" | "voltages_mv" | "maps" | "trace_instrs" | "seed"
+            ) {
+                return Err(format!("unknown field {key:?}"));
+            }
+        }
+
+        let benchmarks = string_list(&value, "benchmarks")?
+            .iter()
+            .map(|name| parse_benchmark(name).ok_or_else(|| format!("unknown benchmark {name:?}")))
+            .collect::<Result<Vec<_>, _>>()?;
+        let schemes = string_list(&value, "schemes")?
+            .iter()
+            .map(|name| parse_scheme(name).ok_or_else(|| format!("unknown scheme {name:?}")))
+            .collect::<Result<Vec<_>, _>>()?;
+
+        let raw_voltages = value
+            .get("voltages_mv")
+            .ok_or("missing field \"voltages_mv\"")?
+            .as_arr()
+            .ok_or("\"voltages_mv\" must be an array of integers")?;
+        if raw_voltages.is_empty() {
+            return Err("\"voltages_mv\" must not be empty".into());
+        }
+        let mut voltages = Vec::with_capacity(raw_voltages.len());
+        for v in raw_voltages {
+            let mv = integer_in(v, "voltage", u64::from(MIN_VCC_MV), u64::from(MAX_VCC_MV))?;
+            voltages.push(MilliVolts::new(mv as u32));
+        }
+
+        let cells = benchmarks.len() * schemes.len() * voltages.len();
+        if cells > MAX_CELLS {
+            return Err(format!("grid has {cells} cells; the limit is {MAX_CELLS}"));
+        }
+
+        let maps = value
+            .get("maps")
+            .map(|v| integer_in(v, "maps", 1, 100_000))
+            .transpose()?;
+        let trace_instrs = value
+            .get("trace_instrs")
+            .map(|v| integer_in(v, "trace_instrs", 1, 100_000_000))
+            .transpose()?
+            .map(|n| n as usize);
+        let seed = value
+            .get("seed")
+            .map(|v| integer_in(v, "seed", 0, u64::MAX))
+            .transpose()?;
+
+        Ok(CampaignSpec {
+            benchmarks,
+            schemes,
+            voltages,
+            maps,
+            trace_instrs,
+            seed,
+        })
+    }
+
+    /// The full grid as an [`ExperimentPlan`] (duplicates collapse).
+    pub fn plan(&self) -> ExperimentPlan {
+        ExperimentPlan::for_grid(&self.benchmarks, &self.schemes, &self.voltages)
+    }
+
+    /// `base` with this spec's overrides applied. Parallelism knobs
+    /// (`threads`, `max_parallel_trials`) always come from `base`: they
+    /// are the operator's resources, not the client's.
+    pub fn config(&self, base: &EvalConfig) -> EvalConfig {
+        EvalConfig {
+            maps: self.maps.unwrap_or(base.maps),
+            trace_instrs: self.trace_instrs.unwrap_or(base.trace_instrs),
+            seed: self.seed.unwrap_or(base.seed),
+            ..*base
+        }
+    }
+}
+
+/// Extracts a non-empty array of strings at `field`.
+fn string_list<'v>(value: &'v Value, field: &str) -> Result<Vec<&'v str>, String> {
+    let arr = value
+        .get(field)
+        .ok_or_else(|| format!("missing field {field:?}"))?
+        .as_arr()
+        .ok_or_else(|| format!("{field:?} must be an array of strings"))?;
+    if arr.is_empty() {
+        return Err(format!("{field:?} must not be empty"));
+    }
+    arr.iter()
+        .map(|v| {
+            v.as_str()
+                .ok_or_else(|| format!("{field:?} must contain only strings"))
+        })
+        .collect()
+}
+
+/// Checks that `v` is an integer-valued JSON number in `[lo, hi]`.
+fn integer_in(v: &Value, what: &str, lo: u64, hi: u64) -> Result<u64, String> {
+    let f = v
+        .as_f64()
+        .ok_or_else(|| format!("{what} must be a number"))?;
+    if f.fract() != 0.0 || !(0.0..=9_007_199_254_740_992.0).contains(&f) {
+        return Err(format!("{what} must be a non-negative integer, got {f}"));
+    }
+    let n = f as u64;
+    if n < lo || n > hi {
+        return Err(format!("{what} must be in [{lo}, {hi}], got {n}"));
+    }
+    Ok(n)
+}
+
+/// Looks a benchmark up by its paper name (`"401.bzip2"`) or its bare
+/// name (`"bzip2"`), the same aliases `dvs-profile` accepts.
+pub fn parse_benchmark(name: &str) -> Option<Benchmark> {
+    Benchmark::ALL.into_iter().find(|b| {
+        let full = b.name();
+        full == name || full.split_once('.').is_some_and(|(_, bare)| bare == name)
+    })
+}
+
+/// Looks a scheme up by its figure-legend name, case-insensitively
+/// (`"FFW+BBR"`, `"defect-free"`, ...).
+pub fn parse_scheme(name: &str) -> Option<Scheme> {
+    Scheme::ALL
+        .into_iter()
+        .find(|s| s.name().eq_ignore_ascii_case(name))
+}
+
+/// Renders one resolved cell as a JSON object.
+///
+/// All metric fields are integers straight from the trial records, so
+/// two renderings of the same underlying trials are byte-identical no
+/// matter which process (or how many threads) computed them.
+pub fn cell_json(key: &CellKey, result: &Result<Arc<SchemeRun>, EvalError>) -> String {
+    let mut out = format!(
+        "{{\"benchmark\":\"{}\",\"scheme\":\"{}\",\"vcc_mv\":{}",
+        json_escape(key.benchmark.name()),
+        json_escape(key.scheme.name()),
+        key.vcc().get(),
+    );
+    match result {
+        Ok(run) => {
+            out.push_str(&format!(
+                ",\"status\":\"ok\",\"failed_links\":{},\"trials\":[",
+                run.failed_links
+            ));
+            for (i, t) in run.trials.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "{{\"cycles\":{},\"instructions\":{},\"executed\":{},\
+                     \"l1_accesses\":{},\"l2_accesses\":{}}}",
+                    t.result.cycles,
+                    t.counts.instructions,
+                    t.counts.executed,
+                    t.counts.l1_accesses,
+                    t.counts.l2_accesses,
+                ));
+            }
+            out.push(']');
+        }
+        Err(e) => {
+            out.push_str(&format!(",\"status\":\"error\",\"error\":\"{}\"", {
+                json_escape(&e.to_string())
+            }));
+        }
+    }
+    out.push('}');
+    out
+}
+
+/// Renders a whole campaign's results array in plan order.
+pub fn results_json(results: &[(CellKey, Result<Arc<SchemeRun>, EvalError>)]) -> String {
+    let mut out = String::from("[");
+    for (i, (key, result)) in results.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&cell_json(key, result));
+    }
+    out.push(']');
+    out
+}
+
+/// Runs `spec` directly through a fresh [`Evaluator`] and renders the
+/// results exactly as `GET /v1/campaigns/{id}` would. This is the
+/// reference path the end-to-end test compares the server against.
+pub fn render_direct(
+    spec: &CampaignSpec,
+    base: &EvalConfig,
+    store: Option<&dvs_core::ResultStore>,
+) -> String {
+    let mut evaluator = Evaluator::new(spec.config(base));
+    if let Some(store) = store {
+        evaluator = evaluator.with_store(store.clone());
+    }
+    let results = evaluator.run_plan(&spec.plan());
+    results_json(&results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_lookup_accepts_full_and_bare_names() {
+        assert_eq!(parse_benchmark("401.bzip2"), Some(Benchmark::Bzip2));
+        assert_eq!(parse_benchmark("bzip2"), Some(Benchmark::Bzip2));
+        assert_eq!(parse_benchmark("crc32"), Some(Benchmark::Crc32));
+        assert_eq!(parse_benchmark("999.nope"), None);
+        assert_eq!(parse_benchmark(""), None);
+    }
+
+    #[test]
+    fn scheme_lookup_is_case_insensitive_over_all_variants() {
+        assert_eq!(parse_scheme("FFW+BBR"), Some(Scheme::FfwBbr));
+        assert_eq!(parse_scheme("ffw+bbr"), Some(Scheme::FfwBbr));
+        for s in Scheme::ALL {
+            assert_eq!(parse_scheme(s.name()), Some(s));
+        }
+        assert_eq!(parse_scheme("FFW"), None);
+    }
+
+    #[test]
+    fn spec_parsing_round_trips_a_valid_request() {
+        let spec = CampaignSpec::from_json(
+            r#"{"benchmarks":["crc32","401.bzip2"],"schemes":["FFW+BBR"],
+                "voltages_mv":[540,600],"maps":2,"trace_instrs":2000,"seed":7}"#,
+        )
+        .unwrap();
+        assert_eq!(spec.benchmarks, vec![Benchmark::Crc32, Benchmark::Bzip2]);
+        assert_eq!(spec.schemes, vec![Scheme::FfwBbr]);
+        assert_eq!(
+            spec.voltages,
+            vec![MilliVolts::new(540), MilliVolts::new(600)]
+        );
+        assert_eq!(spec.plan().len(), 4);
+        let cfg = spec.config(&EvalConfig::quick());
+        assert_eq!((cfg.maps, cfg.trace_instrs, cfg.seed), (2, 2000, 7));
+        // Parallelism stays the operator's choice.
+        assert_eq!(cfg.threads, EvalConfig::quick().threads);
+    }
+
+    #[test]
+    fn spec_parsing_fails_closed() {
+        for (body, needle) in [
+            ("[]", "must be a JSON object"),
+            ("{", "invalid JSON"),
+            (
+                r#"{"benchmarks":["crc32"],"schemes":["FFW+BBR"]}"#,
+                "voltages_mv",
+            ),
+            (
+                r#"{"benchmarks":[],"schemes":["FFW+BBR"],"voltages_mv":[600]}"#,
+                "must not be empty",
+            ),
+            (
+                r#"{"benchmarks":["crc32"],"schemes":["nope"],"voltages_mv":[600]}"#,
+                "unknown scheme",
+            ),
+            (
+                r#"{"benchmarks":["crc32"],"schemes":["FFW+BBR"],"voltages_mv":[50]}"#,
+                "must be in [300, 1000]",
+            ),
+            (
+                r#"{"benchmarks":["crc32"],"schemes":["FFW+BBR"],"voltages_mv":[600.5]}"#,
+                "non-negative integer",
+            ),
+            (
+                r#"{"benchmarks":["crc32"],"schemes":["FFW+BBR"],"voltages_mv":[600],"evil":1}"#,
+                "unknown field",
+            ),
+            (
+                r#"{"benchmarks":["crc32"],"schemes":["FFW+BBR"],"voltages_mv":[600],"maps":0}"#,
+                "maps must be in",
+            ),
+        ] {
+            let err = CampaignSpec::from_json(body).unwrap_err();
+            assert!(err.contains(needle), "{body}: {err}");
+        }
+    }
+
+    #[test]
+    fn oversized_grids_are_rejected() {
+        let benchmarks: Vec<String> = Benchmark::ALL
+            .iter()
+            .map(|b| format!("\"{}\"", b.name()))
+            .collect();
+        let schemes: Vec<String> = Scheme::ALL
+            .iter()
+            .map(|s| format!("\"{}\"", s.name()))
+            .collect();
+        let voltages: Vec<String> = (0..40).map(|i| (400 + i).to_string()).collect();
+        let body = format!(
+            "{{\"benchmarks\":[{}],\"schemes\":[{}],\"voltages_mv\":[{}]}}",
+            benchmarks.join(","),
+            schemes.join(","),
+            voltages.join(","),
+        );
+        let err = CampaignSpec::from_json(&body).unwrap_err();
+        assert!(err.contains("the limit is"), "{err}");
+    }
+}

@@ -1,0 +1,262 @@
+//! `dvs-loadgen` — closed-loop load generator for `dvs-serve`.
+//!
+//! Each worker thread holds one keep-alive connection and issues the
+//! next request as soon as the previous response is fully read (closed
+//! loop: offered load adapts to server latency). Latencies land in a
+//! per-thread [`LogHistogram`]; the merged distribution plus error
+//! counts print in a stable `key=value` format for scripts. The exit
+//! code is non-zero when any transport error or 5xx occurred.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use dvs_obs::LogHistogram;
+
+const USAGE: &str = "usage: dvs-loadgen --addr HOST:PORT [options]
+  --addr HOST:PORT   server to load (required)
+  --path P           request path (default /v1/healthz)
+  --requests N       total requests across all workers (default 1000)
+  --concurrency N    worker threads, one connection each (default 4)
+  --timeout-ms N     per-connection socket timeout (default 10000)
+  -h, --help         this text";
+
+struct Options {
+    addr: String,
+    path: String,
+    requests: u64,
+    concurrency: usize,
+    timeout: Duration,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            addr: String::new(),
+            path: "/v1/healthz".to_string(),
+            requests: 1000,
+            concurrency: 4,
+            timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+fn parse(mut args: impl Iterator<Item = String>) -> Result<Option<Options>, String> {
+    let mut opts = Options::default();
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| args.next().ok_or_else(|| format!("{flag} expects a value"));
+        match arg.as_str() {
+            "--addr" => opts.addr = value("--addr")?,
+            "--path" => opts.path = value("--path")?,
+            "--requests" => {
+                opts.requests = value("--requests")?
+                    .parse()
+                    .map_err(|_| "--requests expects an integer".to_string())?;
+            }
+            "--concurrency" => {
+                opts.concurrency = value("--concurrency")?
+                    .parse()
+                    .map_err(|_| "--concurrency expects an integer".to_string())?;
+            }
+            "--timeout-ms" => {
+                let ms: u64 = value("--timeout-ms")?
+                    .parse()
+                    .map_err(|_| "--timeout-ms expects an integer".to_string())?;
+                opts.timeout = Duration::from_millis(ms);
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return Ok(None);
+            }
+            other => return Err(format!("unknown flag {other} (try --help)")),
+        }
+    }
+    if opts.addr.is_empty() {
+        return Err("--addr is required".to_string());
+    }
+    Ok(Some(opts))
+}
+
+/// Outcome counters shared by all workers.
+#[derive(Default)]
+struct Tallies {
+    /// Requests issued (claimed from the shared budget).
+    issued: AtomicU64,
+    /// Transport failures (connect/read/write/parse).
+    errors: AtomicU64,
+    /// Well-formed responses with a non-2xx status.
+    non2xx: AtomicU64,
+    /// Responses with a 5xx status (also counted in `non2xx`).
+    fivexx: AtomicU64,
+}
+
+struct WorkerResult {
+    latencies_us: LogHistogram,
+}
+
+/// Reads one HTTP/1.1 response off `stream`; returns its status code
+/// and whether the connection can be reused.
+fn read_response(stream: &mut TcpStream, buf: &mut Vec<u8>) -> Result<(u16, bool), String> {
+    let header_end = loop {
+        if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos;
+        }
+        let mut chunk = [0u8; 4096];
+        let n = stream.read(&mut chunk).map_err(|e| format!("read: {e}"))?;
+        if n == 0 {
+            return Err("connection closed mid-response".to_string());
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = std::str::from_utf8(&buf[..header_end]).map_err(|_| "non-UTF-8 head".to_string())?;
+    let status: u16 = head
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("bad status line {head:?}"))?;
+    let mut content_length = 0usize;
+    let mut keep_alive = true;
+    for line in head.split("\r\n").skip(1) {
+        if let Some((name, value)) = line.split_once(':') {
+            let name = name.trim().to_ascii_lowercase();
+            let value = value.trim();
+            if name == "content-length" {
+                content_length = value
+                    .parse()
+                    .map_err(|_| "bad content-length".to_string())?;
+            } else if name == "connection" && value.eq_ignore_ascii_case("close") {
+                keep_alive = false;
+            }
+        }
+    }
+    let body_start = header_end + 4;
+    while buf.len() < body_start + content_length {
+        let mut chunk = [0u8; 4096];
+        let n = stream.read(&mut chunk).map_err(|e| format!("read: {e}"))?;
+        if n == 0 {
+            return Err("connection closed mid-body".to_string());
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    }
+    buf.drain(..body_start + content_length);
+    Ok((status, keep_alive))
+}
+
+fn worker(opts: &Options, tallies: &Tallies) -> WorkerResult {
+    let request = format!(
+        "GET {} HTTP/1.1\r\nHost: {}\r\nConnection: keep-alive\r\n\r\n",
+        opts.path, opts.addr
+    );
+    let mut latencies = LogHistogram::new();
+    let mut conn: Option<(TcpStream, Vec<u8>)> = None;
+    loop {
+        // Claim one request from the shared budget.
+        if tallies.issued.fetch_add(1, Ordering::Relaxed) >= opts.requests {
+            tallies.issued.fetch_sub(1, Ordering::Relaxed);
+            break;
+        }
+        let started = Instant::now();
+        let outcome = (|| -> Result<(u16, bool), String> {
+            if conn.is_none() {
+                let stream = TcpStream::connect(&opts.addr).map_err(|e| format!("connect: {e}"))?;
+                stream
+                    .set_read_timeout(Some(opts.timeout))
+                    .map_err(|e| e.to_string())?;
+                stream
+                    .set_write_timeout(Some(opts.timeout))
+                    .map_err(|e| e.to_string())?;
+                conn = Some((stream, Vec::new()));
+            }
+            let (stream, buf) = conn.as_mut().expect("connection just ensured");
+            stream
+                .write_all(request.as_bytes())
+                .map_err(|e| format!("write: {e}"))?;
+            read_response(stream, buf)
+        })();
+        match outcome {
+            Ok((status, keep_alive)) => {
+                let micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+                latencies.record(micros.max(1));
+                if !(200..300).contains(&status) {
+                    tallies.non2xx.fetch_add(1, Ordering::Relaxed);
+                    if status >= 500 {
+                        tallies.fivexx.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                if !keep_alive {
+                    conn = None;
+                }
+            }
+            Err(_) => {
+                tallies.errors.fetch_add(1, Ordering::Relaxed);
+                conn = None;
+            }
+        }
+    }
+    WorkerResult {
+        latencies_us: latencies,
+    }
+}
+
+fn run(opts: &Options) -> Result<bool, String> {
+    let tallies = Arc::new(Tallies::default());
+    let started = Instant::now();
+    let results: Vec<WorkerResult> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..opts.concurrency.max(1))
+            .map(|_| {
+                let tallies = &tallies;
+                scope.spawn(move || worker(opts, tallies))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("loadgen worker panicked"))
+            .collect()
+    });
+    let elapsed = started.elapsed();
+
+    let mut merged = LogHistogram::new();
+    for r in &results {
+        merged.merge(&r.latencies_us);
+    }
+    let issued = tallies.issued.load(Ordering::Relaxed);
+    let errors = tallies.errors.load(Ordering::Relaxed);
+    let non2xx = tallies.non2xx.load(Ordering::Relaxed);
+    let fivexx = tallies.fivexx.load(Ordering::Relaxed);
+    let secs = elapsed.as_secs_f64().max(1e-9);
+
+    println!(
+        "requests={issued} errors={errors} non2xx={non2xx} fivexx={fivexx} elapsed_ms={}",
+        elapsed.as_millis()
+    );
+    println!("throughput={:.1} req/s", issued as f64 / secs);
+    println!(
+        "latency_us p50={} p95={} p99={} max={}",
+        merged.p50(),
+        merged.p95(),
+        merged.p99(),
+        merged.max()
+    );
+    Ok(errors == 0 && fivexx == 0)
+}
+
+fn main() -> ExitCode {
+    match parse(std::env::args().skip(1)) {
+        Ok(Some(opts)) => match run(&opts) {
+            Ok(true) => ExitCode::SUCCESS,
+            Ok(false) => ExitCode::FAILURE,
+            Err(e) => {
+                eprintln!("dvs-loadgen: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Ok(None) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("dvs-loadgen: {e}\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! `dvs-serve` — the campaign server daemon.
+//!
+//! Binds a TCP listener (port 0 picks an ephemeral port and prints it),
+//! starts the campaign executors over a shared result store, and serves
+//! the JSON API until `POST /v1/admin/shutdown` drains it. The first
+//! stdout line is always `dvs-serve listening on http://ADDR`, flushed
+//! before any request is served, so scripts can scrape the bound port.
+
+use std::io::Write;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+use dvs_core::ResultStore;
+use dvs_obs::MetricsRegistry;
+use dvs_serve::jobs::{JobConfig, JobManager};
+use dvs_serve::{Server, ServerConfig};
+
+const USAGE: &str = "usage: dvs-serve [options]
+  --listen ADDR            bind address (default 127.0.0.1:7570; port 0 = ephemeral)
+  --threads N              HTTP worker threads (default 4)
+  --executors N            concurrent campaign executors (default 1)
+  --engine-threads N       worker threads per campaign (default: EvalConfig::standard)
+  --max-parallel-trials N  process-wide cap on concurrently executing trials
+  --queue-depth N          campaigns that may wait in the queue (default 8)
+  --max-conns N            connections admitted at once (default 256)
+  --store DIR              result-store directory (default: the store's default dir)
+  --no-store               run without a persistent store
+  --maps N                 default fault maps per cell
+  --trace-instrs N         default dynamic instructions per trial
+  --seed N                 default root seed
+  --timeout-ms N           per-connection read/write timeout (default 10000)
+  -h, --help               this text";
+
+struct Options {
+    listen: String,
+    server: ServerConfig,
+    jobs: JobConfig,
+    store_dir: Option<String>,
+    no_store: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            listen: "127.0.0.1:7570".to_string(),
+            server: ServerConfig::default(),
+            jobs: JobConfig::default(),
+            store_dir: None,
+            no_store: false,
+        }
+    }
+}
+
+fn parse(mut args: impl Iterator<Item = String>) -> Result<Option<Options>, String> {
+    let mut opts = Options::default();
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| args.next().ok_or_else(|| format!("{flag} expects a value"));
+        let int = |flag: &str, v: String| {
+            v.parse::<u64>()
+                .map_err(|_| format!("{flag} expects an integer"))
+        };
+        match arg.as_str() {
+            "--listen" => opts.listen = value("--listen")?,
+            "--threads" => {
+                opts.server.http_threads = int("--threads", value("--threads")?)? as usize;
+            }
+            "--executors" => {
+                opts.jobs.executors = int("--executors", value("--executors")?)? as usize;
+            }
+            "--engine-threads" => {
+                opts.jobs.base.threads =
+                    int("--engine-threads", value("--engine-threads")?)? as usize;
+            }
+            "--max-parallel-trials" => {
+                opts.jobs.base.max_parallel_trials =
+                    Some(int("--max-parallel-trials", value("--max-parallel-trials")?)? as usize);
+            }
+            "--queue-depth" => {
+                opts.jobs.queue_depth = int("--queue-depth", value("--queue-depth")?)? as usize;
+            }
+            "--max-conns" => {
+                opts.server.max_conns = int("--max-conns", value("--max-conns")?)? as usize;
+            }
+            "--store" => opts.store_dir = Some(value("--store")?),
+            "--no-store" => opts.no_store = true,
+            "--maps" => opts.jobs.base.maps = int("--maps", value("--maps")?)?,
+            "--trace-instrs" => {
+                opts.jobs.base.trace_instrs =
+                    int("--trace-instrs", value("--trace-instrs")?)? as usize;
+            }
+            "--seed" => opts.jobs.base.seed = int("--seed", value("--seed")?)?,
+            "--timeout-ms" => {
+                let ms = int("--timeout-ms", value("--timeout-ms")?)?;
+                opts.server.read_timeout = Duration::from_millis(ms);
+                opts.server.write_timeout = Duration::from_millis(ms);
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return Ok(None);
+            }
+            other => return Err(format!("unknown flag {other} (try --help)")),
+        }
+    }
+    Ok(Some(opts))
+}
+
+fn run(opts: Options) -> Result<(), String> {
+    let store = if opts.no_store {
+        None
+    } else {
+        let store = match &opts.store_dir {
+            Some(dir) => ResultStore::open(dir),
+            None => ResultStore::open_default(),
+        }
+        .map_err(|e| format!("cannot open result store: {e}"))?;
+        Some(store)
+    };
+
+    let registry = Arc::new(MetricsRegistry::new());
+    let jobs = JobManager::start(opts.jobs, store, registry.clone());
+    let server = Server::bind(opts.listen.as_str(), opts.server, jobs, registry)
+        .map_err(|e| format!("cannot bind {}: {e}", opts.listen))?;
+
+    println!("dvs-serve listening on http://{}", server.local_addr());
+    std::io::stdout().flush().ok();
+
+    server.run().map_err(|e| format!("server error: {e}"))?;
+    println!("dvs-serve drained and stopped");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match parse(std::env::args().skip(1)) {
+        Ok(Some(opts)) => match run(opts) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("dvs-serve: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Ok(None) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("dvs-serve: {e}\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,425 @@
+//! Minimal HTTP/1.1 on `std::net` — the wire layer of `dvs-serve`.
+//!
+//! Only what the campaign API needs, hardened for untrusted peers:
+//! request-line + headers + `Content-Length` bodies, keep-alive, and
+//! hard limits on header and body size. Chunked transfer encoding is
+//! deliberately rejected. Each connection owns one reusable byte buffer,
+//! so a long keep-alive session does not grow memory per request.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+
+/// Upper bound on the request line plus all headers.
+pub const MAX_HEADER_BYTES: usize = 8 * 1024;
+
+/// Default upper bound on a request body (campaign specs are tiny).
+pub const DEFAULT_MAX_BODY_BYTES: usize = 1 << 20;
+
+/// One parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Upper-cased method (`GET`, `POST`, ...).
+    pub method: String,
+    /// Percent-decoded path, without the query string.
+    pub path: String,
+    /// Decoded query parameters, in order of appearance.
+    pub query: Vec<(String, String)>,
+    /// Headers with lower-cased names, in order of appearance.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+    /// Whether the client asked to keep the connection open.
+    pub keep_alive: bool,
+    /// Exact bytes this request occupied on the wire (head + body).
+    pub wire_bytes: usize,
+}
+
+impl Request {
+    /// First header with the (case-insensitive) `name`.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// First query parameter called `name`.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why reading a request failed; maps onto a status code (or a silent
+/// close) in the connection loop.
+#[derive(Debug)]
+pub enum RequestError {
+    /// Clean EOF before any request byte — the peer is done.
+    Closed,
+    /// The read timed out mid-request.
+    Timeout,
+    /// Request line plus headers exceeded [`MAX_HEADER_BYTES`] (→ 431).
+    HeadersTooLarge,
+    /// Declared body exceeds the configured limit (→ 413).
+    BodyTooLarge {
+        /// The limit in force.
+        limit: usize,
+    },
+    /// Anything structurally wrong with the request (→ 400).
+    Malformed(String),
+    /// Transport error.
+    Io(io::Error),
+}
+
+/// One accepted connection plus its persistent read buffer.
+#[derive(Debug)]
+pub struct HttpConn {
+    stream: TcpStream,
+    /// Unconsumed bytes (pipelined requests stay here between reads).
+    buf: Vec<u8>,
+    max_body: usize,
+}
+
+impl HttpConn {
+    /// Wraps an accepted stream. Read/write timeouts should already be
+    /// set on it.
+    pub fn new(stream: TcpStream, max_body: usize) -> Self {
+        HttpConn {
+            stream,
+            buf: Vec::with_capacity(1024),
+            max_body,
+        }
+    }
+
+    /// The underlying stream (for peer-address logging).
+    pub fn stream(&self) -> &TcpStream {
+        &self.stream
+    }
+
+    /// Reads and parses one request, honouring the connection's size
+    /// limits.
+    ///
+    /// # Errors
+    ///
+    /// See [`RequestError`]; `Closed` is the normal end of a keep-alive
+    /// session.
+    pub fn read_request(&mut self) -> Result<Request, RequestError> {
+        let header_end = loop {
+            if let Some(pos) = find_terminator(&self.buf) {
+                break pos;
+            }
+            if self.buf.len() > MAX_HEADER_BYTES {
+                return Err(RequestError::HeadersTooLarge);
+            }
+            if self.fill()? == 0 {
+                return if self.buf.is_empty() {
+                    Err(RequestError::Closed)
+                } else {
+                    Err(RequestError::Malformed("truncated request head".into()))
+                };
+            }
+        };
+
+        let head = String::from_utf8(self.buf[..header_end].to_vec())
+            .map_err(|_| RequestError::Malformed("non-UTF-8 request head".into()))?;
+        let mut lines = head.split("\r\n");
+        let request_line = lines.next().unwrap_or_default();
+        let mut parts = request_line.split(' ');
+        let method = parts
+            .next()
+            .filter(|m| !m.is_empty())
+            .ok_or_else(|| RequestError::Malformed("empty request line".into()))?
+            .to_ascii_uppercase();
+        let target = parts
+            .next()
+            .ok_or_else(|| RequestError::Malformed("missing request target".into()))?;
+        let version = parts
+            .next()
+            .ok_or_else(|| RequestError::Malformed("missing HTTP version".into()))?;
+        if !version.starts_with("HTTP/1.") {
+            return Err(RequestError::Malformed(format!(
+                "unsupported version {version}"
+            )));
+        }
+
+        let mut headers = Vec::new();
+        for line in lines {
+            if line.is_empty() {
+                continue;
+            }
+            let (name, value) = line
+                .split_once(':')
+                .ok_or_else(|| RequestError::Malformed(format!("bad header line {line:?}")))?;
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        }
+
+        if headers
+            .iter()
+            .any(|(k, v)| k == "transfer-encoding" && !v.eq_ignore_ascii_case("identity"))
+        {
+            return Err(RequestError::Malformed(
+                "chunked transfer encoding is not supported".into(),
+            ));
+        }
+
+        let content_length = match headers.iter().find(|(k, _)| k == "content-length") {
+            Some((_, v)) => v
+                .parse::<usize>()
+                .map_err(|_| RequestError::Malformed(format!("bad content-length {v:?}")))?,
+            None => 0,
+        };
+        if content_length > self.max_body {
+            return Err(RequestError::BodyTooLarge {
+                limit: self.max_body,
+            });
+        }
+
+        let body_start = header_end + 4;
+        while self.buf.len() < body_start + content_length {
+            if self.fill()? == 0 {
+                return Err(RequestError::Malformed("truncated request body".into()));
+            }
+        }
+        let body = self.buf[body_start..body_start + content_length].to_vec();
+        // Keep pipelined bytes for the next read_request call.
+        self.buf.drain(..body_start + content_length);
+
+        let (raw_path, raw_query) = match target.split_once('?') {
+            Some((p, q)) => (p, Some(q)),
+            None => (target, None),
+        };
+        let path = percent_decode(raw_path)
+            .ok_or_else(|| RequestError::Malformed("bad percent escape in path".into()))?;
+        let mut query = Vec::new();
+        for pair in raw_query.unwrap_or_default().split('&') {
+            if pair.is_empty() {
+                continue;
+            }
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            let k = percent_decode(k)
+                .ok_or_else(|| RequestError::Malformed("bad percent escape in query".into()))?;
+            let v = percent_decode(v)
+                .ok_or_else(|| RequestError::Malformed("bad percent escape in query".into()))?;
+            query.push((k, v));
+        }
+
+        let keep_alive = match headers.iter().find(|(k, _)| k == "connection") {
+            Some((_, v)) => !v.eq_ignore_ascii_case("close"),
+            // HTTP/1.1 defaults to keep-alive, 1.0 to close.
+            None => version != "HTTP/1.0",
+        };
+
+        Ok(Request {
+            method,
+            path,
+            query,
+            headers,
+            body,
+            keep_alive,
+            wire_bytes: body_start + content_length,
+        })
+    }
+
+    fn fill(&mut self) -> Result<usize, RequestError> {
+        let mut chunk = [0u8; 4096];
+        match self.stream.read(&mut chunk) {
+            Ok(n) => {
+                self.buf.extend_from_slice(&chunk[..n]);
+                Ok(n)
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                Err(RequestError::Timeout)
+            }
+            Err(e) => Err(RequestError::Io(e)),
+        }
+    }
+
+    /// Serializes and writes one response; returns the bytes written.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying transport error.
+    pub fn write_response(&mut self, resp: &Response) -> io::Result<usize> {
+        let bytes = resp.to_wire();
+        self.stream.write_all(&bytes)?;
+        self.stream.flush()?;
+        Ok(bytes.len())
+    }
+}
+
+/// Offset of the first `\r\n\r\n`, if complete headers have arrived.
+fn find_terminator(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Decodes `%XX` escapes; returns `None` on malformed escapes or
+/// non-UTF-8 results. `+` is left literal (scheme names contain it).
+fn percent_decode(s: &str) -> Option<String> {
+    if !s.contains('%') {
+        return Some(s.to_string());
+    }
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' {
+            let hex = bytes.get(i + 1..i + 3)?;
+            let hi = (hex[0] as char).to_digit(16)?;
+            let lo = (hex[1] as char).to_digit(16)?;
+            out.push((hi * 16 + lo) as u8);
+            i += 3;
+        } else {
+            out.push(bytes[i]);
+            i += 1;
+        }
+    }
+    String::from_utf8(out).ok()
+}
+
+/// One HTTP response ready to serialize.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// `Content-Type` value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: Vec<u8>,
+    /// Extra headers (e.g. `Retry-After`).
+    pub extra_headers: Vec<(&'static str, String)>,
+    /// Whether to close the connection after this response.
+    pub close: bool,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: String) -> Self {
+        Response {
+            status,
+            content_type: "application/json",
+            body: body.into_bytes(),
+            extra_headers: Vec::new(),
+            close: false,
+        }
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, body: impl Into<String>) -> Self {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into().into_bytes(),
+            extra_headers: Vec::new(),
+            close: false,
+        }
+    }
+
+    /// A structured JSON error body: `{"error": "..."}`.
+    pub fn error(status: u16, message: &str) -> Self {
+        Response::json(
+            status,
+            format!("{{\"error\":\"{}\"}}", dvs_obs::json::json_escape(message)),
+        )
+    }
+
+    /// Adds a header.
+    #[must_use]
+    pub fn with_header(mut self, name: &'static str, value: String) -> Self {
+        self.extra_headers.push((name, value));
+        self
+    }
+
+    /// Marks the connection for close after this response.
+    #[must_use]
+    pub fn with_close(mut self) -> Self {
+        self.close = true;
+        self
+    }
+
+    /// The standard reason phrase for the handful of codes we emit.
+    pub fn reason(status: u16) -> &'static str {
+        match status {
+            200 => "OK",
+            202 => "Accepted",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            408 => "Request Timeout",
+            413 => "Payload Too Large",
+            429 => "Too Many Requests",
+            431 => "Request Header Fields Too Large",
+            500 => "Internal Server Error",
+            501 => "Not Implemented",
+            503 => "Service Unavailable",
+            _ => "Unknown",
+        }
+    }
+
+    /// Serializes the full response (status line, headers, body).
+    pub fn to_wire(&self) -> Vec<u8> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
+            self.status,
+            Response::reason(self.status),
+            self.content_type,
+            self.body.len(),
+            if self.close { "close" } else { "keep-alive" },
+        );
+        for (name, value) in &self.extra_headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
+        let mut out = head.into_bytes();
+        out.extend_from_slice(&self.body);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percent_decoding_handles_escapes_and_rejects_junk() {
+        assert_eq!(
+            percent_decode("/v1/results").as_deref(),
+            Some("/v1/results")
+        );
+        assert_eq!(percent_decode("FFW%2BBBR").as_deref(), Some("FFW+BBR"));
+        assert_eq!(percent_decode("a%20b").as_deref(), Some("a b"));
+        // '+' stays literal so `scheme=FFW+BBR` works unescaped.
+        assert_eq!(percent_decode("FFW+BBR").as_deref(), Some("FFW+BBR"));
+        assert!(percent_decode("%zz").is_none());
+        assert!(percent_decode("%2").is_none());
+        assert!(percent_decode("%ff").is_none()); // invalid UTF-8
+    }
+
+    #[test]
+    fn response_serialization_is_well_formed() {
+        let r = Response::json(429, "{\"error\":\"queue full\"}".to_string())
+            .with_header("Retry-After", "1".to_string());
+        let bytes = r.to_wire();
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(text.contains("Retry-After: 1\r\n"));
+        assert!(text.contains("Content-Length: 22\r\n"));
+        assert!(text.ends_with("{\"error\":\"queue full\"}"));
+    }
+
+    #[test]
+    fn terminator_search_finds_header_end() {
+        assert_eq!(find_terminator(b"GET / HTTP/1.1\r\n\r\nrest"), Some(14));
+        assert_eq!(find_terminator(b"partial\r\n"), None);
+    }
+}

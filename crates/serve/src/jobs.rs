@@ -1,0 +1,470 @@
+//! The bounded campaign queue and its executor threads.
+//!
+//! Campaigns move `queued → running → complete | cancelled | failed`.
+//! The queue is bounded: when `queue_depth` campaigns are already
+//! waiting, [`JobManager::submit`] refuses with
+//! [`SubmitError::QueueFull`], which the HTTP layer maps to
+//! `429 Too Many Requests` + `Retry-After`. Executors run each campaign
+//! through a fresh [`Evaluator`] sharing the server's [`ResultStore`]
+//! and [`MetricsRegistry`]; a drain cancels the shared
+//! [`CancelToken`], so in-flight campaigns stop at the next trial
+//! boundary with their completed cells persisted.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use dvs_core::{CancelToken, EvalConfig, EvalError, Evaluator, ResultStore, SchemeRun, StoreKey};
+use dvs_cpu::CoreConfig;
+use dvs_obs::{MetricsRegistry, Recorder};
+use dvs_sram::{CacheGeometry, MilliVolts};
+use dvs_workloads::Benchmark;
+
+use crate::api::{self, CampaignSpec};
+
+/// How the job layer is sized.
+#[derive(Debug, Clone)]
+pub struct JobConfig {
+    /// Campaigns that may wait in the queue (excluding running ones).
+    pub queue_depth: usize,
+    /// Concurrent campaign executor threads.
+    pub executors: usize,
+    /// Engine configuration; specs may override `maps`, `trace_instrs`
+    /// and `seed`, never the parallelism knobs.
+    pub base: EvalConfig,
+}
+
+impl Default for JobConfig {
+    fn default() -> Self {
+        JobConfig {
+            queue_depth: 8,
+            executors: 1,
+            base: EvalConfig::standard(),
+        }
+    }
+}
+
+/// Lifecycle of one campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CampaignState {
+    /// Waiting in the queue.
+    Queued,
+    /// An executor is draining its plan.
+    Running,
+    /// Finished; at least one cell resolved.
+    Complete,
+    /// Finished under drain; some cells may be missing.
+    Cancelled,
+    /// Finished, but every cell errored.
+    Failed,
+}
+
+impl CampaignState {
+    /// The wire name of the state.
+    pub fn name(self) -> &'static str {
+        match self {
+            CampaignState::Queued => "queued",
+            CampaignState::Running => "running",
+            CampaignState::Complete => "complete",
+            CampaignState::Cancelled => "cancelled",
+            CampaignState::Failed => "failed",
+        }
+    }
+}
+
+/// Why a submission was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded queue is at capacity (→ 429 + `Retry-After`).
+    QueueFull,
+    /// The server is draining and refuses new work (→ 503).
+    Draining,
+}
+
+struct Campaign {
+    spec: CampaignSpec,
+    state: CampaignState,
+    cells_total: usize,
+    cells_done: usize,
+    trials_total: u64,
+    trials_computed: u64,
+    /// Rendered results array, present once the campaign finishes.
+    results: Option<String>,
+}
+
+struct State {
+    queue: VecDeque<u64>,
+    campaigns: BTreeMap<u64, Campaign>,
+    next_id: u64,
+    draining: bool,
+}
+
+struct Inner {
+    state: Mutex<State>,
+    cv: Condvar,
+    store: Option<ResultStore>,
+    registry: Arc<MetricsRegistry>,
+    cfg: JobConfig,
+    cancel: CancelToken,
+}
+
+/// Owns the campaign table, the bounded queue, and the executors.
+pub struct JobManager {
+    inner: Arc<Inner>,
+    executors: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl JobManager {
+    /// Starts `cfg.executors` executor threads over an empty queue.
+    pub fn start(
+        cfg: JobConfig,
+        store: Option<ResultStore>,
+        registry: Arc<MetricsRegistry>,
+    ) -> Self {
+        let inner = Arc::new(Inner {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                campaigns: BTreeMap::new(),
+                next_id: 1,
+                draining: false,
+            }),
+            cv: Condvar::new(),
+            store,
+            registry,
+            cfg,
+            cancel: CancelToken::new(),
+        });
+        let executors = (0..inner.cfg.executors.max(1))
+            .map(|i| {
+                let inner = inner.clone();
+                std::thread::Builder::new()
+                    .name(format!("dvs-campaign-{i}"))
+                    .spawn(move || executor_loop(&inner))
+                    .expect("spawn campaign executor")
+            })
+            .collect();
+        JobManager {
+            inner,
+            executors: Mutex::new(executors),
+        }
+    }
+
+    /// Enqueues a campaign; returns its id.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Draining`] once shutdown has begun,
+    /// [`SubmitError::QueueFull`] when `queue_depth` campaigns wait.
+    pub fn submit(&self, spec: CampaignSpec) -> Result<u64, SubmitError> {
+        let mut st = self.inner.state.lock().unwrap();
+        if st.draining {
+            return Err(SubmitError::Draining);
+        }
+        if st.queue.len() >= self.inner.cfg.queue_depth {
+            self.inner.registry.add("serve.rejected", 1);
+            return Err(SubmitError::QueueFull);
+        }
+        let id = st.next_id;
+        st.next_id += 1;
+        let cfg = spec.config(&self.inner.cfg.base);
+        let plan = spec.plan();
+        st.campaigns.insert(
+            id,
+            Campaign {
+                spec,
+                state: CampaignState::Queued,
+                cells_total: plan.len(),
+                cells_done: 0,
+                trials_total: plan.total_trials(&cfg),
+                trials_computed: 0,
+                results: None,
+            },
+        );
+        st.queue.push_back(id);
+        self.inner.registry.add("serve.campaigns.submitted", 1);
+        self.inner
+            .registry
+            .gauge("serve.queue.depth", st.queue.len() as u64);
+        drop(st);
+        self.inner.cv.notify_all();
+        Ok(id)
+    }
+
+    /// Renders one campaign's status (with results once finished), or
+    /// `None` for an unknown id.
+    pub fn status_json(&self, id: u64) -> Option<String> {
+        let st = self.inner.state.lock().unwrap();
+        let c = st.campaigns.get(&id)?;
+        let mut out = format!(
+            "{{\"id\":{id},\"state\":\"{}\",\"cells_total\":{},\"cells_done\":{},\
+             \"trials_total\":{},\"trials_computed\":{}",
+            c.state.name(),
+            c.cells_total,
+            c.cells_done,
+            c.trials_total,
+            c.trials_computed,
+        );
+        if let Some(results) = &c.results {
+            out.push_str(",\"results\":");
+            out.push_str(results);
+        }
+        out.push('}');
+        Some(out)
+    }
+
+    /// Renders the campaign table (without result bodies).
+    pub fn list_json(&self) -> String {
+        let st = self.inner.state.lock().unwrap();
+        let mut out = String::from("[");
+        for (i, (id, c)) in st.campaigns.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"id\":{id},\"state\":\"{}\",\"cells_total\":{},\"cells_done\":{}}}",
+                c.state.name(),
+                c.cells_total,
+                c.cells_done,
+            ));
+        }
+        out.push(']');
+        out
+    }
+
+    /// Answers a point query straight from the attached store — no
+    /// recomputation ever happens on this path. `None` means either no
+    /// store is attached or the cell has never been computed at these
+    /// settings.
+    pub fn store_lookup(
+        &self,
+        benchmark: Benchmark,
+        scheme: dvs_core::Scheme,
+        vcc: MilliVolts,
+        maps: Option<u64>,
+        trace_instrs: Option<usize>,
+        seed: Option<u64>,
+    ) -> Option<String> {
+        let store = self.inner.store.as_ref()?;
+        let base = &self.inner.cfg.base;
+        let cfg = EvalConfig {
+            maps: maps.unwrap_or(base.maps),
+            trace_instrs: trace_instrs.unwrap_or(base.trace_instrs),
+            seed: seed.unwrap_or(base.seed),
+            ..*base
+        };
+        let key = dvs_core::CellKey::new(benchmark, scheme, vcc);
+        let stored = store.load(&StoreKey::for_cell(
+            &cfg,
+            &CoreConfig::dsn2016(),
+            &CacheGeometry::dsn_l1(),
+            &key,
+        ))?;
+        let result: Result<Arc<SchemeRun>, EvalError> = if stored.trials.is_empty() {
+            Err(EvalError::AllLinksFailed {
+                benchmark,
+                scheme,
+                vcc,
+                attempts: stored.failed_links,
+            })
+        } else {
+            Ok(Arc::new(SchemeRun {
+                scheme,
+                point: key.point(),
+                benchmark,
+                trials: stored.trials,
+                failed_links: stored.failed_links,
+            }))
+        };
+        Some(api::cell_json(&key, &result))
+    }
+
+    /// Whether a drain has begun.
+    pub fn draining(&self) -> bool {
+        self.inner.state.lock().unwrap().draining
+    }
+
+    /// Begins a graceful drain: refuse new submissions, cancel the
+    /// shared token so running campaigns stop at the next trial
+    /// boundary (completed cells are still persisted), and mark every
+    /// still-queued campaign cancelled.
+    pub fn drain(&self) {
+        let mut st = self.inner.state.lock().unwrap();
+        if st.draining {
+            return;
+        }
+        st.draining = true;
+        self.inner.cancel.cancel();
+        while let Some(id) = st.queue.pop_front() {
+            if let Some(c) = st.campaigns.get_mut(&id) {
+                c.state = CampaignState::Cancelled;
+                c.results = Some("[]".to_string());
+                self.inner.registry.add("serve.campaigns.cancelled", 1);
+            }
+        }
+        self.inner.registry.gauge("serve.queue.depth", 0);
+        drop(st);
+        self.inner.cv.notify_all();
+    }
+
+    /// Waits for every executor to finish its in-flight campaign and
+    /// exit. Call after [`JobManager::drain`].
+    pub fn join(&self) {
+        let handles: Vec<_> = self.executors.lock().unwrap().drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+fn executor_loop(inner: &Arc<Inner>) {
+    loop {
+        let (id, spec) = {
+            let mut st = inner.state.lock().unwrap();
+            loop {
+                if let Some(id) = st.queue.pop_front() {
+                    inner
+                        .registry
+                        .gauge("serve.queue.depth", st.queue.len() as u64);
+                    let c = st.campaigns.get_mut(&id).expect("queued campaign exists");
+                    c.state = CampaignState::Running;
+                    break (id, c.spec.clone());
+                }
+                if st.draining {
+                    return;
+                }
+                st = inner.cv.wait(st).unwrap();
+            }
+        };
+        run_campaign(inner, id, &spec);
+    }
+}
+
+fn run_campaign(inner: &Arc<Inner>, id: u64, spec: &CampaignSpec) {
+    let recorder: Arc<dyn Recorder> = inner.registry.clone();
+    let mut evaluator = Evaluator::new(spec.config(&inner.cfg.base))
+        .with_recorder(recorder)
+        .with_cancel_token(inner.cancel.clone());
+    if let Some(store) = &inner.store {
+        evaluator = evaluator.with_store(store.clone());
+    }
+    let progress_inner = inner.clone();
+    evaluator.set_progress(move |p| {
+        let mut st = progress_inner.state.lock().unwrap();
+        if let Some(c) = st.campaigns.get_mut(&id) {
+            c.cells_done = p.cells_done;
+            c.trials_computed += p.trials_computed;
+        }
+    });
+
+    let results = evaluator.run_plan(&spec.plan());
+    let cancelled = results
+        .iter()
+        .any(|(_, r)| matches!(r, Err(EvalError::Cancelled { .. })));
+    let all_errored = results.iter().all(|(_, r)| r.is_err());
+    let rendered = api::results_json(&results);
+
+    let mut st = inner.state.lock().unwrap();
+    if let Some(c) = st.campaigns.get_mut(&id) {
+        c.results = Some(rendered);
+        c.state = if cancelled {
+            inner.registry.add("serve.campaigns.cancelled", 1);
+            CampaignState::Cancelled
+        } else if all_errored {
+            inner.registry.add("serve.campaigns.failed", 1);
+            CampaignState::Failed
+        } else {
+            inner.registry.add("serve.campaigns.completed", 1);
+            CampaignState::Complete
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_base() -> JobConfig {
+        JobConfig {
+            queue_depth: 2,
+            executors: 1,
+            base: EvalConfig {
+                trace_instrs: 2_000,
+                maps: 1,
+                threads: 1,
+                validate_images: false,
+                ..EvalConfig::quick()
+            },
+        }
+    }
+
+    fn tiny_spec() -> CampaignSpec {
+        CampaignSpec::from_json(
+            r#"{"benchmarks":["crc32"],"schemes":["defect-free"],"voltages_mv":[760]}"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn campaign_runs_to_completion_with_progress() {
+        let jobs = JobManager::start(quick_base(), None, Arc::new(MetricsRegistry::new()));
+        let id = jobs.submit(tiny_spec()).unwrap();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+        loop {
+            let status = jobs.status_json(id).unwrap();
+            if status.contains("\"state\":\"complete\"") {
+                assert!(status.contains("\"cells_done\":1"), "{status}");
+                assert!(status.contains("\"results\":[{"), "{status}");
+                assert!(status.contains("\"status\":\"ok\""), "{status}");
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "campaign stuck: {status}"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+        jobs.drain();
+        jobs.join();
+    }
+
+    #[test]
+    fn bounded_queue_refuses_overflow_and_drain_refuses_everything() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let mut cfg = quick_base();
+        cfg.queue_depth = 1;
+        // No executors draining the queue would be ideal; instead use a
+        // slow-enough first campaign so the queue stays occupied.
+        cfg.executors = 1;
+        let jobs = JobManager::start(cfg, None, registry.clone());
+        // Fill: one running (eventually) + one queued. Submissions race
+        // the executor, so keep submitting until one is refused.
+        let mut refused = None;
+        for _ in 0..64 {
+            match jobs.submit(tiny_spec()) {
+                Ok(_) => {}
+                Err(e) => {
+                    refused = Some(e);
+                    break;
+                }
+            }
+        }
+        assert_eq!(refused, Some(SubmitError::QueueFull));
+        assert!(registry.counter("serve.rejected") >= 1);
+        jobs.drain();
+        assert_eq!(jobs.submit(tiny_spec()), Err(SubmitError::Draining));
+        jobs.join();
+        // Every campaign ended in a terminal state.
+        let list = jobs.list_json();
+        assert!(!list.contains("\"state\":\"queued\""), "{list}");
+        assert!(!list.contains("\"state\":\"running\""), "{list}");
+    }
+
+    #[test]
+    fn unknown_campaign_is_none_and_list_renders() {
+        let jobs = JobManager::start(quick_base(), None, Arc::new(MetricsRegistry::new()));
+        assert!(jobs.status_json(999).is_none());
+        assert_eq!(jobs.list_json(), "[]");
+        jobs.drain();
+        jobs.join();
+    }
+}

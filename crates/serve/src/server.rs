@@ -1,0 +1,375 @@
+//! Accept loop, HTTP worker pool, routing, and graceful shutdown.
+//!
+//! The accept thread pushes connections onto a shared queue drained by
+//! `http_threads` workers; a connection cap turns excess peers away
+//! with `503` before they consume a worker. Shutdown is graceful by
+//! construction: `POST /v1/admin/shutdown` answers first, then stops
+//! the accept loop, lets the workers finish their current requests,
+//! drains the job queue (in-flight trials stop at the next boundary,
+//! completed cells stay persisted), and [`Server::run`] returns `Ok`.
+
+use std::collections::VecDeque;
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use dvs_obs::{MetricsRegistry, Recorder};
+use dvs_sram::MilliVolts;
+
+use crate::api::{self, CampaignSpec};
+use crate::http::{HttpConn, Request, RequestError, Response, DEFAULT_MAX_BODY_BYTES};
+use crate::jobs::{JobManager, SubmitError};
+
+/// How the HTTP front end is sized.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// HTTP worker threads. A worker serves one connection until the
+    /// peer closes it, so this also bounds the number of keep-alive
+    /// connections served concurrently.
+    pub http_threads: usize,
+    /// Connections admitted at once (queued + being served); excess
+    /// peers get an immediate `503`.
+    pub max_conns: usize,
+    /// Per-connection read timeout.
+    pub read_timeout: Duration,
+    /// Per-connection write timeout.
+    pub write_timeout: Duration,
+    /// Request-body size limit.
+    pub max_body_bytes: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            http_threads: 4,
+            max_conns: 256,
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+            max_body_bytes: DEFAULT_MAX_BODY_BYTES,
+        }
+    }
+}
+
+struct Shared {
+    queue: Mutex<VecDeque<TcpStream>>,
+    cv: Condvar,
+    jobs: JobManager,
+    registry: Arc<MetricsRegistry>,
+    cfg: ServerConfig,
+    shutdown: AtomicBool,
+    /// Connections admitted and not yet finished (queued + in service).
+    conns: AtomicUsize,
+    /// The bound address, for the shutdown self-connect.
+    local_addr: SocketAddr,
+}
+
+/// A bound-but-not-yet-running campaign server.
+pub struct Server {
+    listener: TcpListener,
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Binds `addr` (port 0 picks an ephemeral port) over an already
+    /// started [`JobManager`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        cfg: ServerConfig,
+        jobs: JobManager,
+        registry: Arc<MetricsRegistry>,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        Ok(Server {
+            listener,
+            local_addr,
+            shared: Arc::new(Shared {
+                queue: Mutex::new(VecDeque::new()),
+                cv: Condvar::new(),
+                jobs,
+                registry,
+                cfg,
+                shutdown: AtomicBool::new(false),
+                conns: AtomicUsize::new(0),
+                local_addr,
+            }),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Serves until a shutdown request arrives, then drains gracefully:
+    /// workers finish their in-flight requests, the job queue drains
+    /// (running campaigns stop at the next trial boundary with their
+    /// completed cells persisted), and the call returns `Ok`.
+    ///
+    /// # Errors
+    ///
+    /// Returns accept-loop transport errors.
+    pub fn run(self) -> std::io::Result<()> {
+        let workers: Vec<_> = (0..self.shared.cfg.http_threads.max(1))
+            .map(|i| {
+                let shared = self.shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("dvs-http-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn http worker")
+            })
+            .collect();
+
+        for stream in self.listener.incoming() {
+            if self.shared.shutdown.load(Ordering::Acquire) {
+                break;
+            }
+            let stream = match stream {
+                Ok(s) => s,
+                Err(_) => continue,
+            };
+            if self.shared.shutdown.load(Ordering::Acquire) {
+                break;
+            }
+            let admitted = self.shared.conns.load(Ordering::Acquire) < self.shared.cfg.max_conns;
+            if !admitted {
+                self.shared.registry.add("serve.conns.rejected", 1);
+                // Best-effort refusal; the peer may already be gone.
+                let mut s = stream;
+                let _ = s.set_write_timeout(Some(self.shared.cfg.write_timeout));
+                let _ = s.write_all(
+                    &Response::error(503, "connection limit reached")
+                        .with_close()
+                        .to_wire(),
+                );
+                continue;
+            }
+            let _ = stream.set_read_timeout(Some(self.shared.cfg.read_timeout));
+            let _ = stream.set_write_timeout(Some(self.shared.cfg.write_timeout));
+            self.shared.registry.add("serve.conns.accepted", 1);
+            self.shared.conns.fetch_add(1, Ordering::AcqRel);
+            {
+                let mut q = self.shared.queue.lock().unwrap();
+                q.push_back(stream);
+                self.shared.registry.gauge(
+                    "serve.conns.active",
+                    self.shared.conns.load(Ordering::Acquire) as u64,
+                );
+            }
+            self.shared.cv.notify_one();
+        }
+
+        // Drain: wake every worker, let them finish queued connections.
+        self.shared.cv.notify_all();
+        for w in workers {
+            let _ = w.join();
+        }
+        self.shared.jobs.drain();
+        self.shared.jobs.join();
+        Ok(())
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    loop {
+        let stream = {
+            let mut q = shared.queue.lock().unwrap();
+            loop {
+                if let Some(s) = q.pop_front() {
+                    break s;
+                }
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                q = shared.cv.wait(q).unwrap();
+            }
+        };
+        serve_connection(shared, stream);
+        shared.conns.fetch_sub(1, Ordering::AcqRel);
+        shared.registry.gauge(
+            "serve.conns.active",
+            shared.conns.load(Ordering::Acquire) as u64,
+        );
+    }
+}
+
+fn serve_connection(shared: &Arc<Shared>, stream: TcpStream) {
+    let mut conn = HttpConn::new(stream, shared.cfg.max_body_bytes);
+    loop {
+        let request = match conn.read_request() {
+            Ok(r) => r,
+            Err(RequestError::Closed) => return,
+            Err(RequestError::Timeout) => {
+                let _ =
+                    conn.write_response(&Response::error(408, "request timed out").with_close());
+                return;
+            }
+            Err(RequestError::HeadersTooLarge) => {
+                let _ = conn.write_response(
+                    &Response::error(431, "request headers too large").with_close(),
+                );
+                return;
+            }
+            Err(RequestError::BodyTooLarge { limit }) => {
+                let _ = conn.write_response(
+                    &Response::error(413, &format!("request body exceeds {limit} bytes"))
+                        .with_close(),
+                );
+                return;
+            }
+            Err(RequestError::Malformed(why)) => {
+                let _ = conn.write_response(&Response::error(400, &why).with_close());
+                return;
+            }
+            Err(RequestError::Io(_)) => return,
+        };
+
+        shared.registry.add("serve.requests", 1);
+        shared
+            .registry
+            .add("serve.bytes.read", request.wire_bytes as u64);
+        let started = Instant::now();
+        let mut response = route(shared, &request);
+        shared.registry.duration(
+            "serve.request_nanos",
+            u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX),
+        );
+        shared.registry.add(
+            match response.status / 100 {
+                2 => "serve.responses.2xx",
+                4 => "serve.responses.4xx",
+                _ => "serve.responses.5xx",
+            },
+            1,
+        );
+        // Once a drain has begun, keep-alive peers are answered and then
+        // disconnected, so captive connections cannot stall shutdown.
+        if !request.keep_alive || shared.shutdown.load(Ordering::Acquire) {
+            response.close = true;
+        }
+        let close = response.close;
+        match conn.write_response(&response) {
+            Ok(n) => shared.registry.add("serve.bytes.written", n as u64),
+            Err(_) => return,
+        }
+        if close {
+            return;
+        }
+    }
+}
+
+fn route(shared: &Arc<Shared>, req: &Request) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/v1/healthz") => Response::json(200, "{\"ok\":true}".into()),
+        ("POST", "/v1/campaigns") => submit_campaign(shared, req),
+        ("GET", "/v1/campaigns") => Response::json(200, shared.jobs.list_json()),
+        ("GET", path) if path.starts_with("/v1/campaigns/") => {
+            let id = &path["/v1/campaigns/".len()..];
+            match id
+                .parse::<u64>()
+                .ok()
+                .and_then(|id| shared.jobs.status_json(id))
+            {
+                Some(body) => Response::json(200, body),
+                None => Response::error(404, &format!("no campaign {id:?}")),
+            }
+        }
+        ("GET", "/v1/results") => store_query(shared, req),
+        ("GET", "/v1/metrics") => {
+            let snapshot = shared.registry.snapshot();
+            if req.query_param("format") == Some("json") {
+                Response::json(200, snapshot.to_json(true))
+            } else {
+                Response::text(200, snapshot.to_text())
+            }
+        }
+        ("POST", "/v1/admin/shutdown") => begin_shutdown(shared),
+        (
+            _,
+            "/v1/healthz" | "/v1/campaigns" | "/v1/results" | "/v1/metrics" | "/v1/admin/shutdown",
+        ) => Response::error(405, &format!("method {} not allowed here", req.method)),
+        _ => Response::error(404, &format!("no route {}", req.path)),
+    }
+}
+
+fn submit_campaign(shared: &Arc<Shared>, req: &Request) -> Response {
+    let body = match std::str::from_utf8(&req.body) {
+        Ok(b) => b,
+        Err(_) => return Response::error(400, "request body is not UTF-8"),
+    };
+    let spec = match CampaignSpec::from_json(body) {
+        Ok(s) => s,
+        Err(e) => return Response::error(400, &e),
+    };
+    match shared.jobs.submit(spec) {
+        Ok(id) => Response::json(
+            202,
+            format!("{{\"id\":{id},\"state\":\"queued\",\"poll\":\"/v1/campaigns/{id}\"}}"),
+        ),
+        Err(SubmitError::QueueFull) => Response::error(429, "campaign queue is full")
+            .with_header("Retry-After", "1".to_string()),
+        Err(SubmitError::Draining) => {
+            Response::error(503, "server is draining and refuses new campaigns")
+        }
+    }
+}
+
+fn store_query(shared: &Arc<Shared>, req: &Request) -> Response {
+    let benchmark = match req.query_param("benchmark").map(api::parse_benchmark) {
+        Some(Some(b)) => b,
+        Some(None) => return Response::error(400, "unknown benchmark"),
+        None => return Response::error(400, "missing query parameter \"benchmark\""),
+    };
+    let scheme = match req.query_param("scheme").map(api::parse_scheme) {
+        Some(Some(s)) => s,
+        Some(None) => return Response::error(400, "unknown scheme"),
+        None => return Response::error(400, "missing query parameter \"scheme\""),
+    };
+    let vcc = match req.query_param("vcc_mv").map(str::parse::<u32>) {
+        Some(Ok(mv)) => MilliVolts::new(mv),
+        Some(Err(_)) => return Response::error(400, "\"vcc_mv\" must be an integer"),
+        None => return Response::error(400, "missing query parameter \"vcc_mv\""),
+    };
+    let mut maps = None;
+    let mut trace_instrs = None;
+    let mut seed = None;
+    for (param, name) in [(&mut maps, "maps"), (&mut seed, "seed")] {
+        if let Some(raw) = req.query_param(name) {
+            match raw.parse::<u64>() {
+                Ok(v) => *param = Some(v),
+                Err(_) => return Response::error(400, &format!("{name:?} must be an integer")),
+            }
+        }
+    }
+    if let Some(raw) = req.query_param("trace_instrs") {
+        match raw.parse::<usize>() {
+            Ok(v) => trace_instrs = Some(v),
+            Err(_) => return Response::error(400, "\"trace_instrs\" must be an integer"),
+        }
+    }
+    match shared
+        .jobs
+        .store_lookup(benchmark, scheme, vcc, maps, trace_instrs, seed)
+    {
+        Some(body) => Response::json(200, body),
+        None => Response::error(404, "no stored result for this cell at these settings"),
+    }
+}
+
+fn begin_shutdown(shared: &Arc<Shared>) -> Response {
+    shared.registry.add("serve.shutdowns", 1);
+    shared.shutdown.store(true, Ordering::Release);
+    shared.cv.notify_all();
+    // The accept loop is blocked in accept(); a throwaway connection to
+    // ourselves unblocks it so run() can join and drain. The worker that
+    // picks the connection up sees EOF and drops it.
+    let _ = TcpStream::connect_timeout(&shared.local_addr, Duration::from_secs(1));
+    Response::json(200, "{\"draining\":true}".into()).with_close()
+}

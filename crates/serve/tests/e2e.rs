@@ -1,0 +1,309 @@
+//! End-to-end tests of the campaign server over real TCP.
+//!
+//! Every test binds port 0, drives the JSON API through a plain
+//! `TcpStream` client, and finishes with a graceful shutdown whose
+//! `Server::run` must return `Ok`. The headline test proves the wire
+//! path is lossless: a campaign fetched over HTTP renders byte-identical
+//! to a direct `Evaluator::run_plan` with different thread counts and a
+//! different store configuration.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use dvs_core::{EvalConfig, ResultStore};
+use dvs_obs::json::Value;
+use dvs_obs::MetricsRegistry;
+use dvs_serve::api::{self, CampaignSpec};
+use dvs_serve::jobs::{JobConfig, JobManager};
+use dvs_serve::{Server, ServerConfig};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dvs-serve-{}-{}", tag, std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn tiny_base() -> EvalConfig {
+    EvalConfig {
+        trace_instrs: 3_000,
+        maps: 2,
+        seed: 42,
+        threads: 2,
+        validate_images: false,
+        ..EvalConfig::quick()
+    }
+}
+
+struct TestServer {
+    addr: SocketAddr,
+    handle: std::thread::JoinHandle<std::io::Result<()>>,
+}
+
+impl TestServer {
+    fn start(jobs_cfg: JobConfig, store: Option<ResultStore>) -> TestServer {
+        let registry = Arc::new(MetricsRegistry::new());
+        let jobs = JobManager::start(jobs_cfg, store, registry.clone());
+        let server = Server::bind(
+            "127.0.0.1:0",
+            ServerConfig {
+                http_threads: 2,
+                read_timeout: Duration::from_secs(5),
+                write_timeout: Duration::from_secs(5),
+                ..ServerConfig::default()
+            },
+            jobs,
+            registry,
+        )
+        .expect("bind port 0");
+        let addr = server.local_addr();
+        let handle = std::thread::spawn(move || server.run());
+        TestServer { addr, handle }
+    }
+
+    /// Requests a graceful shutdown and asserts the server exits `Ok`.
+    fn shutdown(self) {
+        let (status, _, body) = request(self.addr, "POST", "/v1/admin/shutdown", None);
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"draining\":true"), "{body}");
+        let run_result = self.handle.join().expect("server thread");
+        assert!(run_result.is_ok(), "{run_result:?}");
+    }
+}
+
+/// One-shot HTTP client: fresh connection, `Connection: close`, reads
+/// to EOF. Returns (status, headers, body).
+fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> (u16, Vec<(String, String)>, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect to test server");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let body = body.unwrap_or("");
+    let wire = format!(
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\
+         Content-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(wire.as_bytes()).expect("write request");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    let text = String::from_utf8(raw).expect("UTF-8 response");
+    let (head, body) = text.split_once("\r\n\r\n").expect("complete response");
+    let mut lines = head.split("\r\n");
+    let status: u16 = lines
+        .next()
+        .and_then(|l| l.split(' ').nth(1))
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    let headers = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_string()))
+        .collect();
+    (status, headers, body.to_string())
+}
+
+fn header<'h>(headers: &'h [(String, String)], name: &str) -> Option<&'h str> {
+    headers
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v.as_str())
+}
+
+/// Polls one campaign until it reaches a terminal state.
+fn poll_terminal(addr: SocketAddr, id: u64, timeout: Duration) -> String {
+    let deadline = Instant::now() + timeout;
+    loop {
+        let (status, _, body) = request(addr, "GET", &format!("/v1/campaigns/{id}"), None);
+        assert_eq!(status, 200, "{body}");
+        if body.contains("\"state\":\"complete\"")
+            || body.contains("\"state\":\"failed\"")
+            || body.contains("\"state\":\"cancelled\"")
+        {
+            return body;
+        }
+        assert!(Instant::now() < deadline, "campaign {id} stuck: {body}");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+fn submitted_id(body: &str) -> u64 {
+    let v = Value::parse(body).expect("submit response is JSON");
+    v.get("id").and_then(Value::as_f64).expect("id field") as u64
+}
+
+#[test]
+fn campaign_over_tcp_is_byte_identical_to_direct_run() {
+    let store_dir = temp_dir("e2e-store");
+    let store = ResultStore::open(&store_dir).expect("store opens");
+    let server = TestServer::start(
+        JobConfig {
+            queue_depth: 4,
+            executors: 1,
+            base: tiny_base(),
+        },
+        Some(store),
+    );
+
+    let spec_body = r#"{"benchmarks":["crc32","adpcm"],"schemes":["defect-free","FFW+BBR"],"voltages_mv":[760,600],"seed":11}"#;
+    let (status, _, body) = request(server.addr, "POST", "/v1/campaigns", Some(spec_body));
+    assert_eq!(status, 202, "{body}");
+    let id = submitted_id(&body);
+
+    let status_body = poll_terminal(server.addr, id, Duration::from_secs(300));
+    assert!(
+        status_body.contains("\"state\":\"complete\""),
+        "{status_body}"
+    );
+    let results_at = status_body.find("\"results\":").expect("results present");
+    let over_tcp = &status_body[results_at + "\"results\":".len()..status_body.len() - 1];
+
+    // Reference: a direct in-process run with a DIFFERENT thread count
+    // and NO store. Parallelism and persistence must never leak into
+    // results, so the rendered bytes must match exactly.
+    let direct_base = EvalConfig {
+        threads: 1,
+        ..tiny_base()
+    };
+    let spec = CampaignSpec::from_json(spec_body).expect("spec parses");
+    let direct = api::render_direct(&spec, &direct_base, None);
+    assert!(
+        over_tcp == direct,
+        "wire results diverge from direct run:\n wire: {over_tcp}\n direct: {direct}"
+    );
+    assert!(over_tcp.contains("\"status\":\"ok\""), "{over_tcp}");
+
+    // Point queries answer from the store the campaign populated; the
+    // rendered cell object is literally a member of the results array.
+    let (status, _, cell) = request(
+        server.addr,
+        "GET",
+        "/v1/results?benchmark=crc32&scheme=defect-free&vcc_mv=760&seed=11",
+        None,
+    );
+    assert_eq!(status, 200, "{cell}");
+    assert!(direct.contains(&cell), "cell not in results:\n{cell}");
+
+    // Unknown settings miss without recomputation.
+    let (status, _, miss) = request(
+        server.addr,
+        "GET",
+        "/v1/results?benchmark=crc32&scheme=defect-free&vcc_mv=760&seed=999",
+        None,
+    );
+    assert_eq!(status, 404, "{miss}");
+    // Malformed queries are refused outright.
+    let (status, _, bad) = request(server.addr, "GET", "/v1/results?benchmark=crc32", None);
+    assert_eq!(status, 400, "{bad}");
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&store_dir);
+}
+
+#[test]
+fn queue_full_returns_429_with_retry_after_and_metrics() {
+    let server = TestServer::start(
+        JobConfig {
+            queue_depth: 1,
+            executors: 1,
+            base: tiny_base(),
+        },
+        None,
+    );
+
+    // Campaign A is sized to run for a while on one executor.
+    let slow = r#"{"benchmarks":["crc32"],"schemes":["defect-free"],"voltages_mv":[760],"maps":400,"trace_instrs":20000}"#;
+    let (status, _, body) = request(server.addr, "POST", "/v1/campaigns", Some(slow));
+    assert_eq!(status, 202, "{body}");
+    let id_a = submitted_id(&body);
+
+    // Wait until A occupies the executor, so the queue is empty again.
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let (_, _, s) = request(server.addr, "GET", &format!("/v1/campaigns/{id_a}"), None);
+        if s.contains("\"state\":\"running\"") {
+            break;
+        }
+        assert!(Instant::now() < deadline, "A never started: {s}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // B fills the depth-1 queue; C must bounce with 429 + Retry-After.
+    let quick = r#"{"benchmarks":["crc32"],"schemes":["defect-free"],"voltages_mv":[760],"maps":1,"trace_instrs":2000}"#;
+    let (status_b, _, body_b) = request(server.addr, "POST", "/v1/campaigns", Some(quick));
+    assert_eq!(status_b, 202, "{body_b}");
+    let (status_c, headers_c, body_c) = request(server.addr, "POST", "/v1/campaigns", Some(quick));
+    assert_eq!(status_c, 429, "{body_c}");
+    assert_eq!(
+        header(&headers_c, "retry-after"),
+        Some("1"),
+        "{headers_c:?}"
+    );
+    assert!(body_c.contains("\"error\""), "{body_c}");
+
+    // The rejection is observable in the metrics snapshot, and the JSON
+    // rendering parses with the hardened parser.
+    let (status, _, metrics) = request(server.addr, "GET", "/v1/metrics?format=json", None);
+    assert_eq!(status, 200);
+    let snapshot = Value::parse(&metrics).expect("metrics JSON parses");
+    let rejected = snapshot
+        .get("counters")
+        .and_then(|c| c.get("serve.rejected"))
+        .and_then(Value::as_f64)
+        .unwrap_or(0.0);
+    assert!(rejected >= 1.0, "serve.rejected missing:\n{metrics}");
+
+    // The text rendering serves too.
+    let (status, _, text) = request(server.addr, "GET", "/v1/metrics", None);
+    assert_eq!(status, 200);
+    assert!(text.contains("serve.requests"), "{text}");
+
+    // Drain: A stops at a trial boundary, B never needs to finish, and
+    // the server still exits cleanly.
+    server.shutdown();
+}
+
+#[test]
+fn routing_rejects_what_it_should_and_shutdown_is_clean() {
+    let server = TestServer::start(
+        JobConfig {
+            queue_depth: 2,
+            executors: 1,
+            base: tiny_base(),
+        },
+        None,
+    );
+
+    let (status, _, body) = request(server.addr, "GET", "/v1/healthz", None);
+    assert_eq!(status, 200);
+    assert_eq!(body, "{\"ok\":true}");
+
+    let (status, _, _) = request(server.addr, "GET", "/v1/nope", None);
+    assert_eq!(status, 404);
+    let (status, _, _) = request(server.addr, "DELETE", "/v1/campaigns", None);
+    assert_eq!(status, 405);
+    let (status, _, body) = request(server.addr, "POST", "/v1/campaigns", Some("{not json"));
+    assert_eq!(status, 400);
+    assert!(body.contains("invalid JSON"), "{body}");
+    let (status, _, body) = request(
+        server.addr,
+        "POST",
+        "/v1/campaigns",
+        Some(r#"{"benchmarks":["crc32"],"schemes":["nope"],"voltages_mv":[760]}"#),
+    );
+    assert_eq!(status, 400);
+    assert!(body.contains("unknown scheme"), "{body}");
+    let (status, _, _) = request(server.addr, "GET", "/v1/campaigns/77", None);
+    assert_eq!(status, 404);
+    let (status, _, body) = request(server.addr, "GET", "/v1/campaigns", None);
+    assert_eq!(status, 200);
+    assert_eq!(body, "[]");
+
+    server.shutdown();
+}

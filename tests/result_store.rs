@@ -17,20 +17,8 @@ fn temp_store(tag: &str) -> PathBuf {
     dir
 }
 
-/// Runs the probe against `store`, returning (cell-digest lines, engine
-/// counters parsed from the final line).
-fn probe(store: &Path, extra_args: &[&str]) -> (Vec<String>, BTreeMap<String, u64>) {
-    let out = Command::new(env!("CARGO_BIN_EXE_store_probe"))
-        .args(extra_args)
-        .env("DVS_RESULT_STORE", store)
-        .output()
-        .expect("probe binary runs");
-    assert!(
-        out.status.success(),
-        "probe failed: {}",
-        String::from_utf8_lossy(&out.stderr)
-    );
-    let stdout = String::from_utf8(out.stdout).expect("probe prints UTF-8");
+/// Parses probe stdout into (cell-digest lines, engine counters).
+fn parse_probe_output(stdout: &str) -> (Vec<String>, BTreeMap<String, u64>) {
     let mut cells = Vec::new();
     let mut counters = BTreeMap::new();
     for line in stdout.lines() {
@@ -45,6 +33,23 @@ fn probe(store: &Path, extra_args: &[&str]) -> (Vec<String>, BTreeMap<String, u6
     }
     assert!(!cells.is_empty(), "probe printed no cells:\n{stdout}");
     (cells, counters)
+}
+
+/// Runs the probe against `store`, returning (cell-digest lines, engine
+/// counters parsed from the final line).
+fn probe(store: &Path, extra_args: &[&str]) -> (Vec<String>, BTreeMap<String, u64>) {
+    let out = Command::new(env!("CARGO_BIN_EXE_store_probe"))
+        .args(extra_args)
+        .env("DVS_RESULT_STORE", store)
+        .output()
+        .expect("probe binary runs");
+    assert!(
+        out.status.success(),
+        "probe failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).expect("probe prints UTF-8");
+    parse_probe_output(&stdout)
 }
 
 #[test]
@@ -96,6 +101,129 @@ fn changing_any_config_field_misses_the_store() {
     // The original configuration still hits its own cells.
     let (_, again) = probe(&dir, &[]);
     assert_eq!(again["computed"], 0, "{again:?}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn two_evaluators_in_one_process_racing_the_same_cell_converge() {
+    use dvs_core::{EvalConfig, Evaluator, ExperimentPlan, ResultStore, Scheme};
+    use dvs_sram::MilliVolts;
+    use dvs_workloads::Benchmark;
+
+    let dir = temp_store("race-threads");
+    let cfg = EvalConfig {
+        trace_instrs: 4_000,
+        maps: 2,
+        threads: 1,
+        validate_images: false,
+        ..EvalConfig::quick()
+    };
+    let plan = || {
+        ExperimentPlan::for_grid(
+            &[Benchmark::Crc32],
+            &[Scheme::FfwBbr],
+            &[MilliVolts::new(600)],
+        )
+    };
+
+    // Two evaluators in one process race the same cell against the same
+    // store directory. Neither coordinates with the other; the store's
+    // atomic tmp+rename saves mean the race is write-write on identical
+    // deterministic bytes.
+    let cycles: Vec<Vec<u64>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let dir = dir.clone();
+                s.spawn(move || {
+                    let store = ResultStore::open(&dir).expect("store opens");
+                    let mut ev = Evaluator::new(cfg).with_store(store);
+                    let results = ev.run_plan(&plan());
+                    let (_, result) = results.into_iter().next().expect("one cell");
+                    result
+                        .expect("cell resolves")
+                        .trials
+                        .iter()
+                        .map(|t| t.result.cycles)
+                        .collect::<Vec<u64>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("racer thread"))
+            .collect()
+    });
+    assert_eq!(cycles[0], cycles[1], "racers must agree bit-for-bit");
+
+    // Exactly one result file survives the race — no tmp leftovers, no
+    // duplicate cells.
+    let mut files: Vec<String> = std::fs::read_dir(&dir)
+        .expect("store dir exists")
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .collect();
+    files.sort();
+    assert_eq!(files.len(), 1, "store holds exactly one cell: {files:?}");
+    assert!(files[0].ends_with(".bin"), "{files:?}");
+
+    // A third evaluator resolves the cell purely from the store.
+    let store = ResultStore::open(&dir).expect("store opens");
+    let mut third = Evaluator::new(cfg).with_store(store);
+    let results = third.run_plan(&plan());
+    assert!(results[0].1.is_ok());
+    let stats = third.stats();
+    assert_eq!(stats.trials_computed, 0, "{stats:?}");
+    assert_eq!(stats.cells_from_store, 1, "{stats:?}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn two_processes_racing_the_same_cell_converge() {
+    let dir = temp_store("race-procs");
+
+    // Launch both probes before reading either, so their campaigns
+    // genuinely overlap on the same store directory.
+    let children: Vec<_> = (0..2)
+        .map(|_| {
+            Command::new(env!("CARGO_BIN_EXE_store_probe"))
+                .env("DVS_RESULT_STORE", &dir)
+                .stdout(std::process::Stdio::piped())
+                .stderr(std::process::Stdio::piped())
+                .spawn()
+                .expect("probe binary spawns")
+        })
+        .collect();
+    let outputs: Vec<_> = children
+        .into_iter()
+        .map(|c| c.wait_with_output().expect("probe binary finishes"))
+        .collect();
+    for out in &outputs {
+        assert!(
+            out.status.success(),
+            "racing probe failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+    let digests: Vec<Vec<String>> = outputs
+        .iter()
+        .map(|o| parse_probe_output(&String::from_utf8_lossy(&o.stdout)).0)
+        .collect();
+    assert_eq!(digests[0], digests[1], "racing processes must agree");
+
+    // One file per cell, no temp debris left behind.
+    let leftovers: Vec<String> = std::fs::read_dir(&dir)
+        .expect("store dir exists")
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|n| !n.ends_with(".bin"))
+        .collect();
+    assert!(leftovers.is_empty(), "temp debris in store: {leftovers:?}");
+
+    // A fresh process computes nothing.
+    let (_, counters) = probe(&dir, &[]);
+    assert_eq!(counters["computed"], 0, "{counters:?}");
 
     let _ = std::fs::remove_dir_all(&dir);
 }
