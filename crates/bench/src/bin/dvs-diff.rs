@@ -1,0 +1,202 @@
+//! `dvs-diff` — differential and metamorphic correctness sweep.
+//!
+//! Runs all four paired-run oracle families and all three metamorphic
+//! sweeps from `dvs-diff` (the crate) over bench10 and the requested
+//! voltage points:
+//!
+//! * clean-map equivalence, at stream level (one synthetic stream per
+//!   benchmark) and end-to-end through the evaluator at 760 mV;
+//! * SA/DM mode agreement (BBR vs one-way conventional, plus the
+//!   `CacheCore` mode round-trip freshness check);
+//! * persistence identity (plain vs store-backed vs store-reloaded vs
+//!   recorder-on evaluator runs);
+//! * Wilkerson capacity halving;
+//! * voltage monotonicity of word misses over the requested sweep,
+//!   window-growth containment, and miss-stability under fault addition.
+//!
+//! Any divergence is shrunk to a minimal reproducer and rendered into
+//! the diagnostic as a ready-to-paste `#[test]`.
+//!
+//! Exit codes: `0` all oracles clean, `1` at least one deny-severity
+//! finding, `2` usage error.
+
+use std::process::ExitCode;
+
+use dvs_analysis::{has_deny, render_json, render_text, Report};
+use dvs_diff::{metamorphic, oracles};
+use dvs_workloads::Benchmark;
+
+struct Options {
+    voltages: Vec<u32>,
+    benchmarks: Vec<Benchmark>,
+    seed: u64,
+    stream_len: usize,
+    json: bool,
+    inject_divergence: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            voltages: vec![760, 600, 480, 400],
+            benchmarks: Benchmark::ALL.to_vec(),
+            seed: 0,
+            stream_len: 2_000,
+            json: false,
+            inject_divergence: false,
+        }
+    }
+}
+
+const USAGE: &str = "usage: dvs-diff [options]
+  --voltages LIST   comma-separated mV points for the monotonicity sweep
+                    (default 760,600,480,400)
+  --benchmarks LIST comma-separated benchmark names (default: all ten)
+  --seed N          base seed for streams and fault maps (default 0)
+  --stream-len N    accesses per synthetic stream (default 2000)
+  --json            emit one JSON document instead of text
+  --inject-divergence
+                    plant a fault under word-disable and diff it against
+                    the clean run (self-test: the harness must flag it,
+                    shrink it, and exit 1)
+  --help            print this help";
+
+fn parse_benchmark(name: &str) -> Option<Benchmark> {
+    Benchmark::ALL.into_iter().find(|b| {
+        let full = b.name();
+        full.eq_ignore_ascii_case(name)
+            || full
+                .rsplit('.')
+                .next()
+                .is_some_and(|short| short.eq_ignore_ascii_case(name))
+    })
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} expects a value"))
+        };
+        match arg.as_str() {
+            "--voltages" => {
+                opts.voltages = value("--voltages")?
+                    .split(',')
+                    .map(|v| v.trim().parse::<u32>().map_err(|_| format!("bad mV: {v}")))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--benchmarks" => {
+                opts.benchmarks = value("--benchmarks")?
+                    .split(',')
+                    .map(|n| {
+                        parse_benchmark(n.trim()).ok_or_else(|| format!("unknown benchmark: {n}"))
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
+            "--seed" => {
+                opts.seed = value("--seed")?
+                    .parse()
+                    .map_err(|_| "--seed expects an integer".to_string())?;
+            }
+            "--stream-len" => {
+                opts.stream_len = value("--stream-len")?
+                    .parse()
+                    .map_err(|_| "--stream-len expects an integer".to_string())?;
+            }
+            "--json" => opts.json = true,
+            "--inject-divergence" => opts.inject_divergence = true,
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if opts.voltages.is_empty() || opts.benchmarks.is_empty() || opts.stream_len == 0 {
+        return Err("nothing to do: empty voltage, benchmark or stream".to_string());
+    }
+    Ok(opts)
+}
+
+fn run(opts: &Options) -> Vec<Report> {
+    let mut reports = Vec::new();
+
+    // Stream-level families, one seed (and therefore one synthetic
+    // stream) per benchmark so the sweep covers ten distinct streams.
+    for (i, bench) in opts.benchmarks.iter().enumerate() {
+        let seed = opts.seed.wrapping_add(i as u64);
+        reports.push(Report::new(
+            format!("{}@clean-map/seed{seed}", bench.name()),
+            oracles::clean_map_equivalence(seed, opts.stream_len),
+        ));
+        reports.push(Report::new(
+            format!("{}@sa-dm/seed{seed}", bench.name()),
+            oracles::sa_dm_equivalence(seed, opts.stream_len),
+        ));
+        reports.push(Report::new(
+            format!("{}@capacity-halving/seed{seed}", bench.name()),
+            oracles::wilkerson_halving(seed, opts.stream_len),
+        ));
+        reports.push(Report::new(
+            format!("{}@fault-addition/seed{seed}", bench.name()),
+            metamorphic::fault_addition(seed, opts.stream_len),
+        ));
+        reports.push(Report::new(
+            format!("{}@voltage-monotone/seed{seed}", bench.name()),
+            metamorphic::voltage_monotonicity(seed, &opts.voltages, opts.stream_len),
+        ));
+    }
+
+    // Geometry-exhaustive window containment, once.
+    reports.push(Report::new(
+        "ffw@window-growth".to_string(),
+        metamorphic::window_growth(),
+    ));
+
+    // End-to-end families through the evaluator: clean equivalence at
+    // 760 mV over the real bench10 workloads, and persistence identity
+    // for the first requested benchmark.
+    reports.push(Report::new(
+        "evaluator@clean-760mV".to_string(),
+        oracles::evaluator_clean_equivalence(&opts.benchmarks, opts.seed),
+    ));
+    reports.push(Report::new(
+        format!("evaluator@persistence/{}", opts.benchmarks[0].name()),
+        oracles::persistence_identity(opts.benchmarks[0], opts.seed),
+    ));
+
+    if opts.inject_divergence {
+        reports.push(Report::new(
+            "self-test@injected-divergence".to_string(),
+            oracles::injected_divergence(),
+        ));
+    }
+    reports
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            if msg.is_empty() {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("dvs-diff: {msg}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let reports = run(&opts);
+    if opts.json {
+        println!("{}", render_json(&reports));
+    } else {
+        print!("{}", render_text(&reports));
+    }
+    let denied = reports.iter().any(|r| has_deny(&r.diagnostics));
+    if denied {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

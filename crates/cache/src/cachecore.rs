@@ -82,6 +82,9 @@ pub struct CacheCore {
     /// `frames[set * ways + way]`.
     frames: Vec<Frame>,
     lru: Vec<LruQueue>,
+    /// Valid lines dropped by [`CacheCore::invalidate`] and
+    /// [`CacheCore::invalidate_all`] over the cache's lifetime.
+    invalidations: u64,
 }
 
 impl CacheCore {
@@ -103,6 +106,7 @@ impl CacheCore {
             mode: CacheMode::SetAssociative,
             frames,
             lru,
+            invalidations: 0,
         }
     }
 
@@ -118,17 +122,38 @@ impl CacheCore {
 
     /// Switches mode, invalidating all contents (the paper flushes the
     /// cache on every low-voltage mode switch).
+    ///
+    /// A round-trip (SA→DM→SA) leaves the cache behaviourally identical
+    /// to a fresh one: all lines invalid, LRU state reset, and each valid
+    /// line counted in [`CacheCore::invalidations`] exactly once — the
+    /// flush here is the single counting site, never doubled by the mode
+    /// change itself.
     pub fn set_mode(&mut self, mode: CacheMode) {
         self.mode = mode;
         self.invalidate_all();
     }
 
-    /// Invalidates every frame (contents and dirty bits are dropped).
+    /// Invalidates every frame (contents and dirty bits are dropped) and
+    /// resets replacement state, so a subsequent refill sequence behaves
+    /// exactly as on a fresh cache. Each line that was valid adds one to
+    /// [`CacheCore::invalidations`].
     pub fn invalidate_all(&mut self) {
+        self.invalidations += u64::from(self.valid_lines());
         for f in &mut self.frames {
             f.valid = false;
             f.dirty = false;
         }
+        for q in &mut self.lru {
+            q.reset();
+        }
+    }
+
+    /// Valid lines dropped by invalidations (single-block and whole-cache)
+    /// over the cache's lifetime. Misses that invalidate nothing do not
+    /// count, and a flush counts each line once even when triggered by a
+    /// mode switch.
+    pub fn invalidations(&self) -> u64 {
+        self.invalidations
     }
 
     fn frame_index(&self, frame: FrameId) -> usize {
@@ -306,6 +331,7 @@ impl CacheCore {
                 };
                 self.frames[idx].valid = false;
                 self.frames[idx].dirty = false;
+                self.invalidations += 1;
                 Some(ev)
             }
             LookupResult::Miss => None,
@@ -397,6 +423,54 @@ mod tests {
         c.set_mode(CacheMode::DirectMapped);
         assert_eq!(c.valid_lines(), 0);
         assert_eq!(c.mode(), CacheMode::DirectMapped);
+    }
+
+    /// Shrunk reproducer from the dvs-diff SA/DM oracle: `invalidate_all`
+    /// used to leave LRU state behind, so after an SA→DM→SA round-trip the
+    /// first refill victimised a different way than a fresh cache would —
+    /// the paired runs diverged on the first post-switch eviction.
+    #[test]
+    fn mode_round_trip_behaves_like_a_fresh_cache() {
+        let mut c = small();
+        let a = addr_for(0, 1);
+        let b = addr_for(0, 2);
+        c.fill(a);
+        c.fill(b);
+        c.lookup(a); // perturb set 0 recency away from the fresh order
+        c.set_mode(CacheMode::DirectMapped);
+        c.set_mode(CacheMode::SetAssociative);
+
+        let fresh = small();
+        assert_eq!(c.victim_frame(a), fresh.victim_frame(a));
+        for way in 0..2 {
+            assert_eq!(c.way_rank(0, way), fresh.way_rank(0, way));
+            assert_eq!(c.way_rank(1, way), fresh.way_rank(1, way));
+        }
+        // Replays of the same fill sequence now evict identically.
+        let (frame, _) = c.fill(a);
+        let (fresh_frame, _) = small().fill(a);
+        assert_eq!(frame, fresh_frame);
+    }
+
+    #[test]
+    fn invalidations_counted_exactly_once_across_mode_switches() {
+        let mut c = small();
+        c.fill(addr_for(0, 1));
+        c.fill(addr_for(1, 1));
+        c.set_mode(CacheMode::DirectMapped);
+        assert_eq!(c.invalidations(), 2);
+        // Flushing an already-empty cache adds nothing, even via set_mode.
+        c.set_mode(CacheMode::SetAssociative);
+        assert_eq!(c.invalidations(), 2);
+        c.invalidate_all();
+        assert_eq!(c.invalidations(), 2);
+        // Single-block invalidations count only when a line was present.
+        let a = addr_for(0, 3);
+        c.fill(a);
+        assert!(c.invalidate(a).is_some());
+        assert_eq!(c.invalidations(), 3);
+        assert!(c.invalidate(a).is_none());
+        assert_eq!(c.invalidations(), 3);
     }
 
     #[test]

@@ -62,6 +62,13 @@ impl LruQueue {
         u32::from(*self.order.last().expect("queue is never empty"))
     }
 
+    /// Restores the freshly-constructed recency order (way 0 most recent,
+    /// highest way the victim), as after a whole-cache invalidation. A
+    /// reset queue is indistinguishable from `LruQueue::new(self.ways())`.
+    pub fn reset(&mut self) {
+        self.order.sort_unstable();
+    }
+
     /// Recency rank of `way`: 0 = most recent.
     ///
     /// # Panics
@@ -121,6 +128,16 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn touch_out_of_range_panics() {
         LruQueue::new(2).touch(2);
+    }
+
+    #[test]
+    fn reset_matches_a_fresh_queue() {
+        let mut lru = LruQueue::new(4);
+        lru.touch(3);
+        lru.touch(1);
+        lru.reset();
+        assert_eq!(lru, LruQueue::new(4));
+        assert_eq!(lru.victim(), 3);
     }
 
     #[test]

@@ -83,7 +83,14 @@ impl WriteBuffer {
         self.coalesced
     }
 
-    /// Blocks drained to the L2 so far (including flushes).
+    /// Blocks drained to the L2 so far. Overflow drains (from
+    /// [`WriteBuffer::store`] on a full buffer) and flush drains (from
+    /// [`WriteBuffer::flush`]) share this one counter — there is no
+    /// separate flush count. Flushing an already-drained buffer adds
+    /// nothing, so immediately after any `flush()` the identity
+    /// `stores() == coalesced() + drains()` holds; while entries are
+    /// queued it weakens to `stores() == coalesced() + drains() +
+    /// occupancy()`.
     pub fn drains(&self) -> u64 {
         self.drains
     }
@@ -136,6 +143,31 @@ mod tests {
         let _ = WriteBuffer::new(0);
     }
 
+    /// Regression for the accounting edge the dvs-diff sweep audited: a
+    /// second `flush()` on an already-drained buffer must return nothing
+    /// and leave every counter untouched, preserving `stores == coalesced
+    /// + drains`.
+    #[test]
+    fn double_flush_adds_nothing() {
+        let mut wb = WriteBuffer::new(2);
+        wb.store(1);
+        wb.store(2);
+        wb.store(3); // overflow drain of block 1
+        assert_eq!(wb.flush(), vec![2, 3]);
+        let (stores, coalesced, drains) = (wb.stores(), wb.coalesced(), wb.drains());
+        assert_eq!(stores, coalesced + drains);
+        assert_eq!(wb.flush(), Vec::<u64>::new());
+        assert_eq!(
+            (wb.stores(), wb.coalesced(), wb.drains()),
+            (stores, coalesced, drains)
+        );
+        assert_eq!(wb.occupancy(), 0);
+        // Flushing a never-used buffer is equally inert.
+        let mut empty = WriteBuffer::new(2);
+        assert_eq!(empty.flush(), Vec::<u64>::new());
+        assert_eq!(empty.drains(), 0);
+    }
+
     proptest! {
         #[test]
         fn occupancy_never_exceeds_capacity(blocks in proptest::collection::vec(0u64..20, 0..100)) {
@@ -157,6 +189,31 @@ mod tests {
             let n = blocks.len() as u64;
             wb.flush();
             prop_assert_eq!(n, wb.coalesced() + wb.drains());
+        }
+
+        #[test]
+        fn identity_holds_under_interleaved_stores_and_flushes(
+            ops in proptest::collection::vec(0u64..100, 0..200),
+        ) {
+            // Interleave stores with flushes (one flush per ~5 ops). The
+            // running identity stores = coalesced + drains + occupancy must
+            // hold at every step, and tighten to stores = coalesced + drains
+            // right after each flush.
+            let mut wb = WriteBuffer::new(4);
+            for &op in &ops {
+                let (block, gate) = (op % 20, op / 20);
+                if gate == 0 {
+                    wb.flush();
+                    prop_assert_eq!(wb.occupancy(), 0);
+                    prop_assert_eq!(wb.stores(), wb.coalesced() + wb.drains());
+                } else {
+                    wb.store(block);
+                }
+                prop_assert_eq!(
+                    wb.stores(),
+                    wb.coalesced() + wb.drains() + wb.occupancy() as u64
+                );
+            }
         }
     }
 }

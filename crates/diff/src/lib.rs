@@ -1,0 +1,50 @@
+//! Differential and metamorphic correctness harness for the
+//! deep-voltage-scaling stack.
+//!
+//! The paper's results hinge on the fault-tolerance schemes behaving
+//! *exactly* like a conventional cache when the fault map is clean and
+//! degrading predictably as voltage drops (§IV–§V). This crate
+//! cross-checks the whole stack with paired runs:
+//!
+//! * [`oracles`] — four equivalence families: clean-map equivalence
+//!   (stream level and end-to-end through the evaluator), SA/DM mode
+//!   agreement, persistence/observability identity, and Wilkerson's
+//!   documented capacity halving.
+//! * [`metamorphic`] — three invariant sweeps: voltage monotonicity of
+//!   word misses under nested fault maps, FFW window growth containment,
+//!   and miss-stability under fault addition.
+//! * [`shrink`] — ddmin-style reduction of any failing (stream, map)
+//!   pair to a minimal reproducer, rendered as a ready-to-paste
+//!   `#[test]`.
+//!
+//! The `dvs-diff` binary (in `dvs-bench`) sweeps all of the above over
+//! bench10 and the tier-1 voltages and exits non-zero on any deny
+//! diagnostic, mirroring `dvs-lint`.
+//!
+//! # Example
+//!
+//! ```rust
+//! use dvs_diff::{first_divergence, run_stream, synthetic_stream};
+//! use dvs_schemes::SchemeKind;
+//! use dvs_sram::{CacheGeometry, FaultMap};
+//!
+//! let clean = FaultMap::fault_free(&CacheGeometry::dsn_l1());
+//! let stream = synthetic_stream(42, 200);
+//! let conv = run_stream(SchemeKind::Conventional, &clean, &stream);
+//! let wdis = run_stream(SchemeKind::SimpleWordDisable, &clean, &stream);
+//! assert_eq!(first_divergence(&conv, &wdis), None);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod metamorphic;
+pub mod oracles;
+pub mod shrink;
+pub mod stream;
+
+pub use shrink::{ddmin, render_fault_addition_test, render_pair_test, shrink_case, Case};
+pub use stream::{
+    first_behavioral_divergence, first_divergence, run_stream, synthetic_stream, word_misses,
+    Access, Event,
+};

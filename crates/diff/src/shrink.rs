@@ -1,0 +1,258 @@
+//! Seed-driven reduction of failing cases to minimal reproducers.
+//!
+//! When an oracle flags a (stream, map) pair, the raw failure is hundreds
+//! of accesses long. [`shrink_case`] runs ddmin-style delta debugging
+//! over the access stream and the fault list alternately until neither
+//! shrinks further, and [`render_pair_test`] prints the survivor as a
+//! ready-to-paste `#[test]` for the offending crate.
+
+use crate::stream::Access;
+
+/// A failing differential case: the access stream plus the linear fault
+/// indices of each side's fault map (empty = clean).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Case {
+    /// The access stream both sides replay.
+    pub accesses: Vec<Access>,
+    /// Linear fault indices of side A's map.
+    pub faults_a: Vec<u32>,
+    /// Linear fault indices of side B's map.
+    pub faults_b: Vec<u32>,
+}
+
+/// Minimises `items` under the failure predicate `fails` with ddmin-style
+/// chunk removal: repeatedly delete chunks (halving the chunk size when a
+/// pass removes nothing) while the remainder still fails. The result
+/// still satisfies `fails`; it is 1-minimal with respect to chunk
+/// deletion, not globally minimal.
+///
+/// If `items` does not fail to begin with it is returned unchanged.
+pub fn ddmin<T: Clone>(items: &[T], fails: &dyn Fn(&[T]) -> bool) -> Vec<T> {
+    let mut current: Vec<T> = items.to_vec();
+    if current.is_empty() || !fails(&current) {
+        return current;
+    }
+    let mut chunk = current.len().div_ceil(2);
+    loop {
+        let mut reduced = false;
+        let mut start = 0;
+        while start < current.len() {
+            let end = (start + chunk).min(current.len());
+            let mut candidate = Vec::with_capacity(current.len() - (end - start));
+            candidate.extend_from_slice(&current[..start]);
+            candidate.extend_from_slice(&current[end..]);
+            if fails(&candidate) {
+                current = candidate;
+                reduced = true;
+                // Retry the same start: the next chunk slid into place.
+            } else {
+                start = end;
+            }
+        }
+        if !reduced && chunk == 1 {
+            return current;
+        }
+        chunk = (chunk / 2).max(1).min(current.len().max(1));
+    }
+}
+
+/// Shrinks a failing [`Case`] by alternately minimising its access stream
+/// and each fault list until a full round removes nothing.
+pub fn shrink_case(case: &Case, fails: &dyn Fn(&Case) -> bool) -> Case {
+    let mut current = case.clone();
+    if !fails(&current) {
+        return current;
+    }
+    loop {
+        let before = (
+            current.accesses.len(),
+            current.faults_a.len(),
+            current.faults_b.len(),
+        );
+        current.accesses = ddmin(&current.accesses, &|accesses| {
+            fails(&Case {
+                accesses: accesses.to_vec(),
+                ..current.clone()
+            })
+        });
+        current.faults_a = ddmin(&current.faults_a, &|faults| {
+            fails(&Case {
+                faults_a: faults.to_vec(),
+                ..current.clone()
+            })
+        });
+        current.faults_b = ddmin(&current.faults_b, &|faults| {
+            fails(&Case {
+                faults_b: faults.to_vec(),
+                ..current.clone()
+            })
+        });
+        let after = (
+            current.accesses.len(),
+            current.faults_a.len(),
+            current.faults_b.len(),
+        );
+        if after == before {
+            return current;
+        }
+    }
+}
+
+fn render_accesses(accesses: &[Access]) -> String {
+    let items: Vec<String> = accesses
+        .iter()
+        .map(|a| match a {
+            Access::Read(addr) => format!("Access::Read({addr:#x})"),
+            Access::Write(addr) => format!("Access::Write({addr:#x})"),
+        })
+        .collect();
+    format!("vec![{}]", items.join(", "))
+}
+
+fn render_map(geom_expr: &str, faults: &[u32]) -> String {
+    if faults.is_empty() {
+        format!("FaultMap::fault_free(&{geom_expr})")
+    } else {
+        let list: Vec<String> = faults.iter().map(u32::to_string).collect();
+        format!(
+            "FaultMap::from_faulty_indices(&{geom_expr}, [{}])",
+            list.join(", ")
+        )
+    }
+}
+
+/// Renders a shrunk case as a ready-to-paste `#[test]` asserting the two
+/// paired runs agree. `kind_a`/`kind_b` and `geom_a`/`geom_b` are Rust
+/// expressions (e.g. `SchemeKind::Conventional`,
+/// `CacheGeometry::dsn_l1()`); `note` becomes the doc comment.
+pub fn render_pair_test(
+    name: &str,
+    case: &Case,
+    kind_a: &str,
+    kind_b: &str,
+    geom_a: &str,
+    geom_b: &str,
+    note: &str,
+) -> String {
+    format!(
+        "/// {note}\n\
+         #[test]\n\
+         fn {name}() {{\n\
+         \x20   use dvs_diff::{{first_divergence, run_stream, Access}};\n\
+         \x20   use dvs_schemes::SchemeKind;\n\
+         \x20   use dvs_sram::{{CacheGeometry, FaultMap}};\n\
+         \n\
+         \x20   let map_a = {map_a};\n\
+         \x20   let map_b = {map_b};\n\
+         \x20   let accesses = {accesses};\n\
+         \x20   let a = run_stream({kind_a}, &map_a, &accesses);\n\
+         \x20   let b = run_stream({kind_b}, &map_b, &accesses);\n\
+         \x20   assert_eq!(first_divergence(&a, &b), None);\n\
+         }}\n",
+        map_a = render_map(geom_a, &case.faults_a),
+        map_b = render_map(geom_b, &case.faults_b),
+        accesses = render_accesses(&case.accesses),
+    )
+}
+
+/// Renders a shrunk fault-addition case as a ready-to-paste `#[test]`
+/// asserting that growing the fault map (side A ⊆ side B) never turns a
+/// miss into a hit for `kind`.
+pub fn render_fault_addition_test(
+    name: &str,
+    case: &Case,
+    kind: &str,
+    geom: &str,
+    note: &str,
+) -> String {
+    format!(
+        "/// {note}\n\
+         #[test]\n\
+         fn {name}() {{\n\
+         \x20   use dvs_diff::{{run_stream, Access, Event}};\n\
+         \x20   use dvs_schemes::{{SchemeKind, ServedFrom}};\n\
+         \x20   use dvs_sram::{{CacheGeometry, FaultMap}};\n\
+         \n\
+         \x20   let base_map = {map_a};\n\
+         \x20   let plus_map = {map_b};\n\
+         \x20   let accesses = {accesses};\n\
+         \x20   let base = run_stream({kind}, &base_map, &accesses);\n\
+         \x20   let plus = run_stream({kind}, &plus_map, &accesses);\n\
+         \x20   for (i, (b, p)) in base.iter().zip(&plus).enumerate() {{\n\
+         \x20       if let (Event::Read {{ source: sb, .. }}, Event::Read {{ source: sp, .. }}) = (b, p) {{\n\
+         \x20           assert!(\n\
+         \x20               !(*sb != ServedFrom::L1 && *sp == ServedFrom::L1),\n\
+         \x20               \"access {{i}}: miss became a hit after adding a fault\",\n\
+         \x20           );\n\
+         \x20       }}\n\
+         \x20   }}\n\
+         }}\n",
+        map_a = render_map(geom, &case.faults_a),
+        map_b = render_map(geom, &case.faults_b),
+        accesses = render_accesses(&case.accesses),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ddmin_isolates_a_single_culprit() {
+        let items: Vec<u32> = (0..100).collect();
+        let shrunk = ddmin(&items, &|xs| xs.contains(&73));
+        assert_eq!(shrunk, vec![73]);
+    }
+
+    #[test]
+    fn ddmin_keeps_interacting_pairs() {
+        let items: Vec<u32> = (0..64).collect();
+        let shrunk = ddmin(&items, &|xs| xs.contains(&3) && xs.contains(&60));
+        assert_eq!(shrunk, vec![3, 60]);
+    }
+
+    #[test]
+    fn ddmin_returns_non_failing_input_unchanged() {
+        let items = vec![1u32, 2, 3];
+        assert_eq!(ddmin(&items, &|_| false), items);
+    }
+
+    #[test]
+    fn shrink_case_reaches_joint_fixpoint() {
+        let case = Case {
+            accesses: (0..50).map(Access::Read).collect(),
+            faults_a: vec![],
+            faults_b: (0..20).collect(),
+        };
+        // Fails iff the stream still reads address 17 AND fault 5 remains.
+        let shrunk = shrink_case(&case, &|c| {
+            c.accesses.contains(&Access::Read(17)) && c.faults_b.contains(&5)
+        });
+        assert_eq!(shrunk.accesses, vec![Access::Read(17)]);
+        assert_eq!(shrunk.faults_b, vec![5]);
+        assert!(shrunk.faults_a.is_empty());
+    }
+
+    #[test]
+    fn rendered_test_mentions_every_ingredient() {
+        let case = Case {
+            accesses: vec![Access::Read(0x40), Access::Write(0x44)],
+            faults_a: vec![],
+            faults_b: vec![9],
+        };
+        let text = render_pair_test(
+            "shrunk_repro",
+            &case,
+            "SchemeKind::Conventional",
+            "SchemeKind::SimpleWordDisable",
+            "CacheGeometry::dsn_l1()",
+            "CacheGeometry::dsn_l1()",
+            "Found by the clean-map oracle.",
+        );
+        assert!(text.contains("fn shrunk_repro()"));
+        assert!(text.contains("Access::Read(0x40)"));
+        assert!(text.contains("from_faulty_indices"));
+        assert!(text.contains("fault_free"));
+        assert!(text.contains("first_divergence"));
+    }
+}

@@ -27,7 +27,15 @@ pub fn window_pattern(window_len: u32, words_per_block: u32, focus: u32) -> u32 
     // Centre the window on the focus word, clamped to the block bounds.
     let half = (len - 1) / 2;
     let start = focus.saturating_sub(half).min(words_per_block - len);
-    ((1u32 << len) - 1) << start
+    window_mask(len) << start
+}
+
+/// A contiguous mask of `len` low bits, valid over the whole `1..=32`
+/// domain — `(1u32 << len) - 1` overflows at `len == 32`, the full-block
+/// window of a 32-word geometry.
+fn window_mask(len: u32) -> u32 {
+    debug_assert!((1..=32).contains(&len));
+    u32::MAX >> (32 - len)
 }
 
 /// Computes a stored pattern whose window *starts* at the focus word
@@ -45,7 +53,7 @@ pub fn window_pattern_aligned(window_len: u32, words_per_block: u32, focus: u32)
         return 0;
     }
     let start = focus.min(words_per_block - len);
-    ((1u32 << len) - 1) << start
+    window_mask(len) << start
 }
 
 /// Remaps a logical `word` offset to the physical fault-free entry that
@@ -155,6 +163,94 @@ mod tests {
     #[should_panic(expected = "focus word out of range")]
     fn window_pattern_rejects_bad_focus() {
         let _ = window_pattern(4, 8, 8);
+    }
+
+    /// Shrunk reproducer from the dvs-diff window-growth sweep: a
+    /// full-block window over a 32-word geometry used to compute its mask
+    /// as `(1u32 << 32) - 1`, which overflows. The clamp path the issue
+    /// flagged (`window_len > words_per_block`, `focus` at the last word)
+    /// hits the same mask.
+    #[test]
+    fn full_window_of_a_32_word_block_is_all_ones() {
+        assert_eq!(window_pattern(32, 32, 31), u32::MAX);
+        assert_eq!(window_pattern(33, 32, 31), u32::MAX); // clamped len
+        assert_eq!(window_pattern_aligned(32, 32, 0), u32::MAX);
+        assert_eq!(window_pattern_aligned(40, 32, 31), u32::MAX);
+    }
+
+    /// Exhaustive sweep of the whole supported domain: every geometry up
+    /// to the 32-word mask limit, every focus, and lens past the clamp
+    /// point. Both policies must produce a contiguous, in-range window of
+    /// exactly `min(len, wpb)` words that contains the focus.
+    #[test]
+    fn exhaustive_domain_windows_are_contiguous_and_contain_focus() {
+        for wpb in 1..=32u32 {
+            let block = if wpb == 32 {
+                u32::MAX
+            } else {
+                (1u32 << wpb) - 1
+            };
+            for focus in 0..wpb {
+                for len in 0..=wpb + 2 {
+                    for (name, p) in [
+                        ("centred", window_pattern(len, wpb, focus)),
+                        ("aligned", window_pattern_aligned(len, wpb, focus)),
+                    ] {
+                        let eff = len.min(wpb);
+                        assert_eq!(
+                            p.count_ones(),
+                            eff,
+                            "{name} wpb={wpb} focus={focus} len={len}: {p:#b}"
+                        );
+                        assert_eq!(p & !block, 0, "{name} window escapes the block: {p:#b}");
+                        if eff > 0 {
+                            assert_ne!(
+                                p & (1 << focus),
+                                0,
+                                "{name} wpb={wpb} focus={focus} len={len} misses focus: {p:#b}"
+                            );
+                            let shifted = p >> p.trailing_zeros();
+                            assert_eq!(
+                                shifted & shifted.wrapping_add(1),
+                                0,
+                                "{name} not contiguous: {p:#b}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Growing the window never drops a word: `window(len) ⊆
+    /// window(len + 1)` for every focus, both policies. The dvs-diff
+    /// metamorphic sweep relies on this containment.
+    #[test]
+    fn exhaustive_domain_windows_grow_monotonically() {
+        for wpb in [8u32, 16, 31, 32] {
+            for focus in 0..wpb {
+                for len in 0..wpb {
+                    let (a, b) = (
+                        window_pattern(len, wpb, focus),
+                        window_pattern(len + 1, wpb, focus),
+                    );
+                    assert_eq!(
+                        a & !b,
+                        0,
+                        "centred wpb={wpb} focus={focus}: {a:#b} ⊄ {b:#b}"
+                    );
+                    let (a, b) = (
+                        window_pattern_aligned(len, wpb, focus),
+                        window_pattern_aligned(len + 1, wpb, focus),
+                    );
+                    assert_eq!(
+                        a & !b,
+                        0,
+                        "aligned wpb={wpb} focus={focus}: {a:#b} ⊄ {b:#b}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

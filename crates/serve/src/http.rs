@@ -417,6 +417,26 @@ mod tests {
         assert!(text.ends_with("{\"error\":\"queue full\"}"));
     }
 
+    /// The exact response shape the submit handler returns on a full
+    /// queue: `Response::error(429, …).with_header("Retry-After", …)`.
+    /// The header must serialize and the structured body must survive a
+    /// round-trip through the hardened JSON parser.
+    #[test]
+    fn queue_full_error_response_parses_under_hardened_json() {
+        let r = Response::error(429, "campaign queue is full")
+            .with_header("Retry-After", "1".to_string());
+        let text = String::from_utf8(r.to_wire()).unwrap();
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(text.contains("Retry-After: 1\r\n"));
+        let body = text.split("\r\n\r\n").nth(1).expect("body present");
+        let parsed = dvs_obs::json::Value::parse(body).expect("error body is valid JSON");
+        assert_eq!(
+            parsed.get("error").and_then(|v| v.as_str()),
+            Some("campaign queue is full"),
+            "{body}"
+        );
+    }
+
     #[test]
     fn terminator_search_finds_header_end() {
         assert_eq!(find_terminator(b"GET / HTTP/1.1\r\n\r\nrest"), Some(14));

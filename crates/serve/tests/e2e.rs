@@ -245,7 +245,14 @@ fn queue_full_returns_429_with_retry_after_and_metrics() {
         Some("1"),
         "{headers_c:?}"
     );
-    assert!(body_c.contains("\"error\""), "{body_c}");
+    // The structured error body must parse under the hardened parser,
+    // not just contain the right substring.
+    let error_body = Value::parse(&body_c).expect("429 body is valid JSON");
+    assert_eq!(
+        error_body.get("error").and_then(Value::as_str),
+        Some("campaign queue is full"),
+        "{body_c}"
+    );
 
     // The rejection is observable in the metrics snapshot, and the JSON
     // rendering parses with the hardened parser.
