@@ -1,0 +1,311 @@
+//! Checked-in throughput baseline for the `perf-smoke` CI gate.
+//!
+//! `dvs-profile --bless-baseline` writes the current sweep's
+//! configuration and measured trials/sec to `BENCH_baseline.json`;
+//! `--check-baseline` re-runs the same sweep and fails when throughput
+//! regressed by more than [`DEFAULT_TOLERANCE`]. The config echo is
+//! compared first, so a baseline blessed for a different sweep shape is
+//! an error, never a silently meaningless comparison.
+//!
+//! Throughput is machine-dependent, so the committed baseline documents
+//! the reference machine's numbers; CI re-blesses on hardware changes
+//! (see `EXPERIMENTS.md`).
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use dvs_obs::json::{self, Value};
+
+use crate::profile::ProfileReport;
+
+/// Schema identifier embedded in the baseline file.
+pub const BASELINE_SCHEMA: &str = "dvs-bench-baseline/1";
+
+/// Default baseline location, relative to the repository root.
+pub const DEFAULT_BASELINE_PATH: &str = "BENCH_baseline.json";
+
+/// Allowed fractional throughput regression before the check fails.
+pub const DEFAULT_TOLERANCE: f64 = 0.10;
+
+/// The persisted baseline: the sweep's shape plus its measured
+/// throughput.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Baseline {
+    /// Scheme name of the profiled configuration.
+    pub scheme: String,
+    /// Fault maps per cell.
+    pub maps: u64,
+    /// Dynamic instructions per trial.
+    pub trace_instrs: u64,
+    /// Root seed.
+    pub seed: u64,
+    /// Worker threads (throughput scales with it, so it is part of the
+    /// comparison key).
+    pub threads: u64,
+    /// Benchmark names, in sweep order.
+    pub benchmarks: Vec<String>,
+    /// Operating points in millivolts, in sweep order.
+    pub voltages_mv: Vec<u64>,
+    /// Trials the sweep computed.
+    pub trials_computed: u64,
+    /// The headline number: computed trials per wall-clock second.
+    pub trials_per_sec: f64,
+}
+
+impl Baseline {
+    /// Captures a baseline from a finished profile run.
+    pub fn from_report(report: &ProfileReport) -> Self {
+        let total = report.total_stats();
+        Baseline {
+            scheme: report.opts.scheme.name().to_string(),
+            maps: report.opts.cfg.maps,
+            trace_instrs: report.opts.cfg.trace_instrs as u64,
+            seed: report.opts.cfg.seed,
+            threads: report.opts.cfg.threads as u64,
+            benchmarks: report
+                .opts
+                .benchmarks
+                .iter()
+                .map(|b| b.name().to_string())
+                .collect(),
+            voltages_mv: report
+                .opts
+                .voltages
+                .iter()
+                .map(|v| u64::from(v.get()))
+                .collect(),
+            trials_computed: total.trials_computed,
+            trials_per_sec: report.trials_per_sec(),
+        }
+    }
+
+    /// Renders the baseline as a stable, human-reviewable JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\n  \"schema\": \"{}\",\n  \"config\": {{\n    \"scheme\": \"{}\",\n    \
+             \"maps\": {},\n    \"trace_instrs\": {},\n    \"seed\": {},\n    \
+             \"threads\": {},\n    \"benchmarks\": [",
+            json::json_escape(BASELINE_SCHEMA),
+            json::json_escape(&self.scheme),
+            self.maps,
+            self.trace_instrs,
+            self.seed,
+            self.threads,
+        );
+        for (i, b) in self.benchmarks.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "\"{}\"", json::json_escape(b));
+        }
+        out.push_str("],\n    \"voltages_mv\": [");
+        for (i, v) in self.voltages_mv.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "{v}");
+        }
+        let _ = write!(
+            out,
+            "]\n  }},\n  \"trials_computed\": {},\n  \"trials_per_sec\": {:.3}\n}}",
+            self.trials_computed, self.trials_per_sec,
+        );
+        out
+    }
+
+    /// Parses a baseline document.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first malformed or missing field.
+    pub fn parse(raw: &str) -> Result<Self, String> {
+        let value = Value::parse(raw.trim())?;
+        if value.get("schema").and_then(Value::as_str) != Some(BASELINE_SCHEMA) {
+            return Err(format!("baseline schema is not {BASELINE_SCHEMA}"));
+        }
+        let config = value.get("config").ok_or("missing config object")?;
+        let num = |v: &Value, key: &str| -> Result<u64, String> {
+            v.get(key)
+                .and_then(Value::as_f64)
+                .map(|n| n as u64)
+                .ok_or_else(|| format!("missing numeric field {key}"))
+        };
+        let strs = |v: &Value, key: &str| -> Result<Vec<String>, String> {
+            v.get(key)
+                .and_then(Value::as_arr)
+                .ok_or_else(|| format!("missing array {key}"))?
+                .iter()
+                .map(|e| {
+                    e.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| format!("non-string entry in {key}"))
+                })
+                .collect()
+        };
+        Ok(Baseline {
+            scheme: config
+                .get("scheme")
+                .and_then(Value::as_str)
+                .ok_or("missing config.scheme")?
+                .to_string(),
+            maps: num(config, "maps")?,
+            trace_instrs: num(config, "trace_instrs")?,
+            seed: num(config, "seed")?,
+            threads: num(config, "threads")?,
+            benchmarks: strs(config, "benchmarks")?,
+            voltages_mv: config
+                .get("voltages_mv")
+                .and_then(Value::as_arr)
+                .ok_or("missing config.voltages_mv")?
+                .iter()
+                .map(|e| {
+                    e.as_f64()
+                        .map(|n| n as u64)
+                        .ok_or_else(|| "non-numeric voltage".to_string())
+                })
+                .collect::<Result<_, _>>()?,
+            trials_computed: num(&value, "trials_computed")?,
+            trials_per_sec: value
+                .get("trials_per_sec")
+                .and_then(Value::as_f64)
+                .ok_or("missing trials_per_sec")?,
+        })
+    }
+
+    /// Loads a baseline from `path`.
+    ///
+    /// # Errors
+    ///
+    /// The filesystem error or parse failure, rendered for humans.
+    pub fn load(path: &Path) -> Result<Self, String> {
+        let raw = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        Baseline::parse(&raw).map_err(|e| format!("{}: {e}", path.display()))
+    }
+
+    /// Whether `report` ran the same sweep shape this baseline was
+    /// blessed for.
+    fn config_matches(&self, other: &Baseline) -> Result<(), String> {
+        let fields: [(&str, String, String); 7] = [
+            ("scheme", self.scheme.clone(), other.scheme.clone()),
+            ("maps", self.maps.to_string(), other.maps.to_string()),
+            (
+                "trace_instrs",
+                self.trace_instrs.to_string(),
+                other.trace_instrs.to_string(),
+            ),
+            ("seed", self.seed.to_string(), other.seed.to_string()),
+            (
+                "threads",
+                self.threads.to_string(),
+                other.threads.to_string(),
+            ),
+            (
+                "benchmarks",
+                format!("{:?}", self.benchmarks),
+                format!("{:?}", other.benchmarks),
+            ),
+            (
+                "voltages_mv",
+                format!("{:?}", self.voltages_mv),
+                format!("{:?}", other.voltages_mv),
+            ),
+        ];
+        for (name, baseline, current) in fields {
+            if baseline != current {
+                return Err(format!(
+                    "baseline config mismatch on {name}: baseline {baseline}, \
+                     current run {current}; re-bless with --bless-baseline"
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Compares `report` against this baseline.
+    ///
+    /// # Errors
+    ///
+    /// A config mismatch, a trial-count change, or a throughput
+    /// regression beyond `tolerance` (fractional, e.g. 0.10 for 10%).
+    pub fn check(&self, report: &ProfileReport, tolerance: f64) -> Result<String, String> {
+        let current = Baseline::from_report(report);
+        self.config_matches(&current)?;
+        if current.trials_computed != self.trials_computed {
+            return Err(format!(
+                "trial count changed: baseline computed {} trials, current run {} \
+                 — results drifted, not just speed; re-bless after verifying",
+                self.trials_computed, current.trials_computed,
+            ));
+        }
+        let floor = self.trials_per_sec * (1.0 - tolerance);
+        if current.trials_per_sec < floor {
+            return Err(format!(
+                "throughput regressed beyond {:.0}%: baseline {:.1} trials/s, \
+                 current {:.1} trials/s (floor {floor:.1})",
+                tolerance * 100.0,
+                self.trials_per_sec,
+                current.trials_per_sec,
+            ));
+        }
+        Ok(format!(
+            "throughput ok: {:.1} trials/s vs baseline {:.1} (floor {floor:.1})",
+            current.trials_per_sec, self.trials_per_sec,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{run_profile, ProfileOptions};
+    use dvs_sram::MilliVolts;
+    use dvs_workloads::Benchmark;
+
+    fn tiny_report() -> ProfileReport {
+        let mut opts = ProfileOptions::default();
+        opts.cfg.maps = 2;
+        opts.cfg.trace_instrs = 4000;
+        opts.benchmarks = vec![Benchmark::Crc32];
+        opts.voltages = vec![MilliVolts::new(760), MilliVolts::new(400)];
+        run_profile(&opts)
+    }
+
+    #[test]
+    fn baseline_round_trips_through_json() {
+        let report = tiny_report();
+        let mut baseline = Baseline::from_report(&report);
+        assert!(baseline.trials_computed > 0);
+        assert!(baseline.trials_per_sec > 0.0);
+        // `to_json` renders trials/sec with three decimals, so the
+        // round trip is exact only after the same rounding.
+        baseline.trials_per_sec = (baseline.trials_per_sec * 1000.0).round() / 1000.0;
+        let parsed = Baseline::parse(&baseline.to_json()).expect("round trip");
+        assert_eq!(parsed, baseline);
+    }
+
+    #[test]
+    fn check_accepts_same_run_and_rejects_regression_and_mismatch() {
+        let report = tiny_report();
+        let mut baseline = Baseline::from_report(&report);
+        // The same run is never slower than itself.
+        baseline
+            .check(&report, DEFAULT_TOLERANCE)
+            .expect("self-check");
+        // A baseline 100x faster than reality trips the gate.
+        baseline.trials_per_sec *= 100.0;
+        let err = baseline.check(&report, DEFAULT_TOLERANCE).unwrap_err();
+        assert!(err.contains("regressed"), "{err}");
+        // A different sweep shape is a config error, not a comparison.
+        baseline.trials_per_sec /= 100.0;
+        baseline.maps += 1;
+        let err = baseline.check(&report, DEFAULT_TOLERANCE).unwrap_err();
+        assert!(err.contains("config mismatch"), "{err}");
+    }
+
+    #[test]
+    fn malformed_baselines_are_rejected() {
+        assert!(Baseline::parse("not json").is_err());
+        assert!(Baseline::parse("{\"schema\":\"wrong/1\"}").is_err());
+    }
+}

@@ -8,9 +8,11 @@
 //!   benchmark) and end-to-end through the evaluator at 760 mV;
 //! * SA/DM mode agreement (BBR vs one-way conventional, plus the
 //!   `CacheCore` mode round-trip freshness check);
-//! * persistence identity (plain vs store-backed vs store-reloaded vs
-//!   recorder-on evaluator runs);
+//! * persistence identity (a two-voltage sweep run plain vs
+//!   store-backed vs store-reloaded vs recorder-on vs arena-disabled);
 //! * Wilkerson capacity halving;
+//! * packed-vs-reference equivalence of the word-packed hot-path queries
+//!   (popcounts, per-frame fault masks, word-chunked occupancy scans);
 //! * voltage monotonicity of word misses over the requested sweep,
 //!   window-growth containment, and miss-stability under fault addition.
 //!
@@ -151,6 +153,13 @@ fn run(opts: &Options) -> Vec<Report> {
     reports.push(Report::new(
         "ffw@window-growth".to_string(),
         metamorphic::window_growth(),
+    ));
+
+    // Packed-vs-reference: the word-packed hot-path queries against
+    // their retained per-bit references, on maps drawn down the ladder.
+    reports.push(Report::new(
+        format!("hotpath@packed-reference/seed{}", opts.seed),
+        oracles::packed_reference_equivalence(opts.seed, &opts.voltages),
     ));
 
     // End-to-end families through the evaluator: clean equivalence at

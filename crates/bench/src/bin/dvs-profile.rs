@@ -6,8 +6,10 @@
 //! point's failure rate) and prints a per-subsystem breakdown table, or
 //! the full metrics as JSON with `--json`.
 
+use std::path::PathBuf;
 use std::process::ExitCode;
 
+use dvs_bench::baseline::{Baseline, DEFAULT_BASELINE_PATH, DEFAULT_TOLERANCE};
 use dvs_bench::profile::{run_profile, ProfileOptions};
 use dvs_sram::MilliVolts;
 use dvs_workloads::Benchmark;
@@ -22,6 +24,11 @@ const USAGE: &str = "usage: dvs-profile [options]
   --json             emit machine-readable JSON instead of the table
   --no-timings       omit volatile wall-clock sections from the JSON
   --selfcheck        validate the JSON rendering before printing
+  --bless-baseline   write the sweep's trials/sec to the baseline file
+  --check-baseline   compare against the baseline file; exit non-zero on
+                     a >10% throughput regression (best of three sweeps)
+                     or a config mismatch
+  --baseline-path P  baseline file location (default BENCH_baseline.json)
   -h, --help         this text";
 
 fn parse_benchmark(name: &str) -> Option<Benchmark> {
@@ -32,8 +39,19 @@ fn parse_benchmark(name: &str) -> Option<Benchmark> {
     })
 }
 
-fn parse(mut args: impl Iterator<Item = String>) -> Result<ProfileOptions, String> {
+/// Profile options plus the binary-only baseline flags.
+struct CliOptions {
+    profile: ProfileOptions,
+    bless_baseline: bool,
+    check_baseline: bool,
+    baseline_path: PathBuf,
+}
+
+fn parse(mut args: impl Iterator<Item = String>) -> Result<CliOptions, String> {
     let mut opts = ProfileOptions::default();
+    let mut bless_baseline = false;
+    let mut check_baseline = false;
+    let mut baseline_path = PathBuf::from(DEFAULT_BASELINE_PATH);
     while let Some(arg) = args.next() {
         let mut value = |flag: &str| args.next().ok_or_else(|| format!("{flag} expects a value"));
         match arg.as_str() {
@@ -76,6 +94,11 @@ fn parse(mut args: impl Iterator<Item = String>) -> Result<ProfileOptions, Strin
             "--json" => opts.json = true,
             "--no-timings" => opts.include_timings = false,
             "--selfcheck" => opts.selfcheck = true,
+            "--bless-baseline" => bless_baseline = true,
+            "--check-baseline" => check_baseline = true,
+            "--baseline-path" => {
+                baseline_path = PathBuf::from(value("--baseline-path")?);
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -89,17 +112,26 @@ fn parse(mut args: impl Iterator<Item = String>) -> Result<ProfileOptions, Strin
     if opts.voltages.is_empty() {
         return Err("no voltages selected".into());
     }
-    Ok(opts)
+    if bless_baseline && check_baseline {
+        return Err("--bless-baseline and --check-baseline are mutually exclusive".into());
+    }
+    Ok(CliOptions {
+        profile: opts,
+        bless_baseline,
+        check_baseline,
+        baseline_path,
+    })
 }
 
 fn main() -> ExitCode {
-    let opts = match parse(std::env::args().skip(1)) {
-        Ok(opts) => opts,
+    let cli = match parse(std::env::args().skip(1)) {
+        Ok(cli) => cli,
         Err(e) => {
             eprintln!("error: {e}\n{USAGE}");
             return ExitCode::FAILURE;
         }
     };
+    let opts = &cli.profile;
     eprintln!(
         "profiling {} benchmarks x {} voltages x {} maps ({} instrs/trial)...",
         opts.benchmarks.len(),
@@ -107,7 +139,7 @@ fn main() -> ExitCode {
         opts.cfg.maps,
         opts.cfg.trace_instrs
     );
-    let report = run_profile(&opts);
+    let report = run_profile(opts);
     if opts.selfcheck {
         if let Err(e) = report.validate() {
             eprintln!("error: self-check failed: {e}");
@@ -119,6 +151,49 @@ fn main() -> ExitCode {
         println!("{}", report.to_json(opts.include_timings));
     } else {
         print!("{}", report.to_text());
+    }
+    if cli.bless_baseline {
+        let baseline = Baseline::from_report(&report);
+        if let Err(e) = std::fs::write(&cli.baseline_path, format!("{}\n", baseline.to_json())) {
+            eprintln!("error: cannot write {}: {e}", cli.baseline_path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "blessed {} at {:.1} trials/s",
+            cli.baseline_path.display(),
+            baseline.trials_per_sec
+        );
+    }
+    if cli.check_baseline {
+        let baseline = match Baseline::load(&cli.baseline_path) {
+            Ok(baseline) => baseline,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        // Wall-clock throughput is noisy (background load can slow an
+        // identical binary by tens of percent), so the gate is best-of-
+        // three: rerun the sweep on a throughput miss. Config mismatches
+        // are deterministic and fail immediately.
+        let mut result = baseline.check(&report, DEFAULT_TOLERANCE);
+        let mut retries = 0;
+        while let Err(e) = &result {
+            if retries == 2 || !e.starts_with("throughput regressed") {
+                break;
+            }
+            retries += 1;
+            eprintln!("warning: {e}; retrying sweep ({retries}/2)");
+            let retry_report = run_profile(opts);
+            result = baseline.check(&retry_report, DEFAULT_TOLERANCE);
+        }
+        match result {
+            Ok(msg) => eprintln!("{msg}"),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
     }
     ExitCode::SUCCESS
 }
@@ -133,11 +208,13 @@ mod tests {
 
     #[test]
     fn parses_full_flag_set() {
-        let opts = parse(argv(
+        let cli = parse(argv(
             "--benchmarks crc32,bzip2 --voltages 760,400 --maps 5 --seed 7 \
-             --trace-instrs 1000 --threads 2 --json --no-timings --selfcheck",
+             --trace-instrs 1000 --threads 2 --json --no-timings --selfcheck \
+             --check-baseline --baseline-path /tmp/b.json",
         ))
         .unwrap();
+        let opts = &cli.profile;
         assert_eq!(opts.benchmarks, vec![Benchmark::Crc32, Benchmark::Bzip2]);
         assert_eq!(
             opts.voltages,
@@ -148,6 +225,8 @@ mod tests {
         assert_eq!(opts.cfg.trace_instrs, 1000);
         assert_eq!(opts.cfg.threads, 2);
         assert!(opts.json && !opts.include_timings && opts.selfcheck);
+        assert!(cli.check_baseline && !cli.bless_baseline);
+        assert_eq!(cli.baseline_path, PathBuf::from("/tmp/b.json"));
     }
 
     #[test]
@@ -156,14 +235,18 @@ mod tests {
         assert!(parse(argv("--benchmarks nosuch")).is_err());
         assert!(parse(argv("--voltages abc")).is_err());
         assert!(parse(argv("--maps")).is_err());
+        assert!(parse(argv("--bless-baseline --check-baseline")).is_err());
     }
 
     #[test]
     fn defaults_cover_the_full_sweep() {
-        let opts = parse(argv("")).unwrap();
+        let cli = parse(argv("")).unwrap();
+        let opts = &cli.profile;
         assert_eq!(opts.benchmarks.len(), 10);
         assert_eq!(opts.voltages.len(), 6);
         assert!(!opts.json);
         assert!(opts.include_timings);
+        assert!(!cli.bless_baseline && !cli.check_baseline);
+        assert_eq!(cli.baseline_path, PathBuf::from(DEFAULT_BASELINE_PATH));
     }
 }

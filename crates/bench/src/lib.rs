@@ -19,6 +19,7 @@ use std::path::PathBuf;
 
 use dvs_core::{EvalConfig, Evaluator, ResultStore};
 
+pub mod baseline;
 pub mod profile;
 
 /// Parsed command-line options for the figure binaries.

@@ -13,7 +13,7 @@
 use std::fmt::Write as _;
 use std::sync::Arc;
 
-use dvs_core::{DvfsPoint, EvalConfig, Evaluator, ExperimentPlan, Scheme};
+use dvs_core::{DvfsPoint, EngineStats, EvalConfig, Evaluator, ExperimentPlan, Scheme};
 use dvs_obs::{json, MetricsRegistry, MetricsSnapshot};
 use dvs_sram::{bist, CacheGeometry, MilliVolts, SramArray};
 use dvs_workloads::Benchmark;
@@ -68,6 +68,9 @@ pub struct ProfileSection {
     pub vcc: MilliVolts,
     /// Everything the registry recorded while profiling it.
     pub snapshot: MetricsSnapshot,
+    /// The engine's own counters for this section (trials, link/sim/wall
+    /// time) — the source of the per-section `trials_per_sec`.
+    pub stats: EngineStats,
 }
 
 /// A full profile: one section per requested voltage.
@@ -79,12 +82,53 @@ pub struct ProfileReport {
     pub sections: Vec<ProfileSection>,
 }
 
+/// Renders one engine snapshot as a `throughput` JSON object: trial
+/// counts in the deterministic half, wall time and trials/sec (when
+/// timings are requested) under the `"volatile"` key so golden
+/// comparisons stay stable.
+fn throughput_json(stats: &EngineStats, include_timings: bool) -> String {
+    let mut out = format!(
+        "{{\"trials_computed\":{},\"link_failures\":{},\"invariant_violations\":{}",
+        stats.trials_computed, stats.link_failures, stats.invariant_violations,
+    );
+    if include_timings {
+        let _ = write!(
+            out,
+            ",\"volatile\":{{\"wall_nanos\":{},\"trials_per_sec\":{:.3}}}",
+            stats.wall_nanos,
+            stats.trials_per_sec(),
+        );
+    }
+    out.push('}');
+    out
+}
+
+/// Field-wise difference of two engine snapshots (the counters are
+/// monotonic, so this recovers one section's contribution).
+fn stats_delta(after: EngineStats, before: EngineStats) -> EngineStats {
+    EngineStats {
+        trials_computed: after.trials_computed - before.trials_computed,
+        trials_from_store: after.trials_from_store - before.trials_from_store,
+        cells_from_store: after.cells_from_store - before.cells_from_store,
+        link_failures: after.link_failures - before.link_failures,
+        invariant_violations: after.invariant_violations - before.invariant_violations,
+        link_nanos: after.link_nanos - before.link_nanos,
+        sim_nanos: after.sim_nanos - before.sim_nanos,
+        wall_nanos: after.wall_nanos - before.wall_nanos,
+    }
+}
+
 /// Runs the profile: for each voltage, a BIST pass over an L1-sized
 /// array at that point's failure rate, then every benchmark through an
 /// observed evaluator. Cells that fail to link or validate still
 /// contribute their engine counters; they never abort the profile.
+///
+/// One evaluator is shared across the sections (each observed by its own
+/// registry), so per-benchmark artifacts and trace templates are built
+/// once for the whole sweep instead of once per voltage.
 pub fn run_profile(opts: &ProfileOptions) -> ProfileReport {
     let geometry = CacheGeometry::dsn_l1();
+    let mut eval = Evaluator::new(opts.cfg);
     let sections = opts
         .voltages
         .iter()
@@ -99,7 +143,8 @@ pub fn run_profile(opts: &ProfileOptions) -> ProfileReport {
             array.inject_random(point.pfail_bit, &mut rng);
             let _ = bist::march_test_recorded(&mut array, registry.as_ref());
 
-            let mut eval = Evaluator::new(opts.cfg).with_recorder(registry.clone());
+            eval.observe(registry.clone());
+            let before = eval.stats();
             let mut plan = ExperimentPlan::new();
             for &b in &opts.benchmarks {
                 plan.add(b, opts.scheme, vcc);
@@ -109,6 +154,7 @@ pub fn run_profile(opts: &ProfileOptions) -> ProfileReport {
             ProfileSection {
                 vcc,
                 snapshot: registry.snapshot(),
+                stats: stats_delta(eval.stats(), before),
             }
         })
         .collect();
@@ -147,13 +193,40 @@ impl ProfileReport {
             }
             let _ = write!(
                 out,
-                "{{\"vcc_mv\":{},\"metrics\":{}}}",
+                "{{\"vcc_mv\":{},\"throughput\":{},\"metrics\":{}}}",
                 s.vcc.get(),
+                throughput_json(&s.stats, include_timings),
                 s.snapshot.to_json(include_timings)
             );
         }
-        out.push_str("]}");
+        let _ = write!(
+            out,
+            "],\"throughput\":{}}}",
+            throughput_json(&self.total_stats(), include_timings)
+        );
         out
+    }
+
+    /// Sum of the per-section engine snapshots: the whole sweep's trial
+    /// counts and wall time.
+    pub fn total_stats(&self) -> EngineStats {
+        self.sections
+            .iter()
+            .fold(EngineStats::default(), |acc, s| EngineStats {
+                trials_computed: acc.trials_computed + s.stats.trials_computed,
+                trials_from_store: acc.trials_from_store + s.stats.trials_from_store,
+                cells_from_store: acc.cells_from_store + s.stats.cells_from_store,
+                link_failures: acc.link_failures + s.stats.link_failures,
+                invariant_violations: acc.invariant_violations + s.stats.invariant_violations,
+                link_nanos: acc.link_nanos + s.stats.link_nanos,
+                sim_nanos: acc.sim_nanos + s.stats.sim_nanos,
+                wall_nanos: acc.wall_nanos + s.stats.wall_nanos,
+            })
+    }
+
+    /// Whole-sweep computed-trial throughput (the perf-smoke headline).
+    pub fn trials_per_sec(&self) -> f64 {
+        self.total_stats().trials_per_sec()
     }
 
     /// Renders the report for humans: one block per voltage with a
@@ -171,7 +244,13 @@ impl ProfileReport {
         );
         for s in &self.sections {
             let snap = &s.snapshot;
-            let _ = writeln!(out, "\n=== {} mV ===", s.vcc.get());
+            let _ = writeln!(
+                out,
+                "\n=== {} mV ===  ({} trials, {:.1} trials/s)",
+                s.vcc.get(),
+                s.stats.trials_computed,
+                s.stats.trials_per_sec()
+            );
             let trial_total = snap.timer_total_nanos("engine.trial_nanos");
             let rows: [(&str, u64, String); 5] = [
                 (
@@ -236,6 +315,13 @@ impl ProfileReport {
                     nanos as f64 / 1e6
                 );
             }
+            if let Some(h) = snap.values.get("sram.faultmap.faulty_words") {
+                let _ = writeln!(
+                    out,
+                    "  faulty words/map p50/p95/max = {}/{}/{}",
+                    h.p50, h.p95, h.max
+                );
+            }
             out.push_str("  cache:\n");
             for level in ["l1i", "l1d", "l2", "dram"] {
                 let acc = snap.counter(&format!("cache.{level}.accesses"));
@@ -249,6 +335,14 @@ impl ProfileReport {
                 let _ = writeln!(out, "    {level:<5} accesses={acc} misses={miss}{line}");
             }
         }
+        let total = self.total_stats();
+        let _ = writeln!(
+            out,
+            "\ntotal: {} trials in {:.2} s — {:.1} trials/s",
+            total.trials_computed,
+            total.wall_nanos as f64 / 1e9,
+            total.trials_per_sec()
+        );
         out
     }
 

@@ -1,0 +1,143 @@
+//! Scratch profiling harness: splits trial time into trace-gen vs simulate.
+
+use std::time::Instant;
+
+use dvs_cpu::{simulate, CoreConfig, MemSystem};
+use dvs_schemes::L1Cache;
+use dvs_sram::{CacheGeometry, FaultMap, MilliVolts};
+use dvs_workloads::{Benchmark, Layout, TraceOp};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let geom = CacheGeometry::dsn_l1();
+    let n = 25_000usize;
+    let bench = Benchmark::Qsort;
+    let wl = bench.build(1);
+    let layout = Layout::sequential(wl.program());
+    let point = dvs_core::DvfsPoint::at(MilliVolts::new(480));
+    let p = point.pfail_word();
+
+    // 1. Fault sampling
+    let t0 = Instant::now();
+    let mut maps = Vec::new();
+    for s in 0..100u64 {
+        let mut rng = StdRng::seed_from_u64(s);
+        maps.push(FaultMap::sample(&geom, p, &mut rng));
+    }
+    println!(
+        "sample x100:   {:?}  ({:?}/map)",
+        t0.elapsed(),
+        t0.elapsed() / 100
+    );
+
+    // 2. Trace generation alone
+    let t0 = Instant::now();
+    let mut total = 0usize;
+    for _ in 0..30 {
+        total += wl.trace_program(wl.program(), &layout, 0).take(n).count();
+    }
+    println!("trace  x30:    {:?}  ({} ops)", t0.elapsed(), total);
+
+    // 3. Trace collected into a Vec, then simulate from the Vec
+    let trace: Vec<TraceOp> = wl.trace_program(wl.program(), &layout, 0).take(n).collect();
+    let t0 = Instant::now();
+    for _ in 0..30 {
+        let mem = MemSystem::new(
+            L1Cache::new(dvs_schemes::SchemeKind::Ffw, maps[0].clone()),
+            L1Cache::new(dvs_schemes::SchemeKind::Ffw, maps[1].clone()),
+            point.freq_mhz,
+        );
+        let r = simulate(&CoreConfig::dsn2016(), mem, trace.iter().copied());
+        std::hint::black_box(r);
+    }
+    println!("sim    x30:    {:?}  (pre-collected trace)", t0.elapsed());
+
+    // 4. Full fused path (trace-gen + simulate), as run_trial does
+    let t0 = Instant::now();
+    for _ in 0..30 {
+        let mem = MemSystem::new(
+            L1Cache::new(dvs_schemes::SchemeKind::Ffw, maps[0].clone()),
+            L1Cache::new(dvs_schemes::SchemeKind::Ffw, maps[1].clone()),
+            point.freq_mhz,
+        );
+        let r = simulate(
+            &CoreConfig::dsn2016(),
+            mem,
+            wl.trace_program(wl.program(), &layout, 0).take(n),
+        );
+        std::hint::black_box(r);
+    }
+    println!("fused  x30:    {:?}  (trace-gen + simulate)", t0.elapsed());
+
+    // 5. L1Cache construction alone
+    let t0 = Instant::now();
+    for i in 0..1000 {
+        let c = L1Cache::new(dvs_schemes::SchemeKind::Ffw, maps[i % maps.len()].clone());
+        std::hint::black_box(c);
+    }
+    println!("l1new  x1000:  {:?}", t0.elapsed());
+
+    // 6. BBR link + full analyze_image (validate_images path)
+    let transformed = dvs_linker::bbr_transform(wl.program(), 8);
+    let linker = dvs_linker::BbrLinker::new(geom);
+    let image = linker.link(&transformed, &maps[0]).unwrap();
+    let t0 = Instant::now();
+    for _ in 0..30 {
+        let d = dvs_analysis::analyze_image(&image, &maps[0], Some(wl.program()));
+        std::hint::black_box(d);
+    }
+    println!(
+        "analyze x30:   {:?}  (with transform-equivalence)",
+        t0.elapsed()
+    );
+    let t0 = Instant::now();
+    for _ in 0..30 {
+        let d = dvs_analysis::analyze_image(&image, &maps[0], None);
+        std::hint::black_box(d);
+    }
+    println!(
+        "analyze x30:   {:?}  (without transform-equivalence)",
+        t0.elapsed()
+    );
+
+    // 7. Simulate with a recorder attached (as dvs-profile runs)
+    let reg = std::sync::Arc::new(dvs_obs::MetricsRegistry::new());
+    let t0 = Instant::now();
+    for _ in 0..30 {
+        let mem = MemSystem::new(
+            L1Cache::new(dvs_schemes::SchemeKind::Ffw, maps[0].clone()),
+            L1Cache::new(dvs_schemes::SchemeKind::Ffw, maps[1].clone()),
+            point.freq_mhz,
+        )
+        .with_recorder(reg.clone());
+        let r = simulate(&CoreConfig::dsn2016(), mem, trace.iter().copied());
+        std::hint::black_box(r);
+    }
+    println!(
+        "sim+rec x30:   {:?}  (pre-collected trace, recorder on)",
+        t0.elapsed()
+    );
+
+    // 7b. Template record + per-trial resolve (the arena path).
+    let template = dvs_workloads::TraceTemplate::record(
+        &mut wl.trace_program(wl.program(), &layout, 0),
+        n + n / 8 + 64,
+    );
+    let mut buf: Vec<TraceOp> = Vec::new();
+    let t0 = Instant::now();
+    for _ in 0..30 {
+        let ok = template.resolve_into(wl.program(), &layout, n, &mut buf);
+        std::hint::black_box(ok);
+    }
+    println!("resolve x30:   {:?}  ({} ops)", t0.elapsed(), buf.len());
+
+    // 8. Per-section plan setup: workload build + bbr transform, all ten.
+    let t0 = Instant::now();
+    for b in Benchmark::ALL {
+        let w = b.build(1);
+        let t = dvs_linker::bbr_transform(w.program(), 8);
+        std::hint::black_box((w, t));
+    }
+    println!("build+transform all10: {:?}", t0.elapsed());
+}

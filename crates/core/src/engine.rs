@@ -12,18 +12,20 @@
 //! per-cell results are re-sorted by trial index after the drain, so
 //! scheduling order, thread count and store hits never change a result.
 
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
 use dvs_cpu::{simulate, CoreConfig, MemSystem, SimResult};
-use dvs_linker::{BbrLinker, Diagnostic, Severity};
+use dvs_linker::{BbrLinker, Diagnostic, LinkStats, Severity};
 use dvs_obs::{Recorder, Span};
 use dvs_power::energy::RunCounts;
 use dvs_schemes::L1Cache;
 use dvs_sram::montecarlo::trial_seed;
-use dvs_sram::{CacheGeometry, FaultMap};
-use dvs_workloads::{Layout, Program, Workload};
+use dvs_sram::{ladder_mv, CacheGeometry, FaultChain, FaultMap, MilliVolts, PfailModel};
+use dvs_workloads::{Layout, Program, TraceOp, TraceTemplate, Workload};
 
 use crate::cancel::CancelToken;
 use crate::eval::TrialMetrics;
@@ -119,6 +121,153 @@ pub(crate) struct CellContext {
     pub(crate) seed_base: u64,
     pub(crate) artifacts: Arc<BenchArtifacts>,
     pub(crate) transformed: Option<Arc<Program>>,
+    /// Recorded trace template for this cell's program variant, when
+    /// [`crate::EvalConfig::reuse_buffers`] enables templating.
+    pub(crate) template: Option<Arc<TraceTemplate>>,
+    /// Hoisted transform-equivalence finding: the lint depends only on
+    /// the (original, transformed) program pair, so the evaluator checks
+    /// it once per transform instead of once per trial. `Some` fails
+    /// every trial of the cell before any cycles are spent.
+    pub(crate) equiv_diag: Option<Diagnostic>,
+}
+
+/// Worker-local state reused across trials
+/// ([`crate::EvalConfig::reuse_buffers`]). Strictly a cache: every entry
+/// is a deterministic function of seeds and cell identity, so which
+/// worker runs a trial — or whether the cache was warm — can never change
+/// a result.
+#[derive(Default)]
+pub(crate) struct TrialArena {
+    /// Voltage-ladder fault chains per (seed base, trial, side). A chain
+    /// advanced to some rung extends incrementally to any lower rung of
+    /// the same ladder (re-sampling only the delta); a chain that cannot
+    /// continue the requested ladder is rebuilt from scratch, which
+    /// replays the identical RNG stream.
+    chains: HashMap<(u64, u64, u8), ChainEntry>,
+    /// Linked images keyed by (transformed-program identity, fault-map
+    /// fingerprint). A hit requires full fault-map equality — the linker
+    /// is deterministic, so an equal map implies the identical image.
+    links: HashMap<(usize, u64), CachedLink>,
+    /// Resolved-trace scratch buffer.
+    trace: Vec<TraceOp>,
+}
+
+/// Largest number of cached linked images per worker; past this, misses
+/// recompute without caching (never affects results).
+const LINK_CACHE_CAP: usize = 64;
+
+struct ChainEntry {
+    chain: FaultChain,
+    /// Lowest ladder rung the chain has advanced to, in millivolts;
+    /// starts above the top rung.
+    mv: u32,
+}
+
+impl ChainEntry {
+    fn fresh(geometry: &CacheGeometry, seed: u64) -> Self {
+        ChainEntry {
+            chain: FaultChain::new(geometry, seed),
+            mv: dvs_sram::LADDER_TOP_MV + dvs_sram::LADDER_STEP_MV,
+        }
+    }
+
+    /// Whether this chain can serve `vcc_mv`'s ladder: it must sit at
+    /// `vcc_mv` itself or on a grid rung above it (an off-grid final rung
+    /// belongs to no other ladder, so such a chain only serves repeats of
+    /// its own voltage).
+    fn reusable_for(&self, vcc_mv: u32) -> bool {
+        self.mv == vcc_mv || (self.mv > vcc_mv && self.mv.is_multiple_of(dvs_sram::LADDER_STEP_MV))
+    }
+
+    /// Advances down every remaining rung of `vcc_mv`'s ladder, returning
+    /// the number of faults added.
+    fn advance(&mut self, vcc_mv: u32) -> u64 {
+        let model = PfailModel::dsn45();
+        let mut added = 0u64;
+        for mv in ladder_mv(vcc_mv) {
+            if mv >= self.mv {
+                continue;
+            }
+            // The chain requires monotone probabilities; clamp against
+            // any non-monotonicity in the pfail fit.
+            let p = model
+                .pfail_word(MilliVolts::new(mv))
+                .max(self.chain.p_current());
+            added += self.chain.advance_to(p).len() as u64;
+            self.mv = mv;
+        }
+        added
+    }
+}
+
+struct CachedLink {
+    /// Storage words of the fault map the image was linked against; a
+    /// cache hit requires full equality (the fingerprint is only an
+    /// index).
+    map_words: Vec<u64>,
+    program: Arc<Program>,
+    layout: Arc<Layout>,
+    stats: LinkStats,
+}
+
+/// FNV-1a over a fault map's storage words (an index for the link cache;
+/// equality is verified on hit).
+fn map_fingerprint(words: &[u64]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &w in words {
+        for b in w.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h ^ words.len() as u64
+}
+
+/// The v2 fault map of one trial side at `vcc_mv`: a [`FaultChain`]
+/// advanced down the voltage ladder. With a warm cache the chain extends
+/// incrementally; without one it replays the identical ladder from
+/// scratch, so both paths produce bit-identical maps.
+fn ladder_fault_map(
+    geometry: &CacheGeometry,
+    seed_base: u64,
+    trial: u64,
+    side: u8,
+    vcc_mv: u32,
+    chains: Option<&mut HashMap<(u64, u64, u8), ChainEntry>>,
+    rec: Option<&dyn Recorder>,
+) -> FaultMap {
+    let seed = trial_seed(seed_base, 2 * trial + u64::from(side));
+    let start = Instant::now();
+    let (map, added) = match chains {
+        Some(chains) => {
+            let entry = match chains.entry((seed_base, trial, side)) {
+                Entry::Occupied(mut o) => {
+                    if !o.get().reusable_for(vcc_mv) {
+                        *o.get_mut() = ChainEntry::fresh(geometry, seed);
+                    }
+                    o.into_mut()
+                }
+                Entry::Vacant(v) => v.insert(ChainEntry::fresh(geometry, seed)),
+            };
+            let added = entry.advance(vcc_mv);
+            (entry.chain.map().clone(), added)
+        }
+        None => {
+            let mut entry = ChainEntry::fresh(geometry, seed);
+            let added = entry.advance(vcc_mv);
+            (entry.chain.into_map(), added)
+        }
+    };
+    if let Some(r) = rec {
+        let nanos = start.elapsed().as_nanos() as u64;
+        r.duration("sram.faultmap.sample_nanos", nanos);
+        r.duration("sram.faultchain.advance_nanos", nanos);
+        r.add("sram.faultmap.samples", 1);
+        r.observe("sram.faultchain.faults_added", added);
+        r.add("sram.faultmap.faulty_words", map.faulty_words() as u64);
+        r.observe("sram.faultmap.faulty_words", map.faulty_words() as u64);
+    }
+    map
 }
 
 /// Monotonic counters the engine accumulates across `run_plan` calls.
@@ -290,49 +439,64 @@ pub(crate) fn execute_cells(
     std::thread::scope(|s| {
         let mut handles = Vec::with_capacity(workers);
         for _ in 0..workers {
-            handles.push(s.spawn(|| loop {
-                if scope.cancel.is_some_and(CancelToken::is_cancelled) {
-                    break;
-                }
-                // Trials from concurrently running evaluators contend for
-                // the same process-wide gate, so N campaigns cannot
-                // oversubscribe the machine with N x `threads` workers.
-                let _permit = cfg.max_parallel_trials.map(|n| TRIAL_GATE.acquire(n));
-                if scope.cancel.is_some_and(CancelToken::is_cancelled) {
-                    break;
-                }
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                let Some(&(ci, trial)) = tasks.get(i) else {
-                    break;
-                };
-                if let Some(r) = recorder {
-                    // Tasks not yet claimed by any worker (volatile).
-                    r.gauge("engine.queue.depth", (tasks.len() - (i + 1)) as u64);
-                }
-                let cell = &cells[ci];
-                let outcome = run_trial(cfg, core, geometry, cell, trial, counters, recorder);
-                counters.record_outcome(&outcome);
-                if let Some(r) = recorder {
-                    let name = match &outcome {
-                        TrialOutcome::Metrics(_) => "engine.trials.computed",
-                        TrialOutcome::LinkFailed => "engine.trials.link_failed",
-                        TrialOutcome::Invalid(_) => "engine.trials.invalid",
+            handles.push(s.spawn(|| {
+                // Worker-local caches (chains, linked images, trace
+                // buffer); purely an accelerator, see [`TrialArena`].
+                let mut arena = cfg.reuse_buffers.then(TrialArena::default);
+                loop {
+                    if scope.cancel.is_some_and(CancelToken::is_cancelled) {
+                        break;
+                    }
+                    // Trials from concurrently running evaluators contend
+                    // for the same process-wide gate, so N campaigns
+                    // cannot oversubscribe the machine with N x `threads`
+                    // workers.
+                    let _permit = cfg.max_parallel_trials.map(|n| TRIAL_GATE.acquire(n));
+                    if scope.cancel.is_some_and(CancelToken::is_cancelled) {
+                        break;
+                    }
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(&(ci, trial)) = tasks.get(i) else {
+                        break;
                     };
-                    r.add(name, 1);
-                }
-                collectors[ci]
-                    .lock()
-                    .expect("collector lock poisoned")
-                    .push((trial, outcome));
-                if outstanding[ci].fetch_sub(1, Ordering::AcqRel) == 1 {
-                    let done = cells_done.fetch_add(1, Ordering::AcqRel) + 1;
-                    if let Some(cb) = scope.callback {
-                        cb(&Progress {
-                            cell: cell.key,
-                            trials_computed: cell.trials,
-                            cells_done: done,
-                            cells_total: scope.cells_total,
-                        });
+                    if let Some(r) = recorder {
+                        // Tasks not yet claimed by any worker (volatile).
+                        r.gauge("engine.queue.depth", (tasks.len() - (i + 1)) as u64);
+                    }
+                    let cell = &cells[ci];
+                    let outcome = run_trial(
+                        cfg,
+                        core,
+                        geometry,
+                        cell,
+                        trial,
+                        counters,
+                        recorder,
+                        arena.as_mut(),
+                    );
+                    counters.record_outcome(&outcome);
+                    if let Some(r) = recorder {
+                        let name = match &outcome {
+                            TrialOutcome::Metrics(_) => "engine.trials.computed",
+                            TrialOutcome::LinkFailed => "engine.trials.link_failed",
+                            TrialOutcome::Invalid(_) => "engine.trials.invalid",
+                        };
+                        r.add(name, 1);
+                    }
+                    collectors[ci]
+                        .lock()
+                        .expect("collector lock poisoned")
+                        .push((trial, outcome));
+                    if outstanding[ci].fetch_sub(1, Ordering::AcqRel) == 1 {
+                        let done = cells_done.fetch_add(1, Ordering::AcqRel) + 1;
+                        if let Some(cb) = scope.callback {
+                            cb(&Progress {
+                                cell: cell.key,
+                                trials_computed: cell.trials,
+                                cells_done: done,
+                                cells_total: scope.cells_total,
+                            });
+                        }
                     }
                 }
             }));
@@ -352,11 +516,34 @@ pub(crate) fn execute_cells(
         .collect()
 }
 
+/// The program/layout pair a trial simulates: borrowed from shared
+/// artifacts (non-BBR), reused from the worker's link cache, or freshly
+/// linked.
+enum TrialImage<'a> {
+    Borrowed(&'a Program, &'a Layout),
+    Cached(Arc<Program>, Arc<Layout>),
+    Owned(Program, Layout),
+}
+
+impl TrialImage<'_> {
+    fn parts(&self) -> (&Program, &Layout) {
+        match self {
+            TrialImage::Borrowed(p, l) => (p, l),
+            TrialImage::Cached(p, l) => (p, l),
+            TrialImage::Owned(p, l) => (p, l),
+        }
+    }
+}
+
 /// Runs one Monte-Carlo trial.
 ///
 /// The non-BBR path borrows the benchmark's program and sequential
 /// layout straight from the shared artifacts — nothing is cloned on the
-/// per-trial hot path.
+/// per-trial hot path. `arena` (when present) caches fault chains and
+/// linked images across the worker's trials; every cached value is a
+/// deterministic function of seeds and cell identity, so warm and cold
+/// caches produce bit-identical outcomes.
+#[allow(clippy::too_many_arguments)]
 fn run_trial(
     cfg: &EvalConfig,
     core: &CoreConfig,
@@ -365,31 +552,64 @@ fn run_trial(
     trial: u64,
     counters: &EngineCounters,
     recorder: Option<&Arc<dyn Recorder>>,
+    arena: Option<&mut TrialArena>,
 ) -> TrialOutcome {
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
-
     let scheme = cell.key.scheme;
     let point = cell.point;
     let art = &*cell.artifacts;
     let rec: Option<&dyn Recorder> = recorder.map(|r| r.as_ref() as &dyn Recorder);
     let _trial_span = rec.map(|r| Span::enter(r, "engine.trial_nanos"));
 
+    let (chains, links, trace_buf) = match arena {
+        Some(a) => (Some(&mut a.chains), Some(&mut a.links), Some(&mut a.trace)),
+        None => (None, None, None),
+    };
+
     let sim_start = Instant::now();
-    // Fault maps depend on (seed, benchmark, voltage, trial) but NOT on
-    // the scheme, so schemes are compared on identical defect patterns.
+    // Fault maps depend on (seed, benchmark, trial) and the voltage
+    // ladder but NOT on the scheme, so schemes are compared on identical
+    // defect patterns.
     let (fmap_i, fmap_d) = if scheme.sees_faults() {
-        let p_word = point.pfail_word();
-        let mut rng_i = StdRng::seed_from_u64(trial_seed(cell.seed_base, 2 * trial));
-        let mut rng_d = StdRng::seed_from_u64(trial_seed(cell.seed_base, 2 * trial + 1));
-        match rec {
-            Some(r) => (
-                FaultMap::sample_recorded(geometry, p_word, &mut rng_i, r),
-                FaultMap::sample_recorded(geometry, p_word, &mut rng_d, r),
+        match chains {
+            Some(chains) => (
+                ladder_fault_map(
+                    geometry,
+                    cell.seed_base,
+                    trial,
+                    0,
+                    point.vcc.get(),
+                    Some(chains),
+                    rec,
+                ),
+                ladder_fault_map(
+                    geometry,
+                    cell.seed_base,
+                    trial,
+                    1,
+                    point.vcc.get(),
+                    Some(chains),
+                    rec,
+                ),
             ),
             None => (
-                FaultMap::sample(geometry, p_word, &mut rng_i),
-                FaultMap::sample(geometry, p_word, &mut rng_d),
+                ladder_fault_map(
+                    geometry,
+                    cell.seed_base,
+                    trial,
+                    0,
+                    point.vcc.get(),
+                    None,
+                    rec,
+                ),
+                ladder_fault_map(
+                    geometry,
+                    cell.seed_base,
+                    trial,
+                    1,
+                    point.vcc.get(),
+                    None,
+                    rec,
+                ),
             ),
         }
     } else {
@@ -400,42 +620,91 @@ fn run_trial(
     };
 
     let mut link_stats = None;
-    let linked: Option<(Program, Layout)> = if scheme.needs_bbr_link() {
-        let link_start = Instant::now();
-        let linker = BbrLinker::new(*geometry);
+    let image: TrialImage<'_> = if scheme.needs_bbr_link() {
+        // The transform-equivalence lint depends only on the program
+        // pair, so it was checked once per cell (see `CellContext`); a
+        // finding fails every trial before any link or sim time.
+        if let Some(d) = &cell.equiv_diag {
+            return TrialOutcome::Invalid(d.clone());
+        }
         let transformed = cell
             .transformed
-            .as_deref()
+            .as_ref()
             .expect("FFW+BBR provides a transformed program");
-        let image = match rec {
-            Some(r) => linker.link_recorded(transformed, &fmap_i, r),
-            None => linker.link(transformed, &fmap_i),
-        };
-        counters
-            .link_nanos
-            .fetch_add(link_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
-        let Ok(image) = image else {
-            return TrialOutcome::LinkFailed;
-        };
-        if cfg.validate_images {
-            // Full lint pass over the placed image, including trace
-            // equivalence against the pre-transform benchmark program.
-            let diags = dvs_analysis::analyze_image(&image, &fmap_i, Some(art.workload.program()));
-            if let Some(d) = diags.into_iter().find(|d| d.severity == Severity::Deny) {
-                return TrialOutcome::Invalid(d);
+        let map_words = fmap_i.word_bits().words();
+        let cache_key = (
+            Arc::as_ptr(transformed) as usize,
+            map_fingerprint(map_words),
+        );
+        let cached = links.as_ref().and_then(|links| {
+            links
+                .get(&cache_key)
+                .filter(|c| c.map_words == map_words)
+                .map(|c| (Arc::clone(&c.program), Arc::clone(&c.layout), c.stats))
+        });
+        match cached {
+            Some((program, layout, stats)) => {
+                // The linker is a deterministic function of (program,
+                // fault map); full map equality was verified above, so
+                // this image is bit-identical to a fresh link.
+                if let Some(r) = rec {
+                    r.add("engine.link_cache.hits", 1);
+                }
+                link_stats = Some(stats);
+                TrialImage::Cached(program, layout)
             }
-        } else {
-            debug_assert!(image.verify(&fmap_i).is_ok());
+            None => {
+                let link_start = Instant::now();
+                let linker = BbrLinker::new(*geometry);
+                let image = match rec {
+                    Some(r) => linker.link_recorded(transformed, &fmap_i, r),
+                    None => linker.link(transformed, &fmap_i),
+                };
+                counters
+                    .link_nanos
+                    .fetch_add(link_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                let Ok(image) = image else {
+                    return TrialOutcome::LinkFailed;
+                };
+                if cfg.validate_images {
+                    // Full lint pass over the placed image. Trace
+                    // equivalence was hoisted to the per-cell check
+                    // above, so the per-trial pass skips it.
+                    let diags = dvs_analysis::analyze_image(&image, &fmap_i, None);
+                    if let Some(d) = diags.into_iter().find(|d| d.severity == Severity::Deny) {
+                        return TrialOutcome::Invalid(d);
+                    }
+                } else {
+                    debug_assert!(image.verify(&fmap_i).is_ok());
+                }
+                let stats = *image.stats();
+                link_stats = Some(stats);
+                let (program, layout) = image.into_parts();
+                match links {
+                    Some(links) if links.len() < LINK_CACHE_CAP => {
+                        // Only validated images are cached; LinkFailed and
+                        // Invalid outcomes always recompute.
+                        let program = Arc::new(program);
+                        let layout = Arc::new(layout);
+                        links.insert(
+                            cache_key,
+                            CachedLink {
+                                map_words: map_words.to_vec(),
+                                program: Arc::clone(&program),
+                                layout: Arc::clone(&layout),
+                                stats,
+                            },
+                        );
+                        TrialImage::Cached(program, layout)
+                    }
+                    _ => TrialImage::Owned(program, layout),
+                }
+            }
         }
-        link_stats = Some(*image.stats());
-        Some(image.into_parts())
     } else {
-        None
+        TrialImage::Borrowed(art.workload.program(), &art.seq_layout)
     };
-    let (program, layout): (&Program, &Layout) = match &linked {
-        Some((p, l)) => (p, l),
-        None => (art.workload.program(), &art.seq_layout),
-    };
+    let (program, layout) = image.parts();
 
     let mut mem = MemSystem::new(
         L1Cache::new(scheme.l1i_kind(), fmap_i),
@@ -445,11 +714,39 @@ fn run_trial(
     if let Some(r) = recorder {
         mem = mem.with_recorder(r.clone());
     }
-    let trace = art
-        .workload
-        .trace_program(program, layout, 0)
-        .take(cfg.trace_instrs);
-    let result = simulate(core, mem, trace);
+    // Resolve the cell's recorded trace template against this trial's
+    // layout when one is available; fall back to a fresh walker when the
+    // template ran out of steps (both paths replay the identical
+    // instruction stream — see `TraceTemplate`).
+    let mut local_buf = Vec::new();
+    let resolved = cell.template.as_deref().and_then(|tpl| {
+        let buf = match trace_buf {
+            Some(b) => b,
+            None => &mut local_buf,
+        };
+        tpl.resolve_into(program, layout, cfg.trace_instrs, buf)
+            .then_some(&*buf)
+    });
+    let result = match resolved {
+        Some(ops) => {
+            if let Some(r) = rec {
+                r.add("engine.trace_template.resolved", 1);
+            }
+            simulate(core, mem, ops.iter().copied())
+        }
+        None => {
+            if cell.template.is_some() {
+                if let Some(r) = rec {
+                    r.add("engine.trace_template.exhausted", 1);
+                }
+            }
+            let trace = art
+                .workload
+                .trace_program(program, layout, 0)
+                .take(cfg.trace_instrs);
+            simulate(core, mem, trace)
+        }
+    };
     let sim_elapsed = sim_start.elapsed().as_nanos() as u64;
     counters.sim_nanos.fetch_add(sim_elapsed, Ordering::Relaxed);
     if let Some(r) = rec {

@@ -26,7 +26,7 @@ use dvs_obs::Recorder;
 use dvs_power::energy::{EnergyModel, RunCounts};
 use dvs_sram::stats::Summary;
 use dvs_sram::{CacheGeometry, MilliVolts};
-use dvs_workloads::{Benchmark, Layout, Program};
+use dvs_workloads::{Benchmark, Layout, Program, TraceTemplate};
 
 use crate::cancel::CancelToken;
 use crate::engine::{
@@ -82,6 +82,14 @@ pub struct EvalConfig {
     /// never change metrics, only reject them — so, like `threads`, it is
     /// not part of the result-store key.
     pub validate_images: bool,
+    /// Reuse per-worker buffers across trials: fault chains advance
+    /// incrementally down the voltage ladder instead of resampling,
+    /// identical fault maps reuse their linked image, and traces resolve
+    /// from a recorded template instead of re-walking the CFG. Purely a
+    /// performance knob — results are bit-identical either way (the
+    /// determinism tests pin this) — so it is not part of the
+    /// result-store key.
+    pub reuse_buffers: bool,
 }
 
 impl EvalConfig {
@@ -95,6 +103,7 @@ impl EvalConfig {
             threads: 8,
             max_parallel_trials: None,
             validate_images: false,
+            reuse_buffers: true,
         }
     }
 
@@ -117,6 +126,7 @@ impl EvalConfig {
             threads: 4,
             max_parallel_trials: None,
             validate_images: true,
+            reuse_buffers: true,
         }
     }
 }
@@ -293,6 +303,16 @@ pub struct Evaluator {
     artifacts: HashMap<Benchmark, Arc<BenchArtifacts>>,
     /// BBR-transformed programs per (benchmark, split threshold).
     transformed: HashMap<(Benchmark, u32), Arc<Program>>,
+    /// Recorded trace templates per (benchmark, split threshold); `None`
+    /// in the key means the untransformed benchmark program. Templates
+    /// replay the walker's op sequence with per-trial address patching —
+    /// see [`dvs_workloads::TraceTemplate`].
+    templates: HashMap<(Benchmark, Option<u32>), Arc<TraceTemplate>>,
+    /// Hoisted transform-equivalence results per (benchmark, split
+    /// threshold): the lint depends only on the original and transformed
+    /// programs, not on the per-trial fault map, so it runs once here
+    /// instead of once per trial.
+    equiv_checked: HashMap<(Benchmark, u32), Option<Diagnostic>>,
     runs: HashMap<CellKey, Arc<SchemeRun>>,
     failures: HashMap<CellKey, EvalError>,
     store: Option<ResultStore>,
@@ -313,6 +333,8 @@ impl Evaluator {
             geometry: CacheGeometry::dsn_l1(),
             artifacts: HashMap::new(),
             transformed: HashMap::new(),
+            templates: HashMap::new(),
+            equiv_checked: HashMap::new(),
             runs: HashMap::new(),
             failures: HashMap::new(),
             store: None,
@@ -421,18 +443,93 @@ impl Evaluator {
             .clone()
     }
 
-    /// The BBR-compiled program for `benchmark` at `point`'s defect
-    /// density (the compiler splits only as much as the chunks require).
-    fn transformed(&mut self, benchmark: Benchmark, point: DvfsPoint) -> Arc<Program> {
-        let max_words = self
-            .cfg
+    /// The BBR split threshold in force at `point` (the compiler splits
+    /// only as much as the chunks require).
+    fn max_block_words(&self, point: DvfsPoint) -> u32 {
+        self.cfg
             .bbr_max_block_words
-            .unwrap_or_else(|| adaptive_max_block_words(point.pfail_word()));
+            .unwrap_or_else(|| adaptive_max_block_words(point.pfail_word()))
+    }
+
+    /// The BBR-compiled program for `benchmark` at a split threshold.
+    fn transformed_for(&mut self, benchmark: Benchmark, max_words: u32) -> Arc<Program> {
         let art = self.artifacts(benchmark);
         self.transformed
             .entry((benchmark, max_words))
             .or_insert_with(|| Arc::new(bbr_transform(art.workload.program(), max_words)))
             .clone()
+    }
+
+    /// Largest per-trial trace for which templates are recorded. Above
+    /// this the recording's memory cost outweighs the per-trial walker
+    /// saving, and trials fall back to walking the CFG directly.
+    const TEMPLATE_MAX_INSTRS: usize = 50_000;
+
+    /// The recorded trace template for `benchmark`, over the transformed
+    /// program when `max_words` is given, else over the benchmark's own
+    /// program. Recorded with headroom: resolving a relaxed program skips
+    /// elided jumps, so `n` resolved ops can consume more than `n`
+    /// recorded steps.
+    fn template(&mut self, benchmark: Benchmark, max_words: Option<u32>) -> Arc<TraceTemplate> {
+        if let Some(t) = self.templates.get(&(benchmark, max_words)) {
+            return t.clone();
+        }
+        let art = self.artifacts(benchmark);
+        let budget = self.cfg.trace_instrs + self.cfg.trace_instrs / 4 + 64;
+        let start = Instant::now();
+        let template = match max_words {
+            Some(mw) => {
+                let transformed = self.transformed_for(benchmark, mw);
+                let seq = Layout::sequential(&transformed);
+                TraceTemplate::record(
+                    &mut art.workload.trace_program(&transformed, &seq, 0),
+                    budget,
+                )
+            }
+            None => TraceTemplate::record(
+                &mut art
+                    .workload
+                    .trace_program(art.workload.program(), &art.seq_layout, 0),
+                budget,
+            ),
+        };
+        if let Some(rec) = &self.recorder {
+            rec.duration(
+                "engine.trace_template.record_nanos",
+                start.elapsed().as_nanos() as u64,
+            );
+            rec.add("engine.trace_template.recorded", 1);
+        }
+        let template = Arc::new(template);
+        self.templates
+            .insert((benchmark, max_words), template.clone());
+        template
+    }
+
+    /// The hoisted transform-equivalence check for `(benchmark,
+    /// max_words)`: the lint compares the original and transformed
+    /// programs only (per-trial relaxation merely elides jumps that the
+    /// equivalence relation already ignores), so one check covers every
+    /// trial of every cell sharing the transform.
+    fn transform_equivalence(
+        &mut self,
+        benchmark: Benchmark,
+        max_words: u32,
+    ) -> Option<Diagnostic> {
+        if let Some(d) = self.equiv_checked.get(&(benchmark, max_words)) {
+            return d.clone();
+        }
+        let art = self.artifacts(benchmark);
+        let transformed = self.transformed_for(benchmark, max_words);
+        let diag = dvs_analysis::check_trace_equivalence(
+            art.workload.program(),
+            &transformed,
+            &dvs_analysis::EquivConfig::default(),
+        )
+        .err();
+        self.equiv_checked
+            .insert((benchmark, max_words), diag.clone());
+        diag
     }
 
     /// Whether `key` is already resolved (in memory) as a run or failure.
@@ -539,14 +636,29 @@ impl Evaluator {
 
         // Execution pass: one shared pool over every remaining trial.
         if !missing.is_empty() {
+            let want_templates =
+                self.cfg.reuse_buffers && self.cfg.trace_instrs <= Self::TEMPLATE_MAX_INSTRS;
             let contexts: Vec<CellContext> = missing
                 .iter()
                 .map(|&key| {
                     let point = key.point();
-                    let transformed = if key.scheme.needs_bbr_link() {
-                        Some(self.transformed(key.benchmark, point))
+                    let (transformed, template, equiv_diag) = if key.scheme.needs_bbr_link() {
+                        let max_words = self.max_block_words(point);
+                        (
+                            Some(self.transformed_for(key.benchmark, max_words)),
+                            want_templates.then(|| self.template(key.benchmark, Some(max_words))),
+                            if self.cfg.validate_images {
+                                self.transform_equivalence(key.benchmark, max_words)
+                            } else {
+                                None
+                            },
+                        )
                     } else {
-                        None
+                        (
+                            None,
+                            want_templates.then(|| self.template(key.benchmark, None)),
+                            None,
+                        )
                     };
                     CellContext {
                         key,
@@ -555,6 +667,8 @@ impl Evaluator {
                         seed_base: key.seed_base(self.cfg.seed),
                         artifacts: self.artifacts(key.benchmark),
                         transformed,
+                        template,
+                        equiv_diag,
                     }
                 })
                 .collect();
@@ -810,6 +924,31 @@ mod tests {
         assert_eq!(a.trials[0].result.cycles, c.trials[0].result.cycles);
         assert_eq!(a.trials.len(), c.trials.len());
         assert!(a.cycles().bitwise_eq(&c.cycles()));
+
+        // The worker arena (chain reuse, link memoization, trace
+        // templates) is purely an accelerator: with it disabled every
+        // trial of every cell reproduces bit-identically. Sweeping two
+        // voltages of one benchmark exercises the incremental ladder
+        // path, and repeated maps exercise the link cache.
+        let plan = ExperimentPlan::for_grid(
+            &[Benchmark::Adpcm],
+            &[Scheme::FfwBbr, Scheme::SimpleWdis],
+            &[MilliVolts::new(480), MilliVolts::new(440)],
+        );
+        let mut warm = eval();
+        let mut cold = Evaluator::new(EvalConfig {
+            reuse_buffers: false,
+            ..EvalConfig::quick()
+        });
+        let warm_runs = warm.run_plan(&plan);
+        let cold_runs = cold.run_plan(&plan);
+        assert_eq!(warm_runs.len(), cold_runs.len());
+        for ((wk, wr), (ck, cr)) in warm_runs.iter().zip(&cold_runs) {
+            assert_eq!(wk, ck);
+            let (wr, cr) = (wr.as_ref().unwrap(), cr.as_ref().unwrap());
+            assert_eq!(wr.failed_links, cr.failed_links, "{wk}");
+            assert_eq!(wr.trials, cr.trials, "{wk}");
+        }
 
         // A store-backed evaluator persists the cell, and a second
         // store-backed evaluator reloads it bit-identically without

@@ -69,10 +69,13 @@ impl CellKey {
         }
     }
 
-    /// The fault-map seed base of this cell (scheme-independent, so
-    /// schemes are compared on identical defect patterns).
+    /// The fault-map seed base of this cell (scheme- and
+    /// voltage-independent, so schemes are compared on identical defect
+    /// patterns and a cell's fault chain at a lower voltage extends the
+    /// higher-voltage chain instead of resampling from scratch — see
+    /// [`dvs_sram::FaultChain`]).
     pub fn seed_base(&self, root_seed: u64) -> u64 {
-        cell_seed_base(root_seed, self.benchmark as u64, self.point().vcc.get())
+        cell_seed_base(root_seed, self.benchmark as u64)
     }
 }
 
@@ -174,12 +177,16 @@ mod tests {
     }
 
     #[test]
-    fn seed_base_ignores_scheme_but_not_voltage() {
+    fn seed_base_ignores_scheme_and_voltage_but_not_benchmark() {
+        // v2 seed schema: the base depends only on (root, benchmark) so
+        // the voltage-ladder fault chain is shared across the sweep.
         let a = CellKey::new(Benchmark::Qsort, Scheme::FfwBbr, MilliVolts::new(440));
         let b = CellKey::new(Benchmark::Qsort, Scheme::SimpleWdis, MilliVolts::new(440));
         let c = CellKey::new(Benchmark::Qsort, Scheme::FfwBbr, MilliVolts::new(480));
+        let d = CellKey::new(Benchmark::Crc32, Scheme::FfwBbr, MilliVolts::new(440));
         assert_eq!(a.seed_base(42), b.seed_base(42));
-        assert_ne!(a.seed_base(42), c.seed_base(42));
+        assert_eq!(a.seed_base(42), c.seed_base(42));
+        assert_ne!(a.seed_base(42), d.seed_base(42));
     }
 
     #[test]

@@ -41,7 +41,12 @@ const MAGIC: &[u8; 8] = b"DVSCELL1";
 
 /// Bumped whenever the meaning of stored bytes changes in a way the
 /// serialized key cannot express (e.g. reinterpreting a metric).
-const KEY_VERSION: u32 = 1;
+///
+/// v2: fault maps come from the geometric skip sampler walking the
+/// voltage ladder ([`dvs_sram::FaultChain`]), and the per-cell seed base
+/// no longer folds in the voltage. Identical in distribution to v1 but a
+/// different RNG stream, so v1 cells must read as misses.
+const KEY_VERSION: u32 = 2;
 
 /// Everything a cell's results depend on. Two processes computing the
 /// same `StoreKey` are guaranteed (by the deterministic seeding) to

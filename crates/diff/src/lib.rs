@@ -6,10 +6,11 @@
 //! degrading predictably as voltage drops (§IV–§V). This crate
 //! cross-checks the whole stack with paired runs:
 //!
-//! * [`oracles`] — four equivalence families: clean-map equivalence
+//! * [`oracles`] — five equivalence families: clean-map equivalence
 //!   (stream level and end-to-end through the evaluator), SA/DM mode
-//!   agreement, persistence/observability identity, and Wilkerson's
-//!   documented capacity halving.
+//!   agreement, persistence/observability identity over a two-voltage
+//!   sweep, Wilkerson's documented capacity halving, and packed-vs-
+//!   reference agreement of the word-packed hot-path queries.
 //! * [`metamorphic`] — three invariant sweeps: voltage monotonicity of
 //!   word misses under nested fault maps, FFW window growth containment,
 //!   and miss-stability under fault addition.

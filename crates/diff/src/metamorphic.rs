@@ -3,10 +3,11 @@
 //! Metamorphic invariants relate *pairs of runs under a known input
 //! transformation* rather than a run to a golden model:
 //!
-//! 1. **Voltage monotonicity** — lowering Vcc with a fixed sampling seed
-//!    grows the fault map (the sampler draws one uniform per word, so
-//!    fault sets nest as `P_fail` rises), and a larger fault set never
-//!    reduces the word-miss count of a stateless word-presence policy.
+//! 1. **Voltage monotonicity** — lowering Vcc along one fault chain
+//!    grows the fault map (a [`dvs_sram::FaultChain`] only ever adds
+//!    faults as `P_fail` rises, mirroring how the engine extends maps
+//!    down the voltage ladder), and a larger fault set never reduces the
+//!    word-miss count of a stateless word-presence policy.
 //! 2. **Window growth** — growing `window_len` never shrinks the set of
 //!    remappable offsets: `window_pattern(len) ⊆ window_pattern(len+1)`
 //!    over the whole supported domain, for both placement policies.
@@ -23,7 +24,7 @@ use dvs_analysis::{Diagnostic, Location};
 use dvs_core::DvfsPoint;
 use dvs_schemes::ffw::{window_pattern, window_pattern_aligned};
 use dvs_schemes::{SchemeKind, ServedFrom};
-use dvs_sram::{CacheGeometry, FaultMap, MilliVolts};
+use dvs_sram::{CacheGeometry, FaultChain, FaultMap, MilliVolts};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -52,26 +53,30 @@ const STATELESS_KINDS: [(SchemeKind, &str); 3] = [
     (SchemeKind::WilkersonPlus, "SchemeKind::WilkersonPlus"),
 ];
 
-/// Sweep 1: over descending voltages with one fixed sampling seed, fault
-/// maps must nest and word-miss counts must be non-decreasing.
+/// Sweep 1: over descending voltages along one fault chain, fault maps
+/// must nest and word-miss counts must be non-decreasing.
 pub fn voltage_monotonicity(seed: u64, voltages_mv: &[u32], stream_len: usize) -> Vec<Diagnostic> {
     let geom = CacheGeometry::dsn_l1();
     let mut voltages: Vec<u32> = voltages_mv.to_vec();
     voltages.sort_unstable_by(|a, b| b.cmp(a));
     voltages.dedup();
+    let mut chain = FaultChain::new(&geom, seed);
     let maps: Vec<(u32, FaultMap)> = voltages
         .iter()
         .map(|&mv| {
-            let p = DvfsPoint::at(MilliVolts::new(mv)).pfail_word();
-            let mut rng = StdRng::seed_from_u64(seed);
-            (mv, FaultMap::sample(&geom, p, &mut rng))
+            let p = DvfsPoint::at(MilliVolts::new(mv))
+                .pfail_word()
+                .max(chain.p_current());
+            chain.advance_to(p);
+            (mv, chain.map().clone())
         })
         .collect();
 
     let mut diags = Vec::new();
-    // Precondition: one uniform draw per word means fault sets nest as
-    // the failure probability rises. If this breaks, the monotonicity
-    // claim below is vacuous — report it as its own violation.
+    // Precondition: the chain only ever adds faults as the failure
+    // probability rises, so fault sets nest by construction. If this
+    // breaks, the monotonicity claim below is vacuous — report it as its
+    // own violation.
     for pair in maps.windows(2) {
         let (hi_mv, hi) = &pair[0];
         let (lo_mv, lo) = &pair[1];

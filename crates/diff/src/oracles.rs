@@ -18,19 +18,25 @@
 //! * **Family D** — capacity halving: Wilkerson word-disable over a clean
 //!   map matches a conventional cache of half the capacity and half the
 //!   ways, at its documented +1-cycle hit latency.
+//! * **Family E** — packed vs reference: the word-packed hot-path
+//!   queries (popcounts, per-frame fault masks, word-chunked occupancy
+//!   scans) agree with their retained per-bit reference implementations
+//!   on fault maps drawn down the voltage ladder.
 
 use std::sync::Arc;
 
 use dvs_analysis::{Diagnostic, Location};
 use dvs_cache::{Addr, CacheCore, CacheMode};
-use dvs_core::{CellKey, EvalConfig, Evaluator, ResultStore, Scheme};
+use dvs_core::{CellKey, EvalConfig, Evaluator, ExperimentPlan, ResultStore, Scheme};
+use dvs_linker::{
+    fault_free_chunks, fault_free_chunks_reference, first_faulty_in_run,
+    first_faulty_in_run_reference,
+};
 use dvs_obs::MetricsRegistry;
 use dvs_schemes::SchemeKind;
 use dvs_sram::montecarlo::trial_seed;
-use dvs_sram::{CacheGeometry, FaultMap, MilliVolts};
+use dvs_sram::{ladder_mv, CacheGeometry, FaultChain, FaultMap, MilliVolts, PfailModel};
 use dvs_workloads::Benchmark;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 use crate::shrink::{render_pair_test, shrink_case, Case};
 use crate::stream::{
@@ -47,6 +53,8 @@ pub const LINT_PERSISTENCE: &str = "diff/persistence";
 pub const LINT_HALVING: &str = "diff/capacity-halving";
 /// Lint identifier for a comparison precondition that did not hold.
 pub const LINT_HYPOTHESIS: &str = "diff/clean-hypothesis";
+/// Lint identifier for packed-vs-reference divergences.
+pub const LINT_PACKED: &str = "diff/packed-reference";
 
 /// One side of a paired run: a scheme, its fault map, and the source
 /// expressions used when rendering a reproducer test.
@@ -174,17 +182,23 @@ fn tiny_config(seed: u64) -> EvalConfig {
 }
 
 /// Recomputes the engine's two per-trial fault maps for `key`/`trial`
-/// exactly as `run_trial` samples them.
+/// exactly as `run_trial` samples them: a [`FaultChain`] advanced down
+/// the 20 mV voltage ladder to the cell's operating point, with the
+/// failure probability clamped monotone against the pfail fit.
 fn trial_maps(key: &CellKey, root_seed: u64, trial: u64) -> (FaultMap, FaultMap) {
     let geom = CacheGeometry::dsn_l1();
-    let p_word = key.point().pfail_word();
+    let vcc_mv = key.point().vcc.get();
+    let model = PfailModel::dsn45();
     let base = key.seed_base(root_seed);
-    let mut rng_i = StdRng::seed_from_u64(trial_seed(base, 2 * trial));
-    let mut rng_d = StdRng::seed_from_u64(trial_seed(base, 2 * trial + 1));
-    (
-        FaultMap::sample(&geom, p_word, &mut rng_i),
-        FaultMap::sample(&geom, p_word, &mut rng_d),
-    )
+    let side = |side: u64| {
+        let mut chain = FaultChain::new(&geom, trial_seed(base, 2 * trial + side));
+        for mv in ladder_mv(vcc_mv) {
+            let p = model.pfail_word(MilliVolts::new(mv)).max(chain.p_current());
+            chain.advance_to(p);
+        }
+        chain.into_map()
+    };
+    (side(0), side(1))
 }
 
 /// Family A (end-to-end): at 760 mV every trial whose sampled maps are
@@ -363,47 +377,58 @@ pub fn sa_dm_equivalence(seed: u64, stream_len: usize) -> Vec<Diagnostic> {
 }
 
 /// Family C: persistence and observability must never change results.
-/// Runs one cell plain, store-backed, store-reloaded and recorder-on;
-/// all four trial vectors must be bit-identical.
+/// Sweeps one benchmark over two voltages (so the incremental
+/// voltage-ladder reuse and link-memoization paths are exercised) plain,
+/// store-backed, store-reloaded, recorder-on and with the worker arena
+/// disabled; every trial vector of every cell must be bit-identical to
+/// the plain sweep.
 pub fn persistence_identity(benchmark: Benchmark, seed: u64) -> Vec<Diagnostic> {
-    let vcc = MilliVolts::new(480);
     let scheme = Scheme::FfwBbr;
+    let plan = ExperimentPlan::for_grid(
+        &[benchmark],
+        &[scheme],
+        &[MilliVolts::new(480), MilliVolts::new(440)],
+    );
     let mut diags = Vec::new();
 
-    let run_with = |store: Option<ResultStore>,
-                    recorder: bool|
-     -> Result<Arc<dvs_core::SchemeRun>, dvs_core::EvalError> {
-        let mut ev = Evaluator::new(tiny_config(seed));
+    type PlanRuns = Vec<(
+        CellKey,
+        Result<Arc<dvs_core::SchemeRun>, dvs_core::EvalError>,
+    )>;
+    let run_with = |store: Option<ResultStore>, recorder: bool, reuse: bool| -> PlanRuns {
+        let mut ev = Evaluator::new(EvalConfig {
+            reuse_buffers: reuse,
+            ..tiny_config(seed)
+        });
         if let Some(store) = store {
             ev = ev.with_store(store);
         }
         if recorder {
             ev = ev.with_recorder(Arc::new(MetricsRegistry::new()));
         }
-        ev.run(benchmark, scheme, vcc)
+        ev.run_plan(&plan)
     };
 
-    let plain = match run_with(None, false) {
-        Ok(run) => run,
-        Err(e) => {
-            diags.push(Diagnostic::deny(
-                LINT_PERSISTENCE,
-                Location::Image,
-                format!("plain run failed: {e}"),
-            ));
-            return diags;
-        }
-    };
+    let plain = run_with(None, false, true);
+    if let Some((key, Err(e))) = plain.iter().find(|(_, r)| r.is_err()) {
+        diags.push(Diagnostic::deny(
+            LINT_PERSISTENCE,
+            Location::Image,
+            format!("plain sweep failed on {key}: {e}"),
+        ));
+        return diags;
+    }
 
     let store_dir =
         std::env::temp_dir().join(format!("dvs-diff-store-{}-{seed}", std::process::id()));
     let _ = std::fs::remove_dir_all(&store_dir);
-    let variants: [(&str, Option<&std::path::Path>, bool); 3] = [
-        ("store-backed", Some(store_dir.as_path()), false),
-        ("store-reloaded", Some(store_dir.as_path()), false),
-        ("recorder-on", None, true),
+    let variants: [(&str, Option<&std::path::Path>, bool, bool); 4] = [
+        ("store-backed", Some(store_dir.as_path()), false, true),
+        ("store-reloaded", Some(store_dir.as_path()), false, true),
+        ("recorder-on", None, true, true),
+        ("arena-disabled", None, false, false),
     ];
-    for (label, dir, recorder) in variants {
+    for (label, dir, recorder, reuse) in variants {
         let store = match dir.map(ResultStore::open) {
             Some(Ok(store)) => Some(store),
             Some(Err(e)) => {
@@ -416,30 +441,139 @@ pub fn persistence_identity(benchmark: Benchmark, seed: u64) -> Vec<Diagnostic> 
             }
             None => None,
         };
-        match run_with(store, recorder) {
-            Ok(run) => {
-                if run.trials != plain.trials || run.failed_links != plain.failed_links {
-                    diags.push(Diagnostic::deny(
-                        LINT_PERSISTENCE,
-                        Location::Image,
-                        format!(
-                            "{label} run of {scheme}/{} at 480 mV is not \
-                             bit-identical to the plain run ({} vs {} trials)",
-                            benchmark.name(),
-                            run.trials.len(),
-                            plain.trials.len(),
-                        ),
-                    ));
-                }
+        let runs = run_with(store, recorder, reuse);
+        for ((pk, pr), (vk, vr)) in plain.iter().zip(&runs) {
+            if pk != vk {
+                diags.push(Diagnostic::deny(
+                    LINT_PERSISTENCE,
+                    Location::Image,
+                    format!("{label}: sweep order diverged ({pk} vs {vk})"),
+                ));
+                break;
             }
-            Err(e) => diags.push(Diagnostic::deny(
-                LINT_PERSISTENCE,
-                Location::Image,
-                format!("{label} run failed: {e}"),
-            )),
+            let plain_run = pr.as_ref().expect("plain sweep errors handled above");
+            match vr {
+                Ok(run) => {
+                    if run.trials != plain_run.trials || run.failed_links != plain_run.failed_links
+                    {
+                        diags.push(Diagnostic::deny(
+                            LINT_PERSISTENCE,
+                            Location::Image,
+                            format!(
+                                "{label} run of {pk} is not bit-identical to the \
+                                 plain run ({} vs {} trials)",
+                                run.trials.len(),
+                                plain_run.trials.len(),
+                            ),
+                        ));
+                    }
+                }
+                Err(e) => diags.push(Diagnostic::deny(
+                    LINT_PERSISTENCE,
+                    Location::Image,
+                    format!("{label} run of {pk} failed: {e}"),
+                )),
+            }
         }
     }
     let _ = std::fs::remove_dir_all(&store_dir);
+    diags
+}
+
+/// Family E — packed vs reference: every word-packed hot-path query must
+/// agree with its retained per-bit reference implementation on fault
+/// maps drawn down the voltage ladder. Covers [`BitGrid`] popcount and
+/// `iter_ones`, the per-frame fault masks the schemes consult, and the
+/// linker's word-chunked occupancy scans.
+///
+/// [`BitGrid`]: dvs_sram::BitGrid
+pub fn packed_reference_equivalence(seed: u64, voltages_mv: &[u32]) -> Vec<Diagnostic> {
+    let geom = CacheGeometry::dsn_l1();
+    let model = PfailModel::dsn45();
+    let mut voltages: Vec<u32> = voltages_mv.to_vec();
+    voltages.sort_unstable_by(|a, b| b.cmp(a));
+    voltages.dedup();
+    let mut chain = FaultChain::new(&geom, seed);
+    let mut diags = Vec::new();
+    for mv in voltages {
+        let p = model.pfail_word(MilliVolts::new(mv)).max(chain.p_current());
+        chain.advance_to(p);
+        let map = chain.map();
+        let grid = map.word_bits();
+
+        if grid.count_ones() != grid.count_ones_reference() {
+            diags.push(Diagnostic::deny(
+                LINT_PACKED,
+                Location::Image,
+                format!(
+                    "BitGrid::count_ones diverges from the per-bit reference at \
+                     {mv} mV (seed {seed}): packed {}, reference {}",
+                    grid.count_ones(),
+                    grid.count_ones_reference(),
+                ),
+            ));
+        }
+        let from_iter = grid.iter_ones().count();
+        if from_iter != grid.count_ones() {
+            diags.push(Diagnostic::deny(
+                LINT_PACKED,
+                Location::Image,
+                format!(
+                    "BitGrid::iter_ones yields {from_iter} indices but count_ones \
+                     reports {} at {mv} mV (seed {seed})",
+                    grid.count_ones(),
+                ),
+            ));
+        }
+        for frame in map.frames() {
+            let packed = map.frame_fault_pattern(frame);
+            let reference = map.frame_fault_pattern_reference(frame);
+            if packed != reference {
+                diags.push(Diagnostic::deny(
+                    LINT_PACKED,
+                    Location::Image,
+                    format!(
+                        "frame_fault_pattern diverges from the per-bit reference \
+                         for frame {frame:?} at {mv} mV (seed {seed}): packed \
+                         {packed:#034b}, reference {reference:#034b}",
+                    ),
+                ));
+                break;
+            }
+        }
+        if fault_free_chunks(map) != fault_free_chunks_reference(map) {
+            diags.push(Diagnostic::deny(
+                LINT_PACKED,
+                Location::Image,
+                format!(
+                    "fault_free_chunks diverges from the per-word reference at \
+                     {mv} mV (seed {seed})",
+                ),
+            ));
+        }
+        let total = geom.total_words();
+        for k in 0..32u64 {
+            let start = (seed
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(k.wrapping_mul(0x517c_c1b7_2722_0a95))
+                % u64::from(total)) as u32;
+            let len = 1 + (k as u32 * 7) % 192;
+            let packed = first_faulty_in_run(map, start, len);
+            let reference = first_faulty_in_run_reference(map, start, len);
+            if packed != reference {
+                diags.push(Diagnostic::deny(
+                    LINT_PACKED,
+                    Location::Image,
+                    format!(
+                        "first_faulty_in_run({start}, {len}) diverges from the \
+                         per-word reference at {mv} mV (seed {seed}): packed \
+                         {packed:?}, reference {reference:?}",
+                    ),
+                ));
+                break;
+            }
+        }
+    }
     diags
 }
 
@@ -539,6 +673,14 @@ mod tests {
     #[test]
     fn wilkerson_family_is_clean() {
         assert_eq!(wilkerson_halving(17, 1_500), Vec::new());
+    }
+
+    #[test]
+    fn packed_reference_family_is_clean() {
+        assert_eq!(
+            packed_reference_equivalence(19, &[760, 600, 480, 400]),
+            Vec::new()
+        );
     }
 
     /// The harness must actually catch discrepancies: the injected

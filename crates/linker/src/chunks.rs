@@ -29,6 +29,33 @@ pub struct Chunk {
 pub fn fault_free_chunks(fmap: &FaultMap) -> Vec<Chunk> {
     let total = fmap.geometry().total_words();
     let mut chunks = Vec::new();
+    let mut run_start = 0u32;
+    // The chunk list is exactly the gaps between set bits of the packed
+    // occupancy mask; iterating ones skips clean words 64 at a time.
+    for idx in fmap.word_bits().iter_ones() {
+        let idx = idx as u32;
+        if idx > run_start {
+            chunks.push(Chunk {
+                start: run_start,
+                len: idx - run_start,
+            });
+        }
+        run_start = idx + 1;
+    }
+    if run_start < total {
+        chunks.push(Chunk {
+            start: run_start,
+            len: total - run_start,
+        });
+    }
+    chunks
+}
+
+/// Reference per-word implementation of [`fault_free_chunks`], retained
+/// as the oracle the word-chunked scan is checked against.
+pub fn fault_free_chunks_reference(fmap: &FaultMap) -> Vec<Chunk> {
+    let total = fmap.geometry().total_words();
+    let mut chunks = Vec::new();
     let mut run_start: Option<u32> = None;
     for idx in 0..total {
         if fmap.linear_is_faulty(idx) {
@@ -69,17 +96,20 @@ pub fn chunk_sizes(fmap: &FaultMap) -> Vec<u32> {
 pub fn chunk_at(fmap: &FaultMap, word: u32) -> Option<Chunk> {
     let total = fmap.geometry().total_words();
     assert!(word < total, "word {word} outside cache of {total} words");
-    if fmap.linear_is_faulty(word) {
+    let bits = fmap.word_bits();
+    if bits.get(word as usize) {
         return None;
     }
-    let mut start = word;
-    while start > 0 && !fmap.linear_is_faulty(start - 1) {
-        start -= 1;
-    }
-    let mut end = word + 1;
-    while end < total && !fmap.linear_is_faulty(end) {
-        end += 1;
-    }
+    // The run is delimited by the nearest set bits on either side; both
+    // seeks skip clean storage words wholesale.
+    let start = match bits.prev_one_at_or_before(word as usize) {
+        Some(fault) => fault as u32 + 1,
+        None => 0,
+    };
+    let end = match bits.next_one_at_or_after(word as usize) {
+        Some(fault) => fault as u32,
+        None => total,
+    };
     Some(Chunk {
         start,
         len: end - start,
@@ -101,6 +131,38 @@ pub fn chunk_at(fmap: &FaultMap, word: u32) -> Option<Chunk> {
 ///
 /// Panics if `start` is outside the map's linear view.
 pub fn first_faulty_in_run(fmap: &FaultMap, start: u32, len: u32) -> Option<u32> {
+    let total = fmap.geometry().total_words();
+    assert!(
+        start < total,
+        "start {start} outside cache of {total} words"
+    );
+    let bits = fmap.word_bits();
+    // The wrapping run decomposes into at most two linear segments:
+    // [start, start + head) and, past the wrap, [0, tail). A run longer
+    // than the cache revisits words, so the tail never needs to extend
+    // beyond `start` — together the segments then cover every word once.
+    let head = len.min(total - start);
+    if let Some(fault) = bits.next_one_at_or_after(start as usize) {
+        let fault = fault as u32;
+        if fault < start + head {
+            return Some(fault - start);
+        }
+    }
+    let tail = (len - head).min(start);
+    if tail > 0 {
+        if let Some(fault) = bits.next_one_at_or_after(0) {
+            let fault = fault as u32;
+            if fault < tail {
+                return Some(total - start + fault);
+            }
+        }
+    }
+    None
+}
+
+/// Reference per-word implementation of [`first_faulty_in_run`], retained
+/// as the oracle the two-segment word-chunked scan is checked against.
+pub fn first_faulty_in_run_reference(fmap: &FaultMap, start: u32, len: u32) -> Option<u32> {
     let total = fmap.geometry().total_words();
     assert!(
         start < total,
@@ -234,6 +296,22 @@ mod tests {
     }
 
     proptest! {
+        #[test]
+        fn word_chunked_scans_match_reference(
+            seed in 0u64..200,
+            p in 0.0f64..0.6,
+            start in 0u32..256,
+            len in 0u32..400,
+        ) {
+            let geom = CacheGeometry::new(1024, 4, 32).unwrap(); // 256 words
+            let fmap = FaultMap::sample(&geom, p, &mut StdRng::seed_from_u64(seed));
+            prop_assert_eq!(fault_free_chunks(&fmap), fault_free_chunks_reference(&fmap));
+            prop_assert_eq!(
+                first_faulty_in_run(&fmap, start, len),
+                first_faulty_in_run_reference(&fmap, start, len)
+            );
+        }
+
         #[test]
         fn chunks_cover_exactly_the_fault_free_words(seed in 0u64..200, p in 0.0f64..0.6) {
             let geom = CacheGeometry::new(1024, 4, 32).unwrap();

@@ -45,7 +45,10 @@ mod link;
 mod occupancy;
 mod transform;
 
-pub use chunks::{chunk_at, chunk_sizes, fault_free_chunks, first_faulty_in_run, Chunk};
+pub use chunks::{
+    chunk_at, chunk_sizes, fault_free_chunks, fault_free_chunks_reference, first_faulty_in_run,
+    first_faulty_in_run_reference, Chunk,
+};
 pub use diag::{json_escape, lint_ids, Diagnostic, Location, Severity};
 pub use link::{BbrLinker, LinkError, LinkStats, LinkedImage};
 pub use occupancy::{interval_capacities, CacheOccupancy, PAPER_INTERVAL_INSTRS};

@@ -8,7 +8,7 @@ use dvs_sram::{CacheGeometry, FaultMap, FrameId};
 use crate::buffer::DefectBuffer;
 use crate::ffw::{window_pattern, window_pattern_aligned};
 use crate::kind::SchemeKind;
-use crate::wilkerson::pair_word_usable;
+use crate::wilkerson::pair_collision_pattern;
 
 /// Where a read was ultimately served from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -105,6 +105,21 @@ pub struct L1Cache {
     fmap: FaultMap,
     policy: Policy,
     stats: L1Stats,
+    /// Per-core-frame fault masks (set-major, matching
+    /// [`L1Cache::frame_index`]), precomputed once at construction so the
+    /// per-access paths never re-query the fault map bit by bit. For the
+    /// capacity-halving Wilkerson scheme the entry is the *pair collision*
+    /// mask of the logical frame; for every other scheme it is the frame's
+    /// fault pattern.
+    frame_patterns: Vec<u32>,
+    /// Hot-block hint: the block number and frame of the most recent
+    /// read that found the block present, valid only while no other
+    /// access has touched that frame's set. Consecutive reads to the
+    /// same block (the common case on the instruction side) then skip
+    /// the tag probe and the LRU touch entirely — the touch would be a
+    /// no-op because the hinted frame is still most-recently-used, so
+    /// the fast path is behaviourally identical to the full lookup.
+    hot: Option<(u64, FrameId)>,
 }
 
 impl L1Cache {
@@ -160,20 +175,39 @@ impl L1Cache {
             }
             SchemeKind::LineDisable => Policy::LineDisable,
             SchemeKind::WayDisable => {
-                let usable = (0..phys.ways())
-                    .map(|way| {
-                        (0..phys.sets()).all(|set| fmap.frame_is_fault_free(FrameId::new(set, way)))
+                // A way's words are one contiguous run of the linear view
+                // (`(way · sets + set) · wpb + word`), so each way is
+                // cleared by a single word-skipping seek instead of a
+                // per-frame sweep.
+                let bits = fmap.word_bits();
+                let span = (phys.sets() * phys.words_per_block()) as usize;
+                let usable = (0..phys.ways() as usize)
+                    .map(|way| match bits.next_one_at_or_after(way * span) {
+                        Some(fault) => fault >= (way + 1) * span,
+                        None => true,
                     })
                     .collect();
                 Policy::WayDisable { usable }
             }
         };
+        let mut frame_patterns = Vec::with_capacity(core_geom.total_lines() as usize);
+        for set in 0..core_geom.sets() {
+            for way in 0..core_geom.ways() {
+                frame_patterns.push(if kind.halves_capacity() {
+                    pair_collision_pattern(&fmap, set, way)
+                } else {
+                    fmap.frame_fault_pattern(FrameId::new(set, way))
+                });
+            }
+        }
         L1Cache {
             kind,
             core,
             fmap,
             policy,
             stats: L1Stats::default(),
+            frame_patterns,
+            hot: None,
         }
     }
 
@@ -200,6 +234,7 @@ impl L1Cache {
     /// Invalidates all contents (mode/voltage switches flush the L1s).
     pub fn invalidate_all(&mut self) {
         self.core.invalidate_all();
+        self.hot = None;
         if let Policy::Ffw { patterns, .. } = &mut self.policy {
             patterns.iter_mut().for_each(|p| *p = 0);
         }
@@ -210,13 +245,18 @@ impl L1Cache {
     }
 
     /// Whether the requested word of a present block can be served by the
-    /// L1 data array.
+    /// L1 data array. Consults the precomputed per-frame masks; the fault
+    /// map itself is never queried on this path.
     fn word_present(&self, frame: FrameId, word: u32) -> bool {
         match &self.policy {
             Policy::AlwaysPresent => true,
-            Policy::WordDisable | Policy::Buffer(_) => !self.fmap.is_faulty(frame, word),
+            // For Wilkerson the precomputed mask is the pair collision
+            // pattern, so the same test covers both cases: the word is
+            // unusable exactly when its mask bit is set.
+            Policy::WordDisable | Policy::Buffer(_) | Policy::WilkersonPlus => {
+                self.frame_patterns[self.frame_index(frame)] & (1 << word) == 0
+            }
             Policy::Ffw { patterns, .. } => patterns[self.frame_index(frame)] & (1 << word) != 0,
-            Policy::WilkersonPlus => pair_word_usable(&self.fmap, frame.set, frame.way, word),
             // Disabled frames are never allocated, so anything present in
             // an allocated frame is fully usable (word substitution
             // patches data frames' faults from the sacrificial line).
@@ -230,7 +270,9 @@ impl L1Cache {
     fn fillable_way(&self, addr: Addr) -> Option<u32> {
         let set = addr.set_index(self.core.geometry());
         let usable = |way: u32| match &self.policy {
-            Policy::LineDisable => self.fmap.frame_is_fault_free(FrameId::new(set, way)),
+            Policy::LineDisable => {
+                self.frame_patterns[(set * self.core.geometry().ways() + way) as usize] == 0
+            }
             Policy::WayDisable { usable } => usable[way as usize],
             Policy::WordSub { usable } => {
                 usable[(set * self.core.geometry().ways() + way) as usize]
@@ -257,9 +299,9 @@ impl L1Cache {
 
     /// Recomputes a frame's FFW stored pattern around `focus`.
     fn refresh_window(&mut self, frame: FrameId, focus: u32) {
-        let free = self.fmap.fault_free_words_in_frame(frame);
         let wpb = self.fmap.geometry().words_per_block();
         let idx = self.frame_index(frame);
+        let free = wpb - self.frame_patterns[idx].count_ones();
         if let Policy::Ffw { patterns, centered } = &mut self.policy {
             patterns[idx] = if *centered {
                 window_pattern(free, wpb, focus)
@@ -274,7 +316,24 @@ impl L1Cache {
     pub fn read(&mut self, addr: Addr, l2: &mut L2Cache) -> ReadOutcome {
         self.stats.reads += 1;
         let word = addr.word_offset(self.core.geometry());
+        let block = addr.block_number(self.core.geometry());
+        // Hot-block fast path: the previous read left this block's frame
+        // most-recently-used, so the full lookup's LRU touch would be a
+        // no-op and the tag probe is answered by the hint. Word misses
+        // fall through to the slow path (whose re-probe hits and whose
+        // touch is still a no-op), keeping every outcome and counter
+        // identical to the unhinted lookup.
+        if let Some((hot_block, frame)) = self.hot {
+            if hot_block == block && self.word_present(frame, word) {
+                self.stats.hits += 1;
+                return ReadOutcome {
+                    source: ServedFrom::L1,
+                    l2_reads: 0,
+                };
+            }
+        }
         if let dvs_cache::LookupResult::Hit { frame } = self.core.lookup(addr) {
+            self.hot = Some((block, frame));
             if self.word_present(frame, word) {
                 self.stats.hits += 1;
                 return ReadOutcome {
@@ -326,9 +385,11 @@ impl L1Cache {
                 Policy::LineDisable | Policy::WayDisable { .. } | Policy::WordSub { .. }
             ) {
                 // Disabled frames never hold data; allocate into the LRU
-                // usable way, or bypass the L1 when the set has none.
+                // usable way, or bypass the L1 when the set has none (a
+                // bypass touches nothing, so the hint stays valid).
                 if let Some(way) = self.fillable_way(addr) {
-                    let _ = self.core.fill_into(addr, way);
+                    let (frame, _evicted) = self.core.fill_into(addr, way);
+                    self.hot = Some((block, frame));
                 }
                 return ReadOutcome {
                     source: served(out.hit),
@@ -336,11 +397,12 @@ impl L1Cache {
                 };
             }
             let (frame, _evicted) = self.core.fill(addr);
+            self.hot = Some((block, frame));
             if matches!(self.policy, Policy::Ffw { .. }) {
                 self.refresh_window(frame, word);
             } else {
-                let faulty = self.fmap.is_faulty(frame, word)
-                    && !matches!(self.policy, Policy::WilkersonPlus);
+                let faulty = !matches!(self.policy, Policy::WilkersonPlus)
+                    && self.frame_patterns[self.frame_index(frame)] & (1 << word) != 0;
                 if let Policy::Buffer(buf) = &mut self.policy {
                     // The requested word is defective in its new frame:
                     // install it in the buffer as part of the refill.
@@ -364,6 +426,16 @@ impl L1Cache {
         let word = addr.word_offset(self.core.geometry());
         match self.core.lookup(addr) {
             dvs_cache::LookupResult::Hit { frame } => {
+                // The store's lookup just touched this frame's LRU; a
+                // hint for a *different* block of the same set is no
+                // longer most-recently-used, so drop it.
+                if let Some((hot_block, hot_frame)) = self.hot {
+                    if hot_frame.set == frame.set
+                        && hot_block != addr.block_number(self.core.geometry())
+                    {
+                        self.hot = None;
+                    }
+                }
                 if self.word_present(frame, word) {
                     return WriteOutcome { l1_updated: true };
                 }
@@ -681,6 +753,64 @@ mod tests {
         let fmap = FaultMap::fault_free(&one_way_geom());
         let mut l1 = L1Cache::new(SchemeKind::EightT, fmap);
         l1.set_ffw_alignment(false);
+    }
+
+    /// The hot-block fast path must be invisible: a cache whose hint is
+    /// discarded before every access (forcing the full lookup) and one
+    /// using the hint must produce identical outcomes and statistics on
+    /// any access sequence, for a representative scheme of every policy.
+    #[test]
+    fn hot_block_hint_never_changes_behaviour() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let geom = CacheGeometry::new(4096, 4, 32).unwrap(); // 32 sets
+        for kind in [
+            SchemeKind::Conventional,
+            SchemeKind::SimpleWordDisable,
+            SchemeKind::Bbr,
+            SchemeKind::Ffw,
+            SchemeKind::Fba { entries: 8 },
+            SchemeKind::WilkersonPlus,
+            SchemeKind::LineDisable,
+            SchemeKind::WayDisable,
+            SchemeKind::WordSubstitution,
+        ] {
+            let mut rng = StdRng::seed_from_u64(0x51ED);
+            let mut fmap = FaultMap::fault_free(&geom);
+            for set in 0..geom.sets() {
+                for way in 0..geom.ways() {
+                    for w in 0..geom.words_per_block() {
+                        if rng.gen::<f64>() < 0.05 {
+                            fmap.set_faulty(FrameId::new(set, way), w, true);
+                        }
+                    }
+                }
+            }
+            let mut fast = L1Cache::new(kind, fmap.clone());
+            let mut slow = L1Cache::new(kind, fmap);
+            let mut l2_fast = L2Cache::dsn();
+            let mut l2_slow = L2Cache::dsn();
+            // A clustered address stream: block-local streaks (the case
+            // the hint accelerates) mixed with random jumps and stores.
+            let mut base = 0u64;
+            for i in 0..40_000u64 {
+                if rng.gen::<f64>() < 0.2 {
+                    base = u64::from(rng.gen::<u16>()) << 5;
+                }
+                let a = Addr::new(base + u64::from(rng.gen::<u8>() % 32) / 4 * 4);
+                slow.hot = None; // force the full lookup every time
+                if i % 7 == 0 {
+                    assert_eq!(fast.write(a), slow.write(a), "{kind:?} store {i}");
+                } else {
+                    assert_eq!(
+                        fast.read(a, &mut l2_fast),
+                        slow.read(a, &mut l2_slow),
+                        "{kind:?} read {i}"
+                    );
+                }
+            }
+            assert_eq!(fast.stats(), slow.stats(), "{kind:?} stats diverged");
+        }
     }
 
     #[test]

@@ -13,12 +13,19 @@ use rand::SeedableRng;
 
 use dvs_sram::{montecarlo::trial_seed, CacheGeometry, FaultMap, FrameId};
 
+/// The collision mask of the pair `(set, 2·eff_way)` / `(set,
+/// 2·eff_way + 1)`: bit `i` is set when **both** physical frames are
+/// defective at word `i`, i.e. the pair cannot serve that word at all.
+/// One AND of the two frames' packed fault patterns.
+pub fn pair_collision_pattern(fmap: &FaultMap, set: u32, eff_way: u32) -> u32 {
+    fmap.frame_fault_pattern(FrameId::new(set, 2 * eff_way))
+        & fmap.frame_fault_pattern(FrameId::new(set, 2 * eff_way + 1))
+}
+
 /// Whether the pair `(set, 2·eff_way)` / `(set, 2·eff_way + 1)` can serve
 /// `word`: at least one of the two physical frames is fault-free there.
 pub fn pair_word_usable(fmap: &FaultMap, set: u32, eff_way: u32, word: u32) -> bool {
-    let a = FrameId::new(set, 2 * eff_way);
-    let b = FrameId::new(set, 2 * eff_way + 1);
-    !(fmap.is_faulty(a, word) && fmap.is_faulty(b, word))
+    pair_collision_pattern(fmap, set, eff_way) & (1 << word) == 0
 }
 
 /// Whether every pair in the cache is collision-free — the condition for
@@ -34,10 +41,8 @@ pub fn cache_is_pairable(fmap: &FaultMap) -> bool {
         geom.ways().is_multiple_of(2),
         "pairing requires an even way count"
     );
-    (0..geom.sets()).all(|set| {
-        (0..geom.ways() / 2)
-            .all(|e| (0..geom.words_per_block()).all(|w| pair_word_usable(fmap, set, e, w)))
-    })
+    (0..geom.sets())
+        .all(|set| (0..geom.ways() / 2).all(|e| pair_collision_pattern(fmap, set, e) == 0))
 }
 
 /// Monte-Carlo estimate of the unsupplemented scheme's chip yield: the
@@ -86,6 +91,30 @@ mod tests {
         assert!(!cache_is_pairable(&fmap));
         // The neighbouring pair is unaffected.
         assert!(pair_word_usable(&fmap, 3, 1, 5));
+        assert_eq!(pair_collision_pattern(&fmap, 3, 0), 1 << 5);
+        assert_eq!(pair_collision_pattern(&fmap, 3, 1), 0);
+    }
+
+    /// The packed collision mask agrees with per-word pair queries built
+    /// from the retained per-bit reference pattern.
+    #[test]
+    fn collision_mask_matches_per_word_reference() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let g = geom();
+        let fmap = FaultMap::sample(&g, 0.3, &mut StdRng::seed_from_u64(11));
+        for set in 0..g.sets() {
+            for e in 0..g.ways() / 2 {
+                let mask = pair_collision_pattern(&fmap, set, e);
+                let a = FrameId::new(set, 2 * e);
+                let b = FrameId::new(set, 2 * e + 1);
+                for w in 0..g.words_per_block() {
+                    let collide = fmap.frame_fault_pattern_reference(a) & (1 << w) != 0
+                        && fmap.frame_fault_pattern_reference(b) & (1 << w) != 0;
+                    assert_eq!(mask & (1 << w) != 0, collide, "set {set} pair {e} word {w}");
+                }
+            }
+        }
     }
 
     #[test]

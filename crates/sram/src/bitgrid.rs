@@ -77,12 +77,93 @@ impl BitGrid {
         self.words.iter().map(|w| w.count_ones() as usize).sum()
     }
 
+    /// Reference per-bit population count, retained as the oracle the
+    /// word-level implementation is checked against.
+    pub fn count_ones_reference(&self) -> usize {
+        (0..self.len).filter(|&i| self.get(i)).count()
+    }
+
     /// Iterates over the indices of set bits in ascending order.
     pub fn iter_ones(&self) -> IterOnes<'_> {
         IterOnes {
             grid: self,
             word_idx: 0,
             current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// The raw 64-bit storage words, little-endian within each word (bit
+    /// `i` of the grid is bit `i % 64` of word `i / 64`). Bits at or past
+    /// `len` in the last word are always zero.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Reads `len` consecutive bits starting at `start` as one word: bit
+    /// `k` of the result is grid bit `start + k`. The window may straddle
+    /// a storage-word boundary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > 64` or the window runs past the end of the grid.
+    pub fn extract(&self, start: usize, len: usize) -> u64 {
+        assert!(len <= 64, "extract window {len} wider than 64 bits");
+        assert!(
+            start + len <= self.len,
+            "window {start}+{len} out of range {}",
+            self.len
+        );
+        if len == 0 {
+            return 0;
+        }
+        let word = start / 64;
+        let off = start % 64;
+        let mut out = self.words[word] >> off;
+        if off != 0 && word + 1 < self.words.len() {
+            out |= self.words[word + 1] << (64 - off);
+        }
+        if len == 64 {
+            out
+        } else {
+            out & ((1u64 << len) - 1)
+        }
+    }
+
+    /// Index of the first set bit at or after `idx`, skipping clean
+    /// storage words 64 bits at a time. Returns `None` when no set bit
+    /// remains (including `idx >= len`).
+    pub fn next_one_at_or_after(&self, idx: usize) -> Option<usize> {
+        if idx >= self.len {
+            return None;
+        }
+        let mut word = idx / 64;
+        let mut current = self.words[word] & (!0u64 << (idx % 64));
+        loop {
+            if current != 0 {
+                let found = word * 64 + current.trailing_zeros() as usize;
+                return (found < self.len).then_some(found);
+            }
+            word += 1;
+            current = *self.words.get(word)?;
+        }
+    }
+
+    /// Index of the last set bit at or before `idx` (clamped to the grid),
+    /// skipping clean storage words 64 bits at a time.
+    pub fn prev_one_at_or_before(&self, idx: usize) -> Option<usize> {
+        let idx = idx.min(self.len.checked_sub(1)?);
+        let mut word = idx / 64;
+        let keep = 63 - (idx % 64);
+        let mut current = (self.words[word] << keep) >> keep;
+        loop {
+            if current != 0 {
+                return Some(word * 64 + 63 - current.leading_zeros() as usize);
+            }
+            if word == 0 {
+                return None;
+            }
+            word -= 1;
+            current = self.words[word];
         }
     }
 
@@ -181,6 +262,79 @@ mod tests {
         assert_eq!(g.iter_ones().count(), 0);
     }
 
+    /// Every single-bit position in a grid that is not a whole number of
+    /// words: the word-level count/iterate/seek paths must agree with the
+    /// per-bit reference at every position, in particular on both sides of
+    /// each 64-bit storage-word boundary.
+    #[test]
+    fn word_level_queries_match_reference_at_every_position() {
+        let len = 197; // 3 words + 5 trailing bits
+        for i in 0..len {
+            let mut g = BitGrid::new(len);
+            g.set(i, true);
+            assert_eq!(g.count_ones(), 1, "bit {i}");
+            assert_eq!(g.count_ones_reference(), 1, "bit {i}");
+            assert_eq!(g.iter_ones().collect::<Vec<_>>(), vec![i]);
+            assert_eq!(g.next_one_at_or_after(0), Some(i));
+            assert_eq!(g.next_one_at_or_after(i), Some(i));
+            assert_eq!(g.next_one_at_or_after(i + 1), None);
+            assert_eq!(g.prev_one_at_or_before(len - 1), Some(i));
+            assert_eq!(g.prev_one_at_or_before(i), Some(i));
+            if i > 0 {
+                assert_eq!(g.prev_one_at_or_before(i - 1), None);
+            }
+        }
+    }
+
+    /// Every (start, len) extraction window over a fixed mixed pattern,
+    /// checked bit-for-bit against `get`. Covers windows that straddle
+    /// word boundaries and windows clipped at the end of the grid.
+    #[test]
+    fn extract_matches_per_bit_reference_for_all_windows() {
+        let len = 200;
+        let mut g = BitGrid::new(len);
+        for i in 0..len {
+            // Deterministic pattern with runs and isolated bits in
+            // every storage word.
+            if (i * 0x9E37) % 7 < 3 {
+                g.set(i, true);
+            }
+        }
+        for start in 0..len {
+            for window in 0..=64.min(len - start) {
+                let mut want = 0u64;
+                for k in 0..window {
+                    if g.get(start + k) {
+                        want |= 1 << k;
+                    }
+                }
+                assert_eq!(g.extract(start, window), want, "start={start} len={window}");
+            }
+        }
+    }
+
+    #[test]
+    fn seek_helpers_handle_dense_patterns() {
+        let mut g = BitGrid::new(130);
+        for idx in [0, 1, 63, 64, 65, 127, 128, 129] {
+            g.set(idx, true);
+        }
+        assert_eq!(g.next_one_at_or_after(2), Some(63));
+        assert_eq!(g.next_one_at_or_after(66), Some(127));
+        assert_eq!(g.prev_one_at_or_before(126), Some(65));
+        assert_eq!(g.prev_one_at_or_before(62), Some(1));
+        assert_eq!(g.words().len(), 3);
+        assert_eq!(g.extract(63, 3), 0b111);
+    }
+
+    #[test]
+    fn empty_grid_word_queries() {
+        let g = BitGrid::new(0);
+        assert_eq!(g.next_one_at_or_after(0), None);
+        assert_eq!(g.prev_one_at_or_before(0), None);
+        assert_eq!(g.extract(0, 0), 0);
+    }
+
     proptest! {
         #[test]
         fn count_matches_inserted(indices in proptest::collection::btree_set(0usize..500, 0..100)) {
@@ -198,6 +352,26 @@ mod tests {
             let mut g = BitGrid::new(300);
             g.set(idx, value);
             prop_assert_eq!(g.get(idx), value);
+        }
+
+        #[test]
+        fn seek_and_count_match_reference_on_random_patterns(
+            len in 1usize..300,
+            indices in proptest::collection::btree_set(0usize..300, 0..80),
+            probe in 0usize..300,
+        ) {
+            let mut g = BitGrid::new(len);
+            let ones: Vec<usize> = indices.iter().copied().filter(|&i| i < len).collect();
+            for &i in &ones {
+                g.set(i, true);
+            }
+            prop_assert_eq!(g.count_ones(), g.count_ones_reference());
+            prop_assert_eq!(g.iter_ones().collect::<Vec<_>>(), ones.clone());
+            let next = ones.iter().copied().find(|&i| i >= probe);
+            prop_assert_eq!(g.next_one_at_or_after(probe), next);
+            let clamped = probe.min(len - 1);
+            let prev = ones.iter().copied().rev().find(|&i| i <= clamped);
+            prop_assert_eq!(g.prev_one_at_or_before(probe), prev);
         }
     }
 }

@@ -1,0 +1,259 @@
+//! Incremental fault-map construction down a voltage ladder.
+//!
+//! The paper's Monte-Carlo protocol evaluates every scheme at every
+//! voltage step for the *same* simulated die, and physically a die's
+//! defect set only grows as supply voltage drops: a word that fails at
+//! 760 mV still fails at 740 mV. [`FaultChain`] realizes that nesting by
+//! construction — a map at probability `p2 > p1` is the `p1` map plus a
+//! thinning pass that upgrades each still-clean word with conditional
+//! probability `(p2 - p1) / (1 - p1)`. Marginally every word is faulty
+//! with probability exactly `p2`, while the fault set at each rung is a
+//! superset of every higher rung's.
+//!
+//! The engine anchors chains at the canonical ladder top
+//! ([`LADDER_TOP_MV`]) and walks down in [`LADDER_STEP_MV`] steps to the
+//! cell's operating point, so a sweep over voltages re-samples only the
+//! per-step delta instead of the whole array.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::faultmap::skip_sample;
+use crate::{CacheGeometry, FaultMap};
+
+/// Highest rung of the canonical voltage ladder, in millivolts. This is
+/// the paper's ~760 mV `Vccmin` anchor; maps requested at or above it
+/// are sampled in one step.
+pub const LADDER_TOP_MV: u32 = 760;
+
+/// Rung spacing of the canonical voltage ladder, in millivolts (the
+/// paper's Table II operating points step by 20 mV).
+pub const LADDER_STEP_MV: u32 = 20;
+
+/// The canonical ladder for an operating point: grid rungs descending
+/// from [`LADDER_TOP_MV`] while strictly above `vcc_mv`, then `vcc_mv`
+/// itself. A point at or above the top gets the single rung `[vcc_mv]`.
+pub fn ladder_mv(vcc_mv: u32) -> Vec<u32> {
+    let mut rungs = Vec::new();
+    let mut v = LADDER_TOP_MV;
+    while v > vcc_mv {
+        rungs.push(v);
+        v = v.saturating_sub(LADDER_STEP_MV);
+    }
+    rungs.push(vcc_mv);
+    rungs
+}
+
+/// A fault map being grown monotonically toward higher failure
+/// probabilities (lower voltages), with the delta of each step reported.
+///
+/// The chain owns its RNG; one chain consumes one continuous stream, so
+/// reaching probability `p` via intermediate rungs or replaying the same
+/// rungs from a fresh chain with the same seed produces bit-identical
+/// maps. Advancing is only valid toward equal-or-higher probabilities.
+///
+/// # Example
+///
+/// ```rust
+/// use dvs_sram::{CacheGeometry, FaultChain};
+///
+/// let geom = CacheGeometry::dsn_l1();
+/// let mut chain = FaultChain::new(&geom, 7);
+/// let coarse = chain.advance_to(0.01).len();
+/// let finer = chain.advance_to(0.05).len();
+/// assert_eq!(chain.map().faulty_words(), coarse + finer);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FaultChain {
+    map: FaultMap,
+    rng: StdRng,
+    p_current: f64,
+}
+
+impl FaultChain {
+    /// Starts a chain at probability zero (an all-clean map).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry exceeds 32 words per block.
+    pub fn new(geometry: &CacheGeometry, seed: u64) -> Self {
+        FaultChain {
+            map: FaultMap::fault_free(geometry),
+            rng: StdRng::seed_from_u64(seed),
+            p_current: 0.0,
+        }
+    }
+
+    /// The probability the chain currently sits at.
+    pub fn p_current(&self) -> f64 {
+        self.p_current
+    }
+
+    /// The map at the current rung.
+    pub fn map(&self) -> &FaultMap {
+        &self.map
+    }
+
+    /// Consumes the chain, yielding the current map.
+    pub fn into_map(self) -> FaultMap {
+        self.map
+    }
+
+    /// Advances the chain to word-failure probability `p`, upgrading each
+    /// still-clean word with conditional probability
+    /// `(p - p_current) / (1 - p_current)`. Returns the newly faulty
+    /// linear word indices in ascending order (empty when `p` equals the
+    /// current rung).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]` or below the current rung.
+    pub fn advance_to(&mut self, p: f64) -> Vec<u32> {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "word failure probability {p} outside [0, 1]"
+        );
+        assert!(
+            p >= self.p_current,
+            "chain may only advance toward higher probabilities: {p} < {}",
+            self.p_current
+        );
+        let mut delta = Vec::new();
+        if self.p_current >= 1.0 {
+            return delta;
+        }
+        let q = ((p - self.p_current) / (1.0 - self.p_current)).clamp(0.0, 1.0);
+        skip_sample(self.map.words_mut(), q, &mut self.rng, |idx| {
+            delta.push(idx as u32);
+        });
+        self.p_current = p;
+        delta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    fn geom() -> CacheGeometry {
+        CacheGeometry::dsn_l1()
+    }
+
+    #[test]
+    fn ladder_descends_to_the_operating_point() {
+        assert_eq!(ladder_mv(760), vec![760]);
+        assert_eq!(ladder_mv(800), vec![800]);
+        assert_eq!(ladder_mv(720), vec![760, 740, 720]);
+        assert_eq!(ladder_mv(730), vec![760, 740, 730]);
+        let low = ladder_mv(400);
+        assert_eq!(low.first(), Some(&760));
+        assert_eq!(low.last(), Some(&400));
+        assert_eq!(low.len(), 19);
+    }
+
+    #[test]
+    fn maps_nest_down_the_chain() {
+        let mut chain = FaultChain::new(&geom(), 42);
+        let mut prev = chain.map().clone();
+        for p in [0.001, 0.01, 0.05, 0.2] {
+            chain.advance_to(p);
+            let cur = chain.map().clone();
+            for idx in prev.iter_faulty_linear() {
+                assert!(cur.linear_is_faulty(idx), "fault at {idx} vanished");
+            }
+            assert!(cur.faulty_words() >= prev.faulty_words());
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn delta_is_exactly_the_new_faults() {
+        let mut chain = FaultChain::new(&geom(), 7);
+        let first = chain.advance_to(0.05);
+        assert_eq!(first.len(), chain.map().faulty_words());
+        let before = chain.map().clone();
+        let second = chain.advance_to(0.15);
+        assert_eq!(
+            before.faulty_words() + second.len(),
+            chain.map().faulty_words()
+        );
+        for &idx in &second {
+            assert!(!before.linear_is_faulty(idx));
+            assert!(chain.map().linear_is_faulty(idx));
+        }
+        let mut sorted = second.clone();
+        sorted.sort_unstable();
+        assert_eq!(second, sorted, "delta must be ascending");
+    }
+
+    #[test]
+    fn replay_from_scratch_is_bit_identical() {
+        let mut a = FaultChain::new(&geom(), 9);
+        a.advance_to(0.02);
+        a.advance_to(0.08);
+        a.advance_to(0.3);
+        let mut b = FaultChain::new(&geom(), 9);
+        b.advance_to(0.02);
+        b.advance_to(0.08);
+        b.advance_to(0.3);
+        assert_eq!(a.map(), b.map());
+    }
+
+    #[test]
+    fn zero_step_advances_are_free() {
+        let mut chain = FaultChain::new(&geom(), 3);
+        chain.advance_to(0.1);
+        let before = chain.map().clone();
+        assert!(chain.advance_to(0.1).is_empty());
+        assert_eq!(chain.map(), &before);
+    }
+
+    #[test]
+    fn chain_reaches_certainty() {
+        let mut chain = FaultChain::new(&geom(), 5);
+        chain.advance_to(0.5);
+        let delta = chain.advance_to(1.0);
+        assert_eq!(chain.map().faulty_words(), geom().total_words() as usize);
+        assert!(!delta.is_empty());
+        assert!(chain.advance_to(1.0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "advance toward higher")]
+    fn chain_rejects_backward_steps() {
+        let mut chain = FaultChain::new(&geom(), 1);
+        chain.advance_to(0.2);
+        chain.advance_to(0.1);
+    }
+
+    /// The thinned marginal at the bottom of a ladder must match a direct
+    /// single-step sample in distribution.
+    #[test]
+    fn chained_marginal_matches_direct_sample() {
+        let g = CacheGeometry::new(2 * 1024, 2, 32).unwrap();
+        let trials = 600u64;
+        let target = 0.25;
+        let mut chained = 0usize;
+        let mut direct = 0usize;
+        for seed in 0..trials {
+            let mut chain = FaultChain::new(&g, seed);
+            for p in [0.01, 0.05, 0.12, target] {
+                chain.advance_to(p);
+            }
+            chained += chain.map().faulty_words();
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD);
+            let _ = rng.gen::<u64>();
+            direct += FaultMap::sample(&g, target, &mut rng).faulty_words();
+        }
+        let n = (trials * u64::from(g.total_words())) as f64;
+        let chained_rate = chained as f64 / n;
+        let direct_rate = direct as f64 / n;
+        // 512 * 600 draws at p = 0.25: ±4σ ≈ ±0.0031 per estimate.
+        assert!(
+            (chained_rate - target).abs() < 0.004,
+            "chained {chained_rate}"
+        );
+        assert!((direct_rate - target).abs() < 0.004, "direct {direct_rate}");
+    }
+}

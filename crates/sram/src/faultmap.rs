@@ -58,6 +58,53 @@ pub struct FaultMap {
     words: BitGrid,
 }
 
+/// Sets each bit of `grid` with independent probability `p` using
+/// geometric skip sampling: each uniform draw yields the run of clean
+/// words before the next faulty one, so cost is O(faults), not O(words).
+/// `on_new` is called with each index that transitions clear → set (bits
+/// already set count as hits but are not reported — the thinning step of
+/// [`FaultChain::advance_to`] relies on this).
+pub(crate) fn skip_sample<R: Rng + ?Sized>(
+    grid: &mut BitGrid,
+    p: f64,
+    rng: &mut R,
+    mut on_new: impl FnMut(usize),
+) {
+    let total = grid.len();
+    if p <= 0.0 || total == 0 {
+        return;
+    }
+    if p >= 1.0 {
+        for idx in 0..total {
+            if !grid.get(idx) {
+                grid.set(idx, true);
+                on_new(idx);
+            }
+        }
+        return;
+    }
+    // Gap to the next hit ~ Geometric(p): floor(ln(1-U) / ln(1-p)).
+    // U ∈ [0, 1) so 1-U ∈ (0, 1] and the logarithm is finite.
+    let ln_q = (1.0 - p).ln();
+    let mut pos = 0usize;
+    loop {
+        let u: f64 = rng.gen();
+        let gap = (1.0 - u).ln() / ln_q;
+        if gap >= (total - pos) as f64 {
+            return;
+        }
+        pos += gap as usize;
+        if !grid.get(pos) {
+            grid.set(pos, true);
+            on_new(pos);
+        }
+        pos += 1;
+        if pos >= total {
+            return;
+        }
+    }
+}
+
 impl FaultMap {
     /// Creates an all-fault-free map (high-voltage operation).
     ///
@@ -80,11 +127,41 @@ impl FaultMap {
     /// Samples a map by flipping each word faulty independently with
     /// probability `p_word` (the Monte-Carlo protocol of Section V).
     ///
+    /// Implemented with geometric skip sampling: instead of one uniform
+    /// draw per word, one draw yields the gap to the next faulty word, so
+    /// generation cost scales with the number of faults rather than the
+    /// number of words. The marginal distribution is identical to the
+    /// per-word reference ([`FaultMap::sample_reference`]) but the RNG
+    /// stream consumed differs; stored results are keyed under the v2
+    /// seed schema (see `dvs-core`'s store `KEY_VERSION`).
+    ///
     /// # Panics
     ///
     /// Panics if `p_word` is not within `[0, 1]` or the geometry exceeds 32
     /// words per block.
     pub fn sample<R: Rng + ?Sized>(geometry: &CacheGeometry, p_word: f64, rng: &mut R) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&p_word),
+            "word failure probability {p_word} outside [0, 1]"
+        );
+        let mut map = FaultMap::fault_free(geometry);
+        skip_sample(&mut map.words, p_word, rng, |_| {});
+        map
+    }
+
+    /// The pre-skip-sampler reference: one uniform draw per word. Retained
+    /// as the distributional oracle for [`FaultMap::sample`]; the two
+    /// produce identically distributed maps but consume different RNG
+    /// streams, so equal seeds do not give equal maps across the pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`FaultMap::sample`].
+    pub fn sample_reference<R: Rng + ?Sized>(
+        geometry: &CacheGeometry,
+        p_word: f64,
+        rng: &mut R,
+    ) -> Self {
         assert!(
             (0.0..=1.0).contains(&p_word),
             "word failure probability {p_word} outside [0, 1]"
@@ -99,10 +176,12 @@ impl FaultMap {
     }
 
     /// [`FaultMap::sample`] with observability: records the generation
-    /// wall-clock time (`sram.faultmap.sample_nanos`) and the
-    /// deterministic counters `sram.faultmap.samples` and
-    /// `sram.faultmap.faulty_words` into `recorder`. The map produced is
-    /// identical to [`FaultMap::sample`] with the same RNG state.
+    /// wall-clock time (`sram.faultmap.sample_nanos`), the skip-sampler
+    /// span (`sram.faultmap.skip_sample_nanos`), the deterministic
+    /// counters `sram.faultmap.samples` / `sram.faultmap.faulty_words`,
+    /// and a per-sample `sram.faultmap.faulty_words` value histogram into
+    /// `recorder`. The map produced is identical to [`FaultMap::sample`]
+    /// with the same RNG state.
     ///
     /// # Panics
     ///
@@ -115,10 +194,12 @@ impl FaultMap {
     ) -> Self {
         let map = {
             let _span = Span::enter(recorder, "sram.faultmap.sample_nanos");
+            let _skip = Span::enter(recorder, "sram.faultmap.skip_sample_nanos");
             FaultMap::sample(geometry, p_word, rng)
         };
         recorder.add("sram.faultmap.samples", 1);
         recorder.add("sram.faultmap.faulty_words", map.faulty_words() as u64);
+        recorder.observe("sram.faultmap.faulty_words", map.faulty_words() as u64);
         map
     }
 
@@ -145,6 +226,17 @@ impl FaultMap {
         &self.geometry
     }
 
+    /// Mutable access to the packed storage, for the incremental chain
+    /// sampler in [`crate::FaultChain`].
+    pub(crate) fn words_mut(&mut self) -> &mut BitGrid {
+        &mut self.words
+    }
+
+    /// The packed linear fault bits (one bit per word, frame-contiguous).
+    pub fn word_bits(&self) -> &BitGrid {
+        &self.words
+    }
+
     fn index(&self, frame: FrameId, word: u32) -> usize {
         debug_assert!(frame.set < self.geometry.sets(), "set out of range");
         debug_assert!(frame.way < self.geometry.ways(), "way out of range");
@@ -166,7 +258,19 @@ impl FaultMap {
 
     /// The frame's fault pattern as a bitmask: bit `i` set means word `i`
     /// is defective. This is the `FMAP` entry of the paper's Figure 4.
+    ///
+    /// A frame's words are contiguous in the linear view, so the pattern
+    /// is a single ≤32-bit window extracted from the packed storage
+    /// rather than one bit query per word.
     pub fn frame_fault_pattern(&self, frame: FrameId) -> u32 {
+        let base = self.index(frame, 0);
+        self.words
+            .extract(base, self.geometry.words_per_block() as usize) as u32
+    }
+
+    /// Reference per-bit implementation of [`FaultMap::frame_fault_pattern`],
+    /// retained as the oracle the packed extraction is checked against.
+    pub fn frame_fault_pattern_reference(&self, frame: FrameId) -> u32 {
         let mut pattern = 0;
         for word in 0..self.geometry.words_per_block() {
             if self.is_faulty(frame, word) {
@@ -313,7 +417,59 @@ mod tests {
             snap.counter("sram.faultmap.faulty_words"),
             recorded.faulty_words() as u64
         );
+        let hist = &snap.values["sram.faultmap.faulty_words"];
+        assert_eq!(hist.count, 1);
+        assert_eq!(hist.min, recorded.faulty_words() as u64);
         assert_eq!(snap.timers["sram.faultmap.sample_nanos"].count, 1);
+        assert_eq!(snap.timers["sram.faultmap.skip_sample_nanos"].count, 1);
+    }
+
+    /// The skip sampler and the per-word reference sampler must be
+    /// equivalent in distribution: over many seeds, per-word fault
+    /// frequencies from the two samplers agree within Monte-Carlo noise.
+    #[test]
+    fn skip_sampler_matches_reference_in_distribution() {
+        let g = CacheGeometry::new(2 * 1024, 2, 32).unwrap(); // 512 words
+        let p = 0.2;
+        let trials = 400u64;
+        let words = g.total_words() as usize;
+        let mut hits_skip = vec![0u32; words];
+        let mut hits_ref = vec![0u32; words];
+        for seed in 0..trials {
+            for idx in
+                FaultMap::sample(&g, p, &mut StdRng::seed_from_u64(seed)).iter_faulty_linear()
+            {
+                hits_skip[idx as usize] += 1;
+            }
+            for idx in FaultMap::sample_reference(&g, p, &mut StdRng::seed_from_u64(seed))
+                .iter_faulty_linear()
+            {
+                hits_ref[idx as usize] += 1;
+            }
+        }
+        // Aggregate rate: 512 * 400 Bernoulli draws each, ±4σ ≈ ±0.0035.
+        let rate = |hits: &[u32]| {
+            hits.iter().map(|&h| u64::from(h)).sum::<u64>() as f64 / (trials as f64 * words as f64)
+        };
+        assert!(
+            (rate(&hits_skip) - p).abs() < 0.004,
+            "skip {}",
+            rate(&hits_skip)
+        );
+        assert!(
+            (rate(&hits_ref) - p).abs() < 0.004,
+            "ref {}",
+            rate(&hits_ref)
+        );
+        // Positional uniformity: no word may be systematically starved or
+        // favored by the skip construction (400 trials, ±5σ ≈ ±50).
+        for (idx, &h) in hits_skip.iter().enumerate() {
+            let expect = trials as f64 * p;
+            assert!(
+                (f64::from(h) - expect).abs() < 50.0,
+                "word {idx}: {h} hits vs {expect}"
+            );
+        }
     }
 
     #[test]
@@ -357,6 +513,32 @@ mod tests {
                 .map(|f| map.frame_fault_pattern(f).count_ones())
                 .sum();
             prop_assert_eq!(via_patterns as usize, map.faulty_words());
+        }
+
+        /// Packed mask queries vs the retained per-bit reference over the
+        /// three supported block widths (8/16/32 words per block).
+        #[test]
+        fn packed_pattern_matches_reference_across_geometries(
+            block_idx in 0usize..3,
+            way_idx in 0usize..3,
+            seed in 0u64..200,
+        ) {
+            let block_bytes = [32u32, 64, 128][block_idx]; // 8/16/32 words per block
+            let ways = [1u32, 2, 4][way_idx];
+            let g = CacheGeometry::new(8 * 1024, ways, block_bytes).unwrap();
+            let map = FaultMap::sample(&g, 0.3, &mut StdRng::seed_from_u64(seed));
+            for frame in map.frames() {
+                prop_assert_eq!(
+                    map.frame_fault_pattern(frame),
+                    map.frame_fault_pattern_reference(frame)
+                );
+            }
+            prop_assert_eq!(map.faulty_words(), {
+                let grid_ref: usize = map.frames()
+                    .map(|f| map.frame_fault_pattern_reference(f).count_ones() as usize)
+                    .sum();
+                grid_ref
+            });
         }
     }
 }

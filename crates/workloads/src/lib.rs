@@ -45,6 +45,7 @@ mod generate;
 pub mod locality;
 mod opclass;
 mod program;
+mod template;
 mod walker;
 
 pub use bench10::{Benchmark, Workload};
@@ -52,7 +53,8 @@ pub use datagen::{DataGen, DataParams};
 pub use generate::ProgramSpec;
 pub use opclass::{InstrMix, OpClass};
 pub use program::{Block, BlockId, Layout, Program, ProgramError, Terminator};
-pub use walker::{BranchInfo, TraceOp, TraceWalker};
+pub use template::{TraceStep, TraceTemplate};
+pub use walker::{BranchInfo, StepMeta, TargetRef, TraceOp, TraceWalker};
 
 /// Base byte address of the data segment used by synthetic traces. Code
 /// lives at low addresses; keeping the segments disjoint means literal

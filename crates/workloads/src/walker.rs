@@ -39,6 +39,38 @@ pub struct TraceOp {
     pub synthetic: bool,
 }
 
+/// Layout-independent description of where a recorded branch lands, so a
+/// trace captured under one layout can be re-targeted under another.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TargetRef {
+    /// The first instruction of a block.
+    Start(BlockId),
+    /// The resume point after `caller`'s call word. This is *relaxation
+    /// dependent*: it is the caller's explicit jump word if the resolving
+    /// program still has one, else the start of the next block.
+    AfterCall(BlockId),
+    /// The instruction's own pc (the trace-ending `main` return).
+    SelfPc,
+}
+
+/// Layout-independent coordinates of the most recently emitted [`TraceOp`]:
+/// which static instruction it was and, for branches, where it went.
+/// Everything a [`crate::TraceTemplate`] needs to re-emit the op under a
+/// different [`Layout`] or a relaxed [`Program`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StepMeta {
+    /// Block the instruction belongs to.
+    pub block: BlockId,
+    /// Word index of the instruction within the block.
+    pub word: u32,
+    /// For literal-pool loads: index of the literal slot read, used to
+    /// recompute the pool address under a new layout. Data-segment
+    /// addresses are layout-independent and need no rewrite.
+    pub literal_ordinal: Option<u32>,
+    /// Where the branch target points, if the op is a branch.
+    pub target: Option<TargetRef>,
+}
+
 /// Maximum modelled call depth; deeper calls degrade to straight-line
 /// execution so the walker can never overflow its stack.
 const MAX_CALL_DEPTH: usize = 64;
@@ -86,6 +118,8 @@ pub struct TraceWalker<'a> {
     recent_dests: VecDeque<u8>,
     /// Literal loads already served in the current dynamic block instance.
     literal_served: u32,
+    /// Layout-independent coordinates of the last emitted op.
+    meta: StepMeta,
     done: bool,
 }
 
@@ -125,8 +159,20 @@ impl<'a> TraceWalker<'a> {
             stack: Vec::new(),
             recent_dests: VecDeque::new(),
             literal_served: 0,
+            meta: StepMeta::default(),
             done: false,
         }
+    }
+
+    /// Layout-independent coordinates of the op most recently returned by
+    /// [`Iterator::next`]. Meaningless before the first op.
+    pub fn last_step_meta(&self) -> StepMeta {
+        self.meta
+    }
+
+    /// Number of blocks in the walked program.
+    pub fn num_blocks(&self) -> usize {
+        self.program.num_blocks()
     }
 
     fn static_hash(&self, pos: u32, salt: u64) -> u64 {
@@ -195,6 +241,12 @@ impl<'a> TraceWalker<'a> {
         let block = self.program.block(self.block);
         let pc = self.layout.instr_addr(self.block, self.pos);
         let class = self.static_class(self.pos);
+        self.meta = StepMeta {
+            block: self.block,
+            word: self.pos,
+            literal_ordinal: None,
+            target: None,
+        };
         let mut op = TraceOp {
             pc,
             class,
@@ -210,8 +262,9 @@ impl<'a> TraceWalker<'a> {
                 // The block's first few loads read its literal constants.
                 if self.literal_served < block.literal_refs {
                     let base = self.layout.literal_addr(self.program, self.block);
-                    op.mem_addr =
-                        Some(base + u64::from(self.literal_served % block.literal_refs.max(1)) * 4);
+                    let ordinal = self.literal_served % block.literal_refs.max(1);
+                    self.meta.literal_ordinal = Some(ordinal);
+                    op.mem_addr = Some(base + u64::from(ordinal) * 4);
                     self.literal_served += 1;
                 } else {
                     op.mem_addr = Some(self.datagen.next_addr());
@@ -243,6 +296,12 @@ impl<'a> TraceWalker<'a> {
         let block = *self.program.block(self.block);
         let pc = self.layout.instr_addr(self.block, block.body_len);
         let current = self.block;
+        self.meta = StepMeta {
+            block: current,
+            word: block.body_len,
+            literal_ordinal: None,
+            target: None,
+        };
         let mut op = TraceOp {
             pc,
             class: OpClass::Branch,
@@ -256,6 +315,7 @@ impl<'a> TraceWalker<'a> {
         match block.terminator {
             Terminator::FallThrough => unreachable!("fall-through has no terminator word"),
             Terminator::Jump { target } => {
+                self.meta.target = Some(TargetRef::Start(target));
                 op.branch = Some(BranchInfo {
                     taken: true,
                     target: self.layout.block_start(target),
@@ -264,6 +324,7 @@ impl<'a> TraceWalker<'a> {
             }
             Terminator::CondBranch { target, taken_prob } => {
                 let taken = self.rng.gen::<f32>() < taken_prob;
+                self.meta.target = Some(TargetRef::Start(target));
                 op.branch = Some(BranchInfo {
                     taken,
                     target: self.layout.block_start(target),
@@ -277,6 +338,7 @@ impl<'a> TraceWalker<'a> {
                 }
             }
             Terminator::Call { callee } => {
+                self.meta.target = Some(TargetRef::Start(callee));
                 if self.stack.len() < MAX_CALL_DEPTH {
                     op.branch = Some(BranchInfo {
                         taken: true,
@@ -299,6 +361,7 @@ impl<'a> TraceWalker<'a> {
             }
             Terminator::Return => match self.stack.pop() {
                 Some(caller) => {
+                    self.meta.target = Some(TargetRef::AfterCall(caller));
                     let caller_block = self.program.block(caller);
                     // Control resumes right after the call word: at the
                     // caller's explicit jump if present, else at the next
@@ -323,6 +386,7 @@ impl<'a> TraceWalker<'a> {
                 None => {
                     // main returned (cannot happen for generated programs,
                     // but end the trace gracefully for hand-built ones).
+                    self.meta.target = Some(TargetRef::SelfPc);
                     self.done = true;
                     op.branch = Some(BranchInfo {
                         taken: true,
@@ -340,6 +404,12 @@ impl<'a> TraceWalker<'a> {
         let word = block.body_len + block.terminator.words();
         let pc = self.layout.instr_addr(self.block, word);
         let target_block = self.block + 1;
+        self.meta = StepMeta {
+            block: self.block,
+            word,
+            literal_ordinal: None,
+            target: Some(TargetRef::Start(target_block)),
+        };
         let op = TraceOp {
             pc,
             class: OpClass::Branch,
