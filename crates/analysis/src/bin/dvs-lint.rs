@@ -11,7 +11,9 @@
 
 use std::process::ExitCode;
 
-use dvs_analysis::{analyze_placement, has_deny, render_json, render_text, Report};
+use dvs_analysis::{
+    analyze_placement, has_deny, render_json_envelope, render_text, LintMeta, LintRegistry, Report,
+};
 use dvs_linker::{adaptive_max_block_words, bbr_transform, BbrLinker, Diagnostic, Location};
 use dvs_sram::{CacheGeometry, FaultMap, MilliVolts, PfailModel};
 use dvs_workloads::{Benchmark, Layout};
@@ -111,6 +113,10 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
 /// Moves block 0 onto the first defective cache word (or one word past
 /// the image end on a fault-free map), so the lints have something real
 /// to catch.
+// Word/byte address arithmetic on u64 cannot overflow for any real
+// layout; the crate-wide `arithmetic_side_effects` lint is aimed at the
+// solver, not this self-test corrupter.
+#[allow(clippy::arithmetic_side_effects)]
 fn corrupt_layout(layout: &Layout, fmap: &FaultMap, functions: usize) -> Layout {
     let mut starts: Vec<u64> = (0..layout.num_blocks())
         .map(|id| layout.block_start(id))
@@ -178,7 +184,17 @@ fn main() -> ExitCode {
     };
     let reports = run(&opts);
     if opts.json {
-        println!("{}", render_json(&reports));
+        // Versioned envelope (like `dvs-profile/1`): the registry's lint
+        // table rides along so CI can assert coverage, not just findings.
+        let metas: Vec<LintMeta> = LintRegistry::standard()
+            .lints()
+            .iter()
+            .map(|l| LintMeta {
+                name: l.id(),
+                level: l.severity().name(),
+            })
+            .collect();
+        println!("{}", render_json_envelope("dvs-lint/1", &metas, &reports));
     } else {
         print!("{}", render_text(&reports));
     }

@@ -12,11 +12,13 @@
 //! CLI, the engine's validation hook, and other crates' tests share.
 
 use dvs_linker::{lint_ids, Diagnostic, LinkedImage, Location, Severity};
+use dvs_obs::{Recorder, Span};
 use dvs_sram::FaultMap;
 use dvs_workloads::{Layout, Program, Terminator};
 
 use crate::cfg::Cfg;
 use crate::equiv::{check_trace_equivalence, EquivConfig};
+use crate::verify::{FaultReachability, RemapLiveness, ValueRange};
 
 /// Everything a lint may inspect: the placed program, its layout, the
 /// fault map it was linked against, and (when available) the
@@ -42,6 +44,10 @@ pub trait Lint {
     fn description(&self) -> &'static str;
     /// Severity of this lint's findings.
     fn severity(&self) -> Severity;
+    /// dvs-obs timer name this lint's wall-clock cost records under when
+    /// the registry runs with a recorder attached (see
+    /// [`LintRegistry::run_recorded`]).
+    fn timer(&self) -> &'static str;
     /// Runs the check, appending every finding to `out`.
     fn check(&self, input: &AnalysisInput<'_>, out: &mut Vec<Diagnostic>);
 }
@@ -59,6 +65,9 @@ impl Lint for ChunkContainment {
     }
     fn severity(&self) -> Severity {
         Severity::Deny
+    }
+    fn timer(&self) -> &'static str {
+        "analysis.lint.chunk_containment_nanos"
     }
     fn check(&self, input: &AnalysisInput<'_>, out: &mut Vec<Diagnostic>) {
         let csize = u64::from(input.fmap.geometry().total_words());
@@ -94,6 +103,9 @@ impl Lint for LayoutSoundness {
     }
     fn severity(&self) -> Severity {
         Severity::Deny
+    }
+    fn timer(&self) -> &'static str {
+        "analysis.lint.layout_soundness_nanos"
     }
     fn check(&self, input: &AnalysisInput<'_>, out: &mut Vec<Diagnostic>) {
         let csize = input.fmap.geometry().total_words();
@@ -179,6 +191,9 @@ impl Lint for CfgReachability {
     fn severity(&self) -> Severity {
         Severity::Warn
     }
+    fn timer(&self) -> &'static str {
+        "analysis.lint.cfg_reachability_nanos"
+    }
     fn check(&self, input: &AnalysisInput<'_>, out: &mut Vec<Diagnostic>) {
         let cfg = Cfg::build(input.program);
         let dead = cfg.unreachable_blocks();
@@ -216,6 +231,9 @@ impl Lint for LiteralPoolPlacement {
     }
     fn severity(&self) -> Severity {
         Severity::Deny
+    }
+    fn timer(&self) -> &'static str {
+        "analysis.lint.literal_pool_placement_nanos"
     }
     fn check(&self, input: &AnalysisInput<'_>, out: &mut Vec<Diagnostic>) {
         let pools_moved = input.program.pool_words().iter().all(|&w| w == 0);
@@ -261,6 +279,9 @@ impl Lint for TransformEquivalence {
     fn severity(&self) -> Severity {
         Severity::Deny
     }
+    fn timer(&self) -> &'static str {
+        "analysis.lint.transform_equivalence_nanos"
+    }
     fn check(&self, input: &AnalysisInput<'_>, out: &mut Vec<Diagnostic>) {
         if let Some(original) = input.original {
             if let Err(d) =
@@ -287,6 +308,9 @@ impl Lint for FfwWindowConsistency {
     }
     fn severity(&self) -> Severity {
         Severity::Deny
+    }
+    fn timer(&self) -> &'static str {
+        "analysis.lint.ffw_window_consistency_nanos"
     }
     fn check(&self, input: &AnalysisInput<'_>, out: &mut Vec<Diagnostic>) {
         out.extend(check_ffw_windows(input.fmap));
@@ -365,7 +389,8 @@ pub struct LintRegistry {
 }
 
 impl LintRegistry {
-    /// All six standard lints.
+    /// All nine standard lints: the six local placement checks plus the
+    /// three dataflow verification passes (see [`crate::verify`]).
     pub fn standard() -> Self {
         LintRegistry {
             lints: vec![
@@ -375,6 +400,21 @@ impl LintRegistry {
                 Box::new(LiteralPoolPlacement),
                 Box::new(TransformEquivalence),
                 Box::new(FfwWindowConsistency),
+                Box::new(FaultReachability),
+                Box::new(ValueRange),
+                Box::new(RemapLiveness),
+            ],
+        }
+    }
+
+    /// Only the dataflow verification passes — the set the engine's
+    /// `verify_images` hook runs when the full registry is not wanted.
+    pub fn verification() -> Self {
+        LintRegistry {
+            lints: vec![
+                Box::new(FaultReachability),
+                Box::new(ValueRange),
+                Box::new(RemapLiveness),
             ],
         }
     }
@@ -403,6 +443,32 @@ impl LintRegistry {
         }
         out
     }
+
+    /// Like [`LintRegistry::run`], but wraps each lint in a dvs-obs
+    /// [`Span`] recording its wall-clock cost under [`Lint::timer`], so
+    /// `dvs-profile`'s breakdown table can attribute verification cost
+    /// pass by pass. Also bumps the `analysis.lints.findings` counter by
+    /// the number of findings each pass produced.
+    pub fn run_recorded(
+        &self,
+        input: &AnalysisInput<'_>,
+        recorder: &dyn Recorder,
+    ) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        for lint in &self.lints {
+            let before = out.len();
+            {
+                let _span = Span::enter(recorder, lint.timer());
+                lint.check(input, &mut out);
+            }
+            let found = out.len().saturating_sub(before);
+            if found > 0 {
+                recorder.add("analysis.lints.findings", found as u64);
+            }
+        }
+        recorder.add("analysis.lints.runs", 1);
+        out
+    }
 }
 
 impl Default for LintRegistry {
@@ -423,6 +489,17 @@ pub fn analyze_image(
     analyze_placement(image.program(), image.layout(), fmap, original)
 }
 
+/// [`analyze_image`] with a per-lint [`Span`] recorded through `recorder`
+/// (see [`LintRegistry::run_recorded`]).
+pub fn analyze_image_recorded(
+    image: &LinkedImage,
+    fmap: &FaultMap,
+    original: Option<&Program>,
+    recorder: &dyn Recorder,
+) -> Vec<Diagnostic> {
+    analyze_placement_recorded(image.program(), image.layout(), fmap, original, recorder)
+}
+
 /// Runs the standard lints over an explicit `(program, layout, fault
 /// map)` triple — the seam tests use to inject corrupted placements.
 pub fn analyze_placement(
@@ -437,6 +514,26 @@ pub fn analyze_placement(
         fmap,
         original,
     })
+}
+
+/// [`analyze_placement`] with a per-lint [`Span`] recorded through
+/// `recorder` (see [`LintRegistry::run_recorded`]).
+pub fn analyze_placement_recorded(
+    program: &Program,
+    layout: &Layout,
+    fmap: &FaultMap,
+    original: Option<&Program>,
+    recorder: &dyn Recorder,
+) -> Vec<Diagnostic> {
+    LintRegistry::standard().run_recorded(
+        &AnalysisInput {
+            program,
+            layout,
+            fmap,
+            original,
+        },
+        recorder,
+    )
 }
 
 /// Whether any finding is deny-severity (the CLI's exit-code predicate).
@@ -517,11 +614,49 @@ mod tests {
                 lint_ids::LITERAL_POOL_PLACEMENT,
                 lint_ids::TRANSFORM_EQUIVALENCE,
                 lint_ids::FFW_WINDOW_CONSISTENCY,
+                lint_ids::VERIFY_FAULT_REACH,
+                lint_ids::VERIFY_VALUE_RANGE,
+                lint_ids::VERIFY_REMAP_LIVENESS,
             ]
         );
         for lint in reg.lints() {
             assert!(!lint.description().is_empty());
+            assert!(!lint.timer().is_empty());
             let _ = lint.severity();
+        }
+    }
+
+    #[test]
+    fn verification_registry_holds_only_the_dataflow_passes() {
+        let reg = LintRegistry::verification();
+        let ids: Vec<&str> = reg.lints().iter().map(|l| l.id()).collect();
+        assert_eq!(
+            ids,
+            vec![
+                lint_ids::VERIFY_FAULT_REACH,
+                lint_ids::VERIFY_VALUE_RANGE,
+                lint_ids::VERIFY_REMAP_LIVENESS,
+            ]
+        );
+    }
+
+    #[test]
+    fn recorded_run_matches_plain_run_and_times_every_lint() {
+        use dvs_obs::MetricsRegistry;
+        let (original, image, fmap) = linked(5, 0.05);
+        let plain = analyze_image(&image, &fmap, Some(&original));
+        let reg = MetricsRegistry::new();
+        let recorded = analyze_image_recorded(&image, &fmap, Some(&original), &reg);
+        assert_eq!(plain, recorded, "recorder must not change findings");
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("analysis.lints.runs"), 1);
+        for lint in LintRegistry::standard().lints() {
+            assert_eq!(
+                snap.timers.get(lint.timer()).map(|t| t.count),
+                Some(1),
+                "missing span for {}",
+                lint.id()
+            );
         }
     }
 }

@@ -92,6 +92,45 @@ pub fn render_json(reports: &[Report]) -> String {
     out
 }
 
+/// Name and level of one registered lint, for the JSON envelope.
+#[derive(Debug, Clone)]
+pub struct LintMeta {
+    /// Stable lint identifier (see [`dvs_linker::lint_ids`]).
+    pub name: &'static str,
+    /// `"warn"` or `"deny"` — the lint's configured level.
+    pub level: &'static str,
+}
+
+/// Renders reports inside a versioned envelope:
+///
+/// ```json
+/// {"schema":"dvs-lint/1","lints":[{"name":"…","level":"deny"}],
+///  "reports":[…],"denies":0,"warns":0}
+/// ```
+///
+/// `schema` identifies the producing tool and format revision
+/// (`dvs-lint/1`, `dvs-verify/1`), mirroring `dvs-profile/1`; `lints`
+/// names every pass that ran with its configured level, so a consumer
+/// can distinguish "clean" from "not checked".
+pub fn render_json_envelope(schema: &str, lints: &[LintMeta], reports: &[Report]) -> String {
+    let mut out = format!("{{\"schema\":\"{}\",\"lints\":[", json_escape(schema));
+    for (i, lint) in lints.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"level\":\"{}\"}}",
+            json_escape(lint.name),
+            json_escape(lint.level)
+        ));
+    }
+    out.push_str("],");
+    let body = render_json(reports);
+    // Splice the envelope around the existing body object.
+    out.push_str(body.trim_start_matches('{'));
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -130,6 +169,29 @@ mod tests {
         assert!(json.ends_with("\"denies\":1,\"warns\":0}"));
         // Balanced braces/brackets (cheap well-formedness check without a
         // JSON parser in the workspace).
+        let opens = json.matches(['{', '[']).count();
+        let closes = json.matches(['}', ']']).count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn envelope_carries_schema_and_lint_table() {
+        let lints = [
+            LintMeta {
+                name: "chunk-containment",
+                level: "deny",
+            },
+            LintMeta {
+                name: "cfg-reachability",
+                level: "warn",
+            },
+        ];
+        let json = render_json_envelope("dvs-lint/1", &lints, &sample());
+        assert!(json.starts_with("{\"schema\":\"dvs-lint/1\",\"lints\":["));
+        assert!(json.contains("{\"name\":\"chunk-containment\",\"level\":\"deny\"}"));
+        assert!(json.contains("{\"name\":\"cfg-reachability\",\"level\":\"warn\"}"));
+        assert!(json.contains("\"reports\":["));
+        assert!(json.ends_with("\"denies\":1,\"warns\":0}"));
         let opens = json.matches(['{', '[']).count();
         let closes = json.matches(['}', ']']).count();
         assert_eq!(opens, closes);

@@ -1,0 +1,609 @@
+//! Dataflow fault-safety verification passes over linked images.
+//!
+//! Where the original lint set checks *local* placement invariants (every
+//! placed word fault-free, fall-throughs adjacent), the passes here prove
+//! *path-sensitive* statements with the worklist solver from
+//! [`crate::solver`]:
+//!
+//! * [`lint_ids::VERIFY_FAULT_REACH`] — no control-flow path from the
+//!   entry reaches an instruction fetch or literal load of a cache word
+//!   the fault map marks defective. The diagnostic names the offending
+//!   byte address, the defective cache word, and a shortest witness path.
+//! * [`lint_ids::VERIFY_VALUE_RANGE`] — every address a reachable block
+//!   can generate (fetches and literal loads) stays inside its placed
+//!   extent and the image bounds, and literal ordinals stay inside their
+//!   pool — the static net for `window_pattern`-style off-by-ones.
+//! * [`lint_ids::VERIFY_REMAP_LIVENESS`] — warn-level: faulty frames
+//!   whose FFW window (repair capacity) no reachable path ever touches.
+//!
+//! Soundness boundary: the proofs quantify over all *static* paths of
+//! the CFG, a superset of the walker's dynamic paths, so a clean verdict
+//! covers every trace the engine can simulate. What they cannot see is
+//! scheme *state* (replacement, window refresh); that side is covered by
+//! the bounded model checker in `dvs-diff` and its exhaustive
+//! state-machine sweeps.
+
+use dvs_linker::{lint_ids, Diagnostic, Location, Severity};
+use dvs_workloads::{BlockId, Program};
+
+use crate::cfg::Cfg;
+use crate::lints::{AnalysisInput, Lint};
+use crate::solver::{
+    render_path, shortest_path, solve, DataflowAnalysis, Direction, Interval, JoinSemiLattice,
+    Reach,
+};
+
+/// Byte address of word `w` of a block starting at `start`, or `None`
+/// on address-space overflow (itself a finding for the caller).
+fn word_addr(start: u64, w: u32) -> Option<u64> {
+    start.checked_add(u64::from(w).checked_mul(4)?)
+}
+
+/// The linear cache word a byte address maps to under the BBR
+/// direct-mapped view, or `None` for a degenerate geometry.
+fn cache_word(addr: u64, total_words: u32) -> Option<u32> {
+    let csize = u64::from(total_words);
+    let word = addr.wrapping_div(4).checked_rem(csize)?;
+    u32::try_from(word).ok()
+}
+
+/// Product fact for the combined path analysis: whether some path from
+/// the entry reaches this point, and the convex hull of byte addresses
+/// touchable along any such path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+struct PathFact {
+    reached: Reach,
+    hull: Interval,
+}
+
+impl JoinSemiLattice for PathFact {
+    fn join(&mut self, other: &Self) -> bool {
+        let a = self.reached.join(&other.reached);
+        let b = self.hull.join(&other.hull);
+        a || b
+    }
+}
+
+/// Forward analysis: reachability plus the address hull of executed
+/// paths. The transfer is *strict* — an unreached input contributes
+/// nothing — so facts of dead blocks stay at bottom and never pollute
+/// the hull of live paths.
+struct PathAnalysis<'a> {
+    layout: &'a dvs_workloads::Layout,
+}
+
+impl DataflowAnalysis for PathAnalysis<'_> {
+    type Fact = PathFact;
+
+    fn direction(&self) -> Direction {
+        Direction::Forward
+    }
+
+    fn bottom(&self, _p: &Program) -> PathFact {
+        PathFact::default()
+    }
+
+    fn boundary(&self, _p: &Program) -> PathFact {
+        PathFact {
+            reached: Reach(true),
+            hull: Interval::Empty,
+        }
+    }
+
+    fn transfer(&self, p: &Program, id: BlockId, fact: &mut PathFact) {
+        if !fact.reached.0 {
+            return;
+        }
+        let start = self.layout.block_start(id);
+        let words = p.block(id).footprint_words();
+        if let Some(stop) = word_addr(start, words) {
+            fact.hull.join(&Interval::range(start, stop));
+        }
+    }
+}
+
+/// Whole-image proof that no path from the entry reaches a fetch or
+/// literal load of a defective cache word (deny).
+pub(crate) struct FaultReachability;
+
+impl Lint for FaultReachability {
+    fn id(&self) -> &'static str {
+        lint_ids::VERIFY_FAULT_REACH
+    }
+    fn description(&self) -> &'static str {
+        "no reachable path fetches or loads a defective cache word"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Deny
+    }
+    fn timer(&self) -> &'static str {
+        "analysis.lint.verify_fault_reach_nanos"
+    }
+    fn check(&self, input: &AnalysisInput<'_>, out: &mut Vec<Diagnostic>) {
+        let cfg = Cfg::build(input.program);
+        let sol = solve(
+            &cfg,
+            input.program,
+            &PathAnalysis {
+                layout: input.layout,
+            },
+        );
+        let total = input.fmap.geometry().total_words();
+        for id in 0..input.program.num_blocks() {
+            let reached = sol.output.get(id).is_some_and(|f| f.reached.0);
+            if !reached {
+                continue;
+            }
+            let path = shortest_path(&cfg, id).map(|p| render_path(&p));
+            let path = path.as_deref().unwrap_or("entry(b0)");
+            let block = input.program.block(id);
+            let start = input.layout.block_start(id);
+            // Every instruction word the walker can fetch while this
+            // block executes.
+            for w in 0..block.code_words() {
+                let Some(addr) = word_addr(start, w) else {
+                    continue; // value-range reports the overflow
+                };
+                if let Some(cw) = cache_word(addr, total) {
+                    if input.fmap.linear_is_faulty(cw) {
+                        out.push(Diagnostic::deny(
+                            self.id(),
+                            Location::Block { id, word: Some(w) },
+                            format!(
+                                "reachable fetch of address {addr:#x} hits defective cache \
+                                 word {cw}; path: {path}"
+                            ),
+                        ));
+                    }
+                }
+            }
+            // Every literal the block's loads can target.
+            if block.literal_refs > 0 {
+                let base = input.layout.literal_addr(input.program, id);
+                for ordinal in 0..block.literal_refs {
+                    let Some(addr) = word_addr(base, ordinal) else {
+                        continue;
+                    };
+                    if let Some(cw) = cache_word(addr, total) {
+                        if input.fmap.linear_is_faulty(cw) {
+                            out.push(Diagnostic::deny(
+                                self.id(),
+                                Location::Block {
+                                    id,
+                                    word: Some(ordinal),
+                                },
+                                format!(
+                                    "reachable literal load of address {addr:#x} (ordinal \
+                                     {ordinal}) hits defective cache word {cw}; path: {path}"
+                                ),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Address value-range analysis: every address a reachable block can
+/// generate stays inside its placed extent and the image bounds (deny).
+pub(crate) struct ValueRange;
+
+impl Lint for ValueRange {
+    fn id(&self) -> &'static str {
+        lint_ids::VERIFY_VALUE_RANGE
+    }
+    fn description(&self) -> &'static str {
+        "every reachable access address stays inside its placed chunk"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Deny
+    }
+    fn timer(&self) -> &'static str {
+        "analysis.lint.verify_value_range_nanos"
+    }
+    fn check(&self, input: &AnalysisInput<'_>, out: &mut Vec<Diagnostic>) {
+        let cfg = Cfg::build(input.program);
+        let sol = solve(
+            &cfg,
+            input.program,
+            &PathAnalysis {
+                layout: input.layout,
+            },
+        );
+        let bounds = Interval::range(0, input.layout.end());
+        for id in 0..input.program.num_blocks() {
+            let reached = sol.output.get(id).is_some_and(|f| f.reached.0);
+            if !reached {
+                continue;
+            }
+            let block = input.program.block(id);
+            let start = input.layout.block_start(id);
+            if start.checked_rem(4) != Some(0) {
+                out.push(Diagnostic::deny(
+                    self.id(),
+                    Location::Block { id, word: None },
+                    format!("block start {start:#x} is not word-aligned"),
+                ));
+                continue;
+            }
+            let Some(stop) = word_addr(start, block.footprint_words()) else {
+                out.push(Diagnostic::deny(
+                    self.id(),
+                    Location::Block { id, word: None },
+                    format!("block extent starting at {start:#x} overflows the address space"),
+                ));
+                continue;
+            };
+            let extent = Interval::range(start, stop);
+            if !extent.within(bounds) {
+                out.push(Diagnostic::deny(
+                    self.id(),
+                    Location::Block { id, word: None },
+                    format!(
+                        "block extent {start:#x}..{stop:#x} escapes the image bounds \
+                         0x0..{:#x}",
+                        input.layout.end()
+                    ),
+                ));
+            }
+            // Literal loads: the walker targets `base + 4*ordinal` for
+            // ordinals `0..literal_refs`; that span must fit the pool it
+            // resolves to.
+            if block.literal_refs == 0 {
+                continue;
+            }
+            let base = input.layout.literal_addr(input.program, id);
+            let Some(lit_stop) = word_addr(base, block.literal_refs) else {
+                out.push(Diagnostic::deny(
+                    self.id(),
+                    Location::Block { id, word: None },
+                    format!("literal span starting at {base:#x} overflows the address space"),
+                ));
+                continue;
+            };
+            let span = Interval::range(base, lit_stop);
+            if block.literal_words > 0 {
+                // Own pool: the span must sit inside the block's placed
+                // extent, and the ordinal count inside the pool.
+                if block.literal_refs > block.literal_words {
+                    out.push(Diagnostic::deny(
+                        self.id(),
+                        Location::Block { id, word: None },
+                        format!(
+                            "block loads {} literal(s) but its pool holds only {} word(s)",
+                            block.literal_refs, block.literal_words
+                        ),
+                    ));
+                } else if !span.within(extent) {
+                    out.push(Diagnostic::deny(
+                        self.id(),
+                        Location::Block { id, word: None },
+                        format!(
+                            "literal span {base:#x}..{lit_stop:#x} escapes the block extent \
+                             {start:#x}..{stop:#x}"
+                        ),
+                    ));
+                }
+            } else if !span.within(bounds) {
+                // Shared function pool: must at least stay in the image.
+                out.push(Diagnostic::deny(
+                    self.id(),
+                    Location::Block { id, word: None },
+                    format!(
+                        "shared-pool literal span {base:#x}..{lit_stop:#x} escapes the image \
+                         bounds 0x0..{:#x}",
+                        input.layout.end()
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Warn-level: faulty frames whose repair capacity (the FFW window kept
+/// alive in their fault-free entries) is never touched by any reachable
+/// path — wasted repair, a direct optimization signal.
+pub(crate) struct RemapLiveness;
+
+impl Lint for RemapLiveness {
+    fn id(&self) -> &'static str {
+        lint_ids::VERIFY_REMAP_LIVENESS
+    }
+    fn description(&self) -> &'static str {
+        "FFW/BBR repair capacity is touched by some reachable path"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Warn
+    }
+    fn timer(&self) -> &'static str {
+        "analysis.lint.verify_remap_liveness_nanos"
+    }
+    fn check(&self, input: &AnalysisInput<'_>, out: &mut Vec<Diagnostic>) {
+        let geom = *input.fmap.geometry();
+        let total = geom.total_words();
+        let cfg = Cfg::build(input.program);
+        let sol = solve(
+            &cfg,
+            input.program,
+            &PathAnalysis {
+                layout: input.layout,
+            },
+        );
+        // Every cache word some reachable path fetches or loads.
+        let mut touched = vec![false; total as usize];
+        for id in 0..input.program.num_blocks() {
+            if !sol.output.get(id).is_some_and(|f| f.reached.0) {
+                continue;
+            }
+            let block = input.program.block(id);
+            let start = input.layout.block_start(id);
+            for w in 0..block.footprint_words() {
+                if let Some(addr) = word_addr(start, w) {
+                    if let Some(cw) = cache_word(addr, total) {
+                        if let Some(t) = touched.get_mut(cw as usize) {
+                            *t = true;
+                        }
+                    }
+                }
+            }
+        }
+        // A frame with defects *and* surviving capacity carries an FFW
+        // window (or a BBR chunk fragment); if no reachable word maps
+        // into the frame, that repair is dead weight.
+        let wpb = u64::from(geom.words_per_block());
+        let sets = u64::from(geom.sets());
+        let mut wasted = 0usize;
+        let mut first = None;
+        for frame in input.fmap.frames() {
+            if input.fmap.frame_fault_pattern(frame) == 0
+                || input.fmap.fault_free_words_in_frame(frame) == 0
+            {
+                continue;
+            }
+            let line = u64::from(frame.way)
+                .saturating_mul(sets)
+                .saturating_add(u64::from(frame.set));
+            let base = line.saturating_mul(wpb);
+            let live = (0..wpb).any(|w| {
+                usize::try_from(base.saturating_add(w))
+                    .ok()
+                    .and_then(|i| touched.get(i).copied())
+                    .unwrap_or(false)
+            });
+            if !live {
+                wasted = wasted.saturating_add(1);
+                if first.is_none() {
+                    first = Some(frame);
+                }
+            }
+        }
+        if let Some(frame) = first {
+            out.push(Diagnostic::warn(
+                self.id(),
+                Location::Frame {
+                    set: frame.set,
+                    way: frame.way,
+                },
+                format!(
+                    "{wasted} faulty frame(s) hold repair windows no reachable path touches \
+                     (first: frame ({}, {})) — wasted repair capacity",
+                    frame.set, frame.way
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+// Test fixtures use plain indexing/arithmetic on values they construct.
+#[allow(clippy::arithmetic_side_effects)]
+mod tests {
+    use super::*;
+    use crate::lints::{analyze_placement, has_deny};
+    use dvs_linker::{bbr_transform, BbrLinker};
+    use dvs_sram::{CacheGeometry, FaultMap};
+    use dvs_workloads::{Benchmark, Layout};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_geom() -> CacheGeometry {
+        CacheGeometry::new(4096, 4, 32).unwrap() // 1024 words
+    }
+
+    fn linked(seed: u64, p_word: f64) -> (dvs_workloads::Program, Layout, FaultMap) {
+        let wl = Benchmark::Crc32.build(seed);
+        let t = bbr_transform(wl.program(), 8);
+        let fmap = FaultMap::sample(&small_geom(), p_word, &mut StdRng::seed_from_u64(seed));
+        let image = BbrLinker::new(small_geom()).link(&t, &fmap).unwrap();
+        let (program, layout) = image.into_parts();
+        (program, layout, fmap)
+    }
+
+    #[test]
+    fn clean_linked_images_prove_fault_free() {
+        for seed in 0..4 {
+            let (program, layout, fmap) = linked(seed, 0.08);
+            let mut out = Vec::new();
+            let input = AnalysisInput {
+                program: &program,
+                layout: &layout,
+                fmap: &fmap,
+                original: None,
+            };
+            FaultReachability.check(&input, &mut out);
+            ValueRange.check(&input, &mut out);
+            assert!(
+                !has_deny(&out),
+                "seed {seed}: verifier denied a clean image: {out:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn misplaced_entry_block_is_denied_with_address_and_path() {
+        let (program, layout, fmap) = linked(3, 0.08);
+        let faulty = fmap.iter_faulty_linear().next().expect("sampled faults");
+        let mut starts: Vec<u64> = (0..layout.num_blocks())
+            .map(|id| layout.block_start(id))
+            .collect();
+        starts[0] = u64::from(faulty) * 4;
+        let end = layout.end().max(starts[0] + 4096);
+        let bad = Layout::from_parts(starts, vec![0; program.functions().len()], end);
+        let input = AnalysisInput {
+            program: &program,
+            layout: &bad,
+            fmap: &fmap,
+            original: None,
+        };
+        let mut out = Vec::new();
+        FaultReachability.check(&input, &mut out);
+        assert!(has_deny(&out));
+        let d = &out[0];
+        assert_eq!(d.lint, lint_ids::VERIFY_FAULT_REACH);
+        assert!(
+            d.message
+                .contains(&format!("defective cache word {faulty}")),
+            "must name the cache word: {}",
+            d.message
+        );
+        assert!(
+            d.message.contains("path: entry(b0)"),
+            "must name the witness path: {}",
+            d.message
+        );
+        assert!(d.message.contains("0x"), "must name the byte address");
+    }
+
+    #[test]
+    fn faulty_words_under_unreachable_blocks_do_not_deny() {
+        use dvs_workloads::{Block, Program, Terminator};
+        // Block 1 is jumped over (dead); park it on a defective word.
+        let blocks = vec![
+            Block::with_terminator(2, Terminator::Jump { target: 2 }),
+            Block::with_terminator(2, Terminator::Jump { target: 2 }),
+            Block::with_terminator(2, Terminator::Return),
+        ];
+        #[allow(clippy::single_range_in_vec_init)]
+        let p = Program::new(blocks, vec![0..3], vec![0]).unwrap();
+        let geom = CacheGeometry::new(1024, 2, 8).unwrap(); // 256 words
+        let fmap = FaultMap::from_faulty_indices(&geom, [30]);
+        // Place: b0 at 0, dead b1 right on word 30, b2 at word 40.
+        let layout = Layout::from_parts(vec![0, 30 * 4, 40 * 4], vec![0], 60 * 4);
+        let input = AnalysisInput {
+            program: &p,
+            layout: &layout,
+            fmap: &fmap,
+            original: None,
+        };
+        let mut out = Vec::new();
+        FaultReachability.check(&input, &mut out);
+        assert!(
+            out.is_empty(),
+            "dead block on a faulty word must not fail the whole-image proof: {out:?}"
+        );
+        // The local containment lint still flags it — that asymmetry is
+        // the precision the dataflow pass buys.
+        let diags = analyze_placement(&p, &layout, &fmap, None);
+        assert!(diags
+            .iter()
+            .any(|d| d.lint == lint_ids::CHUNK_CONTAINMENT && has_deny(&diags)));
+    }
+
+    // `Layout::from_parts` itself rejects unaligned starts, so the
+    // lint's alignment arm is unreachable through safe construction;
+    // only the bounds checks are testable here.
+    #[test]
+    fn value_range_flags_extent_escape() {
+        use dvs_workloads::{Block, Program, Terminator};
+        let blocks = vec![Block::with_terminator(4, Terminator::Return)];
+        #[allow(clippy::single_range_in_vec_init)]
+        let p = Program::new(blocks, vec![0..1], vec![0]).unwrap();
+        let geom = CacheGeometry::new(1024, 2, 8).unwrap();
+        let fmap = FaultMap::fault_free(&geom);
+        // End bound too tight: block needs 5 words (body 4 + return).
+        let tight = Layout::from_parts(vec![0], vec![0], 4 * 4);
+        let mut out = Vec::new();
+        ValueRange.check(
+            &AnalysisInput {
+                program: &p,
+                layout: &tight,
+                fmap: &fmap,
+                original: None,
+            },
+            &mut out,
+        );
+        assert!(
+            out.iter()
+                .any(|d| d.message.contains("escapes the image bounds")),
+            "{out:?}"
+        );
+    }
+
+    #[test]
+    fn value_range_flags_literal_pool_overrun() {
+        use dvs_workloads::{Block, Program, Terminator};
+        let mut b = Block::with_terminator(2, Terminator::Return);
+        b.literal_refs = 3;
+        b.literal_words = 2; // one ordinal short: off-by-one territory
+        #[allow(clippy::single_range_in_vec_init)]
+        let p = Program::new(vec![b], vec![0..1], vec![0]).unwrap();
+        let geom = CacheGeometry::new(1024, 2, 8).unwrap();
+        let fmap = FaultMap::fault_free(&geom);
+        let layout = Layout::sequential(&p);
+        let mut out = Vec::new();
+        ValueRange.check(
+            &AnalysisInput {
+                program: &p,
+                layout: &layout,
+                fmap: &fmap,
+                original: None,
+            },
+            &mut out,
+        );
+        assert!(
+            out.iter()
+                .any(|d| d.message.contains("pool holds only 2 word(s)")),
+            "{out:?}"
+        );
+    }
+
+    #[test]
+    fn remap_liveness_warns_on_untouched_faulty_frames() {
+        use dvs_workloads::{Block, Program, Terminator};
+        let blocks = vec![Block::with_terminator(2, Terminator::Return)];
+        #[allow(clippy::single_range_in_vec_init)]
+        let p = Program::new(blocks, vec![0..1], vec![0]).unwrap();
+        let geom = CacheGeometry::new(1024, 2, 8).unwrap(); // 32 frames
+                                                            // One faulty word far away from the (tiny) program's placement.
+        let fmap = FaultMap::from_faulty_indices(&geom, [200]);
+        let layout = Layout::sequential(&p);
+        let mut out = Vec::new();
+        RemapLiveness.check(
+            &AnalysisInput {
+                program: &p,
+                layout: &layout,
+                fmap: &fmap,
+                original: None,
+            },
+            &mut out,
+        );
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].severity, Severity::Warn);
+        assert!(out[0].message.contains("wasted repair capacity"));
+
+        // Park the program right on the faulty frame: the window is live.
+        let on_frame = Layout::from_parts(vec![200 * 4 + 4], vec![0], 256 * 4);
+        out.clear();
+        RemapLiveness.check(
+            &AnalysisInput {
+                program: &p,
+                layout: &on_frame,
+                fmap: &fmap,
+                original: None,
+            },
+            &mut out,
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+}

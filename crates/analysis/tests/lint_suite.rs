@@ -166,7 +166,12 @@ fn cli_json_output_is_structured() {
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
     let json = stdout.trim();
-    assert!(json.starts_with("{\"reports\":["));
+    assert!(json.starts_with("{\"schema\":\"dvs-lint/1\",\"lints\":["));
+    // The envelope's lint table names every registered lint with its
+    // level, so CI can assert coverage rather than just findings.
+    assert!(json.contains("{\"name\":\"chunk-containment\",\"level\":\"deny\"}"));
+    assert!(json.contains("{\"name\":\"verify/fault-reach\",\"level\":\"deny\"}"));
+    assert!(json.contains("\"reports\":["));
     assert!(json.contains("\"subject\":\"qsort@440mV/map0\""));
     assert!(json.ends_with('}'));
     assert_eq!(

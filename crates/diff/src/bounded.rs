@@ -1,0 +1,792 @@
+//! Bounded exhaustive model checking of the scheme state machines.
+//!
+//! The differential oracles sample random access streams; this module
+//! instead enumerates **every** access sequence up to a depth bound over
+//! a tiny cache geometry and checks machine invariants on each:
+//!
+//! * **LRU stack** — on a clean map, a read hits the L1 exactly when its
+//!   block is among the last `ways` distinct blocks of its set touched
+//!   since the last flush (the stack property of true LRU).
+//! * **Inclusion** — a read served from the L1 must target a block some
+//!   earlier read brought in since the last flush; data cannot
+//!   materialise out of an invalidated cache.
+//! * **Clean-map equivalence** — on a fault-free map, a scheme's
+//!   observable behaviour is identical to the conventional cache's
+//!   (the paper's §IV baseline claim), here proven exhaustively to the
+//!   depth bound rather than sampled.
+//! * **Reset freshness** of the LRU replacement queue, and shape
+//!   invariants of the FFW window-pattern function, checked over their
+//!   whole (tiny) input domains. These two domains are exactly where the
+//!   pre-fix window-mask overflow and the stale-LRU-after-invalidate
+//!   bugs lived; [`check_window_function`] and [`check_lru_reset`]
+//!   rediscover both from their pre-fix code shapes (see the crate's
+//!   `bounded_model` integration tests).
+//!
+//! A failing sequence is reduced through the [`crate::shrink::ddmin`]
+//! shrinker and reported as a [`Violation`] that renders into a
+//! ready-to-paste `#[test]` and into a `verify/bounded-model` deny
+//! [`Diagnostic`] for the `dvs-verify` CLI.
+
+use std::collections::HashSet;
+
+use dvs_cache::{Addr, L2Cache, LruQueue};
+use dvs_linker::{lint_ids, Diagnostic, Location};
+use dvs_schemes::{L1Cache, SchemeKind, ServedFrom};
+use dvs_sram::{CacheGeometry, FaultMap};
+
+use crate::shrink::ddmin;
+use crate::stream::Event;
+
+/// The L2 behind every bounded-checking machine: 4 KB, same block size
+/// as [`tiny_geometry`]. The invariants under check are L1 properties —
+/// both sides of every comparison see the same L2 model, so a small one
+/// keeps the per-sequence machine construction (the hot loop of the
+/// exhaustive enumeration) cheap.
+fn tiny_l2() -> L2Cache {
+    L2Cache::new(CacheGeometry::new(4096, 8, 32).expect("tiny L2 geometry is valid"))
+}
+
+/// One step of a bounded-checking run: the two access kinds plus the
+/// whole-cache flush that voltage/mode switches perform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Load from the byte address.
+    Read(u64),
+    /// Store to the byte address.
+    Write(u64),
+    /// Flush the L1 (`L1Cache::invalidate_all`).
+    InvalidateAll,
+}
+
+/// A shrunk invariant violation found by bounded checking.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Which invariant failed (`lru-stack`, `inclusion`,
+    /// `clean-map-equivalence`, `window-function`, `lru-reset`).
+    pub invariant: &'static str,
+    /// Minimal op sequence exhibiting the failure (empty for the pure
+    /// input-domain checks).
+    pub ops: Vec<Op>,
+    /// Linear fault indices of the map in force (empty = clean).
+    pub faults: Vec<u32>,
+    /// What went wrong at the failing step.
+    pub detail: String,
+}
+
+impl Violation {
+    /// The violation as a deny-severity `verify/bounded-model` finding.
+    pub fn to_diagnostic(&self) -> Diagnostic {
+        Diagnostic::deny(
+            lint_ids::VERIFY_BOUNDED_MODEL,
+            Location::Image,
+            format!(
+                "{} invariant violated: {} (ops: {})",
+                self.invariant,
+                self.detail,
+                render_ops(&self.ops)
+            ),
+        )
+    }
+
+    /// Renders the violation as a ready-to-paste `#[test]` asserting the
+    /// invariant holds on the shrunk sequence — a regression guard that
+    /// passes once the underlying bug is fixed. `kind_expr` and
+    /// `geom_expr` are Rust expressions; `checker` names the
+    /// per-sequence evaluator to call (e.g. `lru_stack_violation`).
+    pub fn render_test(&self, name: &str, kind_expr: &str, geom_expr: &str) -> String {
+        let checker = match self.invariant {
+            "lru-stack" => "lru_stack_violation",
+            "inclusion" => "inclusion_violation",
+            _ => "clean_equivalence_violation_named",
+        };
+        let map = if self.faults.is_empty() {
+            format!("FaultMap::fault_free(&{geom_expr})")
+        } else {
+            let list: Vec<String> = self.faults.iter().map(u32::to_string).collect();
+            format!(
+                "FaultMap::from_faulty_indices(&{geom_expr}, [{}])",
+                list.join(", ")
+            )
+        };
+        format!(
+            "/// Shrunk by the bounded model checker: {detail}\n\
+             #[test]\n\
+             fn {name}() {{\n\
+             \x20   use dvs_diff::bounded::{{{checker}, Op}};\n\
+             \x20   use dvs_schemes::SchemeKind;\n\
+             \x20   use dvs_sram::{{CacheGeometry, FaultMap}};\n\
+             \n\
+             \x20   let fmap = {map};\n\
+             \x20   let ops = {ops};\n\
+             \x20   assert_eq!({checker}({kind_expr}, &fmap, &ops), None);\n\
+             }}\n",
+            detail = self.detail,
+            ops = render_ops(&self.ops),
+        )
+    }
+}
+
+fn render_ops(ops: &[Op]) -> String {
+    let items: Vec<String> = ops
+        .iter()
+        .map(|op| match op {
+            Op::Read(a) => format!("Op::Read({a:#x})"),
+            Op::Write(a) => format!("Op::Write({a:#x})"),
+            Op::InvalidateAll => "Op::InvalidateAll".to_string(),
+        })
+        .collect();
+    format!("vec![{}]", items.join(", "))
+}
+
+/// The bounded-checking geometry: 2 sets × 2 ways × 32 B blocks (32
+/// words). Small enough that every sequence to depth 5–6 over
+/// [`op_alphabet`] runs in milliseconds, yet it exercises conflict
+/// eviction, multi-set indexing and every word of an 8-word block.
+pub fn tiny_geometry() -> CacheGeometry {
+    CacheGeometry::new(128, 2, 32).expect("tiny geometry is valid")
+}
+
+/// The op alphabet the bounded checkers enumerate over: `ways + 1`
+/// conflicting blocks of set 0 (forcing evictions), one block of set 1,
+/// a faulty-word probe, a store, and the flush.
+pub fn op_alphabet(geom: &CacheGeometry) -> Vec<Op> {
+    let bb = u64::from(geom.block_bytes());
+    let sets = u64::from(geom.sets());
+    let mut ops = Vec::new();
+    // Blocks 0, sets, 2·sets … all alias set 0.
+    for i in 0..=u64::from(geom.ways()) {
+        ops.push(Op::Read(i * sets * bb));
+    }
+    ops.push(Op::Read(bb)); // block 1 → set 1
+    ops.push(Op::Read(4)); // word 1 of block 0 (distinct word offset)
+    ops.push(Op::Write(0));
+    ops.push(Op::InvalidateAll);
+    ops
+}
+
+fn step(l1: &mut L1Cache, l2: &mut L2Cache, op: Op) -> Option<Event> {
+    match op {
+        Op::Read(a) => {
+            let out = l1.read(Addr::new(a), l2);
+            Some(Event::Read {
+                source: out.source,
+                l2_reads: out.l2_reads,
+                latency: 0,
+            })
+        }
+        Op::Write(a) => {
+            let out = l1.write(Addr::new(a));
+            Some(Event::Write {
+                l1_updated: out.l1_updated,
+            })
+        }
+        Op::InvalidateAll => {
+            l1.invalidate_all();
+            None
+        }
+    }
+}
+
+fn block_and_set(geom: &CacheGeometry, addr: u64) -> (u64, usize) {
+    let block = addr / u64::from(geom.block_bytes());
+    (block, (block % u64::from(geom.sets())) as usize)
+}
+
+/// Checks the LRU stack property of one sequence: a read hits the L1
+/// exactly when its block is among the last `ways` distinct blocks of
+/// its set touched since the last flush. Sound for schemes that keep
+/// full associativity and serve every word of a present block —
+/// conventional/8T always, and the word-level schemes on a clean map.
+///
+/// Returns `None` when the invariant holds, or a description of the
+/// first failing step.
+pub fn lru_stack_violation(kind: SchemeKind, fmap: &FaultMap, ops: &[Op]) -> Option<String> {
+    let geom = *fmap.geometry();
+    let mut l1 = L1Cache::new(kind, fmap.clone());
+    let mut l2 = tiny_l2();
+    let mut stacks: Vec<Vec<u64>> = vec![Vec::new(); geom.sets() as usize];
+    for (i, &op) in ops.iter().enumerate() {
+        match op {
+            Op::Read(a) => {
+                let (block, set) = block_and_set(&geom, a);
+                let predicted = stacks[set].contains(&block);
+                let out = l1.read(Addr::new(a), &mut l2);
+                let actual = out.source == ServedFrom::L1;
+                if actual != predicted {
+                    return Some(format!(
+                        "step {i}: read of {a:#x} {} but the LRU stack model predicts {}",
+                        if actual { "hit" } else { "missed" },
+                        if predicted { "a hit" } else { "a miss" },
+                    ));
+                }
+                stacks[set].retain(|&b| b != block);
+                stacks[set].insert(0, block);
+                stacks[set].truncate(geom.ways() as usize);
+            }
+            Op::Write(a) => {
+                // A store's lookup touches the LRU when the block is
+                // present; it never allocates.
+                let (block, set) = block_and_set(&geom, a);
+                l1.write(Addr::new(a));
+                if stacks[set].contains(&block) {
+                    stacks[set].retain(|&b| b != block);
+                    stacks[set].insert(0, block);
+                }
+            }
+            Op::InvalidateAll => {
+                l1.invalidate_all();
+                stacks.iter_mut().for_each(Vec::clear);
+            }
+        }
+    }
+    None
+}
+
+/// Checks the inclusion property of one sequence: a read served from the
+/// L1 must target a block some earlier read fetched since the last
+/// flush. Sound for **every** scheme — stores never allocate and a
+/// flush empties the tag array, so L1-resident data always traces back
+/// to a fetch.
+pub fn inclusion_violation(kind: SchemeKind, fmap: &FaultMap, ops: &[Op]) -> Option<String> {
+    let geom = *fmap.geometry();
+    let mut l1 = L1Cache::new(kind, fmap.clone());
+    let mut l2 = tiny_l2();
+    let mut fetched: HashSet<u64> = HashSet::new();
+    for (i, &op) in ops.iter().enumerate() {
+        match op {
+            Op::Read(a) => {
+                let (block, _) = block_and_set(&geom, a);
+                let out = l1.read(Addr::new(a), &mut l2);
+                if out.source == ServedFrom::L1 && !fetched.contains(&block) {
+                    return Some(format!(
+                        "step {i}: read of {a:#x} served from L1 but block {block} was never \
+                         fetched since the last flush"
+                    ));
+                }
+                fetched.insert(block);
+            }
+            Op::Write(a) => {
+                l1.write(Addr::new(a));
+            }
+            Op::InvalidateAll => {
+                l1.invalidate_all();
+                fetched.clear();
+            }
+        }
+    }
+    None
+}
+
+/// Checks clean-map equivalence of one sequence: on the fault-free map
+/// over `fmap`'s geometry, `kind`'s observable behaviour (hit source,
+/// L2 traffic, store outcome) must match the conventional cache's step
+/// for step. Sound for the word-level and disabling schemes; capacity-
+/// halving and direct-mapped schemes (Wilkerson+, BBR) genuinely differ.
+pub fn clean_equivalence_violation(
+    kind: SchemeKind,
+    fmap: &FaultMap,
+    ops: &[Op],
+) -> Option<String> {
+    let clean = FaultMap::fault_free(fmap.geometry());
+    let mut subject = L1Cache::new(kind, clean.clone());
+    let mut baseline = L1Cache::new(SchemeKind::Conventional, clean);
+    let mut l2_subject = tiny_l2();
+    let mut l2_baseline = tiny_l2();
+    for (i, &op) in ops.iter().enumerate() {
+        let a = step(&mut subject, &mut l2_subject, op);
+        let b = step(&mut baseline, &mut l2_baseline, op);
+        if a != b {
+            return Some(format!(
+                "step {i} ({op:?}): {} produced {a:?} but the conventional baseline produced {b:?}",
+                kind.name()
+            ));
+        }
+    }
+    None
+}
+
+/// [`clean_equivalence_violation`] — alias so rendered tests read
+/// uniformly (`checker(kind, &fmap, &ops)`).
+pub fn clean_equivalence_violation_named(
+    kind: SchemeKind,
+    fmap: &FaultMap,
+    ops: &[Op],
+) -> Option<String> {
+    clean_equivalence_violation(kind, fmap, ops)
+}
+
+/// Enumerates **every** sequence of length `depth` over `alphabet`
+/// (shorter sequences are covered as prefixes — the evaluators check
+/// every step) and returns the first violation, ddmin-shrunk to a
+/// minimal failing subsequence.
+pub fn check_sequences(
+    alphabet: &[Op],
+    depth: usize,
+    eval: &dyn Fn(&[Op]) -> Option<String>,
+) -> Option<(Vec<Op>, String)> {
+    assert!(!alphabet.is_empty(), "empty op alphabet");
+    let mut odometer = vec![0usize; depth];
+    let mut ops: Vec<Op> = Vec::with_capacity(depth);
+    loop {
+        ops.clear();
+        ops.extend(odometer.iter().map(|&i| alphabet[i]));
+        if eval(&ops).is_some() {
+            let shrunk = ddmin(&ops, &|xs| eval(xs).is_some());
+            let detail = eval(&shrunk).unwrap_or_default();
+            return Some((shrunk, detail));
+        }
+        let mut pos = 0;
+        loop {
+            if pos == depth {
+                return None;
+            }
+            odometer[pos] += 1;
+            if odometer[pos] < alphabet.len() {
+                break;
+            }
+            odometer[pos] = 0;
+            pos += 1;
+        }
+    }
+}
+
+fn machine_violation(
+    invariant: &'static str,
+    kind: SchemeKind,
+    fmap: &FaultMap,
+    depth: usize,
+    eval: &dyn Fn(&[Op]) -> Option<String>,
+) -> Option<Violation> {
+    let alphabet = op_alphabet(fmap.geometry());
+    check_sequences(&alphabet, depth, eval).map(|(ops, detail)| Violation {
+        invariant,
+        ops,
+        faults: fmap.iter_faulty_linear().collect(),
+        detail: format!("[{}] {detail}", kind.name()),
+    })
+}
+
+/// Bounded-exhaustively checks the LRU stack property of `kind` over
+/// `fmap` to `depth` (see [`lru_stack_violation`] for soundness).
+pub fn check_lru_stack(kind: SchemeKind, fmap: &FaultMap, depth: usize) -> Option<Violation> {
+    machine_violation("lru-stack", kind, fmap, depth, &|ops| {
+        lru_stack_violation(kind, fmap, ops)
+    })
+}
+
+/// Bounded-exhaustively checks the inclusion property of `kind` over
+/// `fmap` to `depth`.
+pub fn check_inclusion(kind: SchemeKind, fmap: &FaultMap, depth: usize) -> Option<Violation> {
+    machine_violation("inclusion", kind, fmap, depth, &|ops| {
+        inclusion_violation(kind, fmap, ops)
+    })
+}
+
+/// Bounded-exhaustively checks clean-map equivalence of `kind` against
+/// the conventional baseline to `depth`.
+pub fn check_clean_equivalence(
+    kind: SchemeKind,
+    geom: &CacheGeometry,
+    depth: usize,
+) -> Option<Violation> {
+    let clean = FaultMap::fault_free(geom);
+    machine_violation("clean-map-equivalence", kind, &clean, depth, &|ops| {
+        clean_equivalence_violation(kind, &clean, ops)
+    })
+}
+
+/// Exhaustively checks a window-pattern function over its whole domain
+/// (`window_len` 0..=`words_per_block` × every focus word): the pattern
+/// must hold exactly `min(len, wpb)` words, be contiguous, and stay
+/// within the block.
+///
+/// `dvs_schemes::ffw::window_pattern` passes; the pre-fix shape
+/// (`(1u32 << len) - 1` built with wrapping arithmetic) fails at
+/// `len == 32` — the overflow that zeroed full-width windows before the
+/// `window_mask` fix.
+pub fn check_window_function(
+    pattern_of: &dyn Fn(u32, u32, u32) -> u32,
+    words_per_block: u32,
+) -> Option<Violation> {
+    for len in 0..=words_per_block {
+        for focus in 0..words_per_block {
+            let pattern = pattern_of(len, words_per_block, focus);
+            let expect = len.min(words_per_block);
+            let fail = |why: String| {
+                Some(Violation {
+                    invariant: "window-function",
+                    ops: Vec::new(),
+                    faults: Vec::new(),
+                    detail: format!(
+                        "window_pattern(len={len}, wpb={words_per_block}, focus={focus}) = \
+                         {pattern:#b}: {why}"
+                    ),
+                })
+            };
+            if pattern.count_ones() != expect {
+                return fail(format!(
+                    "holds {} words, expected {expect}",
+                    pattern.count_ones()
+                ));
+            }
+            if pattern != 0 {
+                let shifted = pattern >> pattern.trailing_zeros();
+                if shifted & shifted.wrapping_add(1) != 0 {
+                    return fail("not contiguous".to_string());
+                }
+            }
+            if words_per_block < 32 && pattern >> words_per_block != 0 {
+                return fail("escapes the block".to_string());
+            }
+        }
+    }
+    None
+}
+
+/// An LRU replacement machine under bounded checking: the real
+/// [`LruQueue`] and any buggy model shape under study.
+pub trait LruModel {
+    /// Marks `way` most recently used.
+    fn touch(&mut self, way: u32);
+    /// Returns the machine to its initial state (what `invalidate_all`
+    /// relies on).
+    fn reset(&mut self);
+    /// Recency rank of `way` (0 = most recent).
+    fn rank(&self, way: u32) -> u32;
+}
+
+impl LruModel for LruQueue {
+    fn touch(&mut self, way: u32) {
+        LruQueue::touch(self, way);
+    }
+    fn reset(&mut self) {
+        LruQueue::reset(self);
+    }
+    fn rank(&self, way: u32) -> u32 {
+        LruQueue::rank(self, way)
+    }
+}
+
+/// One step of the LRU-machine alphabet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LruOp {
+    /// Touch a way.
+    Touch(u32),
+    /// Reset the machine.
+    Reset,
+}
+
+/// Checks **reset freshness** of an LRU machine, bounded-exhaustively:
+/// after any op sequence, the machine's recency ranks must equal those
+/// of a fresh machine replaying only the ops since the last reset.
+///
+/// The real [`LruQueue`] passes. The pre-fix shape — `invalidate_all`
+/// clearing validity but leaving the recency order untouched (no
+/// `reset()`) — fails on the two-op sequence `[Touch(1), Reset]`: the
+/// stale machine still ranks way 1 most recent.
+pub fn check_lru_reset<M: LruModel>(
+    make: &dyn Fn(u32) -> M,
+    ways: u32,
+    depth: usize,
+) -> Option<Violation> {
+    let mut alphabet: Vec<LruOp> = (0..ways).map(LruOp::Touch).collect();
+    alphabet.push(LruOp::Reset);
+    let eval = |ops: &[LruOp]| -> Option<String> {
+        let mut machine = make(ways);
+        let mut suffix: Vec<u32> = Vec::new();
+        for (i, &op) in ops.iter().enumerate() {
+            match op {
+                LruOp::Touch(w) => {
+                    machine.touch(w);
+                    suffix.push(w);
+                }
+                LruOp::Reset => {
+                    machine.reset();
+                    suffix.clear();
+                }
+            }
+            let mut fresh = make(ways);
+            for &w in &suffix {
+                fresh.touch(w);
+            }
+            for w in 0..ways {
+                if machine.rank(w) != fresh.rank(w) {
+                    return Some(format!(
+                        "step {i}: way {w} ranks {} but a fresh replay of the post-reset \
+                         suffix ranks it {}",
+                        machine.rank(w),
+                        fresh.rank(w)
+                    ));
+                }
+            }
+        }
+        None
+    };
+    // Same odometer as `check_sequences`, over the LRU alphabet.
+    let mut odometer = vec![0usize; depth];
+    let mut ops: Vec<LruOp> = Vec::with_capacity(depth);
+    loop {
+        ops.clear();
+        ops.extend(odometer.iter().map(|&i| alphabet[i]));
+        if eval(&ops).is_some() {
+            let shrunk = ddmin(&ops, &|xs| eval(xs).is_some());
+            let detail = eval(&shrunk).unwrap_or_default();
+            return Some(Violation {
+                invariant: "lru-reset",
+                ops: Vec::new(),
+                faults: Vec::new(),
+                detail: format!("{detail}; sequence: {shrunk:?}"),
+            });
+        }
+        let mut pos = 0;
+        loop {
+            if pos == depth {
+                return None;
+            }
+            odometer[pos] += 1;
+            if odometer[pos] < alphabet.len() {
+                break;
+            }
+            odometer[pos] = 0;
+            pos += 1;
+        }
+    }
+}
+
+/// Every scheme the clean-map-equivalence invariant covers (the same
+/// family the sampling oracle in [`crate::oracles`] compares).
+pub fn clean_equivalent_kinds() -> Vec<SchemeKind> {
+    vec![
+        SchemeKind::EightT,
+        SchemeKind::SimpleWordDisable,
+        SchemeKind::Ffw,
+        SchemeKind::fba(),
+        SchemeKind::idc(),
+        SchemeKind::WordSubstitution,
+        SchemeKind::LineDisable,
+        SchemeKind::WayDisable,
+    ]
+}
+
+/// Runs the whole bounded-checking suite to `depth` over the tiny
+/// geometry and returns every violation as a `verify/bounded-model`
+/// deny diagnostic (empty = all invariants proven to the bound).
+pub fn bounded_suite(depth: usize) -> Vec<Diagnostic> {
+    use dvs_schemes::ffw::window_pattern;
+
+    let geom = tiny_geometry();
+    let clean = FaultMap::fault_free(&geom);
+    // Word 1 of frame (0,0) and word 1 of frame (1,1) defective — hits
+    // both the direct probe word and an eviction path.
+    let faulty = FaultMap::from_faulty_indices(&geom, [1, 25]);
+    let mut out = Vec::new();
+    for kind in [
+        SchemeKind::Conventional,
+        SchemeKind::EightT,
+        SchemeKind::SimpleWordDisable,
+        SchemeKind::Ffw,
+    ] {
+        out.extend(
+            check_lru_stack(kind, &clean, depth)
+                .iter()
+                .map(Violation::to_diagnostic),
+        );
+    }
+    for kind in [
+        SchemeKind::Conventional,
+        SchemeKind::SimpleWordDisable,
+        SchemeKind::Ffw,
+        SchemeKind::Fba { entries: 2 },
+        SchemeKind::WilkersonPlus,
+        SchemeKind::LineDisable,
+        SchemeKind::WayDisable,
+        SchemeKind::Bbr,
+    ] {
+        for fmap in [&clean, &faulty] {
+            out.extend(
+                check_inclusion(kind, fmap, depth)
+                    .iter()
+                    .map(Violation::to_diagnostic),
+            );
+        }
+    }
+    for kind in clean_equivalent_kinds() {
+        out.extend(
+            check_clean_equivalence(kind, &geom, depth)
+                .iter()
+                .map(Violation::to_diagnostic),
+        );
+    }
+    out.extend(
+        check_window_function(&window_pattern, 32)
+            .iter()
+            .map(Violation::to_diagnostic),
+    );
+    out.extend(
+        check_lru_reset(&LruQueue::new, geom.ways(), depth)
+            .iter()
+            .map(Violation::to_diagnostic),
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alphabet_conflicts_within_set_zero() {
+        let geom = tiny_geometry();
+        let ops = op_alphabet(&geom);
+        let reads: Vec<u64> = ops
+            .iter()
+            .filter_map(|op| match op {
+                Op::Read(a) => Some(*a),
+                _ => None,
+            })
+            .collect();
+        // ways + 1 = 3 conflicting blocks in set 0.
+        let set0 = reads
+            .iter()
+            .filter(|&&a| block_and_set(&geom, a).1 == 0)
+            .count();
+        assert!(set0 >= 3, "need enough conflicts to force evictions");
+        assert!(ops.contains(&Op::InvalidateAll));
+        assert!(ops.iter().any(|op| matches!(op, Op::Write(_))));
+    }
+
+    #[test]
+    fn conventional_satisfies_lru_stack_to_depth_five() {
+        let clean = FaultMap::fault_free(&tiny_geometry());
+        assert!(check_lru_stack(SchemeKind::Conventional, &clean, 5).is_none());
+    }
+
+    #[test]
+    fn all_schemes_satisfy_inclusion_on_a_faulty_map() {
+        let faulty = FaultMap::from_faulty_indices(&tiny_geometry(), [1, 25]);
+        for kind in [
+            SchemeKind::Conventional,
+            SchemeKind::SimpleWordDisable,
+            SchemeKind::Ffw,
+            SchemeKind::Fba { entries: 2 },
+            SchemeKind::Bbr,
+        ] {
+            assert!(
+                check_inclusion(kind, &faulty, 4).is_none(),
+                "{kind:?} broke inclusion"
+            );
+        }
+    }
+
+    #[test]
+    fn clean_equivalence_holds_for_the_word_level_family() {
+        let geom = tiny_geometry();
+        for kind in clean_equivalent_kinds() {
+            assert!(
+                check_clean_equivalence(kind, &geom, 4).is_none(),
+                "{kind:?} diverged from the baseline on a clean map"
+            );
+        }
+    }
+
+    #[test]
+    fn wilkerson_genuinely_breaks_clean_equivalence() {
+        // Capacity halving is observable: the checker must find a
+        // counterexample (proof the harness has teeth), and ddmin must
+        // shrink it to a handful of ops.
+        let geom = tiny_geometry();
+        let v = check_clean_equivalence(SchemeKind::WilkersonPlus, &geom, 4)
+            .expect("halved capacity must diverge within depth 4");
+        assert!(v.ops.len() <= 4);
+        assert!(v.detail.contains("Wilkerson+"));
+    }
+
+    #[test]
+    fn planted_lru_bug_is_found_and_shrunk() {
+        // A model machine whose reads never update recency (touch on
+        // fill only): the stack property fails once an eviction depends
+        // on a hit's recency update. The checker finds it and the
+        // diagnostic renders.
+        let clean = FaultMap::fault_free(&tiny_geometry());
+        let eval = |ops: &[Op]| -> Option<String> {
+            // Evaluate the stack model against a machine that drops
+            // read-hit touches: replay through the real cache but
+            // predict with a FIFO (insertion-order) model instead.
+            let geom = *clean.geometry();
+            let mut l1 = L1Cache::new(SchemeKind::Conventional, clean.clone());
+            let mut l2 = tiny_l2();
+            let mut fifo: Vec<Vec<u64>> = vec![Vec::new(); geom.sets() as usize];
+            for (i, &op) in ops.iter().enumerate() {
+                match op {
+                    Op::Read(a) => {
+                        let (block, set) = block_and_set(&geom, a);
+                        let predicted = fifo[set].contains(&block);
+                        let actual = l1.read(Addr::new(a), &mut l2).source == ServedFrom::L1;
+                        if actual != predicted {
+                            return Some(format!("step {i}: FIFO model diverged"));
+                        }
+                        if !predicted {
+                            fifo[set].insert(0, block);
+                            fifo[set].truncate(geom.ways() as usize);
+                        }
+                    }
+                    Op::Write(a) => {
+                        l1.write(Addr::new(a));
+                    }
+                    Op::InvalidateAll => {
+                        l1.invalidate_all();
+                        fifo.iter_mut().for_each(Vec::clear);
+                    }
+                }
+            }
+            None
+        };
+        let alphabet = op_alphabet(clean.geometry());
+        let (ops, detail) =
+            check_sequences(&alphabet, 5, &eval).expect("FIFO is not LRU: must diverge");
+        // LRU vs FIFO needs a hit-reorder plus two evictions: at least 4 ops.
+        assert!(ops.len() >= 4, "shrunk to {ops:?}");
+        assert!(detail.contains("FIFO model diverged"));
+    }
+
+    #[test]
+    fn window_function_passes_and_diagnostic_renders() {
+        use dvs_schemes::ffw::window_pattern;
+        assert!(check_window_function(&window_pattern, 32).is_none());
+        assert!(check_window_function(&window_pattern, 8).is_none());
+    }
+
+    #[test]
+    fn real_lru_queue_resets_fresh() {
+        assert!(check_lru_reset(&LruQueue::new, 4, 4).is_none());
+    }
+
+    #[test]
+    fn violation_renders_diagnostic_and_test() {
+        let v = Violation {
+            invariant: "lru-stack",
+            ops: vec![Op::Read(0), Op::InvalidateAll, Op::Read(0)],
+            faults: vec![3],
+            detail: "step 2: read of 0x0 hit but the LRU stack model predicts a miss".into(),
+        };
+        let d = v.to_diagnostic();
+        assert_eq!(d.lint, dvs_linker::lint_ids::VERIFY_BOUNDED_MODEL);
+        assert!(d.message.contains("lru-stack"));
+        assert!(d.message.contains("Op::InvalidateAll"));
+        let test = v.render_test(
+            "shrunk_lru_repro",
+            "SchemeKind::Conventional",
+            "dvs_diff::bounded::tiny_geometry()",
+        );
+        assert!(test.contains("fn shrunk_lru_repro()"));
+        assert!(test.contains("lru_stack_violation"));
+        assert!(test.contains("from_faulty_indices"));
+        assert!(test.contains("Op::Read(0x0)"));
+    }
+
+    #[test]
+    fn bounded_suite_is_clean_at_depth_four() {
+        let diags = bounded_suite(4);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+}

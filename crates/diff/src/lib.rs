@@ -17,6 +17,12 @@
 //! * [`shrink`] — ddmin-style reduction of any failing (stream, map)
 //!   pair to a minimal reproducer, rendered as a ready-to-paste
 //!   `#[test]`.
+//! * [`bounded`] — bounded exhaustive model checking: every access
+//!   sequence to a depth bound over a tiny geometry, proving the LRU
+//!   stack, inclusion and clean-map-equivalence invariants of the
+//!   scheme state machines, plus whole-domain checks of the FFW window
+//!   function and LRU reset freshness. Counterexamples shrink through
+//!   the same ddmin and render as tests.
 //!
 //! The `dvs-diff` binary (in `dvs-bench`) sweeps all of the above over
 //! bench10 and the tier-1 voltages and exits non-zero on any deny
@@ -39,11 +45,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bounded;
 pub mod metamorphic;
 pub mod oracles;
 pub mod shrink;
 pub mod stream;
 
+pub use bounded::{bounded_suite, check_sequences, Op, Violation};
 pub use shrink::{ddmin, render_fault_addition_test, render_pair_test, shrink_case, Case};
 pub use stream::{
     first_behavioral_divergence, first_divergence, run_stream, synthetic_stream, word_misses,

@@ -201,6 +201,19 @@ pub mod lint_ids {
     /// FFW stored patterns derived from the fault map must be contiguous,
     /// the right size, and remap injectively into fault-free entries.
     pub const FFW_WINDOW_CONSISTENCY: &str = "ffw-window-consistency";
+    /// Whole-image dataflow proof: no control-flow path from the entry
+    /// reaches an instruction fetch or literal load of a defective cache
+    /// word.
+    pub const VERIFY_FAULT_REACH: &str = "verify/fault-reach";
+    /// Address value-range analysis: every address a reachable block can
+    /// generate stays inside its placed extent and the image bounds.
+    pub const VERIFY_VALUE_RANGE: &str = "verify/value-range";
+    /// Warn-level: faulty frames whose repair capacity no reachable path
+    /// touches (wasted FFW windows / BBR chunk fragments).
+    pub const VERIFY_REMAP_LIVENESS: &str = "verify/remap-liveness";
+    /// Bounded exhaustive checking of scheme state machines over tiny
+    /// geometries (LRU-stack, inclusion, clean-map equivalence).
+    pub const VERIFY_BOUNDED_MODEL: &str = "verify/bounded-model";
 }
 
 #[cfg(test)]

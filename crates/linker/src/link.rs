@@ -158,16 +158,6 @@ impl LinkedImage {
         }
         Ok(())
     }
-
-    /// The pre-diagnostic shape of [`LinkedImage::verify`]: the offending
-    /// (block, word-offset) pair with no lint id or message.
-    #[deprecated(note = "use `verify`, which reports a structured Diagnostic")]
-    pub fn verify_raw(&self, fmap: &FaultMap) -> Result<(), (usize, u32)> {
-        self.verify(fmap).map_err(|d| match d.location {
-            Location::Block { id, word } => (id, word.unwrap_or(0)),
-            _ => (0, 0),
-        })
-    }
 }
 
 /// The BBR linker: places each basic block of a transformed program into
@@ -541,11 +531,6 @@ mod tests {
             }
         );
         assert!(diag.message.contains("defective cache word 2"));
-
-        // The deprecated shim preserves the old (block, word) tuple.
-        #[allow(deprecated)]
-        let raw = image.verify_raw(&hostile).unwrap_err();
-        assert_eq!(raw, (0, 2));
     }
 
     #[test]

@@ -1,0 +1,150 @@
+//! Golden snapshots of `Diagnostic` rendering — text and JSON.
+//!
+//! A fixed set of findings covering every `Location` variant and both
+//! severities is rendered through `render_text` and the versioned
+//! `render_json_envelope`, and compared against the snapshots committed
+//! under `tests/golden/`. The JSON comparison is structural (parsed),
+//! the text comparison byte-exact, so any drift in the diagnostic
+//! wire/terminal format is caught before it breaks downstream consumers
+//! (CI greps, the campaign server, saved `--json` artifacts).
+//!
+//! To bless new snapshots after an intentional format change:
+//! `DVS_BLESS_GOLDEN=1 cargo test --test diag_golden`.
+
+use dvs_analysis::{render_json_envelope, render_text, LintMeta, LintRegistry, Report};
+use dvs_linker::{lint_ids, Diagnostic, Location};
+use dvs_obs::json::Value;
+
+const TEXT_GOLDEN: &str = "tests/golden/diagnostics.txt";
+const JSON_GOLDEN: &str = "tests/golden/diagnostics.json";
+
+/// One finding per `Location` shape, both severities, fixed messages —
+/// enough surface that any change to the rendering of ids, locations,
+/// severities or escaping shows up in the snapshot.
+fn fixture() -> Vec<Report> {
+    vec![
+        Report::new(
+            "crc32@480mV/fixture".to_string(),
+            vec![
+                Diagnostic::deny(
+                    lint_ids::VERIFY_FAULT_REACH,
+                    Location::Block {
+                        id: 3,
+                        word: Some(2),
+                    },
+                    "reachable fetch of address 0x118 hits defective cache word 70; \
+                     path: entry(b0) -> b3",
+                ),
+                Diagnostic::deny(
+                    lint_ids::VERIFY_VALUE_RANGE,
+                    Location::Block { id: 0, word: None },
+                    "block extent 0x310..0x318 escapes the image bounds 0x0..0x314",
+                ),
+                Diagnostic::warn(
+                    lint_ids::VERIFY_REMAP_LIVENESS,
+                    Location::Frame { set: 140, way: 2 },
+                    "repair window never touched — wasted capacity",
+                ),
+            ],
+        ),
+        Report::new(
+            "schemes@bounded/fixture".to_string(),
+            vec![Diagnostic::deny(
+                lint_ids::VERIFY_BOUNDED_MODEL,
+                Location::Image,
+                "lru-stack violated after [Read(0), \"quoted\"]",
+            )],
+        ),
+        Report::new("clean@760mV/fixture".to_string(), Vec::new()),
+    ]
+}
+
+fn verification_metas() -> Vec<LintMeta> {
+    LintRegistry::verification()
+        .lints()
+        .iter()
+        .map(|l| LintMeta {
+            name: l.id(),
+            level: l.severity().name(),
+        })
+        .collect()
+}
+
+fn golden_path(rel: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(rel)
+}
+
+#[test]
+fn text_rendering_matches_golden_snapshot() {
+    let current = render_text(&fixture());
+    let path = golden_path(TEXT_GOLDEN);
+    if std::env::var_os("DVS_BLESS_GOLDEN").is_some() {
+        std::fs::write(&path, &current).expect("write golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot {} ({e}); regenerate with DVS_BLESS_GOLDEN=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        golden, current,
+        "diagnostic text rendering diverged from the golden snapshot;\n\
+         if the format change is intentional, rebless with DVS_BLESS_GOLDEN=1"
+    );
+}
+
+#[test]
+fn json_envelope_matches_golden_snapshot() {
+    let rendered = render_json_envelope("dvs-verify/1", &verification_metas(), &fixture());
+    let current = Value::parse(&rendered).expect("envelope parses");
+    let path = golden_path(JSON_GOLDEN);
+    if std::env::var_os("DVS_BLESS_GOLDEN").is_some() {
+        std::fs::write(&path, format!("{current}\n")).expect("write golden");
+        return;
+    }
+    let golden_raw = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot {} ({e}); regenerate with DVS_BLESS_GOLDEN=1",
+            path.display()
+        )
+    });
+    let golden = Value::parse(golden_raw.trim()).expect("golden snapshot parses");
+    assert_eq!(
+        golden, current,
+        "diagnostic JSON envelope diverged from the golden snapshot;\n\
+         if the format change is intentional, rebless with DVS_BLESS_GOLDEN=1\n\
+         current: {current}"
+    );
+}
+
+#[test]
+fn json_golden_snapshot_is_committed_and_well_formed() {
+    let raw = std::fs::read_to_string(golden_path(JSON_GOLDEN)).expect("golden snapshot exists");
+    let value = Value::parse(raw.trim()).expect("golden snapshot parses");
+    assert_eq!(
+        value.get("schema").and_then(Value::as_str),
+        Some("dvs-verify/1")
+    );
+    // The lint table must list every verification pass by its wire name.
+    let lints = value
+        .get("lints")
+        .and_then(Value::as_arr)
+        .expect("lints array");
+    let names: Vec<&str> = lints
+        .iter()
+        .filter_map(|l| l.get("name").and_then(Value::as_str))
+        .collect();
+    assert_eq!(
+        names,
+        [
+            lint_ids::VERIFY_FAULT_REACH,
+            lint_ids::VERIFY_VALUE_RANGE,
+            lint_ids::VERIFY_REMAP_LIVENESS,
+        ]
+    );
+    // Deny/warn tallies stay consistent with the fixture's findings.
+    assert_eq!(value.get("denies").and_then(Value::as_f64), Some(3.0));
+    assert_eq!(value.get("warns").and_then(Value::as_f64), Some(1.0));
+}
