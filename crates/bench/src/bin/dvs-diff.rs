@@ -26,11 +26,13 @@ use std::process::ExitCode;
 
 use dvs_analysis::{has_deny, render_json, render_text, Report};
 use dvs_diff::{metamorphic, oracles};
+use dvs_sram::FaultModel;
 use dvs_workloads::Benchmark;
 
 struct Options {
     voltages: Vec<u32>,
     benchmarks: Vec<Benchmark>,
+    models: Vec<FaultModel>,
     seed: u64,
     stream_len: usize,
     json: bool,
@@ -42,6 +44,7 @@ impl Default for Options {
         Options {
             voltages: vec![760, 600, 480, 400],
             benchmarks: Benchmark::ALL.to_vec(),
+            models: FaultModel::ALL.to_vec(),
             seed: 0,
             stream_len: 2_000,
             json: false,
@@ -54,6 +57,8 @@ const USAGE: &str = "usage: dvs-diff [options]
   --voltages LIST   comma-separated mV points for the monotonicity sweep
                     (default 760,600,480,400)
   --benchmarks LIST comma-separated benchmark names (default: all ten)
+  --models LIST     comma-separated fault models for the model-dependent
+                    families (iid, rowcol, clustered; default: all three)
   --seed N          base seed for streams and fault maps (default 0)
   --stream-len N    accesses per synthetic stream (default 2000)
   --json            emit one JSON document instead of text
@@ -98,6 +103,14 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     })
                     .collect::<Result<_, _>>()?;
             }
+            "--models" => {
+                opts.models = value("--models")?
+                    .split(',')
+                    .map(|n| {
+                        FaultModel::parse(n.trim()).ok_or_else(|| format!("unknown model: {n}"))
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
             "--seed" => {
                 opts.seed = value("--seed")?
                     .parse()
@@ -114,8 +127,12 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             other => return Err(format!("unknown flag {other}")),
         }
     }
-    if opts.voltages.is_empty() || opts.benchmarks.is_empty() || opts.stream_len == 0 {
-        return Err("nothing to do: empty voltage, benchmark or stream".to_string());
+    if opts.voltages.is_empty()
+        || opts.benchmarks.is_empty()
+        || opts.models.is_empty()
+        || opts.stream_len == 0
+    {
+        return Err("nothing to do: empty voltage, benchmark, model or stream".to_string());
     }
     Ok(opts)
 }
@@ -143,10 +160,16 @@ fn run(opts: &Options) -> Vec<Report> {
             format!("{}@fault-addition/seed{seed}", bench.name()),
             metamorphic::fault_addition(seed, opts.stream_len),
         ));
-        reports.push(Report::new(
-            format!("{}@voltage-monotone/seed{seed}", bench.name()),
-            metamorphic::voltage_monotonicity(seed, &opts.voltages, opts.stream_len),
-        ));
+        for &model in &opts.models {
+            reports.push(Report::new(
+                format!(
+                    "{}@voltage-monotone/{}/seed{seed}",
+                    bench.name(),
+                    model.name()
+                ),
+                metamorphic::voltage_monotonicity(seed, &opts.voltages, opts.stream_len, model),
+            ));
+        }
     }
 
     // Geometry-exhaustive window containment, once.
@@ -156,22 +179,32 @@ fn run(opts: &Options) -> Vec<Report> {
     ));
 
     // Packed-vs-reference: the word-packed hot-path queries against
-    // their retained per-bit references, on maps drawn down the ladder.
-    reports.push(Report::new(
-        format!("hotpath@packed-reference/seed{}", opts.seed),
-        oracles::packed_reference_equivalence(opts.seed, &opts.voltages),
-    ));
+    // their retained per-bit references, on maps drawn down the ladder
+    // under each requested fault model.
+    for &model in &opts.models {
+        reports.push(Report::new(
+            format!(
+                "hotpath@packed-reference/{}/seed{}",
+                model.name(),
+                opts.seed
+            ),
+            oracles::packed_reference_equivalence(opts.seed, &opts.voltages, model),
+        ));
+    }
 
     // End-to-end families through the evaluator: clean equivalence at
-    // 760 mV over the real bench10 workloads, and persistence identity
-    // for the first requested benchmark.
-    reports.push(Report::new(
-        "evaluator@clean-760mV".to_string(),
-        oracles::evaluator_clean_equivalence(&opts.benchmarks, opts.seed),
-    ));
+    // 760 mV over the real bench10 workloads (once per fault model — a
+    // yield-clean point must be clean under every injection backend),
+    // and persistence identity for the first requested benchmark.
+    for &model in &opts.models {
+        reports.push(Report::new(
+            format!("evaluator@clean-760mV/{}", model.name()),
+            oracles::evaluator_clean_equivalence(&opts.benchmarks, opts.seed, model),
+        ));
+    }
     reports.push(Report::new(
         format!("evaluator@persistence/{}", opts.benchmarks[0].name()),
-        oracles::persistence_identity(opts.benchmarks[0], opts.seed),
+        oracles::persistence_identity(opts.benchmarks[0], opts.seed, opts.models[0]),
     ));
 
     if opts.inject_divergence {

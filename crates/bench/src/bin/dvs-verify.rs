@@ -26,7 +26,7 @@ use dvs_analysis::{
 };
 use dvs_diff::bounded_suite;
 use dvs_linker::{adaptive_max_block_words, bbr_transform, BbrLinker, Diagnostic, Location};
-use dvs_sram::{ladder_mv, CacheGeometry, FaultChain, MilliVolts, PfailModel};
+use dvs_sram::{ladder_mv, CacheGeometry, FaultChain, FaultModel, MilliVolts, PfailModel};
 use dvs_workloads::{Benchmark, Layout};
 
 /// Versioned schema tag of the `--json` envelope.
@@ -37,6 +37,7 @@ struct Options {
     benchmarks: Vec<Benchmark>,
     maps: u64,
     seed: u64,
+    model: FaultModel,
     json: bool,
     inject_misplacement: bool,
     bounded_depth: usize,
@@ -49,6 +50,7 @@ impl Default for Options {
             benchmarks: Benchmark::ALL.to_vec(),
             maps: 2,
             seed: 0,
+            model: FaultModel::Iid,
             json: false,
             inject_misplacement: false,
             bounded_depth: 4,
@@ -61,6 +63,8 @@ const USAGE: &str = "usage: dvs-verify [options]
   --benchmarks LIST comma-separated benchmark names (default: all ten)
   --maps N          fault chains grown per benchmark (default 2)
   --seed N          base RNG seed for the fault chains (default 0)
+  --model NAME      fault model the chains sample under: iid, rowcol or
+                    clustered (default iid)
   --bounded-depth N bounded model-checking depth, 0 to skip (default 4)
   --json            emit one dvs-verify/1 JSON document instead of text
   --inject-misplacement
@@ -113,6 +117,11 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 opts.seed = value("--seed")?
                     .parse()
                     .map_err(|_| "--seed expects an integer".to_string())?;
+            }
+            "--model" => {
+                let name = value("--model")?;
+                opts.model = FaultModel::parse(name.trim())
+                    .ok_or_else(|| format!("unknown model: {name}"))?;
             }
             "--bounded-depth" => {
                 opts.bounded_depth = value("--bounded-depth")?
@@ -174,7 +183,7 @@ fn run(opts: &Options) -> Vec<Report> {
         let wl = bench.build(opts.seed);
         for map in 0..opts.maps {
             let chain_seed = opts.seed.wrapping_add(map).wrapping_mul(0x9E37_79B9);
-            let mut chain = FaultChain::new(&geom, chain_seed);
+            let mut chain = FaultChain::with_model(&geom, chain_seed, opts.model);
             for &mv in &rungs {
                 let p_word = model.pfail_word(MilliVolts::new(mv));
                 chain.advance_to(p_word);

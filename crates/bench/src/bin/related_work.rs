@@ -48,6 +48,7 @@ fn main() {
         Scheme::WordSub,
         Scheme::LineDisable,
         Scheme::WayDisable,
+        Scheme::TsCache,
     ];
     println!("normalized runtime vs defect-free (mean over Monte-Carlo maps):");
     print!("{:<14}", "scheme");

@@ -24,7 +24,9 @@ use dvs_obs::{Recorder, Span};
 use dvs_power::energy::RunCounts;
 use dvs_schemes::L1Cache;
 use dvs_sram::montecarlo::trial_seed;
-use dvs_sram::{ladder_mv, CacheGeometry, FaultChain, FaultMap, MilliVolts, PfailModel};
+use dvs_sram::{
+    ladder_mv, CacheGeometry, FaultChain, FaultMap, FaultModel, MilliVolts, PfailModel,
+};
 use dvs_workloads::{Layout, Program, TraceOp, TraceTemplate, Workload};
 
 use crate::cancel::CancelToken;
@@ -164,9 +166,9 @@ struct ChainEntry {
 }
 
 impl ChainEntry {
-    fn fresh(geometry: &CacheGeometry, seed: u64) -> Self {
+    fn fresh(geometry: &CacheGeometry, seed: u64, model: FaultModel) -> Self {
         ChainEntry {
-            chain: FaultChain::new(geometry, seed),
+            chain: FaultChain::with_model(geometry, seed, model),
             mv: dvs_sram::LADDER_TOP_MV + dvs_sram::LADDER_STEP_MV,
         }
     }
@@ -223,16 +225,20 @@ fn map_fingerprint(words: &[u64]) -> u64 {
     h ^ words.len() as u64
 }
 
-/// The v2 fault map of one trial side at `vcc_mv`: a [`FaultChain`]
-/// advanced down the voltage ladder. With a warm cache the chain extends
-/// incrementally; without one it replays the identical ladder from
-/// scratch, so both paths produce bit-identical maps.
+/// The v3 fault map of one trial side at `vcc_mv`: a [`FaultChain`]
+/// under the configured fault model, advanced down the voltage ladder.
+/// With a warm cache the chain extends incrementally; without one it
+/// replays the identical ladder from scratch, so both paths produce
+/// bit-identical maps. The arena's chain cache needs no model in its key:
+/// one arena serves one plan drain, and the model is plan-global.
+#[allow(clippy::too_many_arguments)]
 fn ladder_fault_map(
     geometry: &CacheGeometry,
     seed_base: u64,
     trial: u64,
     side: u8,
     vcc_mv: u32,
+    model: FaultModel,
     chains: Option<&mut HashMap<(u64, u64, u8), ChainEntry>>,
     rec: Option<&dyn Recorder>,
 ) -> FaultMap {
@@ -243,17 +249,17 @@ fn ladder_fault_map(
             let entry = match chains.entry((seed_base, trial, side)) {
                 Entry::Occupied(mut o) => {
                     if !o.get().reusable_for(vcc_mv) {
-                        *o.get_mut() = ChainEntry::fresh(geometry, seed);
+                        *o.get_mut() = ChainEntry::fresh(geometry, seed, model);
                     }
                     o.into_mut()
                 }
-                Entry::Vacant(v) => v.insert(ChainEntry::fresh(geometry, seed)),
+                Entry::Vacant(v) => v.insert(ChainEntry::fresh(geometry, seed, model)),
             };
             let added = entry.advance(vcc_mv);
             (entry.chain.map().clone(), added)
         }
         None => {
-            let mut entry = ChainEntry::fresh(geometry, seed);
+            let mut entry = ChainEntry::fresh(geometry, seed, model);
             let added = entry.advance(vcc_mv);
             (entry.chain.into_map(), added)
         }
@@ -579,6 +585,7 @@ fn run_trial(
                     trial,
                     0,
                     point.vcc.get(),
+                    cfg.fault_model,
                     Some(chains),
                     rec,
                 ),
@@ -588,6 +595,7 @@ fn run_trial(
                     trial,
                     1,
                     point.vcc.get(),
+                    cfg.fault_model,
                     Some(chains),
                     rec,
                 ),
@@ -599,6 +607,7 @@ fn run_trial(
                     trial,
                     0,
                     point.vcc.get(),
+                    cfg.fault_model,
                     None,
                     rec,
                 ),
@@ -608,6 +617,7 @@ fn run_trial(
                     trial,
                     1,
                     point.vcc.get(),
+                    cfg.fault_model,
                     None,
                     rec,
                 ),

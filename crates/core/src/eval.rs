@@ -101,6 +101,13 @@ pub struct EvalConfig {
     /// determinism tests pin this) — so it is not part of the
     /// result-store key.
     pub reuse_buffers: bool,
+    /// Spatial structure of the Monte-Carlo fault maps
+    /// ([`dvs_sram::FaultModel`]). Changes every sampled map, so — unlike
+    /// the pure performance knobs — it **is** part of the result-store
+    /// key (seed schema v3): cells computed under different models can
+    /// never alias one store file. Defaults to the paper's i.i.d.
+    /// protocol, which remains bit-identical to the pre-model sampler.
+    pub fault_model: dvs_sram::FaultModel,
 }
 
 impl EvalConfig {
@@ -116,6 +123,7 @@ impl EvalConfig {
             validate_images: false,
             verify_images: false,
             reuse_buffers: true,
+            fault_model: dvs_sram::FaultModel::Iid,
         }
     }
 
@@ -140,6 +148,7 @@ impl EvalConfig {
             validate_images: true,
             verify_images: false,
             reuse_buffers: true,
+            fault_model: dvs_sram::FaultModel::Iid,
         }
     }
 }

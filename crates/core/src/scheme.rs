@@ -41,12 +41,17 @@ pub enum Scheme {
     LineDisable,
     /// Gated-Vdd way disable on both L1s (related work, §III-B).
     WayDisable,
+    /// TS Cache timing speculation on both L1s (related work; FFW's
+    /// direct competitor on the zero-added-hit-latency axis). Appended
+    /// last so the serialized variant tags of existing schemes — and
+    /// thus stored results — are unchanged.
+    TsCache,
 }
 
 impl Scheme {
     /// Every scheme, in declaration order (used by name-based lookups,
     /// e.g. the `dvs-serve` JSON API).
-    pub const ALL: [Scheme; 13] = [
+    pub const ALL: [Scheme; 14] = [
         Scheme::Baseline760,
         Scheme::DefectFree,
         Scheme::FfwBbr,
@@ -60,6 +65,7 @@ impl Scheme {
         Scheme::WordSub,
         Scheme::LineDisable,
         Scheme::WayDisable,
+        Scheme::TsCache,
     ];
 
     /// The six configurations plotted in Figures 10–12.
@@ -87,6 +93,7 @@ impl Scheme {
             Scheme::WordSub => SchemeKind::WordSubstitution,
             Scheme::LineDisable => SchemeKind::LineDisable,
             Scheme::WayDisable => SchemeKind::WayDisable,
+            Scheme::TsCache => SchemeKind::TsCache,
         }
     }
 
@@ -145,6 +152,7 @@ impl Scheme {
             Scheme::WordSub => "Word-subst",
             Scheme::LineDisable => "Line-disable",
             Scheme::WayDisable => "Way-disable",
+            Scheme::TsCache => "TS-Cache",
         }
     }
 }
@@ -208,5 +216,15 @@ mod tests {
     fn names_match_legends() {
         assert_eq!(Scheme::FfwBbr.to_string(), "FFW+BBR");
         assert_eq!(Scheme::FbaPlus.to_string(), "FBA+");
+    }
+
+    #[test]
+    fn ts_cache_runs_both_l1s_speculatively_and_sees_faults() {
+        assert_eq!(Scheme::TsCache.l1i_kind(), SchemeKind::TsCache);
+        assert_eq!(Scheme::TsCache.l1d_kind(), SchemeKind::TsCache);
+        assert!(Scheme::TsCache.sees_faults());
+        assert!(!Scheme::TsCache.needs_bbr_link());
+        assert!(Scheme::ALL.contains(&Scheme::TsCache));
+        assert!(Scheme::TsCache.energy_static_factor() > 1.0);
     }
 }

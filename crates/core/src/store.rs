@@ -26,7 +26,7 @@ use serde::bin::{Deserializer, Serializer};
 use serde::{Deserialize, Serialize};
 
 use dvs_cpu::CoreConfig;
-use dvs_sram::CacheGeometry;
+use dvs_sram::{CacheGeometry, FaultModel};
 use dvs_workloads::Benchmark;
 
 use crate::eval::TrialMetrics;
@@ -46,7 +46,13 @@ const MAGIC: &[u8; 8] = b"DVSCELL1";
 /// voltage ladder ([`dvs_sram::FaultChain`]), and the per-cell seed base
 /// no longer folds in the voltage. Identical in distribution to v1 but a
 /// different RNG stream, so v1 cells must read as misses.
-const KEY_VERSION: u32 = 2;
+///
+/// v3: the fault model ([`dvs_sram::FaultModel`]) is part of the key, so
+/// cells computed under i.i.d., row/column or clustered fault injection
+/// can never alias each other. v2 cells (implicitly i.i.d.) read as
+/// misses rather than be grandfathered in — a recompute is cheaper than
+/// auditing that nothing else drifted.
+const KEY_VERSION: u32 = 3;
 
 /// Everything a cell's results depend on. Two processes computing the
 /// same `StoreKey` are guaranteed (by the deterministic seeding) to
@@ -79,6 +85,9 @@ pub struct StoreKey {
     pub vcc_mv: u32,
     /// Trials this cell was asked to run.
     pub trials: u64,
+    /// Fault-injection model the maps were sampled under (seed schema
+    /// v3). Appended last so the preceding field encodings are unchanged.
+    pub fault_model: FaultModel,
 }
 
 impl StoreKey {
@@ -101,6 +110,7 @@ impl StoreKey {
             scheme: cell.scheme,
             vcc_mv: cell.vcc_mv,
             trials: cell.trials(cfg),
+            fault_model: cfg.fault_model,
         }
     }
 
@@ -301,6 +311,10 @@ mod tests {
                 bbr_max_block_words: Some(12),
                 ..cfg
             },
+            EvalConfig {
+                fault_model: FaultModel::clustered(),
+                ..cfg
+            },
         ] {
             assert!(
                 store.load(&key(&changed)).is_none(),
@@ -313,6 +327,25 @@ mod tests {
             ..cfg
         };
         assert!(store.load(&key(&threads)).is_some());
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn models_get_distinct_store_files() {
+        // Cross-model isolation: the same cell under different fault
+        // models must map to different file names, so a campaign under
+        // one model can never serve cached results to another.
+        let store = temp_store("models");
+        let cfg = EvalConfig::quick();
+        let mut names = std::collections::HashSet::new();
+        for model in FaultModel::ALL {
+            let k = key(&EvalConfig {
+                fault_model: model,
+                ..cfg
+            });
+            assert!(names.insert(store.file_for(&k.to_bytes())));
+        }
+        assert_eq!(names.len(), FaultModel::ALL.len());
         let _ = fs::remove_dir_all(store.dir());
     }
 

@@ -89,7 +89,10 @@ impl MemSystem {
     }
 
     fn read_latency(&self, out: ReadOutcome, extra: u32) -> u64 {
-        let base = u64::from(self.latency.l1_hit_cycles) + u64::from(extra);
+        // Replay cycles are per-access (TS Cache checker reissues on
+        // marginal words), unlike `extra`, which every access pays.
+        let base =
+            u64::from(self.latency.l1_hit_cycles) + u64::from(extra) + u64::from(out.replay_cycles);
         match out.source {
             ServedFrom::L1 => base,
             ServedFrom::L2 => base + u64::from(self.latency.l2_hit_cycles),

@@ -14,6 +14,10 @@
 //!   observable behaviour is identical to the conventional cache's
 //!   (the paper's §IV baseline claim), here proven exhaustively to the
 //!   depth bound rather than sampled.
+//! * **Timing-speculation contract** — TS Cache serves every L1 hit
+//!   speculatively, so a hit on a defective word must pay the checker's
+//!   replay penalty and a hit on a clean word must not; reads served
+//!   from deeper levels never replay ([`ts_replay_violation`]).
 //! * **Reset freshness** of the LRU replacement queue, and shape
 //!   invariants of the FFW window-pattern function, checked over their
 //!   whole (tiny) input domains. These two domains are exactly where the
@@ -32,7 +36,7 @@ use std::collections::HashSet;
 use dvs_cache::{Addr, L2Cache, LruQueue};
 use dvs_linker::{lint_ids, Diagnostic, Location};
 use dvs_schemes::{L1Cache, SchemeKind, ServedFrom};
-use dvs_sram::{CacheGeometry, FaultMap};
+use dvs_sram::{CacheGeometry, FaultMap, FrameId};
 
 use crate::shrink::ddmin;
 use crate::stream::Event;
@@ -97,6 +101,7 @@ impl Violation {
         let checker = match self.invariant {
             "lru-stack" => "lru_stack_violation",
             "inclusion" => "inclusion_violation",
+            "ts-replay" => "ts_replay_violation",
             _ => "clean_equivalence_violation_named",
         };
         let map = if self.faults.is_empty() {
@@ -303,6 +308,92 @@ pub fn clean_equivalence_violation(
         }
     }
     None
+}
+
+/// Checks the timing-speculation contract of one sequence: an L1-served
+/// read pays the checker's replay penalty exactly when the word it
+/// returns is defective — no defective word is ever consumed unchecked,
+/// and clean words never pay the penalty. Reads served from the L2 or
+/// memory go through the full-latency path and must carry no replay
+/// cycles, and the replay counter must agree with the per-read outcomes.
+///
+/// The serving way is not externally observable, so the per-read claim
+/// is decided only where it is decidable: word offsets whose defect
+/// status is uniform across every way of the addressed set (mixed
+/// offsets still participate in the source and counter checks).
+///
+/// `kind` is the scheme under test — [`SchemeKind::TsCache`] passes; an
+/// unprotected scheme (e.g. conventional) fails the moment it serves a
+/// defective word without replay, which is how the suite proves this
+/// checker has teeth.
+pub fn ts_replay_violation(kind: SchemeKind, fmap: &FaultMap, ops: &[Op]) -> Option<String> {
+    let geom = *fmap.geometry();
+    let mut l1 = L1Cache::new(kind, fmap.clone());
+    let mut l2 = tiny_l2();
+    let mut replayed_reads = 0u64;
+    for (i, &op) in ops.iter().enumerate() {
+        match op {
+            Op::Read(a) => {
+                let (_, set) = block_and_set(&geom, a);
+                let word = (a % u64::from(geom.block_bytes()) / 4) as u32;
+                let out = l1.read(Addr::new(a), &mut l2);
+                if out.replay_cycles > 0 {
+                    replayed_reads += 1;
+                }
+                if out.source != ServedFrom::L1 {
+                    if out.replay_cycles != 0 {
+                        return Some(format!(
+                            "step {i}: read of {a:#x} served from {:?} carries \
+                             {} replay cycle(s); only L1 hits replay",
+                            out.source, out.replay_cycles,
+                        ));
+                    }
+                    continue;
+                }
+                let faulty_ways = (0..geom.ways())
+                    .filter(|&way| {
+                        fmap.frame_fault_pattern(FrameId::new(set as u32, way)) & (1 << word) != 0
+                    })
+                    .count() as u32;
+                if faulty_ways == geom.ways() && out.replay_cycles == 0 {
+                    return Some(format!(
+                        "step {i}: read of {a:#x} (set {set}, word {word}) was served \
+                         from the L1 with no replay, but every way holds a defective \
+                         copy of that word — a defective word was consumed unchecked",
+                    ));
+                }
+                if faulty_ways == 0 && out.replay_cycles != 0 {
+                    return Some(format!(
+                        "step {i}: read of {a:#x} (set {set}, word {word}) paid {} \
+                         replay cycle(s) but no way of the set is defective there",
+                        out.replay_cycles,
+                    ));
+                }
+            }
+            Op::Write(a) => {
+                l1.write(Addr::new(a));
+            }
+            Op::InvalidateAll => {
+                l1.invalidate_all();
+            }
+        }
+    }
+    if l1.stats().replays != replayed_reads {
+        return Some(format!(
+            "replay counter disagrees with the per-read outcomes: stats say {} \
+             but {replayed_reads} read(s) carried replay cycles",
+            l1.stats().replays,
+        ));
+    }
+    None
+}
+
+/// Bounded-exhaustively checks the timing-speculation contract of `kind`
+/// over `fmap` to `depth` (see [`ts_replay_violation`]).
+pub fn check_ts_replay(kind: SchemeKind, fmap: &FaultMap, depth: usize) -> Option<Violation> {
+    machine_violation("ts-replay", kind, fmap, depth, &|ops| {
+        ts_replay_violation(kind, fmap, ops)
+    })
 }
 
 /// [`clean_equivalence_violation`] — alias so rendered tests read
@@ -565,6 +656,7 @@ pub fn clean_equivalent_kinds() -> Vec<SchemeKind> {
         SchemeKind::WordSubstitution,
         SchemeKind::LineDisable,
         SchemeKind::WayDisable,
+        SchemeKind::TsCache,
     ]
 }
 
@@ -585,6 +677,7 @@ pub fn bounded_suite(depth: usize) -> Vec<Diagnostic> {
         SchemeKind::EightT,
         SchemeKind::SimpleWordDisable,
         SchemeKind::Ffw,
+        SchemeKind::TsCache,
     ] {
         out.extend(
             check_lru_stack(kind, &clean, depth)
@@ -601,6 +694,7 @@ pub fn bounded_suite(depth: usize) -> Vec<Diagnostic> {
         SchemeKind::LineDisable,
         SchemeKind::WayDisable,
         SchemeKind::Bbr,
+        SchemeKind::TsCache,
     ] {
         for fmap in [&clean, &faulty] {
             out.extend(
@@ -613,6 +707,18 @@ pub fn bounded_suite(depth: usize) -> Vec<Diagnostic> {
     for kind in clean_equivalent_kinds() {
         out.extend(
             check_clean_equivalence(kind, &geom, depth)
+                .iter()
+                .map(Violation::to_diagnostic),
+        );
+    }
+    // TS Cache's speculation contract: checked on the clean map, on the
+    // mixed map above, and on a map where word 1 of set 0 is defective in
+    // *both* ways — the configuration where "defective word consumed
+    // unchecked" is externally decidable on every set-0 hit.
+    let both_ways = FaultMap::from_faulty_indices(&geom, [1, 17]);
+    for fmap in [&clean, &faulty, &both_ways] {
+        out.extend(
+            check_ts_replay(SchemeKind::TsCache, fmap, depth)
                 .iter()
                 .map(Violation::to_diagnostic),
         );
@@ -687,6 +793,38 @@ mod tests {
                 "{kind:?} diverged from the baseline on a clean map"
             );
         }
+    }
+
+    #[test]
+    fn ts_cache_never_reads_a_defective_word_unchecked() {
+        let geom = tiny_geometry();
+        for faults in [vec![], vec![1, 25], vec![1, 17]] {
+            let fmap = FaultMap::from_faulty_indices(&geom, faults.iter().copied());
+            assert!(
+                check_ts_replay(SchemeKind::TsCache, &fmap, 4).is_none(),
+                "TS Cache broke the speculation contract on faults {faults:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn unchecked_speculation_is_caught_and_shrunk() {
+        // Teeth: the conventional cache serves defective words without a
+        // replay, so on a map where both ways of set 0 are defective at
+        // word 1 the checker must find the unchecked read and ddmin must
+        // shrink it to the single offending access.
+        let geom = tiny_geometry();
+        let both_ways = FaultMap::from_faulty_indices(&geom, [1, 17]);
+        let v = check_ts_replay(SchemeKind::Conventional, &both_ways, 3)
+            .expect("an unprotected cache must trip the speculation contract");
+        assert!(v.detail.contains("consumed unchecked"), "{}", v.detail);
+        assert!(v.ops.len() <= 2, "shrunk to {:?}", v.ops);
+        let test = v.render_test(
+            "shrunk_ts_replay_repro",
+            "SchemeKind::Conventional",
+            "dvs_diff::bounded::tiny_geometry()",
+        );
+        assert!(test.contains("ts_replay_violation"));
     }
 
     #[test]

@@ -19,9 +19,9 @@
 //!   `#[test]`.
 //! * [`bounded`] — bounded exhaustive model checking: every access
 //!   sequence to a depth bound over a tiny geometry, proving the LRU
-//!   stack, inclusion and clean-map-equivalence invariants of the
-//!   scheme state machines, plus whole-domain checks of the FFW window
-//!   function and LRU reset freshness. Counterexamples shrink through
+//!   stack, inclusion, clean-map-equivalence and timing-speculation
+//!   invariants of the scheme state machines, plus whole-domain checks
+//!   of the FFW window function and LRU reset freshness. Counterexamples shrink through
 //!   the same ddmin and render as tests.
 //!
 //! The `dvs-diff` binary (in `dvs-bench`) sweeps all of the above over
@@ -54,6 +54,6 @@ pub mod stream;
 pub use bounded::{bounded_suite, check_sequences, Op, Violation};
 pub use shrink::{ddmin, render_fault_addition_test, render_pair_test, shrink_case, Case};
 pub use stream::{
-    first_behavioral_divergence, first_divergence, run_stream, synthetic_stream, word_misses,
-    Access, Event,
+    first_behavioral_divergence, first_divergence, replays, run_stream, synthetic_stream,
+    word_misses, Access, Event,
 };

@@ -24,12 +24,12 @@ use dvs_analysis::{Diagnostic, Location};
 use dvs_core::DvfsPoint;
 use dvs_schemes::ffw::{window_pattern, window_pattern_aligned};
 use dvs_schemes::{SchemeKind, ServedFrom};
-use dvs_sram::{CacheGeometry, FaultChain, FaultMap, MilliVolts};
+use dvs_sram::{CacheGeometry, FaultChain, FaultMap, FaultModel, MilliVolts};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::shrink::{render_fault_addition_test, shrink_case, Case};
-use crate::stream::{run_stream, synthetic_stream, word_misses, Event};
+use crate::stream::{replays, run_stream, synthetic_stream, word_misses, Event};
 
 /// Lint identifier for voltage-monotonicity violations.
 pub const LINT_VOLTAGE: &str = "diff/voltage-monotone";
@@ -55,12 +55,21 @@ const STATELESS_KINDS: [(SchemeKind, &str); 3] = [
 
 /// Sweep 1: over descending voltages along one fault chain, fault maps
 /// must nest and word-miss counts must be non-decreasing.
-pub fn voltage_monotonicity(seed: u64, voltages_mv: &[u32], stream_len: usize) -> Vec<Diagnostic> {
+///
+/// `fault_model` selects the injection backend the chain samples under:
+/// the nesting precondition and the monotonicity claim are model
+/// obligations — every backend, i.i.d. or correlated, must satisfy them.
+pub fn voltage_monotonicity(
+    seed: u64,
+    voltages_mv: &[u32],
+    stream_len: usize,
+    fault_model: FaultModel,
+) -> Vec<Diagnostic> {
     let geom = CacheGeometry::dsn_l1();
     let mut voltages: Vec<u32> = voltages_mv.to_vec();
     voltages.sort_unstable_by(|a, b| b.cmp(a));
     voltages.dedup();
-    let mut chain = FaultChain::new(&geom, seed);
+    let mut chain = FaultChain::with_model(&geom, seed, fault_model);
     let maps: Vec<(u32, FaultMap)> = voltages
         .iter()
         .map(|&mv| {
@@ -115,6 +124,31 @@ pub fn voltage_monotonicity(seed: u64, voltages_mv: &[u32], stream_len: usize) -
                     ),
                 ));
             }
+        }
+    }
+
+    // TS Cache never word-misses (every read is speculatively served from
+    // the L1), so its monotone quantity is the replay count: nested fault
+    // maps mark a superset of words marginal, and the replacement
+    // trajectory is fault-independent, so replays can only grow as the
+    // voltage falls.
+    let replay_counts: Vec<(u32, u64)> = maps
+        .iter()
+        .map(|(mv, map)| (*mv, replays(SchemeKind::TsCache, map, &stream)))
+        .collect();
+    for pair in replay_counts.windows(2) {
+        let (hi_mv, hi_replays) = pair[0];
+        let (lo_mv, lo_replays) = pair[1];
+        if lo_replays < hi_replays {
+            diags.push(Diagnostic::deny(
+                LINT_VOLTAGE,
+                Location::Image,
+                format!(
+                    "SchemeKind::TsCache: replays decreased from {hi_replays} at \
+                     {hi_mv} mV to {lo_replays} at {lo_mv} mV under nested fault \
+                     maps (seed {seed})",
+                ),
+            ));
         }
     }
     diags
@@ -260,9 +294,11 @@ mod tests {
     use crate::stream::{first_divergence, Access};
 
     #[test]
-    fn tier1_voltages_are_monotone() {
-        let diags = voltage_monotonicity(5, &[760, 600, 480, 400], 2_000);
-        assert_eq!(diags, Vec::new());
+    fn tier1_voltages_are_monotone_under_every_model() {
+        for model in FaultModel::ALL {
+            let diags = voltage_monotonicity(5, &[760, 600, 480, 400], 2_000, model);
+            assert_eq!(diags, Vec::new(), "non-monotone under {}", model.name());
+        }
     }
 
     #[test]

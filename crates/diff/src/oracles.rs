@@ -35,7 +35,9 @@ use dvs_linker::{
 use dvs_obs::MetricsRegistry;
 use dvs_schemes::SchemeKind;
 use dvs_sram::montecarlo::trial_seed;
-use dvs_sram::{ladder_mv, CacheGeometry, FaultChain, FaultMap, MilliVolts, PfailModel};
+use dvs_sram::{
+    ladder_mv, CacheGeometry, FaultChain, FaultMap, FaultModel, MilliVolts, PfailModel,
+};
 use dvs_workloads::Benchmark;
 
 use crate::shrink::{render_pair_test, shrink_case, Case};
@@ -133,7 +135,7 @@ pub fn clean_map_equivalence(seed: u64, stream_len: usize) -> Vec<Diagnostic> {
     let geom = CacheGeometry::dsn_l1();
     let clean = FaultMap::fault_free(&geom);
     let accesses = synthetic_stream(seed, stream_len);
-    let candidates: [(SchemeKind, &str); 8] = [
+    let candidates: [(SchemeKind, &str); 9] = [
         (SchemeKind::EightT, "SchemeKind::EightT"),
         (
             SchemeKind::SimpleWordDisable,
@@ -145,6 +147,7 @@ pub fn clean_map_equivalence(seed: u64, stream_len: usize) -> Vec<Diagnostic> {
         (SchemeKind::WordSubstitution, "SchemeKind::WordSubstitution"),
         (SchemeKind::LineDisable, "SchemeKind::LineDisable"),
         (SchemeKind::WayDisable, "SchemeKind::WayDisable"),
+        (SchemeKind::TsCache, "SchemeKind::TsCache"),
     ];
     candidates
         .into_iter()
@@ -170,28 +173,36 @@ pub fn clean_map_equivalence(seed: u64, stream_len: usize) -> Vec<Diagnostic> {
 }
 
 /// A small evaluator configuration for the end-to-end oracles.
-fn tiny_config(seed: u64) -> EvalConfig {
+fn tiny_config(seed: u64, fault_model: FaultModel) -> EvalConfig {
     EvalConfig {
         trace_instrs: 3_000,
         maps: 2,
         seed,
         threads: 2,
         validate_images: false,
+        fault_model,
         ..EvalConfig::quick()
     }
 }
 
 /// Recomputes the engine's two per-trial fault maps for `key`/`trial`
-/// exactly as `run_trial` samples them: a [`FaultChain`] advanced down
-/// the 20 mV voltage ladder to the cell's operating point, with the
-/// failure probability clamped monotone against the pfail fit.
-fn trial_maps(key: &CellKey, root_seed: u64, trial: u64) -> (FaultMap, FaultMap) {
+/// exactly as `run_trial` samples them: a [`FaultChain`] under
+/// `fault_model` advanced down the 20 mV voltage ladder to the cell's
+/// operating point, with the failure probability clamped monotone
+/// against the pfail fit.
+fn trial_maps(
+    key: &CellKey,
+    root_seed: u64,
+    trial: u64,
+    fault_model: FaultModel,
+) -> (FaultMap, FaultMap) {
     let geom = CacheGeometry::dsn_l1();
     let vcc_mv = key.point().vcc.get();
     let model = PfailModel::dsn45();
     let base = key.seed_base(root_seed);
     let side = |side: u64| {
-        let mut chain = FaultChain::new(&geom, trial_seed(base, 2 * trial + side));
+        let mut chain =
+            FaultChain::with_model(&geom, trial_seed(base, 2 * trial + side), fault_model);
         for mv in ladder_mv(vcc_mv) {
             let p = model.pfail_word(MilliVolts::new(mv)).max(chain.p_current());
             chain.advance_to(p);
@@ -208,10 +219,18 @@ fn trial_maps(key: &CellKey, root_seed: u64, trial: u64) -> (FaultMap, FaultMap)
 /// timing-independent). Trials whose maps sampled a defect (possible:
 /// 760 mV is yield-clean, not P_fail = 0) get a warn, never a silent
 /// skip.
-pub fn evaluator_clean_equivalence(benchmarks: &[Benchmark], seed: u64) -> Vec<Diagnostic> {
+///
+/// `fault_model` selects the injection backend the evaluator samples
+/// under — the equivalence must hold for every model, since at a clean
+/// operating point correlation structure has nothing to correlate.
+pub fn evaluator_clean_equivalence(
+    benchmarks: &[Benchmark],
+    seed: u64,
+    fault_model: FaultModel,
+) -> Vec<Diagnostic> {
     let vcc = MilliVolts::new(760);
     let mut diags = Vec::new();
-    let mut ev = Evaluator::new(tiny_config(seed));
+    let mut ev = Evaluator::new(tiny_config(seed, fault_model));
     for &bench in benchmarks {
         let reference = match ev.run(bench, Scheme::DefectFree, vcc) {
             Ok(run) => run,
@@ -225,7 +244,12 @@ pub fn evaluator_clean_equivalence(benchmarks: &[Benchmark], seed: u64) -> Vec<D
             }
         };
         let ref_trial = &reference.trials[0];
-        let exact = [Scheme::SimpleWdis, Scheme::LineDisable, Scheme::WayDisable];
+        let exact = [
+            Scheme::SimpleWdis,
+            Scheme::LineDisable,
+            Scheme::WayDisable,
+            Scheme::TsCache,
+        ];
         let memory_only = [Scheme::EightT, Scheme::WordSub];
         for scheme in exact.iter().chain(memory_only.iter()).copied() {
             let run = match ev.run(bench, scheme, vcc) {
@@ -242,7 +266,7 @@ pub fn evaluator_clean_equivalence(benchmarks: &[Benchmark], seed: u64) -> Vec<D
             let key = CellKey::new(bench, scheme, vcc);
             for (trial, metrics) in run.trials.iter().enumerate() {
                 if scheme.sees_faults() {
-                    let (fmap_i, fmap_d) = trial_maps(&key, seed, trial as u64);
+                    let (fmap_i, fmap_d) = trial_maps(&key, seed, trial as u64, fault_model);
                     if fmap_i.faulty_words() + fmap_d.faulty_words() > 0 {
                         diags.push(Diagnostic::warn(
                             LINT_HYPOTHESIS,
@@ -382,7 +406,11 @@ pub fn sa_dm_equivalence(seed: u64, stream_len: usize) -> Vec<Diagnostic> {
 /// store-backed, store-reloaded, recorder-on and with the worker arena
 /// disabled; every trial vector of every cell must be bit-identical to
 /// the plain sweep.
-pub fn persistence_identity(benchmark: Benchmark, seed: u64) -> Vec<Diagnostic> {
+pub fn persistence_identity(
+    benchmark: Benchmark,
+    seed: u64,
+    fault_model: FaultModel,
+) -> Vec<Diagnostic> {
     let scheme = Scheme::FfwBbr;
     let plan = ExperimentPlan::for_grid(
         &[benchmark],
@@ -398,7 +426,7 @@ pub fn persistence_identity(benchmark: Benchmark, seed: u64) -> Vec<Diagnostic> 
     let run_with = |store: Option<ResultStore>, recorder: bool, reuse: bool| -> PlanRuns {
         let mut ev = Evaluator::new(EvalConfig {
             reuse_buffers: reuse,
-            ..tiny_config(seed)
+            ..tiny_config(seed, fault_model)
         });
         if let Some(store) = store {
             ev = ev.with_store(store);
@@ -487,13 +515,17 @@ pub fn persistence_identity(benchmark: Benchmark, seed: u64) -> Vec<Diagnostic> 
 /// linker's word-chunked occupancy scans.
 ///
 /// [`BitGrid`]: dvs_sram::BitGrid
-pub fn packed_reference_equivalence(seed: u64, voltages_mv: &[u32]) -> Vec<Diagnostic> {
+pub fn packed_reference_equivalence(
+    seed: u64,
+    voltages_mv: &[u32],
+    fault_model: FaultModel,
+) -> Vec<Diagnostic> {
     let geom = CacheGeometry::dsn_l1();
     let model = PfailModel::dsn45();
     let mut voltages: Vec<u32> = voltages_mv.to_vec();
     voltages.sort_unstable_by(|a, b| b.cmp(a));
     voltages.dedup();
-    let mut chain = FaultChain::new(&geom, seed);
+    let mut chain = FaultChain::with_model(&geom, seed, fault_model);
     let mut diags = Vec::new();
     for mv in voltages {
         let p = model.pfail_word(MilliVolts::new(mv)).max(chain.p_current());
@@ -676,11 +708,15 @@ mod tests {
     }
 
     #[test]
-    fn packed_reference_family_is_clean() {
-        assert_eq!(
-            packed_reference_equivalence(19, &[760, 600, 480, 400]),
-            Vec::new()
-        );
+    fn packed_reference_family_is_clean_under_every_model() {
+        for model in FaultModel::ALL {
+            assert_eq!(
+                packed_reference_equivalence(19, &[760, 600, 480, 400], model),
+                Vec::new(),
+                "packed-vs-reference diverged under {}",
+                model.name()
+            );
+        }
     }
 
     /// The harness must actually catch discrepancies: the injected

@@ -73,10 +73,10 @@ impl Event {
 /// Frequency the latency field is computed at (Table II's 760 mV point).
 const NOMINAL_FREQ_MHZ: u32 = 1607;
 
-fn read_latency(source: ServedFrom, extra: u32) -> u64 {
+fn read_latency(source: ServedFrom, extra: u32, replay: u32) -> u64 {
     let lat = LatencyConfig::dsn();
     match source {
-        ServedFrom::L1 => u64::from(lat.l1_hit_cycles) + u64::from(extra),
+        ServedFrom::L1 => u64::from(lat.l1_hit_cycles) + u64::from(extra) + u64::from(replay),
         ServedFrom::L2 => lat.l2_access_cycles(),
         ServedFrom::Memory => lat.dram_access_cycles(NOMINAL_FREQ_MHZ),
     }
@@ -98,7 +98,7 @@ pub fn run_stream(kind: SchemeKind, fmap: &FaultMap, accesses: &[Access]) -> Vec
                 Event::Read {
                     source: out.source,
                     l2_reads: out.l2_reads,
-                    latency: read_latency(out.source, extra),
+                    latency: read_latency(out.source, extra, out.replay_cycles),
                 }
             }
             Access::Write(a) => {
@@ -127,6 +127,25 @@ pub fn word_misses(kind: SchemeKind, fmap: &FaultMap, accesses: &[Access]) -> u6
         }
     }
     l1.stats().word_misses
+}
+
+/// Replay count after driving `accesses` through a fresh `kind` L1 over
+/// `fmap` — TS Cache's analogue of a word miss: the access is still
+/// served from the L1, but pays the checker's replay penalty.
+pub fn replays(kind: SchemeKind, fmap: &FaultMap, accesses: &[Access]) -> u64 {
+    let mut l1 = L1Cache::new(kind, fmap.clone());
+    let mut l2 = L2Cache::dsn();
+    for &access in accesses {
+        match access {
+            Access::Read(a) => {
+                l1.read(Addr::new(a), &mut l2);
+            }
+            Access::Write(a) => {
+                l1.write(Addr::new(a));
+            }
+        }
+    }
+    l1.stats().replays
 }
 
 /// Index of the earliest event where the two streams differ, or the

@@ -3,22 +3,35 @@
 //! identity (plain vs store-backed vs store-reloaded vs recorder-on).
 //!
 //! These run one small benchmark each to keep tier-1 fast; the `dvs-diff`
-//! CLI sweeps all ten in CI.
+//! CLI sweeps all ten in CI. Clean equivalence runs once per fault model:
+//! at a yield-clean operating point every injection backend must sample
+//! an empty map and reproduce the defect-free run.
 
 use dvs_diff::oracles;
+use dvs_sram::FaultModel;
 use dvs_workloads::Benchmark;
 
 #[test]
-fn evaluator_clean_equivalence_holds_at_760mv() {
-    let diags = oracles::evaluator_clean_equivalence(&[Benchmark::Crc32], 42);
-    // Denies mean a scheme diverged from defect-free on clean maps; a
-    // warn would mean the 760 mV map sampled a defect (possible but
-    // vanishingly rare — surface it rather than hiding a skipped trial).
-    assert_eq!(diags, Vec::new());
+fn evaluator_clean_equivalence_holds_at_760mv_under_every_model() {
+    for model in FaultModel::ALL {
+        let diags = oracles::evaluator_clean_equivalence(&[Benchmark::Crc32], 42, model);
+        // Denies mean a scheme diverged from defect-free on clean maps; a
+        // warn would mean the 760 mV map sampled a defect (possible but
+        // vanishingly rare — surface it rather than hiding a skipped trial).
+        assert_eq!(diags, Vec::new(), "diverged under {}", model.name());
+    }
 }
 
 #[test]
 fn persistence_never_changes_results() {
-    let diags = oracles::persistence_identity(Benchmark::Adpcm, 42);
+    let diags = oracles::persistence_identity(Benchmark::Adpcm, 42, FaultModel::Iid);
+    assert_eq!(diags, Vec::new());
+}
+
+#[test]
+fn persistence_never_changes_results_under_correlated_faults() {
+    // The correlated path threads per-word multipliers through the arena's
+    // incremental chain reuse; warm and cold caches must still agree.
+    let diags = oracles::persistence_identity(Benchmark::Adpcm, 43, FaultModel::row_column());
     assert_eq!(diags, Vec::new());
 }

@@ -122,6 +122,12 @@ pub fn static_overheads(kind: SchemeKind, geom: &CacheGeometry) -> StaticOverhea
         SchemeKind::WayDisable => (tag_8t_area + 0.002, tag_8t_leak + 0.001),
         // Way-select muxes for the direct-mapped mode (Figure 7).
         SchemeKind::Bbr => (tag_8t_area + 0.001, tag_8t_leak + 0.0008),
+        // Marginal-word map (1 bit/word, like the FMAP) plus the timing
+        // checker and replay sequencing logic.
+        SchemeKind::TsCache => (
+            tag_8t_area + side_area(wpb) + 0.004,
+            tag_8t_leak + side_leak(wpb) + 0.003,
+        ),
     };
     StaticOverheads {
         normalized_area: 1.0 + area_delta,

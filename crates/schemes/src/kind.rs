@@ -54,6 +54,16 @@ pub enum SchemeKind {
     /// mechanism: direct-mapped operation over a cache whose defective
     /// words the linker guarantees are never fetched (0 cycles).
     Bbr,
+    /// TS Cache (PAPERS.md) — timing speculation: every word is served
+    /// from the L1 at the nominal low latency, a lightweight checker
+    /// validates timing-marginal (defective) words one word behind, and
+    /// a mismatch replays the access with relaxed timing. Zero added hit
+    /// latency on clean words — FFW's direct competitor on that axis —
+    /// at a fixed replay penalty per marginal-word access.
+    ///
+    /// New in this repo relative to the source paper; appended last so
+    /// the serialized variant tags of the paper's schemes are unchanged.
+    TsCache,
 }
 
 impl SchemeKind {
@@ -91,7 +101,8 @@ impl SchemeKind {
             | SchemeKind::LineDisable
             | SchemeKind::WayDisable
             | SchemeKind::Ffw
-            | SchemeKind::Bbr => 0,
+            | SchemeKind::Bbr
+            | SchemeKind::TsCache => 0,
             SchemeKind::EightT
             | SchemeKind::WilkersonPlus
             | SchemeKind::WordSubstitution
@@ -104,6 +115,16 @@ impl SchemeKind {
     /// (defect-free cells).
     pub fn is_defect_free(self) -> bool {
         matches!(self, SchemeKind::Conventional | SchemeKind::EightT)
+    }
+
+    /// Cycles one replayed access costs on a timing-marginal word:
+    /// checker mismatch detection plus the relaxed-timing reissue. Zero
+    /// for every scheme but [`SchemeKind::TsCache`].
+    pub fn replay_penalty_cycles(self) -> u32 {
+        match self {
+            SchemeKind::TsCache => 2,
+            _ => 0,
+        }
     }
 
     /// Whether the scheme halves the effective associativity/capacity
@@ -133,6 +154,7 @@ impl SchemeKind {
             SchemeKind::WayDisable => "Way-disable",
             SchemeKind::Ffw => "FFW",
             SchemeKind::Bbr => "BBR",
+            SchemeKind::TsCache => "TS-Cache",
         }
     }
 }
@@ -181,5 +203,17 @@ mod tests {
         assert!(SchemeKind::WilkersonPlus.halves_capacity());
         assert!(SchemeKind::Bbr.requires_direct_mapped());
         assert!(!SchemeKind::Ffw.requires_direct_mapped());
+    }
+
+    #[test]
+    fn ts_cache_speculates_instead_of_adding_latency() {
+        assert_eq!(SchemeKind::TsCache.extra_hit_cycles(), 0);
+        assert_eq!(SchemeKind::TsCache.replay_penalty_cycles(), 2);
+        assert!(!SchemeKind::TsCache.is_defect_free());
+        assert!(!SchemeKind::TsCache.requires_direct_mapped());
+        assert_eq!(SchemeKind::TsCache.name(), "TS-Cache");
+        // Everything else never replays.
+        assert_eq!(SchemeKind::Ffw.replay_penalty_cycles(), 0);
+        assert_eq!(SchemeKind::Conventional.replay_penalty_cycles(), 0);
     }
 }

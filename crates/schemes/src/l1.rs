@@ -28,6 +28,10 @@ pub struct ReadOutcome {
     pub source: ServedFrom,
     /// L2 read accesses this L1 access caused.
     pub l2_reads: u32,
+    /// Extra cycles a timing-speculation checker charged this access
+    /// (TS Cache replaying a marginal word); zero for every other scheme
+    /// and for clean words.
+    pub replay_cycles: u32,
 }
 
 /// Outcome of a store (the write-through path).
@@ -53,6 +57,9 @@ pub struct L1Stats {
     pub buffer_hits: u64,
     /// Store accesses observed.
     pub writes: u64,
+    /// Reads the timing-speculation checker replayed (TS Cache only):
+    /// L1-served accesses to marginal words. Always counted as hits too.
+    pub replays: u64,
 }
 
 #[derive(Debug, Clone)]
@@ -88,6 +95,10 @@ enum Policy {
         /// Per-way usability, precomputed from the fault map.
         usable: Vec<bool>,
     },
+    /// TS Cache: every word is served from the L1 data array; accesses
+    /// to timing-marginal (defective) words are validated by a checker
+    /// and replayed at a fixed cycle penalty, never redirected.
+    TimingSpec,
 }
 
 /// An L1 cache running one fault-tolerance scheme over a fault map.
@@ -174,6 +185,7 @@ impl L1Cache {
                 Policy::WordSub { usable }
             }
             SchemeKind::LineDisable => Policy::LineDisable,
+            SchemeKind::TsCache => Policy::TimingSpec,
             SchemeKind::WayDisable => {
                 // A way's words are one contiguous run of the linear view
                 // (`(way · sets + set) · wpb + word`), so each way is
@@ -261,6 +273,24 @@ impl L1Cache {
             // an allocated frame is fully usable (word substitution
             // patches data frames' faults from the sacrificial line).
             Policy::WordSub { .. } | Policy::LineDisable | Policy::WayDisable { .. } => true,
+            // Timing speculation serves every word; marginal ones are
+            // charged a replay instead of a redirect.
+            Policy::TimingSpec => true,
+        }
+    }
+
+    /// Cycles the TS Cache checker charges an L1-served read of `word`
+    /// in `frame`: the scheme's replay penalty on a marginal word, zero
+    /// otherwise. Consults the same precomputed per-frame mask on both
+    /// the hot-block fast path and the full lookup, so the hint cannot
+    /// change replay accounting.
+    fn replay_penalty(&self, frame: FrameId, word: u32) -> u32 {
+        if matches!(self.policy, Policy::TimingSpec)
+            && self.frame_patterns[self.frame_index(frame)] & (1 << word) != 0
+        {
+            self.kind.replay_penalty_cycles()
+        } else {
+            0
         }
     }
 
@@ -326,9 +356,14 @@ impl L1Cache {
         if let Some((hot_block, frame)) = self.hot {
             if hot_block == block && self.word_present(frame, word) {
                 self.stats.hits += 1;
+                let replay_cycles = self.replay_penalty(frame, word);
+                if replay_cycles > 0 {
+                    self.stats.replays += 1;
+                }
                 return ReadOutcome {
                     source: ServedFrom::L1,
                     l2_reads: 0,
+                    replay_cycles,
                 };
             }
         }
@@ -336,9 +371,14 @@ impl L1Cache {
             self.hot = Some((block, frame));
             if self.word_present(frame, word) {
                 self.stats.hits += 1;
+                let replay_cycles = self.replay_penalty(frame, word);
+                if replay_cycles > 0 {
+                    self.stats.replays += 1;
+                }
                 return ReadOutcome {
                     source: ServedFrom::L1,
                     l2_reads: 0,
+                    replay_cycles,
                 };
             }
             // Word miss: tag matched but the word is unusable.
@@ -352,6 +392,7 @@ impl L1Cache {
                 return ReadOutcome {
                     source: served(out.hit),
                     l2_reads: 1,
+                    replay_cycles: 0,
                 };
             }
             if let Policy::Buffer(buf) = &mut self.policy {
@@ -360,6 +401,7 @@ impl L1Cache {
                     return ReadOutcome {
                         source: ServedFrom::L1,
                         l2_reads: 0,
+                        replay_cycles: 0,
                     };
                 }
                 // Buffer miss: handled like a normal cache miss, and the
@@ -375,6 +417,7 @@ impl L1Cache {
             ReadOutcome {
                 source: served(out.hit),
                 l2_reads: 1,
+                replay_cycles: 0,
             }
         } else {
             // Block miss: refill from L2.
@@ -394,6 +437,7 @@ impl L1Cache {
                 return ReadOutcome {
                     source: served(out.hit),
                     l2_reads: 1,
+                    replay_cycles: 0,
                 };
             }
             let (frame, _evicted) = self.core.fill(addr);
@@ -414,6 +458,7 @@ impl L1Cache {
             ReadOutcome {
                 source: served(out.hit),
                 l2_reads: 1,
+                replay_cycles: 0,
             }
         }
     }
@@ -774,6 +819,7 @@ mod tests {
             SchemeKind::LineDisable,
             SchemeKind::WayDisable,
             SchemeKind::WordSubstitution,
+            SchemeKind::TsCache,
         ] {
             let mut rng = StdRng::seed_from_u64(0x51ED);
             let mut fmap = FaultMap::fault_free(&geom);
@@ -811,6 +857,55 @@ mod tests {
             }
             assert_eq!(fast.stats(), slow.stats(), "{kind:?} stats diverged");
         }
+    }
+
+    #[test]
+    fn ts_cache_serves_marginal_words_with_replay() {
+        let mut fmap = FaultMap::fault_free(&one_way_geom());
+        fmap.set_faulty(FrameId::new(0, 0), 5, true);
+        let mut l1 = L1Cache::new(SchemeKind::TsCache, fmap);
+        let mut l2 = L2Cache::dsn();
+        // Refill: the word comes from below, so no speculation yet.
+        let fill = l1.read(addr(0, 1, 5), &mut l2);
+        assert_eq!(fill.replay_cycles, 0);
+        // Marginal word: served from the L1 at a replay penalty — never
+        // a word miss, never a redirect.
+        for _ in 0..3 {
+            let out = l1.read(addr(0, 1, 5), &mut l2);
+            assert_eq!(out.source, ServedFrom::L1);
+            assert_eq!(out.l2_reads, 0);
+            assert_eq!(
+                out.replay_cycles,
+                SchemeKind::TsCache.replay_penalty_cycles()
+            );
+        }
+        // Clean word of the same block: full speed.
+        let clean = l1.read(addr(0, 1, 4), &mut l2);
+        assert_eq!(clean.source, ServedFrom::L1);
+        assert_eq!(clean.replay_cycles, 0);
+        assert_eq!(l1.stats().word_misses, 0, "TS Cache never word-misses");
+        assert_eq!(l1.stats().replays, 3);
+        assert_eq!(l1.stats().hits, 4);
+        // Stores to marginal words still land (write-through hides the
+        // checker latency behind the write buffer).
+        assert!(l1.write(addr(0, 1, 5)).l1_updated);
+    }
+
+    #[test]
+    fn ts_cache_on_clean_map_matches_conventional() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let fmap = FaultMap::fault_free(&one_way_geom());
+        let mut ts = L1Cache::new(SchemeKind::TsCache, fmap.clone());
+        let mut conv = L1Cache::new(SchemeKind::Conventional, fmap);
+        let mut l2_ts = L2Cache::dsn();
+        let mut l2_conv = L2Cache::dsn();
+        let mut rng = StdRng::seed_from_u64(0x75);
+        for _ in 0..5_000u32 {
+            let a = Addr::new(u64::from(rng.gen::<u16>()) * 4);
+            assert_eq!(ts.read(a, &mut l2_ts), conv.read(a, &mut l2_conv));
+        }
+        assert_eq!(ts.stats(), conv.stats());
     }
 
     #[test]

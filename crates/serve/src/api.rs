@@ -10,7 +10,7 @@ use std::sync::Arc;
 
 use dvs_core::{CellKey, EvalConfig, EvalError, Evaluator, ExperimentPlan, Scheme, SchemeRun};
 use dvs_obs::json::{json_escape, Value};
-use dvs_sram::MilliVolts;
+use dvs_sram::{FaultModel, MilliVolts};
 use dvs_workloads::Benchmark;
 
 /// Hard cap on cells per campaign: a grid bigger than this is a typo or
@@ -39,6 +39,9 @@ pub struct CampaignSpec {
     pub trace_instrs: Option<usize>,
     /// Override for [`EvalConfig::seed`].
     pub seed: Option<u64>,
+    /// Override for [`EvalConfig::fault_model`] (`"iid"`, `"rowcol"`
+    /// or `"clustered"`).
+    pub model: Option<FaultModel>,
 }
 
 impl CampaignSpec {
@@ -59,7 +62,13 @@ impl CampaignSpec {
         for key in obj.keys() {
             if !matches!(
                 key.as_str(),
-                "benchmarks" | "schemes" | "voltages_mv" | "maps" | "trace_instrs" | "seed"
+                "benchmarks"
+                    | "schemes"
+                    | "voltages_mv"
+                    | "maps"
+                    | "trace_instrs"
+                    | "seed"
+                    | "model"
             ) {
                 return Err(format!("unknown field {key:?}"));
             }
@@ -106,6 +115,14 @@ impl CampaignSpec {
             .get("seed")
             .map(|v| integer_in(v, "seed", 0, u64::MAX))
             .transpose()?;
+        let model = value
+            .get("model")
+            .map(|v| {
+                let name = v.as_str().ok_or("\"model\" must be a string".to_string())?;
+                FaultModel::parse(name)
+                    .ok_or_else(|| format!("unknown model {name:?} (iid, rowcol or clustered)"))
+            })
+            .transpose()?;
 
         Ok(CampaignSpec {
             benchmarks,
@@ -114,6 +131,7 @@ impl CampaignSpec {
             maps,
             trace_instrs,
             seed,
+            model,
         })
     }
 
@@ -130,6 +148,7 @@ impl CampaignSpec {
             maps: self.maps.unwrap_or(base.maps),
             trace_instrs: self.trace_instrs.unwrap_or(base.trace_instrs),
             seed: self.seed.unwrap_or(base.seed),
+            fault_model: self.model.unwrap_or(base.fault_model),
             ..*base
         }
     }
@@ -285,7 +304,8 @@ mod tests {
     fn spec_parsing_round_trips_a_valid_request() {
         let spec = CampaignSpec::from_json(
             r#"{"benchmarks":["crc32","401.bzip2"],"schemes":["FFW+BBR"],
-                "voltages_mv":[540,600],"maps":2,"trace_instrs":2000,"seed":7}"#,
+                "voltages_mv":[540,600],"maps":2,"trace_instrs":2000,"seed":7,
+                "model":"rowcol"}"#,
         )
         .unwrap();
         assert_eq!(spec.benchmarks, vec![Benchmark::Crc32, Benchmark::Bzip2]);
@@ -297,8 +317,19 @@ mod tests {
         assert_eq!(spec.plan().len(), 4);
         let cfg = spec.config(&EvalConfig::quick());
         assert_eq!((cfg.maps, cfg.trace_instrs, cfg.seed), (2, 2000, 7));
+        assert_eq!(cfg.fault_model, FaultModel::row_column());
         // Parallelism stays the operator's choice.
         assert_eq!(cfg.threads, EvalConfig::quick().threads);
+        // Omitting "model" keeps the operator's default.
+        let plain = CampaignSpec::from_json(
+            r#"{"benchmarks":["crc32"],"schemes":["FFW+BBR"],"voltages_mv":[600]}"#,
+        )
+        .unwrap();
+        assert_eq!(plain.model, None);
+        assert_eq!(
+            plain.config(&EvalConfig::quick()).fault_model,
+            EvalConfig::quick().fault_model
+        );
     }
 
     #[test]
@@ -333,6 +364,14 @@ mod tests {
             (
                 r#"{"benchmarks":["crc32"],"schemes":["FFW+BBR"],"voltages_mv":[600],"maps":0}"#,
                 "maps must be in",
+            ),
+            (
+                r#"{"benchmarks":["crc32"],"schemes":["FFW+BBR"],"voltages_mv":[600],"model":"gaussian"}"#,
+                "unknown model",
+            ),
+            (
+                r#"{"benchmarks":["crc32"],"schemes":["FFW+BBR"],"voltages_mv":[600],"model":3}"#,
+                "must be a string",
             ),
         ] {
             let err = CampaignSpec::from_json(body).unwrap_err();

@@ -19,7 +19,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::faultmap::skip_sample;
-use crate::{CacheGeometry, FaultMap};
+use crate::model::{multiplier_classes, threshold_for};
+use crate::{CacheGeometry, FaultMap, FaultModel};
 
 /// Highest rung of the canonical voltage ladder, in millivolts. This is
 /// the paper's ~760 mV `Vccmin` anchor; maps requested at or above it
@@ -68,20 +69,68 @@ pub struct FaultChain {
     map: FaultMap,
     rng: StdRng,
     p_current: f64,
+    model: FaultModel,
+    correlated: Option<Correlated>,
+}
+
+/// Sampler state of a correlated backend: the die's fixed weak
+/// structure (multipliers), fixed per-word uniforms, the multiplier
+/// classes the threshold solver walks, and the threshold already
+/// applied. All derived purely from `(model, geometry, seed)` — no
+/// per-rung re-seeding, so nesting cannot regress (see
+/// [`crate::FaultModel`]).
+#[derive(Debug, Clone)]
+struct Correlated {
+    multipliers: Vec<f64>,
+    uniforms: Vec<f64>,
+    classes: Vec<(f64, f64)>,
+    t_current: f64,
 }
 
 impl FaultChain {
-    /// Starts a chain at probability zero (an all-clean map).
+    /// Starts an i.i.d. chain at probability zero (an all-clean map).
+    ///
+    /// Equivalent to [`FaultChain::with_model`] under
+    /// [`FaultModel::Iid`]; the sampled maps are bit-identical to every
+    /// pre-model release for the same seed.
     ///
     /// # Panics
     ///
     /// Panics if the geometry exceeds 32 words per block.
     pub fn new(geometry: &CacheGeometry, seed: u64) -> Self {
+        FaultChain::with_model(geometry, seed, FaultModel::Iid)
+    }
+
+    /// Starts a chain at probability zero under a spatial fault model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry exceeds 32 words per block.
+    pub fn with_model(geometry: &CacheGeometry, seed: u64, model: FaultModel) -> Self {
+        let correlated = if model.is_iid() {
+            None
+        } else {
+            let multipliers = model.multipliers(geometry, seed);
+            let classes = multiplier_classes(&multipliers);
+            Some(Correlated {
+                multipliers,
+                uniforms: FaultModel::uniforms(geometry, seed),
+                classes,
+                t_current: 0.0,
+            })
+        };
         FaultChain {
             map: FaultMap::fault_free(geometry),
             rng: StdRng::seed_from_u64(seed),
             p_current: 0.0,
+            model,
+            correlated,
         }
+    }
+
+    /// The spatial fault model this chain samples under.
+    pub fn model(&self) -> FaultModel {
+        self.model
     }
 
     /// The probability the chain currently sits at.
@@ -99,11 +148,14 @@ impl FaultChain {
         self.map
     }
 
-    /// Advances the chain to word-failure probability `p`, upgrading each
-    /// still-clean word with conditional probability
-    /// `(p - p_current) / (1 - p_current)`. Returns the newly faulty
-    /// linear word indices in ascending order (empty when `p` equals the
-    /// current rung).
+    /// Advances the chain to word-failure probability `p`. The i.i.d.
+    /// backend upgrades each still-clean word with conditional
+    /// probability `(p - p_current) / (1 - p_current)`; correlated
+    /// backends raise the fixed-uniform threshold to `t(p)` (see
+    /// [`crate::FaultModel`]). Either way the new fault set is a strict
+    /// superset of the old one and the marginal rate is exactly `p`.
+    /// Returns the newly faulty linear word indices in ascending order
+    /// (empty when `p` equals the current rung).
     ///
     /// # Panics
     ///
@@ -122,10 +174,29 @@ impl FaultChain {
         if self.p_current >= 1.0 {
             return delta;
         }
-        let q = ((p - self.p_current) / (1.0 - self.p_current)).clamp(0.0, 1.0);
-        skip_sample(self.map.words_mut(), q, &mut self.rng, |idx| {
-            delta.push(idx as u32);
-        });
+        match &mut self.correlated {
+            None => {
+                let q = ((p - self.p_current) / (1.0 - self.p_current)).clamp(0.0, 1.0);
+                skip_sample(self.map.words_mut(), q, &mut self.rng, |idx| {
+                    delta.push(idx as u32);
+                });
+            }
+            Some(state) => {
+                // Threshold construction: word i is faulty iff
+                // u_i < min(1, m_i · t(p)). t is clamped monotone against
+                // the rung already applied so float noise in the solver
+                // can never un-fault a word.
+                let t = threshold_for(&state.classes, p).max(state.t_current);
+                let grid = self.map.words_mut();
+                for i in 0..grid.len() {
+                    if !grid.get(i) && state.uniforms[i] < (state.multipliers[i] * t).min(1.0) {
+                        grid.set(i, true);
+                        delta.push(i as u32);
+                    }
+                }
+                state.t_current = t;
+            }
+        }
         self.p_current = p;
         delta
     }
@@ -134,6 +205,8 @@ impl FaultChain {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::{MilliVolts, PfailModel};
+    use proptest::prelude::*;
     use rand::Rng;
 
     fn geom() -> CacheGeometry {
@@ -255,5 +328,149 @@ mod tests {
             "chained {chained_rate}"
         );
         assert!((direct_rate - target).abs() < 0.004, "direct {direct_rate}");
+    }
+
+    /// `FaultChain::new` is the i.i.d. model: same seed, same rungs,
+    /// bit-identical maps (the pre-model regression guarantee).
+    #[test]
+    fn with_model_iid_is_bit_identical_to_new() {
+        for seed in [0u64, 7, 42, 0xDEAD_BEEF] {
+            let mut a = FaultChain::new(&geom(), seed);
+            let mut b = FaultChain::with_model(&geom(), seed, FaultModel::Iid);
+            assert!(b.model().is_iid());
+            for p in [0.001, 0.02, 0.1, 0.4] {
+                assert_eq!(a.advance_to(p), b.advance_to(p));
+            }
+            assert_eq!(a.map(), b.map());
+        }
+    }
+
+    /// Golden pin of the i.i.d. stream: the exact map for seed 42 at
+    /// p = 0.1 must never drift, or every stored cell silently changes
+    /// meaning. Regenerate only together with a store KEY_VERSION bump.
+    #[test]
+    fn iid_stream_is_pinned() {
+        let mut chain = FaultChain::new(&geom(), 42);
+        let delta = chain.advance_to(0.1);
+        assert_eq!(delta.len(), chain.map().faulty_words());
+        assert_eq!(chain.map().faulty_words(), IID_GOLDEN_COUNT);
+        assert_eq!(&delta[..8], IID_GOLDEN_FIRST8);
+    }
+
+    const IID_GOLDEN_COUNT: usize = 763;
+    const IID_GOLDEN_FIRST8: &[u32] = &[1, 5, 19, 26, 74, 77, 85, 101];
+
+    /// Correlated chains are path-independent: stepping through
+    /// intermediate rungs or jumping straight to the bottom yields the
+    /// same map (the uniforms and threshold depend only on the seed and
+    /// the final probability, not the route).
+    #[test]
+    fn correlated_chains_are_path_independent() {
+        for model in [FaultModel::row_column(), FaultModel::clustered()] {
+            let mut stepped = FaultChain::with_model(&geom(), 5, model);
+            for p in [0.001, 0.01, 0.05, 0.2, 0.35] {
+                stepped.advance_to(p);
+            }
+            let mut direct = FaultChain::with_model(&geom(), 5, model);
+            direct.advance_to(0.35);
+            assert_eq!(stepped.map(), direct.map(), "{}", model.name());
+        }
+    }
+
+    /// Satellite: marginal-distribution equivalence — correlation
+    /// changes *structure*, not *rate*. For every backend the faulty
+    /// fraction aggregated over many seeds matches the pfail table, and
+    /// each individual bit's across-seed rate is consistent with `p`
+    /// (MoRS's key invariant).
+    #[test]
+    fn correlated_marginals_match_pfail_table() {
+        let g = CacheGeometry::new(2 * 1024, 2, 32).unwrap();
+        let n = g.total_words() as usize;
+        let pfail = PfailModel::dsn45();
+        let p_mid = pfail.pfail_word(MilliVolts::new(480));
+        let p_low = pfail.pfail_word(MilliVolts::new(400));
+        let trials = 400u64;
+        for model in FaultModel::ALL {
+            let mut mid_total = 0usize;
+            let mut per_bit = vec![0u32; n];
+            for seed in 0..trials {
+                let mut chain = FaultChain::with_model(&g, seed, model);
+                chain.advance_to(p_mid);
+                mid_total += chain.map().faulty_words();
+                chain.advance_to(p_low);
+                for idx in chain.map().iter_faulty_linear() {
+                    per_bit[idx as usize] += 1;
+                }
+            }
+            let mid_rate = mid_total as f64 / (trials as f64 * n as f64);
+            assert!(
+                (mid_rate - p_mid).abs() < 0.01,
+                "{}: aggregate rate {mid_rate} vs pfail {p_mid} at 480 mV",
+                model.name()
+            );
+            let bit_rates: Vec<f64> = per_bit
+                .iter()
+                .map(|&c| f64::from(c) / trials as f64)
+                .collect();
+            let mean = bit_rates.iter().sum::<f64>() / n as f64;
+            assert!(
+                (mean - p_low).abs() < 0.01,
+                "{}: mean per-bit rate {mean} vs pfail {p_low} at 400 mV",
+                model.name()
+            );
+            // Each bit individually: Bernoulli(p) across seeds, so the
+            // across-seed rate sits within ~5σ of p for every bit.
+            let sigma = (p_low * (1.0 - p_low) / trials as f64).sqrt();
+            let worst = bit_rates
+                .iter()
+                .map(|r| (r - p_low).abs())
+                .fold(0.0f64, f64::max);
+            assert!(
+                worst < 5.5 * sigma,
+                "{}: worst per-bit deviation {worst} (σ = {sigma})",
+                model.name()
+            );
+        }
+    }
+
+    proptest! {
+        /// Satellite: ladder nesting is a per-model property. Stepping
+        /// 20 mV down never removes a fault and — whenever the pfail
+        /// table says the rung adds non-negligible mass — strictly adds
+        /// new ones, for every backend.
+        #[test]
+        fn ladder_nesting_holds_for_every_model(model_idx in 0usize..3, seed in 0u64..16) {
+            let model = FaultModel::ALL[model_idx];
+            let g = geom();
+            let pfail = PfailModel::dsn45();
+            let mut chain = FaultChain::with_model(&g, seed, model);
+            let mut prev = chain.map().clone();
+            let mut p_prev = 0.0f64;
+            for mv in ladder_mv(400) {
+                let p = pfail.pfail_word(MilliVolts::new(mv)).max(chain.p_current());
+                let delta = chain.advance_to(p);
+                let cur = chain.map();
+                for idx in prev.iter_faulty_linear() {
+                    prop_assert!(
+                        cur.linear_is_faulty(idx),
+                        "{}: fault at {} vanished stepping to {} mV",
+                        model.name(), idx, mv
+                    );
+                }
+                prop_assert_eq!(cur.faulty_words(), prev.faulty_words() + delta.len());
+                // "Strictly adds": with ≥ 16 expected new faults the
+                // rung is empty with probability ≤ e⁻¹⁶ per backend.
+                if (p - p_prev) * f64::from(g.total_words()) >= 16.0 {
+                    prop_assert!(
+                        !delta.is_empty(),
+                        "{}: no new faults stepping to {} mV",
+                        model.name(), mv
+                    );
+                }
+                prev = cur.clone();
+                p_prev = p;
+            }
+            prop_assert!(chain.map().faulty_words() > 0);
+        }
     }
 }
