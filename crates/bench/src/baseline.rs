@@ -18,8 +18,11 @@ use dvs_obs::json::{self, Value};
 
 use crate::profile::ProfileReport;
 
-/// Schema identifier embedded in the baseline file.
-pub const BASELINE_SCHEMA: &str = "dvs-bench-baseline/1";
+/// Schema identifier embedded in the baseline file. `/2` added the
+/// fault-model name to the config block (seed schema v3 made the model
+/// part of every result's identity, so a baseline blessed under one
+/// model must never gate a sweep run under another).
+pub const BASELINE_SCHEMA: &str = "dvs-bench-baseline/2";
 
 /// Default baseline location, relative to the repository root.
 pub const DEFAULT_BASELINE_PATH: &str = "BENCH_baseline.json";
@@ -33,6 +36,8 @@ pub const DEFAULT_TOLERANCE: f64 = 0.10;
 pub struct Baseline {
     /// Scheme name of the profiled configuration.
     pub scheme: String,
+    /// Fault-model backend name (`iid`, `rowcol`, `clustered`).
+    pub model: String,
     /// Fault maps per cell.
     pub maps: u64,
     /// Dynamic instructions per trial.
@@ -58,6 +63,7 @@ impl Baseline {
         let total = report.total_stats();
         Baseline {
             scheme: report.opts.scheme.name().to_string(),
+            model: report.opts.cfg.fault_model.name().to_string(),
             maps: report.opts.cfg.maps,
             trace_instrs: report.opts.cfg.trace_instrs as u64,
             seed: report.opts.cfg.seed,
@@ -83,10 +89,11 @@ impl Baseline {
     pub fn to_json(&self) -> String {
         let mut out = format!(
             "{{\n  \"schema\": \"{}\",\n  \"config\": {{\n    \"scheme\": \"{}\",\n    \
-             \"maps\": {},\n    \"trace_instrs\": {},\n    \"seed\": {},\n    \
-             \"threads\": {},\n    \"benchmarks\": [",
+             \"model\": \"{}\",\n    \"maps\": {},\n    \"trace_instrs\": {},\n    \
+             \"seed\": {},\n    \"threads\": {},\n    \"benchmarks\": [",
             json::json_escape(BASELINE_SCHEMA),
             json::json_escape(&self.scheme),
+            json::json_escape(&self.model),
             self.maps,
             self.trace_instrs,
             self.seed,
@@ -148,6 +155,11 @@ impl Baseline {
                 .and_then(Value::as_str)
                 .ok_or("missing config.scheme")?
                 .to_string(),
+            model: config
+                .get("model")
+                .and_then(Value::as_str)
+                .ok_or("missing config.model")?
+                .to_string(),
             maps: num(config, "maps")?,
             trace_instrs: num(config, "trace_instrs")?,
             seed: num(config, "seed")?,
@@ -186,8 +198,9 @@ impl Baseline {
     /// Whether `report` ran the same sweep shape this baseline was
     /// blessed for.
     fn config_matches(&self, other: &Baseline) -> Result<(), String> {
-        let fields: [(&str, String, String); 7] = [
+        let fields: [(&str, String, String); 8] = [
             ("scheme", self.scheme.clone(), other.scheme.clone()),
+            ("model", self.model.clone(), other.model.clone()),
             ("maps", self.maps.to_string(), other.maps.to_string()),
             (
                 "trace_instrs",
@@ -301,11 +314,19 @@ mod tests {
         baseline.maps += 1;
         let err = baseline.check(&report, DEFAULT_TOLERANCE).unwrap_err();
         assert!(err.contains("config mismatch"), "{err}");
+        // So is a different fault model: throughput under `clustered`
+        // says nothing about throughput under `iid`.
+        baseline.maps -= 1;
+        baseline.model = "clustered".to_string();
+        let err = baseline.check(&report, DEFAULT_TOLERANCE).unwrap_err();
+        assert!(err.contains("mismatch on model"), "{err}");
     }
 
     #[test]
     fn malformed_baselines_are_rejected() {
         assert!(Baseline::parse("not json").is_err());
         assert!(Baseline::parse("{\"schema\":\"wrong/1\"}").is_err());
+        // Pre-model schema/1 documents must re-bless, not half-parse.
+        assert!(Baseline::parse("{\"schema\":\"dvs-bench-baseline/1\"}").is_err());
     }
 }

@@ -1,0 +1,193 @@
+//! A minimal keep-alive HTTP/1.1 client over `std::net` — just enough
+//! wire for the cluster protocol (and nothing the dependency-free rule
+//! would forbid).
+//!
+//! One [`HttpClient`] owns one connection; requests reconnect lazily
+//! after any transport error, so callers retry by simply calling again.
+//! Responses are read to completion (`Content-Length` framed, like
+//! everything `dvs-serve` emits) so the connection stays reusable.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// A lazily-connected, keep-alive HTTP/1.1 client bound to one server.
+#[derive(Debug)]
+pub struct HttpClient {
+    addr: String,
+    timeout: Duration,
+    conn: Option<(TcpStream, Vec<u8>)>,
+}
+
+impl HttpClient {
+    /// Creates a client for `addr` (`host:port`). No connection is made
+    /// until the first request.
+    pub fn new(addr: impl Into<String>, timeout: Duration) -> Self {
+        HttpClient {
+            addr: addr.into(),
+            timeout,
+            conn: None,
+        }
+    }
+
+    /// The server address this client talks to.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Issues one request and reads the full response.
+    ///
+    /// # Errors
+    ///
+    /// A transport-level description (connect/read/write/parse). The
+    /// connection is dropped on error; the next call reconnects.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> Result<(u16, String), String> {
+        let result = self.request_inner(method, path, body);
+        if result.is_err() {
+            self.conn = None;
+        }
+        result
+    }
+
+    fn request_inner(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> Result<(u16, String), String> {
+        if self.conn.is_none() {
+            let stream = TcpStream::connect(&self.addr)
+                .map_err(|e| format!("connect {}: {e}", self.addr))?;
+            stream
+                .set_read_timeout(Some(self.timeout))
+                .map_err(|e| e.to_string())?;
+            stream
+                .set_write_timeout(Some(self.timeout))
+                .map_err(|e| e.to_string())?;
+            self.conn = Some((stream, Vec::new()));
+        }
+        let (stream, buf) = self.conn.as_mut().expect("connection just ensured");
+        let body = body.unwrap_or("");
+        let request = format!(
+            "{method} {path} HTTP/1.1\r\nHost: {}\r\nConnection: keep-alive\r\n\
+             Content-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
+            self.addr,
+            body.len(),
+        );
+        stream
+            .write_all(request.as_bytes())
+            .map_err(|e| format!("write: {e}"))?;
+
+        // Read head.
+        let header_end = loop {
+            if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                break pos;
+            }
+            let mut chunk = [0u8; 4096];
+            let n = stream.read(&mut chunk).map_err(|e| format!("read: {e}"))?;
+            if n == 0 {
+                return Err("connection closed mid-response".to_string());
+            }
+            buf.extend_from_slice(&chunk[..n]);
+        };
+        let head =
+            std::str::from_utf8(&buf[..header_end]).map_err(|_| "non-UTF-8 head".to_string())?;
+        let status: u16 = head
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| format!("bad status line {head:?}"))?;
+        let mut content_length = 0usize;
+        let mut keep_alive = true;
+        for line in head.split("\r\n").skip(1) {
+            if let Some((name, value)) = line.split_once(':') {
+                let name = name.trim().to_ascii_lowercase();
+                let value = value.trim();
+                if name == "content-length" {
+                    content_length = value
+                        .parse()
+                        .map_err(|_| "bad content-length".to_string())?;
+                } else if name == "connection" && value.eq_ignore_ascii_case("close") {
+                    keep_alive = false;
+                }
+            }
+        }
+
+        // Read body.
+        let body_start = header_end + 4;
+        while buf.len() < body_start + content_length {
+            let mut chunk = [0u8; 4096];
+            let n = stream.read(&mut chunk).map_err(|e| format!("read: {e}"))?;
+            if n == 0 {
+                return Err("connection closed mid-body".to_string());
+            }
+            buf.extend_from_slice(&chunk[..n]);
+        }
+        let response = String::from_utf8(buf[body_start..body_start + content_length].to_vec())
+            .map_err(|_| "non-UTF-8 body".to_string())?;
+        buf.drain(..body_start + content_length);
+        if !keep_alive {
+            self.conn = None;
+        }
+        Ok((status, response))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn keep_alive_requests_reuse_one_connection_and_errors_reconnect() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr").to_string();
+        let server = std::thread::spawn(move || {
+            let mut accepted = 0usize;
+            // First connection serves two requests then closes; the
+            // client must transparently reconnect for the third.
+            for served_per_conn in [2usize, 1] {
+                let (mut stream, _) = listener.accept().expect("accept");
+                accepted += 1;
+                for _ in 0..served_per_conn {
+                    let mut chunk = [0u8; 4096];
+                    let mut req = Vec::new();
+                    loop {
+                        let n = stream.read(&mut chunk).expect("read");
+                        req.extend_from_slice(&chunk[..n]);
+                        if n == 0 || req.windows(4).any(|w| w == b"\r\n\r\n") {
+                            break;
+                        }
+                    }
+                    assert!(req.starts_with(b"POST /x HTTP/1.1\r\n"));
+                    let body = b"{\"ok\":true}";
+                    let resp = format!("HTTP/1.1 200 OK\r\nContent-Length: {}\r\n\r\n", body.len());
+                    stream.write_all(resp.as_bytes()).expect("write");
+                    stream.write_all(body).expect("write");
+                }
+                drop(stream);
+            }
+            accepted
+        });
+
+        let mut client = HttpClient::new(addr, Duration::from_secs(5));
+        for _ in 0..2 {
+            let (status, body) = client.request("POST", "/x", Some("{}")).expect("request");
+            assert_eq!(status, 200);
+            assert_eq!(body, "{\"ok\":true}");
+        }
+        // The server closed the first connection; this request fails,
+        // and the retry reconnects.
+        let retried = client
+            .request("POST", "/x", Some("{}"))
+            .or_else(|_| client.request("POST", "/x", Some("{}")))
+            .expect("retry after reconnect");
+        assert_eq!(retried.0, 200);
+        assert_eq!(server.join().expect("server"), 2);
+    }
+}

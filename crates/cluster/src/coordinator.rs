@@ -1,0 +1,921 @@
+//! The coordinator: a lock-protected lease/retry/steal state machine.
+//!
+//! Every public transition takes the current [`Instant`] as an argument
+//! instead of reading the clock, so unit tests drive lease expiry, retry
+//! backoff and work stealing by passing fabricated times — no sleeping.
+//! The serve layer passes `Instant::now()`; expiry is evaluated lazily
+//! on every call ([`Coordinator::tick`] runs at the top of `lease`,
+//! `heartbeat` and the status accessors), so no background reaper thread
+//! is needed.
+//!
+//! Correctness argument for duplicate dispatch: a cell is a pure
+//! function of its [`StoreKey`], so any two workers computing the same
+//! unit produce bit-identical [`StoredCell`]s. The coordinator keeps the
+//! first result it sees and counts later ones as duplicates — losing a
+//! race never loses information.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use dvs_core::{CellKey, EvalConfig, ExperimentPlan, ResultStore, StoreKey, StoredCell};
+use dvs_cpu::CoreConfig;
+use dvs_obs::{MetricsRegistry, Recorder};
+use dvs_sram::CacheGeometry;
+
+use crate::proto::{UnitRef, WireConfig};
+
+/// Tuning knobs of the lease protocol.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterConfig {
+    /// A lease (and a worker registration) expires this long after the
+    /// last heartbeat; heartbeats renew every lease the worker holds.
+    pub lease_ttl: Duration,
+    /// An in-flight unit becomes stealable (eligible for duplicate
+    /// dispatch to an idle worker) this long after it was first leased.
+    pub steal_after: Duration,
+    /// A unit that has failed or expired this many times is terminal.
+    pub max_attempts: u32,
+    /// Requeue backoff is `retry_backoff * attempts` (linear).
+    pub retry_backoff: Duration,
+    /// Units granted per lease call at most.
+    pub lease_units: usize,
+    /// Concurrent leases per unit at most (1 = no stealing).
+    pub max_duplicates: usize,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            lease_ttl: Duration::from_secs(5),
+            steal_after: Duration::from_secs(3),
+            max_attempts: 5,
+            retry_backoff: Duration::from_millis(500),
+            lease_units: 2,
+            max_duplicates: 2,
+        }
+    }
+}
+
+/// One granted lease, as returned to the leasing worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LeaseGrant {
+    /// The unit leased.
+    pub unit: UnitRef,
+    /// The cell to compute.
+    pub key: CellKey,
+    /// The result-relevant config to compute it under.
+    pub wire: WireConfig,
+    /// Whether this grant duplicates a still-live lease (work stealing).
+    pub stolen: bool,
+}
+
+/// Terminal or in-flight outcome of one cell, in campaign plan order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CellOutcome {
+    /// Not finished yet (pending, backing off, or leased).
+    Pending,
+    /// Computed (possibly with zero surviving trials — all links
+    /// failed — which is a *result*, not an error).
+    Completed(StoredCell),
+    /// Gave up after [`ClusterConfig::max_attempts`].
+    Failed(String),
+}
+
+/// Progress snapshot of one campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignProgress {
+    /// Campaign id.
+    pub id: u64,
+    /// The campaign's result-relevant config.
+    pub wire: WireConfig,
+    /// Planned cells.
+    pub total: usize,
+    /// Cells completed.
+    pub completed: usize,
+    /// Cells terminally failed.
+    pub failed: usize,
+    /// Whether every cell is terminal.
+    pub done: bool,
+    /// Per-cell outcomes in plan order.
+    pub results: Vec<(CellKey, CellOutcome)>,
+}
+
+/// Registration status of one worker.
+#[derive(Debug, Clone)]
+pub struct WorkerStatus {
+    /// Worker id.
+    pub id: u64,
+    /// Self-reported name.
+    pub name: String,
+    /// Whether the worker is currently considered alive.
+    pub alive: bool,
+    /// Units this worker completed first.
+    pub units_done: u64,
+}
+
+/// One completed cell in the sync log; workers tail the log to converge
+/// their local stores on the whole campaign.
+#[derive(Debug, Clone)]
+pub struct SyncEntry {
+    /// Position in the log, starting at 1.
+    pub seq: u64,
+    /// Config the cell was computed under.
+    pub wire: WireConfig,
+    /// The cell.
+    pub key: CellKey,
+    /// Its result payload.
+    pub cell: StoredCell,
+}
+
+#[derive(Debug)]
+struct Lease {
+    worker: u64,
+    expires_at: Instant,
+}
+
+#[derive(Debug)]
+enum UnitState {
+    /// Waiting to be leased; `available_at` implements retry backoff.
+    Pending {
+        available_at: Option<Instant>,
+    },
+    Leased,
+    Completed(StoredCell),
+    Failed(String),
+}
+
+#[derive(Debug)]
+struct Unit {
+    key: CellKey,
+    attempts: u32,
+    leases: Vec<Lease>,
+    first_leased_at: Option<Instant>,
+    state: UnitState,
+}
+
+#[derive(Debug)]
+struct Campaign {
+    wire: WireConfig,
+    units: Vec<Unit>,
+}
+
+#[derive(Debug)]
+struct WorkerSlot {
+    name: String,
+    last_seen: Instant,
+    alive: bool,
+    units_done: u64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    next_worker: u64,
+    workers: BTreeMap<u64, WorkerSlot>,
+    next_campaign: u64,
+    campaigns: BTreeMap<u64, Campaign>,
+    sync_log: Vec<SyncEntry>,
+}
+
+/// The coordinator node's cluster state. Shared between the HTTP routes
+/// via `Arc`; one mutex guards everything (transitions are cheap — the
+/// expensive part, simulation, happens on workers).
+#[derive(Debug)]
+pub struct Coordinator {
+    cfg: ClusterConfig,
+    base: EvalConfig,
+    store: Option<ResultStore>,
+    registry: Arc<MetricsRegistry>,
+    inner: Mutex<Inner>,
+}
+
+impl Coordinator {
+    /// Creates a coordinator. `base` supplies the non-result-relevant
+    /// config defaults; `store` (when present) pre-resolves submitted
+    /// cells and persists pushed results.
+    pub fn new(
+        cfg: ClusterConfig,
+        base: EvalConfig,
+        store: Option<ResultStore>,
+        registry: Arc<MetricsRegistry>,
+    ) -> Self {
+        Coordinator {
+            cfg,
+            base,
+            store,
+            registry,
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// The protocol knobs.
+    pub fn cfg(&self) -> &ClusterConfig {
+        &self.cfg
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().expect("coordinator lock poisoned")
+    }
+
+    fn store_key(&self, wire: &WireConfig, key: &CellKey) -> StoreKey {
+        // The StoreKey excludes every non-result-relevant field, so
+        // applying the wire config over *any* base yields the same key;
+        // using the coordinator's own base is purely for convenience.
+        StoreKey::for_cell(
+            &wire.apply(&self.base),
+            &CoreConfig::dsn2016(),
+            &CacheGeometry::dsn_l1(),
+            key,
+        )
+    }
+
+    /// Registers a worker and returns its id.
+    pub fn join(&self, name: &str, now: Instant) -> u64 {
+        let mut inner = self.lock();
+        inner.next_worker += 1;
+        let id = inner.next_worker;
+        inner.workers.insert(
+            id,
+            WorkerSlot {
+                name: name.to_string(),
+                last_seen: now,
+                alive: true,
+                units_done: 0,
+            },
+        );
+        self.registry.add("cluster.workers.joined", 1);
+        self.registry.gauge(
+            "cluster.workers.alive",
+            inner.workers.values().filter(|w| w.alive).count() as u64,
+        );
+        id
+    }
+
+    /// Renews a worker's registration and every lease it holds.
+    ///
+    /// # Errors
+    ///
+    /// When the worker is unknown or already declared dead — the worker
+    /// must rejoin (its leases have been requeued).
+    pub fn heartbeat(&self, worker: u64, now: Instant) -> Result<(), String> {
+        let mut inner = self.lock();
+        self.expire(&mut inner, now);
+        let slot = inner
+            .workers
+            .get_mut(&worker)
+            .filter(|w| w.alive)
+            .ok_or_else(|| format!("unknown or expired worker {worker}"))?;
+        slot.last_seen = now;
+        let mut renewed = 0u64;
+        for campaign in inner.campaigns.values_mut() {
+            for unit in &mut campaign.units {
+                for lease in unit.leases.iter_mut().filter(|l| l.worker == worker) {
+                    lease.expires_at = now + self.cfg.lease_ttl;
+                    renewed += 1;
+                }
+            }
+        }
+        if renewed > 0 {
+            self.registry.add("cluster.leases.renewed", renewed);
+        }
+        Ok(())
+    }
+
+    /// Submits a campaign; returns its id. Cells the coordinator's own
+    /// store already holds complete immediately (and enter the sync log)
+    /// without ever being dispatched.
+    pub fn submit(&self, wire: WireConfig, plan: &ExperimentPlan, now: Instant) -> u64 {
+        let _ = now;
+        let resolved: Vec<Option<StoredCell>> = plan
+            .cells()
+            .iter()
+            .map(|key| {
+                self.store
+                    .as_ref()
+                    .and_then(|s| s.load(&self.store_key(&wire, key)))
+            })
+            .collect();
+        let mut inner = self.lock();
+        inner.next_campaign += 1;
+        let id = inner.next_campaign;
+        let mut units = Vec::with_capacity(plan.len());
+        let mut hits = 0u64;
+        for (key, hit) in plan.cells().iter().zip(resolved) {
+            let state = match hit {
+                Some(cell) => {
+                    hits += 1;
+                    Self::log_sync(&mut inner.sync_log, &wire, key, &cell);
+                    UnitState::Completed(cell)
+                }
+                None => UnitState::Pending { available_at: None },
+            };
+            units.push(Unit {
+                key: *key,
+                attempts: 0,
+                leases: Vec::new(),
+                first_leased_at: None,
+                state,
+            });
+        }
+        inner.campaigns.insert(id, Campaign { wire, units });
+        self.registry.add("cluster.campaigns.submitted", 1);
+        if hits > 0 {
+            self.registry.add("cluster.units.store_hits", hits);
+        }
+        id
+    }
+
+    /// Grants up to `max_units` (clamped to [`ClusterConfig::lease_units`])
+    /// units to a worker. Pending units are granted first, in campaign
+    /// and plan order; an otherwise-idle worker instead *steals* — takes
+    /// a duplicate lease on — in-flight units older than
+    /// [`ClusterConfig::steal_after`], never its own and never beyond
+    /// [`ClusterConfig::max_duplicates`] concurrent leases.
+    ///
+    /// # Errors
+    ///
+    /// When the worker is unknown or expired (it must rejoin).
+    pub fn lease(
+        &self,
+        worker: u64,
+        max_units: usize,
+        now: Instant,
+    ) -> Result<Vec<LeaseGrant>, String> {
+        let mut inner = self.lock();
+        self.expire(&mut inner, now);
+        let slot = inner
+            .workers
+            .get_mut(&worker)
+            .filter(|w| w.alive)
+            .ok_or_else(|| format!("unknown or expired worker {worker}"))?;
+        slot.last_seen = now;
+        let budget = max_units.min(self.cfg.lease_units).max(1);
+        let mut grants = Vec::new();
+        let expires_at = now + self.cfg.lease_ttl;
+        for (&cid, campaign) in inner.campaigns.iter_mut() {
+            if grants.len() >= budget {
+                break;
+            }
+            for (index, unit) in campaign.units.iter_mut().enumerate() {
+                if grants.len() >= budget {
+                    break;
+                }
+                let ready = match unit.state {
+                    UnitState::Pending { available_at } => available_at.is_none_or(|at| at <= now),
+                    _ => false,
+                };
+                if !ready {
+                    continue;
+                }
+                unit.state = UnitState::Leased;
+                unit.leases.push(Lease { worker, expires_at });
+                unit.first_leased_at.get_or_insert(now);
+                grants.push(LeaseGrant {
+                    unit: UnitRef {
+                        campaign: cid,
+                        index,
+                    },
+                    key: unit.key,
+                    wire: campaign.wire,
+                    stolen: false,
+                });
+            }
+        }
+        if grants.is_empty() {
+            // Idle worker: duplicate-dispatch slow in-flight units.
+            'steal: for (&cid, campaign) in inner.campaigns.iter_mut() {
+                for (index, unit) in campaign.units.iter_mut().enumerate() {
+                    if grants.len() >= budget {
+                        break 'steal;
+                    }
+                    let slow = matches!(unit.state, UnitState::Leased)
+                        && unit
+                            .first_leased_at
+                            .is_some_and(|at| now.duration_since(at) >= self.cfg.steal_after)
+                        && unit.leases.len() < self.cfg.max_duplicates
+                        && unit.leases.iter().all(|l| l.worker != worker);
+                    if !slow {
+                        continue;
+                    }
+                    unit.leases.push(Lease { worker, expires_at });
+                    grants.push(LeaseGrant {
+                        unit: UnitRef {
+                            campaign: cid,
+                            index,
+                        },
+                        key: unit.key,
+                        wire: campaign.wire,
+                        stolen: true,
+                    });
+                }
+            }
+        }
+        let stolen = grants.iter().filter(|g| g.stolen).count() as u64;
+        if stolen > 0 {
+            self.registry.add("cluster.leases.stolen", stolen);
+        }
+        let fresh = grants.len() as u64 - stolen;
+        if fresh > 0 {
+            self.registry.add("cluster.leases.granted", fresh);
+        }
+        Ok(grants)
+    }
+
+    /// Accepts a completed cell. First writer wins: a duplicate of an
+    /// already-completed unit is counted and discarded (determinism
+    /// guarantees its bytes were identical anyway). Late results are
+    /// accepted from any worker — even one declared dead or a unit
+    /// already marked failed — because a computed result is correct
+    /// regardless of who delivers it or when.
+    ///
+    /// # Errors
+    ///
+    /// When the unit reference does not exist.
+    pub fn complete(
+        &self,
+        worker: u64,
+        unit_ref: UnitRef,
+        cell: &StoredCell,
+        now: Instant,
+    ) -> Result<(), String> {
+        let _ = now;
+        let save = {
+            let mut inner = self.lock();
+            let campaign = inner
+                .campaigns
+                .get_mut(&unit_ref.campaign)
+                .ok_or_else(|| format!("unknown campaign {}", unit_ref.campaign))?;
+            let wire = campaign.wire;
+            let unit = campaign
+                .units
+                .get_mut(unit_ref.index)
+                .ok_or_else(|| format!("campaign has no unit {}", unit_ref.index))?;
+            if matches!(unit.state, UnitState::Completed(_)) {
+                self.registry.add("cluster.units.duplicate", 1);
+                return Ok(());
+            }
+            let key = unit.key;
+            unit.leases.clear();
+            unit.state = UnitState::Completed(cell.clone());
+            Self::log_sync(&mut inner.sync_log, &wire, &key, cell);
+            if let Some(slot) = inner.workers.get_mut(&worker) {
+                slot.units_done += 1;
+            }
+            self.registry.add("cluster.units.completed", 1);
+            (wire, key)
+        };
+        // Persist outside the lock: a slow disk must not stall leasing.
+        if let Some(store) = &self.store {
+            let (wire, key) = save;
+            if let Err(e) = store.save(&self.store_key(&wire, &key), cell) {
+                // A failed save degrades restart resumability, not
+                // correctness — the in-memory result stands.
+                self.registry.add("cluster.store.save_errors", 1);
+                let _ = e;
+            }
+        }
+        Ok(())
+    }
+
+    /// Records a worker-reported failure of a leased unit (e.g. an
+    /// invariant violation). Drops that worker's lease; when no live
+    /// lease remains the unit requeues with backoff, or fails terminally
+    /// after [`ClusterConfig::max_attempts`].
+    ///
+    /// # Errors
+    ///
+    /// When the unit reference does not exist.
+    pub fn fail(
+        &self,
+        worker: u64,
+        unit_ref: UnitRef,
+        error: &str,
+        now: Instant,
+    ) -> Result<(), String> {
+        let mut inner = self.lock();
+        let campaign = inner
+            .campaigns
+            .get_mut(&unit_ref.campaign)
+            .ok_or_else(|| format!("unknown campaign {}", unit_ref.campaign))?;
+        let unit = campaign
+            .units
+            .get_mut(unit_ref.index)
+            .ok_or_else(|| format!("campaign has no unit {}", unit_ref.index))?;
+        if matches!(unit.state, UnitState::Completed(_)) {
+            return Ok(()); // a duplicate already delivered the result
+        }
+        unit.leases.retain(|l| l.worker != worker);
+        if unit.leases.is_empty() {
+            self.requeue(unit, error, now);
+        }
+        Ok(())
+    }
+
+    /// Lazily applies the passage of time: leases past their expiry are
+    /// dropped, units left with no live lease requeue (or fail
+    /// terminally), workers silent past the TTL are declared dead.
+    pub fn tick(&self, now: Instant) {
+        let mut inner = self.lock();
+        self.expire(&mut inner, now);
+    }
+
+    fn expire(&self, inner: &mut Inner, now: Instant) {
+        let mut died = 0u64;
+        for slot in inner.workers.values_mut() {
+            if slot.alive && now.duration_since(slot.last_seen) > self.cfg.lease_ttl {
+                slot.alive = false;
+                died += 1;
+            }
+        }
+        if died > 0 {
+            self.registry.add("cluster.workers.dead", died);
+            self.registry.gauge(
+                "cluster.workers.alive",
+                inner.workers.values().filter(|w| w.alive).count() as u64,
+            );
+        }
+        let mut expired = 0u64;
+        for campaign in inner.campaigns.values_mut() {
+            for unit in &mut campaign.units {
+                let before = unit.leases.len();
+                unit.leases.retain(|l| l.expires_at > now);
+                expired += (before - unit.leases.len()) as u64;
+                if matches!(unit.state, UnitState::Leased) && unit.leases.is_empty() {
+                    self.requeue(unit, "lease expired", now);
+                }
+            }
+        }
+        if expired > 0 {
+            self.registry.add("cluster.leases.expired", expired);
+        }
+    }
+
+    fn requeue(&self, unit: &mut Unit, error: &str, now: Instant) {
+        unit.attempts += 1;
+        unit.first_leased_at = None;
+        if unit.attempts >= self.cfg.max_attempts {
+            unit.state =
+                UnitState::Failed(format!("{error} ({} attempts exhausted)", unit.attempts));
+            self.registry.add("cluster.units.failed", 1);
+        } else {
+            unit.state = UnitState::Pending {
+                available_at: Some(now + self.cfg.retry_backoff * unit.attempts),
+            };
+            self.registry.add("cluster.units.requeued", 1);
+        }
+    }
+
+    fn log_sync(log: &mut Vec<SyncEntry>, wire: &WireConfig, key: &CellKey, cell: &StoredCell) {
+        let seq = log.len() as u64 + 1;
+        log.push(SyncEntry {
+            seq,
+            wire: *wire,
+            key: *key,
+            cell: cell.clone(),
+        });
+    }
+
+    /// Progress (and per-cell outcomes, in plan order) of a campaign.
+    /// Runs lease expiry first so status polls alone keep time moving.
+    pub fn progress(&self, id: u64, now: Instant) -> Option<CampaignProgress> {
+        let mut inner = self.lock();
+        self.expire(&mut inner, now);
+        let campaign = inner.campaigns.get(&id)?;
+        let mut completed = 0;
+        let mut failed = 0;
+        let results: Vec<(CellKey, CellOutcome)> = campaign
+            .units
+            .iter()
+            .map(|u| {
+                let outcome = match &u.state {
+                    UnitState::Completed(cell) => {
+                        completed += 1;
+                        CellOutcome::Completed(cell.clone())
+                    }
+                    UnitState::Failed(e) => {
+                        failed += 1;
+                        CellOutcome::Failed(e.clone())
+                    }
+                    _ => CellOutcome::Pending,
+                };
+                (u.key, outcome)
+            })
+            .collect();
+        Some(CampaignProgress {
+            id,
+            wire: campaign.wire,
+            total: results.len(),
+            completed,
+            failed,
+            done: completed + failed == results.len(),
+            results,
+        })
+    }
+
+    /// Ids of all submitted campaigns, in submission order.
+    pub fn campaign_ids(&self) -> Vec<u64> {
+        self.lock().campaigns.keys().copied().collect()
+    }
+
+    /// Registration status of every worker ever joined.
+    pub fn workers(&self, now: Instant) -> Vec<WorkerStatus> {
+        let mut inner = self.lock();
+        self.expire(&mut inner, now);
+        inner
+            .workers
+            .iter()
+            .map(|(&id, w)| WorkerStatus {
+                id,
+                name: w.name.clone(),
+                alive: w.alive,
+                units_done: w.units_done,
+            })
+            .collect()
+    }
+
+    /// Units currently waiting to be (re)leased, across all campaigns —
+    /// the coordinator's notion of queue depth.
+    pub fn pending_units(&self) -> usize {
+        self.lock()
+            .campaigns
+            .values()
+            .flat_map(|c| &c.units)
+            .filter(|u| matches!(u.state, UnitState::Pending { .. }))
+            .count()
+    }
+
+    /// Sync-log entries with `seq > after`, up to `limit`, plus the
+    /// latest sequence number. Workers poll this to converge their local
+    /// stores on every completed cell of every campaign.
+    pub fn sync_since(&self, after: u64, limit: usize) -> (Vec<SyncEntry>, u64) {
+        let inner = self.lock();
+        let latest = inner.sync_log.len() as u64;
+        let from = (after.min(latest)) as usize;
+        let entries = inner.sync_log[from..].iter().take(limit).cloned().collect();
+        (entries, latest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvs_core::Scheme;
+    use dvs_sram::MilliVolts;
+    use dvs_workloads::Benchmark;
+
+    fn coordinator(cfg: ClusterConfig) -> Coordinator {
+        Coordinator::new(
+            cfg,
+            EvalConfig::quick(),
+            None,
+            Arc::new(MetricsRegistry::new()),
+        )
+    }
+
+    fn quick_cfg() -> ClusterConfig {
+        ClusterConfig {
+            lease_ttl: Duration::from_millis(100),
+            steal_after: Duration::from_millis(50),
+            max_attempts: 3,
+            retry_backoff: Duration::from_millis(10),
+            lease_units: 2,
+            max_duplicates: 2,
+        }
+    }
+
+    fn plan2() -> ExperimentPlan {
+        ExperimentPlan::for_cells([
+            CellKey::new(Benchmark::Crc32, Scheme::FfwBbr, MilliVolts::new(480)),
+            CellKey::new(Benchmark::Qsort, Scheme::FfwBbr, MilliVolts::new(480)),
+        ])
+    }
+
+    fn cell(n: u64) -> StoredCell {
+        StoredCell {
+            failed_links: n,
+            trials: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn leases_grant_in_plan_order_up_to_budget() {
+        let c = coordinator(quick_cfg());
+        let t0 = Instant::now();
+        let w = c.join("w", t0);
+        let id = c.submit(WireConfig::of(&EvalConfig::quick()), &plan2(), t0);
+        let grants = c.lease(w, 8, t0).unwrap();
+        assert_eq!(grants.len(), 2); // clamped to lease_units
+        assert_eq!(
+            grants[0].unit,
+            UnitRef {
+                campaign: id,
+                index: 0
+            }
+        );
+        assert_eq!(
+            grants[1].unit,
+            UnitRef {
+                campaign: id,
+                index: 1
+            }
+        );
+        assert!(grants.iter().all(|g| !g.stolen));
+        // Everything is leased now; an idle second worker gets nothing
+        // until the steal threshold passes.
+        let w2 = c.join("w2", t0);
+        assert!(c.lease(w2, 1, t0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn heartbeats_keep_leases_alive_and_silence_kills_them() {
+        let cfg = quick_cfg();
+        let c = coordinator(cfg);
+        let t0 = Instant::now();
+        let w = c.join("w", t0);
+        let id = c.submit(WireConfig::of(&EvalConfig::quick()), &plan2(), t0);
+        let g = c.lease(w, 1, t0).unwrap();
+        assert_eq!(g.len(), 1);
+
+        // Renewed at 80ms and 160ms: still leased at 200ms.
+        let t1 = t0 + Duration::from_millis(80);
+        c.heartbeat(w, t1).unwrap();
+        let t2 = t0 + Duration::from_millis(160);
+        c.heartbeat(w, t2).unwrap();
+        let p = c.progress(id, t0 + Duration::from_millis(200)).unwrap();
+        assert_eq!(p.completed, 0);
+        assert_eq!(p.failed, 0);
+
+        // Silence past the TTL: the lease expires, the worker is dead,
+        // the unit requeues with backoff.
+        let t3 = t2 + cfg.lease_ttl + Duration::from_millis(1);
+        c.tick(t3);
+        assert!(c.heartbeat(w, t3).is_err(), "dead worker must rejoin");
+        assert_eq!(c.pending_units(), 2);
+        // Backoff holds the unit back, then releases it.
+        let w2 = c.join("w2", t3);
+        let g = c.lease(w2, 2, t3).unwrap();
+        assert_eq!(g.len(), 1, "requeued unit still backing off");
+        let t4 = t3 + cfg.retry_backoff;
+        let g = c.lease(w2, 2, t4).unwrap();
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn repeated_expiry_fails_terminally_after_max_attempts() {
+        let cfg = quick_cfg();
+        let c = coordinator(cfg);
+        let t0 = Instant::now();
+        let plan = ExperimentPlan::for_cells([CellKey::new(
+            Benchmark::Crc32,
+            Scheme::FfwBbr,
+            MilliVolts::new(480),
+        )]);
+        let id = c.submit(WireConfig::of(&EvalConfig::quick()), &plan, t0);
+        let mut now = t0;
+        for attempt in 1..=cfg.max_attempts {
+            let w = c.join("w", now);
+            now += cfg.retry_backoff * attempt; // clear any backoff
+            let g = c.lease(w, 1, now).unwrap();
+            assert_eq!(g.len(), 1, "attempt {attempt}");
+            now += cfg.lease_ttl + Duration::from_millis(1);
+            c.tick(now);
+        }
+        let p = c.progress(id, now).unwrap();
+        assert_eq!(p.failed, 1);
+        assert!(p.done);
+        assert!(matches!(&p.results[0].1, CellOutcome::Failed(e) if e.contains("lease expired")));
+    }
+
+    #[test]
+    fn idle_worker_steals_slow_units_but_never_its_own() {
+        let cfg = quick_cfg();
+        let c = coordinator(cfg);
+        let t0 = Instant::now();
+        let w1 = c.join("w1", t0);
+        let id = c.submit(WireConfig::of(&EvalConfig::quick()), &plan2(), t0);
+        assert_eq!(c.lease(w1, 2, t0).unwrap().len(), 2);
+
+        // w1 itself can never duplicate its own leases.
+        let t1 = t0 + cfg.steal_after;
+        c.heartbeat(w1, t1).unwrap();
+        assert!(c.lease(w1, 2, t1).unwrap().is_empty());
+
+        // An idle second worker steals both (max_duplicates = 2).
+        let w2 = c.join("w2", t1);
+        let g = c.lease(w2, 2, t1).unwrap();
+        assert_eq!(g.len(), 2);
+        assert!(g.iter().all(|g| g.stolen));
+
+        // A third worker finds nothing: duplicate cap reached.
+        let w3 = c.join("w3", t1);
+        assert!(c.lease(w3, 2, t1).unwrap().is_empty());
+
+        // First writer wins; the duplicate is absorbed silently.
+        c.complete(w2, g[0].unit, &cell(1), t1).unwrap();
+        c.complete(w1, g[0].unit, &cell(1), t1).unwrap();
+        let p = c.progress(id, t1).unwrap();
+        assert_eq!(p.completed, 1);
+        assert_eq!(
+            c.workers(t1)
+                .iter()
+                .find(|w| w.id == w2)
+                .unwrap()
+                .units_done,
+            1,
+            "the first writer gets the credit"
+        );
+    }
+
+    #[test]
+    fn reported_failure_requeues_with_backoff_then_fails_terminally() {
+        let cfg = quick_cfg();
+        let c = coordinator(cfg);
+        let t0 = Instant::now();
+        let w = c.join("w", t0);
+        let plan = ExperimentPlan::for_cells([CellKey::new(
+            Benchmark::Crc32,
+            Scheme::FfwBbr,
+            MilliVolts::new(480),
+        )]);
+        let id = c.submit(WireConfig::of(&EvalConfig::quick()), &plan, t0);
+        let mut now = t0;
+        for attempt in 1..=cfg.max_attempts {
+            now += cfg.retry_backoff * attempt;
+            c.heartbeat(w, now).unwrap();
+            let g = c.lease(w, 1, now).unwrap();
+            assert_eq!(g.len(), 1, "attempt {attempt}");
+            c.fail(w, g[0].unit, "invariant violation", now).unwrap();
+        }
+        let p = c.progress(id, now).unwrap();
+        assert!(p.done);
+        assert!(
+            matches!(&p.results[0].1, CellOutcome::Failed(e) if e.contains("invariant violation"))
+        );
+        // A straggler's late result still flips the unit to completed.
+        c.complete(
+            w,
+            UnitRef {
+                campaign: id,
+                index: 0,
+            },
+            &cell(7),
+            now,
+        )
+        .unwrap();
+        let p = c.progress(id, now).unwrap();
+        assert_eq!(p.completed, 1);
+        assert_eq!(p.failed, 0);
+    }
+
+    #[test]
+    fn store_prefilled_cells_complete_without_dispatch() {
+        let dir = std::env::temp_dir().join(format!("dvs-cluster-prefill-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = ResultStore::open(&dir).unwrap();
+        let base = EvalConfig::quick();
+        let wire = WireConfig::of(&base);
+        let done = CellKey::new(Benchmark::Crc32, Scheme::FfwBbr, MilliVolts::new(480));
+        let c = Coordinator::new(
+            quick_cfg(),
+            base,
+            Some(ResultStore::open(&dir).unwrap()),
+            Arc::new(MetricsRegistry::new()),
+        );
+        store.save(&c.store_key(&wire, &done), &cell(5)).unwrap();
+        let t0 = Instant::now();
+        let id = c.submit(wire, &plan2(), t0);
+        let p = c.progress(id, t0).unwrap();
+        assert_eq!(p.completed, 1);
+        assert_eq!(p.results[0].1, CellOutcome::Completed(cell(5)));
+        // Only the unresolved cell is dispatched.
+        let w = c.join("w", t0);
+        let g = c.lease(w, 2, t0).unwrap();
+        assert_eq!(g.len(), 1);
+        assert_eq!(g[0].key, plan2().cells()[1]);
+        // The pre-resolved cell entered the sync log.
+        let (entries, latest) = c.sync_since(0, 16);
+        assert_eq!(latest, 1);
+        assert_eq!(entries[0].key, done);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sync_log_pages_in_order() {
+        let c = coordinator(quick_cfg());
+        let t0 = Instant::now();
+        let w = c.join("w", t0);
+        let id = c.submit(WireConfig::of(&EvalConfig::quick()), &plan2(), t0);
+        let g = c.lease(w, 2, t0).unwrap();
+        c.complete(w, g[0].unit, &cell(1), t0).unwrap();
+        c.complete(w, g[1].unit, &cell(2), t0).unwrap();
+        let (page1, latest) = c.sync_since(0, 1);
+        assert_eq!(latest, 2);
+        assert_eq!(page1.len(), 1);
+        assert_eq!(page1[0].seq, 1);
+        let (page2, _) = c.sync_since(page1[0].seq, 16);
+        assert_eq!(page2.len(), 1);
+        assert_eq!(page2[0].seq, 2);
+        assert!(c.sync_since(2, 16).0.is_empty());
+        assert_eq!(c.progress(id, t0).unwrap().completed, 2);
+    }
+}

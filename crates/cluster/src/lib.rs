@@ -1,0 +1,46 @@
+//! `dvs-cluster` — distributed campaign execution for the experiment
+//! engine.
+//!
+//! A **coordinator** decomposes a campaign ([`dvs_core::ExperimentPlan`]
+//! plus the result-relevant slice of [`dvs_core::EvalConfig`]) into
+//! cell-granular work units and hands them to registered **workers**
+//! over the existing dependency-free HTTP layer (`dvs-serve` exposes the
+//! endpoints; `dvs-serve --join <coordinator>` runs the worker loop).
+//!
+//! The protocol is lease-based and idempotent by construction:
+//!
+//! * Workers *pull* work with [`Coordinator::lease`]; a lease expires
+//!   unless renewed by the worker's heartbeat, so a SIGKILLed node's
+//!   units requeue automatically (bounded retry with linear backoff).
+//! * When a worker is idle and no unit is pending, leases older than the
+//!   steal threshold are **duplicate-dispatched** (work stealing of slow
+//!   cells). Duplicates are provably harmless: every cell is a pure
+//!   function of its [`dvs_core::StoreKey`], so two workers computing
+//!   the same unit produce bit-identical bytes and the coordinator
+//!   keeps whichever finishes first (first-writer-wins).
+//! * Completed cells are pushed back as checksummed
+//!   [`dvs_core::StoredCell`] images; the coordinator persists them in
+//!   its [`dvs_core::ResultStore`] and appends them to a **sync log**
+//!   that any worker can tail, so after convergence *any* node answers
+//!   `GET /v1/results` for the whole campaign from its local store.
+//!
+//! Layering: [`proto`] is the pure JSON wire vocabulary, [`coordinator`]
+//! is the lock-protected lease/retry/steal state machine (time is passed
+//! in, so every transition is unit-testable without sleeping),
+//! [`client`] is a minimal keep-alive HTTP/1.1 client, and [`worker`]
+//! is the pull-execute-push loop with its heartbeat thread. Everything
+//! observable flows through `cluster.*` metrics on a shared
+//! [`dvs_obs::MetricsRegistry`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod coordinator;
+pub mod proto;
+pub mod worker;
+
+pub use client::HttpClient;
+pub use coordinator::{ClusterConfig, Coordinator};
+pub use proto::{UnitRef, WireConfig};
+pub use worker::{spawn_worker, WorkerConfig, WorkerHandle};

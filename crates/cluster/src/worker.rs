@@ -1,0 +1,606 @@
+//! The worker: a pull–execute–push loop plus a heartbeat thread.
+//!
+//! A worker joins a coordinator, leases cell-granular units, reassembles
+//! them into partial [`ExperimentPlan`]s that [`Evaluator::run_plan`]
+//! executes bit-identically to a single-node run, and pushes the
+//! resulting [`StoredCell`] images back. While the (possibly long)
+//! evaluation runs, a separate heartbeat thread renews the worker's
+//! leases over its own connection; if the process is SIGKILLed both
+//! threads die, heartbeats stop, and the coordinator requeues the units
+//! — no cleanup path needs to run on the dying node.
+//!
+//! When idle, the worker tails the coordinator's sync log into its local
+//! [`ResultStore`], so after a campaign converges *any* node can answer
+//! point queries for the whole campaign from local disk.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use dvs_core::{
+    CancelToken, CellKey, EvalConfig, EvalError, Evaluator, ExperimentPlan, ResultStore, StoreKey,
+    StoredCell,
+};
+use dvs_cpu::CoreConfig;
+use dvs_obs::json::{json_escape, Value};
+use dvs_obs::{MetricsRegistry, Recorder};
+use dvs_sram::CacheGeometry;
+
+use crate::client::HttpClient;
+use crate::proto::{
+    cell_from_json, cell_payload_from_hex, cell_payload_to_hex, UnitRef, WireConfig,
+};
+
+/// Configuration of one worker node.
+#[derive(Debug)]
+pub struct WorkerConfig {
+    /// Coordinator address (`host:port`).
+    pub coordinator: String,
+    /// Self-reported name (diagnostics only).
+    pub name: String,
+    /// Base evaluation config; its parallelism/checking knobs apply
+    /// locally, its result-relevant fields are overridden per lease.
+    pub base: EvalConfig,
+    /// Local result store (also the sync-log destination).
+    pub store: ResultStore,
+    /// Units requested per lease call.
+    pub lease_units: usize,
+    /// Heartbeat period; must be well under the coordinator's lease TTL.
+    pub heartbeat: Duration,
+    /// Poll period while no work is available.
+    pub idle_poll: Duration,
+    /// Socket timeout for coordinator requests.
+    pub timeout: Duration,
+}
+
+impl WorkerConfig {
+    /// A worker talking to `coordinator` with defaults sized for the
+    /// default [`crate::ClusterConfig`].
+    pub fn new(coordinator: impl Into<String>, base: EvalConfig, store: ResultStore) -> Self {
+        WorkerConfig {
+            coordinator: coordinator.into(),
+            name: format!("worker-{}", std::process::id()),
+            base,
+            store,
+            lease_units: 2,
+            heartbeat: Duration::from_millis(1000),
+            idle_poll: Duration::from_millis(200),
+            timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Handle to a running worker; dropping it does **not** stop the worker.
+#[derive(Debug)]
+pub struct WorkerHandle {
+    stop: Arc<AtomicBool>,
+    cancel: CancelToken,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl WorkerHandle {
+    /// Asks the worker to stop: in-flight evaluation is cancelled at the
+    /// next trial boundary and both threads wind down.
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::Relaxed);
+        self.cancel.cancel();
+    }
+
+    /// Waits for the worker's threads to finish.
+    pub fn join(self) {
+        for t in self.threads {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Spawns the worker loop and its heartbeat thread.
+pub fn spawn_worker(cfg: WorkerConfig, registry: Arc<MetricsRegistry>) -> WorkerHandle {
+    let stop = Arc::new(AtomicBool::new(false));
+    let cancel = CancelToken::new();
+    let worker_id: Arc<Mutex<Option<u64>>> = Arc::new(Mutex::new(None));
+
+    let hb = {
+        let stop = stop.clone();
+        let worker_id = worker_id.clone();
+        let addr = cfg.coordinator.clone();
+        let period = cfg.heartbeat;
+        let timeout = cfg.timeout;
+        std::thread::spawn(move || heartbeat_loop(&addr, timeout, period, &stop, &worker_id))
+    };
+    let main = {
+        let stop = stop.clone();
+        let cancel = cancel.clone();
+        std::thread::spawn(move || {
+            let mut rt = Runtime {
+                client: HttpClient::new(cfg.coordinator.clone(), cfg.timeout),
+                cfg,
+                registry,
+                stop,
+                cancel,
+                worker_id,
+                eval: None,
+                sync_seq: 0,
+            };
+            rt.run();
+        })
+    };
+    WorkerHandle {
+        stop,
+        cancel,
+        threads: vec![main, hb],
+    }
+}
+
+/// Sleeps `total` in short slices so a stop request is honored quickly.
+fn pause(stop: &AtomicBool, total: Duration) {
+    let mut left = total;
+    while !stop.load(Ordering::Relaxed) && !left.is_zero() {
+        let slice = left.min(Duration::from_millis(25));
+        std::thread::sleep(slice);
+        left = left.saturating_sub(slice);
+    }
+}
+
+fn heartbeat_loop(
+    addr: &str,
+    timeout: Duration,
+    period: Duration,
+    stop: &AtomicBool,
+    worker_id: &Mutex<Option<u64>>,
+) {
+    let mut client = HttpClient::new(addr, timeout);
+    while !stop.load(Ordering::Relaxed) {
+        let id = *worker_id.lock().expect("worker id lock");
+        if let Some(id) = id {
+            match client.request(
+                "POST",
+                "/v1/cluster/heartbeat",
+                Some(&format!("{{\"worker\":{id}}}")),
+            ) {
+                // The coordinator no longer knows us (e.g. a long GC-like
+                // stall outlived the TTL): force the main loop to rejoin.
+                Ok((status, _)) if !(200..300).contains(&status) => {
+                    *worker_id.lock().expect("worker id lock") = None;
+                }
+                _ => {}
+            }
+        }
+        pause(stop, period);
+    }
+}
+
+struct Runtime {
+    cfg: WorkerConfig,
+    registry: Arc<MetricsRegistry>,
+    client: HttpClient,
+    stop: Arc<AtomicBool>,
+    cancel: CancelToken,
+    worker_id: Arc<Mutex<Option<u64>>>,
+    /// The most recent (wire config, evaluator) pair; campaigns almost
+    /// always share one config, so one slot of reuse is enough to keep
+    /// benchmark artifacts and memory-cached cells warm.
+    eval: Option<(WireConfig, Evaluator)>,
+    sync_seq: u64,
+}
+
+impl Runtime {
+    fn run(&mut self) {
+        while !self.stop.load(Ordering::Relaxed) {
+            let Some(id) = self.ensure_joined() else {
+                break; // stop requested while joining
+            };
+            match self.lease(id) {
+                LeaseOutcome::Units(units) => self.execute(id, units),
+                LeaseOutcome::Idle => {
+                    self.sync_pull();
+                    pause(&self.stop, self.cfg.idle_poll);
+                }
+                LeaseOutcome::Expired => {
+                    *self.worker_id.lock().expect("worker id lock") = None;
+                }
+                LeaseOutcome::Transport => pause(&self.stop, self.cfg.idle_poll),
+            }
+        }
+    }
+
+    /// Joins (or rejoins) the coordinator, retrying until stopped.
+    fn ensure_joined(&mut self) -> Option<u64> {
+        loop {
+            if self.stop.load(Ordering::Relaxed) {
+                return None;
+            }
+            if let Some(id) = *self.worker_id.lock().expect("worker id lock") {
+                return Some(id);
+            }
+            let body = format!("{{\"name\":\"{}\"}}", json_escape(&self.cfg.name));
+            let joined = match self.client.request("POST", "/v1/cluster/join", Some(&body)) {
+                Ok((200, body)) => Value::parse(&body)
+                    .ok()
+                    .and_then(|v| v.get("worker").and_then(Value::as_f64))
+                    .map(|f| f as u64),
+                _ => None,
+            };
+            if let Some(id) = joined {
+                *self.worker_id.lock().expect("worker id lock") = Some(id);
+                self.registry.add("cluster.worker.joins", 1);
+                return Some(id);
+            }
+            pause(&self.stop, self.cfg.idle_poll);
+        }
+    }
+
+    fn lease(&mut self, id: u64) -> LeaseOutcome {
+        let body = format!(
+            "{{\"worker\":{id},\"max_units\":{}}}",
+            self.cfg.lease_units.max(1)
+        );
+        let response = self
+            .client
+            .request("POST", "/v1/cluster/lease", Some(&body));
+        let (status, body) = match response {
+            Ok(r) => r,
+            Err(_) => return LeaseOutcome::Transport,
+        };
+        if !(200..300).contains(&status) {
+            return LeaseOutcome::Expired;
+        }
+        let Some(units) = Value::parse(&body).ok().and_then(|v| parse_lease_units(&v)) else {
+            return LeaseOutcome::Transport;
+        };
+        if units.is_empty() {
+            LeaseOutcome::Idle
+        } else {
+            LeaseOutcome::Units(units)
+        }
+    }
+
+    /// Executes leased units grouped by wire config and reports each
+    /// cell's outcome.
+    fn execute(&mut self, id: u64, units: Vec<(UnitRef, CellKey, WireConfig)>) {
+        let mut groups: Vec<(WireConfig, Vec<(UnitRef, CellKey)>)> = Vec::new();
+        for (unit, key, wire) in units {
+            match groups.iter_mut().find(|(w, _)| *w == wire) {
+                Some((_, members)) => members.push((unit, key)),
+                None => groups.push((wire, vec![(unit, key)])),
+            }
+        }
+        for (wire, members) in groups {
+            if self.stop.load(Ordering::Relaxed) {
+                return;
+            }
+            let plan = ExperimentPlan::for_cells(members.iter().map(|(_, k)| *k));
+            let results = self.evaluator_for(wire).run_plan(&plan);
+            if self.stop.load(Ordering::Relaxed) {
+                return; // cancelled mid-plan: let the leases expire
+            }
+            for (unit, key) in members {
+                let outcome = results
+                    .iter()
+                    .find(|(k, _)| *k == key)
+                    .map(|(_, r)| r)
+                    .expect("run_plan returns every planned cell");
+                match outcome {
+                    Ok(run) => self.push_complete(
+                        id,
+                        unit,
+                        &StoredCell {
+                            failed_links: run.failed_links,
+                            trials: run.trials.clone(),
+                        },
+                    ),
+                    // All links failing is a *result* (the store encodes
+                    // it as zero surviving trials), not a retryable error.
+                    Err(EvalError::AllLinksFailed { attempts, .. }) => self.push_complete(
+                        id,
+                        unit,
+                        &StoredCell {
+                            failed_links: *attempts,
+                            trials: Vec::new(),
+                        },
+                    ),
+                    Err(e) => self.push_fail(id, unit, &e.to_string()),
+                }
+            }
+        }
+    }
+
+    fn evaluator_for(&mut self, wire: WireConfig) -> &mut Evaluator {
+        let rebuild = !matches!(&self.eval, Some((w, _)) if *w == wire);
+        if rebuild {
+            let eval = Evaluator::new(wire.apply(&self.cfg.base))
+                .with_store(self.cfg.store.clone())
+                .with_cancel_token(self.cancel.clone())
+                .with_recorder(self.registry.clone() as Arc<dyn Recorder>);
+            self.eval = Some((wire, eval));
+        }
+        &mut self.eval.as_mut().expect("evaluator just ensured").1
+    }
+
+    fn push_complete(&mut self, id: u64, unit: UnitRef, cell: &StoredCell) {
+        let body = format!(
+            "{{\"worker\":{id},\"campaign\":{},\"index\":{},\"payload\":\"{}\"}}",
+            unit.campaign,
+            unit.index,
+            cell_payload_to_hex(cell),
+        );
+        // Push with a few retries; an undeliverable result is not lost —
+        // the lease expires and another worker recomputes the cell.
+        for _ in 0..3 {
+            match self
+                .client
+                .request("POST", "/v1/cluster/complete", Some(&body))
+            {
+                Ok((status, _)) if (200..300).contains(&status) => {
+                    self.registry.add("cluster.worker.units.completed", 1);
+                    return;
+                }
+                Ok(_) => return, // coordinator rejected the ref: drop it
+                Err(_) => pause(&self.stop, Duration::from_millis(50)),
+            }
+        }
+    }
+
+    fn push_fail(&mut self, id: u64, unit: UnitRef, error: &str) {
+        let body = format!(
+            "{{\"worker\":{id},\"campaign\":{},\"index\":{},\"error\":\"{}\"}}",
+            unit.campaign,
+            unit.index,
+            json_escape(error),
+        );
+        let _ = self.client.request("POST", "/v1/cluster/fail", Some(&body));
+        self.registry.add("cluster.worker.units.failed", 1);
+    }
+
+    /// Tails the coordinator's sync log into the local store so this
+    /// node can answer point queries for cells other workers computed.
+    fn sync_pull(&mut self) {
+        loop {
+            let path = format!("/v1/cluster/sync?after={}&limit=64", self.sync_seq);
+            let Ok((200, body)) = self.client.request("GET", &path, None) else {
+                return;
+            };
+            let Some(v) = Value::parse(&body).ok() else {
+                return;
+            };
+            let latest = v
+                .get("latest")
+                .and_then(Value::as_f64)
+                .map_or(self.sync_seq, |f| f as u64);
+            let Some(entries) = v.get("entries").and_then(Value::as_arr) else {
+                return;
+            };
+            if entries.is_empty() {
+                self.sync_seq = self.sync_seq.max(latest);
+                return;
+            }
+            for entry in entries {
+                let Some((seq, wire, key, cell)) = parse_sync_entry(entry) else {
+                    // A malformed entry would repeat forever; skip past it.
+                    self.sync_seq += 1;
+                    continue;
+                };
+                let store_key = StoreKey::for_cell(
+                    &wire.apply(&self.cfg.base),
+                    &CoreConfig::dsn2016(),
+                    &CacheGeometry::dsn_l1(),
+                    &key,
+                );
+                if self.cfg.store.load(&store_key).is_none()
+                    && self.cfg.store.save(&store_key, &cell).is_ok()
+                {
+                    self.registry.add("cluster.worker.sync_cells", 1);
+                }
+                self.sync_seq = self.sync_seq.max(seq);
+            }
+            if self.sync_seq >= latest {
+                return;
+            }
+        }
+    }
+}
+
+enum LeaseOutcome {
+    Units(Vec<(UnitRef, CellKey, WireConfig)>),
+    Idle,
+    /// The coordinator no longer recognizes this worker id.
+    Expired,
+    Transport,
+}
+
+fn parse_lease_units(v: &Value) -> Option<Vec<(UnitRef, CellKey, WireConfig)>> {
+    let arr = v.get("units").and_then(Value::as_arr)?;
+    let mut units = Vec::with_capacity(arr.len());
+    for u in arr {
+        let campaign = u.get("campaign").and_then(Value::as_f64)? as u64;
+        let index = u.get("index").and_then(Value::as_f64)? as usize;
+        let key = cell_from_json(u.get("cell")?).ok()?;
+        let wire = WireConfig::from_json(u.get("config")?).ok()?;
+        units.push((UnitRef { campaign, index }, key, wire));
+    }
+    Some(units)
+}
+
+fn parse_sync_entry(v: &Value) -> Option<(u64, WireConfig, CellKey, StoredCell)> {
+    let seq = v.get("seq").and_then(Value::as_f64)? as u64;
+    let wire = WireConfig::from_json(v.get("config")?).ok()?;
+    let key = cell_from_json(v.get("cell")?).ok()?;
+    let cell = cell_payload_from_hex(v.get("payload").and_then(Value::as_str)?)?;
+    Some((seq, wire, key, cell))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::cell_to_json;
+    use dvs_core::Scheme;
+    use dvs_sram::MilliVolts;
+    use dvs_workloads::Benchmark;
+    use std::io::{Read, Write};
+    use std::net::TcpListener;
+
+    fn read_request(stream: &mut std::net::TcpStream) -> Option<(String, String)> {
+        let mut buf = Vec::new();
+        let header_end = loop {
+            if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                break pos;
+            }
+            let mut chunk = [0u8; 4096];
+            let n = stream.read(&mut chunk).ok()?;
+            if n == 0 {
+                return None;
+            }
+            buf.extend_from_slice(&chunk[..n]);
+        };
+        let head = String::from_utf8(buf[..header_end].to_vec()).ok()?;
+        let mut content_length = 0usize;
+        for line in head.split("\r\n").skip(1) {
+            if let Some((name, value)) = line.split_once(':') {
+                if name.trim().eq_ignore_ascii_case("content-length") {
+                    content_length = value.trim().parse().ok()?;
+                }
+            }
+        }
+        let body_start = header_end + 4;
+        while buf.len() < body_start + content_length {
+            let mut chunk = [0u8; 4096];
+            let n = stream.read(&mut chunk).ok()?;
+            if n == 0 {
+                return None;
+            }
+            buf.extend_from_slice(&chunk[..n]);
+        }
+        let target = head.split(' ').take(2).collect::<Vec<_>>().join(" ");
+        let body = String::from_utf8(buf[body_start..body_start + content_length].to_vec()).ok()?;
+        Some((target, body))
+    }
+
+    fn respond(stream: &mut std::net::TcpStream, body: &str) {
+        let resp = format!(
+            "HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        stream.write_all(resp.as_bytes()).expect("write response");
+    }
+
+    /// Drives the full worker loop against a scripted fake coordinator:
+    /// join → lease one real (tiny) cell → expect the computed result
+    /// pushed back → serve a sync entry → idle. Exercises every request
+    /// the worker makes without a real server.
+    #[test]
+    fn worker_loop_executes_a_lease_and_tails_the_sync_log() {
+        let base = EvalConfig {
+            maps: 1,
+            trace_instrs: 400,
+            threads: 1,
+            ..EvalConfig::quick()
+        };
+        let wire = WireConfig::of(&base);
+        let leased = CellKey::new(Benchmark::Crc32, Scheme::DefectFree, MilliVolts::new(760));
+        let synced = CellKey::new(Benchmark::Qsort, Scheme::DefectFree, MilliVolts::new(760));
+        let synced_cell = StoredCell {
+            failed_links: 4,
+            trials: Vec::new(),
+        };
+
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr").to_string();
+        let lease_body = format!(
+            "{{\"units\":[{{\"campaign\":1,\"index\":0,\"stolen\":false,\
+             \"cell\":{},\"config\":{}}}]}}",
+            cell_to_json(&leased),
+            wire.to_json(),
+        );
+        let sync_body = format!(
+            "{{\"latest\":1,\"entries\":[{{\"seq\":1,\"config\":{},\"cell\":{},\
+             \"payload\":\"{}\"}}]}}",
+            wire.to_json(),
+            cell_to_json(&synced),
+            cell_payload_to_hex(&synced_cell),
+        );
+        let server = std::thread::spawn(move || {
+            let mut leased_out = false;
+            let mut completed: Option<String> = None;
+            let mut sync_served = false;
+            // Serve connections (worker + heartbeat threads) until the
+            // scripted interaction has fully played out.
+            listener.set_nonblocking(false).expect("blocking listener");
+            'outer: loop {
+                let (mut stream, _) = listener.accept().expect("accept");
+                while let Some((target, body)) = read_request(&mut stream) {
+                    match target.as_str() {
+                        "POST /v1/cluster/join" => {
+                            assert!(body.contains("\"name\""));
+                            respond(&mut stream, "{\"worker\":7}");
+                        }
+                        "POST /v1/cluster/heartbeat" => respond(&mut stream, "{\"ok\":true}"),
+                        "POST /v1/cluster/lease" => {
+                            assert!(body.contains("\"worker\":7"));
+                            if leased_out {
+                                respond(&mut stream, "{\"units\":[]}");
+                            } else {
+                                leased_out = true;
+                                respond(&mut stream, &lease_body);
+                            }
+                        }
+                        "POST /v1/cluster/complete" => {
+                            completed = Some(body);
+                            respond(&mut stream, "{\"ok\":true}");
+                        }
+                        target if target.starts_with("GET /v1/cluster/sync") => {
+                            if sync_served && completed.is_some() {
+                                respond(&mut stream, "{\"latest\":1,\"entries\":[]}");
+                                break 'outer;
+                            }
+                            sync_served = true;
+                            respond(&mut stream, &sync_body);
+                        }
+                        other => panic!("unexpected request {other} ({body})"),
+                    }
+                }
+            }
+            completed.expect("worker pushed a completed cell")
+        });
+
+        let dir = std::env::temp_dir().join(format!("dvs-worker-loop-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = ResultStore::open(&dir).expect("store");
+        let mut cfg = WorkerConfig::new(addr, base, store.clone());
+        cfg.heartbeat = Duration::from_millis(50);
+        cfg.idle_poll = Duration::from_millis(20);
+        let registry = Arc::new(MetricsRegistry::new());
+        let handle = spawn_worker(cfg, registry.clone());
+
+        let completed = server.join().expect("fake coordinator");
+        handle.stop();
+        handle.join();
+
+        // The pushed payload decodes to the locally stored result.
+        let hex = completed
+            .split("\"payload\":\"")
+            .nth(1)
+            .and_then(|s| s.split('"').next())
+            .expect("payload field");
+        let pushed = cell_payload_from_hex(hex).expect("payload decodes");
+        let leased_key = StoreKey::for_cell(
+            &wire.apply(&base),
+            &CoreConfig::dsn2016(),
+            &CacheGeometry::dsn_l1(),
+            &leased,
+        );
+        assert_eq!(store.load(&leased_key), Some(pushed));
+
+        // The sync entry landed in the local store byte-for-byte.
+        let synced_key = StoreKey::for_cell(
+            &wire.apply(&base),
+            &CoreConfig::dsn2016(),
+            &CacheGeometry::dsn_l1(),
+            &synced,
+        );
+        assert_eq!(store.load(&synced_key), Some(synced_cell));
+        assert_eq!(registry.counter("cluster.worker.units.completed"), 1);
+        assert_eq!(registry.counter("cluster.worker.sync_cells"), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -111,6 +111,20 @@ impl ExperimentPlan {
         plan
     }
 
+    /// Plans exactly the given cells, in iteration order (duplicates
+    /// collapse). This is the cell-granular entry point the cluster
+    /// layer uses: a coordinator decomposes a campaign into single-cell
+    /// work units, and a worker reassembles the units it leased into a
+    /// partial plan that [`crate::Evaluator::run_plan`] executes
+    /// bit-identically to the same cells inside the full campaign.
+    pub fn for_cells(keys: impl IntoIterator<Item = CellKey>) -> Self {
+        let mut plan = ExperimentPlan::new();
+        for key in keys {
+            plan.add_key(key);
+        }
+        plan
+    }
+
     /// Adds one cell; returns whether it was new.
     pub fn add(&mut self, benchmark: Benchmark, scheme: Scheme, vcc: MilliVolts) -> bool {
         self.add_key(CellKey::new(benchmark, scheme, vcc))
@@ -161,6 +175,14 @@ mod tests {
         let mut dup = plan.clone();
         assert!(!dup.add(Benchmark::Crc32, Scheme::FfwBbr, MilliVolts::new(400)));
         assert_eq!(dup.len(), 8);
+    }
+
+    #[test]
+    fn for_cells_preserves_order_and_collapses_duplicates() {
+        let a = CellKey::new(Benchmark::Qsort, Scheme::FfwBbr, MilliVolts::new(480));
+        let b = CellKey::new(Benchmark::Crc32, Scheme::FfwBbr, MilliVolts::new(400));
+        let plan = ExperimentPlan::for_cells([a, b, a]);
+        assert_eq!(plan.cells(), &[a, b]);
     }
 
     #[test]

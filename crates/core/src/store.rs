@@ -131,6 +131,39 @@ pub struct StoredCell {
     pub trials: Vec<TrialMetrics>,
 }
 
+impl StoredCell {
+    /// Serializes the cell for transport (cluster result push / store
+    /// sync), with a trailing checksum so wire corruption reads as a
+    /// decode failure rather than wrong data.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut payload = Serializer::new();
+        self.serialize(&mut payload);
+        let payload = payload.into_bytes();
+        let mut s = Serializer::new();
+        s.write_bytes(&payload);
+        s.write_u64(fnv1a(&payload));
+        s.into_bytes()
+    }
+
+    /// Decodes a [`StoredCell::to_bytes`] image. `None` on truncation,
+    /// trailing garbage or a checksum mismatch — the receiver must treat
+    /// every failure mode as "recompute", exactly like a store miss.
+    pub fn from_bytes(bytes: &[u8]) -> Option<StoredCell> {
+        let mut d = Deserializer::new(bytes);
+        let payload = d.read_bytes().ok()?;
+        let checksum = d.read_u64().ok()?;
+        if !d.is_empty() || fnv1a(payload) != checksum {
+            return None;
+        }
+        let mut pd = Deserializer::new(payload);
+        let cell = StoredCell::deserialize(&mut pd).ok()?;
+        if !pd.is_empty() {
+            return None;
+        }
+        Some(cell)
+    }
+}
+
 /// A directory of per-cell result files.
 #[derive(Debug, Clone)]
 pub struct ResultStore {
@@ -347,6 +380,22 @@ mod tests {
         }
         assert_eq!(names.len(), FaultModel::ALL.len());
         let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn stored_cell_wire_round_trips_and_rejects_corruption() {
+        let cell = sample_cell();
+        let bytes = cell.to_bytes();
+        assert_eq!(StoredCell::from_bytes(&bytes), Some(cell));
+        // Truncation, bit rot and trailing garbage all decode to None.
+        assert_eq!(StoredCell::from_bytes(&bytes[..bytes.len() - 1]), None);
+        let mut flipped = bytes.clone();
+        flipped[0] ^= 0xFF;
+        assert_eq!(StoredCell::from_bytes(&flipped), None);
+        let mut padded = bytes;
+        padded.push(0);
+        assert_eq!(StoredCell::from_bytes(&padded), None);
+        assert_eq!(StoredCell::from_bytes(b""), None);
     }
 
     #[test]

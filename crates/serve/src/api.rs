@@ -204,6 +204,66 @@ pub fn parse_scheme(name: &str) -> Option<Scheme> {
         .find(|s| s.name().eq_ignore_ascii_case(name))
 }
 
+/// Reconstructs a cell's engine-level result from its stored payload:
+/// zero surviving trials re-raises [`EvalError::AllLinksFailed`] (with
+/// the stored attempt count), anything else rebuilds the
+/// [`SchemeRun`]. Both the store query path and the cluster result
+/// renderer go through here, so a cell fetched from any node renders
+/// byte-identically to one computed in-process.
+pub fn stored_cell_result(
+    key: &CellKey,
+    stored: dvs_core::StoredCell,
+) -> Result<Arc<SchemeRun>, EvalError> {
+    if stored.trials.is_empty() {
+        Err(EvalError::AllLinksFailed {
+            benchmark: key.benchmark,
+            scheme: key.scheme,
+            vcc: key.vcc(),
+            attempts: stored.failed_links,
+        })
+    } else {
+        Ok(Arc::new(SchemeRun {
+            scheme: key.scheme,
+            point: key.point(),
+            benchmark: key.benchmark,
+            trials: stored.trials,
+            failed_links: stored.failed_links,
+        }))
+    }
+}
+
+/// Renders a cell that failed outside the engine (e.g. a cluster unit
+/// whose retries were exhausted) in the same shape as
+/// [`cell_json`]'s error branch.
+pub fn cell_error_json(key: &CellKey, error: &str) -> String {
+    format!(
+        "{{\"benchmark\":\"{}\",\"scheme\":\"{}\",\"vcc_mv\":{},\
+         \"status\":\"error\",\"error\":\"{}\"}}",
+        json_escape(key.benchmark.name()),
+        json_escape(key.scheme.name()),
+        key.vcc().get(),
+        json_escape(error),
+    )
+}
+
+/// Renders the `GET /v1/healthz` body: liveness plus enough shape
+/// (version, role, uptime, queue depth) for a probe to tell nodes
+/// apart without hitting `/v1/metrics`.
+pub fn healthz_json(
+    version: &str,
+    role: &str,
+    uptime_ms: u64,
+    queue_depth: usize,
+    draining: bool,
+) -> String {
+    format!(
+        "{{\"ok\":true,\"version\":\"{}\",\"role\":\"{}\",\"uptime_ms\":{uptime_ms},\
+         \"queue_depth\":{queue_depth},\"draining\":{draining}}}",
+        json_escape(version),
+        json_escape(role),
+    )
+}
+
 /// Renders one resolved cell as a JSON object.
 ///
 /// All metric fields are integers straight from the trial records, so
@@ -377,6 +437,35 @@ mod tests {
             let err = CampaignSpec::from_json(body).unwrap_err();
             assert!(err.contains(needle), "{body}: {err}");
         }
+    }
+
+    #[test]
+    fn healthz_body_parses_under_the_hardened_parser() {
+        let body = healthz_json("0.1.0", "coordinator", 12345, 3, false);
+        let v = Value::parse(&body).expect("healthz must be valid JSON");
+        assert_eq!(v.get("ok").and_then(Value::as_f64), None); // a bool, not a number
+        assert!(matches!(v.get("ok"), Some(Value::Bool(true))));
+        assert_eq!(v.get("version").and_then(Value::as_str), Some("0.1.0"));
+        assert_eq!(v.get("role").and_then(Value::as_str), Some("coordinator"));
+        assert_eq!(v.get("uptime_ms").and_then(Value::as_f64), Some(12345.0));
+        assert_eq!(v.get("queue_depth").and_then(Value::as_f64), Some(3.0));
+        assert!(matches!(v.get("draining"), Some(Value::Bool(false))));
+    }
+
+    #[test]
+    fn stored_cells_reconstruct_runs_and_link_failures() {
+        let key = CellKey::new(Benchmark::Crc32, Scheme::FfwBbr, MilliVolts::new(440));
+        let failed = dvs_core::StoredCell {
+            failed_links: 9,
+            trials: Vec::new(),
+        };
+        let err = stored_cell_result(&key, failed).unwrap_err();
+        assert!(matches!(err, EvalError::AllLinksFailed { attempts: 9, .. }));
+        // The error branch renders identically through both paths.
+        assert_eq!(
+            cell_json(&key, &Err(err.clone())),
+            cell_error_json(&key, &err.to_string())
+        );
     }
 
     #[test]

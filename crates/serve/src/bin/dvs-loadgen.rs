@@ -6,6 +6,11 @@
 //! per-thread [`LogHistogram`]; the merged distribution plus error
 //! counts print in a stable `key=value` format for scripts. The exit
 //! code is non-zero when any transport error or 5xx occurred.
+//!
+//! A 429 carrying `Retry-After` is admission control, not a failure:
+//! the worker sleeps the advertised delay (with multiplicative jitter
+//! so a throttled fleet does not reconverge on one instant) and retries
+//! the same request, counting it under `throttled` instead of `non2xx`.
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -91,15 +96,44 @@ struct Tallies {
     non2xx: AtomicU64,
     /// Responses with a 5xx status (also counted in `non2xx`).
     fivexx: AtomicU64,
+    /// 429 responses with `Retry-After` that were backed off and retried.
+    throttled: AtomicU64,
+}
+
+/// Retries per claimed request before a persistent 429 falls through to
+/// the `non2xx` tally, and the longest delay we honour per retry.
+const THROTTLE_RETRIES: u32 = 8;
+const THROTTLE_CAP: Duration = Duration::from_secs(5);
+
+/// Multiplicative jitter in [0.5, 1.5) from a per-worker xorshift
+/// stream; deterministic per worker, decorrelated across the fleet.
+struct Jitter(u64);
+
+impl Jitter {
+    fn new(worker: usize) -> Self {
+        Jitter((worker as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1)
+    }
+
+    fn scale(&mut self, base: Duration) -> Duration {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        let frac = 0.5 + (self.0 >> 11) as f64 / (1u64 << 53) as f64;
+        base.mul_f64(frac)
+    }
 }
 
 struct WorkerResult {
     latencies_us: LogHistogram,
 }
 
-/// Reads one HTTP/1.1 response off `stream`; returns its status code
-/// and whether the connection can be reused.
-fn read_response(stream: &mut TcpStream, buf: &mut Vec<u8>) -> Result<(u16, bool), String> {
+/// Reads one HTTP/1.1 response off `stream`; returns its status code,
+/// whether the connection can be reused, and any `Retry-After` delay
+/// (delta-seconds form only — HTTP-date values are ignored).
+fn read_response(
+    stream: &mut TcpStream,
+    buf: &mut Vec<u8>,
+) -> Result<(u16, bool, Option<Duration>), String> {
     let header_end = loop {
         if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
             break pos;
@@ -119,6 +153,7 @@ fn read_response(stream: &mut TcpStream, buf: &mut Vec<u8>) -> Result<(u16, bool
         .ok_or_else(|| format!("bad status line {head:?}"))?;
     let mut content_length = 0usize;
     let mut keep_alive = true;
+    let mut retry_after = None;
     for line in head.split("\r\n").skip(1) {
         if let Some((name, value)) = line.split_once(':') {
             let name = name.trim().to_ascii_lowercase();
@@ -129,6 +164,8 @@ fn read_response(stream: &mut TcpStream, buf: &mut Vec<u8>) -> Result<(u16, bool
                     .map_err(|_| "bad content-length".to_string())?;
             } else if name == "connection" && value.eq_ignore_ascii_case("close") {
                 keep_alive = false;
+            } else if name == "retry-after" {
+                retry_after = value.parse::<u64>().ok().map(Duration::from_secs);
             }
         }
     }
@@ -142,15 +179,16 @@ fn read_response(stream: &mut TcpStream, buf: &mut Vec<u8>) -> Result<(u16, bool
         buf.extend_from_slice(&chunk[..n]);
     }
     buf.drain(..body_start + content_length);
-    Ok((status, keep_alive))
+    Ok((status, keep_alive, retry_after))
 }
 
-fn worker(opts: &Options, tallies: &Tallies) -> WorkerResult {
+fn worker(index: usize, opts: &Options, tallies: &Tallies) -> WorkerResult {
     let request = format!(
         "GET {} HTTP/1.1\r\nHost: {}\r\nConnection: keep-alive\r\n\r\n",
         opts.path, opts.addr
     );
     let mut latencies = LogHistogram::new();
+    let mut jitter = Jitter::new(index);
     let mut conn: Option<(TcpStream, Vec<u8>)> = None;
     loop {
         // Claim one request from the shared budget.
@@ -158,41 +196,55 @@ fn worker(opts: &Options, tallies: &Tallies) -> WorkerResult {
             tallies.issued.fetch_sub(1, Ordering::Relaxed);
             break;
         }
-        let started = Instant::now();
-        let outcome = (|| -> Result<(u16, bool), String> {
-            if conn.is_none() {
-                let stream = TcpStream::connect(&opts.addr).map_err(|e| format!("connect: {e}"))?;
+        let mut retries = 0u32;
+        loop {
+            let started = Instant::now();
+            let outcome = (|| -> Result<(u16, bool, Option<Duration>), String> {
+                if conn.is_none() {
+                    let stream =
+                        TcpStream::connect(&opts.addr).map_err(|e| format!("connect: {e}"))?;
+                    stream
+                        .set_read_timeout(Some(opts.timeout))
+                        .map_err(|e| e.to_string())?;
+                    stream
+                        .set_write_timeout(Some(opts.timeout))
+                        .map_err(|e| e.to_string())?;
+                    conn = Some((stream, Vec::new()));
+                }
+                let (stream, buf) = conn.as_mut().expect("connection just ensured");
                 stream
-                    .set_read_timeout(Some(opts.timeout))
-                    .map_err(|e| e.to_string())?;
-                stream
-                    .set_write_timeout(Some(opts.timeout))
-                    .map_err(|e| e.to_string())?;
-                conn = Some((stream, Vec::new()));
-            }
-            let (stream, buf) = conn.as_mut().expect("connection just ensured");
-            stream
-                .write_all(request.as_bytes())
-                .map_err(|e| format!("write: {e}"))?;
-            read_response(stream, buf)
-        })();
-        match outcome {
-            Ok((status, keep_alive)) => {
-                let micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
-                latencies.record(micros.max(1));
-                if !(200..300).contains(&status) {
-                    tallies.non2xx.fetch_add(1, Ordering::Relaxed);
-                    if status >= 500 {
-                        tallies.fivexx.fetch_add(1, Ordering::Relaxed);
+                    .write_all(request.as_bytes())
+                    .map_err(|e| format!("write: {e}"))?;
+                read_response(stream, buf)
+            })();
+            match outcome {
+                Ok((429, keep_alive, Some(delay))) if retries < THROTTLE_RETRIES => {
+                    tallies.throttled.fetch_add(1, Ordering::Relaxed);
+                    if !keep_alive {
+                        conn = None;
                     }
+                    std::thread::sleep(jitter.scale(delay.min(THROTTLE_CAP)));
+                    retries += 1;
                 }
-                if !keep_alive {
+                Ok((status, keep_alive, _)) => {
+                    let micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+                    latencies.record(micros.max(1));
+                    if !(200..300).contains(&status) {
+                        tallies.non2xx.fetch_add(1, Ordering::Relaxed);
+                        if status >= 500 {
+                            tallies.fivexx.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    if !keep_alive {
+                        conn = None;
+                    }
+                    break;
+                }
+                Err(_) => {
+                    tallies.errors.fetch_add(1, Ordering::Relaxed);
                     conn = None;
+                    break;
                 }
-            }
-            Err(_) => {
-                tallies.errors.fetch_add(1, Ordering::Relaxed);
-                conn = None;
             }
         }
     }
@@ -206,9 +258,9 @@ fn run(opts: &Options) -> Result<bool, String> {
     let started = Instant::now();
     let results: Vec<WorkerResult> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..opts.concurrency.max(1))
-            .map(|_| {
+            .map(|index| {
                 let tallies = &tallies;
-                scope.spawn(move || worker(opts, tallies))
+                scope.spawn(move || worker(index, opts, tallies))
             })
             .collect();
         handles
@@ -226,10 +278,11 @@ fn run(opts: &Options) -> Result<bool, String> {
     let errors = tallies.errors.load(Ordering::Relaxed);
     let non2xx = tallies.non2xx.load(Ordering::Relaxed);
     let fivexx = tallies.fivexx.load(Ordering::Relaxed);
+    let throttled = tallies.throttled.load(Ordering::Relaxed);
     let secs = elapsed.as_secs_f64().max(1e-9);
 
     println!(
-        "requests={issued} errors={errors} non2xx={non2xx} fivexx={fivexx} elapsed_ms={}",
+        "requests={issued} errors={errors} non2xx={non2xx} fivexx={fivexx} throttled={throttled} elapsed_ms={}",
         elapsed.as_millis()
     );
     println!("throughput={:.1} req/s", issued as f64 / secs);

@@ -5,12 +5,19 @@
 //! the JSON API until `POST /v1/admin/shutdown` drains it. The first
 //! stdout line is always `dvs-serve listening on http://ADDR`, flushed
 //! before any request is served, so scripts can scrape the bound port.
+//!
+//! Cluster roles: `--cluster` turns the node into a coordinator
+//! (campaigns shard into leased work units for joined workers);
+//! `--join ADDR` runs the worker loop against a coordinator while still
+//! serving the local API (so any node answers `/v1/results` once its
+//! store has synced).
 
 use std::io::Write;
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
 
+use dvs_cluster::{spawn_worker, ClusterConfig, Coordinator, WorkerConfig};
 use dvs_core::ResultStore;
 use dvs_obs::MetricsRegistry;
 use dvs_serve::jobs::{JobConfig, JobManager};
@@ -30,6 +37,16 @@ const USAGE: &str = "usage: dvs-serve [options]
   --trace-instrs N         default dynamic instructions per trial
   --seed N                 default root seed
   --timeout-ms N           per-connection read/write timeout (default 10000)
+cluster mode:
+  --cluster                coordinate a worker fleet (campaigns shard into cells)
+  --join ADDR              run as a worker of the coordinator at ADDR (needs a store)
+  --worker-name NAME       name this worker reports (default worker-<pid>)
+  --lease-ttl-ms N         coordinator: lease/worker TTL (default 5000)
+  --steal-after-ms N       coordinator: duplicate-dispatch threshold (default 3000)
+  --retry-backoff-ms N     coordinator: requeue backoff step (default 500)
+  --max-attempts N         coordinator: retries before a unit fails (default 5)
+  --lease-units N          cells per lease (both roles, default 2)
+  --heartbeat-ms N         worker: heartbeat period (default 1000)
   -h, --help               this text";
 
 struct Options {
@@ -38,6 +55,11 @@ struct Options {
     jobs: JobConfig,
     store_dir: Option<String>,
     no_store: bool,
+    cluster: bool,
+    join: Option<String>,
+    worker_name: Option<String>,
+    cluster_cfg: ClusterConfig,
+    heartbeat: Duration,
 }
 
 impl Default for Options {
@@ -48,6 +70,11 @@ impl Default for Options {
             jobs: JobConfig::default(),
             store_dir: None,
             no_store: false,
+            cluster: false,
+            join: None,
+            worker_name: None,
+            cluster_cfg: ClusterConfig::default(),
+            heartbeat: Duration::from_millis(1000),
         }
     }
 }
@@ -95,12 +122,45 @@ fn parse(mut args: impl Iterator<Item = String>) -> Result<Option<Options>, Stri
                 opts.server.read_timeout = Duration::from_millis(ms);
                 opts.server.write_timeout = Duration::from_millis(ms);
             }
+            "--cluster" => opts.cluster = true,
+            "--join" => opts.join = Some(value("--join")?),
+            "--worker-name" => opts.worker_name = Some(value("--worker-name")?),
+            "--lease-ttl-ms" => {
+                opts.cluster_cfg.lease_ttl =
+                    Duration::from_millis(int("--lease-ttl-ms", value("--lease-ttl-ms")?)?);
+            }
+            "--steal-after-ms" => {
+                opts.cluster_cfg.steal_after =
+                    Duration::from_millis(int("--steal-after-ms", value("--steal-after-ms")?)?);
+            }
+            "--retry-backoff-ms" => {
+                opts.cluster_cfg.retry_backoff =
+                    Duration::from_millis(int("--retry-backoff-ms", value("--retry-backoff-ms")?)?);
+            }
+            "--max-attempts" => {
+                opts.cluster_cfg.max_attempts =
+                    int("--max-attempts", value("--max-attempts")?)? as u32;
+            }
+            "--lease-units" => {
+                opts.cluster_cfg.lease_units =
+                    int("--lease-units", value("--lease-units")?)? as usize;
+            }
+            "--heartbeat-ms" => {
+                opts.heartbeat =
+                    Duration::from_millis(int("--heartbeat-ms", value("--heartbeat-ms")?)?);
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return Ok(None);
             }
             other => return Err(format!("unknown flag {other} (try --help)")),
         }
+    }
+    if opts.cluster && opts.join.is_some() {
+        return Err("--cluster and --join are mutually exclusive".to_string());
+    }
+    if opts.join.is_some() && opts.no_store {
+        return Err("--join needs a result store (drop --no-store)".to_string());
     }
     Ok(Some(opts))
 }
@@ -118,14 +178,46 @@ fn run(opts: Options) -> Result<(), String> {
     };
 
     let registry = Arc::new(MetricsRegistry::new());
-    let jobs = JobManager::start(opts.jobs, store, registry.clone());
-    let server = Server::bind(opts.listen.as_str(), opts.server, jobs, registry)
+    let base = opts.jobs.base;
+    let jobs = JobManager::start(opts.jobs, store.clone(), registry.clone());
+    let server = Server::bind(opts.listen.as_str(), opts.server, jobs, registry.clone())
         .map_err(|e| format!("cannot bind {}: {e}", opts.listen))?;
+
+    if opts.cluster {
+        server.enable_coordinator(Arc::new(Coordinator::new(
+            opts.cluster_cfg,
+            base,
+            store.clone(),
+            registry.clone(),
+        )));
+    }
+    let worker = match &opts.join {
+        Some(coordinator) => {
+            server.set_role("worker");
+            let mut cfg = WorkerConfig::new(
+                coordinator.clone(),
+                base,
+                store.clone().expect("--join requires a store"),
+            );
+            if let Some(name) = &opts.worker_name {
+                cfg.name = name.clone();
+            }
+            cfg.lease_units = opts.cluster_cfg.lease_units;
+            cfg.heartbeat = opts.heartbeat;
+            Some(spawn_worker(cfg, registry))
+        }
+        None => None,
+    };
 
     println!("dvs-serve listening on http://{}", server.local_addr());
     std::io::stdout().flush().ok();
 
-    server.run().map_err(|e| format!("server error: {e}"))?;
+    let served = server.run().map_err(|e| format!("server error: {e}"));
+    if let Some(worker) = worker {
+        worker.stop();
+        worker.join();
+    }
+    served?;
     println!("dvs-serve drained and stopped");
     Ok(())
 }

@@ -14,7 +14,7 @@ use std::collections::{BTreeMap, VecDeque};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
-use dvs_core::{CancelToken, EvalConfig, EvalError, Evaluator, ResultStore, SchemeRun, StoreKey};
+use dvs_core::{CancelToken, EvalConfig, EvalError, Evaluator, ResultStore, StoreKey};
 use dvs_cpu::CoreConfig;
 use dvs_obs::{MetricsRegistry, Recorder};
 use dvs_sram::{CacheGeometry, MilliVolts};
@@ -259,23 +259,17 @@ impl JobManager {
             &CacheGeometry::dsn_l1(),
             &key,
         ))?;
-        let result: Result<Arc<SchemeRun>, EvalError> = if stored.trials.is_empty() {
-            Err(EvalError::AllLinksFailed {
-                benchmark,
-                scheme,
-                vcc,
-                attempts: stored.failed_links,
-            })
-        } else {
-            Ok(Arc::new(SchemeRun {
-                scheme,
-                point: key.point(),
-                benchmark,
-                trials: stored.trials,
-                failed_links: stored.failed_links,
-            }))
-        };
-        Some(api::cell_json(&key, &result))
+        Some(api::cell_json(&key, &api::stored_cell_result(&key, stored)))
+    }
+
+    /// Campaigns currently waiting in the queue (excluding running).
+    pub fn queue_depth(&self) -> usize {
+        self.inner.state.lock().unwrap().queue.len()
+    }
+
+    /// The engine base configuration submissions are resolved against.
+    pub fn base(&self) -> &EvalConfig {
+        &self.inner.cfg.base
     }
 
     /// Whether a drain has begun.

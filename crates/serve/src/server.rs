@@ -12,9 +12,13 @@ use std::collections::VecDeque;
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
+use dvs_cluster::coordinator::CellOutcome;
+use dvs_cluster::proto::{cell_payload_from_hex, cell_payload_to_hex, cell_to_json, UnitRef};
+use dvs_cluster::{Coordinator, WireConfig};
+use dvs_obs::json::Value;
 use dvs_obs::{MetricsRegistry, Recorder};
 use dvs_sram::MilliVolts;
 
@@ -63,6 +67,14 @@ struct Shared {
     conns: AtomicUsize,
     /// The bound address, for the shutdown self-connect.
     local_addr: SocketAddr,
+    /// Cluster coordinator state, when this node coordinates a fleet.
+    /// Campaign routes divert to it and the `/v1/cluster/*` endpoints
+    /// come alive.
+    cluster: OnceLock<Arc<Coordinator>>,
+    /// Reported by `/v1/healthz` (`single`, `coordinator` or `worker`).
+    role: OnceLock<&'static str>,
+    /// Process start, for the health uptime.
+    started: Instant,
 }
 
 /// A bound-but-not-yet-running campaign server.
@@ -99,6 +111,9 @@ impl Server {
                 shutdown: AtomicBool::new(false),
                 conns: AtomicUsize::new(0),
                 local_addr,
+                cluster: OnceLock::new(),
+                role: OnceLock::new(),
+                started: Instant::now(),
             }),
         })
     }
@@ -106,6 +121,21 @@ impl Server {
     /// The bound address (useful with port 0).
     pub fn local_addr(&self) -> SocketAddr {
         self.local_addr
+    }
+
+    /// Turns this node into a cluster coordinator: campaign submissions
+    /// shard into leased work units instead of running locally, and the
+    /// `/v1/cluster/*` worker endpoints come alive. Call before
+    /// [`Server::run`].
+    pub fn enable_coordinator(&self, coordinator: Arc<Coordinator>) {
+        let _ = self.shared.cluster.set(coordinator);
+        let _ = self.shared.role.set("coordinator");
+    }
+
+    /// Sets the role string `/v1/healthz` reports (first call wins;
+    /// defaults to `"single"`).
+    pub fn set_role(&self, role: &'static str) {
+        let _ = self.shared.role.set(role);
     }
 
     /// Serves until a shutdown request arrives, then drains gracefully:
@@ -267,20 +297,30 @@ fn serve_connection(shared: &Arc<Shared>, stream: TcpStream) {
 
 fn route(shared: &Arc<Shared>, req: &Request) -> Response {
     match (req.method.as_str(), req.path.as_str()) {
-        ("GET", "/v1/healthz") => Response::json(200, "{\"ok\":true}".into()),
+        ("GET", "/v1/healthz") => healthz(shared),
         ("POST", "/v1/campaigns") => submit_campaign(shared, req),
-        ("GET", "/v1/campaigns") => Response::json(200, shared.jobs.list_json()),
+        ("GET", "/v1/campaigns") => match shared.cluster.get() {
+            Some(c) => Response::json(200, cluster_list_json(c)),
+            None => Response::json(200, shared.jobs.list_json()),
+        },
         ("GET", path) if path.starts_with("/v1/campaigns/") => {
             let id = &path["/v1/campaigns/".len()..];
-            match id
+            let body = id
                 .parse::<u64>()
                 .ok()
-                .and_then(|id| shared.jobs.status_json(id))
-            {
+                .and_then(|id| match shared.cluster.get() {
+                    Some(c) => cluster_status_json(c, id),
+                    None => shared.jobs.status_json(id),
+                });
+            match body {
                 Some(body) => Response::json(200, body),
                 None => Response::error(404, &format!("no campaign {id:?}")),
             }
         }
+        (method, path) if path.starts_with("/v1/cluster/") => match shared.cluster.get() {
+            Some(c) => cluster_route(c, method, path, req),
+            None => Response::error(404, "this node is not a cluster coordinator"),
+        },
         ("GET", "/v1/results") => store_query(shared, req),
         ("GET", "/v1/metrics") => {
             let snapshot = shared.registry.snapshot();
@@ -308,6 +348,17 @@ fn submit_campaign(shared: &Arc<Shared>, req: &Request) -> Response {
         Ok(s) => s,
         Err(e) => return Response::error(400, &e),
     };
+    if let Some(c) = shared.cluster.get() {
+        if shared.jobs.draining() {
+            return Response::error(503, "server is draining and refuses new campaigns");
+        }
+        let cfg = spec.config(shared.jobs.base());
+        let id = c.submit(WireConfig::of(&cfg), &spec.plan(), Instant::now());
+        return Response::json(
+            202,
+            format!("{{\"id\":{id},\"state\":\"queued\",\"poll\":\"/v1/campaigns/{id}\"}}"),
+        );
+    }
     match shared.jobs.submit(spec) {
         Ok(id) => Response::json(
             202,
@@ -360,6 +411,261 @@ fn store_query(shared: &Arc<Shared>, req: &Request) -> Response {
     {
         Some(body) => Response::json(200, body),
         None => Response::error(404, "no stored result for this cell at these settings"),
+    }
+}
+
+fn healthz(shared: &Arc<Shared>) -> Response {
+    let role = shared.role.get().copied().unwrap_or("single");
+    let queue_depth =
+        shared.jobs.queue_depth() + shared.cluster.get().map_or(0, |c| c.pending_units());
+    let uptime_ms = u64::try_from(shared.started.elapsed().as_millis()).unwrap_or(u64::MAX);
+    Response::json(
+        200,
+        api::healthz_json(
+            env!("CARGO_PKG_VERSION"),
+            role,
+            uptime_ms,
+            queue_depth,
+            shared.jobs.draining(),
+        ),
+    )
+}
+
+/// Renders a cluster campaign's status in the same shape as the local
+/// job table: the `"results"` array (present once every cell is
+/// terminal) is byte-comparable to a single-node run of the same spec.
+fn cluster_status_json(c: &Arc<Coordinator>, id: u64) -> Option<String> {
+    let p = c.progress(id, Instant::now())?;
+    let state = if !p.done {
+        "running"
+    } else if p.completed > 0 {
+        "complete"
+    } else {
+        "failed"
+    };
+    let mut out = format!(
+        "{{\"id\":{id},\"state\":\"{state}\",\"cells_total\":{},\"cells_done\":{},\
+         \"cells_failed\":{}",
+        p.total,
+        p.completed + p.failed,
+        p.failed,
+    );
+    if p.done {
+        out.push_str(",\"results\":[");
+        for (i, (key, outcome)) in p.results.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            match outcome {
+                CellOutcome::Completed(cell) => out.push_str(&api::cell_json(
+                    key,
+                    &api::stored_cell_result(key, cell.clone()),
+                )),
+                CellOutcome::Failed(e) => out.push_str(&api::cell_error_json(key, e)),
+                CellOutcome::Pending => {
+                    unreachable!("done campaign has no pending cells")
+                }
+            }
+        }
+        out.push(']');
+    }
+    out.push('}');
+    Some(out)
+}
+
+fn cluster_list_json(c: &Arc<Coordinator>) -> String {
+    let now = Instant::now();
+    let mut out = String::from("[");
+    for (i, id) in c.campaign_ids().into_iter().enumerate() {
+        let Some(p) = c.progress(id, now) else {
+            continue;
+        };
+        if i > 0 {
+            out.push(',');
+        }
+        let state = if !p.done {
+            "running"
+        } else if p.completed > 0 {
+            "complete"
+        } else {
+            "failed"
+        };
+        out.push_str(&format!(
+            "{{\"id\":{id},\"state\":\"{state}\",\"cells_total\":{},\"cells_done\":{}}}",
+            p.total,
+            p.completed + p.failed,
+        ));
+    }
+    out.push(']');
+    out
+}
+
+/// Extracts a non-negative integer field from a parsed JSON body.
+fn body_u64(v: &Value, key: &str) -> Result<u64, Response> {
+    v.get(key)
+        .and_then(Value::as_f64)
+        .filter(|f| f.fract() == 0.0 && *f >= 0.0)
+        .map(|f| f as u64)
+        .ok_or_else(|| Response::error(400, &format!("field {key:?} must be an integer")))
+}
+
+/// The worker-facing endpoints of a coordinator node. All bodies are
+/// JSON; a stale worker id answers `410 Gone` so the worker rejoins.
+fn cluster_route(c: &Arc<Coordinator>, method: &str, path: &str, req: &Request) -> Response {
+    let now = Instant::now();
+    let parse_body = || -> Result<Value, Response> {
+        std::str::from_utf8(&req.body)
+            .map_err(|_| Response::error(400, "request body is not UTF-8"))
+            .and_then(|b| {
+                Value::parse(b).map_err(|e| Response::error(400, &format!("invalid JSON: {e}")))
+            })
+    };
+    match (method, path) {
+        ("POST", "/v1/cluster/join") => {
+            let v = match parse_body() {
+                Ok(v) => v,
+                Err(r) => return r,
+            };
+            let name = v.get("name").and_then(Value::as_str).unwrap_or("unnamed");
+            let id = c.join(name, now);
+            Response::json(200, format!("{{\"worker\":{id}}}"))
+        }
+        ("POST", "/v1/cluster/heartbeat") => {
+            let v = match parse_body() {
+                Ok(v) => v,
+                Err(r) => return r,
+            };
+            let worker = match body_u64(&v, "worker") {
+                Ok(w) => w,
+                Err(r) => return r,
+            };
+            match c.heartbeat(worker, now) {
+                Ok(()) => Response::json(200, "{\"ok\":true}".into()),
+                Err(e) => Response::error(410, &e),
+            }
+        }
+        ("POST", "/v1/cluster/lease") => {
+            let v = match parse_body() {
+                Ok(v) => v,
+                Err(r) => return r,
+            };
+            let worker = match body_u64(&v, "worker") {
+                Ok(w) => w,
+                Err(r) => return r,
+            };
+            let max_units = body_u64(&v, "max_units").unwrap_or(1) as usize;
+            match c.lease(worker, max_units, now) {
+                Ok(grants) => {
+                    let mut out = String::from("{\"units\":[");
+                    for (i, g) in grants.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        out.push_str(&format!(
+                            "{{\"campaign\":{},\"index\":{},\"stolen\":{},\"cell\":{},\
+                             \"config\":{}}}",
+                            g.unit.campaign,
+                            g.unit.index,
+                            g.stolen,
+                            cell_to_json(&g.key),
+                            g.wire.to_json(),
+                        ));
+                    }
+                    out.push_str("]}");
+                    Response::json(200, out)
+                }
+                Err(e) => Response::error(410, &e),
+            }
+        }
+        ("POST", "/v1/cluster/complete") => {
+            let v = match parse_body() {
+                Ok(v) => v,
+                Err(r) => return r,
+            };
+            let (worker, campaign, index) = match (
+                body_u64(&v, "worker"),
+                body_u64(&v, "campaign"),
+                body_u64(&v, "index"),
+            ) {
+                (Ok(w), Ok(cmp), Ok(i)) => (w, cmp, i as usize),
+                (Err(r), _, _) | (_, Err(r), _) | (_, _, Err(r)) => return r,
+            };
+            let Some(cell) = v
+                .get("payload")
+                .and_then(Value::as_str)
+                .and_then(cell_payload_from_hex)
+            else {
+                return Response::error(400, "field \"payload\" must be a valid cell image");
+            };
+            match c.complete(worker, UnitRef { campaign, index }, &cell, now) {
+                Ok(()) => Response::json(200, "{\"ok\":true}".into()),
+                Err(e) => Response::error(404, &e),
+            }
+        }
+        ("POST", "/v1/cluster/fail") => {
+            let v = match parse_body() {
+                Ok(v) => v,
+                Err(r) => return r,
+            };
+            let (worker, campaign, index) = match (
+                body_u64(&v, "worker"),
+                body_u64(&v, "campaign"),
+                body_u64(&v, "index"),
+            ) {
+                (Ok(w), Ok(cmp), Ok(i)) => (w, cmp, i as usize),
+                (Err(r), _, _) | (_, Err(r), _) | (_, _, Err(r)) => return r,
+            };
+            let error = v.get("error").and_then(Value::as_str).unwrap_or("unknown");
+            match c.fail(worker, UnitRef { campaign, index }, error, now) {
+                Ok(()) => Response::json(200, "{\"ok\":true}".into()),
+                Err(e) => Response::error(404, &e),
+            }
+        }
+        ("GET", "/v1/cluster/sync") => {
+            let after = req
+                .query_param("after")
+                .and_then(|s| s.parse::<u64>().ok())
+                .unwrap_or(0);
+            let limit = req
+                .query_param("limit")
+                .and_then(|s| s.parse::<usize>().ok())
+                .unwrap_or(64)
+                .clamp(1, 256);
+            let (entries, latest) = c.sync_since(after, limit);
+            let mut out = format!("{{\"latest\":{latest},\"entries\":[");
+            for (i, e) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "{{\"seq\":{},\"config\":{},\"cell\":{},\"payload\":\"{}\"}}",
+                    e.seq,
+                    e.wire.to_json(),
+                    cell_to_json(&e.key),
+                    cell_payload_to_hex(&e.cell),
+                ));
+            }
+            out.push_str("]}");
+            Response::json(200, out)
+        }
+        ("GET", "/v1/cluster/workers") => {
+            let mut out = String::from("[");
+            for (i, w) in c.workers(now).iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "{{\"id\":{},\"name\":\"{}\",\"alive\":{},\"units_done\":{}}}",
+                    w.id,
+                    dvs_obs::json::json_escape(&w.name),
+                    w.alive,
+                    w.units_done,
+                ));
+            }
+            out.push(']');
+            Response::json(200, out)
+        }
+        _ => Response::error(404, &format!("no cluster route {method} {path}")),
     }
 }
 

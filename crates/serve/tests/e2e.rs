@@ -287,9 +287,35 @@ fn routing_rejects_what_it_should_and_shutdown_is_clean() {
         None,
     );
 
+    // Healthz is a real document now: it must survive the hardened
+    // parser and carry role/version/queue-depth fields.
     let (status, _, body) = request(server.addr, "GET", "/v1/healthz", None);
     assert_eq!(status, 200);
-    assert_eq!(body, "{\"ok\":true}");
+    let health = Value::parse(&body).expect("healthz JSON parses");
+    assert_eq!(health.get("ok").and_then(Value::as_f64), None);
+    assert!(
+        matches!(health.get("ok"), Some(Value::Bool(true))),
+        "{body}"
+    );
+    assert_eq!(
+        health.get("role").and_then(Value::as_str),
+        Some("single"),
+        "{body}"
+    );
+    assert_eq!(
+        health.get("version").and_then(Value::as_str),
+        Some(env!("CARGO_PKG_VERSION")),
+        "{body}"
+    );
+    assert_eq!(
+        health.get("queue_depth").and_then(Value::as_f64),
+        Some(0.0),
+        "{body}"
+    );
+    assert!(
+        health.get("uptime_ms").and_then(Value::as_f64).is_some(),
+        "{body}"
+    );
 
     let (status, _, _) = request(server.addr, "GET", "/v1/nope", None);
     assert_eq!(status, 404);

@@ -24,6 +24,7 @@ fn digest(s: &Summary) -> String {
 
 fn main() {
     let mut cfg = EvalConfig::quick();
+    let mut single_cell = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut take = || -> u64 {
@@ -34,17 +35,28 @@ fn main() {
         match arg.as_str() {
             "--instrs" => cfg.trace_instrs = take() as usize,
             "--seed" => cfg.seed = take(),
+            "--cell" => single_cell = true,
             other => panic!("unknown flag {other}"),
         }
     }
 
     let store = ResultStore::open_default().expect("result store must open");
     let mut eval = Evaluator::new(cfg).with_store(store);
-    let plan = ExperimentPlan::for_grid(
-        &[Benchmark::Crc32, Benchmark::Qsort],
-        &[Scheme::SimpleWdis, Scheme::FfwBbr],
-        &[MilliVolts::new(480)],
-    );
+    // `--cell` narrows the campaign to one cell so many processes can
+    // hammer the same store file at once.
+    let plan = if single_cell {
+        ExperimentPlan::for_grid(
+            &[Benchmark::Crc32],
+            &[Scheme::FfwBbr],
+            &[MilliVolts::new(480)],
+        )
+    } else {
+        ExperimentPlan::for_grid(
+            &[Benchmark::Crc32, Benchmark::Qsort],
+            &[Scheme::SimpleWdis, Scheme::FfwBbr],
+            &[MilliVolts::new(480)],
+        )
+    };
     for (key, result) in eval.run_plan(&plan) {
         match result {
             Ok(run) => println!(

@@ -229,6 +229,71 @@ fn two_processes_racing_the_same_cell_converge() {
 }
 
 #[test]
+fn a_crowd_of_processes_hammering_one_cell_converges_to_one_file() {
+    let dir = temp_store("race-crowd");
+
+    // Four uncoordinated processes (the distributed layer's worst case:
+    // duplicate-dispatched work units racing their saves) all compute
+    // the same single cell against the same store directory.
+    let children: Vec<_> = (0..4)
+        .map(|_| {
+            Command::new(env!("CARGO_BIN_EXE_store_probe"))
+                .arg("--cell")
+                .env("DVS_RESULT_STORE", &dir)
+                .stdout(std::process::Stdio::piped())
+                .stderr(std::process::Stdio::piped())
+                .spawn()
+                .expect("probe binary spawns")
+        })
+        .collect();
+    let outputs: Vec<_> = children
+        .into_iter()
+        .map(|c| c.wait_with_output().expect("probe binary finishes"))
+        .collect();
+    let mut digests = Vec::new();
+    for out in &outputs {
+        assert!(
+            out.status.success(),
+            "racing probe failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        digests.push(parse_probe_output(&String::from_utf8_lossy(&out.stdout)).0);
+    }
+    for d in &digests[1..] {
+        assert_eq!(digests[0], *d, "racing processes must agree");
+    }
+
+    // First-writer-wins left exactly one cell file and no tmp debris.
+    let files: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .expect("store dir exists")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .collect();
+    assert_eq!(files.len(), 1, "store holds exactly one file: {files:?}");
+    assert!(files[0].to_string_lossy().ends_with(".bin"), "{files:?}");
+
+    // The surviving bytes are exactly what an unraced run produces:
+    // same file name (content-keyed) and same payload bit-for-bit.
+    let solo_dir = temp_store("race-crowd-solo");
+    let _ = probe(&solo_dir, &["--cell"]);
+    let solo: Vec<PathBuf> = std::fs::read_dir(&solo_dir)
+        .expect("solo store dir exists")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .collect();
+    assert_eq!(solo.len(), 1, "{solo:?}");
+    assert_eq!(files[0].file_name(), solo[0].file_name());
+    assert_eq!(
+        std::fs::read(&files[0]).expect("raced cell file reads"),
+        std::fs::read(&solo[0]).expect("solo cell file reads"),
+        "raced store file must be byte-identical to an unraced one"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&solo_dir);
+}
+
+#[test]
 fn corrupted_store_files_fall_back_to_recompute() {
     let dir = temp_store("corrupt");
 
