@@ -9,7 +9,9 @@
 //! * SA/DM mode agreement (BBR vs one-way conventional, plus the
 //!   `CacheCore` mode round-trip freshness check);
 //! * persistence identity (a two-voltage sweep run plain vs
-//!   store-backed vs store-reloaded vs recorder-on vs arena-disabled);
+//!   store-backed vs store-reloaded vs size-capped — eviction mid-sweep
+//!   and a rerun over the evicted store — vs recorder-on vs
+//!   arena-disabled);
 //! * Wilkerson capacity halving;
 //! * packed-vs-reference equivalence of the word-packed hot-path queries
 //!   (popcounts, per-frame fault masks, word-chunked occupancy scans);
@@ -35,6 +37,7 @@ struct Options {
     models: Vec<FaultModel>,
     seed: u64,
     stream_len: usize,
+    store_max_bytes: u64,
     json: bool,
     inject_divergence: bool,
 }
@@ -47,6 +50,9 @@ impl Default for Options {
             models: FaultModel::ALL.to_vec(),
             seed: 0,
             stream_len: 2_000,
+            // One byte evicts after every save: maximal eviction churn
+            // for the persistence-identity family.
+            store_max_bytes: 1,
             json: false,
             inject_divergence: false,
         }
@@ -61,6 +67,9 @@ const USAGE: &str = "usage: dvs-diff [options]
                     families (iid, rowcol, clustered; default: all three)
   --seed N          base seed for streams and fault maps (default 0)
   --stream-len N    accesses per synthetic stream (default 2000)
+  --store-max-bytes N
+                    store size cap for the capped persistence variants
+                    (default 1: evict after every save)
   --json            emit one JSON document instead of text
   --inject-divergence
                     plant a fault under word-disable and diff it against
@@ -120,6 +129,11 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 opts.stream_len = value("--stream-len")?
                     .parse()
                     .map_err(|_| "--stream-len expects an integer".to_string())?;
+            }
+            "--store-max-bytes" => {
+                opts.store_max_bytes = value("--store-max-bytes")?
+                    .parse()
+                    .map_err(|_| "--store-max-bytes expects an integer".to_string())?;
             }
             "--json" => opts.json = true,
             "--inject-divergence" => opts.inject_divergence = true,
@@ -204,7 +218,12 @@ fn run(opts: &Options) -> Vec<Report> {
     }
     reports.push(Report::new(
         format!("evaluator@persistence/{}", opts.benchmarks[0].name()),
-        oracles::persistence_identity(opts.benchmarks[0], opts.seed, opts.models[0]),
+        oracles::persistence_identity(
+            opts.benchmarks[0],
+            opts.seed,
+            opts.models[0],
+            Some(opts.store_max_bytes),
+        ),
     ));
 
     if opts.inject_divergence {

@@ -900,6 +900,53 @@ mod tests {
     }
 
     #[test]
+    fn capped_store_eviction_is_a_miss_never_an_error() {
+        let dir = std::env::temp_dir().join(format!("dvs-cluster-capped-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        // One byte: after every save the store immediately evicts back
+        // down to the single just-written (protected) cell.
+        let store = ResultStore::open(&dir).unwrap().with_max_bytes(1);
+        let base = EvalConfig::quick();
+        let wire = WireConfig::of(&base);
+        let c = Coordinator::new(
+            quick_cfg(),
+            base,
+            Some(store.clone()),
+            Arc::new(MetricsRegistry::new()),
+        );
+        let t0 = Instant::now();
+        let id = c.submit(wire, &plan2(), t0);
+        let w = c.join("w", t0);
+        let g = c.lease(w, 2, t0).unwrap();
+        assert_eq!(g.len(), 2, "an empty capped store pre-resolves nothing");
+        c.complete(w, g[0].unit, &cell(1), t0).unwrap();
+        c.complete(w, g[1].unit, &cell(2), t0).unwrap();
+
+        // The campaign ledger is untouched by eviction: both results
+        // land even though the store kept at most one of them.
+        let p = c.progress(id, t0).unwrap();
+        assert!(p.done);
+        assert_eq!(p.completed, 2);
+        assert_eq!(p.results[0].1, CellOutcome::Completed(cell(1)));
+        assert_eq!(p.results[1].1, CellOutcome::Completed(cell(2)));
+        let stats = store.stats();
+        assert!(stats.evictions >= 1, "{stats:?}");
+        assert!(stats.cells <= 1, "{stats:?}");
+
+        // Resubmitting the same plan treats the evicted cell as a plain
+        // miss: it is dispatched again, the survivor pre-resolves.
+        let id2 = c.submit(wire, &plan2(), t0);
+        let p2 = c.progress(id2, t0).unwrap();
+        assert_eq!(p2.completed, 1, "only the surviving cell pre-resolves");
+        let g2 = c.lease(w, 2, t0).unwrap();
+        assert_eq!(g2.len(), 1, "evicted cell must be re-dispatched");
+        assert_eq!(g2[0].key, plan2().cells()[0]);
+        c.complete(w, g2[0].unit, &cell(1), t0).unwrap();
+        assert!(c.progress(id2, t0).unwrap().done);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn sync_log_pages_in_order() {
         let c = coordinator(quick_cfg());
         let t0 = Instant::now();

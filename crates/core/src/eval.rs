@@ -108,6 +108,13 @@ pub struct EvalConfig {
     /// never alias one store file. Defaults to the paper's i.i.d.
     /// protocol, which remains bit-identical to the pre-model sampler.
     pub fault_model: dvs_sram::FaultModel,
+    /// Size cap applied to an attached [`ResultStore`]
+    /// ([`ResultStore::with_max_bytes`]), or `None` for an unbounded
+    /// store. Eviction turns cells into store misses — recomputed, never
+    /// altered — so like `threads` this is not part of the result-store
+    /// key and capped, unbounded and store-less runs are bit-identical
+    /// (the dvs-diff persistence oracle pins this).
+    pub store_max_bytes: Option<u64>,
 }
 
 impl EvalConfig {
@@ -124,6 +131,7 @@ impl EvalConfig {
             verify_images: false,
             reuse_buffers: true,
             fault_model: dvs_sram::FaultModel::Iid,
+            store_max_bytes: None,
         }
     }
 
@@ -149,6 +157,7 @@ impl EvalConfig {
             verify_images: false,
             reuse_buffers: true,
             fault_model: dvs_sram::FaultModel::Iid,
+            store_max_bytes: None,
         }
     }
 }
@@ -370,9 +379,13 @@ impl Evaluator {
 
     /// Attaches an on-disk result store: completed cells are persisted,
     /// and planned cells already present in the store are loaded instead
-    /// of recomputed.
+    /// of recomputed. When [`EvalConfig::store_max_bytes`] is set the cap
+    /// is applied to the store (shared by every clone of it).
     #[must_use]
     pub fn with_store(mut self, store: ResultStore) -> Self {
+        if let Some(cap) = self.cfg.store_max_bytes {
+            store.set_max_bytes(Some(cap));
+        }
         self.store = Some(store);
         self
     }
@@ -772,6 +785,17 @@ impl Evaluator {
         self.counters
             .wall_nanos
             .fetch_add(wall_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        // Export the store's accounting. Gauges, not counters: the values
+        // depend on disk history (prior runs, crashes, peer processes),
+        // which belongs in the volatile section of a snapshot.
+        if let (Some(rec), Some(store)) = (&self.recorder, &self.store) {
+            let s = store.stats();
+            rec.gauge("store.bytes", s.bytes);
+            rec.gauge("store.cells", s.cells as u64);
+            rec.gauge("store.evictions", s.evictions);
+            rec.gauge("store.collisions", s.collisions);
+            rec.gauge("store.tmp_swept", s.tmp_swept);
+        }
         let results = plan.cells().iter().map(|&k| (k, self.lookup(&k))).collect();
         // Cancelled cells are reported but never cached: a later run_plan
         // (with a fresh token) must recompute them, not replay the stop.
@@ -995,6 +1019,51 @@ mod tests {
         assert_eq!(d.trials, g.trials);
         assert!(d.cycles().bitwise_eq(&g.cycles()));
         assert!(d.l2_per_kilo_instr().bitwise_eq(&g.l2_per_kilo_instr()));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn capped_store_evicts_but_never_changes_results() {
+        // The harshest possible cap: 1 byte keeps at most the single cell
+        // just saved (a save never evicts its own file). Every earlier
+        // cell becomes a miss — and a miss is just a recompute, so the
+        // sweep must stay bit-identical to a store-less run.
+        let store = temp_store("capped");
+        let dir = store.dir().to_path_buf();
+        let plan = ExperimentPlan::for_grid(
+            &[Benchmark::Crc32],
+            &[Scheme::FfwBbr, Scheme::SimpleWdis],
+            &[MilliVolts::new(480), MilliVolts::new(440)],
+        );
+
+        let mut plain = eval();
+        let plain_runs = plain.run_plan(&plan);
+
+        let capped_cfg = EvalConfig {
+            store_max_bytes: Some(1),
+            ..EvalConfig::quick()
+        };
+        let mut capped = Evaluator::new(capped_cfg).with_store(store.clone());
+        assert_eq!(store.max_bytes(), Some(1), "with_store applies the cap");
+        let capped_runs = capped.run_plan(&plan);
+        for ((pk, pr), (ck, cr)) in plain_runs.iter().zip(&capped_runs) {
+            assert_eq!(pk, ck);
+            let (pr, cr) = (pr.as_ref().unwrap(), cr.as_ref().unwrap());
+            assert_eq!(pr.trials, cr.trials, "{pk}");
+            assert_eq!(pr.failed_links, cr.failed_links, "{pk}");
+        }
+        let stats = store.stats();
+        assert!(stats.evictions >= 3, "{stats:?}");
+        assert_eq!(stats.cells, 1, "{stats:?}");
+
+        // A second capped evaluator over the same directory hits the one
+        // survivor, recomputes the rest, and still agrees bit for bit.
+        let mut again = Evaluator::new(capped_cfg).with_store(ResultStore::open(&dir).unwrap());
+        let again_runs = again.run_plan(&plan);
+        assert_eq!(again.stats().cells_from_store, 1);
+        for ((pk, pr), (_, ar)) in plain_runs.iter().zip(&again_runs) {
+            assert_eq!(pr.as_ref().unwrap().trials, ar.as_ref().unwrap().trials, "{pk}");
+        }
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -54,4 +54,4 @@ pub use engine::{EngineStats, Progress};
 pub use eval::{EvalConfig, EvalError, Evaluator, SchemeRun, TrialMetrics};
 pub use plan::{CellKey, ExperimentPlan};
 pub use scheme::Scheme;
-pub use store::{ResultStore, StoreKey, StoredCell, STORE_ENV};
+pub use store::{ResultStore, StoreAudit, StoreKey, StoreStats, StoredCell, STORE_ENV};

@@ -403,13 +403,15 @@ pub fn sa_dm_equivalence(seed: u64, stream_len: usize) -> Vec<Diagnostic> {
 /// Family C: persistence and observability must never change results.
 /// Sweeps one benchmark over two voltages (so the incremental
 /// voltage-ladder reuse and link-memoization paths are exercised) plain,
-/// store-backed, store-reloaded, recorder-on and with the worker arena
-/// disabled; every trial vector of every cell must be bit-identical to
-/// the plain sweep.
+/// store-backed, store-reloaded, size-capped (`store_cap` bytes, twice —
+/// eviction mid-sweep and a rerun over the evicted store), recorder-on
+/// and with the worker arena disabled; every trial vector of every cell
+/// must be bit-identical to the plain sweep.
 pub fn persistence_identity(
     benchmark: Benchmark,
     seed: u64,
     fault_model: FaultModel,
+    store_cap: Option<u64>,
 ) -> Vec<Diagnostic> {
     let scheme = Scheme::FfwBbr;
     let plan = ExperimentPlan::for_grid(
@@ -423,21 +425,26 @@ pub fn persistence_identity(
         CellKey,
         Result<Arc<dvs_core::SchemeRun>, dvs_core::EvalError>,
     )>;
-    let run_with = |store: Option<ResultStore>, recorder: bool, reuse: bool| -> PlanRuns {
-        let mut ev = Evaluator::new(EvalConfig {
-            reuse_buffers: reuse,
-            ..tiny_config(seed, fault_model)
-        });
-        if let Some(store) = store {
-            ev = ev.with_store(store);
-        }
-        if recorder {
-            ev = ev.with_recorder(Arc::new(MetricsRegistry::new()));
-        }
-        ev.run_plan(&plan)
-    };
+    let run_with =
+        |store: Option<ResultStore>, cap: Option<u64>, recorder: bool, reuse: bool| -> PlanRuns {
+            // The cap is threaded through `EvalConfig` (not applied to
+            // the store directly) so the same path production uses —
+            // `with_store` picking up `store_max_bytes` — is on trial.
+            let mut ev = Evaluator::new(EvalConfig {
+                reuse_buffers: reuse,
+                store_max_bytes: cap,
+                ..tiny_config(seed, fault_model)
+            });
+            if let Some(store) = store {
+                ev = ev.with_store(store);
+            }
+            if recorder {
+                ev = ev.with_recorder(Arc::new(MetricsRegistry::new()));
+            }
+            ev.run_plan(&plan)
+        };
 
-    let plain = run_with(None, false, true);
+    let plain = run_with(None, None, false, true);
     if let Some((key, Err(e))) = plain.iter().find(|(_, r)| r.is_err()) {
         diags.push(Diagnostic::deny(
             LINT_PERSISTENCE,
@@ -449,14 +456,37 @@ pub fn persistence_identity(
 
     let store_dir =
         std::env::temp_dir().join(format!("dvs-diff-store-{}-{seed}", std::process::id()));
+    let capped_dir =
+        std::env::temp_dir().join(format!("dvs-diff-capped-{}-{seed}", std::process::id()));
     let _ = std::fs::remove_dir_all(&store_dir);
-    let variants: [(&str, Option<&std::path::Path>, bool, bool); 4] = [
-        ("store-backed", Some(store_dir.as_path()), false, true),
-        ("store-reloaded", Some(store_dir.as_path()), false, true),
-        ("recorder-on", None, true, true),
-        ("arena-disabled", None, false, false),
+    let _ = std::fs::remove_dir_all(&capped_dir);
+    let variants: [(&str, Option<&std::path::Path>, Option<u64>, bool, bool); 6] = [
+        ("store-backed", Some(store_dir.as_path()), None, false, true),
+        (
+            "store-reloaded",
+            Some(store_dir.as_path()),
+            None,
+            false,
+            true,
+        ),
+        (
+            "store-capped",
+            Some(capped_dir.as_path()),
+            store_cap,
+            false,
+            true,
+        ),
+        (
+            "store-capped-rerun",
+            Some(capped_dir.as_path()),
+            store_cap,
+            false,
+            true,
+        ),
+        ("recorder-on", None, None, true, true),
+        ("arena-disabled", None, None, false, false),
     ];
-    for (label, dir, recorder, reuse) in variants {
+    for (label, dir, cap, recorder, reuse) in variants {
         let store = match dir.map(ResultStore::open) {
             Some(Ok(store)) => Some(store),
             Some(Err(e)) => {
@@ -469,7 +499,7 @@ pub fn persistence_identity(
             }
             None => None,
         };
-        let runs = run_with(store, recorder, reuse);
+        let runs = run_with(store, cap, recorder, reuse);
         for ((pk, pr), (vk, vr)) in plain.iter().zip(&runs) {
             if pk != vk {
                 diags.push(Diagnostic::deny(
@@ -505,6 +535,7 @@ pub fn persistence_identity(
         }
     }
     let _ = std::fs::remove_dir_all(&store_dir);
+    let _ = std::fs::remove_dir_all(&capped_dir);
     diags
 }
 

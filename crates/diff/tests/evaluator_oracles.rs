@@ -24,7 +24,10 @@ fn evaluator_clean_equivalence_holds_at_760mv_under_every_model() {
 
 #[test]
 fn persistence_never_changes_results() {
-    let diags = oracles::persistence_identity(Benchmark::Adpcm, 42, FaultModel::Iid);
+    // A 1-byte store cap forces an eviction after every save, so the
+    // capped variants run the sweep's second cell against a store that
+    // just evicted its first — the worst case for eviction determinism.
+    let diags = oracles::persistence_identity(Benchmark::Adpcm, 42, FaultModel::Iid, Some(1));
     assert_eq!(diags, Vec::new());
 }
 
@@ -32,6 +35,7 @@ fn persistence_never_changes_results() {
 fn persistence_never_changes_results_under_correlated_faults() {
     // The correlated path threads per-word multipliers through the arena's
     // incremental chain reuse; warm and cold caches must still agree.
-    let diags = oracles::persistence_identity(Benchmark::Adpcm, 43, FaultModel::row_column());
+    let diags =
+        oracles::persistence_identity(Benchmark::Adpcm, 43, FaultModel::row_column(), Some(1));
     assert_eq!(diags, Vec::new());
 }

@@ -32,6 +32,7 @@ const USAGE: &str = "usage: dvs-serve [options]
   --queue-depth N          campaigns that may wait in the queue (default 8)
   --max-conns N            connections admitted at once (default 256)
   --store DIR              result-store directory (default: the store's default dir)
+  --store-max-bytes N      cap the store's on-disk size; coldest cells evict first
   --no-store               run without a persistent store
   --maps N                 default fault maps per cell
   --trace-instrs N         default dynamic instructions per trial
@@ -110,6 +111,10 @@ fn parse(mut args: impl Iterator<Item = String>) -> Result<Option<Options>, Stri
                 opts.server.max_conns = int("--max-conns", value("--max-conns")?)? as usize;
             }
             "--store" => opts.store_dir = Some(value("--store")?),
+            "--store-max-bytes" => {
+                opts.jobs.base.store_max_bytes =
+                    Some(int("--store-max-bytes", value("--store-max-bytes")?)?);
+            }
             "--no-store" => opts.no_store = true,
             "--maps" => opts.jobs.base.maps = int("--maps", value("--maps")?)?,
             "--trace-instrs" => {
@@ -174,6 +179,9 @@ fn run(opts: Options) -> Result<(), String> {
             None => ResultStore::open_default(),
         }
         .map_err(|e| format!("cannot open result store: {e}"))?;
+        // The evaluators also apply the cap via `EvalConfig`, but setting
+        // it here bounds the store even before any campaign runs.
+        store.set_max_bytes(opts.jobs.base.store_max_bytes);
         Some(store)
     };
 

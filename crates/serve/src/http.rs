@@ -322,6 +322,17 @@ impl Response {
         }
     }
 
+    /// A binary response carrying raw store-encoded bytes.
+    pub fn binary(status: u16, body: Vec<u8>) -> Self {
+        Response {
+            status,
+            content_type: "application/octet-stream",
+            body,
+            extra_headers: Vec::new(),
+            close: false,
+        }
+    }
+
     /// A structured JSON error body: `{"error": "..."}`.
     pub fn error(status: u16, message: &str) -> Self {
         Response::json(

@@ -244,6 +244,35 @@ impl JobManager {
         trace_instrs: Option<usize>,
         seed: Option<u64>,
     ) -> Option<String> {
+        let (key, stored) = self.store_cell(benchmark, scheme, vcc, maps, trace_instrs, seed)?;
+        Some(api::cell_json(&key, &api::stored_cell_result(&key, stored)))
+    }
+
+    /// The same point query, but returning the cell's canonical binary
+    /// store encoding ([`dvs_core::StoredCell::to_bytes`]) instead of
+    /// rendered JSON — for clients that want the exact persisted image.
+    pub fn store_lookup_bytes(
+        &self,
+        benchmark: Benchmark,
+        scheme: dvs_core::Scheme,
+        vcc: MilliVolts,
+        maps: Option<u64>,
+        trace_instrs: Option<usize>,
+        seed: Option<u64>,
+    ) -> Option<Vec<u8>> {
+        let (_, stored) = self.store_cell(benchmark, scheme, vcc, maps, trace_instrs, seed)?;
+        Some(stored.to_bytes())
+    }
+
+    fn store_cell(
+        &self,
+        benchmark: Benchmark,
+        scheme: dvs_core::Scheme,
+        vcc: MilliVolts,
+        maps: Option<u64>,
+        trace_instrs: Option<usize>,
+        seed: Option<u64>,
+    ) -> Option<(dvs_core::CellKey, dvs_core::StoredCell)> {
         let store = self.inner.store.as_ref()?;
         let base = &self.inner.cfg.base;
         let cfg = EvalConfig {
@@ -259,7 +288,7 @@ impl JobManager {
             &CacheGeometry::dsn_l1(),
             &key,
         ))?;
-        Some(api::cell_json(&key, &api::stored_cell_result(&key, stored)))
+        Some((key, stored))
     }
 
     /// Campaigns currently waiting in the queue (excluding running).

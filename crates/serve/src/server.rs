@@ -405,6 +405,20 @@ fn store_query(shared: &Arc<Shared>, req: &Request) -> Response {
             Err(_) => return Response::error(400, "\"trace_instrs\" must be an integer"),
         }
     }
+    // `Accept: application/octet-stream` selects the cell's canonical
+    // binary store encoding; anything else gets the JSON rendering.
+    let wants_binary = req
+        .header("accept")
+        .is_some_and(|v| v.contains("application/octet-stream"));
+    if wants_binary {
+        return match shared
+            .jobs
+            .store_lookup_bytes(benchmark, scheme, vcc, maps, trace_instrs, seed)
+        {
+            Some(bytes) => Response::binary(200, bytes),
+            None => Response::error(404, "no stored result for this cell at these settings"),
+        };
+    }
     match shared
         .jobs
         .store_lookup(benchmark, scheme, vcc, maps, trace_instrs, seed)

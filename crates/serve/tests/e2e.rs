@@ -109,6 +109,44 @@ fn request(
     (status, headers, body.to_string())
 }
 
+/// Like [`request`] but keeps the body as raw bytes and sends extra
+/// request headers verbatim — for responses that are not UTF-8 text.
+fn request_bytes(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    extra_headers: &str,
+) -> (u16, Vec<(String, String)>, Vec<u8>) {
+    let mut stream = TcpStream::connect(addr).expect("connect to test server");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let wire = format!(
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\
+         {extra_headers}Content-Length: 0\r\n\r\n"
+    );
+    stream.write_all(wire.as_bytes()).expect("write request");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    let split = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .expect("complete response");
+    let head = std::str::from_utf8(&raw[..split]).expect("UTF-8 head");
+    let body = raw[split + 4..].to_vec();
+    let mut lines = head.split("\r\n");
+    let status: u16 = lines
+        .next()
+        .and_then(|l| l.split(' ').nth(1))
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    let headers = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_string()))
+        .collect();
+    (status, headers, body)
+}
+
 fn header<'h>(headers: &'h [(String, String)], name: &str) -> Option<&'h str> {
     headers
         .iter()
@@ -189,6 +227,33 @@ fn campaign_over_tcp_is_byte_identical_to_direct_run() {
     );
     assert_eq!(status, 200, "{cell}");
     assert!(direct.contains(&cell), "cell not in results:\n{cell}");
+
+    // The same point query with `Accept: application/octet-stream`
+    // returns the cell's canonical binary store image, and the JSON the
+    // server rendered is exactly what renders from those bytes.
+    let (status, headers, raw) = request_bytes(
+        server.addr,
+        "GET",
+        "/v1/results?benchmark=crc32&scheme=defect-free&vcc_mv=760&seed=11",
+        "Accept: application/octet-stream\r\n",
+    );
+    assert_eq!(status, 200);
+    assert_eq!(
+        header(&headers, "content-type"),
+        Some("application/octet-stream")
+    );
+    let stored = dvs_core::StoredCell::from_bytes(&raw).expect("binary body decodes");
+    assert_eq!(stored.to_bytes(), raw, "wire bytes are the canonical encoding");
+    let key = dvs_core::CellKey::new(
+        dvs_workloads::Benchmark::Crc32,
+        dvs_core::Scheme::DefectFree,
+        dvs_sram::MilliVolts::new(760),
+    );
+    assert_eq!(
+        api::cell_json(&key, &api::stored_cell_result(&key, stored)),
+        cell,
+        "binary and JSON content types must describe the same cell"
+    );
 
     // Unknown settings miss without recomputation.
     let (status, _, miss) = request(

@@ -2,13 +2,22 @@
 //!
 //! Runs a small fixed Monte-Carlo campaign against the store named by
 //! `DVS_RESULT_STORE` and prints, per cell, a bit-exact digest of the
-//! summaries plus the engine counters. `tests/result_store.rs` launches
-//! this binary repeatedly to prove that separate processes (a) reuse each
-//! other's results and (b) reproduce bit-identical numbers either way.
+//! summaries plus the engine counters and the store's own accounting.
+//! `tests/result_store.rs` launches this binary repeatedly to prove that
+//! separate processes (a) reuse each other's results and (b) reproduce
+//! bit-identical numbers either way — including under a size cap
+//! (`--store-max-bytes`), where evicted cells recompute identically.
+//!
+//! `--spin-save` turns the probe into a crash-test dummy: it rewrites
+//! store cells in a tight loop until killed, so the harness can SIGKILL
+//! it mid-save and assert that no partial cell file ever becomes visible.
 
-use dvs::core::{EvalConfig, Evaluator, ExperimentPlan, ResultStore, Scheme};
+use dvs::core::{
+    CellKey, EvalConfig, Evaluator, ExperimentPlan, ResultStore, Scheme, StoreKey, StoredCell,
+};
+use dvs::cpu::CoreConfig;
 use dvs::sram::stats::Summary;
-use dvs::sram::MilliVolts;
+use dvs::sram::{CacheGeometry, MilliVolts};
 use dvs::workloads::Benchmark;
 
 fn digest(s: &Summary) -> String {
@@ -20,6 +29,31 @@ fn digest(s: &Summary) -> String {
         s.stddev.to_bits(),
         s.ci95_half.to_bits()
     )
+}
+
+/// Rewrites cells under a rotating set of keys forever (until killed):
+/// constant tmp-write + rename traffic for the SIGKILL durability test.
+fn spin_save() -> ! {
+    let store = ResultStore::open_default().expect("result store must open");
+    let core = CoreConfig::dsn2016();
+    let geometry = CacheGeometry::dsn_l1();
+    let cell = CellKey::new(Benchmark::Crc32, Scheme::FfwBbr, MilliVolts::new(480));
+    let mut i = 0u64;
+    loop {
+        // Seeds far outside any real campaign's range: the dummy images
+        // (no trials) must never be loadable by an actual probe run.
+        let cfg = EvalConfig {
+            seed: 0xdead_0000 + (i % 64),
+            ..EvalConfig::quick()
+        };
+        let key = StoreKey::for_cell(&cfg, &core, &geometry, &cell);
+        let image = StoredCell {
+            failed_links: i,
+            trials: Vec::new(),
+        };
+        let _ = store.save(&key, &image);
+        i += 1;
+    }
 }
 
 fn main() {
@@ -35,13 +69,15 @@ fn main() {
         match arg.as_str() {
             "--instrs" => cfg.trace_instrs = take() as usize,
             "--seed" => cfg.seed = take(),
+            "--store-max-bytes" => cfg.store_max_bytes = Some(take()),
             "--cell" => single_cell = true,
+            "--spin-save" => spin_save(),
             other => panic!("unknown flag {other}"),
         }
     }
 
     let store = ResultStore::open_default().expect("result store must open");
-    let mut eval = Evaluator::new(cfg).with_store(store);
+    let mut eval = Evaluator::new(cfg).with_store(store.clone());
     // `--cell` narrows the campaign to one cell so many processes can
     // hammer the same store file at once.
     let plan = if single_cell {
@@ -71,5 +107,10 @@ fn main() {
     println!(
         "engine computed={} from_store={} cells_from_store={}",
         s.trials_computed, s.trials_from_store, s.cells_from_store
+    );
+    let st = store.stats();
+    println!(
+        "store bytes={} cells={} evictions={} collisions={} tmp_swept={}",
+        st.bytes, st.cells, st.evictions, st.collisions, st.tmp_swept
     );
 }

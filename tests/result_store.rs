@@ -1,7 +1,7 @@
 //! Cross-process result-store tests: separate processes must share
 //! Monte-Carlo results through the on-disk store, reproduce bit-identical
 //! summaries either way, and fall back to recomputation when the store is
-//! invalidated or corrupted.
+//! invalidated, corrupted, size-capped or crashed mid-write.
 //!
 //! Each test drives the `store_probe` binary (see `src/bin/store_probe.rs`)
 //! against its own temporary store directory via the `DVS_RESULT_STORE`
@@ -17,12 +17,39 @@ fn temp_store(tag: &str) -> PathBuf {
     dir
 }
 
+/// Names of the cell files in `dir`, sorted. Excludes the sidecar
+/// `index.bin` and anything else that does not parse as a cell name.
+fn cell_files(dir: &Path) -> Vec<String> {
+    let mut names: Vec<String> = std::fs::read_dir(dir)
+        .expect("store dir exists")
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|n| n.starts_with("cell-") && n.ends_with(".bin"))
+        .collect();
+    names.sort();
+    names
+}
+
+/// Temp-file debris in `dir` (in-flight save files that should never
+/// outlive their writer).
+fn tmp_files(dir: &Path) -> Vec<String> {
+    std::fs::read_dir(dir)
+        .expect("store dir exists")
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|n| n.contains(".tmp."))
+        .collect()
+}
+
 /// Parses probe stdout into (cell-digest lines, engine counters).
 fn parse_probe_output(stdout: &str) -> (Vec<String>, BTreeMap<String, u64>) {
     let mut cells = Vec::new();
     let mut counters = BTreeMap::new();
     for line in stdout.lines() {
-        if let Some(rest) = line.strip_prefix("engine ") {
+        if let Some(rest) = line
+            .strip_prefix("engine ")
+            .or_else(|| line.strip_prefix("store "))
+        {
             for pair in rest.split_whitespace() {
                 let (k, v) = pair.split_once('=').expect("k=v counter");
                 counters.insert(k.to_string(), v.parse().expect("integer counter"));
@@ -61,12 +88,7 @@ fn second_process_reuses_the_store_bit_identically() {
     assert_eq!(first_counters["from_store"], 0, "{first_counters:?}");
 
     // The env override took effect: the cells landed in OUR directory.
-    let files = std::fs::read_dir(&dir)
-        .expect("store dir exists")
-        .filter_map(|e| e.ok())
-        .filter(|e| e.file_name().to_string_lossy().ends_with(".bin"))
-        .count();
-    assert_eq!(files, 4, "one file per cell");
+    assert_eq!(cell_files(&dir).len(), 4, "one file per cell");
 
     // A separate process recomputes nothing and reproduces every digest
     // bit for bit.
@@ -158,14 +180,9 @@ fn two_evaluators_in_one_process_racing_the_same_cell_converge() {
 
     // Exactly one result file survives the race — no tmp leftovers, no
     // duplicate cells.
-    let mut files: Vec<String> = std::fs::read_dir(&dir)
-        .expect("store dir exists")
-        .filter_map(|e| e.ok())
-        .map(|e| e.file_name().to_string_lossy().into_owned())
-        .collect();
-    files.sort();
+    let files = cell_files(&dir);
     assert_eq!(files.len(), 1, "store holds exactly one cell: {files:?}");
-    assert!(files[0].ends_with(".bin"), "{files:?}");
+    assert!(tmp_files(&dir).is_empty(), "temp debris in store");
 
     // A third evaluator resolves the cell purely from the store.
     let store = ResultStore::open(&dir).expect("store opens");
@@ -213,13 +230,9 @@ fn two_processes_racing_the_same_cell_converge() {
     assert_eq!(digests[0], digests[1], "racing processes must agree");
 
     // One file per cell, no temp debris left behind.
-    let leftovers: Vec<String> = std::fs::read_dir(&dir)
-        .expect("store dir exists")
-        .filter_map(|e| e.ok())
-        .map(|e| e.file_name().to_string_lossy().into_owned())
-        .filter(|n| !n.ends_with(".bin"))
-        .collect();
+    let leftovers = tmp_files(&dir);
     assert!(leftovers.is_empty(), "temp debris in store: {leftovers:?}");
+    assert_eq!(cell_files(&dir).len(), 4, "one file per cell");
 
     // A fresh process computes nothing.
     let (_, counters) = probe(&dir, &[]);
@@ -264,28 +277,20 @@ fn a_crowd_of_processes_hammering_one_cell_converges_to_one_file() {
     }
 
     // First-writer-wins left exactly one cell file and no tmp debris.
-    let files: Vec<PathBuf> = std::fs::read_dir(&dir)
-        .expect("store dir exists")
-        .filter_map(|e| e.ok())
-        .map(|e| e.path())
-        .collect();
-    assert_eq!(files.len(), 1, "store holds exactly one file: {files:?}");
-    assert!(files[0].to_string_lossy().ends_with(".bin"), "{files:?}");
+    let files = cell_files(&dir);
+    assert_eq!(files.len(), 1, "store holds exactly one cell: {files:?}");
+    assert!(tmp_files(&dir).is_empty(), "temp debris in store");
 
     // The surviving bytes are exactly what an unraced run produces:
     // same file name (content-keyed) and same payload bit-for-bit.
     let solo_dir = temp_store("race-crowd-solo");
     let _ = probe(&solo_dir, &["--cell"]);
-    let solo: Vec<PathBuf> = std::fs::read_dir(&solo_dir)
-        .expect("solo store dir exists")
-        .filter_map(|e| e.ok())
-        .map(|e| e.path())
-        .collect();
+    let solo = cell_files(&solo_dir);
     assert_eq!(solo.len(), 1, "{solo:?}");
-    assert_eq!(files[0].file_name(), solo[0].file_name());
+    assert_eq!(files[0], solo[0]);
     assert_eq!(
-        std::fs::read(&files[0]).expect("raced cell file reads"),
-        std::fs::read(&solo[0]).expect("solo cell file reads"),
+        std::fs::read(dir.join(&files[0])).expect("raced cell file reads"),
+        std::fs::read(solo_dir.join(&solo[0])).expect("solo cell file reads"),
         "raced store file must be byte-identical to an unraced one"
     );
 
@@ -299,13 +304,11 @@ fn corrupted_store_files_fall_back_to_recompute() {
 
     let (original_cells, _) = probe(&dir, &[]);
 
-    // Vandalize every cell file a different way.
+    // Vandalize every cell file a different way — and the sidecar index
+    // outright, which the next open must rebuild from a directory scan.
     let mut mode = 0u8;
-    for entry in std::fs::read_dir(&dir).expect("store dir exists") {
-        let path = entry.expect("dir entry").path();
-        if path.extension().map(|e| e != "bin").unwrap_or(true) {
-            continue;
-        }
+    for name in cell_files(&dir) {
+        let path = dir.join(&name);
         let bytes = std::fs::read(&path).expect("cell file reads");
         match mode % 3 {
             0 => std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap(), // truncated
@@ -319,6 +322,7 @@ fn corrupted_store_files_fall_back_to_recompute() {
         }
         mode += 1;
     }
+    std::fs::write(dir.join("index.bin"), b"rotten index").unwrap();
 
     // Corruption means recomputation, not a crash — and the recomputed
     // digests match the originals because the campaign is deterministic.
@@ -332,4 +336,129 @@ fn corrupted_store_files_fall_back_to_recompute() {
     assert_eq!(healed["computed"], 0, "{healed:?}");
 
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn orphaned_tmp_files_from_dead_processes_are_swept() {
+    let dir = temp_store("orphans");
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // Plant temp files exactly as a crashed saver leaves them: written
+    // but never renamed, owned by a pid that no longer exists (no OS
+    // allocates pids anywhere near u32::MAX).
+    let dead = u32::MAX;
+    for seq in 0..3 {
+        let name = format!("cell-{:016x}.tmp.{dead}.{seq}", 0xdead_beef_u64 + seq as u64);
+        std::fs::write(dir.join(name), b"half-written cell image").unwrap();
+    }
+
+    // Before the sweep existed these leaked forever; now the next probe's
+    // store open removes them and reports the count.
+    let (_, counters) = probe(&dir, &[]);
+    assert_eq!(counters["tmp_swept"], 3, "{counters:?}");
+    assert!(tmp_files(&dir).is_empty(), "orphans must vanish");
+
+    // And they never come back.
+    let (_, again) = probe(&dir, &[]);
+    assert_eq!(again["tmp_swept"], 0, "{again:?}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn capped_store_stays_bounded_and_reproduces_unbounded_results() {
+    let unbounded = temp_store("cap-unbounded");
+    let capped = temp_store("cap-capped");
+
+    let (reference_cells, _) = probe(&unbounded, &[]);
+    let total: u64 = cell_files(&unbounded)
+        .iter()
+        .map(|n| std::fs::metadata(unbounded.join(n)).unwrap().len())
+        .sum();
+    // Half the campaign's footprint: forces evictions mid-sweep while
+    // still fitting any single cell.
+    let cap = (total / 2).to_string();
+
+    let (capped_cells, counters) = probe(&capped, &["--store-max-bytes", &cap]);
+    assert_eq!(reference_cells, capped_cells, "eviction changed results");
+    assert!(counters["evictions"] > 0, "{counters:?}");
+    assert!(counters["bytes"] <= total / 2, "{counters:?}");
+    let on_disk: u64 = cell_files(&capped)
+        .iter()
+        .map(|n| std::fs::metadata(capped.join(n)).unwrap().len())
+        .sum();
+    assert!(on_disk <= total / 2, "{on_disk} bytes exceed cap {cap}");
+    assert!(tmp_files(&capped).is_empty());
+
+    // A second capped pass hits what survived, recomputes what was
+    // evicted, and still reproduces every digest bit for bit.
+    let (second_cells, second) = probe(&capped, &["--store-max-bytes", &cap]);
+    assert_eq!(reference_cells, second_cells);
+    assert!(second["cells_from_store"] > 0, "{second:?}");
+    assert!(second["computed"] > 0, "{second:?}");
+
+    let _ = std::fs::remove_dir_all(&unbounded);
+    let _ = std::fs::remove_dir_all(&capped);
+}
+
+#[test]
+fn sigkilled_saver_never_leaves_a_partial_cell_visible() {
+    use dvs_core::ResultStore;
+    use std::time::Duration;
+
+    let dir = temp_store("crash");
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // SIGKILL a process that rewrites cells in a tight loop, several
+    // times at staggered offsets, to land kills inside the write+rename
+    // window from a few different phases.
+    for round in 0u64..3 {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_store_probe"))
+            .arg("--spin-save")
+            .env("DVS_RESULT_STORE", &dir)
+            .stdout(std::process::Stdio::null())
+            .stderr(std::process::Stdio::null())
+            .spawn()
+            .expect("spin-save probe spawns");
+        std::thread::sleep(Duration::from_millis(40 + 30 * round));
+        child.kill().expect("SIGKILL the saver");
+        child.wait().expect("reap the saver");
+    }
+
+    // Whatever instant the kills hit, every *visible* cell file is a
+    // complete, checksummed image — the rename either happened or it
+    // didn't.
+    let store = ResultStore::open(&dir).expect("store reopens after crash");
+    let audit = store.audit().expect("audit runs");
+    assert!(
+        audit.corrupt.is_empty(),
+        "partial cell files visible after SIGKILL: {:?}",
+        audit.corrupt
+    );
+    assert!(audit.intact > 0, "spin-save persisted nothing");
+
+    // The reopen swept anything the dead writers stranded (kills rarely
+    // land inside the tiny write window, so also plant one orphan to pin
+    // the sweep itself), and no temp debris survives.
+    std::fs::write(
+        dir.join(format!("cell-{:016x}.tmp.{}.0", 1u64, u32::MAX)),
+        b"x",
+    )
+    .unwrap();
+    let reopened = ResultStore::open(&dir).expect("store reopens");
+    assert!(reopened.stats().tmp_swept >= 1);
+    assert!(tmp_files(&dir).is_empty(), "stranded temp files remain");
+
+    // A capped store over the crashed directory re-converges to results
+    // bit-identical to a clean-room run: leftover spin-save cells are
+    // foreign keys (misses), crash debris is gone, eviction is a miss.
+    let clean = temp_store("crash-clean");
+    let (clean_cells, _) = probe(&clean, &[]);
+    let (crashed_cells, _) = probe(&dir, &["--store-max-bytes", "4096"]);
+    let (crashed_again, _) = probe(&dir, &["--store-max-bytes", "4096"]);
+    assert_eq!(clean_cells, crashed_cells);
+    assert_eq!(clean_cells, crashed_again);
+
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&clean);
 }
